@@ -1,0 +1,15 @@
+//! # amri-apps — carrier for the repository-level examples and tests
+//!
+//! This package exists to attach the top-level `examples/` and `tests/`
+//! directories (see `Cargo.toml`'s explicit `[[example]]`/`[[test]]` path
+//! entries) to the workspace. It re-exports the full public surface so the
+//! examples read like downstream user code.
+
+#![warn(missing_docs)]
+
+pub use amri_bench as bench;
+pub use amri_core as core;
+pub use amri_engine as engine;
+pub use amri_hh as hh;
+pub use amri_stream as stream;
+pub use amri_synth as synth;

@@ -1,0 +1,43 @@
+//! `ABL-COMBINE` — the CDIA combination-strategy ablation (§IV-D2):
+//! random vs highest-count folding under increasingly skewed lattices.
+
+use amri_core::assess::AssessorKind;
+use amri_hh::CombineStrategy;
+use amri_stream::AccessPattern;
+use amri_synth::{PatternMixture, PatternWorkload};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A drifting workload whose phases concentrate on different families.
+fn drifting_workload(seed: u64) -> PatternWorkload {
+    let ap = |m: u32| AccessPattern::new(m, 3);
+    let phases = vec![
+        PatternMixture::new(vec![(ap(0b001), 0.3), (ap(0b011), 0.3), (ap(0b111), 0.4)]),
+        PatternMixture::new(vec![(ap(0b100), 0.5), (ap(0b110), 0.3), (ap(0b111), 0.2)]),
+        PatternMixture::table_ii(),
+    ];
+    PatternWorkload::new(phases, 2000, seed)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_combine");
+    for strategy in [CombineStrategy::Random, CombineStrategy::HighestCount] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut a = AssessorKind::Cdia(strategy).build(3, 0.005, 9);
+                    let mut w = drifting_workload(9);
+                    for _ in 0..10_000 {
+                        a.record(w.next_pattern());
+                    }
+                    black_box(a.frequent(0.1))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! `ABL-EPS-THETA` — sweep the compact methods' error rate ε: recording
+//! throughput (compression frequency scales with ε) for CSRIA and CDIA.
+
+use amri_core::assess::AssessorKind;
+use amri_hh::CombineStrategy;
+use amri_synth::PatternMixture;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mixture = PatternMixture::table_ii();
+    let mut g = c.benchmark_group("ablation_eps");
+    for eps in [0.05f64, 0.01, 0.001] {
+        for (name, kind) in [
+            ("csria", AssessorKind::Csria),
+            ("cdia", AssessorKind::Cdia(CombineStrategy::HighestCount)),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{eps}")),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| {
+                        let mut a = kind.build(3, eps, 3);
+                        let mut rng = StdRng::seed_from_u64(5);
+                        for _ in 0..20_000 {
+                            a.record(mixture.sample(&mut rng));
+                        }
+                        black_box(a.frequent(0.1))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! `EXP-T1-COST` — cost-model benchmarks: evaluating Eq. 1 and selecting
+//! configurations (greedy vs exhaustive) across workload sizes.
+
+use amri_core::selection::{select_config_exhaustive, select_config_greedy};
+use amri_core::{ApStat, CostParams, IndexConfig, WorkloadProfile};
+use amri_stream::AccessPattern;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn profile(width: usize) -> WorkloadProfile {
+    let aps: Vec<ApStat> = AccessPattern::all(width)
+        .filter(|p| !p.is_empty())
+        .map(|pattern| ApStat {
+            pattern,
+            freq: 1.0 / ((1 << width) - 1) as f64,
+        })
+        .collect();
+    WorkloadProfile::new(1000.0, 500.0, 30.0, aps)
+}
+
+fn bench_expected_cd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_expected_cd");
+    for width in [3usize, 5, 8] {
+        let prof = profile(width);
+        let ic = IndexConfig::even(width, 24).unwrap();
+        let params = CostParams::default();
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| black_box(params.expected_cd(black_box(&ic), black_box(&prof))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_selection");
+    let params = CostParams::default();
+    for bits in [8u32, 16, 64] {
+        let prof = profile(3);
+        g.bench_with_input(BenchmarkId::new("greedy_w3", bits), &bits, |b, &bits| {
+            b.iter(|| black_box(select_config_greedy(bits, 3, &prof, &params)))
+        });
+    }
+    let prof = profile(3);
+    g.bench_function("exhaustive_w3_b8", |b| {
+        b.iter(|| black_box(select_config_exhaustive(8, 3, &prof, &params)))
+    });
+    let prof8 = profile(8);
+    g.bench_function("greedy_w8_b64", |b| {
+        b.iter(|| black_box(select_config_greedy(64, 8, &prof8, &params)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expected_cd, bench_selection);
+criterion_main!(benches);

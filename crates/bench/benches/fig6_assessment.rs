@@ -1,0 +1,41 @@
+//! `EXP-F6-ASSESS` as a Criterion benchmark: a shortened quick-scale run
+//! per assessment method (full figure regeneration lives in the
+//! `fig6_assessment` binary).
+
+use amri_core::assess::AssessorKind;
+use amri_engine::{Executor, IndexingMode};
+use amri_stream::VirtualDuration;
+use amri_synth::scenario::{paper_scenario, Scale};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_assessment_mini");
+    g.sample_size(10);
+    for kind in AssessorKind::figure6_lineup() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut sc = paper_scenario(Scale::Quick, 42);
+                    sc.engine.duration = VirtualDuration::from_secs(10);
+                    let r = Executor::new(
+                        &sc.query,
+                        sc.workload(),
+                        IndexingMode::Amri {
+                            assessor: kind,
+                            initial: None,
+                        },
+                        sc.engine.clone(),
+                    )
+                    .run();
+                    black_box(r.outputs)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! `EXP-F6-HASH` as a Criterion benchmark: shortened quick-scale runs of
+//! the access-module baseline at 1, 4 and 7 hash indices.
+
+use amri_engine::{Executor, IndexingMode};
+use amri_stream::VirtualDuration;
+use amri_synth::scenario::{paper_scenario, Scale};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_hash_mini");
+    g.sample_size(10);
+    for k in [1usize, 4, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sc = paper_scenario(Scale::Quick, 42);
+                sc.engine.duration = VirtualDuration::from_secs(10);
+                let r = Executor::new(
+                    &sc.query,
+                    sc.workload(),
+                    IndexingMode::AdaptiveHash {
+                        n_indices: k,
+                        initial: None,
+                    },
+                    sc.engine.clone(),
+                )
+                .run();
+                black_box(r.outputs)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! `EXP-F7` as a Criterion benchmark: shortened quick-scale AMRI vs the
+//! static bitmap vs a 7-index hash module.
+
+use amri_core::assess::AssessorKind;
+use amri_engine::{Executor, IndexingMode};
+use amri_hh::CombineStrategy;
+use amri_stream::VirtualDuration;
+use amri_synth::scenario::{paper_scenario, Scale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn run(mode: IndexingMode) -> u64 {
+    let mut sc = paper_scenario(Scale::Quick, 42);
+    sc.engine.duration = VirtualDuration::from_secs(10);
+    Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .run()
+        .outputs
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_mini");
+    g.sample_size(10);
+    g.bench_function("amri_cdia_highest", |b| {
+        b.iter(|| {
+            black_box(run(IndexingMode::Amri {
+                assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+                initial: None,
+            }))
+        })
+    });
+    g.bench_function("static_bitmap", |b| {
+        b.iter(|| black_box(run(IndexingMode::StaticBitmap { configs: None })))
+    });
+    g.bench_function("hash_7", |b| {
+        b.iter(|| {
+            black_box(run(IndexingMode::AdaptiveHash {
+                n_indices: 7,
+                initial: None,
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the four assessment methods: statistics recording
+//! throughput and final-results extraction, Table-II-shaped workload.
+
+use amri_core::assess::AssessorKind;
+use amri_synth::PatternMixture;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assess_record");
+    let mixture = PatternMixture::table_ii();
+    for kind in AssessorKind::figure6_lineup() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut a = kind.build(3, 0.001, 7);
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| {
+                    a.record(black_box(mixture.sample(&mut rng)));
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_frequent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assess_frequent");
+    let mixture = PatternMixture::table_ii();
+    for kind in AssessorKind::figure6_lineup() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut a = kind.build(3, 0.001, 7);
+                let mut rng = StdRng::seed_from_u64(3);
+                for _ in 0..10_000 {
+                    a.record(mixture.sample(&mut rng));
+                }
+                b.iter(|| black_box(a.frequent(black_box(0.1))));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_record, bench_frequent);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Micro-benchmarks of the physical index operations (§III): insert,
+//! exact/wildcard search and migration for the bit-address index vs the
+//! multi-hash access module vs a full scan.
+
+use amri_core::{
+    BitAddressIndex, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex, SearchOutcome,
+    StateIndex, TupleKey,
+};
+use amri_stream::{AccessPattern, AttrVec, SearchRequest};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn jas(i: u64) -> AttrVec {
+    AttrVec::from_slice(&[i % 64, i % 37, i % 19]).unwrap()
+}
+
+fn populated_bitaddr(n: u64, bits: Vec<u8>) -> BitAddressIndex {
+    let mut idx = BitAddressIndex::new(IndexConfig::new(bits).unwrap());
+    let mut r = CostReceipt::new();
+    for i in 0..n {
+        idx.insert(TupleKey(i as u32), &jas(i), &mut r);
+    }
+    idx
+}
+
+fn populated_hash(n: u64, k: usize) -> MultiHashIndex {
+    let patterns: Vec<AccessPattern> = AccessPattern::all(3)
+        .filter(|p| !p.is_empty())
+        .take(k)
+        .collect();
+    let mut idx = MultiHashIndex::new(patterns);
+    let mut r = CostReceipt::new();
+    for i in 0..n {
+        idx.insert(TupleKey(i as u32), &jas(i), &mut r);
+    }
+    idx
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_insert");
+    g.bench_function("bitaddr_64bit", |b| {
+        let mut idx = BitAddressIndex::new(IndexConfig::even(3, 64).unwrap());
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            idx.insert(TupleKey(i as u32), &jas(i), &mut r);
+            i += 1;
+            black_box(r.hash_ops)
+        });
+    });
+    for k in [1usize, 4, 7] {
+        g.bench_with_input(BenchmarkId::new("multihash", k), &k, |b, &k| {
+            let patterns: Vec<AccessPattern> = AccessPattern::all(3)
+                .filter(|p| !p.is_empty())
+                .take(k)
+                .collect();
+            let mut idx = MultiHashIndex::new(patterns);
+            let mut i = 0u64;
+            b.iter(|| {
+                let mut r = CostReceipt::new();
+                idx.insert(TupleKey(i as u32), &jas(i), &mut r);
+                i += 1;
+                black_box(r.hash_ops)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_search_10k");
+    let n = 10_000;
+    let bitaddr = populated_bitaddr(n, vec![8, 8, 8]);
+    let hash = populated_hash(n, 7);
+    let exact = SearchRequest::new(AccessPattern::full(3), jas(500));
+    let wild = SearchRequest::new(
+        AccessPattern::from_positions(&[0], 3).unwrap(),
+        AttrVec::from_slice(&[500 % 64, 0, 0]).unwrap(),
+    );
+    g.bench_function("bitaddr_exact", |b| {
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            black_box(bitaddr.search(black_box(&exact), &mut r))
+        })
+    });
+    g.bench_function("bitaddr_one_attr_wildcard", |b| {
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            black_box(bitaddr.search(black_box(&wild), &mut r))
+        })
+    });
+    g.bench_function("multihash7_exact", |b| {
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            black_box(hash.search(black_box(&exact), &mut r))
+        })
+    });
+    g.bench_function("scan_reference", |b| {
+        // What a NeedScan costs at state level: compare all 10k tuples.
+        let tuples: Vec<AttrVec> = (0..n).map(jas).collect();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for t in &tuples {
+                if exact.matches(t.as_slice()) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    let scan = ScanIndex::new();
+    g.bench_function("scan_index_defers", |b| {
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            black_box(matches!(
+                scan.search(&exact, &mut r),
+                SearchOutcome::NeedScan
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_migrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_migrate_10k");
+    g.sample_size(20);
+    g.bench_function("bitaddr_full_rebucket", |b| {
+        b.iter_batched(
+            || populated_bitaddr(10_000, vec![8, 8, 8]),
+            |mut idx| {
+                let mut r = CostReceipt::new();
+                idx.migrate(IndexConfig::new(vec![4, 10, 10]).unwrap(), &mut r);
+                black_box(r.moved)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_search, bench_migrate);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! `EXP-F7-AMRI-VS-HASH` / `EXP-F7-AMRI-VS-BITMAP` — regenerate Figure 7:
+//! AMRI (CDIA-highest) vs the best hash configuration vs the non-adapting
+//! bitmap index. Paper headlines: +93% over the best hash configuration,
+//! +75% over the non-adapting bitmap (which died at 15.5 min).
+//!
+//! Usage: `fig7_compare [--quick] [--seed N]`
+
+use amri_bench::{fig7_compare, render_ascii_chart, render_series_table, render_summary, write_csv};
+use amri_synth::scenario::Scale;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    eprintln!("running Figure 7 comparison ({scale:?}, seed {seed})...");
+    let result = fig7_compare(scale, seed);
+    let runs = vec![
+        result.amri.clone(),
+        result.best_hash.clone(),
+        result.bitmap.clone(),
+    ];
+
+    println!("== Figure 7 — AMRI vs best hash configuration vs non-adapting bitmap ==");
+    println!("{}", render_ascii_chart(&runs, 72, 18));
+    println!("{}", render_series_table(&runs, 16));
+    println!("{}", render_summary(&runs));
+    println!(
+        "AMRI gain over best hash ({}): {:+.0}%   (paper: +93%)",
+        result.best_hash.label,
+        result.gain_over_hash() * 100.0
+    );
+    println!(
+        "AMRI gain over non-adapting bitmap: {:+.0}%   (paper: +75%)",
+        result.gain_over_bitmap() * 100.0
+    );
+
+    let csv = Path::new("results/fig7_compare.csv");
+    write_csv(&runs, csv).expect("write CSV");
+    eprintln!("series written to {}", csv.display());
+}

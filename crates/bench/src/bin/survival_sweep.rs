@@ -1,0 +1,79 @@
+//! Survival sweep — the "who dies when" table underlying Figures 6 and 7:
+//! every index flavor on the identical trained scenario, with death times,
+//! peak memory/backlog and mean job latency. This is the calibration view
+//! of the §V experiments (the figure binaries print the aligned series).
+//!
+//! Usage: `survival_sweep [--quick] [--seed N]`
+
+use amri_bench::training::train_initial;
+use amri_core::assess::AssessorKind;
+use amri_engine::{Executor, IndexingMode};
+use amri_hh::CombineStrategy;
+use amri_synth::scenario::{paper_scenario, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let sc = paper_scenario(scale, seed);
+    let train = match scale {
+        Scale::Paper => 120,
+        Scale::Quick => 20,
+    };
+    let init = train_initial(&sc, train);
+    eprintln!("trained configurations: {:?}", init.configs);
+
+    let mut modes: Vec<(String, IndexingMode)> = vec![(
+        "AMRI".into(),
+        IndexingMode::Amri {
+            assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+            initial: Some(init.configs.clone()),
+        },
+    )];
+    for k in 1..=7 {
+        modes.push((
+            format!("hash-{k}"),
+            IndexingMode::AdaptiveHash {
+                n_indices: k,
+                initial: Some(init.hash_patterns(k)),
+            },
+        ));
+    }
+    modes.push((
+        "static-bitmap".into(),
+        IndexingMode::StaticBitmap {
+            configs: Some(init.configs.clone()),
+        },
+    ));
+
+    println!(
+        "{:>14} {:>10} {:>8} {:>12} {:>10} {:>12}",
+        "flavor", "outputs", "death", "peak-mem(B)", "backlog", "latency(tk)"
+    );
+    for (label, mode) in modes {
+        let r = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone()).run();
+        let death = r
+            .death_time()
+            .map(|t| format!("{:.1}m", t.as_mins_f64()))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>14} {:>10} {:>8} {:>12} {:>10} {:>12.0}",
+            label,
+            r.outputs,
+            death,
+            r.series.peak_memory(),
+            r.series.peak_backlog(),
+            r.mean_job_latency_ticks
+        );
+    }
+}

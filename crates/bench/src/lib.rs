@@ -1,0 +1,29 @@
+//! # amri-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§V), plus
+//! the ablations DESIGN.md calls out. The library half (this crate) builds
+//! and runs experiment lineups and renders their reports; the `src/bin`
+//! binaries are thin CLIs over it, and `benches/` hosts the Criterion
+//! micro/meso benchmarks.
+//!
+//! * [`experiments`] — one runner per experiment id (`EXP-F6-ASSESS`,
+//!   `EXP-F6-HASH`, `EXP-F7-*`, `EXP-T2-EXAMPLE`).
+//! * [`training`] — the paper's "quasi training data" bootstrap: observe a
+//!   short run, then select initial index configurations / hash patterns.
+//! * [`report`] — figure-shaped text tables and CSV emission.
+//! * [`parallel`] — scoped-thread fan-out over independent runs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod parallel;
+pub mod report;
+pub mod training;
+
+pub use experiments::{
+    fig6_assessment, fig6_hash, fig7_compare, table2_example, Fig7Result, Table2Result,
+};
+pub use parallel::run_all;
+pub use report::{render_ascii_chart, render_series_table, render_summary, write_csv};
+pub use training::train_initial;

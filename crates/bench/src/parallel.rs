@@ -1,0 +1,66 @@
+//! Scoped-thread fan-out over independent engine runs.
+//!
+//! Each experiment lineup (five assessment methods, seven hash widths) is
+//! a set of completely independent simulations — ideal data parallelism.
+//! `run_all` executes the provided closures on scoped crossbeam threads
+//! and returns their results in input order.
+
+use crossbeam::thread;
+
+/// Run every job on its own scoped thread, preserving order.
+///
+/// # Panics
+/// Propagates the first panicking job's panic.
+pub fn run_all<T: Send, F>(jobs: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+{
+    thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| s.spawn(move |_| job()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment job panicked"))
+            .collect()
+    })
+    .expect("scope join")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_runs_everything() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_all(jobs);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn actually_parallel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..4)
+            .map(|_| {
+                || {
+                    let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(live, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(50));
+                    LIVE.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        run_all(jobs);
+        assert!(
+            PEAK.load(Ordering::SeqCst) >= 2,
+            "jobs must overlap in time"
+        );
+    }
+}

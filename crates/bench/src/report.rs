@@ -1,0 +1,235 @@
+//! Figure-shaped reporting: aligned time-series tables, run summaries and
+//! CSV emission.
+
+use amri_engine::{RunOutcome, RunResult};
+use amri_stream::VirtualTime;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render a Figure-6-style table: one row per sampled minute fraction, one
+/// column per run's cumulative throughput ("-" after a run died).
+pub fn render_series_table(runs: &[RunResult], points: usize) -> String {
+    let mut out = String::new();
+    let horizon = runs
+        .iter()
+        .map(|r| r.final_time)
+        .max()
+        .unwrap_or(VirtualTime::ZERO);
+    let mut header = format!("{:>9}", "t(min)");
+    for r in runs {
+        write!(header, " {:>18}", r.label).unwrap();
+    }
+    out.push_str(&header);
+    out.push('\n');
+    let points = points.max(2);
+    for p in 0..points {
+        let t = VirtualTime(horizon.0 * p as u64 / (points as u64 - 1));
+        write!(out, "{:>9.2}", t.as_mins_f64()).unwrap();
+        for r in runs {
+            let dead = r.death_time().is_some_and(|d| d < t);
+            if dead {
+                write!(out, " {:>18}", "-").unwrap();
+            } else {
+                write!(out, " {:>18}", r.series.outputs_at(t)).unwrap();
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a per-run summary block: outcome, outputs, peaks, retunes.
+pub fn render_summary(runs: &[RunResult]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>18} {:>12} {:>10} {:>12} {:>9} {:>8}",
+        "run", "outputs", "outcome", "peak-mem(B)", "backlog", "retunes"
+    )
+    .unwrap();
+    for r in runs {
+        let outcome = match r.outcome {
+            RunOutcome::Completed => "done".to_string(),
+            RunOutcome::OutOfMemory { at } => format!("oom@{:.1}m", at.as_mins_f64()),
+        };
+        writeln!(
+            out,
+            "{:>18} {:>12} {:>10} {:>12} {:>9} {:>8}",
+            r.label,
+            r.outputs,
+            outcome,
+            r.series.peak_memory(),
+            r.series.peak_backlog(),
+            r.retunes.len()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render the runs as an ASCII chart (time on x, cumulative outputs on y,
+/// one glyph per run; the closest thing to the paper's figures a terminal
+/// can show). Dead runs stop plotting at their death time.
+pub fn render_ascii_chart(runs: &[RunResult], width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(5);
+    let horizon = runs
+        .iter()
+        .map(|r| r.final_time)
+        .max()
+        .unwrap_or(VirtualTime::ZERO);
+    let y_max = runs.iter().map(|r| r.outputs).max().unwrap_or(1).max(1);
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&', '='];
+    let mut grid = vec![vec![' '; width]; height];
+    for (ri, r) in runs.iter().enumerate() {
+        let glyph = glyphs[ri % glyphs.len()];
+        #[allow(clippy::needless_range_loop)] // col drives both t and grid
+        for col in 0..width {
+            let t = VirtualTime(horizon.0 * col as u64 / (width as u64 - 1).max(1));
+            if r.death_time().is_some_and(|d| d < t) {
+                break;
+            }
+            let v = r.series.outputs_at(t);
+            let row = ((v as f64 / y_max as f64) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            if grid[row][col] == ' ' {
+                grid[row][col] = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "cumulative outputs (y max {y_max})").unwrap();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    writeln!(out, " 0 .. {:.1} virtual minutes", horizon.as_mins_f64()).unwrap();
+    for (ri, r) in runs.iter().enumerate() {
+        writeln!(out, "  {}  {}", glyphs[ri % glyphs.len()], r.label).unwrap();
+    }
+    out
+}
+
+/// Write the aligned series of several runs as CSV
+/// (`t_secs,label1,label2,...`; empty cell after death).
+pub fn write_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()> {
+    let mut body = String::from("t_secs");
+    for r in runs {
+        write!(body, ",{}", r.label).unwrap();
+    }
+    body.push('\n');
+    let max_len = runs
+        .iter()
+        .map(|r| r.series.samples().len())
+        .max()
+        .unwrap_or(0);
+    for i in 0..max_len {
+        let t = runs
+            .iter()
+            .find_map(|r| r.series.samples().get(i).map(|s| s.t))
+            .unwrap_or(VirtualTime::ZERO);
+        write!(body, "{:.0}", t.as_secs_f64()).unwrap();
+        for r in runs {
+            match r.series.samples().get(i) {
+                Some(s) => write!(body, ",{}", s.outputs).unwrap(),
+                None => body.push(','),
+            }
+        }
+        body.push('\n');
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amri_engine::ThroughputSeries;
+    use amri_stream::VirtualDuration;
+
+    fn fake_run(label: &str, per_sec: u64, secs: u64, die_at: Option<u64>) -> RunResult {
+        let mut series = ThroughputSeries::new(VirtualDuration::from_secs(1));
+        let end = die_at.unwrap_or(secs);
+        for s in 0..=end {
+            series.record_until(VirtualTime::from_secs(s), s * per_sec, 1000 + s, s / 2);
+        }
+        RunResult {
+            label: label.to_string(),
+            series,
+            outcome: match die_at {
+                Some(d) => RunOutcome::OutOfMemory {
+                    at: VirtualTime::from_secs(d),
+                },
+                None => RunOutcome::Completed,
+            },
+            outputs: end * per_sec,
+            retunes: vec![],
+            pattern_stats: vec![],
+            requests: vec![],
+            final_time: VirtualTime::from_secs(end),
+            mean_job_latency_ticks: 0.0,
+        }
+    }
+
+    #[test]
+    fn series_table_marks_dead_runs() {
+        let runs = vec![fake_run("amri", 100, 10, None), fake_run("hash", 50, 10, Some(5))];
+        let table = render_series_table(&runs, 6);
+        assert!(table.contains("amri"));
+        assert!(table.contains("hash"));
+        // Final row: hash is dead.
+        let last = table.lines().last().unwrap();
+        assert!(last.contains('-'), "{last}");
+        assert!(last.contains("1000"), "{last}");
+    }
+
+    #[test]
+    fn summary_includes_oom_time() {
+        let runs = vec![fake_run("bitmap", 10, 20, Some(12))];
+        let s = render_summary(&runs);
+        assert!(s.contains("oom@0.2m"), "{s}");
+        assert!(s.contains("bitmap"));
+    }
+
+    #[test]
+    fn ascii_chart_plots_all_runs_and_legend() {
+        let runs = vec![fake_run("amri", 100, 10, None), fake_run("hash", 40, 10, Some(6))];
+        let chart = render_ascii_chart(&runs, 40, 10);
+        assert!(chart.contains('*'), "{chart}");
+        assert!(chart.contains('o'), "{chart}");
+        assert!(chart.contains("amri"));
+        assert!(chart.contains("hash"));
+        assert!(chart.contains("y max 1000"));
+        // The dead run's glyph must not reach the last column.
+        let rows: Vec<&str> = chart.lines().filter(|l| l.starts_with('|')).collect();
+        let last_col_has_o = rows.iter().any(|r| r.ends_with('o'));
+        assert!(!last_col_has_o, "dead run plotted past its death:\n{chart}");
+    }
+
+    #[test]
+    fn ascii_chart_handles_degenerate_sizes() {
+        let runs = vec![fake_run("x", 1, 2, None)];
+        let chart = render_ascii_chart(&runs, 1, 1); // clamped to minimums
+        assert!(chart.contains('x'));
+    }
+
+    #[test]
+    fn csv_round_trips_shape() {
+        let dir = std::env::temp_dir().join("amri_bench_test");
+        let path = dir.join("fig.csv");
+        let runs = vec![fake_run("a", 1, 3, None), fake_run("b", 2, 3, Some(2))];
+        write_csv(&runs, &path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines[0], "t_secs,a,b");
+        assert_eq!(lines.len(), 5); // header + t=0..3
+        assert!(lines[4].ends_with(','), "dead run has empty cell: {}", lines[4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

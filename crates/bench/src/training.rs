@@ -1,0 +1,150 @@
+//! Quasi-training (§V): *"The IC on each state uses 64 bits and is
+//! initiated by running index selection using statistics gathered by
+//! executing the stream for 15 minutes (as quasi training data). For the
+//! state-of-the-art approach, the starting indices are those found to
+//! support the most frequent aps."*
+//!
+//! We run a short observation pass of the scenario (any index flavor —
+//! the observers are index-independent), then derive per-state starting
+//! configurations for AMRI and starting pattern sets for the hash modules.
+
+use amri_core::assess::AssessorKind;
+use amri_core::{ApStat, IndexConfig, WorkloadProfile};
+use amri_engine::{Executor, IndexingMode, RunResult};
+use amri_stream::{AccessPattern, StreamId, VirtualDuration};
+use amri_synth::PaperScenario;
+
+/// Initial index settings derived from a training pass.
+#[derive(Debug, Clone)]
+pub struct TrainedInit {
+    /// Per-state starting configuration for bit-address indices.
+    pub configs: Vec<IndexConfig>,
+    /// Per-state frequent patterns, most frequent first (feeds the hash
+    /// modules: take the first `k`).
+    pub frequent: Vec<Vec<(AccessPattern, f64)>>,
+    /// The observation run itself (for diagnostics).
+    pub observation: RunResult,
+}
+
+impl TrainedInit {
+    /// The top-`k` patterns per state for a `k`-index hash module (padded
+    /// with untrained defaults if fewer were observed).
+    pub fn hash_patterns(&self, k: usize) -> Vec<Vec<AccessPattern>> {
+        self.frequent
+            .iter()
+            .map(|stats| {
+                let mut picks: Vec<AccessPattern> = stats
+                    .iter()
+                    .map(|&(p, _)| p)
+                    .filter(|p| !p.is_empty())
+                    .take(k)
+                    .collect();
+                let width = stats
+                    .first()
+                    .map(|(p, _)| p.n_attrs())
+                    .unwrap_or(3);
+                let mut next = AccessPattern::all(width).filter(|p| !p.is_empty());
+                while picks.len() < k {
+                    let candidate = next
+                        .next()
+                        .expect("fewer than 2^w - 1 picks requested");
+                    if !picks.contains(&candidate) {
+                        picks.push(candidate);
+                    }
+                }
+                picks
+            })
+            .collect()
+    }
+}
+
+/// Run the quasi-training pass: observe `train_secs` of the scenario and
+/// select starting configurations.
+pub fn train_initial(scenario: &PaperScenario, train_secs: u64) -> TrainedInit {
+    let mut engine = scenario.engine.clone();
+    engine.duration = VirtualDuration::from_secs(train_secs);
+    engine.budget = amri_engine::MemoryBudget::unlimited();
+    let observation = Executor::new(
+        &scenario.query,
+        scenario.workload(),
+        // Observe under an untrained even AMRI so training is not biased
+        // toward any baseline; the observers are index-independent anyway.
+        IndexingMode::Amri {
+            assessor: AssessorKind::Sria,
+            initial: None,
+        },
+        engine.clone(),
+    )
+    .run();
+
+    let lambda_d = engine.lambda_d;
+    let elapsed = observation.final_time.as_secs_f64().max(1.0);
+    let configs = (0..scenario.query.n_streams())
+        .map(|i| {
+            let sid = StreamId(i as u16);
+            let width = scenario.query.jas(sid).len();
+            let stats = &observation.pattern_stats[i];
+            let lambda_r = observation.requests[i] as f64 / elapsed;
+            // §V: the starting indices "support the most frequent aps" —
+            // select against the θ-frequent patterns only, exactly like the
+            // online tuner does. (Feeding *all* observed patterns would
+            // yield a lowest-common-denominator configuration that no
+            // longer depends on the training phase.)
+            let theta = engine.tuner.theta;
+            let profile = WorkloadProfile::new(
+                lambda_d,
+                lambda_r,
+                scenario.query.windows[i].length.as_secs_f64(),
+                stats
+                    .iter()
+                    .filter(|&&(_, freq)| freq >= theta)
+                    .map(|&(pattern, freq)| ApStat { pattern, freq })
+                    .collect(),
+            );
+            amri_core::selection::select_config_greedy(
+                engine.tuner.total_bits,
+                width,
+                &profile,
+                &engine.params,
+            )
+        })
+        .collect();
+
+    TrainedInit {
+        configs,
+        frequent: observation.pattern_stats.clone(),
+        observation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amri_synth::scenario::{paper_scenario, Scale};
+
+    #[test]
+    fn training_yields_nontrivial_configs() {
+        let sc = paper_scenario(Scale::Quick, 9);
+        let init = train_initial(&sc, 20);
+        assert_eq!(init.configs.len(), 4);
+        for ic in &init.configs {
+            assert!(
+                ic.total_bits() > 0,
+                "training must spend bits on observed patterns: {ic}"
+            );
+        }
+        // Hash patterns: k=3 gives 3 per state, no empties, no duplicates.
+        let hp = init.hash_patterns(3);
+        for pats in &hp {
+            assert_eq!(pats.len(), 3);
+            let mut dedup = pats.clone();
+            dedup.sort_by_key(|p| p.mask());
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "{pats:?}");
+            assert!(pats.iter().all(|p| !p.is_empty()));
+        }
+        // k larger than observed pads with defaults.
+        let hp7 = init.hash_patterns(7);
+        assert!(hp7.iter().all(|v| v.len() == 7));
+    }
+}

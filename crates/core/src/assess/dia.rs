@@ -1,0 +1,118 @@
+//! DIA — Dependent Index Assessment (§IV-D1).
+//!
+//! Exact counts stored *in the lattice*: each observed pattern is a node
+//! holding its own count, navigable along the search-benefit relation. With
+//! no compression the counts — and therefore the `frequent` answers — are
+//! identical to SRIA's (the paper: "both approaches share the same code
+//! base, use the same SRIA table, and do not reduce any nodes"); the value
+//! of the lattice appears only once CDIA starts folding.
+
+use super::{Assessor, AssessorKind};
+use crate::assess::cdia::sort_desc;
+use amri_hh::PatternLattice;
+use amri_stream::AccessPattern;
+
+/// The DIA lattice of exact counts.
+#[derive(Debug, Clone)]
+pub struct Dia {
+    lattice: PatternLattice<u64>,
+    n: u64,
+    peak: usize,
+}
+
+impl Dia {
+    /// New DIA lattice for a JAS of `width` attributes.
+    pub fn new(width: usize) -> Self {
+        Dia {
+            lattice: PatternLattice::new(width),
+            n: 0,
+            peak: 0,
+        }
+    }
+
+    /// Read-only access to the lattice (exercised by lattice-navigation
+    /// tests and the CDIA comparison experiments).
+    pub fn lattice(&self) -> &PatternLattice<u64> {
+        &self.lattice
+    }
+}
+
+impl Assessor for Dia {
+    fn record(&mut self, ap: AccessPattern) {
+        *self.lattice.get_or_insert_with(ap, || 0) += 1;
+        self.n += 1;
+        self.peak = self.peak.max(self.lattice.len());
+    }
+
+    fn frequent(&self, theta: f64) -> Vec<(AccessPattern, f64)> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let n = self.n as f64;
+        let mut out: Vec<(AccessPattern, f64)> = self
+            .lattice
+            .iter()
+            .map(|(p, &c)| (p, c as f64 / n))
+            .filter(|&(_, f)| f >= theta)
+            .collect();
+        sort_desc(&mut out);
+        out
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn entries(&self) -> usize {
+        self.lattice.len()
+    }
+
+    fn peak_entries(&self) -> usize {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        self.lattice = PatternLattice::new(self.lattice.width());
+        self.n = 0;
+        self.peak = 0;
+    }
+
+    fn kind(&self) -> AssessorKind {
+        AssessorKind::Dia
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(mask: u32) -> AccessPattern {
+        AccessPattern::new(mask, 3)
+    }
+
+    #[test]
+    fn counts_live_in_the_lattice() {
+        let mut d = Dia::new(3);
+        for _ in 0..5 {
+            d.record(ap(0b011));
+        }
+        d.record(ap(0b001));
+        assert_eq!(d.lattice().get(ap(0b011)), Some(&5));
+        assert_eq!(d.lattice().get(ap(0b001)), Some(&1));
+        // The lattice knows 0b001 benefits 0b011.
+        assert_eq!(d.lattice().stored_parents(ap(0b011)), vec![ap(0b001)]);
+    }
+
+    #[test]
+    fn frequent_is_plain_thresholding() {
+        let mut d = Dia::new(3);
+        for i in 0..100u32 {
+            d.record(ap(if i < 60 { 0b111 } else { 0b010 }));
+        }
+        let hh = d.frequent(0.5);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, ap(0b111));
+        assert_eq!(d.frequent(0.3).len(), 2);
+        assert_eq!(d.peak_entries(), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Index assessment (§IV): compact statistics over the access-pattern
+//! stream, behind one trait so the tuner and the experiments are generic
+//! over the paper's four methods.
+//!
+//! | Method | Statistics | Compression |
+//! |---|---|---|
+//! | [`Sria`]  | exact hash table keyed by `BR(ap)` | none |
+//! | [`Csria`] | lossy counting (Manku–Motwani)     | delete infrequent |
+//! | [`Dia`]   | exact counts in the lattice        | none |
+//! | [`Cdia`]  | hierarchical heavy hitters         | fold into parents |
+//!
+//! The paper notes DIA and SRIA "share the same code base, use the same
+//! SRIA table, and do not reduce any nodes" — their `frequent` answers are
+//! identical, which the cross-method tests in this module assert.
+
+mod cdia;
+mod csria;
+mod dia;
+mod sria;
+
+pub use cdia::Cdia;
+pub use csria::Csria;
+pub use dia::Dia;
+pub use sria::Sria;
+
+use amri_hh::CombineStrategy;
+use amri_stream::AccessPattern;
+
+/// A statistics collector over the stream of access patterns hitting one
+/// state.
+pub trait Assessor: Send {
+    /// Record one search request's access pattern.
+    fn record(&mut self, ap: AccessPattern);
+
+    /// The access patterns whose (possibly rolled-up) frequency clears
+    /// `theta`, with frequency estimates, sorted descending.
+    fn frequent(&self, theta: f64) -> Vec<(AccessPattern, f64)>;
+
+    /// Requests recorded since the last reset.
+    fn n(&self) -> u64;
+
+    /// Statistics entries currently materialized (memory proxy).
+    fn entries(&self) -> usize;
+
+    /// High-water mark of materialized entries.
+    fn peak_entries(&self) -> usize;
+
+    /// Drop all statistics (called after each tuning decision so the next
+    /// assessment window sees fresh data).
+    fn reset(&mut self);
+
+    /// Which method this is.
+    fn kind(&self) -> AssessorKind;
+}
+
+/// The four assessment methods (plus the CDIA strategy choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssessorKind {
+    /// Self-reliant, exact (§IV-C1).
+    Sria,
+    /// Self-reliant, compact via lossy counting (§IV-C2).
+    Csria,
+    /// Dependent (lattice), exact (§IV-D1).
+    Dia,
+    /// Dependent, compact via hierarchical heavy hitters (§IV-D2).
+    Cdia(CombineStrategy),
+}
+
+impl AssessorKind {
+    /// Instantiate the method for a JAS of `width` attributes.
+    ///
+    /// `epsilon` is the error rate of the compact methods (ignored by
+    /// SRIA/DIA); `seed` feeds CDIA's random-combination strategy.
+    pub fn build(self, width: usize, epsilon: f64, seed: u64) -> Box<dyn Assessor> {
+        match self {
+            AssessorKind::Sria => Box::new(Sria::new(width)),
+            AssessorKind::Csria => Box::new(Csria::new(width, epsilon)),
+            AssessorKind::Dia => Box::new(Dia::new(width)),
+            AssessorKind::Cdia(strategy) => Box::new(Cdia::new(width, epsilon, strategy, seed)),
+        }
+    }
+
+    /// Short label for reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AssessorKind::Sria => "SRIA",
+            AssessorKind::Csria => "CSRIA",
+            AssessorKind::Dia => "DIA",
+            AssessorKind::Cdia(CombineStrategy::Random) => "CDIA-random",
+            AssessorKind::Cdia(CombineStrategy::HighestCount) => "CDIA-highest",
+        }
+    }
+
+    /// All five configurations evaluated in the paper's Figure 6.
+    pub fn figure6_lineup() -> [AssessorKind; 5] {
+        [
+            AssessorKind::Sria,
+            AssessorKind::Csria,
+            AssessorKind::Dia,
+            AssessorKind::Cdia(CombineStrategy::Random),
+            AssessorKind::Cdia(CombineStrategy::HighestCount),
+        ]
+    }
+}
+
+/// Feed the Table II distribution to an assessor: the §IV-C2 / §IV-D2
+/// worked example — <A,*,*>=4%, <*,B,*>=10%, <*,*,C>=10%, <A,B,*>=4%,
+/// <A,*,C>=16%, <*,B,C>=10%, <A,B,C>=46% — as 10 000 requests interleaved
+/// so compression sees a steady mixture. Used by the per-method tests here
+/// and by the Table II reproduction experiment.
+pub fn feed_table_ii(a: &mut dyn Assessor) {
+    let weights: [(u32, u32); 7] = [
+        (0b001, 40),
+        (0b010, 100),
+        (0b100, 100),
+        (0b011, 40),
+        (0b101, 160),
+        (0b110, 100),
+        (0b111, 460),
+    ];
+    // Deterministic interleaving: fill a 1000-slot schedule by always
+    // picking the pattern whose accumulated share lags its target most.
+    let mut schedule = Vec::with_capacity(1000);
+    let mut acc = [0u32; 7];
+    for slot in 0..1000i64 {
+        let (best, _) = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, w))| (i, acc[i] as i64 * 1000 - w as i64 * slot))
+            .min_by_key(|&(i, lag)| (lag, i))
+            .unwrap();
+        acc[best] += 1;
+        schedule.push(weights[best].0);
+    }
+    for _ in 0..10 {
+        for &m in &schedule {
+            a.record(AccessPattern::new(m, 3));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(mask: u32) -> AccessPattern {
+        AccessPattern::new(mask, 3)
+    }
+
+    /// Drive every method over the same stream.
+    fn drive(kind: AssessorKind, stream: &[u32]) -> Box<dyn Assessor> {
+        let mut a = kind.build(3, 0.001, 7);
+        for &m in stream {
+            a.record(ap(m));
+        }
+        a
+    }
+
+    #[test]
+    fn labels_and_lineup() {
+        assert_eq!(AssessorKind::Sria.label(), "SRIA");
+        assert_eq!(
+            AssessorKind::Cdia(CombineStrategy::HighestCount).label(),
+            "CDIA-highest"
+        );
+        assert_eq!(AssessorKind::figure6_lineup().len(), 5);
+    }
+
+    #[test]
+    fn dia_equals_sria_without_compression() {
+        // §V: "DIA's and SRIA's results are equal".
+        let stream: Vec<u32> = (0..500).map(|i| [1u32, 3, 7, 7, 5][i % 5]).collect();
+        let sria = drive(AssessorKind::Sria, &stream);
+        let dia = drive(AssessorKind::Dia, &stream);
+        for theta in [0.05, 0.1, 0.2, 0.5] {
+            assert_eq!(
+                sria.frequent(theta),
+                dia.frequent(theta),
+                "theta {theta}"
+            );
+        }
+        assert_eq!(sria.n(), dia.n());
+    }
+
+    #[test]
+    fn all_methods_find_a_dominant_pattern() {
+        let stream: Vec<u32> = (0..1000).map(|i| if i % 10 < 8 { 0b111 } else { 0b001 }).collect();
+        for kind in AssessorKind::figure6_lineup() {
+            let a = drive(kind, &stream);
+            let hh = a.frequent(0.5);
+            assert!(
+                hh.iter().any(|(p, _)| p.mask() == 0b111),
+                "{} missed the 80% pattern",
+                kind.label()
+            );
+            assert_eq!(a.n(), 1000);
+        }
+    }
+
+    #[test]
+    fn compact_methods_use_fewer_entries_on_heavy_tails() {
+        // Many rare patterns: exact methods keep them all, compact ones
+        // compress. Width 8 → up to 256 patterns.
+        let mut stream = Vec::new();
+        for i in 0u32..4000 {
+            stream.push(if i % 4 == 0 { 0b1111_1111 } else { i % 256 });
+        }
+        let mut sria = AssessorKind::Sria.build(8, 0.01, 7);
+        let mut csria = AssessorKind::Csria.build(8, 0.01, 7);
+        let mut cdia = AssessorKind::Cdia(CombineStrategy::HighestCount).build(8, 0.01, 7);
+        for &m in &stream {
+            let p = AccessPattern::new(m, 8);
+            sria.record(p);
+            csria.record(p);
+            cdia.record(p);
+        }
+        assert!(
+            csria.entries() < sria.entries() / 2,
+            "CSRIA {} vs SRIA {}",
+            csria.entries(),
+            sria.entries()
+        );
+        assert!(
+            cdia.entries() < sria.entries(),
+            "CDIA {} vs SRIA {}",
+            cdia.entries(),
+            sria.entries()
+        );
+    }
+
+    #[test]
+    fn reset_clears_every_method() {
+        for kind in AssessorKind::figure6_lineup() {
+            let mut a = drive(kind, &[1, 2, 3, 1, 1]);
+            a.reset();
+            assert_eq!(a.n(), 0, "{}", kind.label());
+            assert_eq!(a.entries(), 0, "{}", kind.label());
+            assert!(a.frequent(0.0).is_empty(), "{}", kind.label());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! SRIA — Self Reliant Index Assessment (§IV-C1).
+//!
+//! Exact per-pattern counts in a hash table keyed by `BR(ap)`. Statistics
+//! are "self reliant": each pattern's count is independent of every other
+//! pattern's. Simple and accurate, but its table can grow to all `2^n − 1`
+//! patterns.
+
+use super::{Assessor, AssessorKind};
+use crate::assess::cdia::sort_desc;
+use amri_hh::{ExactCounter, FrequencyEstimator};
+use amri_stream::AccessPattern;
+
+/// The SRIA table.
+#[derive(Debug, Clone)]
+pub struct Sria {
+    counts: ExactCounter<AccessPattern>,
+    width: usize,
+    peak: usize,
+}
+
+impl Sria {
+    /// New SRIA table for a JAS of `width` attributes.
+    pub fn new(width: usize) -> Self {
+        Sria {
+            counts: ExactCounter::new(),
+            width,
+            peak: 0,
+        }
+    }
+
+    /// JAS width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Assessor for Sria {
+    fn record(&mut self, ap: AccessPattern) {
+        debug_assert_eq!(ap.n_attrs(), self.width);
+        self.counts.observe(ap);
+        self.peak = self.peak.max(self.counts.entries());
+    }
+
+    fn frequent(&self, theta: f64) -> Vec<(AccessPattern, f64)> {
+        let mut out = self.counts.frequent(theta);
+        sort_desc(&mut out);
+        out
+    }
+
+    fn n(&self) -> u64 {
+        self.counts.n()
+    }
+
+    fn entries(&self) -> usize {
+        self.counts.entries()
+    }
+
+    fn peak_entries(&self) -> usize {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.peak = 0;
+    }
+
+    fn kind(&self) -> AssessorKind {
+        AssessorKind::Sria
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(mask: u32) -> AccessPattern {
+        AccessPattern::new(mask, 3)
+    }
+
+    #[test]
+    fn exact_frequencies() {
+        let mut s = Sria::new(3);
+        for _ in 0..7 {
+            s.record(ap(0b101));
+        }
+        for _ in 0..3 {
+            s.record(ap(0b010));
+        }
+        assert_eq!(s.n(), 10);
+        let hh = s.frequent(0.5);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, ap(0b101));
+        assert!((hh[0].1 - 0.7).abs() < 1e-12);
+        let all = s.frequent(0.0);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn tracks_peak_entries() {
+        let mut s = Sria::new(3);
+        for m in 0..8u32 {
+            s.record(ap(m));
+        }
+        assert_eq!(s.entries(), 8);
+        assert_eq!(s.peak_entries(), 8);
+        s.reset();
+        assert_eq!(s.peak_entries(), 0);
+        assert_eq!(s.width(), 3);
+    }
+}

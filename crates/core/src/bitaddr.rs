@@ -1,0 +1,471 @@
+//! The bit-address index (§III) — AMRI's physical design.
+//!
+//! One index per state. The [`IndexConfig`] maps a tuple's JAS values to a
+//! bucket id; buckets live in a *sparse* hash map because the paper's 64-bit
+//! configurations address a `2^64` bucket space that can never be
+//! materialized. A search fixes the id bits of its specified attributes and
+//! must cover all `2^w` ids over its wildcard bits; the index picks the
+//! cheaper of (a) enumerating those ids and (b) filtering the occupied
+//! buckets by mask — so cost is `min(2^w, occupied)` probes plus the tuples
+//! compared, preserving the `λ_d·W / 2^{B_ap}` expectation of the cost
+//! model.
+//!
+//! Unlike the multi-hash baseline, **nothing per-tuple is stored beyond the
+//! bucket entry itself** — no hash-key links — which is the §III argument
+//! for low maintenance cost; and *adapting* the index is a single
+//! re-bucketing pass ([`BitAddressIndex::migrate`]).
+
+use crate::config::IndexConfig;
+use crate::cost::CostReceipt;
+use crate::layout;
+use crate::state::{SearchOutcome, StateIndex, TupleKey};
+use amri_stream::{AttrVec, FxHashMap, SearchRequest};
+
+/// One bucket entry: the tuple key plus its JAS values, kept inline so
+/// matching never chases back into the arena.
+type Entry = (TupleKey, AttrVec);
+
+/// Bucket-fill distribution report (see [`BitAddressIndex::fill_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FillStats {
+    /// Stored entries.
+    pub entries: usize,
+    /// Occupied buckets.
+    pub occupied: usize,
+    /// Largest bucket.
+    pub max_fill: usize,
+    /// Mean entries per occupied bucket.
+    pub mean_fill: f64,
+    /// Pearson χ² statistic of the fill distribution against uniform
+    /// (degrees of freedom ≈ `addressable − 1`).
+    pub chi_squared: f64,
+    /// Bucket population the statistic was computed over.
+    pub addressable: u64,
+}
+
+/// The bit-address index.
+#[derive(Debug, Clone)]
+pub struct BitAddressIndex {
+    config: IndexConfig,
+    buckets: FxHashMap<u64, Vec<Entry>>,
+    n_entries: usize,
+}
+
+impl BitAddressIndex {
+    /// New empty index under `config`.
+    pub fn new(config: IndexConfig) -> Self {
+        BitAddressIndex {
+            config,
+            buckets: FxHashMap::default(),
+            n_entries: 0,
+        }
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Number of occupied buckets.
+    #[inline]
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Size of the largest bucket (skew diagnostic).
+    pub fn max_bucket(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Distribution diagnostics over the occupied buckets.
+    ///
+    /// §III: "The optimal index key map is configured so that no bucket
+    /// stores more tuples than any other bucket (i.e. an even distribution
+    /// of stored tuples)." This report quantifies how close the current
+    /// contents come, so tests (and operators) can verify the hash slices
+    /// spread real value distributions.
+    pub fn fill_stats(&self) -> FillStats {
+        let n = self.n_entries as f64;
+        let occupied = self.buckets.len();
+        if occupied == 0 {
+            return FillStats::default();
+        }
+        // The addressable space may be astronomically larger than the
+        // content; evenness is judged over the *addressable* buckets when
+        // small, else over the occupied ones.
+        let space = if self.config.total_bits() >= 32 {
+            occupied as f64
+        } else {
+            (1u64 << self.config.total_bits()) as f64
+        };
+        let expected = n / space;
+        let mut chi2 = 0.0;
+        let mut max = 0usize;
+        for entries in self.buckets.values() {
+            let len = entries.len();
+            max = max.max(len);
+            let d = len as f64 - expected;
+            chi2 += d * d / expected.max(1e-12);
+        }
+        // Empty addressable buckets contribute `expected` each.
+        chi2 += (space - occupied as f64).max(0.0) * expected;
+        FillStats {
+            entries: self.n_entries,
+            occupied,
+            max_fill: max,
+            mean_fill: n / occupied as f64,
+            chi_squared: chi2,
+            addressable: space as u64,
+        }
+    }
+
+    /// Adapt the index to `new_config`: relocate every entry to the buckets
+    /// the new key map defines (§III: "adapting BI requires ... the
+    /// relocation of each tuple"). Charges one hash per indexed attribute
+    /// per entry plus one move per entry.
+    pub fn migrate(&mut self, new_config: IndexConfig, receipt: &mut CostReceipt) {
+        let old = std::mem::take(&mut self.buckets);
+        self.config = new_config;
+        let hashes_per_entry = self.config.indexed_attrs() as u64;
+        for (_, entries) in old {
+            for (key, jas) in entries {
+                receipt.hash_ops += hashes_per_entry;
+                receipt.moved += 1;
+                let bucket = self.config.bucket_of(&jas);
+                self.buckets.entry(bucket).or_default().push((key, jas));
+            }
+        }
+    }
+}
+
+impl StateIndex for BitAddressIndex {
+    fn insert(&mut self, key: TupleKey, jas: &AttrVec, receipt: &mut CostReceipt) {
+        receipt.hash_ops += self.config.indexed_attrs() as u64;
+        receipt.bucket_probes += 1;
+        let bucket = self.config.bucket_of(jas);
+        self.buckets.entry(bucket).or_default().push((key, *jas));
+        self.n_entries += 1;
+    }
+
+    fn remove(&mut self, key: TupleKey, jas: &AttrVec, receipt: &mut CostReceipt) {
+        receipt.hash_ops += self.config.indexed_attrs() as u64;
+        receipt.bucket_probes += 1;
+        let bucket = self.config.bucket_of(jas);
+        if let Some(entries) = self.buckets.get_mut(&bucket) {
+            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+                entries.swap_remove(pos);
+                self.n_entries -= 1;
+                if entries.is_empty() {
+                    self.buckets.remove(&bucket);
+                }
+            }
+        }
+    }
+
+    fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> SearchOutcome {
+        // Hash the specified-and-indexed attributes once (C_hash,Sr).
+        let hashed = req
+            .pattern
+            .positions()
+            .filter(|&i| self.config.bits_of(i) > 0)
+            .count() as u64;
+        receipt.hash_ops += hashed;
+
+        let plan = self.config.probe_plan(req.pattern, req.values.as_slice());
+        let candidates = plan.candidate_buckets();
+        let mut out = Vec::new();
+        let mut scan_bucket = |entries: &[Entry], receipt: &mut CostReceipt| {
+            for (key, jas) in entries {
+                receipt.comparisons += 1;
+                if req.matches(jas.as_slice()) {
+                    out.push(*key);
+                }
+            }
+        };
+        if candidates <= self.buckets.len() as u64 {
+            // Narrow search: enumerate the 2^w candidate ids.
+            for id in plan.enumerate() {
+                receipt.bucket_probes += 1;
+                if let Some(entries) = self.buckets.get(&id) {
+                    scan_bucket(entries, receipt);
+                }
+            }
+        } else {
+            // Wide search: filter occupied buckets by mask.
+            for (id, entries) in &self.buckets {
+                receipt.bucket_probes += 1;
+                if plan.matches(*id) {
+                    scan_bucket(entries, receipt);
+                }
+            }
+        }
+        SearchOutcome::Matches(out)
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.buckets.len() as u64 * layout::BUCKET_BYTES
+            + self.n_entries as u64 * layout::bucket_entry_bytes(self.config.width())
+    }
+
+    fn entries(&self) -> usize {
+        self.n_entries
+    }
+
+    fn kind(&self) -> &'static str {
+        "bit-address"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amri_stream::AccessPattern;
+    use proptest::prelude::*;
+
+    fn jas(vals: &[u64]) -> AttrVec {
+        AttrVec::from_slice(vals).unwrap()
+    }
+
+    fn req(mask: u32, width: usize, vals: &[u64]) -> SearchRequest {
+        SearchRequest::new(AccessPattern::new(mask, width), jas(vals))
+    }
+
+    fn populated(config: IndexConfig, n: u64) -> BitAddressIndex {
+        let mut idx = BitAddressIndex::new(config);
+        let mut r = CostReceipt::new();
+        for i in 0..n {
+            idx.insert(TupleKey(i as u32), &jas(&[i % 10, i % 7, i % 5]), &mut r);
+        }
+        idx
+    }
+
+    #[test]
+    fn insert_then_exact_search_finds_the_tuple() {
+        let mut idx = BitAddressIndex::new(IndexConfig::new(vec![4, 4, 4]).unwrap());
+        let mut r = CostReceipt::new();
+        idx.insert(TupleKey(1), &jas(&[10, 20, 30]), &mut r);
+        idx.insert(TupleKey(2), &jas(&[11, 21, 31]), &mut r);
+        assert_eq!(r.hash_ops, 6, "3 indexed attrs hashed per insert");
+
+        let mut r = CostReceipt::new();
+        let got = idx.search(&req(0b111, 3, &[10, 20, 30]), &mut r);
+        assert_eq!(got, SearchOutcome::Matches(vec![TupleKey(1)]));
+        assert_eq!(r.bucket_probes, 1, "full pattern probes one bucket");
+    }
+
+    #[test]
+    fn wildcard_search_covers_all_matches() {
+        let mut idx = BitAddressIndex::new(IndexConfig::new(vec![3, 3, 3]).unwrap());
+        let mut r = CostReceipt::new();
+        // Three tuples sharing attribute A=7, different B/C.
+        idx.insert(TupleKey(1), &jas(&[7, 1, 1]), &mut r);
+        idx.insert(TupleKey(2), &jas(&[7, 2, 2]), &mut r);
+        idx.insert(TupleKey(3), &jas(&[8, 1, 1]), &mut r);
+        let SearchOutcome::Matches(mut got) = idx.search(&req(0b001, 3, &[7, 0, 0]), &mut r)
+        else {
+            panic!("bit-address never scans");
+        };
+        got.sort();
+        assert_eq!(got, vec![TupleKey(1), TupleKey(2)]);
+    }
+
+    #[test]
+    fn narrow_vs_wide_probe_strategy() {
+        // 12-bit config, pattern specifying only A (4 bits) → 2^8 = 256
+        // candidate ids, but only a handful of occupied buckets: the wide
+        // path must kick in and probe ≤ occupied buckets.
+        let idx = populated(IndexConfig::new(vec![4, 4, 4]).unwrap(), 20);
+        let occupied = idx.occupied_buckets() as u64;
+        let mut r = CostReceipt::new();
+        idx.search(&req(0b001, 3, &[3, 0, 0]), &mut r);
+        assert!(
+            r.bucket_probes <= occupied,
+            "wide search probed {} > occupied {occupied}",
+            r.bucket_probes
+        );
+
+        // Pattern specifying all attrs → exactly one probe.
+        let mut r = CostReceipt::new();
+        idx.search(&req(0b111, 3, &[3, 3, 3]), &mut r);
+        assert_eq!(r.bucket_probes, 1);
+    }
+
+    #[test]
+    fn remove_unindexes_exactly_one_tuple() {
+        let mut idx = BitAddressIndex::new(IndexConfig::new(vec![4, 4, 4]).unwrap());
+        let mut r = CostReceipt::new();
+        idx.insert(TupleKey(1), &jas(&[5, 5, 5]), &mut r);
+        idx.insert(TupleKey(2), &jas(&[5, 5, 5]), &mut r); // same bucket
+        idx.remove(TupleKey(1), &jas(&[5, 5, 5]), &mut r);
+        assert_eq!(idx.entries(), 1);
+        let SearchOutcome::Matches(got) = idx.search(&req(0b111, 3, &[5, 5, 5]), &mut r) else {
+            panic!()
+        };
+        assert_eq!(got, vec![TupleKey(2)]);
+        idx.remove(TupleKey(2), &jas(&[5, 5, 5]), &mut r);
+        assert_eq!(idx.occupied_buckets(), 0, "empty buckets are reclaimed");
+    }
+
+    #[test]
+    fn migration_relocates_every_entry() {
+        let mut idx = populated(IndexConfig::new(vec![6, 0, 0]).unwrap(), 50);
+        let mut r = CostReceipt::new();
+        idx.migrate(IndexConfig::new(vec![0, 0, 6]).unwrap(), &mut r);
+        assert_eq!(r.moved, 50);
+        assert_eq!(idx.entries(), 50);
+        assert_eq!(idx.config().bits(), &[0, 0, 6]);
+        // Every tuple still findable under the new configuration.
+        let mut rr = CostReceipt::new();
+        let SearchOutcome::Matches(got) = idx.search(&req(0b100, 3, &[0, 0, 3]), &mut rr)
+        else {
+            panic!()
+        };
+        // i % 5 == 3 for i in 0..50 → 10 tuples.
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn migration_to_trivial_config_is_one_bucket() {
+        let mut idx = populated(IndexConfig::new(vec![4, 4, 4]).unwrap(), 30);
+        let mut r = CostReceipt::new();
+        idx.migrate(IndexConfig::trivial(3), &mut r);
+        assert_eq!(idx.occupied_buckets(), 1);
+        assert_eq!(idx.max_bucket(), 30);
+    }
+
+    #[test]
+    fn fill_stats_report_evenness_for_sequential_values() {
+        // Sequential attribute values must spread evenly through the hash
+        // slices: χ² should stay near its expectation (≈ #buckets) rather
+        // than explode.
+        let mut idx = BitAddressIndex::new(IndexConfig::new(vec![4, 3, 3]).unwrap());
+        let mut r = CostReceipt::new();
+        let n = 8192u64;
+        for i in 0..n {
+            idx.insert(TupleKey(i as u32), &jas(&[i, i * 3 + 1, i * 7 + 5]), &mut r);
+        }
+        let stats = idx.fill_stats();
+        assert_eq!(stats.entries, n as usize);
+        assert_eq!(stats.addressable, 1 << 10);
+        // Expected fill 8 per bucket; χ² for a good hash ≈ df ≈ 1023.
+        assert!(
+            stats.chi_squared < 2.0 * stats.addressable as f64,
+            "uneven distribution: χ² = {}",
+            stats.chi_squared
+        );
+        assert!(stats.max_fill < 8 * 4, "max fill {}", stats.max_fill);
+        assert!((stats.mean_fill - 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fill_stats_expose_degenerate_distributions() {
+        // A constant attribute with all the bits → everything in 1 bucket.
+        let mut idx = BitAddressIndex::new(IndexConfig::new(vec![10, 0, 0]).unwrap());
+        let mut r = CostReceipt::new();
+        for i in 0..1000u64 {
+            idx.insert(TupleKey(i as u32), &jas(&[42, i, i]), &mut r);
+        }
+        let stats = idx.fill_stats();
+        assert_eq!(stats.occupied, 1);
+        assert_eq!(stats.max_fill, 1000);
+        assert!(
+            stats.chi_squared > 100.0 * stats.addressable as f64,
+            "degenerate skew must dominate χ²: {}",
+            stats.chi_squared
+        );
+        // Empty index reports zeros.
+        let empty = BitAddressIndex::new(IndexConfig::trivial(3));
+        assert_eq!(empty.fill_stats(), FillStats::default());
+    }
+
+    #[test]
+    fn memory_accounts_buckets_and_entries() {
+        let idx = populated(IndexConfig::new(vec![4, 4, 4]).unwrap(), 100);
+        let expected = idx.occupied_buckets() as u64 * layout::BUCKET_BYTES
+            + 100 * layout::bucket_entry_bytes(3);
+        assert_eq!(idx.memory_bytes(), expected);
+        assert_eq!(idx.kind(), "bit-address");
+    }
+
+    #[test]
+    fn search_cost_shrinks_with_more_pattern_bits() {
+        // The §III "no clear winner" trade-off, resolved by bits: the more
+        // id bits a search's attributes own, the fewer tuples compared.
+        let n = 2000;
+        let narrow_cfg = IndexConfig::new(vec![8, 2, 2]).unwrap(); // A owns 8 bits
+        let wide_cfg = IndexConfig::new(vec![1, 2, 2]).unwrap(); // A owns 1 bit
+        let narrow = populated(narrow_cfg, n);
+        let wide = populated(wide_cfg, n);
+        let r_narrow = {
+            let mut r = CostReceipt::new();
+            narrow.search(&req(0b001, 3, &[3, 0, 0]), &mut r);
+            r
+        };
+        let r_wide = {
+            let mut r = CostReceipt::new();
+            wide.search(&req(0b001, 3, &[3, 0, 0]), &mut r);
+            r
+        };
+        assert!(
+            r_narrow.comparisons < r_wide.comparisons,
+            "8-bit A ({}) must compare fewer than 1-bit A ({})",
+            r_narrow.comparisons,
+            r_wide.comparisons
+        );
+    }
+
+    proptest! {
+        /// Search over the bit-address index returns exactly the tuples a
+        /// full scan would — for any configuration and pattern.
+        #[test]
+        fn search_equals_reference_scan(
+            bits in proptest::collection::vec(0u8..5, 3),
+            tuples in proptest::collection::vec(proptest::collection::vec(0u64..6, 3), 1..60),
+            mask in 0u32..8,
+            probe in proptest::collection::vec(0u64..6, 3),
+        ) {
+            let mut idx = BitAddressIndex::new(IndexConfig::new(bits).unwrap());
+            let mut r = CostReceipt::new();
+            for (i, t) in tuples.iter().enumerate() {
+                idx.insert(TupleKey(i as u32), &jas(t), &mut r);
+            }
+            let request = req(mask, 3, &probe);
+            let SearchOutcome::Matches(mut got) = idx.search(&request, &mut r) else {
+                panic!("bit-address never defers to scan");
+            };
+            got.sort();
+            let mut expected: Vec<TupleKey> = tuples
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| request.matches(t))
+                .map(|(i, _)| TupleKey(i as u32))
+                .collect();
+            expected.sort();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Migration preserves the answer set for arbitrary config pairs.
+        #[test]
+        fn migration_preserves_answers(
+            bits_a in proptest::collection::vec(0u8..5, 3),
+            bits_b in proptest::collection::vec(0u8..5, 3),
+            tuples in proptest::collection::vec(proptest::collection::vec(0u64..5, 3), 1..40),
+            mask in 0u32..8,
+            probe in proptest::collection::vec(0u64..5, 3),
+        ) {
+            let mut idx = BitAddressIndex::new(IndexConfig::new(bits_a).unwrap());
+            let mut r = CostReceipt::new();
+            for (i, t) in tuples.iter().enumerate() {
+                idx.insert(TupleKey(i as u32), &jas(t), &mut r);
+            }
+            let request = req(mask, 3, &probe);
+            let SearchOutcome::Matches(mut before) = idx.search(&request, &mut r) else { panic!() };
+            idx.migrate(IndexConfig::new(bits_b).unwrap(), &mut r);
+            let SearchOutcome::Matches(mut after) = idx.search(&request, &mut r) else { panic!() };
+            before.sort();
+            after.sort();
+            prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for the AMRI core.
+
+use std::fmt;
+
+/// Errors raised while building index configurations or tuners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An index configuration's width does not match the state's JAS width.
+    WidthMismatch {
+        /// Width the configuration declares.
+        config: usize,
+        /// Width the state's JAS has.
+        jas: usize,
+    },
+    /// Total bits exceed what a 64-bit bucket id can hold.
+    TooManyBits(u32),
+    /// A tuner parameter is out of range (message explains which).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::WidthMismatch { config, jas } => {
+                write!(f, "index config width {config} != JAS width {jas}")
+            }
+            CoreError::TooManyBits(b) => write!(f, "{b} bits exceed the 64-bit bucket id"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(CoreError::WidthMismatch { config: 2, jas: 3 }
+            .to_string()
+            .contains("2"));
+        assert!(CoreError::TooManyBits(70).to_string().contains("70"));
+        assert!(CoreError::InvalidParameter("theta".into())
+            .to_string()
+            .contains("theta"));
+    }
+}

@@ -1,0 +1,72 @@
+//! The no-index baseline: every search is a full state scan.
+//!
+//! This is what a state degenerates to when no suitable index exists
+//! (§I-A's `sr₂` example) — and the reference point the paper's static
+//! "non-adapting" comparisons start from.
+
+use crate::cost::CostReceipt;
+use crate::state::{SearchOutcome, StateIndex, TupleKey};
+use amri_stream::{AttrVec, SearchRequest};
+
+/// An index that indexes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanIndex {
+    entries: usize,
+}
+
+impl ScanIndex {
+    /// New scan "index".
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateIndex for ScanIndex {
+    fn insert(&mut self, _key: TupleKey, _jas: &AttrVec, _receipt: &mut CostReceipt) {
+        self.entries += 1;
+    }
+
+    fn remove(&mut self, _key: TupleKey, _jas: &AttrVec, _receipt: &mut CostReceipt) {
+        self.entries -= 1;
+    }
+
+    fn search(&self, _req: &SearchRequest, _receipt: &mut CostReceipt) -> SearchOutcome {
+        SearchOutcome::NeedScan
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        0
+    }
+
+    fn entries(&self) -> usize {
+        self.entries
+    }
+
+    fn kind(&self) -> &'static str {
+        "scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amri_stream::AccessPattern;
+
+    #[test]
+    fn always_defers_to_scan() {
+        let mut idx = ScanIndex::new();
+        let mut r = CostReceipt::new();
+        idx.insert(TupleKey(0), &AttrVec::from_slice(&[1]).unwrap(), &mut r);
+        assert_eq!(idx.entries(), 1);
+        assert_eq!(idx.memory_bytes(), 0);
+        assert_eq!(idx.kind(), "scan");
+        let req = SearchRequest::new(
+            AccessPattern::full(1),
+            AttrVec::from_slice(&[1]).unwrap(),
+        );
+        assert_eq!(idx.search(&req, &mut r), SearchOutcome::NeedScan);
+        assert_eq!(r.total_actions(), 0, "scan index itself charges nothing");
+        idx.remove(TupleKey(0), &AttrVec::from_slice(&[1]).unwrap(), &mut r);
+        assert_eq!(idx.entries(), 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! Windowed tuple storage with a pluggable index.
+//!
+//! A *state* (§II) stores the live window of one stream's tuples and answers
+//! search requests over its join attribute set. [`StateStore`] owns the
+//! tuple arena and the sliding-window expiration queue; the actual lookup
+//! acceleration is delegated to a [`StateIndex`] — the bit-address index,
+//! the multi-hash baseline, or no index at all — so every experiment runs
+//! the identical storage code and differs only in the index, mirroring the
+//! paper's controlled comparison.
+
+use crate::cost::CostReceipt;
+use crate::layout;
+use amri_stream::{
+    AttrId, AttrVec, SearchRequest, StreamId, Tuple, VirtualTime, WindowBuffer,
+    WindowSpec,
+};
+
+/// Key of a stored tuple within its state's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleKey(pub u32);
+
+/// What an index returns for a search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// Keys of tuples already equality-matched against the request.
+    Matches(Vec<TupleKey>),
+    /// The index cannot serve this request; the caller must scan the arena.
+    NeedScan,
+}
+
+/// A pluggable index over one state's tuples.
+///
+/// Implementations receive the tuple's JAS-aligned values on insert/remove
+/// and fill in a [`CostReceipt`] for every primitive action, so the engine
+/// charges virtual time faithfully.
+pub trait StateIndex {
+    /// Index a newly stored tuple.
+    fn insert(&mut self, key: TupleKey, jas_values: &AttrVec, receipt: &mut CostReceipt);
+
+    /// Remove an expired tuple.
+    fn remove(&mut self, key: TupleKey, jas_values: &AttrVec, receipt: &mut CostReceipt);
+
+    /// Find tuples matching `req` (equality on the specified attributes).
+    fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> SearchOutcome;
+
+    /// Bytes this index currently occupies under the memory model.
+    fn memory_bytes(&self) -> u64;
+
+    /// Number of indexed entries (should equal the state's live tuples,
+    /// possibly multiplied by the number of sub-indices).
+    fn entries(&self) -> usize;
+
+    /// Human-readable kind for reports.
+    fn kind(&self) -> &'static str;
+}
+
+/// One stored tuple plus its extracted JAS values.
+#[derive(Debug, Clone, Copy)]
+struct StoredTuple {
+    tuple: Tuple,
+    jas_values: AttrVec,
+}
+
+/// A minimal slab allocator: stable `u32` keys, O(1) insert/remove, dense
+/// iteration. (Local implementation per the dependency policy.)
+#[derive(Debug, Clone, Default)]
+struct Slab {
+    slots: Vec<Option<StoredTuple>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl Slab {
+    fn insert(&mut self, value: StoredTuple) -> TupleKey {
+        self.len += 1;
+        if let Some(k) = self.free.pop() {
+            self.slots[k as usize] = Some(value);
+            TupleKey(k)
+        } else {
+            self.slots.push(Some(value));
+            TupleKey((self.slots.len() - 1) as u32)
+        }
+    }
+
+    fn remove(&mut self, key: TupleKey) -> Option<StoredTuple> {
+        let slot = self.slots.get_mut(key.0 as usize)?;
+        let old = slot.take();
+        if old.is_some() {
+            self.len -= 1;
+            self.free.push(key.0);
+        }
+        old
+    }
+
+    fn get(&self, key: TupleKey) -> Option<&StoredTuple> {
+        self.slots.get(key.0 as usize)?.as_ref()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (TupleKey, &StoredTuple)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (TupleKey(i as u32), t)))
+    }
+}
+
+/// The windowed, indexed store backing one join state.
+#[derive(Debug, Clone)]
+pub struct StateStore<I> {
+    stream: StreamId,
+    /// Schema attribute ids forming the JAS, in JAS-position order.
+    jas: Vec<AttrId>,
+    arena: Slab,
+    window: WindowBuffer<TupleKey>,
+    index: I,
+    /// Payload bytes per tuple (schema-declared, memory accounting only).
+    payload_bytes: u32,
+}
+
+impl<I: StateIndex> StateStore<I> {
+    /// Build a state for `stream` whose JAS is `jas`, windowed by `window`,
+    /// indexed by `index`.
+    pub fn new(stream: StreamId, jas: Vec<AttrId>, window: WindowSpec, index: I) -> Self {
+        StateStore {
+            stream,
+            jas,
+            arena: Slab::default(),
+            window: WindowBuffer::new(window),
+            index,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Declare per-tuple payload bytes for memory accounting.
+    pub fn with_payload_bytes(mut self, bytes: u32) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// The stream this state stores.
+    #[inline]
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// JAS width.
+    #[inline]
+    pub fn jas_width(&self) -> usize {
+        self.jas.len()
+    }
+
+    /// The JAS attribute ids in position order.
+    #[inline]
+    pub fn jas(&self) -> &[AttrId] {
+        &self.jas
+    }
+
+    /// Number of live tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arena.len
+    }
+
+    /// True iff no tuples are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arena.len == 0
+    }
+
+    /// Borrow the index.
+    #[inline]
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Mutably borrow the index (used by migration).
+    #[inline]
+    pub fn index_mut(&mut self) -> &mut I {
+        &mut self.index
+    }
+
+    /// The window specification.
+    #[inline]
+    pub fn window_spec(&self) -> WindowSpec {
+        self.window.spec()
+    }
+
+    /// Extract the JAS-aligned values from a tuple of this stream.
+    pub fn jas_values(&self, tuple: &Tuple) -> AttrVec {
+        self.jas.iter().map(|a| tuple.attrs[a.idx()]).collect()
+    }
+
+    /// Store an arriving tuple and index it.
+    ///
+    /// # Panics
+    /// Panics if the tuple is from a different stream.
+    pub fn insert(&mut self, tuple: Tuple, receipt: &mut CostReceipt) -> TupleKey {
+        assert_eq!(tuple.stream, self.stream, "tuple from wrong stream");
+        let jas_values = self.jas_values(&tuple);
+        let key = self.arena.insert(StoredTuple { tuple, jas_values });
+        self.window.push(tuple.ts, key);
+        receipt.base_ops += 1;
+        self.index.insert(key, &jas_values, receipt);
+        key
+    }
+
+    /// Expire every tuple that has slid out of the window at `now`;
+    /// returns how many were removed.
+    pub fn expire(&mut self, now: VirtualTime, receipt: &mut CostReceipt) -> usize {
+        let mut removed = 0;
+        // Drain the expiration queue first (borrow discipline), then unindex.
+        let expired: Vec<TupleKey> = self.window.expire(now).map(|(_, k)| k).collect();
+        for key in expired {
+            if let Some(stored) = self.arena.remove(key) {
+                receipt.base_ops += 1;
+                self.index.remove(key, &stored.jas_values, receipt);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Answer a search request: returns the keys of matching live tuples.
+    ///
+    /// Falls back to a full arena scan when the index cannot serve the
+    /// request ([`SearchOutcome::NeedScan`]), charging one comparison per
+    /// live tuple — the §I-A "no suitable hash index exists" path.
+    pub fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
+        debug_assert_eq!(req.pattern.n_attrs(), self.jas_width());
+        match self.index.search(req, receipt) {
+            SearchOutcome::Matches(keys) => keys,
+            SearchOutcome::NeedScan => {
+                let mut out = Vec::new();
+                for (key, stored) in self.arena.iter() {
+                    // A full scan materializes the stored tuple and then
+                    // compares: twice the work of an in-bucket comparison
+                    // over inline JAS values (§I-A's "complete scans" are
+                    // what drown the few-index access modules).
+                    receipt.comparisons += 2;
+                    if req.matches(&stored.jas_values) {
+                        out.push(key);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The stored tuple for `key`, if live.
+    pub fn tuple(&self, key: TupleKey) -> Option<&Tuple> {
+        self.arena.get(key).map(|s| &s.tuple)
+    }
+
+    /// The stored JAS values for `key`, if live.
+    pub fn jas_of(&self, key: TupleKey) -> Option<&AttrVec> {
+        self.arena.get(key).map(|s| &s.jas_values)
+    }
+
+    /// Iterate over `(key, jas_values)` of live tuples (used by index
+    /// migration and by tests).
+    pub fn iter_jas(&self) -> impl Iterator<Item = (TupleKey, &AttrVec)> {
+        self.arena.iter().map(|(k, s)| (k, &s.jas_values))
+    }
+
+    /// Bytes this state occupies: tuples (base + attrs + payload) plus the
+    /// index and the window queue.
+    pub fn memory_bytes(&self) -> u64 {
+        let per_tuple = layout::TUPLE_BASE_BYTES
+            + layout::ATTR_BYTES * self.jas.len() as u64
+            + self.payload_bytes as u64
+            + 16; // window-queue slot
+        self.arena.len as u64 * per_tuple + self.index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanIndex;
+    use amri_stream::{AccessPattern, TupleId};
+
+    fn mk_tuple(id: u64, ts_secs: u64, attrs: &[u64]) -> Tuple {
+        Tuple::new(
+            TupleId(id),
+            StreamId(0),
+            VirtualTime::from_secs(ts_secs),
+            AttrVec::from_slice(attrs).unwrap(),
+        )
+    }
+
+    fn store() -> StateStore<ScanIndex> {
+        // JAS = schema attrs 0 and 2 (attr 1 is payload-only).
+        StateStore::new(
+            StreamId(0),
+            vec![AttrId(0), AttrId(2)],
+            WindowSpec::secs(10),
+            ScanIndex::new(),
+        )
+    }
+
+    #[test]
+    fn insert_search_expire_lifecycle() {
+        let mut s = store();
+        let mut r = CostReceipt::new();
+        let k1 = s.insert(mk_tuple(1, 0, &[5, 99, 7]), &mut r);
+        let k2 = s.insert(mk_tuple(2, 1, &[5, 98, 8]), &mut r);
+        assert_eq!(s.len(), 2);
+        assert!(r.base_ops >= 2);
+
+        // Search on JAS pos 0 (schema attr 0) = 5 → both.
+        let req = SearchRequest::new(
+            AccessPattern::from_positions(&[0], 2).unwrap(),
+            AttrVec::from_slice(&[5, 0]).unwrap(),
+        );
+        let mut r = CostReceipt::new();
+        let hits = s.search(&req, &mut r);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(r.comparisons, 4, "scan charges two comparisons per tuple");
+
+        // Search on both JAS positions → only the tuple with attr2 == 7.
+        let req = SearchRequest::new(
+            AccessPattern::full(2),
+            AttrVec::from_slice(&[5, 7]).unwrap(),
+        );
+        let hits = s.search(&req, &mut CostReceipt::new());
+        assert_eq!(hits, vec![k1]);
+
+        // Expire: window 10s (half-open); at t=10 only the t=0 tuple is gone.
+        let mut r = CostReceipt::new();
+        let removed = s.expire(VirtualTime::from_secs(10), &mut r);
+        assert_eq!(removed, 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.tuple(k1).is_none());
+        assert!(s.tuple(k2).is_some());
+
+        // Search no longer sees the expired tuple.
+        let req = SearchRequest::new(
+            AccessPattern::from_positions(&[0], 2).unwrap(),
+            AttrVec::from_slice(&[5, 0]).unwrap(),
+        );
+        assert_eq!(s.search(&req, &mut CostReceipt::new()).len(), 1);
+    }
+
+    #[test]
+    fn jas_extraction_picks_declared_attributes() {
+        let s = store();
+        let t = mk_tuple(1, 0, &[10, 20, 30]);
+        let jas = s.jas_values(&t);
+        assert_eq!(jas.as_slice(), &[10, 30], "attrs 0 and 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong stream")]
+    fn rejects_foreign_tuples() {
+        let mut s = store();
+        let t = Tuple::new(
+            TupleId(1),
+            StreamId(3),
+            VirtualTime::ZERO,
+            AttrVec::from_slice(&[1, 2, 3]).unwrap(),
+        );
+        s.insert(t, &mut CostReceipt::new());
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut s = store();
+        let mut r = CostReceipt::new();
+        let k1 = s.insert(mk_tuple(1, 0, &[1, 0, 1]), &mut r);
+        s.expire(VirtualTime::from_secs(20), &mut r);
+        let k2 = s.insert(mk_tuple(2, 21, &[2, 0, 2]), &mut r);
+        assert_eq!(k1, k2, "freed slot must be reused");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.jas_of(k2).unwrap().as_slice(), &[2, 2]);
+    }
+
+    #[test]
+    fn memory_grows_with_tuples_and_shrinks_on_expiry() {
+        let mut s = store().with_payload_bytes(100);
+        let empty = s.memory_bytes();
+        let mut r = CostReceipt::new();
+        for i in 0..10 {
+            s.insert(mk_tuple(i, 0, &[i, 0, i]), &mut r);
+        }
+        let full = s.memory_bytes();
+        assert!(full > empty + 10 * 100, "payload must be accounted");
+        s.expire(VirtualTime::from_secs(20), &mut r);
+        assert_eq!(s.memory_bytes(), empty);
+    }
+
+    #[test]
+    fn full_scan_on_empty_pattern_matches_everything() {
+        let mut s = store();
+        let mut r = CostReceipt::new();
+        for i in 0..5 {
+            s.insert(mk_tuple(i, 0, &[i, 0, i]), &mut r);
+        }
+        let req = SearchRequest::new(AccessPattern::empty(2), AttrVec::from_slice(&[0, 0]).unwrap());
+        assert_eq!(s.search(&req, &mut CostReceipt::new()).len(), 5);
+    }
+}

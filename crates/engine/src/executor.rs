@@ -1,0 +1,737 @@
+//! The simulation loop: single-core, cost-accounted, memory-budgeted.
+//!
+//! Tuples arrive on each stream at rate `λ_d`; every arrival is stored in
+//! its own state and becomes a routing job. The router sends each partial
+//! tuple to one unvisited state after another; every probe's hashes,
+//! bucket visits and comparisons advance the virtual clock. When the clock
+//! falls behind the arrival schedule a **backlog** builds up, pinning
+//! memory — the §V failure mode that kills the hash and static-bitmap
+//! baselines. Samples are taken on a fixed grid; tuning decisions run at
+//! every sampling step.
+
+use crate::memory::{MemoryBudget, MemoryReport};
+use crate::metrics::{RetuneRecord, ThroughputSeries};
+use crate::policy::PolicyKind;
+use crate::router::Router;
+use crate::stem::{HashTuner, JoinState, Stem};
+use amri_core::assess::{Assessor, AssessorKind};
+use amri_core::{CostParams, CostReceipt, IndexConfig, TunerConfig};
+use amri_stream::{
+    AccessPattern, AttrVec, PartialTuple, SearchRequest, SpjQuery, StreamId, Tuple, TupleId,
+    VirtualClock, VirtualDuration, VirtualTime,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One routing job: a partial tuple plus the arrival instant of the base
+/// tuple that spawned it. Probes only match *older* tuples (`ts <
+/// origin_ts`) — the MJoin rule that makes every join result get produced
+/// exactly once, by the job of its newest constituent.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    pt: PartialTuple,
+    origin_ts: VirtualTime,
+    /// When this job entered the backlog (sojourn-time metric).
+    enqueued: VirtualTime,
+}
+
+/// Supplies attribute values for arriving tuples — implemented by
+/// `amri-synth`'s drifting generators.
+pub trait StreamWorkload {
+    /// Attribute values for the next tuple of `stream` arriving at `now`.
+    fn attrs_for(&mut self, stream: StreamId, now: VirtualTime) -> AttrVec;
+}
+
+/// Which index flavor every state runs (the §V lineup).
+#[derive(Debug, Clone)]
+pub enum IndexingMode {
+    /// AMRI with the given assessment method; `initial` configurations per
+    /// state (even 64-bit split when `None`).
+    Amri {
+        /// Assessment method tuning each state.
+        assessor: AssessorKind,
+        /// Starting configuration per state.
+        initial: Option<Vec<IndexConfig>>,
+    },
+    /// Access modules with `n_indices` hash indices per state, re-targeted
+    /// by CDIA-highest statistics (the paper's adaptive hash baseline).
+    AdaptiveHash {
+        /// Hash indices per state (the paper sweeps 1..=7).
+        n_indices: usize,
+        /// Starting patterns per state (defaults: the `n` lowest non-empty
+        /// patterns).
+        initial: Option<Vec<Vec<AccessPattern>>>,
+    },
+    /// Non-adapting bit-address index (the §V bitmap baseline).
+    StaticBitmap {
+        /// Fixed configuration per state (even 64-bit split when `None`).
+        configs: Option<Vec<IndexConfig>>,
+    },
+    /// No indices: every probe scans.
+    Scan,
+}
+
+impl IndexingMode {
+    /// Label used in figures and reports.
+    pub fn label(&self) -> String {
+        match self {
+            IndexingMode::Amri { assessor, .. } => format!("AMRI-{}", assessor.label()),
+            IndexingMode::AdaptiveHash { n_indices, .. } => format!("hash-{n_indices}"),
+            IndexingMode::StaticBitmap { .. } => "static-bitmap".to_string(),
+            IndexingMode::Scan => "scan".to_string(),
+        }
+    }
+}
+
+/// Engine-level run parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Virtual run length.
+    pub duration: VirtualDuration,
+    /// Sampling grid (also the cadence of tuning/memory checks).
+    pub sample_interval: VirtualDuration,
+    /// Arrivals per virtual second, per stream (`λ_d`) at t = 0.
+    pub lambda_d: f64,
+    /// Linear arrival-rate growth per virtual second: the effective rate is
+    /// `λ_d · (1 + ramp · t)`. Models the paper's fluctuating environments
+    /// (§I): a slowly rising load exposes each index design's headroom —
+    /// the §V baselines die when the rate outgrows them. Zero = constant.
+    pub lambda_ramp: f64,
+    /// Memory budget.
+    pub budget: MemoryBudget,
+    /// Routing policy.
+    pub policy: PolicyKind,
+    /// Master seed (router and workload derive from it).
+    pub seed: u64,
+    /// Tuner parameters shared by all tuning flavors.
+    pub tuner: TunerConfig,
+    /// Unit costs.
+    pub params: CostParams,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            duration: VirtualDuration::from_mins(5),
+            sample_interval: VirtualDuration::from_secs(1),
+            lambda_d: 200.0,
+            lambda_ramp: 0.0,
+            budget: MemoryBudget::default(),
+            policy: PolicyKind::default(),
+            seed: 0xE0_0D,
+            tuner: TunerConfig::default(),
+            params: CostParams::default(),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Reached the configured duration.
+    Completed,
+    /// Breached the memory budget at the contained instant (§V's "ran out
+    /// of memory").
+    OutOfMemory {
+        /// Death time.
+        at: VirtualTime,
+    },
+}
+
+/// Everything a run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Mode label (e.g. `AMRI-CDIA-highest`, `hash-3`).
+    pub label: String,
+    /// The cumulative-throughput series.
+    pub series: ThroughputSeries,
+    /// Completion or death.
+    pub outcome: RunOutcome,
+    /// Total output tuples produced.
+    pub outputs: u64,
+    /// Index migrations, time-ordered.
+    pub retunes: Vec<RetuneRecord>,
+    /// Per-state observed access-pattern frequencies (exact, whole run).
+    pub pattern_stats: Vec<Vec<(AccessPattern, f64)>>,
+    /// Per-state search requests served.
+    pub requests: Vec<u64>,
+    /// Virtual instant the run stopped.
+    pub final_time: VirtualTime,
+    /// Mean virtual time a routing job waited in the backlog before being
+    /// processed — the latency face of overload (ticks).
+    pub mean_job_latency_ticks: f64,
+}
+
+impl RunResult {
+    /// Time the run died, if it did.
+    pub fn death_time(&self) -> Option<VirtualTime> {
+        match self.outcome {
+            RunOutcome::OutOfMemory { at } => Some(at),
+            RunOutcome::Completed => None,
+        }
+    }
+}
+
+/// The engine: owns the states, the router and the backlog for one run.
+pub struct Executor<W> {
+    query: SpjQuery,
+    graph: amri_stream::JoinGraph,
+    workload: W,
+    stems: Vec<Stem>,
+    router: Router,
+    config: EngineConfig,
+    mode_label: String,
+    /// Always-on exact per-state pattern observers (run reporting + the
+    /// quasi-training path; independent of the flavors' own assessment).
+    observers: Vec<amri_core::assess::Sria>,
+}
+
+impl<W: StreamWorkload> Executor<W> {
+    /// Build an engine run.
+    ///
+    /// # Panics
+    /// Panics if a state's JAS is wider than [`amri_stream::MAX_ATTRS`] or
+    /// the mode's per-state vectors disagree with the query.
+    pub fn new(query: &SpjQuery, workload: W, mode: IndexingMode, config: EngineConfig) -> Self {
+        let graph = query.join_graph();
+        let n = query.n_streams();
+        let mode_label = mode.label();
+        let mut stems = Vec::with_capacity(n);
+        for i in 0..n {
+            let sid = StreamId(i as u16);
+            let jas = query.jas(sid);
+            let width = jas.len();
+            let window = query.windows[i];
+            let payload = query.schemas[i].payload_bytes;
+            let state = match &mode {
+                IndexingMode::Amri { assessor, initial } => {
+                    let init = initial
+                        .as_ref()
+                        .map(|v| v[i].clone())
+                        .unwrap_or_else(|| {
+                            IndexConfig::even(width, config.tuner.total_bits).expect("≤64 bits")
+                        });
+                    JoinState::amri(
+                        sid,
+                        jas,
+                        window,
+                        *assessor,
+                        init,
+                        config.tuner,
+                        config.params,
+                        payload,
+                    )
+                    .expect("valid tuner parameters")
+                }
+                IndexingMode::AdaptiveHash { n_indices, initial } => {
+                    let patterns = initial.as_ref().map(|v| v[i].clone()).unwrap_or_else(|| {
+                        AccessPattern::all(width)
+                            .filter(|p| !p.is_empty())
+                            .take(*n_indices)
+                            .collect()
+                    });
+                    let tuner = HashTuner::new(
+                        AssessorKind::Cdia(amri_hh::CombineStrategy::HighestCount),
+                        width,
+                        *n_indices,
+                        config.tuner,
+                    );
+                    JoinState::multi_hash(sid, jas, window, patterns, Some(tuner), payload)
+                }
+                IndexingMode::StaticBitmap { configs } => {
+                    let init = configs.as_ref().map(|v| v[i].clone()).unwrap_or_else(|| {
+                        IndexConfig::even(width, config.tuner.total_bits).expect("≤64 bits")
+                    });
+                    JoinState::static_bitmap(sid, jas, window, init, payload)
+                }
+                IndexingMode::Scan => JoinState::scan(sid, jas, window, payload),
+            };
+            stems.push(Stem::new(sid, state));
+        }
+        let observers = (0..n)
+            .map(|i| amri_core::assess::Sria::new(query.jas(StreamId(i as u16)).len()))
+            .collect();
+        Executor {
+            query: query.clone(),
+            graph,
+            workload,
+            stems,
+            router: Router::new(config.policy, n, config.seed ^ 0x5EED_0001),
+            config,
+            mode_label,
+            observers,
+        }
+    }
+
+    /// Effective arrival rate at virtual time `t`.
+    fn lambda_at(&self, t: VirtualTime) -> f64 {
+        self.config.lambda_d * (1.0 + self.config.lambda_ramp * t.as_secs_f64())
+    }
+
+    fn memory_report(&self, backlog_len: usize) -> MemoryReport {
+        let states: u64 = self.stems.iter().map(|s| s.state.memory_bytes()).sum();
+        let arity = self
+            .query
+            .schemas
+            .iter()
+            .map(|s| s.arity())
+            .max()
+            .unwrap_or(0);
+        MemoryReport {
+            states,
+            backlog: backlog_len as u64
+                * amri_core::layout::queued_request_bytes(self.query.n_streams(), arity),
+        }
+    }
+
+    /// Run to completion (or death) and return the results.
+    pub fn run(mut self) -> RunResult {
+        let n = self.query.n_streams();
+        let deadline = VirtualTime::ZERO + self.config.duration;
+        let mut clock = VirtualClock::new();
+        let mut series = ThroughputSeries::new(self.config.sample_interval);
+        let mut retunes: Vec<RetuneRecord> = Vec::new();
+        let mut backlog: VecDeque<Job> = VecDeque::new();
+        // Stagger first arrivals so streams interleave deterministically.
+        let base_gap = VirtualDuration::from_secs_f64(1.0 / self.config.lambda_d);
+        let mut next_arrival: Vec<VirtualTime> =
+            (0..n).map(|i| VirtualTime(base_gap.0 * i as u64 / n as u64)).collect();
+        let mut outputs: u64 = 0;
+        let mut tuple_seq: u64 = 0;
+        let mut sojourn_ticks: u64 = 0;
+        let mut jobs_processed: u64 = 0;
+        let mut outcome = RunOutcome::Completed;
+        let window_secs: Vec<f64> = self
+            .query
+            .windows
+            .iter()
+            .map(|w| w.length.as_secs_f64())
+            .collect();
+
+        'run: loop {
+            let now = clock.now();
+            // Sampling / tuning / memory checks on the grid.
+            while series.next_due() <= now {
+                let due = series.next_due();
+                let report = self.memory_report(backlog.len());
+                series.record_until(due, outputs, report.total(), backlog.len() as u64);
+                if report.over(self.config.budget) {
+                    outcome = RunOutcome::OutOfMemory { at: due };
+                    break 'run;
+                }
+                let elapsed = due.as_secs_f64().max(1.0);
+                let lambda_now = self.config.lambda_d * (1.0 + self.config.lambda_ramp * due.as_secs_f64());
+                for (i, stem) in self.stems.iter_mut().enumerate() {
+                    let lambda_r = stem.requests_served as f64 / elapsed;
+                    let mut receipt = CostReceipt::new();
+                    if let Some(r) = stem.state.maybe_retune(
+                        due,
+                        lambda_now,
+                        lambda_r,
+                        window_secs[i],
+                        &mut receipt,
+                    ) {
+                        retunes.push(RetuneRecord {
+                            t: due,
+                            state: i as u16,
+                            config: r.description,
+                            moved: r.moved,
+                        });
+                    }
+                    clock.advance(self.config.params.ticks(&receipt));
+                }
+            }
+            if clock.now() >= deadline {
+                break 'run;
+            }
+
+            // Ingest every arrival that is due.
+            let now = clock.now();
+            let mut ingested = false;
+            #[allow(clippy::needless_range_loop)] // s indexes two arrays
+            for s in 0..n {
+                while next_arrival[s] <= now {
+                    ingested = true;
+                    let ts = next_arrival[s];
+                    // Gap shrinks as the ramp raises the arrival rate.
+                    let gap =
+                        VirtualDuration::from_secs_f64(1.0 / self.lambda_at(ts).max(1e-9));
+                    next_arrival[s] = ts + gap;
+                    let sid = StreamId(s as u16);
+                    let attrs = self.workload.attrs_for(sid, ts);
+                    // Local selections (the S of SPJ) filter at ingest.
+                    if !self.query.passes_selections(sid, attrs.as_slice()) {
+                        continue;
+                    }
+                    let tuple = Tuple::new(TupleId(tuple_seq), sid, ts, attrs);
+                    tuple_seq += 1;
+                    let mut receipt = CostReceipt::new();
+                    self.stems[s].state.expire(now, &mut receipt);
+                    self.stems[s].state.insert(tuple, &mut receipt);
+                    clock.advance(self.config.params.ticks(&receipt));
+                    backlog.push_back(Job {
+                        pt: PartialTuple::from_base(&tuple),
+                        origin_ts: ts,
+                        enqueued: now,
+                    });
+                }
+            }
+
+            // Process one routing job.
+            if let Some(job) = backlog.pop_front() {
+                let pt = job.pt;
+                sojourn_ticks += clock.now().since(job.enqueued).0;
+                jobs_processed += 1;
+                let target = self.router.choose_next(pt.covered);
+                let (pattern, values, residual) = self.graph.probe_values(&pt, target);
+                let req = SearchRequest::new(pattern, values);
+                self.observers[target.idx()].record(pattern);
+                let mut receipt = CostReceipt::new();
+                let stem = &mut self.stems[target.idx()];
+                let keys = stem.state.search(&req, &mut receipt);
+                stem.requests_served += 1;
+                let window = self.query.windows[target.idx()];
+                let now = clock.now();
+                let mut matches = 0usize;
+                for key in keys {
+                    let Some(t) = stem.state.tuple(key) else {
+                        continue;
+                    };
+                    // Lazy expiry: skip tuples that slid out of the window.
+                    if !window.live(t.ts, now) {
+                        continue;
+                    }
+                    // MJoin dedup: only match tuples older than the job's
+                    // origin arrival.
+                    if t.ts >= job.origin_ts {
+                        continue;
+                    }
+                    // Residual (non-equality) predicates.
+                    let ok = residual.iter().all(|b| {
+                        let lhs = t.attrs[self
+                            .graph
+                            .jas(target)[b.jas_pos]
+                            .idx()];
+                        let rhs = pt.part(b.src_stream).expect("covered")[b.src_attr.idx()];
+                        b.op.eval(lhs, rhs)
+                    });
+                    if !ok {
+                        continue;
+                    }
+                    matches += 1;
+                    let extended = pt.extend(target, t.attrs, t.ts);
+                    if extended.is_complete(n) {
+                        outputs += 1;
+                    } else {
+                        backlog.push_back(Job {
+                            pt: extended,
+                            origin_ts: job.origin_ts,
+                            enqueued: now,
+                        });
+                    }
+                }
+                stem.matches_returned += matches as u64;
+                let ticks = self.config.params.ticks(&receipt);
+                self.router.observe(target, matches, ticks.0);
+                clock.advance(ticks);
+            } else if !ingested {
+                // Idle: jump to the next arrival.
+                let next = next_arrival
+                    .iter()
+                    .min()
+                    .copied()
+                    .expect("at least one stream");
+                clock.advance_to(next.min(deadline));
+                if clock.now() >= deadline {
+                    // Final sample row, then stop.
+                    let report = self.memory_report(backlog.len());
+                    series.record_until(deadline, outputs, report.total(), backlog.len() as u64);
+                    break 'run;
+                }
+            }
+        }
+
+        let pattern_stats = self
+            .observers
+            .iter()
+            .map(|o| o.frequent(0.0))
+            .collect();
+        RunResult {
+            label: self.mode_label,
+            mean_job_latency_ticks: if jobs_processed == 0 {
+                0.0
+            } else {
+                sojourn_ticks as f64 / jobs_processed as f64
+            },
+            final_time: clock.now().min(deadline),
+            series,
+            outcome,
+            outputs,
+            retunes,
+            pattern_stats,
+            requests: self.stems.iter().map(|s| s.requests_served).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amri_hh::CombineStrategy;
+    use amri_stream::{AttrDomain, AttrSpec, JoinPredicate, StreamSchema, WindowSpec};
+    use amri_stream::{AttrId, AttrVec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two-stream equality join with controllable match probability.
+    struct PairWorkload {
+        rng: StdRng,
+        cardinality: u64,
+    }
+
+    impl StreamWorkload for PairWorkload {
+        fn attrs_for(&mut self, _stream: StreamId, _now: VirtualTime) -> AttrVec {
+            AttrVec::from_slice(&[self.rng.gen_range(0..self.cardinality)]).unwrap()
+        }
+    }
+
+    fn two_way_query() -> SpjQuery {
+        let schema = |n: &str| {
+            StreamSchema::new(
+                n,
+                vec![AttrSpec::new("k", AttrDomain::with_cardinality(64))],
+                50,
+            )
+        };
+        SpjQuery::new(
+            "pair",
+            vec![schema("L"), schema("R")],
+            vec![JoinPredicate::eq(StreamId(0), AttrId(0), StreamId(1), AttrId(0))],
+            vec![WindowSpec::secs(5); 2],
+        )
+        .unwrap()
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig {
+            duration: VirtualDuration::from_secs(20),
+            sample_interval: VirtualDuration::from_secs(1),
+            lambda_d: 50.0,
+            lambda_ramp: 0.0,
+            budget: MemoryBudget::unlimited(),
+            policy: PolicyKind::RoundRobin,
+            seed: 11,
+            tuner: TunerConfig {
+                assess_period: VirtualDuration::from_secs(5),
+                min_requests: 20,
+                total_bits: 16,
+                ..TunerConfig::default()
+            },
+            params: CostParams::default(),
+        }
+    }
+
+    fn run_mode(mode: IndexingMode) -> RunResult {
+        let query = two_way_query();
+        let workload = PairWorkload {
+            rng: StdRng::seed_from_u64(3),
+            cardinality: 64,
+        };
+        Executor::new(&query, workload, mode, small_config()).run()
+    }
+
+    #[test]
+    fn two_way_join_produces_plausible_output_volume() {
+        let result = run_mode(IndexingMode::Amri {
+            assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+            initial: None,
+        });
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        // Expected joins: each arrival probes the ~250-tuple window of the
+        // other stream at 1/64 match rate ≈ 3.9 per probe; ~1000 arrivals
+        // per stream → tens of thousands of outputs. Sanity-bound it.
+        assert!(
+            result.outputs > 1000,
+            "implausibly few outputs: {}",
+            result.outputs
+        );
+        assert!(
+            result.outputs < 200_000,
+            "implausibly many outputs: {}",
+            result.outputs
+        );
+        // Both states served requests.
+        assert!(result.requests.iter().all(|&r| r > 100), "{:?}", result.requests);
+        // The series is monotone.
+        let s = result.series.samples();
+        assert!(s.windows(2).all(|w| w[0].outputs <= w[1].outputs));
+        assert_eq!(result.label, "AMRI-CDIA-highest");
+    }
+
+    #[test]
+    fn all_modes_complete_and_agree_on_magnitude() {
+        let amri = run_mode(IndexingMode::Amri {
+            assessor: AssessorKind::Sria,
+            initial: None,
+        });
+        let hash = run_mode(IndexingMode::AdaptiveHash {
+            n_indices: 1,
+            initial: None,
+        });
+        let bitmap = run_mode(IndexingMode::StaticBitmap { configs: None });
+        let scan = run_mode(IndexingMode::Scan);
+        // A two-way equality join: every mode computes the same join, so
+        // outputs-per-elapsed-time may differ, but whoever ran to
+        // completion saw the same arrival schedule. All complete here.
+        for r in [&amri, &hash, &bitmap, &scan] {
+            assert_eq!(r.outcome, RunOutcome::Completed, "{}", r.label);
+            assert!(r.outputs > 0, "{}", r.label);
+        }
+        // Scan pays more CPU per probe, so it cannot beat AMRI.
+        assert!(
+            scan.outputs <= amri.outputs,
+            "scan {} vs amri {}",
+            scan.outputs,
+            amri.outputs
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let a = run_mode(IndexingMode::Amri {
+            assessor: AssessorKind::Csria,
+            initial: None,
+        });
+        let b = run_mode(IndexingMode::Amri {
+            assessor: AssessorKind::Csria,
+            initial: None,
+        });
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.final_time, b.final_time);
+    }
+
+    #[test]
+    fn tiny_budget_dies_with_oom() {
+        let query = two_way_query();
+        let workload = PairWorkload {
+            rng: StdRng::seed_from_u64(3),
+            cardinality: 64,
+        };
+        let mut cfg = small_config();
+        cfg.budget = MemoryBudget { bytes: 20_000 };
+        let result = Executor::new(
+            &query,
+            workload,
+            IndexingMode::StaticBitmap { configs: None },
+            cfg,
+        )
+        .run();
+        let RunOutcome::OutOfMemory { at } = result.outcome else {
+            panic!("a 20 kB budget must die, got {:?}", result.outcome);
+        };
+        assert!(at <= result.final_time + VirtualDuration::from_secs(1));
+        assert_eq!(result.death_time(), Some(at));
+    }
+
+    #[test]
+    fn pattern_observers_capture_probe_patterns() {
+        let result = run_mode(IndexingMode::Scan);
+        // Two-way join: every probe of either state uses its full 1-attr
+        // pattern.
+        for stats in &result.pattern_stats {
+            assert_eq!(stats.len(), 1);
+            assert_eq!(stats[0].0.specified(), 1);
+            assert!((stats[0].1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lambda_ramp_increases_arrivals_and_outputs() {
+        let query = two_way_query();
+        let run = |ramp: f64| {
+            let mut cfg = small_config();
+            cfg.lambda_ramp = ramp;
+            Executor::new(
+                &query,
+                PairWorkload {
+                    rng: StdRng::seed_from_u64(3),
+                    cardinality: 64,
+                },
+                IndexingMode::StaticBitmap { configs: None },
+                cfg,
+            )
+            .run()
+        };
+        let flat = run(0.0);
+        let ramped = run(0.1); // triples the rate by t=20s
+        assert!(
+            ramped.requests.iter().sum::<u64>() > flat.requests.iter().sum::<u64>() * 3 / 2,
+            "ramp must raise the probe volume: {:?} vs {:?}",
+            ramped.requests,
+            flat.requests
+        );
+        assert!(ramped.outputs > flat.outputs);
+    }
+
+    #[test]
+    fn overload_shows_up_as_job_latency() {
+        let query = two_way_query();
+        let run = |c_c: f64| {
+            let mut cfg = small_config();
+            cfg.params.c_c = c_c;
+            Executor::new(
+                &query,
+                PairWorkload {
+                    rng: StdRng::seed_from_u64(3),
+                    cardinality: 64,
+                },
+                IndexingMode::Scan,
+                cfg,
+            )
+            .run()
+        };
+        let light = run(0.01);
+        let heavy = run(30.0); // 15k-tick scans vs 10k-tick arrival gap: overload
+        assert!(
+            heavy.mean_job_latency_ticks > (light.mean_job_latency_ticks + 1.0) * 10.0,
+            "overload must blow up sojourn times: {} vs {}",
+            heavy.mean_job_latency_ticks,
+            light.mean_job_latency_ticks
+        );
+        assert!(heavy.series.peak_backlog() > light.series.peak_backlog());
+    }
+
+    #[test]
+    fn selections_drop_tuples_at_ingest() {
+        let query = two_way_query()
+            .with_selections(vec![amri_stream::Selection {
+                stream: StreamId(0),
+                attr: AttrId(0),
+                op: amri_stream::JoinOp::Lt,
+                value: 8, // keep only 1/8 of the left stream
+            }])
+            .unwrap();
+        let run = |q: &amri_stream::SpjQuery| {
+            Executor::new(
+                q,
+                PairWorkload {
+                    rng: StdRng::seed_from_u64(3),
+                    cardinality: 64,
+                },
+                IndexingMode::Scan,
+                small_config(),
+            )
+            .run()
+        };
+        let base = run(&two_way_query());
+        let filtered = run(&query);
+        assert!(
+            filtered.outputs < base.outputs / 4,
+            "selection must cut the join volume: {} vs {}",
+            filtered.outputs,
+            base.outputs
+        );
+        assert!(filtered.outputs > 0, "but not to zero");
+    }
+}

@@ -1,0 +1,36 @@
+//! # amri-engine — a simulated adaptive multi-route stream engine
+//!
+//! The substrate the AMRI paper evaluates in (the CAPE engine on real
+//! hardware) rebuilt as a **deterministic simulation**: a single-core
+//! executor that charges every hash, comparison, bucket probe and tuple
+//! move to a virtual clock, and accounts every byte against a memory
+//! budget. All of the paper's results are *relative* (throughput curves,
+//! out-of-memory times), which this preserves while making runs exactly
+//! reproducible.
+//!
+//! * [`stem`] — the STeM join operator: one windowed, indexed state per
+//!   stream, in four flavors (AMRI, adaptive multi-hash, static bitmap,
+//!   scan) matching the paper's comparison lineup.
+//! * [`policy`] — Eddy routing policies: selectivity-greedy with
+//!   exploration, lottery scheduling, round-robin.
+//! * [`router`] — routing of partial tuples through the unvisited states.
+//! * [`memory`] — the byte budget and the out-of-memory failure mode.
+//! * [`metrics`] — cumulative-throughput time series (the paper's y-axis).
+//! * [`executor`] — the simulation loop tying it all together.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod executor;
+pub mod memory;
+pub mod metrics;
+pub mod policy;
+pub mod router;
+pub mod stem;
+
+pub use executor::{EngineConfig, Executor, IndexingMode, RunOutcome, RunResult, StreamWorkload};
+pub use memory::{MemoryBudget, MemoryReport};
+pub use metrics::{RetuneRecord, Sample, ThroughputSeries};
+pub use policy::{PolicyKind, RouterStats, RoutingPolicy};
+pub use router::Router;
+pub use stem::{HashTuner, JoinState, Stem};

@@ -1,0 +1,90 @@
+//! The memory budget and the out-of-memory failure mode.
+//!
+//! §V of the paper: every multi-hash trial "ran out of memory due to the
+//! large amount of CPU time and memory overhead required to maintain the
+//! indices", and the non-adapting bitmap died at 15.5 minutes. Two forces
+//! drive that: per-tuple index overhead, and the *backlog* of queued search
+//! requests that piles up when probes are slow. [`MemoryBudget`] adds both
+//! up and reports when the budget is breached.
+
+use serde::{Deserialize, Serialize};
+
+/// A byte budget for one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    /// Bytes available to states, indices, statistics and the backlog.
+    pub bytes: u64,
+}
+
+impl MemoryBudget {
+    /// A budget of `mib` mebibytes.
+    pub fn mib(mib: u64) -> Self {
+        MemoryBudget {
+            bytes: mib * 1024 * 1024,
+        }
+    }
+
+    /// Unlimited (practically) — for unit tests that should never die.
+    pub fn unlimited() -> Self {
+        MemoryBudget { bytes: u64::MAX }
+    }
+}
+
+impl Default for MemoryBudget {
+    /// Default scaled-down stand-in for the paper's 4 GB machines: the
+    /// absolute value is irrelevant, only the ratio to workload size.
+    fn default() -> Self {
+        MemoryBudget::mib(64)
+    }
+}
+
+/// A point-in-time memory breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Bytes in states (tuples + indices + statistics).
+    pub states: u64,
+    /// Bytes pinned by the routing backlog.
+    pub backlog: u64,
+}
+
+impl MemoryReport {
+    /// Total accounted bytes.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.states + self.backlog
+    }
+
+    /// True iff this report breaches `budget`.
+    #[inline]
+    pub fn over(&self, budget: MemoryBudget) -> bool {
+        self.total() > budget.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_constructors() {
+        assert_eq!(MemoryBudget::mib(2).bytes, 2 * 1024 * 1024);
+        assert_eq!(MemoryBudget::default(), MemoryBudget::mib(64));
+        assert_eq!(MemoryBudget::unlimited().bytes, u64::MAX);
+    }
+
+    #[test]
+    fn breach_detection() {
+        let budget = MemoryBudget { bytes: 100 };
+        let fine = MemoryReport {
+            states: 60,
+            backlog: 40,
+        };
+        assert_eq!(fine.total(), 100);
+        assert!(!fine.over(budget), "exactly at budget is not over");
+        let over = MemoryReport {
+            states: 60,
+            backlog: 41,
+        };
+        assert!(over.over(budget));
+    }
+}

@@ -1,0 +1,88 @@
+//! The Eddy router: drives partial tuples through the unvisited states.
+//!
+//! A [`Router`] owns the routing policy, its statistics and the RNG; the
+//! executor asks it where to send each partial tuple and reports back what
+//! each probe produced, closing the adaptation loop. Route changes caused
+//! by drifting selectivities are what shift the access-pattern mix at each
+//! state — the phenomenon AMRI's tuner must chase.
+
+use crate::policy::{PolicyKind, RouterStats, RoutingPolicy};
+use amri_stream::{StreamId, StreamMask};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The routing component of the engine.
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutingPolicy,
+    stats: RouterStats,
+    rng: StdRng,
+}
+
+impl Router {
+    /// Build a router for an `n_streams`-way query.
+    pub fn new(kind: PolicyKind, n_streams: usize, seed: u64) -> Self {
+        Router {
+            policy: RoutingPolicy::new(kind, n_streams),
+            stats: RouterStats::new(n_streams),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Choose the next state for a partial tuple covering `visited`.
+    pub fn choose_next(&mut self, visited: StreamMask) -> StreamId {
+        self.policy.choose(visited, &self.stats, &mut self.rng)
+    }
+
+    /// Feed back the outcome of a probe.
+    pub fn observe(&mut self, target: StreamId, matches: usize, ticks: u64) {
+        self.stats.observe(target, matches, ticks);
+    }
+
+    /// Read the current statistics.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// The policy in use.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_adapts_to_observed_fanout() {
+        let mut router = Router::new(
+            PolicyKind::SelectivityGreedy { exploration: 0.0 },
+            3,
+            7,
+        );
+        // Teach it that state 2 explodes and state 1 filters.
+        for _ in 0..300 {
+            router.observe(StreamId(2), 50, 10);
+            router.observe(StreamId(1), 0, 10);
+        }
+        let choice = router.choose_next(StreamMask::only(StreamId(0)));
+        assert_eq!(choice, StreamId(1));
+        assert!(router.stats().fanout(StreamId(2)) > 40.0);
+        assert_eq!(
+            router.policy_kind(),
+            PolicyKind::SelectivityGreedy { exploration: 0.0 }
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_choices() {
+        let run = || {
+            let mut router = Router::new(PolicyKind::Lottery { exploration: 0.1 }, 4, 42);
+            (0..100)
+                .map(|_| router.choose_next(StreamMask::only(StreamId(0))).0)
+                .collect::<Vec<u16>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

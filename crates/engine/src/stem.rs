@@ -1,0 +1,567 @@
+//! STeM operators — one windowed, indexed join state per stream, in the
+//! four flavors the paper compares.
+//!
+//! | Flavor | Index | Tuning |
+//! |---|---|---|
+//! | [`JoinState::Amri`] | bit-address | online (SRIA/CSRIA/DIA/CDIA) |
+//! | [`JoinState::MultiHash`] | k hash indices (access modules) | optional: CDIA statistics + conventional selection (re-target the k indices at the k most frequent patterns) |
+//! | [`JoinState::StaticBitmap`] | bit-address | none (the §V "non-adapting bitmap index") |
+//! | [`JoinState::Scan`] | none | none |
+//!
+//! All flavors run the identical [`StateStore`] storage code; only the
+//! index and the tuning differ — the controlled comparison of §V.
+
+use amri_core::assess::{Assessor, AssessorKind};
+use amri_core::{
+    AmriState, BitAddressIndex, CostParams, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex,
+    StateStore, TunerConfig, TupleKey,
+};
+use amri_stream::{
+    AccessPattern, AttrId, SearchRequest, StreamId, Tuple, VirtualDuration, VirtualTime,
+    WindowSpec,
+};
+
+/// Conventional index selection for the multi-hash baseline: keep the `k`
+/// hash indices pointed at the `k` most frequent access patterns
+/// (§V: "adaptive hash indices that utilize highest count compression CDIA
+/// index tuning and conventional index selection").
+pub struct HashTuner {
+    assessor: Box<dyn Assessor>,
+    /// Number of hash indices the module maintains.
+    k: usize,
+    theta: f64,
+    period: VirtualDuration,
+    min_requests: u64,
+    last_decision: VirtualTime,
+}
+
+impl HashTuner {
+    /// Build a hash tuner keeping `k` indices, assessed by `kind`.
+    pub fn new(kind: AssessorKind, width: usize, k: usize, tuner: TunerConfig) -> Self {
+        HashTuner {
+            assessor: kind.build(width, tuner.epsilon, tuner.seed),
+            k,
+            theta: tuner.theta,
+            period: tuner.assess_period,
+            min_requests: tuner.min_requests,
+            last_decision: VirtualTime::ZERO,
+        }
+    }
+
+    /// Record a request pattern.
+    pub fn record(&mut self, ap: AccessPattern) {
+        self.assessor.record(ap);
+    }
+
+    /// Statistics entries currently held (memory accounting).
+    pub fn entries(&self) -> usize {
+        self.assessor.entries()
+    }
+
+    /// If a decision is due, return the `k` patterns the indices should
+    /// serve (most frequent first, empty patterns excluded).
+    pub fn maybe_select(&mut self, now: VirtualTime) -> Option<Vec<AccessPattern>> {
+        if now.since(self.last_decision) < self.period || self.assessor.n() < self.min_requests {
+            return None;
+        }
+        self.last_decision = now;
+        let frequent = self.assessor.frequent(self.theta);
+        self.assessor.reset();
+        let picks: Vec<AccessPattern> = frequent
+            .into_iter()
+            .map(|(p, _)| p)
+            .filter(|p| !p.is_empty())
+            .take(self.k)
+            .collect();
+        if picks.is_empty() {
+            None
+        } else {
+            Some(picks)
+        }
+    }
+}
+
+impl std::fmt::Debug for HashTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashTuner")
+            .field("k", &self.k)
+            .field("kind", &self.assessor.kind().label())
+            .finish()
+    }
+}
+
+/// A join state in one of the paper's four index flavors.
+pub enum JoinState {
+    /// AMRI: tuned bit-address index (the contribution).
+    Amri(AmriState),
+    /// State-of-the-art baseline: k hash indices, optionally re-targeted.
+    MultiHash {
+        /// The underlying store.
+        store: StateStore<MultiHashIndex>,
+        /// Conventional re-selection of the indexed patterns, if adaptive.
+        tuner: Option<HashTuner>,
+    },
+    /// Non-adapting bit-address index (the §V bitmap baseline).
+    StaticBitmap(StateStore<BitAddressIndex>),
+    /// No index at all.
+    Scan(StateStore<ScanIndex>),
+}
+
+/// What a retune did (surfaced to run metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StemRetune {
+    /// Human-readable description of the new index target.
+    pub description: String,
+    /// Entries relocated/rebuilt.
+    pub moved: u64,
+}
+
+impl JoinState {
+    /// Live tuples in the state.
+    pub fn len(&self) -> usize {
+        match self {
+            JoinState::Amri(s) => s.len(),
+            JoinState::MultiHash { store, .. } => store.len(),
+            JoinState::StaticBitmap(s) => s.len(),
+            JoinState::Scan(s) => s.len(),
+        }
+    }
+
+    /// True iff the state holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flavor label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JoinState::Amri(_) => "amri",
+            JoinState::MultiHash { tuner: Some(_), .. } => "multi-hash-adaptive",
+            JoinState::MultiHash { tuner: None, .. } => "multi-hash-static",
+            JoinState::StaticBitmap(_) => "static-bitmap",
+            JoinState::Scan(_) => "scan",
+        }
+    }
+
+    /// Insert an arriving tuple.
+    pub fn insert(&mut self, tuple: Tuple, receipt: &mut CostReceipt) -> TupleKey {
+        match self {
+            JoinState::Amri(s) => s.insert(tuple, receipt),
+            JoinState::MultiHash { store, .. } => store.insert(tuple, receipt),
+            JoinState::StaticBitmap(s) => s.insert(tuple, receipt),
+            JoinState::Scan(s) => s.insert(tuple, receipt),
+        }
+    }
+
+    /// Expire out-of-window tuples.
+    pub fn expire(&mut self, now: VirtualTime, receipt: &mut CostReceipt) -> usize {
+        match self {
+            JoinState::Amri(s) => s.expire(now, receipt),
+            JoinState::MultiHash { store, .. } => store.expire(now, receipt),
+            JoinState::StaticBitmap(s) => s.expire(now, receipt),
+            JoinState::Scan(s) => s.expire(now, receipt),
+        }
+    }
+
+    /// Answer a search request; every flavor records the pattern into its
+    /// tuner's statistics if it has one.
+    pub fn search(&mut self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
+        match self {
+            JoinState::Amri(s) => s.search(req, receipt),
+            JoinState::MultiHash { store, tuner } => {
+                if let Some(t) = tuner {
+                    t.record(req.pattern);
+                }
+                store.search(req, receipt)
+            }
+            JoinState::StaticBitmap(s) => s.search(req, receipt),
+            JoinState::Scan(s) => s.search(req, receipt),
+        }
+    }
+
+    /// The stored tuple behind a search hit.
+    pub fn tuple(&self, key: TupleKey) -> Option<&Tuple> {
+        match self {
+            JoinState::Amri(s) => s.tuple(key),
+            JoinState::MultiHash { store, .. } => store.tuple(key),
+            JoinState::StaticBitmap(s) => s.tuple(key),
+            JoinState::Scan(s) => s.tuple(key),
+        }
+    }
+
+    /// Accounted bytes (store + index + statistics).
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            JoinState::Amri(s) => s.memory_bytes(),
+            JoinState::MultiHash { store, tuner } => {
+                store.memory_bytes()
+                    + tuner.as_ref().map_or(0, |t| {
+                        t.entries() as u64 * amri_core::layout::ASSESS_ENTRY_BYTES
+                    })
+            }
+            JoinState::StaticBitmap(s) => s.memory_bytes(),
+            JoinState::Scan(s) => s.memory_bytes(),
+        }
+    }
+
+    /// Take a tuning decision if this flavor tunes and one is due.
+    pub fn maybe_retune(
+        &mut self,
+        now: VirtualTime,
+        lambda_d: f64,
+        lambda_r: f64,
+        window_secs: f64,
+        receipt: &mut CostReceipt,
+    ) -> Option<StemRetune> {
+        match self {
+            JoinState::Amri(s) => s
+                .maybe_retune(now, lambda_d, lambda_r, window_secs, receipt)
+                .map(|r| StemRetune {
+                    description: r.config.to_string(),
+                    moved: r.moved,
+                }),
+            JoinState::MultiHash { store, tuner } => {
+                let picks = tuner.as_mut()?.maybe_select(now)?;
+                if picks == store.index().patterns() {
+                    return None;
+                }
+                let before = receipt.moved;
+                // Split borrows: retarget needs the live entries and the
+                // index mutably; clone the (key, jas) pairs first.
+                let live: Vec<(TupleKey, amri_stream::AttrVec)> = store
+                    .iter_jas()
+                    .map(|(k, v)| (k, *v))
+                    .collect();
+                let description = format!("hash{:?}", &picks);
+                store
+                    .index_mut()
+                    .retarget(picks, live.iter().map(|(k, v)| (*k, v)), receipt);
+                Some(StemRetune {
+                    description,
+                    moved: receipt.moved - before,
+                })
+            }
+            JoinState::StaticBitmap(_) | JoinState::Scan(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for JoinState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JoinState::{}(len={})", self.kind(), self.len())
+    }
+}
+
+/// A STeM operator: a join state plus its identity within the query.
+#[derive(Debug)]
+pub struct Stem {
+    /// The stream this STeM stores.
+    pub stream: StreamId,
+    /// The state.
+    pub state: JoinState,
+    /// Requests served (for λ_r estimation).
+    pub requests_served: u64,
+    /// Matches returned (for selectivity statistics).
+    pub matches_returned: u64,
+}
+
+impl Stem {
+    /// Wrap a join state.
+    pub fn new(stream: StreamId, state: JoinState) -> Self {
+        Stem {
+            stream,
+            state,
+            requests_served: 0,
+            matches_returned: 0,
+        }
+    }
+
+    /// Observed matches-per-request (1.0 until data exists).
+    pub fn observed_fanout(&self) -> f64 {
+        if self.requests_served == 0 {
+            1.0
+        } else {
+            self.matches_returned as f64 / self.requests_served as f64
+        }
+    }
+}
+
+/// Convenience constructors for the four flavors.
+impl JoinState {
+    /// An AMRI state (see [`AmriState::new`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn amri(
+        stream: StreamId,
+        jas: Vec<AttrId>,
+        window: WindowSpec,
+        kind: AssessorKind,
+        initial: IndexConfig,
+        tuner: TunerConfig,
+        params: CostParams,
+        payload_bytes: u32,
+    ) -> Result<Self, amri_core::CoreError> {
+        let s = AmriState::new(stream, jas, window, kind, initial, tuner, params)?
+            .with_payload_bytes(payload_bytes);
+        Ok(JoinState::Amri(s))
+    }
+
+    /// A multi-hash (access module) state over `patterns`, optionally with
+    /// conventional adaptive re-selection.
+    pub fn multi_hash(
+        stream: StreamId,
+        jas: Vec<AttrId>,
+        window: WindowSpec,
+        patterns: Vec<AccessPattern>,
+        tuner: Option<HashTuner>,
+        payload_bytes: u32,
+    ) -> Self {
+        let store = StateStore::new(stream, jas, window, MultiHashIndex::new(patterns))
+            .with_payload_bytes(payload_bytes);
+        JoinState::MultiHash { store, tuner }
+    }
+
+    /// A non-adapting bit-address state.
+    pub fn static_bitmap(
+        stream: StreamId,
+        jas: Vec<AttrId>,
+        window: WindowSpec,
+        config: IndexConfig,
+        payload_bytes: u32,
+    ) -> Self {
+        JoinState::StaticBitmap(
+            StateStore::new(stream, jas, window, BitAddressIndex::new(config))
+                .with_payload_bytes(payload_bytes),
+        )
+    }
+
+    /// A scan-only state.
+    pub fn scan(
+        stream: StreamId,
+        jas: Vec<AttrId>,
+        window: WindowSpec,
+        payload_bytes: u32,
+    ) -> Self {
+        JoinState::Scan(
+            StateStore::new(stream, jas, window, ScanIndex::new())
+                .with_payload_bytes(payload_bytes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amri_hh::CombineStrategy;
+    use amri_stream::{AttrVec, TupleId};
+
+    fn jas3() -> Vec<AttrId> {
+        vec![AttrId(0), AttrId(1), AttrId(2)]
+    }
+
+    fn tuple(id: u64, secs: u64, attrs: &[u64]) -> Tuple {
+        Tuple::new(
+            TupleId(id),
+            StreamId(0),
+            VirtualTime::from_secs(secs),
+            AttrVec::from_slice(attrs).unwrap(),
+        )
+    }
+
+    fn req(mask: u32, vals: &[u64]) -> SearchRequest {
+        SearchRequest::new(
+            AccessPattern::new(mask, 3),
+            AttrVec::from_slice(vals).unwrap(),
+        )
+    }
+
+    fn all_flavors() -> Vec<JoinState> {
+        let w = WindowSpec::secs(30);
+        vec![
+            JoinState::amri(
+                StreamId(0),
+                jas3(),
+                w,
+                AssessorKind::Cdia(CombineStrategy::HighestCount),
+                IndexConfig::even(3, 12).unwrap(),
+                TunerConfig {
+                    total_bits: 12,
+                    ..TunerConfig::default()
+                },
+                CostParams::default(),
+                100,
+            )
+            .unwrap(),
+            JoinState::multi_hash(
+                StreamId(0),
+                jas3(),
+                w,
+                vec![AccessPattern::new(0b001, 3)],
+                Some(HashTuner::new(
+                    AssessorKind::Cdia(CombineStrategy::HighestCount),
+                    3,
+                    1,
+                    TunerConfig::default(),
+                )),
+                100,
+            ),
+            JoinState::static_bitmap(
+                StreamId(0),
+                jas3(),
+                w,
+                IndexConfig::even(3, 12).unwrap(),
+                100,
+            ),
+            JoinState::scan(StreamId(0), jas3(), w, 100),
+        ]
+    }
+
+    #[test]
+    fn every_flavor_agrees_on_search_results() {
+        let mut receipts = Vec::new();
+        for mut state in all_flavors() {
+            let mut r = CostReceipt::new();
+            for i in 0..50u64 {
+                state.insert(tuple(i, 0, &[i % 5, i % 3, i % 7]), &mut r);
+            }
+            let mut r = CostReceipt::new();
+            let mut hits = state.search(&req(0b001, &[2, 0, 0]), &mut r);
+            hits.sort();
+            assert_eq!(hits.len(), 10, "{}: A==2 count", state.kind());
+            // Resolve a hit back to its tuple.
+            let t = state.tuple(hits[0]).unwrap();
+            assert_eq!(t.attrs[0], 2);
+            receipts.push((state.kind(), r));
+        }
+        // The scan flavor must pay the most comparisons.
+        let scan_cmp = receipts.iter().find(|(k, _)| *k == "scan").unwrap().1;
+        let amri_cmp = receipts.iter().find(|(k, _)| *k == "amri").unwrap().1;
+        assert!(
+            scan_cmp.comparisons > amri_cmp.comparisons,
+            "scan {} vs amri {}",
+            scan_cmp.comparisons,
+            amri_cmp.comparisons
+        );
+    }
+
+    #[test]
+    fn expiry_works_across_flavors() {
+        for mut state in all_flavors() {
+            let mut r = CostReceipt::new();
+            state.insert(tuple(1, 0, &[1, 1, 1]), &mut r);
+            state.insert(tuple(2, 50, &[1, 1, 1]), &mut r);
+            assert_eq!(state.expire(VirtualTime::from_secs(40), &mut r), 1);
+            assert_eq!(state.len(), 1, "{}", state.kind());
+            assert!(!state.is_empty());
+        }
+    }
+
+    #[test]
+    fn hash_tuner_retargets_to_frequent_patterns() {
+        let mut state = JoinState::multi_hash(
+            StreamId(0),
+            jas3(),
+            WindowSpec::secs(30),
+            vec![AccessPattern::new(0b001, 3)],
+            Some(HashTuner::new(
+                AssessorKind::Cdia(CombineStrategy::HighestCount),
+                3,
+                1,
+                TunerConfig {
+                    min_requests: 50,
+                    assess_period: VirtualDuration::from_secs(5),
+                    ..TunerConfig::default()
+                },
+            )),
+            0,
+        );
+        let mut r = CostReceipt::new();
+        for i in 0..40u64 {
+            state.insert(tuple(i, 0, &[i % 4, i % 5, i % 6]), &mut r);
+        }
+        // The workload only ever searches pattern C.
+        for i in 0..100u64 {
+            state.search(&req(0b100, &[0, 0, i % 6]), &mut r);
+        }
+        let retune = state
+            .maybe_retune(VirtualTime::from_secs(10), 100.0, 100.0, 30.0, &mut r)
+            .expect("hash module must re-target");
+        assert!(retune.description.contains("C"), "{retune:?}");
+        assert_eq!(retune.moved, 40, "one rebuilt index over 40 tuples");
+        // Now the C-pattern search uses a hash index (few comparisons).
+        let mut r2 = CostReceipt::new();
+        let hits = state.search(&req(0b100, &[0, 0, 3]), &mut r2);
+        assert!(!hits.is_empty());
+        assert!(
+            r2.comparisons < 40,
+            "C search must no longer scan: {}",
+            r2.comparisons
+        );
+    }
+
+    #[test]
+    fn static_flavors_never_retune() {
+        for mut state in all_flavors() {
+            if matches!(
+                state,
+                JoinState::StaticBitmap(_) | JoinState::Scan(_)
+            ) {
+                let mut r = CostReceipt::new();
+                for i in 0..200u64 {
+                    state.search(&req(0b001, &[i, 0, 0]), &mut r);
+                }
+                assert!(state
+                    .maybe_retune(VirtualTime::from_secs(100), 100.0, 100.0, 30.0, &mut r)
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn stem_tracks_fanout() {
+        let mut stem = Stem::new(StreamId(0), all_flavors().pop().unwrap());
+        assert_eq!(stem.observed_fanout(), 1.0);
+        stem.requests_served = 10;
+        stem.matches_returned = 25;
+        assert!((stem.observed_fanout() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_ranks_flavors_as_the_paper_argues() {
+        // With several hash indices, the access-module state must cost more
+        // bytes than AMRI's single bit-address index.
+        let w = WindowSpec::secs(1000);
+        let mut hash = JoinState::multi_hash(
+            StreamId(0),
+            jas3(),
+            w,
+            (1u32..8).map(|m| AccessPattern::new(m, 3)).collect(),
+            None,
+            100,
+        );
+        let mut amri = JoinState::amri(
+            StreamId(0),
+            jas3(),
+            w,
+            AssessorKind::Sria,
+            IndexConfig::even(3, 12).unwrap(),
+            TunerConfig {
+                total_bits: 12,
+                ..TunerConfig::default()
+            },
+            CostParams::default(),
+            100,
+        )
+        .unwrap();
+        let mut r = CostReceipt::new();
+        for i in 0..500u64 {
+            hash.insert(tuple(i, 0, &[i % 5, i % 3, i % 7]), &mut r);
+            amri.insert(tuple(i, 0, &[i % 5, i % 3, i % 7]), &mut r);
+        }
+        assert!(
+            hash.memory_bytes() > amri.memory_bytes() * 2,
+            "7 hash indices ({}) must dwarf AMRI ({})",
+            hash.memory_bytes(),
+            amri.memory_bytes()
+        );
+    }
+}

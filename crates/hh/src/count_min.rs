@@ -1,0 +1,287 @@
+//! Count-Min sketch (Cormode & Muthukrishnan 2005) — a hashing-based
+//! frequency summary used as an ablation backend.
+//!
+//! Unlike the counter-based summaries (lossy counting, Misra–Gries,
+//! Space-Saving), a sketch has *fixed* memory independent of the item
+//! universe and never stores item identities — so answering "which items
+//! are frequent" requires a candidate set. For access-pattern workloads the
+//! candidate universe is tiny (`2^w` patterns), which makes the sketch a
+//! natural fit: `frequent` enumerates the universe and filters by estimate.
+
+use crate::traits::{sort_frequent, FrequencyEstimator};
+use amri_stream::fx_hash_u64;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Items a Count-Min sketch can summarize: anything reducible to a `u64`
+/// identity (access patterns use their `BR(ap)` mask).
+pub trait SketchItem: Eq + Hash + Copy {
+    /// A stable 64-bit identity for hashing.
+    fn item_id(&self) -> u64;
+}
+
+impl SketchItem for u64 {
+    fn item_id(&self) -> u64 {
+        *self
+    }
+}
+
+impl SketchItem for u32 {
+    fn item_id(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl SketchItem for amri_stream::AccessPattern {
+    fn item_id(&self) -> u64 {
+        self.mask() as u64
+    }
+}
+
+/// The Count-Min sketch: `depth` rows of `width` counters; an item maps to
+/// one counter per row; its estimate is the minimum over rows.
+#[derive(Debug, Clone)]
+pub struct CountMin<T: SketchItem> {
+    rows: Vec<Vec<u64>>,
+    width: usize,
+    n: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: SketchItem> CountMin<T> {
+    /// New sketch with `depth` rows × `width` counters.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0 && width > 0, "sketch dimensions must be positive");
+        CountMin {
+            rows: vec![vec![0; width]; depth],
+            width,
+            n: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Sketch sized for error `ε` with failure probability `δ`:
+    /// width `⌈e/ε⌉`, depth `⌈ln(1/δ)⌉`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(depth, width)
+    }
+
+    /// Sketch dimensions `(depth, width)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows.len(), self.width)
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, item: u64) -> usize {
+        // Row-salted double hashing.
+        (fx_hash_u64(item ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.width as u64)
+            as usize
+    }
+
+    /// Record one occurrence.
+    pub fn observe(&mut self, item: T) {
+        let id = item.item_id();
+        self.n += 1;
+        for r in 0..self.rows.len() {
+            let s = self.slot(r, id);
+            self.rows[r][s] += 1;
+        }
+    }
+
+    /// Point estimate (never undercounts).
+    pub fn estimate(&self, item: T) -> u64 {
+        let id = item.item_id();
+        (0..self.rows.len())
+            .map(|r| self.rows[r][self.slot(r, id)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Fixed counter count (memory proxy).
+    pub fn counters(&self) -> usize {
+        self.rows.len() * self.width
+    }
+
+    /// Items from `universe` whose estimated frequency is ≥ `theta`.
+    pub fn frequent_from<I: IntoIterator<Item = T>>(
+        &self,
+        universe: I,
+        theta: f64,
+    ) -> Vec<(T, f64)> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let n = self.n as f64;
+        let mut out: Vec<(T, f64)> = universe
+            .into_iter()
+            .map(|t| (t, self.estimate(t) as f64 / n))
+            .filter(|&(_, f)| f >= theta)
+            .collect();
+        sort_frequent(&mut out, |t| t.item_id());
+        out
+    }
+
+    /// Drop all counts.
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.iter_mut().for_each(|c| *c = 0);
+        }
+        self.n = 0;
+    }
+}
+
+/// Count-Min over a *known finite universe*, adapting the sketch to the
+/// [`FrequencyEstimator`] interface (used by the ablation benches).
+#[derive(Debug, Clone)]
+pub struct CountMinOverUniverse<T: SketchItem> {
+    sketch: CountMin<T>,
+    universe: Vec<T>,
+}
+
+impl<T: SketchItem> CountMinOverUniverse<T> {
+    /// Build over an explicit universe.
+    pub fn new(depth: usize, width: usize, universe: Vec<T>) -> Self {
+        CountMinOverUniverse {
+            sketch: CountMin::new(depth, width),
+            universe,
+        }
+    }
+}
+
+impl<T: SketchItem + crate::exact::OrdKey> FrequencyEstimator<T> for CountMinOverUniverse<T> {
+    fn observe(&mut self, item: T) {
+        self.sketch.observe(item);
+    }
+
+    fn n(&self) -> u64 {
+        self.sketch.n()
+    }
+
+    fn entries(&self) -> usize {
+        self.sketch.counters()
+    }
+
+    fn estimate(&self, item: T) -> u64 {
+        self.sketch.estimate(item)
+    }
+
+    fn frequent(&self, theta: f64) -> Vec<(T, f64)> {
+        self.sketch
+            .frequent_from(self.universe.iter().copied(), theta)
+    }
+
+    fn clear(&mut self) {
+        self.sketch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_dims() {
+        let _ = CountMin::<u64>::new(0, 10);
+    }
+
+    #[test]
+    fn with_error_sizes_properly() {
+        let cm = CountMin::<u64>::with_error(0.01, 0.05);
+        let (depth, width) = cm.dims();
+        assert!(width >= 271, "e/0.01 ≈ 272, got {width}");
+        assert!(depth >= 3, "ln(20) ≈ 3, got {depth}");
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let mut cm = CountMin::<u64>::new(4, 1024);
+        for _ in 0..50 {
+            cm.observe(7);
+        }
+        for _ in 0..20 {
+            cm.observe(9);
+        }
+        assert_eq!(cm.estimate(7), 50);
+        assert_eq!(cm.estimate(9), 20);
+        assert_eq!(cm.n(), 70);
+    }
+
+    #[test]
+    fn frequent_over_a_pattern_universe() {
+        use amri_stream::AccessPattern;
+        let mut cm = CountMin::<AccessPattern>::new(4, 256);
+        let heavy = AccessPattern::new(0b101, 3);
+        for i in 0..100u32 {
+            cm.observe(if i % 2 == 0 {
+                heavy
+            } else {
+                AccessPattern::new(i % 8, 3)
+            });
+        }
+        let hh = cm.frequent_from(AccessPattern::all(3), 0.4);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, heavy);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cm = CountMin::<u64>::new(2, 16);
+        cm.observe(1);
+        cm.clear();
+        assert_eq!(cm.n(), 0);
+        assert_eq!(cm.estimate(1), 0);
+    }
+
+    #[test]
+    fn universe_adapter_implements_the_trait() {
+        let mut c = CountMinOverUniverse::new(4, 256, (0u64..16).collect());
+        for i in 0..160 {
+            c.observe(i % 4);
+        }
+        assert_eq!(c.n(), 160);
+        let hh = c.frequent(0.2);
+        assert_eq!(hh.len(), 4);
+        assert_eq!(c.entries(), 1024);
+        c.clear();
+        assert!(c.frequent(0.0).iter().all(|&(_, f)| f == 0.0) || c.frequent(0.0).is_empty());
+    }
+
+    proptest! {
+        /// Count-Min never undercounts, and overcounts ≤ e·n/width per the
+        /// standard bound (with depth 4 the failure probability is tiny;
+        /// allow a generous slack).
+        #[test]
+        fn overcount_bounded(stream in proptest::collection::vec(0u64..64, 100..800)) {
+            let width = 128usize;
+            let mut cm = CountMin::<u64>::new(4, width);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                cm.observe(x);
+                exact.observe(x);
+            }
+            let slack = (3.0 * stream.len() as f64 / width as f64).ceil() as u64 + 1;
+            for x in 0..64u64 {
+                let est = cm.estimate(x);
+                let truth = exact.estimate(x);
+                prop_assert!(est >= truth, "undercount on {x}");
+                prop_assert!(est <= truth + slack,
+                    "overcount on {x}: est {est} truth {truth} slack {slack}");
+            }
+        }
+    }
+}

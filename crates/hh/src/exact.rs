@@ -1,0 +1,163 @@
+//! Exact frequency counting.
+//!
+//! The reference implementation every approximate counter is validated
+//! against, and the statistics backend of the paper's uncompressed SRIA /
+//! DIA assessment methods (§IV-C1, §IV-D1): a plain hash table of per-item
+//! counts that never discards anything.
+
+use crate::traits::{sort_frequent, FrequencyEstimator};
+use amri_stream::FxHashMap;
+use std::hash::Hash;
+
+/// Exact per-item counts in a hash table.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCounter<T: Eq + Hash + Copy> {
+    counts: FxHashMap<T, u64>,
+    n: u64,
+}
+
+impl<T: Eq + Hash + Copy> ExactCounter<T> {
+    /// New empty counter.
+    pub fn new() -> Self {
+        ExactCounter {
+            counts: FxHashMap::default(),
+            n: 0,
+        }
+    }
+
+    /// Iterate over `(item, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &u64)> {
+        self.counts.iter()
+    }
+}
+
+impl<T: Eq + Hash + Copy + Ord> FrequencyEstimator<T> for ExactCounter<T>
+where
+    T: OrdKey,
+{
+    fn observe(&mut self, item: T) {
+        *self.counts.entry(item).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    fn observe_n(&mut self, item: T, count: u64) {
+        *self.counts.entry(item).or_insert(0) += count;
+        self.n += count;
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn entries(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn estimate(&self, item: T) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    fn frequent(&self, theta: f64) -> Vec<(T, f64)> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let n = self.n as f64;
+        let mut out: Vec<(T, f64)> = self
+            .counts
+            .iter()
+            .map(|(&t, &c)| (t, c as f64 / n))
+            .filter(|&(_, f)| f >= theta)
+            .collect();
+        sort_frequent(&mut out, |t| t.ord_key());
+        out
+    }
+
+    fn clear(&mut self) {
+        self.counts.clear();
+        self.n = 0;
+    }
+}
+
+/// Deterministic tiebreak key for `frequent` ordering.
+pub trait OrdKey {
+    /// A total-order key for the item.
+    fn ord_key(&self) -> u64;
+}
+
+impl OrdKey for u64 {
+    fn ord_key(&self) -> u64 {
+        *self
+    }
+}
+
+impl OrdKey for u32 {
+    fn ord_key(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl OrdKey for amri_stream::AccessPattern {
+    fn ord_key(&self) -> u64 {
+        self.mask() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_frequencies() {
+        let mut c = ExactCounter::new();
+        for _ in 0..6 {
+            c.observe(1u64);
+        }
+        c.observe_n(2, 3);
+        c.observe(3);
+        assert_eq!(c.n(), 10);
+        assert_eq!(c.entries(), 3);
+        assert_eq!(c.estimate(1), 6);
+        assert_eq!(c.estimate(9), 0);
+        assert!((c.frequency(2) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequent_filters_and_sorts() {
+        let mut c = ExactCounter::new();
+        c.observe_n(10u64, 50);
+        c.observe_n(20, 30);
+        c.observe_n(30, 20);
+        let hh = c.frequent(0.25);
+        assert_eq!(hh.len(), 2);
+        assert_eq!(hh[0].0, 10);
+        assert_eq!(hh[1].0, 20);
+        assert!(c.frequent(0.0).len() == 3);
+        assert!(c.frequent(0.51).is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = ExactCounter::new();
+        c.observe(1u64);
+        c.clear();
+        assert_eq!(c.n(), 0);
+        assert_eq!(c.entries(), 0);
+        assert!(c.frequent(0.0).is_empty());
+    }
+
+    #[test]
+    fn empty_counter_is_sane() {
+        let c: ExactCounter<u64> = ExactCounter::new();
+        assert_eq!(c.frequency(5), 0.0);
+        assert!(c.frequent(0.1).is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut c = ExactCounter::new();
+        c.observe_n(7u64, 10);
+        c.observe_n(3, 10);
+        let hh = c.frequent(0.1);
+        assert_eq!(hh[0].0, 3, "equal counts order by item key");
+    }
+}

@@ -1,0 +1,317 @@
+//! Lossy counting (Manku & Motwani, VLDB 2002) — the algorithm behind CSRIA.
+//!
+//! The stream is processed in *segments* of `⌈1/ε⌉` items. Each tracked item
+//! carries its observed count `f` and the maximum undercount `Δ` it may have
+//! suffered before being (re-)inserted — `Δ = s_id − 1` where `s_id` is the
+//! segment id at insertion. At every segment boundary entries with
+//! `f + Δ ≤ s_id` are deleted. Querying with threshold `θ` returns entries
+//! with `f + Δ ≥ (θ − ε)·n`.
+//!
+//! Guarantees (property-tested in this module and in `amri-core`):
+//! 1. every item with true frequency ≥ θ is reported;
+//! 2. no item with true frequency < θ − ε is reported;
+//! 3. estimated counts undercount by at most ε·n;
+//! 4. at most `(1/ε)·log(ε·n)` entries are live (Manku–Motwani Thm. 4.2).
+
+use crate::traits::{sort_frequent, FrequencyEstimator};
+use amri_stream::FxHashMap;
+use std::hash::Hash;
+
+/// A tracked item's state: observed count and maximum prior undercount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossyEntry {
+    /// Occurrences observed since (re-)insertion (the paper's `A_ap`).
+    pub count: u64,
+    /// Maximum possible undercount at insertion time (the paper's `δ`).
+    pub delta: u64,
+}
+
+/// The lossy-counting summary.
+#[derive(Debug, Clone)]
+pub struct LossyCounter<T: Eq + Hash + Copy> {
+    entries: FxHashMap<T, LossyEntry>,
+    /// Error rate ε.
+    epsilon: f64,
+    /// Segment width `⌈1/ε⌉`.
+    segment: u64,
+    /// Items observed so far (the paper's λ_r).
+    n: u64,
+    /// High-water mark of live entries (memory-bound verification).
+    peak_entries: usize,
+}
+
+impl<T: Eq + Hash + Copy> LossyCounter<T> {
+    /// New counter with error rate `epsilon` (0 < ε < 1).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range ε.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0,1), got {epsilon}"
+        );
+        LossyCounter {
+            entries: FxHashMap::default(),
+            epsilon,
+            segment: (1.0 / epsilon).ceil() as u64,
+            n: 0,
+            peak_entries: 0,
+        }
+    }
+
+    /// The error rate ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Current segment id: `⌈n / ⌈1/ε⌉⌉` (Manku–Motwani's `b_current`; the
+    /// paper writes `⌊ε·λ_r⌋`, which agrees at segment boundaries — but the
+    /// ceiling form is required between boundaries so that the per-entry
+    /// `Δ = s_id − 1` keeps the `true ≤ f + Δ` invariant right after a
+    /// compression sweep).
+    #[inline]
+    pub fn segment_id(&self) -> u64 {
+        self.n.div_ceil(self.segment)
+    }
+
+    /// Largest number of entries ever live at once.
+    #[inline]
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// The tracked entry for `item`, if live.
+    pub fn entry(&self, item: T) -> Option<LossyEntry> {
+        self.entries.get(&item).copied()
+    }
+
+    /// Iterate over live `(item, entry)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, &LossyEntry)> {
+        self.entries.iter()
+    }
+
+    /// The Manku–Motwani space bound for the current stream length:
+    /// `(1/ε)·log(ε·n)` entries (≥1 once anything was observed).
+    pub fn space_bound(&self) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        let en = (self.epsilon * self.n as f64).max(std::f64::consts::E);
+        ((1.0 / self.epsilon) * en.ln()).ceil() as usize
+    }
+
+    /// Segment-boundary compression: drop entries with `f + Δ ≤ s_id`.
+    fn compress(&mut self) {
+        let sid = self.segment_id();
+        self.entries.retain(|_, e| e.count + e.delta > sid);
+    }
+}
+
+impl<T: Eq + Hash + Copy + crate::exact::OrdKey> FrequencyEstimator<T> for LossyCounter<T> {
+    fn observe(&mut self, item: T) {
+        self.n += 1;
+        let sid = self.segment_id();
+        match self.entries.get_mut(&item) {
+            Some(e) => e.count += 1,
+            None => {
+                self.entries.insert(
+                    item,
+                    LossyEntry {
+                        count: 1,
+                        delta: sid.saturating_sub(1),
+                    },
+                );
+            }
+        }
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+        if self.n % self.segment == 0 {
+            self.compress();
+        }
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn estimate(&self, item: T) -> u64 {
+        self.entries.get(&item).map(|e| e.count).unwrap_or(0)
+    }
+
+    /// Final-results rule: report items with `f + Δ ≥ (θ − ε)·n`.
+    fn frequent(&self, theta: f64) -> Vec<(T, f64)> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let n = self.n as f64;
+        let cut = (theta - self.epsilon) * n;
+        let mut out: Vec<(T, f64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| (e.count + e.delta) as f64 >= cut)
+            .map(|(&t, e)| (t, e.count as f64 / n))
+            .collect();
+        sort_frequent(&mut out, |t| t.ord_key());
+        out
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.n = 0;
+        self.peak_entries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn rejects_bad_epsilon() {
+        let _ = LossyCounter::<u64>::new(0.0);
+    }
+
+    #[test]
+    fn segments_advance_with_n() {
+        let mut c = LossyCounter::<u64>::new(0.1); // segment width 10
+        assert_eq!(c.segment, 10);
+        for i in 0..25 {
+            c.observe(i);
+        }
+        // b_current = ⌈25/10⌉ — the third segment is in progress.
+        assert_eq!(c.segment_id(), 3);
+    }
+
+    #[test]
+    fn infrequent_items_are_compressed_away() {
+        let mut c = LossyCounter::<u64>::new(0.1);
+        // One heavy item, many singletons.
+        for i in 0..200u64 {
+            c.observe(if i % 2 == 0 { 0 } else { 100 + i });
+        }
+        // Singletons appear once each and must be dropped at boundaries.
+        assert!(c.entries() < 20, "entries = {}", c.entries());
+        assert!(c.estimate(0) >= 90);
+    }
+
+    #[test]
+    fn frequent_applies_theta_minus_epsilon_rule() {
+        let mut c = LossyCounter::<u64>::new(0.01);
+        for _ in 0..60 {
+            c.observe(1);
+        }
+        for _ in 0..39 {
+            c.observe(2);
+        }
+        c.observe(3);
+        let hh = c.frequent(0.5);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].0, 1);
+        assert!((hh[0].1 - 0.6).abs() < 1e-9);
+        let hh = c.frequent(0.3);
+        assert_eq!(hh.len(), 2);
+    }
+
+    #[test]
+    fn delta_records_insertion_uncertainty() {
+        let mut c = LossyCounter::<u64>::new(0.1);
+        for i in 0..30u64 {
+            c.observe(i % 3); // keep three items alive
+        }
+        // A brand-new item inserted now gets delta = s_id − 1.
+        c.observe(99);
+        let e = c.entry(99).unwrap();
+        assert_eq!(e.count, 1);
+        assert_eq!(e.delta, c.segment_id() - 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LossyCounter::<u64>::new(0.1);
+        c.observe(1);
+        c.clear();
+        assert_eq!(c.n(), 0);
+        assert_eq!(c.entries(), 0);
+        assert_eq!(c.peak_entries(), 0);
+    }
+
+    proptest! {
+        /// Guarantee 1: every item with true frequency ≥ θ is reported.
+        #[test]
+        fn no_false_negatives(stream in proptest::collection::vec(0u64..20, 200..800)) {
+            let theta = 0.1;
+            let mut lossy = LossyCounter::new(0.01);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                lossy.observe(x);
+                exact.observe(x);
+            }
+            let reported: std::collections::HashSet<u64> =
+                lossy.frequent(theta).into_iter().map(|(t, _)| t).collect();
+            for (item, count) in exact.iter() {
+                let f = *count as f64 / stream.len() as f64;
+                if f >= theta {
+                    prop_assert!(reported.contains(item),
+                        "item {item} with true freq {f} missing");
+                }
+            }
+        }
+
+        /// Guarantee 2: nothing with true frequency < θ − ε is reported.
+        #[test]
+        fn no_gross_false_positives(stream in proptest::collection::vec(0u64..50, 300..900)) {
+            let theta = 0.2;
+            let eps = 0.05;
+            let mut lossy = LossyCounter::new(eps);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                lossy.observe(x);
+                exact.observe(x);
+            }
+            for (item, _) in lossy.frequent(theta) {
+                let f = exact.estimate(item) as f64 / stream.len() as f64;
+                // Reported items must clear θ − 2ε (θ−ε from the output rule
+                // plus ε undercount slack on the estimate used in the rule).
+                prop_assert!(f >= theta - 2.0 * eps,
+                    "item {item} reported with true freq {f}");
+            }
+        }
+
+        /// Guarantee 3: estimates undercount by at most ε·n.
+        #[test]
+        fn bounded_undercount(stream in proptest::collection::vec(0u64..10, 100..600)) {
+            let eps = 0.02;
+            let mut lossy = LossyCounter::new(eps);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                lossy.observe(x);
+                exact.observe(x);
+            }
+            for (item, true_count) in exact.iter() {
+                let est = lossy.estimate(*item);
+                prop_assert!(est <= *true_count, "overcount on {item}");
+                let slack = (eps * stream.len() as f64).ceil() as u64;
+                prop_assert!(est + slack >= *true_count,
+                    "undercount beyond εn on {item}: est={est} true={true_count}");
+            }
+        }
+
+        /// Guarantee 4: live entries stay within the Manku–Motwani bound.
+        #[test]
+        fn space_within_bound(stream in proptest::collection::vec(0u64..10_000, 1000..3000)) {
+            let mut lossy = LossyCounter::new(0.01);
+            for &x in &stream {
+                lossy.observe(x);
+            }
+            prop_assert!(lossy.entries() <= lossy.space_bound() + (1.0 / 0.01) as usize,
+                "entries {} exceed bound {}", lossy.entries(), lossy.space_bound());
+        }
+    }
+}

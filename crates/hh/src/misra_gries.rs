@@ -1,0 +1,186 @@
+//! Misra–Gries frequent-elements summary (Misra & Gries 1982).
+//!
+//! The first deterministic heavy-hitter algorithm, cited by the paper as the
+//! origin of the method family (\[25\] in its bibliography). Kept here as an
+//! ablation backend for CSRIA: `k` counters guarantee every item with
+//! frequency > n/(k+1) survives, with undercount at most n/(k+1).
+
+use crate::traits::{sort_frequent, FrequencyEstimator};
+use amri_stream::FxHashMap;
+use std::hash::Hash;
+
+/// The Misra–Gries k-counter summary.
+#[derive(Debug, Clone)]
+pub struct MisraGries<T: Eq + Hash + Copy> {
+    counters: FxHashMap<T, u64>,
+    /// Maximum number of counters maintained.
+    k: usize,
+    n: u64,
+    /// Total decrement applied (the shared undercount all items suffered).
+    decremented: u64,
+}
+
+impl<T: Eq + Hash + Copy> MisraGries<T> {
+    /// New summary with `k` counters.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one counter");
+        MisraGries {
+            counters: FxHashMap::default(),
+            k,
+            n: 0,
+            decremented: 0,
+        }
+    }
+
+    /// The counter budget `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Upper bound on how much any estimate undercounts: total decrements.
+    #[inline]
+    pub fn max_undercount(&self) -> u64 {
+        self.decremented
+    }
+}
+
+impl<T: Eq + Hash + Copy + crate::exact::OrdKey> FrequencyEstimator<T> for MisraGries<T> {
+    fn observe(&mut self, item: T) {
+        self.n += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+        } else if self.counters.len() < self.k {
+            self.counters.insert(item, 1);
+        } else {
+            // Decrement-all step; drop zeroed counters.
+            self.decremented += 1;
+            self.counters.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn estimate(&self, item: T) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    fn frequent(&self, theta: f64) -> Vec<(T, f64)> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let n = self.n as f64;
+        // Compensate the shared undercount like lossy counting's f + Δ rule.
+        let cut = theta * n - self.decremented as f64;
+        let mut out: Vec<(T, f64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c as f64 >= cut)
+            .map(|(&t, &c)| (t, c as f64 / n))
+            .collect();
+        sort_frequent(&mut out, |t| t.ord_key());
+        out
+    }
+
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.n = 0;
+        self.decremented = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn rejects_zero_counters() {
+        let _ = MisraGries::<u64>::new(0);
+    }
+
+    #[test]
+    fn never_exceeds_k_counters() {
+        let mut mg = MisraGries::new(3);
+        for i in 0..1000u64 {
+            mg.observe(i % 17);
+        }
+        assert!(mg.entries() <= 3);
+        assert_eq!(mg.k(), 3);
+    }
+
+    #[test]
+    fn majority_item_survives() {
+        let mut mg = MisraGries::new(2);
+        for i in 0..300u64 {
+            mg.observe(if i % 3 != 2 { 7 } else { i });
+        }
+        // Item 7 has frequency 2/3 > n/(k+1) = n/3 — must be tracked.
+        assert!(mg.estimate(7) > 0);
+        let hh = mg.frequent(0.5);
+        assert_eq!(hh[0].0, 7);
+    }
+
+    #[test]
+    fn estimates_never_overcount() {
+        let mut mg = MisraGries::new(4);
+        let mut exact = ExactCounter::new();
+        for i in 0..500u64 {
+            let x = i * i % 23;
+            mg.observe(x);
+            exact.observe(x);
+        }
+        for i in 0..23u64 {
+            assert!(mg.estimate(i) <= exact.estimate(i));
+        }
+    }
+
+    proptest! {
+        /// Any item with frequency > n/(k+1) is tracked (the MG guarantee).
+        #[test]
+        fn mg_guarantee(stream in proptest::collection::vec(0u64..12, 100..500), k in 3usize..8) {
+            let mut mg = MisraGries::new(k);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                mg.observe(x);
+                exact.observe(x);
+            }
+            let n = stream.len() as u64;
+            for (item, count) in exact.iter() {
+                if *count > n / (k as u64 + 1) {
+                    prop_assert!(mg.estimate(*item) > 0,
+                        "heavy item {item} lost (count {count}, n {n}, k {k})");
+                }
+            }
+        }
+
+        /// Undercount is bounded by the decrement total, which is ≤ n/(k+1).
+        #[test]
+        fn undercount_bounded(stream in proptest::collection::vec(0u64..30, 100..500), k in 2usize..10) {
+            let mut mg = MisraGries::new(k);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                mg.observe(x);
+                exact.observe(x);
+            }
+            prop_assert!(mg.max_undercount() <= stream.len() as u64 / (k as u64 + 1) + 1);
+            for (item, count) in exact.iter() {
+                prop_assert!(mg.estimate(*item) + mg.max_undercount() >= *count);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Space-Saving (Metwally et al. 2005) — a bounded-memory counter used as an
+//! ablation backend for CSRIA.
+//!
+//! Keeps exactly `m` counters. An unseen item replaces the current minimum
+//! counter and inherits its count as its error bound, so estimates
+//! *overcount* by at most the replaced minimum — the mirror image of lossy
+//! counting's undercount.
+
+use crate::traits::{sort_frequent, FrequencyEstimator};
+use amri_stream::FxHashMap;
+use std::hash::Hash;
+
+/// One Space-Saving counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SsEntry {
+    count: u64,
+    /// Possible overcount inherited from the evicted minimum.
+    error: u64,
+}
+
+/// The Space-Saving summary with a fixed counter budget.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<T: Eq + Hash + Copy> {
+    counters: FxHashMap<T, SsEntry>,
+    m: usize,
+    n: u64,
+}
+
+impl<T: Eq + Hash + Copy> SpaceSaving<T> {
+    /// New summary with `m` counters.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "need at least one counter");
+        SpaceSaving {
+            counters: FxHashMap::default(),
+            m,
+            n: 0,
+        }
+    }
+
+    /// The counter budget.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.m
+    }
+
+    /// Overcount bound for `item`'s estimate (0 if untracked).
+    pub fn error_of(&self, item: T) -> u64 {
+        self.counters.get(&item).map(|e| e.error).unwrap_or(0)
+    }
+
+    fn min_entry(&self) -> Option<(T, SsEntry)> {
+        self.counters
+            .iter()
+            .min_by_key(|(_, e)| e.count)
+            .map(|(&t, &e)| (t, e))
+    }
+}
+
+impl<T: Eq + Hash + Copy + crate::exact::OrdKey> FrequencyEstimator<T> for SpaceSaving<T> {
+    fn observe(&mut self, item: T) {
+        self.n += 1;
+        if let Some(e) = self.counters.get_mut(&item) {
+            e.count += 1;
+        } else if self.counters.len() < self.m {
+            self.counters.insert(item, SsEntry { count: 1, error: 0 });
+        } else {
+            let (min_item, min) = self.min_entry().expect("m > 0");
+            self.counters.remove(&min_item);
+            self.counters.insert(
+                item,
+                SsEntry {
+                    count: min.count + 1,
+                    error: min.count,
+                },
+            );
+        }
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn estimate(&self, item: T) -> u64 {
+        self.counters.get(&item).map(|e| e.count).unwrap_or(0)
+    }
+
+    fn frequent(&self, theta: f64) -> Vec<(T, f64)> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let n = self.n as f64;
+        let mut out: Vec<(T, f64)> = self
+            .counters
+            .iter()
+            .filter(|(_, e)| e.count as f64 >= theta * n)
+            .map(|(&t, e)| (t, e.count as f64 / n))
+            .collect();
+        sort_frequent(&mut out, |t| t.ord_key());
+        out
+    }
+
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCounter;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn rejects_zero_capacity() {
+        let _ = SpaceSaving::<u64>::new(0);
+    }
+
+    #[test]
+    fn capacity_is_hard() {
+        let mut ss = SpaceSaving::new(5);
+        for i in 0..1000u64 {
+            ss.observe(i);
+        }
+        assert_eq!(ss.entries(), 5);
+        assert_eq!(ss.capacity(), 5);
+    }
+
+    #[test]
+    fn heavy_item_dominates() {
+        let mut ss = SpaceSaving::new(4);
+        for i in 0..400u64 {
+            ss.observe(if i % 2 == 0 { 1 } else { 100 + (i % 50) });
+        }
+        let hh = ss.frequent(0.4);
+        assert!(!hh.is_empty());
+        assert_eq!(hh[0].0, 1);
+    }
+
+    proptest! {
+        /// Estimates never undercount, and overcount ≤ recorded error ≤ n/m.
+        #[test]
+        fn overcount_bounds(stream in proptest::collection::vec(0u64..40, 200..600), m in 5usize..15) {
+            let mut ss = SpaceSaving::new(m);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                ss.observe(x);
+                exact.observe(x);
+            }
+            for (item, count) in exact.iter() {
+                let est = ss.estimate(*item);
+                if est > 0 {
+                    prop_assert!(est >= *count || est + ss.error_of(*item) >= *count);
+                    prop_assert!(est <= count + ss.error_of(*item),
+                        "estimate {est} exceeds true {count} + error {}", ss.error_of(*item));
+                    prop_assert!(ss.error_of(*item) <= stream.len() as u64 / m as u64 + 1);
+                }
+            }
+        }
+
+        /// Items with frequency > n/m are always tracked.
+        #[test]
+        fn heavy_items_tracked(stream in proptest::collection::vec(0u64..10, 200..600), m in 4usize..12) {
+            let mut ss = SpaceSaving::new(m);
+            let mut exact = ExactCounter::new();
+            for &x in &stream {
+                ss.observe(x);
+                exact.observe(x);
+            }
+            let n = stream.len() as u64;
+            for (item, count) in exact.iter() {
+                if *count > n / m as u64 {
+                    prop_assert!(ss.estimate(*item) > 0, "lost heavy item {item}");
+                }
+            }
+        }
+    }
+}

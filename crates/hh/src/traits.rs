@@ -1,0 +1,57 @@
+//! The shared abstraction over frequency estimators.
+
+use std::hash::Hash;
+
+/// A streaming frequency estimator over items of type `T`.
+///
+/// Implementations differ in their space/accuracy trade-off; all report
+/// *frequencies* as fractions of the total observation count `n`.
+pub trait FrequencyEstimator<T: Eq + Hash + Copy> {
+    /// Record one occurrence of `item`.
+    fn observe(&mut self, item: T);
+
+    /// Record `count` occurrences of `item`.
+    fn observe_n(&mut self, item: T, count: u64) {
+        for _ in 0..count {
+            self.observe(item);
+        }
+    }
+
+    /// Total observations so far.
+    fn n(&self) -> u64;
+
+    /// Number of entries currently materialized (memory proxy).
+    fn entries(&self) -> usize;
+
+    /// Estimated occurrence count for `item` (0 if not tracked).
+    fn estimate(&self, item: T) -> u64;
+
+    /// All items whose estimated frequency is at least `theta`, with their
+    /// estimated frequencies, sorted descending by frequency.
+    ///
+    /// Exact semantics per implementation: lossy counting applies the
+    /// `f + Δ ≥ (θ − ε)·n` rule; exact counting the plain `f/n ≥ θ` rule.
+    fn frequent(&self, theta: f64) -> Vec<(T, f64)>;
+
+    /// Estimated frequency (fraction) of `item`.
+    fn frequency(&self, item: T) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.estimate(item) as f64 / self.n() as f64
+        }
+    }
+
+    /// Drop all state.
+    fn clear(&mut self);
+}
+
+/// Sort (item, freq) pairs descending by frequency with a stable tiebreak,
+/// shared by implementations so `frequent` output order is deterministic.
+pub(crate) fn sort_frequent<T: Copy>(out: &mut [(T, f64)], key: impl Fn(&T) -> u64) {
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then_with(|| key(&a.0).cmp(&key(&b.0)))
+    });
+}

@@ -1,0 +1,78 @@
+//! Error types shared by the stream substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating substrate objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An attribute vector exceeded [`crate::value::MAX_ATTRS`].
+    TooManyAttributes {
+        /// The number of attributes requested.
+        requested: usize,
+        /// The hard per-tuple cap.
+        max: usize,
+    },
+    /// A stream id referenced by a query is not among the declared schemas.
+    UnknownStream(u16),
+    /// An attribute id is out of range for the referenced stream schema.
+    UnknownAttribute {
+        /// The stream the attribute was looked up in.
+        stream: u16,
+        /// The offending attribute index.
+        attr: u8,
+    },
+    /// A query failed structural validation (empty FROM, self-join predicate,
+    /// disconnected join graph, ...). The payload is a human-readable reason.
+    InvalidQuery(String),
+    /// A window specification is degenerate (zero length).
+    InvalidWindow,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::TooManyAttributes { requested, max } => write!(
+                f,
+                "too many attributes: requested {requested}, maximum is {max}"
+            ),
+            StreamError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            StreamError::UnknownAttribute { stream, attr } => {
+                write!(f, "unknown attribute {attr} on stream {stream}")
+            }
+            StreamError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
+            StreamError::InvalidWindow => write!(f, "invalid window: length must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StreamError::TooManyAttributes {
+            requested: 12,
+            max: 8,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains('8'));
+        assert!(StreamError::UnknownStream(3).to_string().contains('3'));
+        assert!(StreamError::InvalidWindow.to_string().contains("window"));
+        let e = StreamError::UnknownAttribute { stream: 1, attr: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = StreamError::InvalidQuery("empty FROM".into());
+        assert!(e.to_string().contains("empty FROM"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StreamError::InvalidWindow, StreamError::InvalidWindow);
+        assert_ne!(
+            StreamError::UnknownStream(1),
+            StreamError::UnknownStream(2)
+        );
+    }
+}

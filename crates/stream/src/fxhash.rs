@@ -1,0 +1,168 @@
+//! A fast, deterministic non-cryptographic hasher.
+//!
+//! This is the FxHash algorithm used by rustc (multiply–rotate over word-size
+//! chunks). The AMRI hot paths — bucket-id computation, access-pattern
+//! statistics tables, hash-index baselines — hash small integer keys at very
+//! high rates, where SipHash's HashDoS protection is pure overhead. The
+//! implementation is local (≈60 lines) rather than a dependency, per the
+//! workspace dependency policy in `DESIGN.md`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc-hash hashing state: one 64-bit word, updated with
+/// rotate–xor–multiply per input word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash a single `u64` to a well-mixed `u64`.
+///
+/// This is the scalar entry point used for bucket-id derivation in the
+/// bit-address index: the *top* bits of the result are the best-mixed, so
+/// callers that need `b` bits should take `fx_hash_u64(v) >> (64 - b)`.
+#[inline]
+pub fn fx_hash_u64(value: u64) -> u64 {
+    // A single multiply leaves the low bits poorly mixed; finish with a
+    // xor-shift avalanche (splitmix64 finalizer) so every output bit depends
+    // on every input bit.
+    let mut x = value.wrapping_mul(SEED);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"abc"), hash_one(&"abc"));
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(fx_hash_u64(i));
+        }
+        assert_eq!(seen.len(), 10_000, "fx_hash_u64 collided on small ints");
+    }
+
+    #[test]
+    fn top_bits_are_well_distributed() {
+        // Bucket small consecutive integers by their top 8 bits: every
+        // bucket should receive roughly n/256 items.
+        let mut counts = [0u32; 256];
+        let n = 256 * 64;
+        for i in 0..n as u64 {
+            counts[(fx_hash_u64(i) >> 56) as usize] += 1;
+        }
+        let expected = (n / 256) as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.4 && (c as f64) < expected * 1.8,
+                "bucket {b} got {c}, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_word_boundaries() {
+        // Hashing via write() must consume full words and the remainder.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        h.write(&[9]);
+        // Not required to be equal (chunk boundaries differ) but both must be
+        // deterministic and non-zero.
+        let b = h.finish();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+    }
+
+    #[test]
+    fn fxhashmap_works_as_a_map() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&21], 42);
+    }
+}

@@ -1,0 +1,226 @@
+//! Stream schemas, identifiers and attribute domains.
+//!
+//! A schema declares, per stream, the attributes a tuple carries and the
+//! discrete domain each attribute draws from. Domains matter twice: the
+//! synthetic generators sample from them, and the bit-address index's
+//! key map (§III of the paper: "we assume that the range and estimated
+//! distribution of each attribute is known") uses them to spread values
+//! evenly across bit prefixes.
+
+use crate::error::StreamError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a stream within a query (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct StreamId(pub u16);
+
+/// Identifies an attribute within one stream's schema (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AttrId(pub u8);
+
+impl StreamId {
+    /// The id as a usize, for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// The id as a usize, for indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The discrete value domain of one attribute: `[min, max]` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrDomain {
+    /// Smallest value the attribute takes.
+    pub min: u64,
+    /// Largest value the attribute takes (inclusive).
+    pub max: u64,
+}
+
+impl AttrDomain {
+    /// A domain spanning `[0, cardinality)`.
+    ///
+    /// # Panics
+    /// Panics if `cardinality == 0`.
+    pub fn with_cardinality(cardinality: u64) -> Self {
+        assert!(cardinality > 0, "domain cardinality must be positive");
+        AttrDomain {
+            min: 0,
+            max: cardinality - 1,
+        }
+    }
+
+    /// Number of distinct values in the domain.
+    #[inline]
+    pub fn cardinality(&self) -> u64 {
+        self.max - self.min + 1
+    }
+
+    /// True iff `v` lies inside the domain.
+    #[inline]
+    pub fn contains(&self, v: u64) -> bool {
+        v >= self.min && v <= self.max
+    }
+}
+
+impl Default for AttrDomain {
+    fn default() -> Self {
+        AttrDomain {
+            min: 0,
+            max: u64::MAX,
+        }
+    }
+}
+
+/// Declaration of one attribute of a stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrSpec {
+    /// Human-readable name (e.g. `"priority_code"`).
+    pub name: String,
+    /// Value domain.
+    pub domain: AttrDomain,
+}
+
+impl AttrSpec {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, domain: AttrDomain) -> Self {
+        AttrSpec {
+            name: name.into(),
+            domain,
+        }
+    }
+}
+
+/// Schema of one stream: its name and ordered attribute declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSchema {
+    /// Stream name (e.g. `"StreamA"`).
+    pub name: String,
+    /// Ordered attribute declarations; a tuple's `AttrVec` aligns with this.
+    pub attrs: Vec<AttrSpec>,
+    /// Extra non-join payload bytes carried per tuple (accounted by the
+    /// memory model; never materialized).
+    pub payload_bytes: u32,
+}
+
+impl StreamSchema {
+    /// Build a schema.
+    pub fn new(name: impl Into<String>, attrs: Vec<AttrSpec>, payload_bytes: u32) -> Self {
+        StreamSchema {
+            name: name.into(),
+            attrs,
+            payload_bytes,
+        }
+    }
+
+    /// Number of declared attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u8))
+    }
+
+    /// The spec for attribute `a`.
+    ///
+    /// # Errors
+    /// [`StreamError::UnknownAttribute`] if out of range (stream id reported
+    /// as `u16::MAX` because the schema does not know its own id).
+    pub fn attr(&self, a: AttrId) -> Result<&AttrSpec, StreamError> {
+        self.attrs.get(a.idx()).ok_or(StreamError::UnknownAttribute {
+            stream: u16::MAX,
+            attr: a.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StreamSchema {
+        StreamSchema::new(
+            "Packages",
+            vec![
+                AttrSpec::new("priority_code", AttrDomain::with_cardinality(32)),
+                AttrSpec::new("package_id", AttrDomain::with_cardinality(100_000)),
+                AttrSpec::new("location_id", AttrDomain::with_cardinality(512)),
+            ],
+            100,
+        )
+    }
+
+    #[test]
+    fn domain_cardinality_and_membership() {
+        let d = AttrDomain::with_cardinality(10);
+        assert_eq!(d.cardinality(), 10);
+        assert!(d.contains(0));
+        assert!(d.contains(9));
+        assert!(!d.contains(10));
+        let full = AttrDomain::default();
+        assert!(full.contains(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality must be positive")]
+    fn zero_cardinality_panics() {
+        let _ = AttrDomain::with_cardinality(0);
+    }
+
+    #[test]
+    fn schema_lookup_by_name_and_id() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_by_name("location_id"), Some(AttrId(2)));
+        assert_eq!(s.attr_by_name("missing"), None);
+        assert_eq!(s.attr(AttrId(0)).unwrap().name, "priority_code");
+        assert!(s.attr(AttrId(3)).is_err());
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(StreamId(2).to_string(), "S2");
+        assert_eq!(AttrId(1).to_string(), "a1");
+        assert_eq!(StreamId(2).idx(), 2);
+        assert_eq!(AttrId(1).idx(), 1);
+    }
+
+    #[test]
+    fn schema_clones_and_compares() {
+        let s = sample();
+        let t = s.clone();
+        assert_eq!(s, t);
+        let mut u = s.clone();
+        u.payload_bytes = 1;
+        assert_ne!(s, u);
+    }
+}

@@ -1,0 +1,294 @@
+//! Stream tuples and partial (intermediate) join tuples.
+//!
+//! The router moves two kinds of objects: base tuples freshly arrived from a
+//! stream, and *partial tuples* — concatenations of base tuples from several
+//! streams produced by intermediate joins. Which streams a partial tuple
+//! already covers determines the access pattern of its next probe (§I of the
+//! paper: a tuple routed `A⋈B` first probes `C` with *both* join attributes;
+//! one routed directly probes with one) — this coupling between routing and
+//! access patterns is the entire motivation for AMRI.
+
+use crate::schema::StreamId;
+use crate::time::VirtualTime;
+use crate::value::AttrVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of streams a single query may join.
+///
+/// The paper's evaluation uses 4-way joins; 6 gives headroom for extension
+/// experiments while keeping [`PartialTuple`] a fixed-size value type.
+pub const MAX_STREAMS: usize = 6;
+
+/// Unique identifier of a base tuple within one run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TupleId(pub u64);
+
+/// A base tuple arriving on a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    /// Run-unique id.
+    pub id: TupleId,
+    /// Originating stream.
+    pub stream: StreamId,
+    /// Arrival instant (drives sliding-window expiration).
+    pub ts: VirtualTime,
+    /// Attribute values, aligned with the stream's schema.
+    pub attrs: AttrVec,
+}
+
+impl Tuple {
+    /// Construct a tuple.
+    pub fn new(id: TupleId, stream: StreamId, ts: VirtualTime, attrs: AttrVec) -> Self {
+        Tuple {
+            id,
+            stream,
+            ts,
+            attrs,
+        }
+    }
+}
+
+/// Bitmask of streams covered by a partial tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct StreamMask(pub u16);
+
+impl StreamMask {
+    /// The empty mask.
+    pub const EMPTY: StreamMask = StreamMask(0);
+
+    /// Mask covering only `s`.
+    #[inline]
+    pub fn only(s: StreamId) -> Self {
+        StreamMask(1 << s.0)
+    }
+
+    /// Mask covering all of the first `n` streams.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_STREAMS`.
+    #[inline]
+    pub fn all(n: usize) -> Self {
+        assert!(n <= MAX_STREAMS);
+        StreamMask(((1u32 << n) - 1) as u16)
+    }
+
+    /// True iff `s` is covered.
+    #[inline]
+    pub fn covers(self, s: StreamId) -> bool {
+        self.0 & (1 << s.0) != 0
+    }
+
+    /// Union with another mask.
+    #[inline]
+    pub fn union(self, other: StreamMask) -> StreamMask {
+        StreamMask(self.0 | other.0)
+    }
+
+    /// Add one stream.
+    #[inline]
+    pub fn with(self, s: StreamId) -> StreamMask {
+        StreamMask(self.0 | (1 << s.0))
+    }
+
+    /// Number of covered streams.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True iff nothing is covered.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over covered stream ids, ascending.
+    pub fn streams(self) -> impl Iterator<Item = StreamId> {
+        let mut m = self.0;
+        std::iter::from_fn(move || {
+            if m == 0 {
+                None
+            } else {
+                let b = m.trailing_zeros() as u16;
+                m &= m - 1;
+                Some(StreamId(b))
+            }
+        })
+    }
+}
+
+impl fmt::Debug for StreamMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for s in self.streams() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A (possibly partial) join result flowing through the router.
+///
+/// Holds, per covered stream, the base tuple's attribute values; a partial
+/// tuple covering all query streams is a final join result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialTuple {
+    /// Which streams' tuples this partial result already contains.
+    pub covered: StreamMask,
+    /// Earliest arrival instant among the constituent base tuples — used for
+    /// window checks when probing further states.
+    pub min_ts: VirtualTime,
+    /// Per-stream attribute values; slot `i` is valid iff `covered` has
+    /// stream `i`.
+    parts: [AttrVec; MAX_STREAMS],
+}
+
+impl PartialTuple {
+    /// Wrap a single base tuple.
+    ///
+    /// # Panics
+    /// Panics if the tuple's stream id is ≥ [`MAX_STREAMS`].
+    pub fn from_base(t: &Tuple) -> Self {
+        assert!((t.stream.idx()) < MAX_STREAMS, "stream id out of range");
+        let mut parts = [AttrVec::new(); MAX_STREAMS];
+        parts[t.stream.idx()] = t.attrs;
+        PartialTuple {
+            covered: StreamMask::only(t.stream),
+            min_ts: t.ts,
+            parts,
+        }
+    }
+
+    /// Attribute values of the covered stream `s`, or `None` if `s` is not
+    /// covered.
+    #[inline]
+    pub fn part(&self, s: StreamId) -> Option<&AttrVec> {
+        if self.covered.covers(s) {
+            Some(&self.parts[s.idx()])
+        } else {
+            None
+        }
+    }
+
+    /// Join this partial tuple with a base tuple's attributes from stream
+    /// `s` (predicate satisfaction is the caller's responsibility).
+    ///
+    /// # Panics
+    /// Panics if `s` is already covered.
+    pub fn extend(&self, s: StreamId, attrs: AttrVec, ts: VirtualTime) -> PartialTuple {
+        assert!(!self.covered.covers(s), "stream {s} already joined");
+        let mut out = *self;
+        out.covered = out.covered.with(s);
+        out.parts[s.idx()] = attrs;
+        if ts < out.min_ts {
+            out.min_ts = ts;
+        }
+        out
+    }
+
+    /// True iff this partial tuple covers every stream of an `n`-way query
+    /// (i.e. it is a final join result).
+    #[inline]
+    pub fn is_complete(&self, n_streams: usize) -> bool {
+        self.covered == StreamMask::all(n_streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrVec;
+
+    fn t(stream: u16, attrs: &[u64], secs: u64) -> Tuple {
+        Tuple::new(
+            TupleId(stream as u64 * 1000),
+            StreamId(stream),
+            VirtualTime::from_secs(secs),
+            AttrVec::from_slice(attrs).unwrap(),
+        )
+    }
+
+    #[test]
+    fn mask_operations() {
+        let m = StreamMask::only(StreamId(1)).with(StreamId(3));
+        assert!(m.covers(StreamId(1)));
+        assert!(m.covers(StreamId(3)));
+        assert!(!m.covers(StreamId(0)));
+        assert_eq!(m.count(), 2);
+        assert_eq!(
+            m.streams().collect::<Vec<_>>(),
+            vec![StreamId(1), StreamId(3)]
+        );
+        assert_eq!(m.union(StreamMask::only(StreamId(0))).count(), 3);
+        assert_eq!(StreamMask::all(4).count(), 4);
+        assert!(StreamMask::EMPTY.is_empty());
+        assert_eq!(format!("{m:?}"), "{S1,S3}");
+    }
+
+    #[test]
+    fn base_tuple_wraps_into_partial() {
+        let base = t(2, &[10, 20, 30], 5);
+        let p = PartialTuple::from_base(&base);
+        assert_eq!(p.covered, StreamMask::only(StreamId(2)));
+        assert_eq!(p.min_ts, VirtualTime::from_secs(5));
+        assert_eq!(p.part(StreamId(2)).unwrap().as_slice(), &[10, 20, 30]);
+        assert!(p.part(StreamId(0)).is_none());
+        assert!(!p.is_complete(4));
+    }
+
+    #[test]
+    fn extend_joins_streams_and_tracks_min_ts() {
+        let p = PartialTuple::from_base(&t(0, &[1, 2, 3], 10));
+        let q = p.extend(
+            StreamId(1),
+            AttrVec::from_slice(&[4, 5, 6]).unwrap(),
+            VirtualTime::from_secs(3),
+        );
+        assert_eq!(q.covered.count(), 2);
+        assert_eq!(q.min_ts, VirtualTime::from_secs(3)); // earlier constituent
+        assert_eq!(q.part(StreamId(0)).unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(q.part(StreamId(1)).unwrap().as_slice(), &[4, 5, 6]);
+        // Original untouched (value semantics).
+        assert_eq!(p.covered.count(), 1);
+
+        let r = q
+            .extend(
+                StreamId(2),
+                AttrVec::from_slice(&[7]).unwrap(),
+                VirtualTime::from_secs(20),
+            )
+            .extend(
+                StreamId(3),
+                AttrVec::from_slice(&[8]).unwrap(),
+                VirtualTime::from_secs(20),
+            );
+        assert!(r.is_complete(4));
+        assert_eq!(r.min_ts, VirtualTime::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already joined")]
+    fn extending_with_covered_stream_panics() {
+        let p = PartialTuple::from_base(&t(0, &[1], 0));
+        let _ = p.extend(StreamId(0), AttrVec::new(), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn complete_requires_exact_prefix_mask() {
+        let p = PartialTuple::from_base(&t(0, &[1], 0)).extend(
+            StreamId(2),
+            AttrVec::new(),
+            VirtualTime::ZERO,
+        );
+        // Covers {0,2} — not complete for a 3-way query over {0,1,2}.
+        assert!(!p.is_complete(3));
+    }
+}

@@ -1,0 +1,240 @@
+//! Attribute values and the inline attribute vector.
+//!
+//! Join attributes in the paper's workloads are discrete identifiers
+//! (priority codes, package ids, location ids, ticker ids...). We model every
+//! attribute value as a `u64`; equality joins compare these directly and the
+//! bit-address index hashes them. Payload bytes that ride along with a tuple
+//! are accounted for by the memory model but never materialized.
+//!
+//! [`AttrVec`] is a fixed-capacity inline vector (no heap allocation per
+//! tuple) — the hot paths create millions of these.
+
+use crate::error::StreamError;
+use std::fmt;
+use std::ops::{Deref, Index};
+
+/// A single attribute value. Discrete domain, compared and hashed directly.
+pub type AttrValue = u64;
+
+/// Hard cap on attributes carried inline by a tuple or search request.
+///
+/// The paper's scenarios use 3 join attributes per state; 8 leaves room for
+/// wider schemas (join + payload key attributes) while keeping `AttrVec`
+/// register-friendly (72 bytes).
+pub const MAX_ATTRS: usize = 8;
+
+/// Fixed-capacity inline vector of attribute values.
+///
+/// Semantically a `Vec<AttrValue>` capped at [`MAX_ATTRS`]; physically a
+/// `[u64; 8]` plus a length byte, so tuples never heap-allocate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttrVec {
+    len: u8,
+    vals: [AttrValue; MAX_ATTRS],
+}
+
+impl AttrVec {
+    /// The empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        AttrVec {
+            len: 0,
+            vals: [0; MAX_ATTRS],
+        }
+    }
+
+    /// Build from a slice.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::TooManyAttributes`] if the slice is longer than
+    /// [`MAX_ATTRS`].
+    pub fn from_slice(vals: &[AttrValue]) -> Result<Self, StreamError> {
+        if vals.len() > MAX_ATTRS {
+            return Err(StreamError::TooManyAttributes {
+                requested: vals.len(),
+                max: MAX_ATTRS,
+            });
+        }
+        let mut v = AttrVec::new();
+        v.vals[..vals.len()].copy_from_slice(vals);
+        v.len = vals.len() as u8;
+        Ok(v)
+    }
+
+    /// Number of attributes stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff no attributes are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a value.
+    ///
+    /// # Panics
+    /// Panics if the vector is full ([`MAX_ATTRS`] values).
+    #[inline]
+    pub fn push(&mut self, v: AttrValue) {
+        assert!(
+            (self.len as usize) < MAX_ATTRS,
+            "AttrVec overflow: capacity {MAX_ATTRS}"
+        );
+        self.vals[self.len as usize] = v;
+        self.len += 1;
+    }
+
+    /// The stored values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[AttrValue] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// Value at position `i`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<AttrValue> {
+        self.as_slice().get(i).copied()
+    }
+
+    /// Overwrite the value at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: AttrValue) {
+        assert!(i < self.len as usize, "AttrVec index {i} out of range");
+        self.vals[i] = v;
+    }
+}
+
+impl Default for AttrVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for AttrVec {
+    type Target = [AttrValue];
+    #[inline]
+    fn deref(&self) -> &[AttrValue] {
+        self.as_slice()
+    }
+}
+
+impl Index<usize> for AttrVec {
+    type Output = AttrValue;
+    #[inline]
+    fn index(&self, i: usize) -> &AttrValue {
+        &self.as_slice()[i]
+    }
+}
+
+impl fmt::Debug for AttrVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<AttrValue> for AttrVec {
+    /// Collect up to [`MAX_ATTRS`] values.
+    ///
+    /// # Panics
+    /// Panics if the iterator yields more than [`MAX_ATTRS`] values.
+    fn from_iter<I: IntoIterator<Item = AttrValue>>(iter: I) -> Self {
+        let mut v = AttrVec::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrVec {
+    type Item = &'a AttrValue;
+    type IntoIter = std::slice::Iter<'a, AttrValue>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut v = AttrVec::new();
+        assert!(v.is_empty());
+        v.push(10);
+        v.push(20);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 10);
+        assert_eq!(v.get(1), Some(20));
+        assert_eq!(v.get(2), None);
+        assert_eq!(v.as_slice(), &[10, 20]);
+    }
+
+    #[test]
+    fn from_slice_and_overflow() {
+        let v = AttrVec::from_slice(&[1, 2, 3]).unwrap();
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        let too_many = [0u64; MAX_ATTRS + 1];
+        assert!(matches!(
+            AttrVec::from_slice(&too_many),
+            Err(StreamError::TooManyAttributes { requested: 9, max: 8 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "AttrVec overflow")]
+    fn push_past_capacity_panics() {
+        let mut v = AttrVec::from_slice(&[0; MAX_ATTRS]).unwrap();
+        v.push(1);
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut v = AttrVec::from_slice(&[1, 2]).unwrap();
+        v.set(1, 99);
+        assert_eq!(v.as_slice(), &[1, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut v = AttrVec::from_slice(&[1]).unwrap();
+        v.set(1, 0);
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        let mut a = AttrVec::new();
+        a.push(5);
+        let b = AttrVec::from_slice(&[5]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let v: AttrVec = (0..4u64).collect();
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        let total: u64 = (&v).into_iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let v = AttrVec::from_slice(&[3, 1, 2]).unwrap();
+        assert_eq!(v.iter().max(), Some(&3));
+        assert!(v.contains(&1));
+    }
+
+    #[test]
+    fn size_is_compact() {
+        // 8 values + len, padded: must stay ≤ 80 bytes so tuples stay small.
+        assert!(std::mem::size_of::<AttrVec>() <= 80);
+    }
+}

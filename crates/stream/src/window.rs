@@ -1,0 +1,185 @@
+//! Sliding-window bookkeeping.
+//!
+//! States keep only the tuples that arrived within the last `W` time units
+//! (standard sliding-window semantics, §II). [`WindowBuffer`] is the shared
+//! expiration queue: arrival-ordered items plus an `expire` sweep that
+//! returns everything that has fallen out of the window so the owning state
+//! can delete it from its index.
+
+use crate::error::StreamError;
+use crate::time::{VirtualDuration, VirtualTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sliding-window specification for one state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Window length `W` — a tuple with arrival `ts` is live while
+    /// `now < ts + length`.
+    pub length: VirtualDuration,
+}
+
+impl WindowSpec {
+    /// Build a window spec.
+    ///
+    /// # Errors
+    /// [`StreamError::InvalidWindow`] for a zero-length window.
+    pub fn new(length: VirtualDuration) -> Result<Self, StreamError> {
+        if length.is_zero() {
+            return Err(StreamError::InvalidWindow);
+        }
+        Ok(WindowSpec { length })
+    }
+
+    /// Window of `secs` virtual seconds.
+    pub fn secs(secs: u64) -> Self {
+        WindowSpec {
+            length: VirtualDuration::from_secs(secs),
+        }
+    }
+
+    /// True iff a tuple with arrival `ts` is still live at `now`.
+    #[inline]
+    pub fn live(&self, ts: VirtualTime, now: VirtualTime) -> bool {
+        ts + self.length > now
+    }
+}
+
+/// Arrival-ordered expiration queue for a windowed state.
+///
+/// `T` is whatever handle the owning state needs back on expiry (a slab key,
+/// a tuple id, ...).
+#[derive(Debug, Clone)]
+pub struct WindowBuffer<T> {
+    spec: WindowSpec,
+    queue: VecDeque<(VirtualTime, T)>,
+}
+
+impl<T> WindowBuffer<T> {
+    /// New empty buffer for `spec`.
+    pub fn new(spec: WindowSpec) -> Self {
+        WindowBuffer {
+            spec,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The window specification.
+    #[inline]
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Number of live items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True iff no items are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Record an arrival. Arrivals must be pushed in non-decreasing `ts`
+    /// order (the executor guarantees this).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `ts` precedes the last pushed arrival.
+    #[inline]
+    pub fn push(&mut self, ts: VirtualTime, item: T) {
+        debug_assert!(
+            self.queue.back().is_none_or(|(last, _)| *last <= ts),
+            "window arrivals must be time-ordered"
+        );
+        self.queue.push_back((ts, item));
+    }
+
+    /// Pop every item that has expired at `now`, oldest first.
+    pub fn expire(&mut self, now: VirtualTime) -> impl Iterator<Item = (VirtualTime, T)> + '_ {
+        let spec = self.spec;
+        std::iter::from_fn(move || {
+            if let Some((ts, _)) = self.queue.front() {
+                if !spec.live(*ts, now) {
+                    return self.queue.pop_front();
+                }
+            }
+            None
+        })
+    }
+
+    /// Count of items that would expire at `now` without removing them.
+    pub fn expired_count(&self, now: VirtualTime) -> usize {
+        self.queue
+            .iter()
+            .take_while(|(ts, _)| !self.spec.live(*ts, now))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(secs: u64) -> WindowBuffer<u32> {
+        WindowBuffer::new(WindowSpec::secs(secs))
+    }
+
+    #[test]
+    fn spec_rejects_zero_length() {
+        assert_eq!(
+            WindowSpec::new(VirtualDuration::ZERO),
+            Err(StreamError::InvalidWindow)
+        );
+        assert!(WindowSpec::new(VirtualDuration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn liveness_is_half_open() {
+        let w = WindowSpec::secs(10);
+        let t0 = VirtualTime::from_secs(5);
+        assert!(w.live(t0, VirtualTime::from_secs(14)));
+        // Exactly at ts + W the tuple is gone (half-open interval).
+        assert!(!w.live(t0, VirtualTime::from_secs(15)));
+    }
+
+    #[test]
+    fn expiration_pops_in_arrival_order() {
+        let mut b = buf(10);
+        b.push(VirtualTime::from_secs(0), 100);
+        b.push(VirtualTime::from_secs(4), 101);
+        b.push(VirtualTime::from_secs(8), 102);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.expired_count(VirtualTime::from_secs(13)), 1);
+        let gone: Vec<_> = b.expire(VirtualTime::from_secs(13)).collect();
+        assert_eq!(gone, vec![(VirtualTime::from_secs(0), 100)]);
+        assert_eq!(b.len(), 2);
+        let gone: Vec<_> = b.expire(VirtualTime::from_secs(100)).map(|(_, x)| x).collect();
+        assert_eq!(gone, vec![101, 102]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn expire_is_idempotent() {
+        let mut b = buf(5);
+        b.push(VirtualTime::from_secs(1), 7);
+        assert_eq!(b.expire(VirtualTime::from_secs(2)).count(), 0);
+        assert_eq!(b.expire(VirtualTime::from_secs(2)).count(), 0);
+        assert_eq!(b.expire(VirtualTime::from_secs(6)).count(), 1);
+        assert_eq!(b.expire(VirtualTime::from_secs(6)).count(), 0);
+    }
+
+    #[test]
+    fn partial_drain_resumes_correctly() {
+        let mut b = buf(1);
+        for s in 0..5 {
+            b.push(VirtualTime::from_secs(s), s as u32);
+        }
+        // Take only the first expired item, drop the iterator, expire again.
+        let first = b.expire(VirtualTime::from_secs(10)).next();
+        assert_eq!(first.map(|(_, x)| x), Some(0));
+        let rest: Vec<_> = b.expire(VirtualTime::from_secs(10)).map(|(_, x)| x).collect();
+        assert_eq!(rest, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Attribute value distributions.
+//!
+//! Join attributes draw from discrete domains; the distribution shape
+//! controls both join selectivity (via collision probability) and bucket
+//! skew in the bit-address index (Zipf streams stress the even-distribution
+//! assumption of §III).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// A discrete value distribution over `[0, cardinality)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueDist {
+    /// Uniform over the domain.
+    Uniform {
+        /// Number of distinct values.
+        cardinality: u64,
+    },
+    /// Zipf-distributed ranks (1 = hottest), mapped to values `rank - 1`.
+    Zipf {
+        /// Number of distinct values.
+        cardinality: u64,
+        /// Skew exponent (`s` > 0; 1.0 is classic Zipf).
+        exponent: f64,
+    },
+    /// Normal around the domain midpoint, truncated to the domain.
+    Normal {
+        /// Number of distinct values.
+        cardinality: u64,
+        /// Standard deviation in value units.
+        std_dev: f64,
+    },
+}
+
+impl ValueDist {
+    /// The domain size.
+    pub fn cardinality(&self) -> u64 {
+        match *self {
+            ValueDist::Uniform { cardinality }
+            | ValueDist::Zipf { cardinality, .. }
+            | ValueDist::Normal { cardinality, .. } => cardinality,
+        }
+    }
+
+    /// Draw one value.
+    ///
+    /// # Panics
+    /// Panics if the distribution parameters are degenerate
+    /// (zero cardinality, non-positive exponent / std-dev).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            ValueDist::Uniform { cardinality } => {
+                assert!(cardinality > 0, "empty domain");
+                rng.gen_range(0..cardinality)
+            }
+            ValueDist::Zipf {
+                cardinality,
+                exponent,
+            } => {
+                assert!(cardinality > 0, "empty domain");
+                let z = Zipf::new(cardinality, exponent).expect("valid Zipf parameters");
+                (z.sample(rng) as u64).saturating_sub(1).min(cardinality - 1)
+            }
+            ValueDist::Normal {
+                cardinality,
+                std_dev,
+            } => {
+                assert!(cardinality > 0, "empty domain");
+                let mid = cardinality as f64 / 2.0;
+                let n = Normal::new(mid, std_dev).expect("valid Normal parameters");
+                let v = n.sample(rng).round();
+                (v.max(0.0) as u64).min(cardinality - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn histogram(d: ValueDist, n: usize) -> Vec<u64> {
+        let mut r = rng();
+        let mut h = vec![0u64; d.cardinality() as usize];
+        for _ in 0..n {
+            h[d.sample(&mut r) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_stays_in_domain_and_spreads() {
+        let h = histogram(ValueDist::Uniform { cardinality: 16 }, 16_000);
+        assert!(h.iter().all(|&c| c > 600 && c < 1400), "{h:?}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let h = histogram(
+            ValueDist::Zipf {
+                cardinality: 50,
+                exponent: 1.2,
+            },
+            20_000,
+        );
+        assert!(h[0] > h[10] * 3, "head {} vs rank-10 {}", h[0], h[10]);
+        assert_eq!(h.iter().sum::<u64>(), 20_000, "all samples in domain");
+    }
+
+    #[test]
+    fn normal_concentrates_at_the_middle() {
+        let h = histogram(
+            ValueDist::Normal {
+                cardinality: 100,
+                std_dev: 5.0,
+            },
+            10_000,
+        );
+        let mid: u64 = h[45..55].iter().sum();
+        assert!(mid > 6000, "mass near the midpoint: {mid}");
+        assert_eq!(h[0] + h[99], h[0] + h[99]); // tails exist but are clamped
+    }
+
+    #[test]
+    fn cardinality_accessor() {
+        assert_eq!(ValueDist::Uniform { cardinality: 9 }.cardinality(), 9);
+        assert_eq!(
+            ValueDist::Zipf {
+                cardinality: 7,
+                exponent: 1.0
+            }
+            .cardinality(),
+            7
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_cardinality_panics() {
+        ValueDist::Uniform { cardinality: 0 }.sample(&mut rng());
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let d = ValueDist::Zipf {
+            cardinality: 100,
+            exponent: 1.1,
+        };
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,237 @@
+//! Drifting join-selectivity schedules.
+//!
+//! Selectivity between two streams is controlled by the **match
+//! cardinality** of their join edge: both endpoints draw that edge's
+//! attribute uniformly from `[0, k)`, so two tuples match with probability
+//! `1/k`. A [`DriftSchedule`] is a cyclic sequence of phases, each holding
+//! one `k` per edge; when the phase flips, the cheapest route through the
+//! join graph changes, the router re-routes, and the access-pattern mix at
+//! every state shifts — the §V scenario that forces index re-tuning.
+
+use amri_stream::{StreamId, VirtualDuration, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-edge match cardinalities for one phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgePhase {
+    /// `k[e]` for edge index `e` (see [`DriftSchedule::edge_index`]).
+    pub cardinalities: Vec<u64>,
+}
+
+/// A cyclic, piecewise-constant schedule of edge selectivities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSchedule {
+    n_streams: usize,
+    phase_length: VirtualDuration,
+    phases: Vec<EdgePhase>,
+}
+
+impl DriftSchedule {
+    /// Build a schedule for an `n_streams`-way clique join.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty, a phase has the wrong edge count, any
+    /// cardinality is zero, or `phase_length` is zero.
+    pub fn new(n_streams: usize, phase_length: VirtualDuration, phases: Vec<EdgePhase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(!phase_length.is_zero(), "phase length must be positive");
+        let n_edges = n_streams * (n_streams - 1) / 2;
+        for (i, p) in phases.iter().enumerate() {
+            assert_eq!(
+                p.cardinalities.len(),
+                n_edges,
+                "phase {i} must cover all {n_edges} edges"
+            );
+            assert!(
+                p.cardinalities.iter().all(|&k| k > 0),
+                "phase {i} has a zero cardinality"
+            );
+        }
+        DriftSchedule {
+            n_streams,
+            phase_length,
+            phases,
+        }
+    }
+
+    /// A static (single-phase) schedule — no drift.
+    pub fn constant(n_streams: usize, cardinality: u64) -> Self {
+        let n_edges = n_streams * (n_streams - 1) / 2;
+        Self::new(
+            n_streams,
+            VirtualDuration::from_secs(1),
+            vec![EdgePhase {
+                cardinalities: vec![cardinality; n_edges],
+            }],
+        )
+    }
+
+    /// Number of streams in the clique.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Number of phases before the schedule cycles.
+    pub fn n_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Phase length.
+    pub fn phase_length(&self) -> VirtualDuration {
+        self.phase_length
+    }
+
+    /// Dense index of the undirected edge `{a, b}` in a clique over
+    /// `n_streams` nodes (lexicographic over ordered pairs).
+    ///
+    /// # Panics
+    /// Panics on `a == b` or out-of-range ids.
+    pub fn edge_index(&self, a: StreamId, b: StreamId) -> usize {
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        assert!(lo != hi, "no self edges");
+        assert!((hi as usize) < self.n_streams, "stream out of range");
+        let (lo, hi, n) = (lo as usize, hi as usize, self.n_streams);
+        // Edges (0,1), (0,2), ..., (0,n-1), (1,2), ...
+        lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    /// Which phase is active at `t`.
+    pub fn phase_at(&self, t: VirtualTime) -> usize {
+        ((t.0 / self.phase_length.0) as usize) % self.phases.len()
+    }
+
+    /// The match cardinality of edge `{a, b}` at `t`.
+    pub fn cardinality_at(&self, t: VirtualTime, a: StreamId, b: StreamId) -> u64 {
+        self.phases[self.phase_at(t)].cardinalities[self.edge_index(a, b)]
+    }
+
+    /// Expected match probability of edge `{a, b}` at `t` (`1/k`).
+    pub fn selectivity_at(&self, t: VirtualTime, a: StreamId, b: StreamId) -> f64 {
+        1.0 / self.cardinality_at(t, a, b) as f64
+    }
+
+    /// A rotating schedule for the paper's 4-way scenario: in each phase a
+    /// different edge is the most selective (large `k`), so the preferred
+    /// first hop keeps moving.
+    ///
+    /// `base` is the cardinality of ordinary edges, `hot_factor` the
+    /// multiplier on the phase's selective edge.
+    pub fn rotating(
+        n_streams: usize,
+        phase_length: VirtualDuration,
+        base: u64,
+        hot_factor: u64,
+    ) -> Self {
+        let n_edges = n_streams * (n_streams - 1) / 2;
+        let phases = (0..n_edges)
+            .map(|hot| EdgePhase {
+                cardinalities: (0..n_edges)
+                    .map(|e| if e == hot { base * hot_factor } else { base })
+                    .collect(),
+            })
+            .collect();
+        Self::new(n_streams, phase_length, phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> VirtualTime {
+        VirtualTime::from_secs(s)
+    }
+
+    #[test]
+    fn edge_indexing_is_a_bijection() {
+        let sched = DriftSchedule::constant(4, 100);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4u16 {
+            for b in (a + 1)..4 {
+                let e = sched.edge_index(StreamId(a), StreamId(b));
+                assert!(e < 6);
+                assert!(seen.insert(e), "duplicate edge index {e}");
+                // Symmetric:
+                assert_eq!(e, sched.edge_index(StreamId(b), StreamId(a)));
+            }
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self edges")]
+    fn self_edge_panics() {
+        DriftSchedule::constant(4, 10).edge_index(StreamId(1), StreamId(1));
+    }
+
+    #[test]
+    fn phases_advance_and_cycle() {
+        let sched = DriftSchedule::new(
+            3,
+            VirtualDuration::from_secs(10),
+            vec![
+                EdgePhase {
+                    cardinalities: vec![10, 20, 30],
+                },
+                EdgePhase {
+                    cardinalities: vec![30, 10, 20],
+                },
+            ],
+        );
+        assert_eq!(sched.phase_at(secs(0)), 0);
+        assert_eq!(sched.phase_at(secs(9)), 0);
+        assert_eq!(sched.phase_at(secs(10)), 1);
+        assert_eq!(sched.phase_at(secs(25)), 0, "cycles");
+        assert_eq!(sched.n_phases(), 2);
+        let (a, b) = (StreamId(0), StreamId(1));
+        assert_eq!(sched.cardinality_at(secs(0), a, b), 10);
+        assert_eq!(sched.cardinality_at(secs(10), a, b), 30);
+        assert!((sched.selectivity_at(secs(0), a, b) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotating_schedule_moves_the_hot_edge() {
+        let sched = DriftSchedule::rotating(4, VirtualDuration::from_secs(5), 100, 10);
+        assert_eq!(sched.n_phases(), 6);
+        // In phase 0 edge 0 = {S0,S1} is selective.
+        assert_eq!(sched.cardinality_at(secs(0), StreamId(0), StreamId(1)), 1000);
+        assert_eq!(sched.cardinality_at(secs(0), StreamId(0), StreamId(2)), 100);
+        // In phase 1 edge 1 = {S0,S2} takes over.
+        assert_eq!(sched.cardinality_at(secs(5), StreamId(0), StreamId(2)), 1000);
+        assert_eq!(sched.cardinality_at(secs(5), StreamId(0), StreamId(1)), 100);
+    }
+
+    #[test]
+    fn validation_rejects_bad_schedules() {
+        let ok = || {
+            vec![EdgePhase {
+                cardinalities: vec![10, 10, 10],
+            }]
+        };
+        // Wrong edge count:
+        let r = std::panic::catch_unwind(|| {
+            DriftSchedule::new(
+                4,
+                VirtualDuration::from_secs(1),
+                ok(), // 3 edges given, 6 needed
+            )
+        });
+        assert!(r.is_err());
+        // Zero cardinality:
+        let r = std::panic::catch_unwind(|| {
+            DriftSchedule::new(
+                3,
+                VirtualDuration::from_secs(1),
+                vec![EdgePhase {
+                    cardinalities: vec![10, 0, 10],
+                }],
+            )
+        });
+        assert!(r.is_err());
+        // No phases:
+        let r = std::panic::catch_unwind(|| {
+            DriftSchedule::new(3, VirtualDuration::from_secs(1), vec![])
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # amri-synth — synthetic streams and workloads for the AMRI experiments
+//!
+//! §V of the paper: *"we created synthetic data in which the selectivities
+//! of joining one stream to another adapt over time. This may cause the
+//! router to use new query paths which in turn may initiate the selection
+//! of new indices."* This crate generates exactly that:
+//!
+//! * [`dist`] — value distributions (uniform, Zipf, normal) for attribute
+//!   generation.
+//! * [`drift`] — piecewise-constant schedules of per-join-edge match
+//!   cardinalities; the phase changes are what shift selectivities.
+//! * [`generator`] — [`DriftingWorkload`], the
+//!   [`StreamWorkload`](amri_engine::StreamWorkload) implementation engines
+//!   consume.
+//! * [`workload`] — pure access-pattern request generators (drifting
+//!   mixtures) for assessment-only experiments and benches.
+//! * [`trace`] — workload trace recording/replay (external-data hook).
+//! * [`scenario`] — the paper's evaluation setup: a 4-way join, every
+//!   stream joined to the other three via a unique attribute, with a
+//!   drifting schedule and calibrated engine defaults.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod drift;
+pub mod generator;
+pub mod scenario;
+pub mod trace;
+pub mod workload;
+
+pub use dist::ValueDist;
+pub use drift::{DriftSchedule, EdgePhase};
+pub use generator::DriftingWorkload;
+pub use scenario::{paper_query, paper_scenario, PaperScenario};
+pub use trace::{record_trace, record_trace_to_file, TraceError, TraceWorkload};
+pub use workload::{PatternMixture, PatternWorkload};

@@ -1,0 +1,243 @@
+//! Workload trace recording and replay.
+//!
+//! The paper's companion technical report evaluates on real data; this
+//! module is the hook for that style of experiment: capture any
+//! [`StreamWorkload`]'s output as a plain-text trace, or replay an external
+//! trace (converted to the same format) through the engine. Traces make
+//! runs shareable and diffable — the format is one line per tuple:
+//!
+//! ```text
+//! stream,attr0,attr1,...
+//! 0,17,3,250
+//! 2,99,0,4
+//! ```
+//!
+//! Replay is cyclic per stream, so a finite trace drives an arbitrarily
+//! long run (documented; lines are grouped by stream on load).
+
+use amri_engine::StreamWorkload;
+use amri_stream::{AttrVec, StreamId, VirtualTime};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Record `per_stream` tuples from each of `n_streams` streams of a
+/// workload into the trace format.
+pub fn record_trace<W: StreamWorkload>(
+    workload: &mut W,
+    n_streams: usize,
+    per_stream: usize,
+) -> String {
+    let mut out = String::new();
+    for round in 0..per_stream {
+        for s in 0..n_streams {
+            let sid = StreamId(s as u16);
+            // Timestamps during recording are synthetic; replay assigns its
+            // own arrival schedule.
+            let attrs = workload.attrs_for(sid, VirtualTime(round as u64));
+            write!(out, "{s}").unwrap();
+            for v in attrs.as_slice() {
+                write!(out, ",{v}").unwrap();
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Record straight to a file.
+pub fn record_trace_to_file<W: StreamWorkload>(
+    workload: &mut W,
+    n_streams: usize,
+    per_stream: usize,
+    path: &Path,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, record_trace(workload, n_streams, per_stream))
+}
+
+/// Errors loading a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line failed to parse; payload is `(line_number, content)`.
+    BadLine(usize, String),
+    /// A stream id exceeded the declared stream count.
+    StreamOutOfRange(usize, u16),
+    /// Some stream has no tuples at all.
+    EmptyStream(u16),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadLine(n, l) => write!(f, "trace line {n} unparsable: {l:?}"),
+            TraceError::StreamOutOfRange(n, s) => {
+                write!(f, "trace line {n}: stream {s} out of range")
+            }
+            TraceError::EmptyStream(s) => write!(f, "stream {s} has no tuples in the trace"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A workload replaying a recorded trace, cyclically per stream.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    per_stream: Vec<Vec<AttrVec>>,
+    next: Vec<usize>,
+}
+
+impl TraceWorkload {
+    /// Parse a trace for an `n_streams`-way query.
+    ///
+    /// # Errors
+    /// [`TraceError`] on malformed lines, out-of-range streams, or streams
+    /// with no tuples.
+    pub fn parse(trace: &str, n_streams: usize) -> Result<Self, TraceError> {
+        let mut per_stream: Vec<Vec<AttrVec>> = vec![Vec::new(); n_streams];
+        for (i, line) in trace.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let stream: u16 = fields
+                .next()
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or_else(|| TraceError::BadLine(i + 1, line.to_string()))?;
+            if stream as usize >= n_streams {
+                return Err(TraceError::StreamOutOfRange(i + 1, stream));
+            }
+            let mut attrs = AttrVec::new();
+            for f in fields {
+                let v: u64 = f
+                    .trim()
+                    .parse()
+                    .map_err(|_| TraceError::BadLine(i + 1, line.to_string()))?;
+                attrs.push(v);
+            }
+            per_stream[stream as usize].push(attrs);
+        }
+        for (s, tuples) in per_stream.iter().enumerate() {
+            if tuples.is_empty() {
+                return Err(TraceError::EmptyStream(s as u16));
+            }
+        }
+        Ok(TraceWorkload {
+            next: vec![0; n_streams],
+            per_stream,
+        })
+    }
+
+    /// Load from a file.
+    ///
+    /// # Errors
+    /// IO errors (boxed) and [`TraceError`]s.
+    pub fn load(path: &Path, n_streams: usize) -> Result<Self, Box<dyn std::error::Error>> {
+        let body = std::fs::read_to_string(path)?;
+        Ok(Self::parse(&body, n_streams)?)
+    }
+
+    /// Tuples recorded for `stream`.
+    pub fn len_of(&self, stream: StreamId) -> usize {
+        self.per_stream[stream.idx()].len()
+    }
+}
+
+impl StreamWorkload for TraceWorkload {
+    fn attrs_for(&mut self, stream: StreamId, _now: VirtualTime) -> AttrVec {
+        let s = stream.idx();
+        let tuples = &self.per_stream[s];
+        let attrs = tuples[self.next[s] % tuples.len()];
+        self.next[s] += 1;
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::DriftSchedule;
+    use crate::generator::DriftingWorkload;
+
+    #[test]
+    fn record_and_replay_round_trips() {
+        let sched = DriftSchedule::constant(2, 32);
+        let mut original = DriftingWorkload::new(sched, 5);
+        let trace = record_trace(&mut original, 2, 10);
+        assert_eq!(trace.lines().count(), 20);
+
+        let mut replay = TraceWorkload::parse(&trace, 2).unwrap();
+        assert_eq!(replay.len_of(StreamId(0)), 10);
+        assert_eq!(replay.len_of(StreamId(1)), 10);
+        // Replaying reproduces the recorded values, in recorded order.
+        let sched = DriftSchedule::constant(2, 32);
+        let mut original = DriftingWorkload::new(sched, 5);
+        for round in 0..10 {
+            for s in 0..2u16 {
+                let want = original.attrs_for(StreamId(s), VirtualTime(round));
+                let got = replay.attrs_for(StreamId(s), VirtualTime::ZERO);
+                assert_eq!(want, got, "round {round} stream {s}");
+            }
+        }
+        // Cyclic wrap-around.
+        let wrapped = replay.attrs_for(StreamId(0), VirtualTime::ZERO);
+        let mut fresh = TraceWorkload::parse(&trace, 2).unwrap();
+        assert_eq!(wrapped, fresh.attrs_for(StreamId(0), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let t = TraceWorkload::parse("# header\n0,1,2\n\n1,3,4\n", 2).unwrap();
+        assert_eq!(t.len_of(StreamId(0)), 1);
+        assert_eq!(t.len_of(StreamId(1)), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            TraceWorkload::parse("nope", 1).unwrap_err(),
+            TraceError::BadLine(1, "nope".into())
+        );
+        assert_eq!(
+            TraceWorkload::parse("0,1,x", 1).unwrap_err(),
+            TraceError::BadLine(1, "0,1,x".into())
+        );
+        assert_eq!(
+            TraceWorkload::parse("3,1", 2).unwrap_err(),
+            TraceError::StreamOutOfRange(1, 3)
+        );
+        assert_eq!(
+            TraceWorkload::parse("0,1", 2).unwrap_err(),
+            TraceError::EmptyStream(1)
+        );
+        // Errors display usefully.
+        assert!(TraceError::EmptyStream(1).to_string().contains("stream 1"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("amri_trace_test");
+        let path = dir.join("t.csv");
+        let sched = DriftSchedule::constant(3, 8);
+        let mut w = DriftingWorkload::new(sched, 1);
+        record_trace_to_file(&mut w, 3, 4, &path).unwrap();
+        let t = TraceWorkload::load(&path, 3).unwrap();
+        assert_eq!(t.len_of(StreamId(2)), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_drives_the_engine() {
+        use amri_engine::{Executor, IndexingMode};
+        use crate::scenario::{paper_scenario, Scale};
+        let mut sc = paper_scenario(Scale::Quick, 11);
+        sc.engine.duration = amri_stream::VirtualDuration::from_secs(10);
+        let trace = record_trace(&mut sc.workload(), 4, 500);
+        let workload = TraceWorkload::parse(&trace, 4).unwrap();
+        let r = Executor::new(&sc.query, workload, IndexingMode::Scan, sc.engine.clone()).run();
+        assert!(r.outputs > 0, "replayed trace must join");
+    }
+}

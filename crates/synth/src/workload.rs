@@ -1,0 +1,184 @@
+//! Pure access-pattern request workloads.
+//!
+//! The assessment-only experiments (Figure 6's method comparison run
+//! through the full engine, but the micro-benchmarks and accuracy studies
+//! don't need joins) consume a stream of access patterns directly. A
+//! [`PatternWorkload`] cycles through [`PatternMixture`]s — one per drift
+//! phase — sampling patterns from each mixture's weights.
+
+use amri_stream::AccessPattern;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A weighted mixture over access patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternMixture {
+    /// `(pattern, weight)`; weights need not be normalized.
+    pub weights: Vec<(AccessPattern, f64)>,
+}
+
+impl PatternMixture {
+    /// Build a mixture.
+    ///
+    /// # Panics
+    /// Panics on an empty mixture, non-positive weights, or mixed widths.
+    pub fn new(weights: Vec<(AccessPattern, f64)>) -> Self {
+        assert!(!weights.is_empty(), "empty mixture");
+        let width = weights[0].0.n_attrs();
+        for (p, w) in &weights {
+            assert!(*w > 0.0, "non-positive weight for {p}");
+            assert_eq!(p.n_attrs(), width, "pattern width mismatch");
+        }
+        PatternMixture { weights }
+    }
+
+    /// The Table II distribution of the paper's worked example.
+    pub fn table_ii() -> Self {
+        let ap = |m: u32| AccessPattern::new(m, 3);
+        PatternMixture::new(vec![
+            (ap(0b001), 0.04),
+            (ap(0b010), 0.10),
+            (ap(0b100), 0.10),
+            (ap(0b011), 0.04),
+            (ap(0b101), 0.16),
+            (ap(0b110), 0.10),
+            (ap(0b111), 0.46),
+        ])
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.weights.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Sample one pattern.
+    pub fn sample(&self, rng: &mut StdRng) -> AccessPattern {
+        let mut pick = rng.gen::<f64>() * self.total();
+        for (p, w) in &self.weights {
+            if pick < *w {
+                return *p;
+            }
+            pick -= w;
+        }
+        self.weights.last().unwrap().0
+    }
+
+    /// The exact frequency of `p` in this mixture.
+    pub fn frequency(&self, p: AccessPattern) -> f64 {
+        self.weights
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, w)| w / self.total())
+            .unwrap_or(0.0)
+    }
+}
+
+/// A drifting request-pattern source: phase `i` uses mixture `i % len`,
+/// advancing every `phase_len` requests.
+#[derive(Debug, Clone)]
+pub struct PatternWorkload {
+    mixtures: Vec<PatternMixture>,
+    phase_len: u64,
+    emitted: u64,
+    rng: StdRng,
+}
+
+impl PatternWorkload {
+    /// Build a drifting workload.
+    ///
+    /// # Panics
+    /// Panics on no mixtures or a zero phase length.
+    pub fn new(mixtures: Vec<PatternMixture>, phase_len: u64, seed: u64) -> Self {
+        assert!(!mixtures.is_empty(), "need at least one mixture");
+        assert!(phase_len > 0, "phase length must be positive");
+        PatternWorkload {
+            mixtures,
+            phase_len,
+            emitted: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The active phase index.
+    pub fn phase(&self) -> usize {
+        ((self.emitted / self.phase_len) as usize) % self.mixtures.len()
+    }
+
+    /// Requests emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Emit the next request pattern.
+    pub fn next_pattern(&mut self) -> AccessPattern {
+        let m = &self.mixtures[self.phase()];
+        self.emitted += 1;
+        m.sample(&mut self.rng)
+    }
+}
+
+impl Iterator for PatternWorkload {
+    type Item = AccessPattern;
+    fn next(&mut self) -> Option<AccessPattern> {
+        Some(self.next_pattern())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(m: u32) -> AccessPattern {
+        AccessPattern::new(m, 3)
+    }
+
+    #[test]
+    fn table_ii_frequencies_sum_to_one() {
+        let m = PatternMixture::table_ii();
+        assert!((m.total() - 1.0).abs() < 1e-9);
+        assert!((m.frequency(ap(0b111)) - 0.46).abs() < 1e-12);
+        assert_eq!(m.frequency(ap(0b000)), 0.0);
+    }
+
+    #[test]
+    fn sampling_approximates_the_weights() {
+        let m = PatternMixture::table_ii();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut abc = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if m.sample(&mut rng) == ap(0b111) {
+                abc += 1;
+            }
+        }
+        let f = abc as f64 / n as f64;
+        assert!((f - 0.46).abs() < 0.02, "observed {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mixture")]
+    fn empty_mixture_panics() {
+        let _ = PatternMixture::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive weight")]
+    fn zero_weight_panics() {
+        let _ = PatternMixture::new(vec![(ap(1), 0.0)]);
+    }
+
+    #[test]
+    fn workload_drifts_between_mixtures() {
+        let a = PatternMixture::new(vec![(ap(0b001), 1.0)]);
+        let b = PatternMixture::new(vec![(ap(0b110), 1.0)]);
+        let mut w = PatternWorkload::new(vec![a, b], 10, 3);
+        let first: Vec<AccessPattern> = (&mut w).take(10).collect();
+        assert!(first.iter().all(|p| p.mask() == 0b001));
+        assert_eq!(w.phase(), 1);
+        let second: Vec<AccessPattern> = (&mut w).take(10).collect();
+        assert!(second.iter().all(|p| p.mask() == 0b110));
+        assert_eq!(w.phase(), 0, "cycles back");
+        assert_eq!(w.emitted(), 20);
+    }
+}

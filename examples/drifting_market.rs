@@ -1,0 +1,61 @@
+//! A stock-monitoring flavored end-to-end run (the paper's introduction
+//! scenario): four correlated feeds — trades, news, sector reports, blog
+//! mentions — joined 4-way while the correlation structure drifts. Runs
+//! the quick-scale paper scenario under AMRI and under the static bitmap
+//! and prints aligned throughput curves.
+//!
+//! Run with `cargo run --release -p amri-apps --example drifting_market`.
+
+use amri_bench::{render_series_table, render_summary};
+use amri_core::assess::AssessorKind;
+use amri_engine::{Executor, IndexingMode};
+use amri_hh::CombineStrategy;
+use amri_synth::scenario::{paper_scenario, Scale};
+
+fn main() {
+    let seed = 2026;
+    let sc = paper_scenario(Scale::Quick, seed);
+    println!(
+        "4-way drifting join: {} phases of {} per cycle, λ_d = {}/s per stream\n",
+        sc.schedule.n_phases(),
+        sc.schedule.phase_length(),
+        sc.engine.lambda_d
+    );
+
+    let amri = Executor::new(
+        &sc.query,
+        sc.workload(),
+        IndexingMode::Amri {
+            assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+            initial: None,
+        },
+        sc.engine.clone(),
+    )
+    .run();
+    let bitmap = Executor::new(
+        &sc.query,
+        sc.workload(),
+        IndexingMode::StaticBitmap { configs: None },
+        sc.engine.clone(),
+    )
+    .run();
+
+    let runs = vec![amri, bitmap];
+    println!("{}", render_series_table(&runs, 13));
+    println!("{}", render_summary(&runs));
+
+    let amri = &runs[0];
+    println!("AMRI re-tuned {} times while the selectivities drifted:", amri.retunes.len());
+    for r in amri.retunes.iter().take(10) {
+        println!(
+            "  t={:>5.1}s  state S{}  -> {}  ({} entries moved)",
+            r.t.as_secs_f64(),
+            r.state,
+            r.config,
+            r.moved
+        );
+    }
+    if amri.retunes.len() > 10 {
+        println!("  ... and {} more", amri.retunes.len() - 10);
+    }
+}

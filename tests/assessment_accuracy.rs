@@ -1,0 +1,144 @@
+//! Cross-crate accuracy guarantees of the compact assessment methods,
+//! exercised over drifting pattern workloads (the §IV claims, end to end).
+
+use amri_core::assess::{Assessor, AssessorKind};
+use amri_hh::CombineStrategy;
+use amri_stream::AccessPattern;
+use amri_synth::{PatternMixture, PatternWorkload};
+
+fn drifting(seed: u64) -> PatternWorkload {
+    let ap = |m: u32| AccessPattern::new(m, 3);
+    PatternWorkload::new(
+        vec![
+            PatternMixture::table_ii(),
+            PatternMixture::new(vec![(ap(0b100), 0.5), (ap(0b110), 0.3), (ap(0b111), 0.2)]),
+            PatternMixture::new(vec![(ap(0b001), 0.25), (ap(0b011), 0.35), (ap(0b111), 0.4)]),
+        ],
+        4000,
+        seed,
+    )
+}
+
+fn drive(kind: AssessorKind, n: usize, seed: u64) -> Box<dyn Assessor> {
+    let mut a = kind.build(3, 0.005, seed);
+    let mut w = drifting(seed);
+    for _ in 0..n {
+        a.record(w.next_pattern());
+    }
+    a
+}
+
+#[test]
+fn csria_reports_a_subset_of_sria_with_epsilon_slack() {
+    // Lossy counting may only add patterns whose true frequency is within ε
+    // of θ; everything clearly frequent per SRIA must also be in CSRIA.
+    let theta = 0.1;
+    let eps = 0.005;
+    for seed in [1, 7, 99] {
+        let sria = drive(AssessorKind::Sria, 12_000, seed);
+        let csria = drive(AssessorKind::Csria, 12_000, seed);
+        let sria_set: Vec<u32> = sria.frequent(theta).iter().map(|(p, _)| p.mask()).collect();
+        let csria_set: Vec<u32> = csria.frequent(theta).iter().map(|(p, _)| p.mask()).collect();
+        // No false negatives w.r.t. clearly-frequent patterns.
+        for (p, f) in sria.frequent(theta + eps) {
+            assert!(
+                csria_set.contains(&p.mask()),
+                "seed {seed}: CSRIA lost {p} at {f}"
+            );
+        }
+        // No pattern below θ − ε (checked against SRIA's exact count).
+        for m in &csria_set {
+            let exact = sria
+                .frequent(0.0)
+                .iter()
+                .find(|(p, _)| p.mask() == *m)
+                .map(|&(_, f)| f)
+                .unwrap_or(0.0);
+            assert!(
+                exact >= theta - 2.0 * eps,
+                "seed {seed}: CSRIA reported {m:#b} with true freq {exact}"
+            );
+        }
+        let _ = sria_set;
+    }
+}
+
+#[test]
+fn cdia_covers_every_sria_frequent_pattern() {
+    let theta = 0.1;
+    for strategy in [CombineStrategy::Random, CombineStrategy::HighestCount] {
+        for seed in [3, 11] {
+            let sria = drive(AssessorKind::Sria, 12_000, seed);
+            let cdia = drive(AssessorKind::Cdia(strategy), 12_000, seed);
+            let cdia_frequent = cdia.frequent(theta);
+            for (p, f) in sria.frequent(theta + 0.01) {
+                let covered = cdia_frequent.iter().any(|(q, _)| q.benefits(p));
+                assert!(
+                    covered,
+                    "{strategy:?} seed {seed}: {p} ({f:.3}) uncovered by {cdia_frequent:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compact_methods_stay_within_claimed_memory() {
+    // Over a long drifting stream the compact tables stay near the lattice
+    // size while the exact tables fill it completely.
+    let n = 50_000;
+    let sria = drive(AssessorKind::Sria, n, 5);
+    let csria = drive(AssessorKind::Csria, n, 5);
+    let cdia = drive(AssessorKind::Cdia(CombineStrategy::HighestCount), n, 5);
+    assert_eq!(sria.peak_entries(), 7, "all seven patterns occur");
+    assert!(csria.peak_entries() <= 7);
+    assert!(cdia.peak_entries() <= 8);
+    // Width-3 lattices are small; the bound claims matter at width 8.
+    let mut wide = AssessorKind::Cdia(CombineStrategy::HighestCount).build(8, 0.01, 5);
+    let mut wide_sria = AssessorKind::Sria.build(8, 0.01, 5);
+    let mut w = PatternWorkload::new(
+        vec![PatternMixture::new(
+            (1u32..256)
+                .map(|m| (AccessPattern::new(m, 8), if m == 255 { 100.0 } else { 0.2 }))
+                .collect(),
+        )],
+        u64::MAX,
+        5,
+    );
+    for _ in 0..60_000 {
+        let p = w.next_pattern();
+        wide.record(p);
+        wide_sria.record(p);
+    }
+    assert!(
+        wide.entries() < wide_sria.entries() / 3,
+        "CDIA {} vs SRIA {}",
+        wide.entries(),
+        wide_sria.entries()
+    );
+}
+
+#[test]
+fn assessors_recover_after_reset_across_phases() {
+    // The tuner resets statistics each decision; a reset mid-drift must not
+    // poison subsequent windows.
+    let mut a = AssessorKind::Cdia(CombineStrategy::HighestCount).build(3, 0.005, 9);
+    let mut w = drifting(9);
+    for _ in 0..4000 {
+        a.record(w.next_pattern());
+    }
+    let before = a.frequent(0.1);
+    assert!(!before.is_empty());
+    a.reset();
+    assert_eq!(a.n(), 0);
+    // Next phase only.
+    for _ in 0..4000 {
+        a.record(w.next_pattern());
+    }
+    let after = a.frequent(0.1);
+    // Phase 2 of `drifting` is dominated by <*,*,C>-family patterns.
+    assert!(
+        after.iter().any(|(p, _)| p.uses(2)),
+        "fresh window must reflect the new phase: {after:?}"
+    );
+}

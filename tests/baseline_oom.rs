@@ -1,0 +1,97 @@
+//! The §V failure mode, end to end: under a tight memory budget the
+//! hash-module and static-bitmap baselines die of memory exhaustion while
+//! AMRI — same budget, same workload — survives longer (or to the end).
+
+use amri_core::assess::AssessorKind;
+use amri_engine::{Executor, IndexingMode, MemoryBudget, RunOutcome, RunResult};
+use amri_hh::CombineStrategy;
+use amri_synth::scenario::{paper_scenario, Scale};
+use amri_stream::VirtualTime;
+
+fn run_with_budget(mode: IndexingMode, budget: MemoryBudget, seed: u64) -> RunResult {
+    let mut sc = paper_scenario(Scale::Quick, seed);
+    sc.engine.budget = budget;
+    Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone()).run()
+}
+
+fn lifetime(r: &RunResult) -> VirtualTime {
+    r.death_time().unwrap_or(r.final_time)
+}
+
+#[test]
+fn hash_modules_die_before_amri_under_the_same_budget() {
+    // Budget sized so the per-tuple overhead of 7 hash indices breaches it
+    // but AMRI's single bit-address index does not (quick scale: AMRI's
+    // steady state is ≈190 kB, the 7-index module several times that).
+    let budget = MemoryBudget { bytes: 300_000 };
+    let amri = run_with_budget(
+        IndexingMode::Amri {
+            assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+            initial: None,
+        },
+        budget,
+        42,
+    );
+    let hash7 = run_with_budget(
+        IndexingMode::AdaptiveHash {
+            n_indices: 7,
+            initial: None,
+        },
+        budget,
+        42,
+    );
+    assert!(
+        matches!(hash7.outcome, RunOutcome::OutOfMemory { .. }),
+        "hash-7 must exhaust the budget: {:?}",
+        hash7.outcome
+    );
+    assert!(
+        lifetime(&amri) > lifetime(&hash7),
+        "AMRI ({}) must outlive hash-7 ({})",
+        lifetime(&amri),
+        lifetime(&hash7)
+    );
+    assert!(
+        amri.outputs > hash7.outputs,
+        "AMRI must out-produce the dying baseline"
+    );
+}
+
+#[test]
+fn oom_truncates_the_series_at_death() {
+    let budget = MemoryBudget { bytes: 400_000 };
+    let r = run_with_budget(
+        IndexingMode::AdaptiveHash {
+            n_indices: 7,
+            initial: None,
+        },
+        budget,
+        7,
+    );
+    let RunOutcome::OutOfMemory { at } = r.outcome else {
+        panic!("a 400 kB budget must die: {:?}", r.outcome);
+    };
+    let last = r.series.samples().last().unwrap();
+    assert_eq!(last.t, at, "the series ends at the death sample");
+    assert!(last.memory > budget.bytes, "death sample shows the breach");
+}
+
+#[test]
+fn generous_budget_completes_every_mode() {
+    for mode in [
+        IndexingMode::Amri {
+            assessor: AssessorKind::Sria,
+            initial: None,
+        },
+        IndexingMode::AdaptiveHash {
+            n_indices: 3,
+            initial: None,
+        },
+        IndexingMode::StaticBitmap { configs: None },
+        IndexingMode::Scan,
+    ] {
+        let label = mode.label();
+        let r = run_with_budget(mode, MemoryBudget::unlimited(), 11);
+        assert_eq!(r.outcome, RunOutcome::Completed, "{label}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Integration test for `EXP-T2-EXAMPLE`: the Table II worked example of
+//! §IV-C2 / §IV-D2 reproduced end to end across `amri-hh`, `amri-core`
+//! and the harness.
+
+use amri_bench::table2_example;
+use amri_core::assess::{feed_table_ii, AssessorKind};
+use amri_core::IndexConfig;
+
+#[test]
+fn csria_deletes_the_a_family_and_misconfigures() {
+    let r = table2_example();
+    let masks: Vec<u32> = r.csria_frequent.iter().map(|(p, _)| p.mask()).collect();
+    assert!(!masks.contains(&0b001), "CSRIA must delete <A,*,*>");
+    assert!(!masks.contains(&0b011), "CSRIA must delete <A,B,*>");
+    assert_eq!(masks.len(), 5, "the five ≥5%% patterns survive: {masks:?}");
+    assert_eq!(
+        r.csria_config.bits_of(0),
+        0,
+        "no bit can go to A without its statistics: {}",
+        r.csria_config
+    );
+}
+
+#[test]
+fn cdia_recovers_the_true_optimal_configuration() {
+    let r = table2_example();
+    // The A family surfaces with its rolled-up 8%.
+    let a = r
+        .cdia_frequent
+        .iter()
+        .find(|(p, _)| p.mask() == 0b001)
+        .expect("CDIA reports <A,*,*>");
+    assert!((a.1 - 0.08).abs() < 0.01, "rolled-up 8%, got {}", a.1);
+    // And the selected 4-bit configuration matches the exact-statistics
+    // optimum — §IV-C2 names A:1|B:1|C:2 as the true optimal IC.
+    assert_eq!(r.cdia_config, r.optimal_config);
+    assert!(r.optimal_config.bits_of(0) >= 1);
+    assert_eq!(r.optimal_config.total_bits(), 4);
+    assert_eq!(
+        r.optimal_config,
+        IndexConfig::new(vec![1, 1, 2]).unwrap(),
+        "the paper's worked-example optimum"
+    );
+}
+
+#[test]
+fn sria_and_dia_agree_on_table_ii() {
+    // §V: DIA and SRIA share the same statistics and report identically.
+    let mut sria = AssessorKind::Sria.build(3, 0.001, 1);
+    let mut dia = AssessorKind::Dia.build(3, 0.001, 1);
+    feed_table_ii(sria.as_mut());
+    feed_table_ii(dia.as_mut());
+    for theta in [0.01, 0.05, 0.1, 0.3] {
+        assert_eq!(sria.frequent(theta), dia.frequent(theta), "theta {theta}");
+    }
+    // Exact methods see all seven patterns.
+    assert_eq!(sria.frequent(0.0).len(), 7);
+}

@@ -16,20 +16,16 @@ fn bench(c: &mut Criterion) {
             ("csria", AssessorKind::Csria),
             ("cdia", AssessorKind::Cdia(CombineStrategy::HighestCount)),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, format!("{eps}")),
-                &eps,
-                |b, &eps| {
-                    b.iter(|| {
-                        let mut a = kind.build(3, eps, 3);
-                        let mut rng = StdRng::seed_from_u64(5);
-                        for _ in 0..20_000 {
-                            a.record(mixture.sample(&mut rng));
-                        }
-                        black_box(a.frequent(0.1))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, format!("{eps}")), &eps, |b, &eps| {
+                b.iter(|| {
+                    let mut a = kind.build(3, eps, 3);
+                    let mut rng = StdRng::seed_from_u64(5);
+                    for _ in 0..20_000 {
+                        a.record(mixture.sample(&mut rng));
+                    }
+                    black_box(a.frequent(0.1))
+                })
+            });
         }
     }
     g.finish();

@@ -4,7 +4,7 @@
 
 use amri_core::{
     BitAddressIndex, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex, SearchOutcome,
-    StateIndex, TupleKey,
+    SearchScratch, StateIndex, TupleKey,
 };
 use amri_stream::{AccessPattern, AttrVec, SearchRequest};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -86,6 +86,24 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| {
             let mut r = CostReceipt::new();
             black_box(bitaddr.search(black_box(&wild), &mut r))
+        })
+    });
+    // The engine's actual hot path: scratch-buffered, zero allocations
+    // in steady state.
+    g.bench_function("bitaddr_exact_into", |b| {
+        let mut scratch = SearchScratch::new();
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            bitaddr.search_into(black_box(&exact), &mut scratch, &mut r);
+            black_box(scratch.hits.len())
+        })
+    });
+    g.bench_function("bitaddr_one_attr_wildcard_into", |b| {
+        let mut scratch = SearchScratch::new();
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            bitaddr.search_into(black_box(&wild), &mut scratch, &mut r);
+            black_box(scratch.hits.len())
         })
     });
     g.bench_function("multihash7_exact", |b| {

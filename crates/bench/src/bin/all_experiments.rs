@@ -4,8 +4,8 @@
 //! Usage: `all_experiments [--quick] [--seed N]`
 
 use amri_bench::{
-    fig6_assessment, fig6_hash, fig7_compare, render_series_table, render_summary,
-    table2_example, write_csv,
+    fig6_assessment, fig6_hash, fig7_compare, render_series_table, render_summary, table2_example,
+    write_csv,
 };
 use amri_synth::scenario::Scale;
 use std::path::Path;

@@ -4,7 +4,9 @@
 //!
 //! Usage: `fig6_assessment [--quick] [--seed N]`
 
-use amri_bench::{fig6_assessment, render_ascii_chart, render_series_table, render_summary, write_csv};
+use amri_bench::{
+    fig6_assessment, render_ascii_chart, render_series_table, render_summary, write_csv,
+};
 use amri_synth::scenario::Scale;
 use std::path::Path;
 

@@ -5,7 +5,9 @@
 //!
 //! Usage: `fig7_compare [--quick] [--seed N]`
 
-use amri_bench::{fig7_compare, render_ascii_chart, render_series_table, render_summary, write_csv};
+use amri_bench::{
+    fig7_compare, render_ascii_chart, render_series_table, render_summary, write_csv,
+};
 use amri_synth::scenario::Scale;
 use std::path::Path;
 

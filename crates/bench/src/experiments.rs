@@ -279,11 +279,7 @@ fn pick_recovering_cdia(epsilon: f64, theta: f64) -> amri_core::assess::Cdia {
     for seed in 0..64 {
         let mut c = Cdia::new(3, epsilon, CombineStrategy::Random, seed);
         feed_table_ii(&mut c);
-        if c
-            .frequent(theta)
-            .iter()
-            .any(|(p, _)| p.mask() == 0b001)
-        {
+        if c.frequent(theta).iter().any(|(p, _)| p.mask() == 0b001) {
             return Cdia::new(3, epsilon, CombineStrategy::Random, seed);
         }
     }

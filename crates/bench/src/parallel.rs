@@ -1,36 +1,80 @@
-//! Scoped-thread fan-out over independent engine runs.
+//! Bounded worker-pool fan-out over independent engine runs.
 //!
-//! Each experiment lineup (five assessment methods, seven hash widths) is
-//! a set of completely independent simulations — ideal data parallelism.
-//! `run_all` executes the provided closures on scoped crossbeam threads
-//! and returns their results in input order.
+//! Each experiment lineup (five assessment methods, seven hash widths,
+//! the nine-flavor survival sweep) is a set of completely independent
+//! simulations — ideal data parallelism. Earlier revisions spawned one
+//! thread per job, which oversubscribes the machine as soon as a lineup
+//! exceeds the core count (stacked lineups ran 16+ simulations at once);
+//! `run_all` now drains the jobs through a fixed pool of scoped workers
+//! capped at [`max_workers`], preserving input order and panic
+//! propagation.
 
-use crossbeam::thread;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
-/// Run every job on its own scoped thread, preserving order.
+/// Worker cap for [`run_all`]: `std::thread::available_parallelism()`,
+/// falling back to 1 when the platform cannot report it.
+pub fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run every job on a fixed pool of at most [`max_workers`] scoped
+/// threads, returning results in input order.
+///
+/// Jobs are pulled from a shared queue, so long-running simulations don't
+/// leave workers idle behind a static partition. Never spawns more
+/// threads than jobs.
 ///
 /// # Panics
-/// Propagates the first panicking job's panic.
+/// Propagates the panic of the lowest-indexed panicking job (after all
+/// workers have drained, so no result is silently dropped).
 pub fn run_all<T: Send, F>(jobs: Vec<F>) -> Vec<T>
 where
     F: FnOnce() -> T + Send,
 {
-    thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| s.spawn(move |_| job()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment job panicked"))
-            .collect()
-    })
-    .expect("scope join")
+    let n = jobs.len();
+    let workers = max_workers().min(n);
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Shared work queue of (input index, job); each worker owns a slot
+    // per finished job in `slots[i]`.
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let Some((i, job)) = queue.lock().expect("job queue poisoned").pop_front() else {
+                    break;
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(panic)) => resume_unwind(panic),
+            None => unreachable!("worker exited without completing its job"),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn preserves_order_and_runs_everything() {
@@ -42,12 +86,33 @@ mod tests {
     }
 
     #[test]
+    fn preserves_order_beyond_the_worker_cap() {
+        // Many more jobs than cores, with reversed sleep times so late
+        // jobs finish first: order must still follow the input.
+        let n = 4 * max_workers() + 3;
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_micros(((n - i) * 50) as u64));
+                    i
+                }
+            })
+            .collect();
+        let out = run_all(jobs);
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let jobs: Vec<fn() -> u32> = Vec::new();
+        assert_eq!(run_all(jobs), Vec::<u32>::new());
+    }
+
+    #[test]
     fn actually_parallel() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::time::Duration;
         static PEAK: AtomicUsize = AtomicUsize::new(0);
         static LIVE: AtomicUsize = AtomicUsize::new(0);
-        let jobs: Vec<_> = (0..4)
+        let jobs: Vec<_> = (0..2.min(max_workers()))
             .map(|_| {
                 || {
                     let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
@@ -58,9 +123,53 @@ mod tests {
             })
             .collect();
         run_all(jobs);
+        let want = 2.min(max_workers());
         assert!(
-            PEAK.load(Ordering::SeqCst) >= 2,
+            PEAK.load(Ordering::SeqCst) >= want,
             "jobs must overlap in time"
         );
+    }
+
+    #[test]
+    fn never_exceeds_available_parallelism() {
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        PEAK.store(0, Ordering::SeqCst);
+        // 3x oversubscription: concurrency must still be capped.
+        let jobs: Vec<_> = (0..3 * max_workers())
+            .map(|_| {
+                || {
+                    let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(live, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(10));
+                    LIVE.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        run_all(jobs);
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= max_workers(),
+            "peak {} exceeded the {}-worker cap",
+            PEAK.load(Ordering::SeqCst),
+            max_workers()
+        );
+    }
+
+    #[test]
+    fn propagates_the_lowest_indexed_panic() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("first failure")),
+            Box::new(|| 3),
+            Box::new(|| panic!("second failure")),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| run_all(jobs)))
+            .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        assert_eq!(msg, "first failure");
     }
 }

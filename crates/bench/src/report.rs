@@ -179,7 +179,10 @@ mod tests {
 
     #[test]
     fn series_table_marks_dead_runs() {
-        let runs = vec![fake_run("amri", 100, 10, None), fake_run("hash", 50, 10, Some(5))];
+        let runs = vec![
+            fake_run("amri", 100, 10, None),
+            fake_run("hash", 50, 10, Some(5)),
+        ];
         let table = render_series_table(&runs, 6);
         assert!(table.contains("amri"));
         assert!(table.contains("hash"));
@@ -199,7 +202,10 @@ mod tests {
 
     #[test]
     fn ascii_chart_plots_all_runs_and_legend() {
-        let runs = vec![fake_run("amri", 100, 10, None), fake_run("hash", 40, 10, Some(6))];
+        let runs = vec![
+            fake_run("amri", 100, 10, None),
+            fake_run("hash", 40, 10, Some(6)),
+        ];
         let chart = render_ascii_chart(&runs, 40, 10);
         assert!(chart.contains('*'), "{chart}");
         assert!(chart.contains('o'), "{chart}");
@@ -229,7 +235,11 @@ mod tests {
         let lines: Vec<&str> = body.lines().collect();
         assert_eq!(lines[0], "t_secs,a,b");
         assert_eq!(lines.len(), 5); // header + t=0..3
-        assert!(lines[4].ends_with(','), "dead run has empty cell: {}", lines[4]);
+        assert!(
+            lines[4].ends_with(','),
+            "dead run has empty cell: {}",
+            lines[4]
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -39,15 +39,10 @@ impl TrainedInit {
                     .filter(|p| !p.is_empty())
                     .take(k)
                     .collect();
-                let width = stats
-                    .first()
-                    .map(|(p, _)| p.n_attrs())
-                    .unwrap_or(3);
+                let width = stats.first().map(|(p, _)| p.n_attrs()).unwrap_or(3);
                 let mut next = AccessPattern::all(width).filter(|p| !p.is_empty());
                 while picks.len() < k {
-                    let candidate = next
-                        .next()
-                        .expect("fewer than 2^w - 1 picks requested");
+                    let candidate = next.next().expect("fewer than 2^w - 1 picks requested");
                     if !picks.contains(&candidate) {
                         picks.push(candidate);
                     }

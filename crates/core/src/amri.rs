@@ -12,7 +12,7 @@ use crate::bitaddr::BitAddressIndex;
 use crate::config::IndexConfig;
 use crate::cost::{CostParams, CostReceipt};
 use crate::error::CoreError;
-use crate::state::{StateStore, TupleKey};
+use crate::state::{SearchScratch, StateStore, TupleKey};
 use crate::tuner::{IndexTuner, TunerConfig, TunerEvent};
 use amri_stream::{AttrId, SearchRequest, StreamId, Tuple, VirtualTime, WindowSpec};
 
@@ -108,7 +108,22 @@ impl AmriState {
         self.store.expire(now, receipt)
     }
 
+    /// Answer a search request into a caller-owned scratch buffer, feeding
+    /// the request's pattern to the assessor. The zero-allocation hot path.
+    pub fn search_into(
+        &mut self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+    ) {
+        self.tuner.record(req.pattern);
+        self.store.search_into(req, scratch, receipt);
+    }
+
     /// Answer a search request, feeding its pattern to the assessor.
+    ///
+    /// Compatibility wrapper over [`search_into`](Self::search_into);
+    /// allocates the returned `Vec` per call.
     pub fn search(&mut self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
         self.tuner.record(req.pattern);
         self.store.search(req, receipt)
@@ -129,7 +144,10 @@ impl AmriState {
         window_secs: f64,
         receipt: &mut CostReceipt,
     ) -> Option<RetuneReport> {
-        match self.tuner.maybe_retune(now, lambda_d, lambda_r, window_secs) {
+        match self
+            .tuner
+            .maybe_retune(now, lambda_d, lambda_r, window_secs)
+        {
             TunerEvent::Retune {
                 config,
                 current_cd,

@@ -134,7 +134,10 @@ mod tests {
         let mut c = Cdia::new(3, 0.001, CombineStrategy::HighestCount, 42);
         feed_table_ii(&mut c);
         let hh = c.frequent(0.05);
-        let b = hh.iter().find(|(p, _)| p.mask() == 0b010).expect("B reported");
+        let b = hh
+            .iter()
+            .find(|(p, _)| p.mask() == 0b010)
+            .expect("B reported");
         assert!((b.1 - 0.14).abs() < 0.01, "B rolls to 14%, got {}", b.1);
         assert!(
             !hh.iter().any(|(p, _)| p.mask() == 0b001),
@@ -142,7 +145,10 @@ mod tests {
         );
         // The big five still reported.
         for m in [0b010, 0b100, 0b101, 0b110, 0b111] {
-            assert!(hh.iter().any(|(p, _)| p.mask() == m), "missing {m:#b}: {hh:?}");
+            assert!(
+                hh.iter().any(|(p, _)| p.mask() == m),
+                "missing {m:#b}: {hh:?}"
+            );
         }
     }
 

@@ -173,18 +173,16 @@ mod tests {
         let sria = drive(AssessorKind::Sria, &stream);
         let dia = drive(AssessorKind::Dia, &stream);
         for theta in [0.05, 0.1, 0.2, 0.5] {
-            assert_eq!(
-                sria.frequent(theta),
-                dia.frequent(theta),
-                "theta {theta}"
-            );
+            assert_eq!(sria.frequent(theta), dia.frequent(theta), "theta {theta}");
         }
         assert_eq!(sria.n(), dia.n());
     }
 
     #[test]
     fn all_methods_find_a_dominant_pattern() {
-        let stream: Vec<u32> = (0..1000).map(|i| if i % 10 < 8 { 0b111 } else { 0b001 }).collect();
+        let stream: Vec<u32> = (0..1000)
+            .map(|i| if i % 10 < 8 { 0b111 } else { 0b001 })
+            .collect();
         for kind in AssessorKind::figure6_lineup() {
             let a = drive(kind, &stream);
             let hh = a.frequent(0.5);

@@ -279,7 +279,11 @@ mod tests {
         let three = IndexConfig::new(vec![3, 3, 2]).unwrap();
         let cd1 = params.expected_cd(&one, &prof);
         let cd3 = params.expected_cd(&three, &prof);
-        assert!((cd3 / cd1 - 3.0).abs() < 1e-9, "N_A scaling, got {}", cd3 / cd1);
+        assert!(
+            (cd3 / cd1 - 3.0).abs() < 1e-9,
+            "N_A scaling, got {}",
+            cd3 / cd1
+        );
     }
 
     #[test]
@@ -315,13 +319,34 @@ mod tests {
         // statistics are available.
         let params = CostParams::default();
         let prof = profile(vec![
-            ApStat { pattern: ap(0b001), freq: 0.04 }, // <A,*,*>
-            ApStat { pattern: ap(0b010), freq: 0.10 }, // <*,B,*>
-            ApStat { pattern: ap(0b100), freq: 0.10 }, // <*,*,C>
-            ApStat { pattern: ap(0b011), freq: 0.04 }, // <A,B,*>
-            ApStat { pattern: ap(0b101), freq: 0.16 }, // <A,*,C>
-            ApStat { pattern: ap(0b110), freq: 0.10 }, // <*,B,C>
-            ApStat { pattern: ap(0b111), freq: 0.46 }, // <A,B,C>
+            ApStat {
+                pattern: ap(0b001),
+                freq: 0.04,
+            }, // <A,*,*>
+            ApStat {
+                pattern: ap(0b010),
+                freq: 0.10,
+            }, // <*,B,*>
+            ApStat {
+                pattern: ap(0b100),
+                freq: 0.10,
+            }, // <*,*,C>
+            ApStat {
+                pattern: ap(0b011),
+                freq: 0.04,
+            }, // <A,B,*>
+            ApStat {
+                pattern: ap(0b101),
+                freq: 0.16,
+            }, // <A,*,C>
+            ApStat {
+                pattern: ap(0b110),
+                freq: 0.10,
+            }, // <*,B,C>
+            ApStat {
+                pattern: ap(0b111),
+                freq: 0.46,
+            }, // <A,B,C>
         ]);
         let csria_pick = IndexConfig::new(vec![0, 1, 3]).unwrap();
         let true_opt = IndexConfig::new(vec![1, 1, 2]).unwrap();

@@ -15,7 +15,7 @@
 
 use crate::cost::CostReceipt;
 use crate::layout;
-use crate::state::{SearchOutcome, StateIndex, TupleKey};
+use crate::state::{SearchScratch, StateIndex, TupleKey};
 use amri_stream::{fx_hash_u64, AccessPattern, AttrVec, FxHashMap, SearchRequest};
 
 /// One hash sub-index over a fixed attribute combination.
@@ -161,24 +161,29 @@ impl StateIndex for MultiHashIndex {
         self.n_tuples -= 1;
     }
 
-    fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> SearchOutcome {
+    fn search_into(
+        &self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+    ) -> bool {
+        scratch.hits.clear();
         let Some(i) = self.best_sub(req.pattern) else {
-            return SearchOutcome::NeedScan;
+            return false;
         };
         let sub = &self.subs[i];
         receipt.hash_ops += sub.pattern.specified() as u64;
         receipt.bucket_probes += 1;
         let k = sub.key_of(&req.values);
-        let mut out = Vec::new();
         if let Some(entries) = sub.map.get(&k) {
             for (key, jas) in entries {
                 receipt.comparisons += 1;
                 if req.matches(jas.as_slice()) {
-                    out.push(*key);
+                    scratch.hits.push(*key);
                 }
             }
         }
-        SearchOutcome::Matches(out)
+        true
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -204,6 +209,7 @@ impl StateIndex for MultiHashIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::SearchOutcome;
     use proptest::prelude::*;
 
     fn ap(mask: u32) -> AccessPattern {
@@ -269,7 +275,10 @@ mod tests {
         // §I-A: sr₂ = {A3=47}. No index is a subset of {A3} → full scan.
         let m = paper_module();
         let mut r = CostReceipt::new();
-        assert_eq!(m.search(&req(0b100, &[0, 0, 47]), &mut r), SearchOutcome::NeedScan);
+        assert_eq!(
+            m.search(&req(0b100, &[0, 0, 47]), &mut r),
+            SearchOutcome::NeedScan
+        );
     }
 
     #[test]

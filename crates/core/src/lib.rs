@@ -108,5 +108,5 @@ pub use cost::{ApStat, CostParams, CostReceipt, WorkloadProfile};
 pub use error::CoreError;
 pub use hash_index::MultiHashIndex;
 pub use scan::ScanIndex;
-pub use state::{SearchOutcome, StateIndex, StateStore, TupleKey};
+pub use state::{SearchOutcome, SearchScratch, StateIndex, StateStore, TupleKey};
 pub use tuner::{IndexTuner, TunerConfig, TunerEvent};

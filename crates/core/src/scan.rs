@@ -5,7 +5,7 @@
 //! "non-adapting" comparisons start from.
 
 use crate::cost::CostReceipt;
-use crate::state::{SearchOutcome, StateIndex, TupleKey};
+use crate::state::{SearchScratch, StateIndex, TupleKey};
 use amri_stream::{AttrVec, SearchRequest};
 
 /// An index that indexes nothing.
@@ -30,8 +30,14 @@ impl StateIndex for ScanIndex {
         self.entries -= 1;
     }
 
-    fn search(&self, _req: &SearchRequest, _receipt: &mut CostReceipt) -> SearchOutcome {
-        SearchOutcome::NeedScan
+    fn search_into(
+        &self,
+        _req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        _receipt: &mut CostReceipt,
+    ) -> bool {
+        scratch.hits.clear();
+        false
     }
 
     fn memory_bytes(&self) -> u64 {
@@ -50,6 +56,7 @@ impl StateIndex for ScanIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::SearchOutcome;
     use amri_stream::AccessPattern;
 
     #[test]
@@ -60,10 +67,7 @@ mod tests {
         assert_eq!(idx.entries(), 1);
         assert_eq!(idx.memory_bytes(), 0);
         assert_eq!(idx.kind(), "scan");
-        let req = SearchRequest::new(
-            AccessPattern::full(1),
-            AttrVec::from_slice(&[1]).unwrap(),
-        );
+        let req = SearchRequest::new(AccessPattern::full(1), AttrVec::from_slice(&[1]).unwrap());
         assert_eq!(idx.search(&req, &mut r), SearchOutcome::NeedScan);
         assert_eq!(r.total_actions(), 0, "scan index itself charges nothing");
         idx.remove(TupleKey(0), &AttrVec::from_slice(&[1]).unwrap(), &mut r);

@@ -169,7 +169,11 @@ mod tests {
     fn no_frequent_patterns_means_no_index() {
         let prof = profile(vec![]);
         let ic = select_config_greedy(16, 3, &prof, &CostParams::default());
-        assert_eq!(ic.total_bits(), 0, "maintenance-only bits must not be spent");
+        assert_eq!(
+            ic.total_bits(),
+            0,
+            "maintenance-only bits must not be spent"
+        );
     }
 
     #[test]
@@ -195,7 +199,10 @@ mod tests {
         let greedy = select_config_greedy(4, 3, &prof, &params);
         let exhaustive = select_config_exhaustive(4, 3, &prof, &params);
         assert!(greedy.bits_of(0) >= 1, "A must be indexed: {greedy}");
-        assert!(exhaustive.bits_of(0) >= 1, "A must be indexed: {exhaustive}");
+        assert!(
+            exhaustive.bits_of(0) >= 1,
+            "A must be indexed: {exhaustive}"
+        );
         // And without the A-family statistics (CSRIA's view), A gets none.
         let csria_view = profile(vec![
             (0b010, 0.10),

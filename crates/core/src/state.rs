@@ -11,8 +11,7 @@
 use crate::cost::CostReceipt;
 use crate::layout;
 use amri_stream::{
-    AttrId, AttrVec, SearchRequest, StreamId, Tuple, VirtualTime, WindowBuffer,
-    WindowSpec,
+    AttrId, AttrVec, SearchRequest, StreamId, Tuple, VirtualTime, WindowBuffer, WindowSpec,
 };
 
 /// Key of a stored tuple within its state's arena.
@@ -28,6 +27,33 @@ pub enum SearchOutcome {
     NeedScan,
 }
 
+/// Caller-owned, reusable buffer a search writes its matches into.
+///
+/// The engine's inner loop serves millions of search requests; allocating a
+/// fresh `Vec` per request dominated the index probe itself for selective
+/// patterns. One `SearchScratch` per STeM amortizes that to zero: after
+/// warm-up the buffer's capacity covers the steady-state match fan-out and
+/// [`StateIndex::search_into`] never touches the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// Matches of the most recent `search_into` call.
+    pub hits: Vec<TupleKey>,
+}
+
+impl SearchScratch {
+    /// New empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the hit buffer (avoids growth during warm-up).
+    pub fn with_capacity(cap: usize) -> Self {
+        SearchScratch {
+            hits: Vec::with_capacity(cap),
+        }
+    }
+}
+
 /// A pluggable index over one state's tuples.
 ///
 /// Implementations receive the tuple's JAS-aligned values on insert/remove
@@ -40,8 +66,33 @@ pub trait StateIndex {
     /// Remove an expired tuple.
     fn remove(&mut self, key: TupleKey, jas_values: &AttrVec, receipt: &mut CostReceipt);
 
-    /// Find tuples matching `req` (equality on the specified attributes).
-    fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> SearchOutcome;
+    /// Find tuples matching `req` (equality on the specified attributes),
+    /// writing them into `scratch.hits` (cleared first).
+    ///
+    /// Returns `true` when the index served the request; `false` when it
+    /// cannot (the [`SearchOutcome::NeedScan`] case) and the caller must
+    /// scan the arena. Steady-state calls must not allocate: results go
+    /// into the caller's reusable buffer.
+    fn search_into(
+        &self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+    ) -> bool;
+
+    /// Find tuples matching `req`, returning an owned result.
+    ///
+    /// Compatibility wrapper over [`search_into`](Self::search_into); it
+    /// allocates a fresh buffer per call, so hot paths should prefer
+    /// `search_into` with a reused [`SearchScratch`].
+    fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> SearchOutcome {
+        let mut scratch = SearchScratch::new();
+        if self.search_into(req, &mut scratch, receipt) {
+            SearchOutcome::Matches(scratch.hits)
+        } else {
+            SearchOutcome::NeedScan
+        }
+    }
 
     /// Bytes this index currently occupies under the memory model.
     fn memory_bytes(&self) -> u64;
@@ -115,6 +166,9 @@ pub struct StateStore<I> {
     index: I,
     /// Payload bytes per tuple (schema-declared, memory accounting only).
     payload_bytes: u32,
+    /// Reusable drain buffer for [`StateStore::expire`] (borrow discipline:
+    /// the window queue and the arena/index cannot be borrowed at once).
+    expire_buf: Vec<TupleKey>,
 }
 
 impl<I: StateIndex> StateStore<I> {
@@ -128,6 +182,7 @@ impl<I: StateIndex> StateStore<I> {
             window: WindowBuffer::new(window),
             index,
             payload_bytes: 0,
+            expire_buf: Vec::new(),
         }
     }
 
@@ -208,42 +263,60 @@ impl<I: StateIndex> StateStore<I> {
     /// returns how many were removed.
     pub fn expire(&mut self, now: VirtualTime, receipt: &mut CostReceipt) -> usize {
         let mut removed = 0;
-        // Drain the expiration queue first (borrow discipline), then unindex.
-        let expired: Vec<TupleKey> = self.window.expire(now).map(|(_, k)| k).collect();
-        for key in expired {
+        // Drain the expiration queue into the state-owned reusable buffer,
+        // then unindex. Steady state touches no allocator: the buffer's
+        // capacity covers the per-tick expiry batch after warm-up.
+        let mut expired = std::mem::take(&mut self.expire_buf);
+        expired.clear();
+        expired.extend(self.window.expire(now).map(|(_, k)| k));
+        for &key in &expired {
             if let Some(stored) = self.arena.remove(key) {
                 receipt.base_ops += 1;
                 self.index.remove(key, &stored.jas_values, receipt);
                 removed += 1;
             }
         }
+        self.expire_buf = expired;
         removed
+    }
+
+    /// Answer a search request into a caller-owned scratch buffer.
+    ///
+    /// `scratch.hits` is cleared and then filled with the keys of matching
+    /// live tuples. Falls back to a full arena scan when the index cannot
+    /// serve the request, charging two comparisons per live tuple — the
+    /// §I-A "no suitable hash index exists" path. Steady-state calls do not
+    /// allocate.
+    pub fn search_into(
+        &self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+    ) {
+        debug_assert_eq!(req.pattern.n_attrs(), self.jas_width());
+        if !self.index.search_into(req, scratch, receipt) {
+            scratch.hits.clear();
+            for (key, stored) in self.arena.iter() {
+                // A full scan materializes the stored tuple and then
+                // compares: twice the work of an in-bucket comparison
+                // over inline JAS values (§I-A's "complete scans" are
+                // what drown the few-index access modules).
+                receipt.comparisons += 2;
+                if req.matches(&stored.jas_values) {
+                    scratch.hits.push(key);
+                }
+            }
+        }
     }
 
     /// Answer a search request: returns the keys of matching live tuples.
     ///
-    /// Falls back to a full arena scan when the index cannot serve the
-    /// request ([`SearchOutcome::NeedScan`]), charging one comparison per
-    /// live tuple — the §I-A "no suitable hash index exists" path.
+    /// Compatibility wrapper over [`search_into`](Self::search_into); it
+    /// allocates the returned `Vec` per call.
     pub fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
-        debug_assert_eq!(req.pattern.n_attrs(), self.jas_width());
-        match self.index.search(req, receipt) {
-            SearchOutcome::Matches(keys) => keys,
-            SearchOutcome::NeedScan => {
-                let mut out = Vec::new();
-                for (key, stored) in self.arena.iter() {
-                    // A full scan materializes the stored tuple and then
-                    // compares: twice the work of an in-bucket comparison
-                    // over inline JAS values (§I-A's "complete scans" are
-                    // what drown the few-index access modules).
-                    receipt.comparisons += 2;
-                    if req.matches(&stored.jas_values) {
-                        out.push(key);
-                    }
-                }
-                out
-            }
-        }
+        let mut scratch = SearchScratch::new();
+        self.search_into(req, &mut scratch, receipt);
+        scratch.hits
     }
 
     /// The stored tuple for `key`, if live.
@@ -395,7 +468,10 @@ mod tests {
         for i in 0..5 {
             s.insert(mk_tuple(i, 0, &[i, 0, i]), &mut r);
         }
-        let req = SearchRequest::new(AccessPattern::empty(2), AttrVec::from_slice(&[0, 0]).unwrap());
+        let req = SearchRequest::new(
+            AccessPattern::empty(2),
+            AttrVec::from_slice(&[0, 0]).unwrap(),
+        );
         assert_eq!(s.search(&req, &mut CostReceipt::new()).len(), 5);
     }
 }

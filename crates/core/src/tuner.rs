@@ -239,8 +239,7 @@ impl IndexTuner {
         );
         let current_cd = self.params.expected_cd(&self.current, &profile);
         let candidate_cd = self.params.expected_cd(&candidate, &profile);
-        if candidate != self.current && candidate_cd < current_cd * (1.0 - self.config.hysteresis)
-        {
+        if candidate != self.current && candidate_cd < current_cd * (1.0 - self.config.hysteresis) {
             self.current = candidate.clone();
             self.migrations += 1;
             TunerEvent::Retune {

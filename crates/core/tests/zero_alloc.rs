@@ -1,0 +1,132 @@
+//! Steady-state searches must never touch the allocator.
+//!
+//! A counting global allocator wraps `System`; after warming the scratch
+//! buffer up to its steady-state capacity, a burst of `search_into` calls
+//! (narrow probes, wide wildcard probes, and scan fallbacks) must record
+//! exactly zero allocations. This is the acceptance check for the flat
+//! bucket arena + scratch-buffered search hot path.
+//!
+//! The file holds a single `#[test]` so no concurrent test can allocate
+//! while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use amri_core::{
+    BitAddressIndex, CostReceipt, IndexConfig, ScanIndex, SearchScratch, StateIndex, StateStore,
+    TupleKey,
+};
+use amri_stream::{
+    AccessPattern, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualTime, WindowSpec,
+};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn jas(vals: &[u64]) -> AttrVec {
+    AttrVec::from_slice(vals).unwrap()
+}
+
+fn req(mask: u32, vals: &[u64]) -> SearchRequest {
+    SearchRequest::new(AccessPattern::new(mask, 3), jas(vals))
+}
+
+#[test]
+fn steady_state_search_into_does_not_allocate() {
+    // --- Bit-address index: narrow (exact) and wide (wildcard) probes. ---
+    let mut idx = BitAddressIndex::new(IndexConfig::new(vec![8, 8, 8]).unwrap());
+    let mut r = CostReceipt::new();
+    for i in 0..10_000u64 {
+        idx.insert(TupleKey(i as u32), &jas(&[i % 64, i % 37, i % 19]), &mut r);
+    }
+    let mut scratch = SearchScratch::new();
+    // Warm-up: grow scratch.hits to the steady-state fan-out once.
+    for i in 0..64u64 {
+        idx.search_into(&req(0b001, &[i, 0, 0]), &mut scratch, &mut r);
+        idx.search_into(&req(0b111, &[i % 64, i % 37, i % 19]), &mut scratch, &mut r);
+    }
+
+    // --- Scan fallback through StateStore (the NeedScan path). ---
+    let mut store = StateStore::new(
+        StreamId(0),
+        vec![
+            amri_stream::AttrId(0),
+            amri_stream::AttrId(1),
+            amri_stream::AttrId(2),
+        ],
+        WindowSpec::secs(1_000_000),
+        ScanIndex::new(),
+    );
+    for i in 0..1_000u64 {
+        store.insert(
+            Tuple::new(
+                TupleId(i),
+                StreamId(0),
+                VirtualTime::ZERO,
+                jas(&[i % 64, i % 37, i % 19]),
+            ),
+            &mut r,
+        );
+    }
+    let mut scan_scratch = SearchScratch::new();
+    store.search_into(&req(0b001, &[1, 0, 0]), &mut scan_scratch, &mut r);
+
+    // --- Armed: a burst of searches must record zero allocations. ---
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for round in 0..100u64 {
+        for i in 0..64u64 {
+            // Wide wildcard probe (256 candidate ids > occupied buckets).
+            idx.search_into(&req(0b001, &[i, 0, 0]), &mut scratch, &mut r);
+            // Narrow exact probe (one candidate id).
+            idx.search_into(
+                &req(0b111, &[i % 64, (i + round) % 37, i % 19]),
+                &mut scratch,
+                &mut r,
+            );
+        }
+        // Arena scan fallback.
+        store.search_into(&req(0b001, &[round % 64, 0, 0]), &mut scan_scratch, &mut r);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state search_into must not allocate, saw {allocs} allocations"
+    );
+    // Sanity: the searches actually produced matches.
+    assert!(!scratch.hits.is_empty() || !scan_scratch.hits.is_empty());
+}

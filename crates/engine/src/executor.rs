@@ -205,12 +205,9 @@ impl<W: StreamWorkload> Executor<W> {
             let payload = query.schemas[i].payload_bytes;
             let state = match &mode {
                 IndexingMode::Amri { assessor, initial } => {
-                    let init = initial
-                        .as_ref()
-                        .map(|v| v[i].clone())
-                        .unwrap_or_else(|| {
-                            IndexConfig::even(width, config.tuner.total_bits).expect("≤64 bits")
-                        });
+                    let init = initial.as_ref().map(|v| v[i].clone()).unwrap_or_else(|| {
+                        IndexConfig::even(width, config.tuner.total_bits).expect("≤64 bits")
+                    });
                     JoinState::amri(
                         sid,
                         jas,
@@ -294,8 +291,9 @@ impl<W: StreamWorkload> Executor<W> {
         let mut backlog: VecDeque<Job> = VecDeque::new();
         // Stagger first arrivals so streams interleave deterministically.
         let base_gap = VirtualDuration::from_secs_f64(1.0 / self.config.lambda_d);
-        let mut next_arrival: Vec<VirtualTime> =
-            (0..n).map(|i| VirtualTime(base_gap.0 * i as u64 / n as u64)).collect();
+        let mut next_arrival: Vec<VirtualTime> = (0..n)
+            .map(|i| VirtualTime(base_gap.0 * i as u64 / n as u64))
+            .collect();
         let mut outputs: u64 = 0;
         let mut tuple_seq: u64 = 0;
         let mut sojourn_ticks: u64 = 0;
@@ -320,7 +318,8 @@ impl<W: StreamWorkload> Executor<W> {
                     break 'run;
                 }
                 let elapsed = due.as_secs_f64().max(1.0);
-                let lambda_now = self.config.lambda_d * (1.0 + self.config.lambda_ramp * due.as_secs_f64());
+                let lambda_now =
+                    self.config.lambda_d * (1.0 + self.config.lambda_ramp * due.as_secs_f64());
                 for (i, stem) in self.stems.iter_mut().enumerate() {
                     let lambda_r = stem.requests_served as f64 / elapsed;
                     let mut receipt = CostReceipt::new();
@@ -354,8 +353,7 @@ impl<W: StreamWorkload> Executor<W> {
                     ingested = true;
                     let ts = next_arrival[s];
                     // Gap shrinks as the ramp raises the arrival rate.
-                    let gap =
-                        VirtualDuration::from_secs_f64(1.0 / self.lambda_at(ts).max(1e-9));
+                    let gap = VirtualDuration::from_secs_f64(1.0 / self.lambda_at(ts).max(1e-9));
                     next_arrival[s] = ts + gap;
                     let sid = StreamId(s as u16);
                     let attrs = self.workload.attrs_for(sid, ts);
@@ -388,12 +386,15 @@ impl<W: StreamWorkload> Executor<W> {
                 self.observers[target.idx()].record(pattern);
                 let mut receipt = CostReceipt::new();
                 let stem = &mut self.stems[target.idx()];
-                let keys = stem.state.search(&req, &mut receipt);
+                // Scratch-buffered search: the per-STeM buffer is reused
+                // across requests, so steady state never allocates here.
+                stem.state
+                    .search_into(&req, &mut stem.scratch, &mut receipt);
                 stem.requests_served += 1;
                 let window = self.query.windows[target.idx()];
                 let now = clock.now();
                 let mut matches = 0usize;
-                for key in keys {
+                for &key in &stem.scratch.hits {
                     let Some(t) = stem.state.tuple(key) else {
                         continue;
                     };
@@ -408,10 +409,7 @@ impl<W: StreamWorkload> Executor<W> {
                     }
                     // Residual (non-equality) predicates.
                     let ok = residual.iter().all(|b| {
-                        let lhs = t.attrs[self
-                            .graph
-                            .jas(target)[b.jas_pos]
-                            .idx()];
+                        let lhs = t.attrs[self.graph.jas(target)[b.jas_pos].idx()];
                         let rhs = pt.part(b.src_stream).expect("covered")[b.src_attr.idx()];
                         b.op.eval(lhs, rhs)
                     });
@@ -451,11 +449,7 @@ impl<W: StreamWorkload> Executor<W> {
             }
         }
 
-        let pattern_stats = self
-            .observers
-            .iter()
-            .map(|o| o.frequent(0.0))
-            .collect();
+        let pattern_stats = self.observers.iter().map(|o| o.frequent(0.0)).collect();
         RunResult {
             label: self.mode_label,
             mean_job_latency_ticks: if jobs_processed == 0 {
@@ -506,7 +500,12 @@ mod tests {
         SpjQuery::new(
             "pair",
             vec![schema("L"), schema("R")],
-            vec![JoinPredicate::eq(StreamId(0), AttrId(0), StreamId(1), AttrId(0))],
+            vec![JoinPredicate::eq(
+                StreamId(0),
+                AttrId(0),
+                StreamId(1),
+                AttrId(0),
+            )],
             vec![WindowSpec::secs(5); 2],
         )
         .unwrap()
@@ -561,7 +560,11 @@ mod tests {
             result.outputs
         );
         // Both states served requests.
-        assert!(result.requests.iter().all(|&r| r > 100), "{:?}", result.requests);
+        assert!(
+            result.requests.iter().all(|&r| r > 100),
+            "{:?}",
+            result.requests
+        );
         // The series is monotone.
         let s = result.series.samples();
         assert!(s.windows(2).all(|w| w[0].outputs <= w[1].outputs));

@@ -104,8 +104,8 @@ pub struct RoutingPolicy {
 impl RoutingPolicy {
     /// Instantiate `kind` for an `n_streams`-way query.
     pub fn new(kind: PolicyKind, n_streams: usize) -> Self {
-        if let PolicyKind::SelectivityGreedy { exploration }
-        | PolicyKind::Lottery { exploration } = kind
+        if let PolicyKind::SelectivityGreedy { exploration } | PolicyKind::Lottery { exploration } =
+            kind
         {
             assert!(
                 (0.0..=1.0).contains(&exploration),

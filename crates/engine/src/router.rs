@@ -56,11 +56,7 @@ mod tests {
 
     #[test]
     fn router_adapts_to_observed_fanout() {
-        let mut router = Router::new(
-            PolicyKind::SelectivityGreedy { exploration: 0.0 },
-            3,
-            7,
-        );
+        let mut router = Router::new(PolicyKind::SelectivityGreedy { exploration: 0.0 }, 3, 7);
         // Teach it that state 2 explodes and state 1 filters.
         for _ in 0..300 {
             router.observe(StreamId(2), 50, 10);

@@ -14,11 +14,10 @@
 use amri_core::assess::{Assessor, AssessorKind};
 use amri_core::{
     AmriState, BitAddressIndex, CostParams, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex,
-    StateStore, TunerConfig, TupleKey,
+    SearchScratch, StateStore, TunerConfig, TupleKey,
 };
 use amri_stream::{
-    AccessPattern, AttrId, SearchRequest, StreamId, Tuple, VirtualDuration, VirtualTime,
-    WindowSpec,
+    AccessPattern, AttrId, SearchRequest, StreamId, Tuple, VirtualDuration, VirtualTime, WindowSpec,
 };
 
 /// Conventional index selection for the multi-hash baseline: keep the `k`
@@ -163,20 +162,38 @@ impl JoinState {
         }
     }
 
-    /// Answer a search request; every flavor records the pattern into its
-    /// tuner's statistics if it has one.
-    pub fn search(&mut self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
+    /// Answer a search request into a caller-owned scratch buffer; every
+    /// flavor records the pattern into its tuner's statistics if it has
+    /// one. The zero-allocation hot path: the engine reuses one scratch
+    /// per STeM ([`Stem::scratch`]) across all requests.
+    pub fn search_into(
+        &mut self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+    ) {
         match self {
-            JoinState::Amri(s) => s.search(req, receipt),
+            JoinState::Amri(s) => s.search_into(req, scratch, receipt),
             JoinState::MultiHash { store, tuner } => {
                 if let Some(t) = tuner {
                     t.record(req.pattern);
                 }
-                store.search(req, receipt)
+                store.search_into(req, scratch, receipt);
             }
-            JoinState::StaticBitmap(s) => s.search(req, receipt),
-            JoinState::Scan(s) => s.search(req, receipt),
+            JoinState::StaticBitmap(s) => s.search_into(req, scratch, receipt),
+            JoinState::Scan(s) => s.search_into(req, scratch, receipt),
         }
+    }
+
+    /// Answer a search request; every flavor records the pattern into its
+    /// tuner's statistics if it has one.
+    ///
+    /// Compatibility wrapper over [`search_into`](Self::search_into);
+    /// allocates the returned `Vec` per call.
+    pub fn search(&mut self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
+        let mut scratch = SearchScratch::new();
+        self.search_into(req, &mut scratch, receipt);
+        scratch.hits
     }
 
     /// The stored tuple behind a search hit.
@@ -228,10 +245,8 @@ impl JoinState {
                 let before = receipt.moved;
                 // Split borrows: retarget needs the live entries and the
                 // index mutably; clone the (key, jas) pairs first.
-                let live: Vec<(TupleKey, amri_stream::AttrVec)> = store
-                    .iter_jas()
-                    .map(|(k, v)| (k, *v))
-                    .collect();
+                let live: Vec<(TupleKey, amri_stream::AttrVec)> =
+                    store.iter_jas().map(|(k, v)| (k, *v)).collect();
                 let description = format!("hash{:?}", &picks);
                 store
                     .index_mut()
@@ -259,6 +274,9 @@ pub struct Stem {
     pub stream: StreamId,
     /// The state.
     pub state: JoinState,
+    /// Reusable search buffer: one per STeM, so the executor's inner loop
+    /// never allocates per request ([`JoinState::search_into`]).
+    pub scratch: SearchScratch,
     /// Requests served (for λ_r estimation).
     pub requests_served: u64,
     /// Matches returned (for selectivity statistics).
@@ -271,6 +289,7 @@ impl Stem {
         Stem {
             stream,
             state,
+            scratch: SearchScratch::new(),
             requests_served: 0,
             matches_returned: 0,
         }
@@ -501,10 +520,7 @@ mod tests {
     #[test]
     fn static_flavors_never_retune() {
         for mut state in all_flavors() {
-            if matches!(
-                state,
-                JoinState::StaticBitmap(_) | JoinState::Scan(_)
-            ) {
+            if matches!(state, JoinState::StaticBitmap(_) | JoinState::Scan(_)) {
                 let mut r = CostReceipt::new();
                 for i in 0..200u64 {
                     state.search(&req(0b001, &[i, 0, 0]), &mut r);

@@ -368,8 +368,8 @@ mod tests {
             h.observe(ap(0b001)); // parent A
         }
         h.observe(ap(0b011)); // leaf AB — boundary hits at n=4
-        // At the boundary s_id=1: leaf AB has count+delta = 1 ≤ 1 → folded.
-        // Its parents are A (count 3) and B (absent): A must receive it.
+                              // At the boundary s_id=1: leaf AB has count+delta = 1 ≤ 1 → folded.
+                              // Its parents are A (count 3) and B (absent): A must receive it.
         assert!(h.entry(ap(0b011)).is_none(), "leaf folded away");
         assert_eq!(h.entry(ap(0b001)).unwrap().count, 4);
         assert_eq!(h.total_mass(), 4);
@@ -416,7 +416,11 @@ mod tests {
             "<A,*,*> must appear with rolled-up mass, got {q:?}"
         );
         let a = q.iter().find(|(p, _)| p.mask() == 0b001).unwrap();
-        assert!((a.1 - 0.08).abs() < 1e-9, "rolled frequency 8%, got {}", a.1);
+        assert!(
+            (a.1 - 0.08).abs() < 1e-9,
+            "rolled frequency 8%, got {}",
+            a.1
+        );
         // <A,B,*> itself was rolled away.
         assert!(!pats.contains(&0b011));
     }

@@ -101,9 +101,7 @@ impl<V> PatternLattice<V> {
     /// True iff some stored node lies strictly below `ap` (i.e. `ap`
     /// provides search benefit to a stored node other than itself).
     pub fn has_stored_descendant(&self, ap: AccessPattern) -> bool {
-        self.nodes
-            .keys()
-            .any(|k| ap.strictly_benefits(*k))
+        self.nodes.keys().any(|k| ap.strictly_benefits(*k))
     }
 
     /// The current leaves: stored nodes with no stored strict descendant

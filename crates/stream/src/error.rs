@@ -70,9 +70,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(StreamError::InvalidWindow, StreamError::InvalidWindow);
-        assert_ne!(
-            StreamError::UnknownStream(1),
-            StreamError::UnknownStream(2)
-        );
+        assert_ne!(StreamError::UnknownStream(1), StreamError::UnknownStream(2));
     }
 }

@@ -432,8 +432,8 @@ impl JoinGraph {
 mod tests {
     use super::*;
     use crate::schema::{AttrDomain, AttrSpec};
-    use crate::tuple::{Tuple, TupleId};
     use crate::time::VirtualTime;
+    use crate::tuple::{Tuple, TupleId};
 
     /// The paper's evaluation query shape: 4 streams, each joined to the 3
     /// others via a unique attribute (3 join attributes per state).
@@ -484,18 +484,30 @@ mod tests {
         let q = four_way();
         // Self-join predicate:
         let mut bad = q.clone();
-        bad.predicates
-            .push(JoinPredicate::eq(StreamId(0), AttrId(0), StreamId(0), AttrId(1)));
+        bad.predicates.push(JoinPredicate::eq(
+            StreamId(0),
+            AttrId(0),
+            StreamId(0),
+            AttrId(1),
+        ));
         assert!(matches!(bad.validate(), Err(StreamError::InvalidQuery(_))));
         // Dangling stream:
         let mut bad = q.clone();
-        bad.predicates
-            .push(JoinPredicate::eq(StreamId(0), AttrId(0), StreamId(9), AttrId(0)));
+        bad.predicates.push(JoinPredicate::eq(
+            StreamId(0),
+            AttrId(0),
+            StreamId(9),
+            AttrId(0),
+        ));
         assert!(matches!(bad.validate(), Err(StreamError::UnknownStream(9))));
         // Dangling attribute:
         let mut bad = q.clone();
-        bad.predicates
-            .push(JoinPredicate::eq(StreamId(0), AttrId(7), StreamId(1), AttrId(0)));
+        bad.predicates.push(JoinPredicate::eq(
+            StreamId(0),
+            AttrId(7),
+            StreamId(1),
+            AttrId(0),
+        ));
         assert!(matches!(
             bad.validate(),
             Err(StreamError::UnknownAttribute { stream: 0, attr: 7 })

@@ -156,10 +156,12 @@ impl StreamSchema {
     /// [`StreamError::UnknownAttribute`] if out of range (stream id reported
     /// as `u16::MAX` because the schema does not know its own id).
     pub fn attr(&self, a: AttrId) -> Result<&AttrSpec, StreamError> {
-        self.attrs.get(a.idx()).ok_or(StreamError::UnknownAttribute {
-            stream: u16::MAX,
-            attr: a.0,
-        })
+        self.attrs
+            .get(a.idx())
+            .ok_or(StreamError::UnknownAttribute {
+                stream: u16::MAX,
+                attr: a.0,
+            })
     }
 }
 

@@ -229,7 +229,10 @@ mod tests {
     fn construction_round_trips() {
         assert_eq!(VirtualTime::from_secs(2).0, 2 * TICKS_PER_SEC);
         assert_eq!(VirtualTime::from_mins(3), VirtualTime::from_secs(180));
-        assert_eq!(VirtualDuration::from_mins(1), VirtualDuration::from_secs(60));
+        assert_eq!(
+            VirtualDuration::from_mins(1),
+            VirtualDuration::from_secs(60)
+        );
         assert!((VirtualTime::from_secs(90).as_mins_f64() - 1.5).abs() < 1e-12);
     }
 

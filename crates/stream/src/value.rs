@@ -184,7 +184,10 @@ mod tests {
         let too_many = [0u64; MAX_ATTRS + 1];
         assert!(matches!(
             AttrVec::from_slice(&too_many),
-            Err(StreamError::TooManyAttributes { requested: 9, max: 8 })
+            Err(StreamError::TooManyAttributes {
+                requested: 9,
+                max: 8
+            })
         ));
     }
 

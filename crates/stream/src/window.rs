@@ -155,7 +155,10 @@ mod tests {
         let gone: Vec<_> = b.expire(VirtualTime::from_secs(13)).collect();
         assert_eq!(gone, vec![(VirtualTime::from_secs(0), 100)]);
         assert_eq!(b.len(), 2);
-        let gone: Vec<_> = b.expire(VirtualTime::from_secs(100)).map(|(_, x)| x).collect();
+        let gone: Vec<_> = b
+            .expire(VirtualTime::from_secs(100))
+            .map(|(_, x)| x)
+            .collect();
         assert_eq!(gone, vec![101, 102]);
         assert!(b.is_empty());
     }
@@ -179,7 +182,10 @@ mod tests {
         // Take only the first expired item, drop the iterator, expire again.
         let first = b.expire(VirtualTime::from_secs(10)).next();
         assert_eq!(first.map(|(_, x)| x), Some(0));
-        let rest: Vec<_> = b.expire(VirtualTime::from_secs(10)).map(|(_, x)| x).collect();
+        let rest: Vec<_> = b
+            .expire(VirtualTime::from_secs(10))
+            .map(|(_, x)| x)
+            .collect();
         assert_eq!(rest, vec![1, 2, 3, 4]);
     }
 }

@@ -61,7 +61,9 @@ impl ValueDist {
             } => {
                 assert!(cardinality > 0, "empty domain");
                 let z = Zipf::new(cardinality, exponent).expect("valid Zipf parameters");
-                (z.sample(rng) as u64).saturating_sub(1).min(cardinality - 1)
+                (z.sample(rng) as u64)
+                    .saturating_sub(1)
+                    .min(cardinality - 1)
             }
             ValueDist::Normal {
                 cardinality,

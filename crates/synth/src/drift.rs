@@ -194,10 +194,16 @@ mod tests {
         let sched = DriftSchedule::rotating(4, VirtualDuration::from_secs(5), 100, 10);
         assert_eq!(sched.n_phases(), 6);
         // In phase 0 edge 0 = {S0,S1} is selective.
-        assert_eq!(sched.cardinality_at(secs(0), StreamId(0), StreamId(1)), 1000);
+        assert_eq!(
+            sched.cardinality_at(secs(0), StreamId(0), StreamId(1)),
+            1000
+        );
         assert_eq!(sched.cardinality_at(secs(0), StreamId(0), StreamId(2)), 100);
         // In phase 1 edge 1 = {S0,S2} takes over.
-        assert_eq!(sched.cardinality_at(secs(5), StreamId(0), StreamId(2)), 1000);
+        assert_eq!(
+            sched.cardinality_at(secs(5), StreamId(0), StreamId(2)),
+            1000
+        );
         assert_eq!(sched.cardinality_at(secs(5), StreamId(0), StreamId(1)), 100);
     }
 

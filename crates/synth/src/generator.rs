@@ -130,9 +130,7 @@ mod tests {
             assert!(attrs[0] < 800);
         }
         // Some draw on the hot edge must exceed the base range.
-        let saw_large = (0..200).any(|_| {
-            w.attrs_for(StreamId(0), VirtualTime::ZERO)[0] >= 8
-        });
+        let saw_large = (0..200).any(|_| w.attrs_for(StreamId(0), VirtualTime::ZERO)[0] >= 8);
         assert!(saw_large, "k=800 edge must use its range");
     }
 
@@ -179,7 +177,11 @@ mod tests {
             let sched = DriftSchedule::constant(3, 64);
             let mut w = DriftingWorkload::new(sched, 123);
             (0..50)
-                .map(|i| w.attrs_for(StreamId(i % 3), VirtualTime::ZERO).as_slice().to_vec())
+                .map(|i| {
+                    w.attrs_for(StreamId(i % 3), VirtualTime::ZERO)
+                        .as_slice()
+                        .to_vec()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());

@@ -15,11 +15,11 @@
 
 use crate::drift::DriftSchedule;
 use crate::generator::{clique_attr_position, DriftingWorkload};
-use amri_engine::{EngineConfig, MemoryBudget, PolicyKind};
 use amri_core::{CostParams, TunerConfig};
+use amri_engine::{EngineConfig, MemoryBudget, PolicyKind};
 use amri_stream::{
-    AttrDomain, AttrSpec, AttrId, JoinPredicate, SpjQuery, StreamId, StreamSchema,
-    VirtualDuration, WindowSpec,
+    AttrDomain, AttrId, AttrSpec, JoinPredicate, SpjQuery, StreamId, StreamSchema, VirtualDuration,
+    WindowSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -97,8 +97,7 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
             // join, re-routing the eddy. Phase length places the first big
             // re-route mid-run — the §V timeline where the non-adapting
             // baselines keep up for a while and then drown.
-            let schedule =
-                DriftSchedule::rotating(4, VirtualDuration::from_secs(1000), 24, 12);
+            let schedule = DriftSchedule::rotating(4, VirtualDuration::from_secs(1000), 24, 12);
             let engine = EngineConfig {
                 duration: VirtualDuration::from_mins(28),
                 sample_interval: VirtualDuration::from_secs(1),
@@ -182,8 +181,8 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amri_engine::{Executor, IndexingMode, RunOutcome};
     use amri_core::assess::AssessorKind;
+    use amri_engine::{Executor, IndexingMode, RunOutcome};
     use amri_hh::CombineStrategy;
 
     #[test]

@@ -231,8 +231,8 @@ mod tests {
 
     #[test]
     fn trace_drives_the_engine() {
-        use amri_engine::{Executor, IndexingMode};
         use crate::scenario::{paper_scenario, Scale};
+        use amri_engine::{Executor, IndexingMode};
         let mut sc = paper_scenario(Scale::Quick, 11);
         sc.engine.duration = amri_stream::VirtualDuration::from_secs(10);
         let trace = record_trace(&mut sc.workload(), 4, 500);

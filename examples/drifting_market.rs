@@ -45,7 +45,10 @@ fn main() {
     println!("{}", render_summary(&runs));
 
     let amri = &runs[0];
-    println!("AMRI re-tuned {} times while the selectivities drifted:", amri.retunes.len());
+    println!(
+        "AMRI re-tuned {} times while the selectivities drifted:",
+        amri.retunes.len()
+    );
     for r in amri.retunes.iter().take(10) {
         println!(
             "  t={:>5.1}s  state S{}  -> {}  ({} entries moved)",

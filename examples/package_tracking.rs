@@ -76,10 +76,7 @@ fn main() {
     );
 
     // sr₁: priority = 2012 AND location = 47 (pattern <A1, *, A3>).
-    let sr1 = SearchRequest::new(
-        ap(0b101),
-        AttrVec::from_slice(&[2012, 0, 47]).unwrap(),
-    );
+    let sr1 = SearchRequest::new(ap(0b101), AttrVec::from_slice(&[2012, 0, 47]).unwrap());
     // sr₂: location = 47 only (pattern <*, *, A3>) — no suitable hash index.
     let sr2 = SearchRequest::new(ap(0b100), AttrVec::from_slice(&[0, 0, 47]).unwrap());
 

@@ -68,7 +68,13 @@ fn main() {
     // Let the tuner react.
     let mut migration = CostReceipt::new();
     let report = state
-        .maybe_retune(VirtualTime::from_secs(5), 1000.0, 100.0, 30.0, &mut migration)
+        .maybe_retune(
+            VirtualTime::from_secs(5),
+            1000.0,
+            100.0,
+            30.0,
+            &mut migration,
+        )
         .expect("the tuner must react to a single-pattern workload");
     println!(
         "retuned to {} (moved {} entries, predicted gain {:.0} ticks/s)",
@@ -84,5 +90,8 @@ fn main() {
         );
         state.search(&req, &mut receipt);
     }
-    println!("same searches after tuning: {} comparisons", receipt.comparisons);
+    println!(
+        "same searches after tuning: {} comparisons",
+        receipt.comparisons
+    );
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: format, lint, build, test. Everything runs offline against the
+# vendored shims in shims/ — no network, no registry fetches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI green."

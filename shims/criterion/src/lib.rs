@@ -1,0 +1,401 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the benchmarking surface this workspace uses (see
+//! `shims/README.md`): `Criterion`, benchmark groups, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated to pick an iteration
+//! count whose batch takes a few milliseconds, then timed over
+//! `sample_size` batches with `std::time::Instant`. One line per
+//! benchmark is printed:
+//!
+//! ```text
+//! group/id  time: [lo med hi] per iter (S samples × I iters)  median_ns=NNN
+//! ```
+//!
+//! `median_ns=` is the stable machine-readable field `BENCH_*.json`
+//! files are regenerated from. No statistical outlier analysis, HTML
+//! reports, or baseline comparison — wall-clock medians only.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identity function opaque to the optimizer.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How much setup cost `iter_batched` amortizes per batch. The shim
+/// always re-runs setup outside the timed section (i.e. `PerIteration`
+/// semantics), which is a valid timing for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// Benchmark identifier: a function name, optionally with a parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new<S: Display, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Per-benchmark timing result in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    lo: f64,
+    median: f64,
+    hi: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+/// Calibration floor: grow the batch until it runs at least this long.
+const MIN_BATCH: Duration = Duration::from_millis(2);
+/// Per-sample time budget the calibrated iteration count aims for.
+const TARGET_SAMPLE_NS: f64 = 10_000_000.0;
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            stats: None,
+        }
+    }
+
+    /// Time `routine`, called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it is long enough to time.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || iters >= 1 << 28 {
+                break (elapsed.as_nanos() as f64 / iters as f64).max(0.01);
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let iters = ((TARGET_SAMPLE_NS / per_iter_ns) as u64).clamp(1, 1 << 32);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.stats = Some(summarize(&mut samples, iters));
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup runs outside
+    /// the timed section.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate on timed routine calls only.
+        let mut est = f64::MAX;
+        for _ in 0..3 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            est = est.min(start.elapsed().as_nanos() as f64);
+        }
+        let iters = ((TARGET_SAMPLE_NS / est.max(1.0)) as u64).clamp(1, 10_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            samples.push(timed.as_nanos() as f64 / iters as f64);
+        }
+        self.stats = Some(summarize(&mut samples, iters));
+    }
+}
+
+fn summarize(samples: &mut [f64], iters: u64) -> Stats {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Stats {
+        lo: samples[0],
+        median: samples[samples.len() / 2],
+        hi: samples[samples.len() - 1],
+        samples: samples.len(),
+        iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark runner.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Read the benchmark filter from the command line (any non-flag
+    /// argument, as passed by `cargo bench -- <filter>`).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+                break;
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.default_sample_size,
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(None, &id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: Option<&str>,
+        id: &BenchmarkId,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let full = match group {
+            Some(g) => format!("{g}/{}", id.id),
+            None => id.id.clone(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher::new(sample_size);
+        f(&mut b);
+        match b.stats {
+            Some(s) => println!(
+                "{full}  time: [{} {} {}] per iter ({} samples × {} iters)  median_ns={:.1}",
+                fmt_ns(s.lo),
+                fmt_ns(s.median),
+                fmt_ns(s.hi),
+                s.samples,
+                s.iters,
+                s.median
+            ),
+            None => println!("{full}  (no measurement: bencher not driven)"),
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (name, n) = (self.name.clone(), self.sample_size);
+        self.criterion.run_one(Some(&name), &id.into(), n, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let (name, n) = (self.name.clone(), self.sample_size);
+        self.criterion
+            .run_one(Some(&name), &id.into(), n, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_plausible_timings() {
+        let mut b = Bencher::new(5);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        let s = b.stats.expect("stats recorded");
+        assert!(s.lo > 0.0 && s.lo <= s.median && s.median <= s.hi);
+        assert!(s.median < 1_000.0, "trivial op median {} ns", s.median);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(5);
+        b.iter_batched(
+            || vec![0u8; 1 << 16], // expensive setup
+            |v| v.len(),           // trivial routine
+            BatchSize::LargeInput,
+        );
+        let s = b.stats.expect("stats recorded");
+        // A 64 KiB zeroed allocation costs far more than `len()`; if setup
+        // leaked into the timing the median would be thousands of ns.
+        assert!(
+            s.median < 2_000.0,
+            "setup leaked into timing: {} ns",
+            s.median
+        );
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("multihash", 4).id, "multihash/4");
+        assert_eq!(
+            BenchmarkId::from_parameter("CDIA-highest").id,
+            "CDIA-highest"
+        );
+        assert_eq!(BenchmarkId::from(String::from("x")).id, "x");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            default_sample_size: 3,
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("wanted_case", |b| {
+                ran.push("wanted");
+                b.iter(|| black_box(1 + 1));
+            });
+            g.bench_function("other_case", |_b| {
+                ran.push("other");
+            });
+            g.finish();
+        }
+        assert_eq!(ran, vec!["wanted"]);
+    }
+}

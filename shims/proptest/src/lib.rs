@@ -1,0 +1,579 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice of proptest this workspace actually uses (see
+//! `shims/README.md`): the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_oneof!`] macros, the [`Strategy`] trait
+//! with `prop_map`, integer-range / tuple / vec / hash-set / array
+//! strategies, and [`ProptestConfig::with_cases`].
+//!
+//! Semantics versus upstream: cases are generated from a deterministic
+//! per-test RNG (seeded from the test name, so failures reproduce), and a
+//! failing case reports its inputs before re-panicking. There is **no
+//! shrinking** — the reported counterexample is the raw generated input.
+
+#![warn(rust_2018_idioms)]
+
+pub use config::ProptestConfig;
+pub use strategy::Strategy;
+
+/// Test-case generation RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+    /// Deterministic per-test random source for strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG seeded from the test's name (FNV-1a), so every run of a
+        /// given test generates the same case sequence.
+        pub fn for_test(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Uniform draw from a range.
+        pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            self.inner.gen_range(range)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod config {
+    /// The subset of `proptest::test_runner::ProptestConfig` the workspace
+    /// uses: the number of cases per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases to generate and run per property test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases (the upstream constructor).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A generator of test-case values.
+    ///
+    /// Unlike upstream (value *trees* supporting shrinking), a shim
+    /// strategy generates plain values directly.
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value: Debug + Clone;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Debug + Clone,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Debug + Clone,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy (output of [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: Debug + Clone> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (the backing type of
+    /// [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Union over `variants`; each case picks one uniformly.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs >= 1 variant");
+            Union { variants }
+        }
+    }
+
+    impl<T: Debug + Clone> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.variants.len());
+            self.variants[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, hash_set}`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::fmt::Debug;
+    use std::hash::Hash;
+
+    /// Length specification: an exact `usize` or a `Range`/`RangeInclusive`.
+    pub trait IntoSizeRange {
+        /// Half-open `[lo, hi)` length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty length range");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// Strategy built by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lo..self.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` of values from `element`, size drawn from `size`.
+    ///
+    /// As upstream: when the element domain is too small to reach the
+    /// drawn size, the set saturates at however many distinct values the
+    /// generation attempts produced.
+    pub fn hash_set<S>(element: S, size: impl IntoSizeRange) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty size range");
+        HashSetStrategy { element, lo, hi }
+    }
+
+    /// Strategy built by [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.lo..self.hi);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 16 * target + 64 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::uniform3`).
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `[T; 3]` with each element drawn independently from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3(element)
+    }
+
+    /// Strategy built by [`uniform3`].
+    #[derive(Debug, Clone)]
+    pub struct Uniform3<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 3] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+/// Numeric strategies (`proptest::num::<type>::ANY`).
+pub mod num {
+    macro_rules! num_any_module {
+        ($($m:ident => $t:ty),*) => {$(
+            /// Full-domain strategy for the corresponding integer type.
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Strategy type of [`ANY`].
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Any value of the type, uniformly.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    num_any_module!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize
+    );
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a property; on failure the runner reports the generated
+/// inputs. (The shim maps this to `assert!` — the enclosing harness
+/// catches the panic and prints the case.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases. A failing
+/// case prints its inputs and re-panics (no shrinking in the shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let __values = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                let __printed = ::std::format!("{:?}", __values);
+                let __moved = ::std::clone::Clone::clone(&__values);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let ($($arg,)+) = __moved;
+                        $body;
+                    }),
+                );
+                if let ::std::result::Result::Err(__panic) = __outcome {
+                    ::std::eprintln!(
+                        "proptest: `{}` failed at case {}/{} with inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __printed
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tri {
+        Small(u64),
+        Pair(u32, u32),
+        Flag(bool),
+    }
+
+    fn tri() -> impl Strategy<Value = Tri> {
+        prop_oneof![
+            (0u64..10).prop_map(Tri::Small),
+            (0u32..4, 5u32..9).prop_map(|(a, b)| Tri::Pair(a, b)),
+            crate::bool::ANY.prop_map(Tri::Flag),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..5, z in -4i32..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-4..4).contains(&z));
+        }
+
+        #[test]
+        fn vec_respects_length_range(v in crate::collection::vec(0u8..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn exact_vec_length(v in crate::collection::vec(0u64..100, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn hash_set_sizes(s in crate::collection::hash_set(0u32..50, 1..6)) {
+            prop_assert!(!s.is_empty() && s.len() < 6, "size {}", s.len());
+        }
+
+        #[test]
+        fn uniform3_components_in_range(a in crate::array::uniform3(1u64..7)) {
+            for v in a {
+                prop_assert!((1..7).contains(&v));
+            }
+        }
+
+        #[test]
+        fn oneof_produces_every_variant(ts in crate::collection::vec(tri(), 64)) {
+            // With 64 draws/case the union must hit each arm regularly.
+            for t in &ts {
+                if let Tri::Pair(a, b) = t {
+                    prop_assert!(*a < 4 && (5..9).contains(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..20);
+        let mut a = crate::test_runner::TestRng::for_test("some_test");
+        let mut b = crate::test_runner::TestRng::for_test("some_test");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+        let mut c = crate::test_runner::TestRng::for_test("other_test");
+        assert_ne!(strat.generate(&mut a), strat.generate(&mut c));
+    }
+
+    #[test]
+    fn union_covers_all_variants() {
+        use crate::strategy::Strategy;
+        let strat = tri();
+        let mut rng = crate::test_runner::TestRng::for_test("union_covers");
+        let (mut small, mut pair, mut flag) = (0, 0, 0);
+        for _ in 0..600 {
+            match strat.generate(&mut rng) {
+                Tri::Small(_) => small += 1,
+                Tri::Pair(..) => pair += 1,
+                Tri::Flag(_) => flag += 1,
+            }
+        }
+        assert!(
+            small > 100 && pair > 100 && flag > 100,
+            "{small}/{pair}/{flag}"
+        );
+    }
+}

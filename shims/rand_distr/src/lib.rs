@@ -1,0 +1,209 @@
+//! Offline shim for the `rand_distr` crate: `Normal` and bounded `Zipf`.
+//!
+//! See `shims/README.md` for why this exists. Only the surface
+//! `amri-synth` uses is provided: [`Distribution`], [`Normal`] (Box–Muller)
+//! and [`Zipf`] (Gray et al.'s inverse-CDF-with-rejection sampler, the same
+//! algorithm upstream `rand_distr` uses).
+
+#![warn(rust_2018_idioms)]
+
+use rand::Rng;
+use std::fmt;
+
+/// Sampling interface, mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for the shim distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution, sampled by Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// New normal distribution.
+    ///
+    /// # Errors
+    /// If `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 kept away from 0 so ln() stays finite.
+        let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.mean + self.std_dev * radius * theta.cos()
+    }
+}
+
+/// Bounded Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(X = k) ∝ k^{-s}`.
+///
+/// Sampled by the inverse-CDF-with-rejection method of Gray et al.
+/// ("Quickly Generating Billion-Record Synthetic Databases"), O(1) per
+/// draw with no per-rank tables — the same approach as upstream
+/// `rand_distr`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// Normalizer of the continuous envelope CDF.
+    t: f64,
+}
+
+impl Zipf {
+    /// New Zipf distribution over `1..=n` with exponent `s >= 0`.
+    ///
+    /// # Errors
+    /// If `n` is zero or `s` is negative/not finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 {
+            return Err(Error("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error("Zipf requires finite s >= 0"));
+        }
+        let nf = n as f64;
+        // Envelope mass: 1 (the k=1 cell) plus the integral of x^-s over
+        // [1, n] for the tail.
+        let t = if (s - 1.0).abs() < 1e-12 {
+            1.0 + nf.ln()
+        } else {
+            (nf.powf(1.0 - s) - s) / (1.0 - s)
+        };
+        Ok(Zipf { n: nf, s, t })
+    }
+
+    /// Inverse of the envelope CDF; maps `p ∈ [0, 1]` to `[0, n]`.
+    #[inline]
+    fn inv_cdf(&self, p: f64) -> f64 {
+        let pt = p * self.t;
+        if pt <= 1.0 {
+            pt
+        } else if (self.s - 1.0).abs() < 1e-12 {
+            (pt - 1.0).exp()
+        } else {
+            (pt * (1.0 - self.s) + self.s).powf(1.0 / (1.0 - self.s))
+        }
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            // (0, 1]: flip the half-open unit draw.
+            let p = 1.0 - rng.gen::<f64>();
+            let inv = self.inv_cdf(p);
+            let x = (inv + 1.0).floor().min(self.n);
+            let mut ratio = x.powf(-self.s);
+            if x > 1.0 {
+                ratio *= inv.powf(self.s);
+            }
+            let accept = 1.0 - rng.gen::<f64>();
+            if accept < ratio {
+                return x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_domain() {
+        let d = Zipf::new(50, 1.2).unwrap();
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..20_000 {
+            let v = d.sample(&mut r);
+            assert!((1.0..=50.0).contains(&v), "rank {v} out of [1, 50]");
+            assert_eq!(v, v.floor(), "ranks are integral");
+        }
+    }
+
+    #[test]
+    fn zipf_matches_exact_pmf() {
+        // Compare the empirical head against the exact normalized pmf.
+        let n = 20u64;
+        let s = 1.0;
+        let d = Zipf::new(n, s).unwrap();
+        let mut r = StdRng::seed_from_u64(3);
+        let draws = 200_000;
+        let mut hist = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            hist[d.sample(&mut r) as usize] += 1;
+        }
+        let h: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        for k in [1usize, 2, 5, 10] {
+            let expect = (k as f64).powf(-s) / h;
+            let got = hist[k] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "rank {k}: got {got:.4}, expect {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let d = Zipf::new(8, 0.0).unwrap();
+        let mut r = StdRng::seed_from_u64(4);
+        let mut hist = [0u64; 9];
+        for _ in 0..16_000 {
+            hist[d.sample(&mut r) as usize] += 1;
+        }
+        for (k, count) in hist.iter().enumerate().skip(1) {
+            assert!((1700..2300).contains(count), "rank {k} count {count}");
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -0.5).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config types for
+//! future interchange but never serializes at runtime (no `serde_json`,
+//! no format crates). This shim keeps those derives compiling: the derive
+//! macros (re-exported from the local `serde_derive` shim) expand to
+//! nothing, and the marker traits below are blanket-implemented so any
+//! `T: Serialize` bound is vacuously satisfied.
+
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Vacuous stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Vacuous stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

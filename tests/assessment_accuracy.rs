@@ -38,7 +38,11 @@ fn csria_reports_a_subset_of_sria_with_epsilon_slack() {
         let sria = drive(AssessorKind::Sria, 12_000, seed);
         let csria = drive(AssessorKind::Csria, 12_000, seed);
         let sria_set: Vec<u32> = sria.frequent(theta).iter().map(|(p, _)| p.mask()).collect();
-        let csria_set: Vec<u32> = csria.frequent(theta).iter().map(|(p, _)| p.mask()).collect();
+        let csria_set: Vec<u32> = csria
+            .frequent(theta)
+            .iter()
+            .map(|(p, _)| p.mask())
+            .collect();
         // No false negatives w.r.t. clearly-frequent patterns.
         for (p, f) in sria.frequent(theta + eps) {
             assert!(

@@ -5,8 +5,8 @@
 use amri_core::assess::AssessorKind;
 use amri_engine::{Executor, IndexingMode, MemoryBudget, RunOutcome, RunResult};
 use amri_hh::CombineStrategy;
-use amri_synth::scenario::{paper_scenario, Scale};
 use amri_stream::VirtualTime;
+use amri_synth::scenario::{paper_scenario, Scale};
 
 fn run_with_budget(mode: IndexingMode, budget: MemoryBudget, seed: u64) -> RunResult {
     let mut sc = paper_scenario(Scale::Quick, seed);

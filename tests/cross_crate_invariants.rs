@@ -3,13 +3,11 @@
 //! drift.
 
 use amri_core::assess::AssessorKind;
-use amri_engine::{
-    EngineConfig, Executor, IndexingMode, MemoryBudget, PolicyKind, StreamWorkload,
-};
 use amri_core::{CostParams, TunerConfig};
+use amri_engine::{EngineConfig, Executor, IndexingMode, MemoryBudget, PolicyKind, StreamWorkload};
 use amri_hh::CombineStrategy;
 use amri_stream::{
-    AttrDomain, AttrSpec, AttrId, AttrVec, JoinPredicate, SpjQuery, StreamId, StreamSchema,
+    AttrDomain, AttrId, AttrSpec, AttrVec, JoinPredicate, SpjQuery, StreamId, StreamSchema,
     VirtualDuration, VirtualTime, WindowSpec,
 };
 use proptest::prelude::*;
@@ -50,7 +48,12 @@ fn pair_query(window_secs: u64) -> SpjQuery {
     SpjQuery::new(
         "pair",
         vec![schema("L"), schema("R")],
-        vec![JoinPredicate::eq(StreamId(0), AttrId(0), StreamId(1), AttrId(0))],
+        vec![JoinPredicate::eq(
+            StreamId(0),
+            AttrId(0),
+            StreamId(1),
+            AttrId(0),
+        )],
         vec![WindowSpec::secs(window_secs); 2],
     )
     .unwrap()
@@ -80,12 +83,7 @@ fn engine_config(lambda: f64, secs: u64, policy: PolicyKind) -> EngineConfig {
 /// engine's window rule is "candidate live at probe time", with the probe
 /// happening shortly after the newer tuple arrives; the reference uses
 /// |ts_l - ts_r| < window which matches when probes are timely.
-fn reference_join_count(
-    script: &[Vec<u64>],
-    lambda: f64,
-    secs: u64,
-    window_secs: u64,
-) -> u64 {
+fn reference_join_count(script: &[Vec<u64>], lambda: f64, secs: u64, window_secs: u64) -> u64 {
     let gap = 1_000_000.0 / lambda; // ticks between arrivals per stream
     let horizon = secs * 1_000_000;
     let window = window_secs * 1_000_000;

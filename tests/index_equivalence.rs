@@ -4,9 +4,7 @@
 //! from the bit-address index, the multi-hash module, and the scan
 //! reference. Figures compare their costs; this file pins their semantics.
 
-use amri_core::{
-    BitAddressIndex, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex, StateStore,
-};
+use amri_core::{BitAddressIndex, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex, StateStore};
 use amri_stream::{
     AccessPattern, AttrId, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualTime,
     WindowSpec,

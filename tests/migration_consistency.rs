@@ -114,10 +114,8 @@ fn forced_migration_chain_preserves_answers() {
         for i in 0..200u64 {
             let mut vals = AttrVec::from_slice(&[0, 0, 0]).unwrap();
             vals.set(hot_attr, i % 5);
-            let probe = SearchRequest::new(
-                AccessPattern::from_positions(&[hot_attr], 3).unwrap(),
-                vals,
-            );
+            let probe =
+                SearchRequest::new(AccessPattern::from_positions(&[hot_attr], 3).unwrap(), vals);
             amri.search(&probe, &mut r);
         }
         amri.maybe_retune(
@@ -132,5 +130,8 @@ fn forced_migration_chain_preserves_answers() {
         assert_eq!(now, baseline, "round {round}, config {}", amri.config());
     }
     let (_, migrations) = amri.tuner().stats();
-    assert!(migrations >= 2, "the drifting workload must force migrations");
+    assert!(
+        migrations >= 2,
+        "the drifting workload must force migrations"
+    );
 }

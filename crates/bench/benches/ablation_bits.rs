@@ -2,7 +2,7 @@
 //! narrow (full-pattern) and wide (one-attribute) requests, plus insert
 //! cost, as the §III trade-off predicts.
 
-use amri_core::{BitAddressIndex, CostReceipt, IndexConfig, StateIndex, TupleKey};
+use amri_core::{BitAddressIndex, CostReceipt, IndexConfig, SearchScratch, StateIndex, TupleKey};
 use amri_stream::{AccessPattern, AttrVec, SearchRequest};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -33,15 +33,17 @@ fn bench(c: &mut Criterion) {
     for bits in [4u32, 8, 12, 16, 24, 48] {
         let idx = populated(bits, n);
         g.bench_with_input(BenchmarkId::new("exact", bits), &bits, |b, _| {
+            let mut scratch = SearchScratch::new();
             b.iter(|| {
                 let mut r = CostReceipt::new();
-                black_box(idx.search(black_box(&exact), &mut r))
+                black_box(idx.search_into(black_box(&exact), &mut scratch, &mut r))
             })
         });
         g.bench_with_input(BenchmarkId::new("one_attr", bits), &bits, |b, _| {
+            let mut scratch = SearchScratch::new();
             b.iter(|| {
                 let mut r = CostReceipt::new();
-                black_box(idx.search(black_box(&wide), &mut r))
+                black_box(idx.search_into(black_box(&wide), &mut scratch, &mut r))
             })
         });
     }

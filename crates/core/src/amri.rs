@@ -103,6 +103,16 @@ impl AmriState {
         self.store.insert(tuple, receipt)
     }
 
+    /// Insert a batch of arriving tuples in order; returns how many were
+    /// stored. Cost accounting is identical to per-tuple [`insert`](Self::insert).
+    pub fn insert_batch(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        receipt: &mut CostReceipt,
+    ) -> usize {
+        self.store.insert_batch(tuples, receipt)
+    }
+
     /// Expire out-of-window tuples at `now`.
     pub fn expire(&mut self, now: VirtualTime, receipt: &mut CostReceipt) -> usize {
         self.store.expire(now, receipt)
@@ -120,13 +130,35 @@ impl AmriState {
         self.store.search_into(req, scratch, receipt);
     }
 
+    /// Serve a batch of search requests through one reused scratch buffer,
+    /// feeding every request's pattern to the assessor. `on_result` receives
+    /// each request's position in the batch and its matches.
+    pub fn search_batch<'r>(
+        &mut self,
+        reqs: impl IntoIterator<Item = &'r SearchRequest>,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        mut on_result: impl FnMut(usize, &[TupleKey]),
+    ) {
+        for (i, req) in reqs.into_iter().enumerate() {
+            self.tuner.record(req.pattern);
+            self.store.search_into(req, scratch, receipt);
+            on_result(i, &scratch.hits);
+        }
+    }
+
     /// Answer a search request, feeding its pattern to the assessor.
     ///
     /// Compatibility wrapper over [`search_into`](Self::search_into);
     /// allocates the returned `Vec` per call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call; use `search_into` with a reused `SearchScratch`"
+    )]
     pub fn search(&mut self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
-        self.tuner.record(req.pattern);
-        self.store.search(req, receipt)
+        let mut scratch = SearchScratch::new();
+        self.search_into(req, &mut scratch, receipt);
+        scratch.hits
     }
 
     /// The stored tuple for a key returned by [`search`](Self::search).
@@ -218,13 +250,19 @@ mod tests {
         )
     }
 
+    fn search(s: &mut AmriState, req: &SearchRequest, r: &mut CostReceipt) -> Vec<TupleKey> {
+        let mut scratch = SearchScratch::new();
+        s.search_into(req, &mut scratch, r);
+        scratch.hits
+    }
+
     #[test]
     fn search_finds_inserted_tuples_and_records_patterns() {
         let mut s = mk_state(AssessorKind::Cdia(CombineStrategy::HighestCount));
         let mut r = CostReceipt::new();
         let k = s.insert(tuple(1, 0, &[7, 8, 9]), &mut r);
         s.insert(tuple(2, 0, &[7, 0, 1]), &mut r);
-        let hits = s.search(&req(0b111, &[7, 8, 9]), &mut r);
+        let hits = search(&mut s, &req(0b111, &[7, 8, 9]), &mut r);
         assert_eq!(hits, vec![k]);
         assert_eq!(s.tuple(k).unwrap().id, TupleId(1));
         assert_eq!(s.tuner().window_requests(), 1);
@@ -241,7 +279,7 @@ mod tests {
         }
         // Workload exclusively on attribute A.
         for i in 0..300 {
-            s.search(&req(0b001, &[i % 16, 0, 0]), &mut r);
+            search(&mut s, &req(0b001, &[i % 16, 0, 0]), &mut r);
         }
         let mut mig = CostReceipt::new();
         let report = s
@@ -252,7 +290,7 @@ mod tests {
         assert!(report.config.bits_of(0) >= 10, "{}", report.config);
         assert_eq!(s.config(), &report.config);
         // Searches still correct after migration.
-        let hits = s.search(&req(0b001, &[3, 0, 0]), &mut r);
+        let hits = search(&mut s, &req(0b001, &[3, 0, 0]), &mut r);
         assert_eq!(
             hits.len(),
             200 / 16 + usize::from(3 < 200 % 16),
@@ -268,7 +306,7 @@ mod tests {
         s.insert(tuple(2, 40, &[1, 1, 1]), &mut r);
         let removed = s.expire(VirtualTime::from_secs(35), &mut r);
         assert_eq!(removed, 1);
-        let hits = s.search(&req(0b111, &[1, 1, 1]), &mut r);
+        let hits = search(&mut s, &req(0b111, &[1, 1, 1]), &mut r);
         assert_eq!(hits.len(), 1);
         assert_eq!(s.tuple(hits[0]).unwrap().id, TupleId(2));
     }
@@ -279,7 +317,7 @@ mod tests {
         let base = s.memory_bytes();
         let mut r = CostReceipt::new();
         for m in 1..8u32 {
-            s.search(&req(m, &[0, 0, 0]), &mut r);
+            search(&mut s, &req(m, &[0, 0, 0]), &mut r);
         }
         assert!(
             s.memory_bytes() >= base + 7 * crate::layout::ASSESS_ENTRY_BYTES,

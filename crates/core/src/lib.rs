@@ -32,6 +32,7 @@
 //!
 //! ```
 //! use amri_core::assess::AssessorKind;
+//! use amri_core::state::SearchScratch;
 //! use amri_core::{AmriState, CostParams, CostReceipt, IndexConfig, TunerConfig};
 //! use amri_hh::CombineStrategy;
 //! use amri_stream::{
@@ -67,13 +68,14 @@
 //! }
 //!
 //! // A workload that searches only on the first attribute...
+//! let mut scratch = SearchScratch::new();
 //! for i in 0..50u64 {
 //!     let request = SearchRequest::new(
 //!         AccessPattern::from_positions(&[0], 3).unwrap(),
 //!         AttrVec::from_slice(&[i % 10, 0, 0]).unwrap(),
 //!     );
-//!     let hits = state.search(&request, &mut receipt);
-//!     assert_eq!(hits.len(), 10);
+//!     state.search_into(&request, &mut scratch, &mut receipt);
+//!     assert_eq!(scratch.hits.len(), 10);
 //! }
 //!
 //! // ...drives the tuner to concentrate the key map on that attribute.

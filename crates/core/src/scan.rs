@@ -56,7 +56,6 @@ impl StateIndex for ScanIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::SearchOutcome;
     use amri_stream::AccessPattern;
 
     #[test]
@@ -68,7 +67,11 @@ mod tests {
         assert_eq!(idx.memory_bytes(), 0);
         assert_eq!(idx.kind(), "scan");
         let req = SearchRequest::new(AccessPattern::full(1), AttrVec::from_slice(&[1]).unwrap());
-        assert_eq!(idx.search(&req, &mut r), SearchOutcome::NeedScan);
+        let mut scratch = crate::state::SearchScratch::new();
+        assert!(
+            !idx.search_into(&req, &mut scratch, &mut r),
+            "scan index always defers: search_into must return false"
+        );
         assert_eq!(r.total_actions(), 0, "scan index itself charges nothing");
         idx.remove(TupleKey(0), &AttrVec::from_slice(&[1]).unwrap(), &mut r);
         assert_eq!(idx.entries(), 0);

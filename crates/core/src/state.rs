@@ -85,6 +85,10 @@ pub trait StateIndex {
     /// Compatibility wrapper over [`search_into`](Self::search_into); it
     /// allocates a fresh buffer per call, so hot paths should prefer
     /// `search_into` with a reused [`SearchScratch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call; use `search_into` with a reused `SearchScratch`"
+    )]
     fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> SearchOutcome {
         let mut scratch = SearchScratch::new();
         if self.search_into(req, &mut scratch, receipt) {
@@ -259,6 +263,26 @@ impl<I: StateIndex> StateStore<I> {
         key
     }
 
+    /// Store a batch of arriving tuples in order; returns how many were
+    /// stored. The batch-granular ingest entry point of the runtime layer:
+    /// cost accounting is identical to calling [`insert`](Self::insert) per
+    /// tuple, so batch and single-tuple ingest stay interchangeable.
+    ///
+    /// # Panics
+    /// Panics if any tuple is from a different stream.
+    pub fn insert_batch(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        receipt: &mut CostReceipt,
+    ) -> usize {
+        let mut stored = 0;
+        for tuple in tuples {
+            self.insert(tuple, receipt);
+            stored += 1;
+        }
+        stored
+    }
+
     /// Expire every tuple that has slid out of the window at `now`;
     /// returns how many were removed.
     pub fn expire(&mut self, now: VirtualTime, receipt: &mut CostReceipt) -> usize {
@@ -309,10 +333,33 @@ impl<I: StateIndex> StateStore<I> {
         }
     }
 
+    /// Serve a batch of search requests through one reused scratch buffer,
+    /// invoking `on_result` with each request's position in the batch and
+    /// its matches. The batch-granular probe entry point of the runtime
+    /// layer: receipts accumulate exactly as per-request
+    /// [`search_into`](Self::search_into) calls would, and the scratch is
+    /// reused across the whole batch so steady state never allocates.
+    pub fn search_batch<'r>(
+        &self,
+        reqs: impl IntoIterator<Item = &'r SearchRequest>,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        mut on_result: impl FnMut(usize, &[TupleKey]),
+    ) {
+        for (i, req) in reqs.into_iter().enumerate() {
+            self.search_into(req, scratch, receipt);
+            on_result(i, &scratch.hits);
+        }
+    }
+
     /// Answer a search request: returns the keys of matching live tuples.
     ///
     /// Compatibility wrapper over [`search_into`](Self::search_into); it
     /// allocates the returned `Vec` per call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call; use `search_into` with a reused `SearchScratch`"
+    )]
     pub fn search(&self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
         let mut scratch = SearchScratch::new();
         self.search_into(req, &mut scratch, receipt);
@@ -371,6 +418,16 @@ mod tests {
         )
     }
 
+    fn search_vec(
+        s: &StateStore<ScanIndex>,
+        req: &SearchRequest,
+        r: &mut CostReceipt,
+    ) -> Vec<TupleKey> {
+        let mut scratch = SearchScratch::new();
+        s.search_into(req, &mut scratch, r);
+        scratch.hits
+    }
+
     #[test]
     fn insert_search_expire_lifecycle() {
         let mut s = store();
@@ -386,7 +443,7 @@ mod tests {
             AttrVec::from_slice(&[5, 0]).unwrap(),
         );
         let mut r = CostReceipt::new();
-        let hits = s.search(&req, &mut r);
+        let hits = search_vec(&s, &req, &mut r);
         assert_eq!(hits.len(), 2);
         assert_eq!(r.comparisons, 4, "scan charges two comparisons per tuple");
 
@@ -395,7 +452,7 @@ mod tests {
             AccessPattern::full(2),
             AttrVec::from_slice(&[5, 7]).unwrap(),
         );
-        let hits = s.search(&req, &mut CostReceipt::new());
+        let hits = search_vec(&s, &req, &mut CostReceipt::new());
         assert_eq!(hits, vec![k1]);
 
         // Expire: window 10s (half-open); at t=10 only the t=0 tuple is gone.
@@ -411,7 +468,7 @@ mod tests {
             AccessPattern::from_positions(&[0], 2).unwrap(),
             AttrVec::from_slice(&[5, 0]).unwrap(),
         );
-        assert_eq!(s.search(&req, &mut CostReceipt::new()).len(), 1);
+        assert_eq!(search_vec(&s, &req, &mut CostReceipt::new()).len(), 1);
     }
 
     #[test]
@@ -472,6 +529,66 @@ mod tests {
             AccessPattern::empty(2),
             AttrVec::from_slice(&[0, 0]).unwrap(),
         );
-        assert_eq!(s.search(&req, &mut CostReceipt::new()).len(), 5);
+        assert_eq!(search_vec(&s, &req, &mut CostReceipt::new()).len(), 5);
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let mut batched = store();
+        let mut sequential = store();
+        let tuples: Vec<Tuple> = (0..20).map(|i| mk_tuple(i, i, &[i, 0, i % 3])).collect();
+        let mut r_batch = CostReceipt::new();
+        let stored = batched.insert_batch(tuples.clone(), &mut r_batch);
+        assert_eq!(stored, 20);
+        let mut r_seq = CostReceipt::new();
+        for t in tuples {
+            sequential.insert(t, &mut r_seq);
+        }
+        assert_eq!(r_batch, r_seq, "batch ingest must charge identical costs");
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.memory_bytes(), sequential.memory_bytes());
+        let req = SearchRequest::new(
+            AccessPattern::from_positions(&[1], 2).unwrap(),
+            AttrVec::from_slice(&[0, 1]).unwrap(),
+        );
+        assert_eq!(
+            search_vec(&batched, &req, &mut CostReceipt::new()),
+            search_vec(&sequential, &req, &mut CostReceipt::new()),
+        );
+    }
+
+    #[test]
+    fn search_batch_reuses_one_scratch_and_matches_singles() {
+        let mut s = store();
+        let mut r = CostReceipt::new();
+        for i in 0..12 {
+            s.insert(mk_tuple(i, 0, &[i % 4, 0, i % 3]), &mut r);
+        }
+        let reqs: Vec<SearchRequest> = (0..4)
+            .map(|v| {
+                SearchRequest::new(
+                    AccessPattern::from_positions(&[0], 2).unwrap(),
+                    AttrVec::from_slice(&[v, 0]).unwrap(),
+                )
+            })
+            .collect();
+        // Batch pass through one scratch.
+        let mut scratch = SearchScratch::new();
+        let mut r_batch = CostReceipt::new();
+        let mut batch_results: Vec<(usize, Vec<TupleKey>)> = Vec::new();
+        s.search_batch(reqs.iter(), &mut scratch, &mut r_batch, |i, hits| {
+            batch_results.push((i, hits.to_vec()));
+        });
+        // Reference: one search_into per request.
+        let mut r_single = CostReceipt::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let hits = search_vec(&s, req, &mut r_single);
+            assert_eq!(batch_results[i], (i, hits), "request {i} diverged");
+        }
+        assert_eq!(
+            r_batch, r_single,
+            "batch probes must charge identical costs"
+        );
+        assert_eq!(batch_results.len(), reqs.len());
     }
 }

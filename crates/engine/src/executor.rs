@@ -1,4 +1,4 @@
-//! The simulation loop: single-core, cost-accounted, memory-budgeted.
+//! The simulation harness: single-core, cost-accounted, memory-budgeted.
 //!
 //! Tuples arrive on each stream at rate `λ_d`; every arrival is stored in
 //! its own state and becomes a routing job. The router sends each partial
@@ -8,39 +8,24 @@
 //! memory — the §V failure mode that kills the hash and static-bitmap
 //! baselines. Samples are taken on a fixed grid; tuning decisions run at
 //! every sampling step.
+//!
+//! Since the runtime split, [`Executor`] is a *thin harness*: it owns
+//! flavor construction ([`IndexingMode`]), seeding and the public
+//! [`EngineConfig`]/[`RunResult`] API, and delegates the step loop to the
+//! [`runtime`](crate::runtime) layer's
+//! [`Pipeline`](crate::runtime::Pipeline) on a `VirtualClock`.
 
-use crate::memory::{MemoryBudget, MemoryReport};
-use crate::metrics::{RetuneRecord, ThroughputSeries};
+use crate::memory::MemoryBudget;
 use crate::policy::PolicyKind;
 use crate::router::Router;
+use crate::runtime::{EngineSetup, Pipeline, RunParams};
 use crate::stem::{HashTuner, JoinState, Stem};
-use amri_core::assess::{Assessor, AssessorKind};
-use amri_core::{CostParams, CostReceipt, IndexConfig, TunerConfig};
-use amri_stream::{
-    AccessPattern, AttrVec, PartialTuple, SearchRequest, SpjQuery, StreamId, Tuple, TupleId,
-    VirtualClock, VirtualDuration, VirtualTime,
-};
-use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use amri_core::assess::AssessorKind;
+use amri_core::{CostParams, IndexConfig, TunerConfig};
+use amri_stream::{AccessPattern, SpjQuery, StreamId, VirtualClock, VirtualDuration};
 
-/// One routing job: a partial tuple plus the arrival instant of the base
-/// tuple that spawned it. Probes only match *older* tuples (`ts <
-/// origin_ts`) — the MJoin rule that makes every join result get produced
-/// exactly once, by the job of its newest constituent.
-#[derive(Debug, Clone, Copy)]
-struct Job {
-    pt: PartialTuple,
-    origin_ts: VirtualTime,
-    /// When this job entered the backlog (sojourn-time metric).
-    enqueued: VirtualTime,
-}
-
-/// Supplies attribute values for arriving tuples — implemented by
-/// `amri-synth`'s drifting generators.
-pub trait StreamWorkload {
-    /// Attribute values for the next tuple of `stream` arriving at `now`.
-    fn attrs_for(&mut self, stream: StreamId, now: VirtualTime) -> AttrVec;
-}
+// Source-compatible re-exports: these types moved into the runtime layer.
+pub use crate::runtime::{RunOutcome, RunResult, StreamWorkload};
 
 /// Which index flavor every state runs (the §V lineup).
 #[derive(Debug, Clone)]
@@ -125,57 +110,10 @@ impl Default for EngineConfig {
     }
 }
 
-/// How a run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RunOutcome {
-    /// Reached the configured duration.
-    Completed,
-    /// Breached the memory budget at the contained instant (§V's "ran out
-    /// of memory").
-    OutOfMemory {
-        /// Death time.
-        at: VirtualTime,
-    },
-}
-
-/// Everything a run produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunResult {
-    /// Mode label (e.g. `AMRI-CDIA-highest`, `hash-3`).
-    pub label: String,
-    /// The cumulative-throughput series.
-    pub series: ThroughputSeries,
-    /// Completion or death.
-    pub outcome: RunOutcome,
-    /// Total output tuples produced.
-    pub outputs: u64,
-    /// Index migrations, time-ordered.
-    pub retunes: Vec<RetuneRecord>,
-    /// Per-state observed access-pattern frequencies (exact, whole run).
-    pub pattern_stats: Vec<Vec<(AccessPattern, f64)>>,
-    /// Per-state search requests served.
-    pub requests: Vec<u64>,
-    /// Virtual instant the run stopped.
-    pub final_time: VirtualTime,
-    /// Mean virtual time a routing job waited in the backlog before being
-    /// processed — the latency face of overload (ticks).
-    pub mean_job_latency_ticks: f64,
-}
-
-impl RunResult {
-    /// Time the run died, if it did.
-    pub fn death_time(&self) -> Option<VirtualTime> {
-        match self.outcome {
-            RunOutcome::OutOfMemory { at } => Some(at),
-            RunOutcome::Completed => None,
-        }
-    }
-}
-
-/// The engine: owns the states, the router and the backlog for one run.
+/// The engine harness: builds the states and the router for one run, then
+/// hands them to the runtime [`Pipeline`].
 pub struct Executor<W> {
     query: SpjQuery,
-    graph: amri_stream::JoinGraph,
     workload: W,
     stems: Vec<Stem>,
     router: Router,
@@ -193,7 +131,6 @@ impl<W: StreamWorkload> Executor<W> {
     /// Panics if a state's JAS is wider than [`amri_stream::MAX_ATTRS`] or
     /// the mode's per-state vectors disagree with the query.
     pub fn new(query: &SpjQuery, workload: W, mode: IndexingMode, config: EngineConfig) -> Self {
-        let graph = query.join_graph();
         let n = query.n_streams();
         let mode_label = mode.label();
         let mut stems = Vec::with_capacity(n);
@@ -250,7 +187,6 @@ impl<W: StreamWorkload> Executor<W> {
             .collect();
         Executor {
             query: query.clone(),
-            graph,
             workload,
             stems,
             router: Router::new(config.policy, n, config.seed ^ 0x5EED_0001),
@@ -260,211 +196,34 @@ impl<W: StreamWorkload> Executor<W> {
         }
     }
 
-    /// Effective arrival rate at virtual time `t`.
-    fn lambda_at(&self, t: VirtualTime) -> f64 {
-        self.config.lambda_d * (1.0 + self.config.lambda_ramp * t.as_secs_f64())
-    }
-
-    fn memory_report(&self, backlog_len: usize) -> MemoryReport {
-        let states: u64 = self.stems.iter().map(|s| s.state.memory_bytes()).sum();
-        let arity = self
-            .query
-            .schemas
-            .iter()
-            .map(|s| s.arity())
-            .max()
-            .unwrap_or(0);
-        MemoryReport {
-            states,
-            backlog: backlog_len as u64
-                * amri_core::layout::queued_request_bytes(self.query.n_streams(), arity),
-        }
+    /// Decompose this harness into the runtime pipeline it drives, on a
+    /// fresh deterministic `VirtualClock`. Useful when the caller wants to
+    /// own the step loop or inspect the run context.
+    pub fn into_pipeline(self) -> Pipeline<W, VirtualClock> {
+        let run = RunParams {
+            duration: self.config.duration,
+            sample_interval: self.config.sample_interval,
+            lambda_d: self.config.lambda_d,
+            lambda_ramp: self.config.lambda_ramp,
+            budget: self.config.budget,
+            params: self.config.params,
+        };
+        Pipeline::new(
+            EngineSetup {
+                query: self.query,
+                workload: self.workload,
+                stems: self.stems,
+                router: self.router,
+                observers: self.observers,
+                mode_label: self.mode_label,
+            },
+            run,
+        )
     }
 
     /// Run to completion (or death) and return the results.
-    pub fn run(mut self) -> RunResult {
-        let n = self.query.n_streams();
-        let deadline = VirtualTime::ZERO + self.config.duration;
-        let mut clock = VirtualClock::new();
-        let mut series = ThroughputSeries::new(self.config.sample_interval);
-        let mut retunes: Vec<RetuneRecord> = Vec::new();
-        let mut backlog: VecDeque<Job> = VecDeque::new();
-        // Stagger first arrivals so streams interleave deterministically.
-        let base_gap = VirtualDuration::from_secs_f64(1.0 / self.config.lambda_d);
-        let mut next_arrival: Vec<VirtualTime> = (0..n)
-            .map(|i| VirtualTime(base_gap.0 * i as u64 / n as u64))
-            .collect();
-        let mut outputs: u64 = 0;
-        let mut tuple_seq: u64 = 0;
-        let mut sojourn_ticks: u64 = 0;
-        let mut jobs_processed: u64 = 0;
-        let mut outcome = RunOutcome::Completed;
-        let window_secs: Vec<f64> = self
-            .query
-            .windows
-            .iter()
-            .map(|w| w.length.as_secs_f64())
-            .collect();
-
-        'run: loop {
-            let now = clock.now();
-            // Sampling / tuning / memory checks on the grid.
-            while series.next_due() <= now {
-                let due = series.next_due();
-                let report = self.memory_report(backlog.len());
-                series.record_until(due, outputs, report.total(), backlog.len() as u64);
-                if report.over(self.config.budget) {
-                    outcome = RunOutcome::OutOfMemory { at: due };
-                    break 'run;
-                }
-                let elapsed = due.as_secs_f64().max(1.0);
-                let lambda_now =
-                    self.config.lambda_d * (1.0 + self.config.lambda_ramp * due.as_secs_f64());
-                for (i, stem) in self.stems.iter_mut().enumerate() {
-                    let lambda_r = stem.requests_served as f64 / elapsed;
-                    let mut receipt = CostReceipt::new();
-                    if let Some(r) = stem.state.maybe_retune(
-                        due,
-                        lambda_now,
-                        lambda_r,
-                        window_secs[i],
-                        &mut receipt,
-                    ) {
-                        retunes.push(RetuneRecord {
-                            t: due,
-                            state: i as u16,
-                            config: r.description,
-                            moved: r.moved,
-                        });
-                    }
-                    clock.advance(self.config.params.ticks(&receipt));
-                }
-            }
-            if clock.now() >= deadline {
-                break 'run;
-            }
-
-            // Ingest every arrival that is due.
-            let now = clock.now();
-            let mut ingested = false;
-            #[allow(clippy::needless_range_loop)] // s indexes two arrays
-            for s in 0..n {
-                while next_arrival[s] <= now {
-                    ingested = true;
-                    let ts = next_arrival[s];
-                    // Gap shrinks as the ramp raises the arrival rate.
-                    let gap = VirtualDuration::from_secs_f64(1.0 / self.lambda_at(ts).max(1e-9));
-                    next_arrival[s] = ts + gap;
-                    let sid = StreamId(s as u16);
-                    let attrs = self.workload.attrs_for(sid, ts);
-                    // Local selections (the S of SPJ) filter at ingest.
-                    if !self.query.passes_selections(sid, attrs.as_slice()) {
-                        continue;
-                    }
-                    let tuple = Tuple::new(TupleId(tuple_seq), sid, ts, attrs);
-                    tuple_seq += 1;
-                    let mut receipt = CostReceipt::new();
-                    self.stems[s].state.expire(now, &mut receipt);
-                    self.stems[s].state.insert(tuple, &mut receipt);
-                    clock.advance(self.config.params.ticks(&receipt));
-                    backlog.push_back(Job {
-                        pt: PartialTuple::from_base(&tuple),
-                        origin_ts: ts,
-                        enqueued: now,
-                    });
-                }
-            }
-
-            // Process one routing job.
-            if let Some(job) = backlog.pop_front() {
-                let pt = job.pt;
-                sojourn_ticks += clock.now().since(job.enqueued).0;
-                jobs_processed += 1;
-                let target = self.router.choose_next(pt.covered);
-                let (pattern, values, residual) = self.graph.probe_values(&pt, target);
-                let req = SearchRequest::new(pattern, values);
-                self.observers[target.idx()].record(pattern);
-                let mut receipt = CostReceipt::new();
-                let stem = &mut self.stems[target.idx()];
-                // Scratch-buffered search: the per-STeM buffer is reused
-                // across requests, so steady state never allocates here.
-                stem.state
-                    .search_into(&req, &mut stem.scratch, &mut receipt);
-                stem.requests_served += 1;
-                let window = self.query.windows[target.idx()];
-                let now = clock.now();
-                let mut matches = 0usize;
-                for &key in &stem.scratch.hits {
-                    let Some(t) = stem.state.tuple(key) else {
-                        continue;
-                    };
-                    // Lazy expiry: skip tuples that slid out of the window.
-                    if !window.live(t.ts, now) {
-                        continue;
-                    }
-                    // MJoin dedup: only match tuples older than the job's
-                    // origin arrival.
-                    if t.ts >= job.origin_ts {
-                        continue;
-                    }
-                    // Residual (non-equality) predicates.
-                    let ok = residual.iter().all(|b| {
-                        let lhs = t.attrs[self.graph.jas(target)[b.jas_pos].idx()];
-                        let rhs = pt.part(b.src_stream).expect("covered")[b.src_attr.idx()];
-                        b.op.eval(lhs, rhs)
-                    });
-                    if !ok {
-                        continue;
-                    }
-                    matches += 1;
-                    let extended = pt.extend(target, t.attrs, t.ts);
-                    if extended.is_complete(n) {
-                        outputs += 1;
-                    } else {
-                        backlog.push_back(Job {
-                            pt: extended,
-                            origin_ts: job.origin_ts,
-                            enqueued: now,
-                        });
-                    }
-                }
-                stem.matches_returned += matches as u64;
-                let ticks = self.config.params.ticks(&receipt);
-                self.router.observe(target, matches, ticks.0);
-                clock.advance(ticks);
-            } else if !ingested {
-                // Idle: jump to the next arrival.
-                let next = next_arrival
-                    .iter()
-                    .min()
-                    .copied()
-                    .expect("at least one stream");
-                clock.advance_to(next.min(deadline));
-                if clock.now() >= deadline {
-                    // Final sample row, then stop.
-                    let report = self.memory_report(backlog.len());
-                    series.record_until(deadline, outputs, report.total(), backlog.len() as u64);
-                    break 'run;
-                }
-            }
-        }
-
-        let pattern_stats = self.observers.iter().map(|o| o.frequent(0.0)).collect();
-        RunResult {
-            label: self.mode_label,
-            mean_job_latency_ticks: if jobs_processed == 0 {
-                0.0
-            } else {
-                sojourn_ticks as f64 / jobs_processed as f64
-            },
-            final_time: clock.now().min(deadline),
-            series,
-            outcome,
-            outputs,
-            retunes,
-            pattern_stats,
-            requests: self.stems.iter().map(|s| s.requests_served).collect(),
-        }
+    pub fn run(self) -> RunResult {
+        self.into_pipeline().run()
     }
 }
 
@@ -473,7 +232,7 @@ mod tests {
     use super::*;
     use amri_hh::CombineStrategy;
     use amri_stream::{AttrDomain, AttrSpec, JoinPredicate, StreamSchema, WindowSpec};
-    use amri_stream::{AttrId, AttrVec};
+    use amri_stream::{AttrId, AttrVec, VirtualTime};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

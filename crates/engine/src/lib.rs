@@ -16,7 +16,11 @@
 //! * [`router`] — routing of partial tuples through the unvisited states.
 //! * [`memory`] — the byte budget and the out-of-memory failure mode.
 //! * [`metrics`] — cumulative-throughput time series (the paper's y-axis).
-//! * [`executor`] — the simulation loop tying it all together.
+//! * [`runtime`] — the batch-first runtime layer: the `Operator` graph,
+//!   the `Pipeline` step-loop driver, and the pluggable `Clock` seam
+//!   (deterministic `VirtualClock` simulation vs the `WallClock` stub).
+//! * [`executor`] — the thin simulation harness on top: flavor
+//!   construction, seeding, and the stable `EngineConfig`/`RunResult` API.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,6 +30,7 @@ pub mod memory;
 pub mod metrics;
 pub mod policy;
 pub mod router;
+pub mod runtime;
 pub mod stem;
 
 pub use executor::{EngineConfig, Executor, IndexingMode, RunOutcome, RunResult, StreamWorkload};
@@ -33,4 +38,8 @@ pub use memory::{MemoryBudget, MemoryReport};
 pub use metrics::{RetuneRecord, Sample, ThroughputSeries};
 pub use policy::{PolicyKind, RouterStats, RoutingPolicy};
 pub use router::Router;
+pub use runtime::{
+    EngineSetup, IngestOperator, Job, Operator, Pipeline, ProbeOperator, RunContext, RunParams,
+    SampleOperator, StepStatus, TuneOperator, WallClock,
+};
 pub use stem::{HashTuner, JoinState, Stem};

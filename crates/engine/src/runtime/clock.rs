@@ -1,0 +1,80 @@
+//! Wall-clock mode: the real-time implementation of the runtime's
+//! [`Clock`] seam.
+//!
+//! Simulation runs advance a `VirtualClock` by exactly the ticks each cost
+//! receipt charges. In wall-clock mode the CPU charges itself: modeled
+//! advances are ignored and "now" is simply elapsed real time since the
+//! run started, mapped onto the same tick scale (1 tick ≙ 1 µs).
+
+use amri_stream::{Clock, VirtualDuration, VirtualTime};
+use std::time::Instant;
+
+/// A [`Clock`] anchored to real elapsed time.
+///
+/// This is the stub that lets the [`Pipeline`](crate::runtime::Pipeline)
+/// run against real hardware: [`advance`](Clock::advance) discards the
+/// modeled charge (the work already took real time), and
+/// [`advance_to`](Clock::advance_to) sleeps until the target instant.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is the moment of this call.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    #[inline]
+    fn now(&self) -> VirtualTime {
+        VirtualTime(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn advance(&mut self, _d: VirtualDuration) -> VirtualTime {
+        // Real CPUs charge themselves; the modeled cost is already paid.
+        self.now()
+    }
+
+    fn advance_to(&mut self, t: VirtualTime) {
+        let now = self.now();
+        if t > now {
+            std::thread::sleep(std::time::Duration::from_micros(t.0 - now.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_ignores_modeled_charges() {
+        let mut c = WallClock::new();
+        let before = c.now();
+        let after = c.advance(VirtualDuration::from_secs(3600));
+        // An hour of modeled work takes no real time.
+        assert!(after.since(before) < VirtualDuration::from_secs(1));
+    }
+
+    #[test]
+    fn advance_to_waits_for_real_time() {
+        let mut c = WallClock::new();
+        let target = c.now() + VirtualDuration(2_000); // 2 ms ahead
+        c.advance_to(target);
+        assert!(c.now() >= target);
+        // Past targets return immediately (never move backwards).
+        c.advance_to(VirtualTime::ZERO);
+        assert!(c.now() >= target);
+    }
+}

@@ -1,0 +1,129 @@
+//! [`RunContext`] — the mutable state of one engine run, shared by all
+//! operators in the pipeline.
+
+use crate::memory::{MemoryBudget, MemoryReport};
+use crate::metrics::{RetuneRecord, ThroughputSeries};
+use crate::router::Router;
+use crate::stem::Stem;
+use amri_core::{layout, CostParams};
+use amri_stream::{
+    Clock, JobQueue, PartialTuple, SpjQuery, VirtualClock, VirtualDuration, VirtualTime,
+};
+use serde::{Deserialize, Serialize};
+
+/// One routing job: a partial tuple plus the arrival instant of the base
+/// tuple that spawned it. Probes only match *older* tuples (`ts <
+/// origin_ts`) — the MJoin rule that makes every join result get produced
+/// exactly once, by the job of its newest constituent.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// The partial tuple being routed.
+    pub pt: PartialTuple,
+    /// Arrival instant of the base tuple that spawned this job.
+    pub origin_ts: VirtualTime,
+    /// When this job entered the backlog (sojourn-time metric).
+    pub enqueued: VirtualTime,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Reached the configured duration.
+    Completed,
+    /// Breached the memory budget at the contained instant (§V's "ran out
+    /// of memory").
+    OutOfMemory {
+        /// Death time.
+        at: VirtualTime,
+    },
+}
+
+/// The scalar knobs the runtime needs for one run — the pipeline-facing
+/// subset of the harness's `EngineConfig` (routing policy, seed and tuner
+/// parameters are consumed at construction time and never reread).
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Virtual run length.
+    pub duration: VirtualDuration,
+    /// Sampling grid (also the cadence of tuning/memory checks).
+    pub sample_interval: VirtualDuration,
+    /// Arrivals per virtual second, per stream (`λ_d`) at t = 0.
+    pub lambda_d: f64,
+    /// Linear arrival-rate growth per virtual second.
+    pub lambda_ramp: f64,
+    /// Memory budget.
+    pub budget: MemoryBudget,
+    /// Unit costs.
+    pub params: CostParams,
+}
+
+/// Everything one run mutates, shared by the pipeline's operators.
+///
+/// The clock is pluggable ([`Clock`]): [`VirtualClock`] for deterministic
+/// simulation, [`WallClock`](crate::runtime::WallClock) for real time.
+pub struct RunContext<C: Clock = VirtualClock> {
+    /// The source of "now"; only operators advance it.
+    pub clock: C,
+    /// The query being executed.
+    pub query: SpjQuery,
+    /// Probe plan derived from the query.
+    pub graph: amri_stream::JoinGraph,
+    /// One STeM per stream.
+    pub stems: Vec<Stem>,
+    /// Routing of partial tuples through the unvisited states.
+    pub router: Router,
+    /// Always-on exact per-state pattern observers (run reporting +
+    /// the quasi-training path; independent of the flavors' own
+    /// assessment).
+    pub observers: Vec<amri_core::assess::Sria>,
+    /// The backlog of routing jobs, stored batch-granular, drained FIFO.
+    pub backlog: JobQueue<Job>,
+    /// The cumulative-throughput series being recorded.
+    pub series: ThroughputSeries,
+    /// Index migrations, time-ordered.
+    pub retunes: Vec<RetuneRecord>,
+    /// Next scheduled arrival per stream.
+    pub next_arrival: Vec<VirtualTime>,
+    /// Output tuples produced so far.
+    pub outputs: u64,
+    /// Monotone tuple id counter.
+    pub tuple_seq: u64,
+    /// Total ticks jobs spent queued before processing.
+    pub sojourn_ticks: u64,
+    /// Jobs popped and processed.
+    pub jobs_processed: u64,
+    /// Completion or death (updated by the sample operator).
+    pub outcome: RunOutcome,
+    /// The virtual instant the run must stop.
+    pub deadline: VirtualTime,
+    /// Grid instant of the most recent sample (read by the tune operator).
+    pub grid_due: VirtualTime,
+    /// Scalar run knobs.
+    pub run: RunParams,
+    /// Per-state window lengths in seconds (cached for λ_r estimation).
+    pub window_secs: Vec<f64>,
+}
+
+impl<C: Clock> RunContext<C> {
+    /// Effective arrival rate at virtual time `t`.
+    pub fn lambda_at(&self, t: VirtualTime) -> f64 {
+        self.run.lambda_d * (1.0 + self.run.lambda_ramp * t.as_secs_f64())
+    }
+
+    /// Current accounted memory: state bytes plus backlog bytes.
+    pub fn memory_report(&self) -> MemoryReport {
+        let states: u64 = self.stems.iter().map(|s| s.state.memory_bytes()).sum();
+        let arity = self
+            .query
+            .schemas
+            .iter()
+            .map(|s| s.arity())
+            .max()
+            .unwrap_or(0);
+        MemoryReport {
+            states,
+            backlog: self.backlog.len() as u64
+                * layout::queued_request_bytes(self.query.n_streams(), arity),
+        }
+    }
+}

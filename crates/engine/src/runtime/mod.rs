@@ -1,0 +1,39 @@
+//! The batch-first runtime layer: operator graph + pluggable clock.
+//!
+//! The original engine was one monolithic loop hard-wired to virtual time
+//! and one-tuple-at-a-time routing. This layer splits it into composable
+//! pieces so the same execution semantics can later be sharded, batched
+//! wider, or run against real time:
+//!
+//! * [`context`] — [`RunContext`]: everything one run mutates (clock,
+//!   backlog, states, router, metrics) plus the scalar knobs
+//!   ([`RunParams`]) the operators read.
+//! * [`operators`] — the [`Operator`] trait and the four concrete
+//!   operators: [`SampleOperator`] (grid samples + memory checks),
+//!   [`TuneOperator`] (index retuning), [`IngestOperator`] (arrivals),
+//!   [`ProbeOperator`] (routing jobs through STeMs).
+//! * [`pipeline`] — the [`Pipeline`] driver that owns the step loop and
+//!   assembles the [`RunResult`].
+//! * [`clock`] — [`WallClock`], the real-time counterpart of the
+//!   simulation's `VirtualClock` (both implement
+//!   [`amri_stream::time::Clock`]).
+//!
+//! Partial tuples flow between ingest and probe through a
+//! [`amri_stream::JobQueue`] in batch-granular storage; the probe operator
+//! drains it strictly FIFO, one job per step, which keeps every run
+//! byte-identical to the pre-refactor executor (the equivalence test pins
+//! this). The MJoin exactly-once rule (`ts < origin_ts`) lives in
+//! [`ProbeOperator`] unchanged.
+
+pub mod clock;
+pub mod context;
+pub mod operators;
+pub mod pipeline;
+
+pub use clock::WallClock;
+pub use context::{Job, RunContext, RunOutcome, RunParams};
+pub use operators::{
+    IngestOperator, Operator, ProbeOperator, SampleOperator, StepStatus, StreamWorkload,
+    TuneOperator,
+};
+pub use pipeline::{EngineSetup, Pipeline, RunResult};

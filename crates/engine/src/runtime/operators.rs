@@ -1,0 +1,285 @@
+//! The [`Operator`] trait and the four concrete operators the engine
+//! composes: sample, tune, ingest, probe.
+//!
+//! Each operator advances one facet of the run against the shared
+//! [`RunContext`]; the [`Pipeline`](crate::runtime::Pipeline) owns the
+//! order in which they step. Every cost an operator incurs is charged to
+//! the context's clock through a [`CostReceipt`], exactly as the
+//! pre-refactor monolithic loop did — the equivalence test pins the two
+//! byte-identical.
+
+use crate::metrics::RetuneRecord;
+use crate::runtime::context::{Job, RunContext, RunOutcome};
+use amri_core::assess::Assessor;
+use amri_core::CostReceipt;
+use amri_stream::{
+    AttrVec, Clock, PartialTuple, SearchRequest, StreamId, Tuple, TupleId, VirtualDuration,
+    VirtualTime,
+};
+
+/// Supplies attribute values for arriving tuples — implemented by
+/// `amri-synth`'s drifting generators.
+pub trait StreamWorkload {
+    /// Attribute values for the next tuple of `stream` arriving at `now`.
+    fn attrs_for(&mut self, stream: StreamId, now: VirtualTime) -> AttrVec;
+}
+
+/// What one operator step observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The operator did work (moved jobs, recorded samples, advanced the
+    /// clock).
+    Worked,
+    /// Nothing was due at the current instant.
+    Idle,
+    /// The run is over: deadline reached or budget breached.
+    Finished,
+}
+
+/// One composable stage of the engine's step loop.
+pub trait Operator<C: Clock> {
+    /// Short name for logs and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Advance this operator's facet of the run by one step.
+    fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus;
+}
+
+/// Records the sample row at the next due grid point and checks the
+/// memory budget — the engine's observability face.
+///
+/// One step handles exactly one grid point, so a slow simulation step
+/// that crossed several grid points gets a fresh memory report (and its
+/// own budget check and tuning pass) at every crossed point. The stepped
+/// grid instant is published as [`RunContext::grid_due`] for
+/// [`TuneOperator`].
+#[derive(Debug, Default)]
+pub struct SampleOperator;
+
+impl SampleOperator {
+    /// Record the final sample row at the deadline (called by the
+    /// pipeline when the run completes idle).
+    pub fn finish<C: Clock>(&mut self, ctx: &mut RunContext<C>) {
+        let report = ctx.memory_report();
+        let deadline = ctx.deadline;
+        ctx.series.record_until(
+            deadline,
+            ctx.outputs,
+            report.total(),
+            ctx.backlog.len() as u64,
+        );
+    }
+}
+
+impl<C: Clock> Operator<C> for SampleOperator {
+    fn name(&self) -> &'static str {
+        "sample"
+    }
+
+    fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus {
+        let due = ctx.series.next_due();
+        let report = ctx.memory_report();
+        ctx.series
+            .record_until(due, ctx.outputs, report.total(), ctx.backlog.len() as u64);
+        ctx.grid_due = due;
+        if report.over(ctx.run.budget) {
+            ctx.outcome = RunOutcome::OutOfMemory { at: due };
+            return StepStatus::Finished;
+        }
+        StepStatus::Worked
+    }
+}
+
+/// Gives every STeM a tuning opportunity at the grid instant the sample
+/// operator just recorded ([`RunContext::grid_due`]); migration costs
+/// advance the clock.
+#[derive(Debug, Default)]
+pub struct TuneOperator;
+
+impl<C: Clock> Operator<C> for TuneOperator {
+    fn name(&self) -> &'static str {
+        "tune"
+    }
+
+    fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus {
+        let due = ctx.grid_due;
+        let elapsed = due.as_secs_f64().max(1.0);
+        let lambda_now = ctx.run.lambda_d * (1.0 + ctx.run.lambda_ramp * due.as_secs_f64());
+        let RunContext {
+            stems,
+            retunes,
+            clock,
+            window_secs,
+            run,
+            ..
+        } = ctx;
+        for (i, stem) in stems.iter_mut().enumerate() {
+            let lambda_r = stem.requests_served as f64 / elapsed;
+            let mut receipt = CostReceipt::new();
+            if let Some(r) =
+                stem.state
+                    .maybe_retune(due, lambda_now, lambda_r, window_secs[i], &mut receipt)
+            {
+                retunes.push(RetuneRecord {
+                    t: due,
+                    state: i as u16,
+                    config: r.description,
+                    moved: r.moved,
+                });
+            }
+            clock.advance(run.params.ticks(&receipt));
+        }
+        StepStatus::Worked
+    }
+}
+
+/// Pulls every due arrival off the schedule: generates the tuple, filters
+/// it through the query's local selections, stores it in its stream's
+/// STeM and enqueues the routing job.
+#[derive(Debug)]
+pub struct IngestOperator<W> {
+    workload: W,
+}
+
+impl<W: StreamWorkload> IngestOperator<W> {
+    /// Wrap the arrival-attribute source.
+    pub fn new(workload: W) -> Self {
+        IngestOperator { workload }
+    }
+}
+
+impl<W: StreamWorkload, C: Clock> Operator<C> for IngestOperator<W> {
+    fn name(&self) -> &'static str {
+        "ingest"
+    }
+
+    fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus {
+        let n = ctx.query.n_streams();
+        let now = ctx.clock.now();
+        let mut ingested = false;
+        #[allow(clippy::needless_range_loop)] // s indexes two arrays
+        for s in 0..n {
+            while ctx.next_arrival[s] <= now {
+                ingested = true;
+                let ts = ctx.next_arrival[s];
+                // Gap shrinks as the ramp raises the arrival rate.
+                let gap = VirtualDuration::from_secs_f64(1.0 / ctx.lambda_at(ts).max(1e-9));
+                ctx.next_arrival[s] = ts + gap;
+                let sid = StreamId(s as u16);
+                let attrs = self.workload.attrs_for(sid, ts);
+                // Local selections (the S of SPJ) filter at ingest.
+                if !ctx.query.passes_selections(sid, attrs.as_slice()) {
+                    continue;
+                }
+                let tuple = Tuple::new(TupleId(ctx.tuple_seq), sid, ts, attrs);
+                ctx.tuple_seq += 1;
+                let mut receipt = CostReceipt::new();
+                ctx.stems[s].state.expire(now, &mut receipt);
+                ctx.stems[s].state.insert(tuple, &mut receipt);
+                ctx.clock.advance(ctx.run.params.ticks(&receipt));
+                ctx.backlog.push(Job {
+                    pt: PartialTuple::from_base(&tuple),
+                    origin_ts: ts,
+                    enqueued: now,
+                });
+            }
+        }
+        if ingested {
+            StepStatus::Worked
+        } else {
+            StepStatus::Idle
+        }
+    }
+}
+
+/// Pops one routing job, probes the router-chosen STeM through the
+/// reusable per-STeM scratch, applies window, MJoin-dedup and residual
+/// predicates, and emits outputs or follow-up jobs.
+///
+/// One job per step: the backlog is batch-granular storage, but draining
+/// it a job at a time preserves the pre-refactor interleaving with
+/// sampling and ingest (and therefore byte-identical results). A parallel
+/// runtime can pop whole batches via [`amri_stream::JobQueue::pop_batch`].
+#[derive(Debug, Default)]
+pub struct ProbeOperator;
+
+impl<C: Clock> Operator<C> for ProbeOperator {
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+
+    fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus {
+        let Some(job) = ctx.backlog.pop() else {
+            return StepStatus::Idle;
+        };
+        let n = ctx.query.n_streams();
+        let pt = job.pt;
+        ctx.sojourn_ticks += ctx.clock.now().since(job.enqueued).0;
+        ctx.jobs_processed += 1;
+        let RunContext {
+            clock,
+            query,
+            graph,
+            stems,
+            router,
+            observers,
+            backlog,
+            outputs,
+            run,
+            ..
+        } = ctx;
+        let target = router.choose_next(pt.covered);
+        let (pattern, values, residual) = graph.probe_values(&pt, target);
+        let req = SearchRequest::new(pattern, values);
+        observers[target.idx()].record(pattern);
+        let mut receipt = CostReceipt::new();
+        let stem = &mut stems[target.idx()];
+        // Scratch-buffered search: the per-STeM buffer is reused across
+        // requests, so steady state never allocates here.
+        stem.state
+            .search_into(&req, &mut stem.scratch, &mut receipt);
+        stem.requests_served += 1;
+        let window = query.windows[target.idx()];
+        let now = clock.now();
+        let mut matches = 0usize;
+        for &key in &stem.scratch.hits {
+            let Some(t) = stem.state.tuple(key) else {
+                continue;
+            };
+            // Lazy expiry: skip tuples that slid out of the window.
+            if !window.live(t.ts, now) {
+                continue;
+            }
+            // MJoin dedup: only match tuples older than the job's origin
+            // arrival.
+            if t.ts >= job.origin_ts {
+                continue;
+            }
+            // Residual (non-equality) predicates.
+            let ok = residual.iter().all(|b| {
+                let lhs = t.attrs[graph.jas(target)[b.jas_pos].idx()];
+                let rhs = pt.part(b.src_stream).expect("covered")[b.src_attr.idx()];
+                b.op.eval(lhs, rhs)
+            });
+            if !ok {
+                continue;
+            }
+            matches += 1;
+            let extended = pt.extend(target, t.attrs, t.ts);
+            if extended.is_complete(n) {
+                *outputs += 1;
+            } else {
+                backlog.push(Job {
+                    pt: extended,
+                    origin_ts: job.origin_ts,
+                    enqueued: now,
+                });
+            }
+        }
+        stem.matches_returned += matches as u64;
+        let ticks = run.params.ticks(&receipt);
+        router.observe(target, matches, ticks.0);
+        clock.advance(ticks);
+        StepStatus::Worked
+    }
+}

@@ -1,0 +1,203 @@
+//! The [`Pipeline`] driver: owns the operator step loop and assembles the
+//! [`RunResult`].
+
+use crate::metrics::{RetuneRecord, ThroughputSeries};
+use crate::router::Router;
+use crate::runtime::context::{RunContext, RunOutcome, RunParams};
+use crate::runtime::operators::{
+    IngestOperator, Operator, ProbeOperator, SampleOperator, StepStatus, StreamWorkload,
+    TuneOperator,
+};
+use crate::stem::Stem;
+use amri_core::assess::Assessor;
+use amri_stream::{AccessPattern, Clock, JobQueue, SpjQuery, VirtualClock, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+/// Everything a run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Mode label (e.g. `AMRI-CDIA-highest`, `hash-3`).
+    pub label: String,
+    /// The cumulative-throughput series.
+    pub series: ThroughputSeries,
+    /// Completion or death.
+    pub outcome: RunOutcome,
+    /// Total output tuples produced.
+    pub outputs: u64,
+    /// Index migrations, time-ordered.
+    pub retunes: Vec<RetuneRecord>,
+    /// Per-state observed access-pattern frequencies (exact, whole run).
+    pub pattern_stats: Vec<Vec<(AccessPattern, f64)>>,
+    /// Per-state search requests served.
+    pub requests: Vec<u64>,
+    /// Virtual instant the run stopped.
+    pub final_time: VirtualTime,
+    /// Mean virtual time a routing job waited in the backlog before being
+    /// processed — the latency face of overload (ticks).
+    pub mean_job_latency_ticks: f64,
+}
+
+impl RunResult {
+    /// Time the run died, if it did.
+    pub fn death_time(&self) -> Option<VirtualTime> {
+        match self.outcome {
+            RunOutcome::OutOfMemory { at } => Some(at),
+            RunOutcome::Completed => None,
+        }
+    }
+}
+
+/// The structural pieces of an assembled engine, handed to the pipeline
+/// by the harness (which owns flavor construction and seeding).
+pub struct EngineSetup<W> {
+    /// The query being executed.
+    pub query: SpjQuery,
+    /// Attribute source for arriving tuples.
+    pub workload: W,
+    /// One STeM per stream, already built in the chosen index flavor.
+    pub stems: Vec<Stem>,
+    /// The routing policy, already seeded.
+    pub router: Router,
+    /// Always-on exact per-state pattern observers.
+    pub observers: Vec<amri_core::assess::Sria>,
+    /// Mode label for the result (e.g. `AMRI-CDIA-highest`).
+    pub mode_label: String,
+}
+
+/// The runtime's step-loop driver.
+///
+/// Each iteration: every due grid point gets a sample row (memory check)
+/// and a tuning pass, then the ingest operator pulls due arrivals, then
+/// the probe operator processes one routing job. When both ingest and
+/// probe are idle the clock jumps to the next arrival (or the deadline,
+/// closing the series with a final row).
+pub struct Pipeline<W, C: Clock = VirtualClock> {
+    ctx: RunContext<C>,
+    sample: SampleOperator,
+    tune: TuneOperator,
+    ingest: IngestOperator<W>,
+    probe: ProbeOperator,
+    mode_label: String,
+}
+
+impl<W: StreamWorkload> Pipeline<W> {
+    /// A simulation pipeline on a fresh [`VirtualClock`].
+    pub fn new(setup: EngineSetup<W>, run: RunParams) -> Self {
+        Pipeline::with_clock(setup, run, VirtualClock::new())
+    }
+}
+
+impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
+    /// A pipeline on an explicit clock (e.g.
+    /// [`WallClock`](crate::runtime::WallClock)).
+    pub fn with_clock(setup: EngineSetup<W>, run: RunParams, clock: C) -> Self {
+        let n = setup.query.n_streams();
+        let deadline = VirtualTime::ZERO + run.duration;
+        // Stagger first arrivals so streams interleave deterministically.
+        let base_gap = amri_stream::VirtualDuration::from_secs_f64(1.0 / run.lambda_d);
+        let next_arrival: Vec<VirtualTime> = (0..n)
+            .map(|i| VirtualTime(base_gap.0 * i as u64 / n as u64))
+            .collect();
+        let window_secs: Vec<f64> = setup
+            .query
+            .windows
+            .iter()
+            .map(|w| w.length.as_secs_f64())
+            .collect();
+        let graph = setup.query.join_graph();
+        let ctx = RunContext {
+            clock,
+            query: setup.query,
+            graph,
+            stems: setup.stems,
+            router: setup.router,
+            observers: setup.observers,
+            backlog: JobQueue::new(),
+            series: ThroughputSeries::new(run.sample_interval),
+            retunes: Vec::new(),
+            next_arrival,
+            outputs: 0,
+            tuple_seq: 0,
+            sojourn_ticks: 0,
+            jobs_processed: 0,
+            outcome: RunOutcome::Completed,
+            deadline,
+            grid_due: VirtualTime::ZERO,
+            run,
+            window_secs,
+        };
+        Pipeline {
+            ctx,
+            sample: SampleOperator,
+            tune: TuneOperator,
+            ingest: IngestOperator::new(setup.workload),
+            probe: ProbeOperator,
+            mode_label: setup.mode_label,
+        }
+    }
+
+    /// The run state (for harness introspection and tests).
+    pub fn context(&self) -> &RunContext<C> {
+        &self.ctx
+    }
+
+    /// Run to completion (or death) and return the results.
+    pub fn run(mut self) -> RunResult {
+        'run: loop {
+            // Sampling / tuning / memory checks on the grid. `now` is
+            // captured once: grid points falling due *while tuning* are
+            // handled on the next pipeline iteration.
+            let now = self.ctx.clock.now();
+            while self.ctx.series.next_due() <= now {
+                if let StepStatus::Finished = self.sample.step(&mut self.ctx) {
+                    break 'run; // out of memory
+                }
+                self.tune.step(&mut self.ctx);
+            }
+            if self.ctx.clock.now() >= self.ctx.deadline {
+                break 'run;
+            }
+
+            let ingested = self.ingest.step(&mut self.ctx);
+            let probed = self.probe.step(&mut self.ctx);
+            if probed == StepStatus::Idle && ingested == StepStatus::Idle {
+                // Idle: jump to the next arrival.
+                let next = self
+                    .ctx
+                    .next_arrival
+                    .iter()
+                    .min()
+                    .copied()
+                    .expect("at least one stream");
+                let deadline = self.ctx.deadline;
+                self.ctx.clock.advance_to(next.min(deadline));
+                if self.ctx.clock.now() >= deadline {
+                    // Final sample row, then stop.
+                    self.sample.finish(&mut self.ctx);
+                    break 'run;
+                }
+            }
+        }
+        self.into_result()
+    }
+
+    fn into_result(self) -> RunResult {
+        let ctx = self.ctx;
+        let pattern_stats = ctx.observers.iter().map(|o| o.frequent(0.0)).collect();
+        RunResult {
+            label: self.mode_label,
+            mean_job_latency_ticks: if ctx.jobs_processed == 0 {
+                0.0
+            } else {
+                ctx.sojourn_ticks as f64 / ctx.jobs_processed as f64
+            },
+            final_time: ctx.clock.now().min(ctx.deadline),
+            series: ctx.series,
+            outcome: ctx.outcome,
+            outputs: ctx.outputs,
+            retunes: ctx.retunes,
+            pattern_stats,
+            requests: ctx.stems.iter().map(|s| s.requests_served).collect(),
+        }
+    }
+}

@@ -190,6 +190,10 @@ impl JoinState {
     ///
     /// Compatibility wrapper over [`search_into`](Self::search_into);
     /// allocates the returned `Vec` per call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call; use `search_into` with a reused `SearchScratch`"
+    )]
     pub fn search(&mut self, req: &SearchRequest, receipt: &mut CostReceipt) -> Vec<TupleKey> {
         let mut scratch = SearchScratch::new();
         self.search_into(req, &mut scratch, receipt);
@@ -393,6 +397,16 @@ mod tests {
         )
     }
 
+    fn search(
+        state: &mut JoinState,
+        request: &SearchRequest,
+        r: &mut CostReceipt,
+    ) -> Vec<TupleKey> {
+        let mut scratch = SearchScratch::new();
+        state.search_into(request, &mut scratch, r);
+        scratch.hits
+    }
+
     fn all_flavors() -> Vec<JoinState> {
         let w = WindowSpec::secs(30);
         vec![
@@ -443,7 +457,7 @@ mod tests {
                 state.insert(tuple(i, 0, &[i % 5, i % 3, i % 7]), &mut r);
             }
             let mut r = CostReceipt::new();
-            let mut hits = state.search(&req(0b001, &[2, 0, 0]), &mut r);
+            let mut hits = search(&mut state, &req(0b001, &[2, 0, 0]), &mut r);
             hits.sort();
             assert_eq!(hits.len(), 10, "{}: A==2 count", state.kind());
             // Resolve a hit back to its tuple.
@@ -499,7 +513,7 @@ mod tests {
         }
         // The workload only ever searches pattern C.
         for i in 0..100u64 {
-            state.search(&req(0b100, &[0, 0, i % 6]), &mut r);
+            search(&mut state, &req(0b100, &[0, 0, i % 6]), &mut r);
         }
         let retune = state
             .maybe_retune(VirtualTime::from_secs(10), 100.0, 100.0, 30.0, &mut r)
@@ -508,7 +522,7 @@ mod tests {
         assert_eq!(retune.moved, 40, "one rebuilt index over 40 tuples");
         // Now the C-pattern search uses a hash index (few comparisons).
         let mut r2 = CostReceipt::new();
-        let hits = state.search(&req(0b100, &[0, 0, 3]), &mut r2);
+        let hits = search(&mut state, &req(0b100, &[0, 0, 3]), &mut r2);
         assert!(!hits.is_empty());
         assert!(
             r2.comparisons < 40,
@@ -523,7 +537,7 @@ mod tests {
             if matches!(state, JoinState::StaticBitmap(_) | JoinState::Scan(_)) {
                 let mut r = CostReceipt::new();
                 for i in 0..200u64 {
-                    state.search(&req(0b001, &[i, 0, 0]), &mut r);
+                    search(&mut state, &req(0b001, &[i, 0, 0]), &mut r);
                 }
                 assert!(state
                     .maybe_retune(VirtualTime::from_secs(100), 100.0, 100.0, 30.0, &mut r)

@@ -1,0 +1,411 @@
+//! Batched job flow — the backlog representation of the runtime layer.
+//!
+//! The engine's backlog used to be a `VecDeque` of individual routing jobs;
+//! batch-granular operator pipelines (the precondition for multicore stream
+//! joins — Shahvarani & Jacobsen's index-based multicore join, Hu & Qiu's
+//! runtime-optimized multi-way join) need work to move between operators in
+//! *batches*. [`JobQueue`] keeps the backlog as a FIFO of [`Batch`]es while
+//! preserving single-job order **exactly**: `push` → `pop` round-trips in
+//! precisely `VecDeque` order, so the deterministic simulation harness can
+//! drain job-by-job while a future parallel runtime hands whole batches to
+//! worker operators.
+//!
+//! Steady state allocates nothing: drained batch buffers are recycled into
+//! a spare pool and reused for new tail batches.
+
+use std::collections::VecDeque;
+
+/// Default jobs per batch. 64 keeps a batch within a few cache lines of
+/// job headers while giving a parallel consumer enough work per handoff.
+pub const DEFAULT_BATCH_CAPACITY: usize = 64;
+
+/// One batch of jobs, in arrival order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Batch<T> {
+    items: Vec<T>,
+}
+
+impl<T> Batch<T> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Batch { items: Vec::new() }
+    }
+
+    /// An empty batch with pre-sized storage.
+    pub fn with_capacity(cap: usize) -> Self {
+        Batch {
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wrap an existing buffer (used by [`JobQueue`] to recycle storage).
+    fn from_vec(items: Vec<T>) -> Self {
+        Batch { items }
+    }
+
+    /// Append a job to the batch.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// Jobs in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff the batch holds no jobs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The jobs, oldest first.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Iterate the jobs, oldest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Consume the batch, yielding its jobs oldest-first.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T> From<Vec<T>> for Batch<T> {
+    fn from(items: Vec<T>) -> Self {
+        Batch { items }
+    }
+}
+
+impl<T> IntoIterator for Batch<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Batch<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// A FIFO backlog of jobs stored batch-granularly.
+///
+/// Pushes fill an open tail batch; once it reaches the batch capacity it is
+/// sealed and a fresh (recycled) buffer opens. Pops drain the oldest sealed
+/// batch job-by-job before touching younger ones, so the queue is
+/// indistinguishable from `VecDeque<T>` at the job level — the property the
+/// byte-identical §V equivalence suite pins — while `pop_batch` lets a
+/// batch-first consumer take whole batches.
+#[derive(Debug, Clone)]
+pub struct JobQueue<T> {
+    /// Head batch being drained, **reversed** so `Vec::pop` yields FIFO
+    /// order in O(1) without requiring `T: Clone`.
+    active: Vec<T>,
+    /// Sealed batches waiting behind the active one, oldest first.
+    sealed: VecDeque<Batch<T>>,
+    /// Open tail batch that `push` appends to.
+    tail: Batch<T>,
+    /// Total queued jobs across active + sealed + tail.
+    len: usize,
+    batch_capacity: usize,
+    /// Drained buffers kept for reuse (steady state never allocates).
+    spare: Vec<Vec<T>>,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue with the [`DEFAULT_BATCH_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_batch_capacity(DEFAULT_BATCH_CAPACITY)
+    }
+
+    /// An empty queue sealing batches at `batch_capacity` jobs.
+    ///
+    /// # Panics
+    /// Panics on a zero capacity.
+    pub fn with_batch_capacity(batch_capacity: usize) -> Self {
+        assert!(batch_capacity > 0, "batch capacity must be positive");
+        JobQueue {
+            active: Vec::new(),
+            sealed: VecDeque::new(),
+            tail: Batch::new(),
+            len: 0,
+            batch_capacity,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Jobs per sealed batch.
+    #[inline]
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Total queued jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no jobs are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of batches currently materialized (active head counts as one
+    /// while non-empty, plus sealed batches, plus a non-empty tail).
+    pub fn n_batches(&self) -> usize {
+        usize::from(!self.active.is_empty())
+            + self.sealed.len()
+            + usize::from(!self.tail.is_empty())
+    }
+
+    /// Take a recycled buffer (or allocate the first time around).
+    fn fresh_buf(&mut self) -> Vec<T> {
+        self.spare
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.batch_capacity))
+    }
+
+    /// Enqueue one job at the back.
+    pub fn push(&mut self, item: T) {
+        if self.tail.len() == self.batch_capacity {
+            let buf = self.fresh_buf();
+            let full = std::mem::replace(&mut self.tail, Batch::from_vec(buf));
+            self.sealed.push_back(full);
+        }
+        self.tail.push(item);
+        self.len += 1;
+    }
+
+    /// Enqueue a whole batch behind everything queued so far (the open tail
+    /// is sealed first so older jobs keep draining first).
+    pub fn push_batch(&mut self, batch: Batch<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        if !self.tail.is_empty() {
+            let buf = self.fresh_buf();
+            let part = std::mem::replace(&mut self.tail, Batch::from_vec(buf));
+            self.sealed.push_back(part);
+        }
+        self.len += batch.len();
+        self.sealed.push_back(batch);
+    }
+
+    /// Move the oldest unsealed-or-sealed batch into the (empty) active
+    /// head, reversed for O(1) FIFO pops.
+    fn promote(&mut self) -> bool {
+        debug_assert!(self.active.is_empty());
+        let next = match self.sealed.pop_front() {
+            Some(b) => b,
+            None if !self.tail.is_empty() => {
+                let buf = self.fresh_buf();
+                std::mem::replace(&mut self.tail, Batch::from_vec(buf))
+            }
+            None => return false,
+        };
+        let mut items = next.into_items();
+        items.reverse();
+        let old = std::mem::replace(&mut self.active, items);
+        if old.capacity() > 0 {
+            self.spare.push(old);
+        }
+        true
+    }
+
+    /// Dequeue the oldest job.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.active.is_empty() && !self.promote() {
+            return None;
+        }
+        let item = self.active.pop();
+        debug_assert!(item.is_some());
+        if item.is_some() {
+            self.len -= 1;
+            if self.active.is_empty() {
+                // Recycle the drained buffer for a future tail batch.
+                let buf = std::mem::take(&mut self.active);
+                if buf.capacity() > 0 {
+                    self.spare.push(buf);
+                }
+            }
+        }
+        item
+    }
+
+    /// Dequeue the oldest whole batch (the partially drained head batch
+    /// counts: its remaining jobs come out as one batch).
+    pub fn pop_batch(&mut self) -> Option<Batch<T>> {
+        if self.active.is_empty() && !self.promote() {
+            return None;
+        }
+        let mut items = std::mem::take(&mut self.active);
+        items.reverse(); // back to oldest-first
+        self.len -= items.len();
+        Some(Batch::from_vec(items))
+    }
+
+    /// Iterate all queued jobs, oldest first (diagnostics; not on the hot
+    /// path).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.active
+            .iter()
+            .rev()
+            .chain(self.sealed.iter().flat_map(|b| b.iter()))
+            .chain(self.tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn batch_basics() {
+        let mut b = Batch::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(1);
+        b.push(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.as_slice(), &[1, 2]);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(b.clone().into_items(), vec![1, 2]);
+        assert_eq!((&b).into_iter().count(), 2);
+        assert_eq!(b.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(Batch::from(vec![7]).as_slice(), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = JobQueue::<u32>::with_batch_capacity(0);
+    }
+
+    #[test]
+    fn fifo_across_batch_boundaries() {
+        let mut q = JobQueue::with_batch_capacity(3);
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        assert!(q.n_batches() >= 4, "10 jobs at cap 3: {}", q.n_batches());
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_vecdeque() {
+        // Deterministic pseudo-random interleaving (LCG) compared against
+        // the reference VecDeque the executor used before batching.
+        let mut q = JobQueue::with_batch_capacity(4);
+        let mut reference: VecDeque<u64> = VecDeque::new();
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = 0u64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state >> 63 == 0 || reference.is_empty() {
+                q.push(next);
+                reference.push_back(next);
+                next += 1;
+            } else {
+                assert_eq!(q.pop(), reference.pop_front());
+            }
+            assert_eq!(q.len(), reference.len());
+            assert_eq!(q.is_empty(), reference.is_empty());
+        }
+        while let Some(want) = reference.pop_front() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn iter_reports_queue_order() {
+        let mut q = JobQueue::with_batch_capacity(2);
+        for i in 0..7 {
+            q.push(i);
+        }
+        q.pop(); // partially drain the head batch
+        assert_eq!(
+            q.iter().copied().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn push_batch_seals_the_tail_first() {
+        let mut q = JobQueue::with_batch_capacity(8);
+        q.push(1);
+        q.push(2);
+        q.push_batch(Batch::from(vec![3, 4]));
+        q.push(5);
+        q.push_batch(Batch::new()); // no-op
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pop_batch_returns_oldest_first() {
+        let mut q = JobQueue::with_batch_capacity(3);
+        for i in 0..8 {
+            q.push(i);
+        }
+        assert_eq!(q.pop(), Some(0));
+        // Remaining head batch [1, 2] comes out as one batch.
+        assert_eq!(q.pop_batch().unwrap().as_slice(), &[1, 2]);
+        assert_eq!(q.pop_batch().unwrap().as_slice(), &[3, 4, 5]);
+        assert_eq!(q.pop_batch().unwrap().as_slice(), &[6, 7]);
+        assert!(q.pop_batch().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn buffers_are_recycled() {
+        let mut q = JobQueue::with_batch_capacity(4);
+        // Fill and drain a few times; after warm-up the spare pool feeds
+        // every new tail/active buffer.
+        for round in 0..5 {
+            for i in 0..16 {
+                q.push(round * 100 + i);
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(q.is_empty());
+        assert!(
+            !q.spare.is_empty(),
+            "drained buffers must return to the spare pool"
+        );
+        let spare_before = q.spare.len();
+        for i in 0..16 {
+            q.push(i);
+        }
+        assert!(
+            q.spare.len() < spare_before,
+            "new batches must reuse spare buffers"
+        );
+    }
+}

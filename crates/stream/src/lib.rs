@@ -5,7 +5,11 @@
 //!
 //! * [`value`] — attribute values and the inline attribute vector used by
 //!   tuples and search requests.
-//! * [`time`] — the deterministic virtual clock the whole simulation runs on.
+//! * [`time`] — the deterministic virtual clock the whole simulation runs
+//!   on, and the [`Clock`] abstraction the runtime layer is written against.
+//! * [`batch`] — batch-granular job flow: the [`JobQueue`] backlog that
+//!   moves routing jobs between operators in [`Batch`]es while preserving
+//!   exact FIFO order.
 //! * [`schema`] — stream schemas, attribute domains, identifiers.
 //! * [`mod@tuple`] — stream tuples and partial (intermediate) join tuples.
 //! * [`window`] — sliding-window bookkeeping (expiration queues).
@@ -20,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod error;
 pub mod fxhash;
 pub mod pattern;
@@ -30,24 +35,26 @@ pub mod tuple;
 pub mod value;
 pub mod window;
 
+pub use batch::{Batch, JobQueue, DEFAULT_BATCH_CAPACITY};
 pub use error::StreamError;
 pub use fxhash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use pattern::{AccessPattern, SearchRequest};
 pub use query::{JoinGraph, JoinOp, JoinPredicate, Selection, SpjQuery};
 pub use schema::{AttrDomain, AttrId, AttrSpec, StreamId, StreamSchema};
-pub use time::{VirtualClock, VirtualDuration, VirtualTime, TICKS_PER_SEC};
+pub use time::{Clock, VirtualClock, VirtualDuration, VirtualTime, TICKS_PER_SEC};
 pub use tuple::{PartialTuple, StreamMask, Tuple, TupleId};
 pub use value::{AttrValue, AttrVec, MAX_ATTRS};
 pub use window::{WindowBuffer, WindowSpec};
 
 /// Convenience prelude bringing the commonly used substrate types in scope.
 pub mod prelude {
+    pub use crate::batch::{Batch, JobQueue};
     pub use crate::error::StreamError;
     pub use crate::fxhash::{FxHashMap, FxHashSet};
     pub use crate::pattern::{AccessPattern, SearchRequest};
     pub use crate::query::{JoinGraph, JoinOp, JoinPredicate, Selection, SpjQuery};
     pub use crate::schema::{AttrDomain, AttrId, AttrSpec, StreamId, StreamSchema};
-    pub use crate::time::{VirtualClock, VirtualDuration, VirtualTime};
+    pub use crate::time::{Clock, VirtualClock, VirtualDuration, VirtualTime};
     pub use crate::tuple::{PartialTuple, StreamMask, Tuple, TupleId};
     pub use crate::value::{AttrValue, AttrVec};
     pub use crate::window::{WindowBuffer, WindowSpec};

@@ -184,6 +184,25 @@ impl fmt::Display for VirtualDuration {
     }
 }
 
+/// A source of "now" the runtime advances explicitly.
+///
+/// The operator pipeline is written against this trait so the same code can
+/// run in two modes: **simulation**, where [`VirtualClock`] advances by
+/// exactly the ticks each cost receipt charges (bit-for-bit reproducible),
+/// and **wall-clock**, where an implementation anchored to real time ignores
+/// modeled charges because real CPUs charge themselves (the engine ships a
+/// `WallClock` stub for that mode).
+pub trait Clock {
+    /// Current instant.
+    fn now(&self) -> VirtualTime;
+
+    /// Charge `d` of modeled work and return the new instant.
+    fn advance(&mut self, d: VirtualDuration) -> VirtualTime;
+
+    /// Jump forward to `t`; never moves backwards.
+    fn advance_to(&mut self, t: VirtualTime);
+}
+
 /// The single source of "now" for a simulation run.
 ///
 /// Only the executor advances the clock; every other component reads it.
@@ -218,6 +237,23 @@ impl VirtualClock {
         if t > self.now {
             self.now = t;
         }
+    }
+}
+
+impl Clock for VirtualClock {
+    #[inline]
+    fn now(&self) -> VirtualTime {
+        VirtualClock::now(self)
+    }
+
+    #[inline]
+    fn advance(&mut self, d: VirtualDuration) -> VirtualTime {
+        VirtualClock::advance(self, d)
+    }
+
+    #[inline]
+    fn advance_to(&mut self, t: VirtualTime) {
+        VirtualClock::advance_to(self, t)
     }
 }
 
@@ -265,6 +301,17 @@ mod tests {
         assert_eq!(c.now(), VirtualTime::from_secs(2));
         c.advance_to(VirtualTime::from_secs(7));
         assert_eq!(c.now(), VirtualTime::from_secs(7));
+    }
+
+    #[test]
+    fn virtual_clock_implements_the_clock_trait() {
+        fn drive(c: &mut dyn Clock) -> VirtualTime {
+            c.advance(VirtualDuration::from_secs(3));
+            c.advance_to(VirtualTime::from_secs(2)); // never backwards
+            c.now()
+        }
+        let mut c = VirtualClock::new();
+        assert_eq!(drive(&mut c), VirtualTime::from_secs(3));
     }
 
     #[test]

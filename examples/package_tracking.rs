@@ -105,7 +105,8 @@ fn run<I: amri_core::StateIndex>(
     state: &StateStore<I>,
     sr: &SearchRequest,
 ) -> (&'static str, usize, CostReceipt) {
+    let mut scratch = amri_core::SearchScratch::new();
     let mut receipt = CostReceipt::new();
-    let hits = state.search(sr, &mut receipt).len();
-    (state.index().kind(), hits, receipt)
+    state.search_into(sr, &mut scratch, &mut receipt);
+    (state.index().kind(), scratch.hits.len(), receipt)
 }

@@ -4,7 +4,7 @@
 //! Run with `cargo run -p amri-apps --example quickstart`.
 
 use amri_core::assess::AssessorKind;
-use amri_core::{AmriState, CostParams, CostReceipt, IndexConfig, TunerConfig};
+use amri_core::{AmriState, CostParams, CostReceipt, IndexConfig, SearchScratch, TunerConfig};
 use amri_hh::CombineStrategy;
 use amri_stream::{
     AccessPattern, AttrId, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualDuration,
@@ -50,7 +50,9 @@ fn main() {
         receipt.hash_ops
     );
 
-    // A workload that only ever searches on attribute A.
+    // A workload that only ever searches on attribute A. The scratch
+    // buffer is reused across requests, so steady state never allocates.
+    let mut scratch = SearchScratch::new();
     let mut receipt = CostReceipt::new();
     let mut hits = 0;
     for i in 0..500u64 {
@@ -58,7 +60,8 @@ fn main() {
             AccessPattern::from_positions(&[0], 3).unwrap(),
             AttrVec::from_slice(&[i % 50, 0, 0]).unwrap(),
         );
-        hits += state.search(&req, &mut receipt).len();
+        state.search_into(&req, &mut scratch, &mut receipt);
+        hits += scratch.hits.len();
     }
     println!(
         "500 A-only searches: {hits} hits, {} comparisons before tuning",
@@ -88,7 +91,7 @@ fn main() {
             AccessPattern::from_positions(&[0], 3).unwrap(),
             AttrVec::from_slice(&[i % 50, 0, 0]).unwrap(),
         );
-        state.search(&req, &mut receipt);
+        state.search_into(&req, &mut scratch, &mut receipt);
     }
     println!(
         "same searches after tuning: {} comparisons",

@@ -78,7 +78,10 @@ impl<I: amri_core::StateIndex> Runner<I> {
             AccessPattern::new(mask, 3),
             AttrVec::from_slice(&vals).unwrap(),
         );
-        let mut keys = self.store.search(&req, &mut CostReceipt::new());
+        let mut scratch = amri_core::SearchScratch::new();
+        self.store
+            .search_into(&req, &mut scratch, &mut CostReceipt::new());
+        let mut keys = scratch.hits;
         keys.sort();
         keys.iter()
             .map(|k| self.store.tuple(*k).unwrap().id.0)

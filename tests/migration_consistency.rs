@@ -4,8 +4,17 @@
 
 use amri_core::assess::AssessorKind;
 use amri_core::{
-    AmriState, CostParams, CostReceipt, IndexConfig, ScanIndex, StateStore, TunerConfig,
+    AmriState, CostParams, CostReceipt, IndexConfig, ScanIndex, SearchScratch, StateStore,
+    TunerConfig, TupleKey,
 };
+
+/// Scratch-buffered search, collected: the migration probes care about the
+/// hit *sets*, so each call copies the reused scratch buffer out.
+fn search_amri(state: &mut AmriState, req: &SearchRequest, r: &mut CostReceipt) -> Vec<TupleKey> {
+    let mut scratch = SearchScratch::new();
+    state.search_into(req, &mut scratch, r);
+    scratch.hits
+}
 use amri_hh::CombineStrategy;
 use amri_stream::{
     AccessPattern, AttrId, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualDuration,
@@ -66,8 +75,12 @@ proptest! {
                 AccessPattern::new(*mask, 3),
                 AttrVec::from_slice(vals).unwrap(),
             );
-            let mut got: Vec<_> = amri.search(&req, &mut r);
-            let mut expect: Vec<_> = reference.search(&req, &mut r);
+            let mut got = search_amri(&mut amri, &req, &mut r);
+            let mut expect = {
+                let mut scratch = SearchScratch::new();
+                reference.search_into(&req, &mut scratch, &mut r);
+                scratch.hits
+            };
             got.sort();
             expect.sort();
             prop_assert_eq!(&got, &expect, "divergence at probe {}", step);
@@ -102,7 +115,7 @@ fn forced_migration_chain_preserves_answers() {
         AttrVec::from_slice(&[0, 4, 0]).unwrap(),
     );
     let baseline = {
-        let mut v = amri.search(&req, &mut r);
+        let mut v = search_amri(&mut amri, &req, &mut r);
         v.sort();
         v
     };
@@ -116,7 +129,7 @@ fn forced_migration_chain_preserves_answers() {
             vals.set(hot_attr, i % 5);
             let probe =
                 SearchRequest::new(AccessPattern::from_positions(&[hot_attr], 3).unwrap(), vals);
-            amri.search(&probe, &mut r);
+            search_amri(&mut amri, &probe, &mut r);
         }
         amri.maybe_retune(
             VirtualTime::from_secs(round + 1),
@@ -125,7 +138,7 @@ fn forced_migration_chain_preserves_answers() {
             1000.0,
             &mut r,
         );
-        let mut now = amri.search(&req, &mut r);
+        let mut now = search_amri(&mut amri, &req, &mut r);
         now.sort();
         assert_eq!(now, baseline, "round {round}, config {}", amri.config());
     }

@@ -5,7 +5,7 @@
 
 use amri_bench::{
     fig6_assessment, fig6_hash, fig7_compare, render_series_table, render_summary, table2_example,
-    write_csv,
+    write_csv, write_summary_csv,
 };
 use amri_synth::scenario::Scale;
 use std::path::Path;
@@ -41,6 +41,7 @@ fn main() {
     println!("{}", render_series_table(&assess, 12));
     println!("{}", render_summary(&assess));
     write_csv(&assess, Path::new("results/fig6_assessment.csv")).expect("csv");
+    write_summary_csv(&assess, Path::new("results/fig6_assessment_summary.csv")).expect("csv");
 
     eprintln!("running Figure 6 hash sweep...");
     let hash = fig6_hash(scale, seed);
@@ -48,6 +49,7 @@ fn main() {
     println!("{}", render_series_table(&hash, 12));
     println!("{}", render_summary(&hash));
     write_csv(&hash, Path::new("results/fig6_hash.csv")).expect("csv");
+    write_summary_csv(&hash, Path::new("results/fig6_hash_summary.csv")).expect("csv");
 
     eprintln!("running Figure 7 comparison...");
     let f7 = fig7_compare(scale, seed);
@@ -61,6 +63,7 @@ fn main() {
         f7.gain_over_bitmap() * 100.0
     );
     write_csv(&f7_runs, Path::new("results/fig7_compare.csv")).expect("csv");
+    write_summary_csv(&f7_runs, Path::new("results/fig7_compare_summary.csv")).expect("csv");
 
     println!("\nall experiment CSVs under results/");
 }

@@ -1,0 +1,218 @@
+//! CI fault-injection smoke matrix: every fault kind crossed with every
+//! shedding policy at quick scale. Each cell must survive (no
+//! `OutOfMemory`) and, where checked, replay bit-for-bit from its seed.
+//! Exits non-zero listing every violated cell, so `scripts/ci.sh` can gate
+//! on it.
+//!
+//! Usage: `fault_matrix [--seed N]`
+
+use amri_engine::{
+    DegradationPolicy, Executor, FaultPlan, IndexingMode, MemoryBudget, PressureWindow, RunOutcome,
+    RunResult, SheddingPolicy, SkewedClock,
+};
+use amri_stream::{VirtualClock, VirtualDuration, VirtualTime};
+use amri_synth::scenario::{paper_scenario, Scale};
+
+/// A pressure spike over the governor's high-water mark but under the
+/// budget: ungoverned cells ride it out, governed cells must degrade
+/// through it — either way the run survives.
+fn pressure_spike() -> Vec<PressureWindow> {
+    vec![PressureWindow {
+        from: VirtualTime::from_secs(30),
+        until: VirtualTime::from_secs(35),
+        bytes: 49 * 1024 * 1024,
+    }]
+}
+
+fn fault_kinds(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    let base = FaultPlan {
+        seed,
+        ..FaultPlan::default()
+    };
+    vec![
+        ("clean", base.clone()),
+        (
+            "drop",
+            FaultPlan {
+                drop_prob: 0.2,
+                ..base.clone()
+            },
+        ),
+        (
+            "duplicate",
+            FaultPlan {
+                duplicate_prob: 0.2,
+                ..base.clone()
+            },
+        ),
+        (
+            "late",
+            FaultPlan {
+                late_prob: 0.2,
+                late_by: VirtualDuration::from_secs(2),
+                ..base.clone()
+            },
+        ),
+        (
+            "reorder",
+            FaultPlan {
+                reorder_prob: 0.3,
+                ..base.clone()
+            },
+        ),
+        (
+            "pressure",
+            FaultPlan {
+                pressure: pressure_spike(),
+                ..base.clone()
+            },
+        ),
+        (
+            "mixed",
+            FaultPlan {
+                drop_prob: 0.05,
+                duplicate_prob: 0.05,
+                reorder_prob: 0.1,
+                late_prob: 0.05,
+                late_by: VirtualDuration::from_secs(1),
+                pressure: pressure_spike(),
+                ..base
+            },
+        ),
+    ]
+}
+
+fn shedding_policies(seed: u64) -> Vec<(&'static str, Option<DegradationPolicy>)> {
+    // The backlog cap is deliberately tiny so quick-scale join bursts
+    // actually hit it and every shedding policy's admit path runs.
+    let policy = |shedding| DegradationPolicy {
+        high_water: 0.9,
+        low_water: 0.7,
+        max_backlog: 8,
+        shedding,
+        seed,
+    };
+    vec![
+        ("ungoverned", None),
+        ("drop-oldest", Some(policy(SheddingPolicy::DropOldest))),
+        ("drop-newest", Some(policy(SheddingPolicy::DropNewest))),
+        (
+            "probabilistic",
+            Some(policy(SheddingPolicy::Probabilistic { drop_prob: 0.5 })),
+        ),
+    ]
+}
+
+fn run_cell(seed: u64, plan: &FaultPlan, degradation: Option<DegradationPolicy>) -> RunResult {
+    let mut sc = paper_scenario(Scale::Quick, seed);
+    sc.engine.budget = MemoryBudget::mib(50);
+    sc.engine.degradation = degradation;
+    sc.engine.faults = Some(plan.clone());
+    Executor::new(
+        &sc.query,
+        sc.workload(),
+        IndexingMode::Scan,
+        sc.engine.clone(),
+    )
+    .run()
+}
+
+fn outcome_label(r: &RunResult) -> String {
+    match r.outcome {
+        RunOutcome::Completed => "ok".into(),
+        RunOutcome::Degraded { first_at, .. } => format!("deg@{:.0}s", first_at.as_secs_f64()),
+        RunOutcome::OutOfMemory { at } => format!("OOM@{:.0}s", at.as_secs_f64()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    let mut violations: Vec<String> = Vec::new();
+    println!(
+        "{:>10} {:>14} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "fault", "shedding", "outcome", "outputs", "shed", "evicted", "faults"
+    );
+    for (fname, plan) in fault_kinds(seed) {
+        for (sname, policy) in shedding_policies(seed) {
+            let r = run_cell(seed, &plan, policy);
+            println!(
+                "{:>10} {:>14} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                fname,
+                sname,
+                outcome_label(&r),
+                r.outputs,
+                r.degradation.shed_jobs,
+                r.degradation.evicted_tuples,
+                r.faults.total()
+            );
+            if matches!(r.outcome, RunOutcome::OutOfMemory { .. }) {
+                violations.push(format!("{fname} x {sname}: died {}", outcome_label(&r)));
+            }
+            if r.outputs == 0 {
+                violations.push(format!("{fname} x {sname}: produced no output"));
+            }
+        }
+    }
+
+    // Determinism spot-checks: the mixed plan (every fault kind at once)
+    // must replay bit-for-bit under each shedding policy.
+    let (_, mixed) = fault_kinds(seed).pop().expect("fault_kinds is non-empty");
+    for (sname, policy) in shedding_policies(seed) {
+        let a = run_cell(seed, &mixed, policy);
+        let b = run_cell(seed, &mixed, policy);
+        if format!("{a:#?}") != format!("{b:#?}") {
+            violations.push(format!("mixed x {sname}: replay diverged"));
+        } else {
+            println!("replay {sname:>14}: identical");
+        }
+    }
+
+    // Clock-skew smoke: a governed run on a 20%-fast clock survives and
+    // replays identically.
+    let skewed = |_: ()| {
+        let mut sc = paper_scenario(Scale::Quick, seed);
+        sc.engine.budget = MemoryBudget::mib(50);
+        sc.engine.degradation = Some(DegradationPolicy {
+            high_water: 0.9,
+            low_water: 0.7,
+            max_backlog: 512,
+            shedding: SheddingPolicy::DropOldest,
+            seed,
+        });
+        sc.engine.faults = Some(mixed.clone());
+        Executor::new(
+            &sc.query,
+            sc.workload(),
+            IndexingMode::Scan,
+            sc.engine.clone(),
+        )
+        .into_pipeline_with_clock(SkewedClock::new(VirtualClock::new(), 1_200_000))
+        .run()
+    };
+    let a = skewed(());
+    let b = skewed(());
+    if format!("{a:#?}") != format!("{b:#?}") {
+        violations.push("skewed clock: replay diverged".into());
+    } else if matches!(a.outcome, RunOutcome::OutOfMemory { .. }) {
+        violations.push(format!("skewed clock: died {}", outcome_label(&a)));
+    } else {
+        println!("replay    skewed-clock: identical ({})", outcome_label(&a));
+    }
+
+    if violations.is_empty() {
+        println!("fault matrix green.");
+    } else {
+        eprintln!("fault matrix violations:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

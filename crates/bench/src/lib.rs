@@ -25,5 +25,7 @@ pub use experiments::{
     fig6_assessment, fig6_hash, fig7_compare, table2_example, Fig7Result, Table2Result,
 };
 pub use parallel::run_all;
-pub use report::{render_ascii_chart, render_series_table, render_summary, write_csv};
+pub use report::{
+    render_ascii_chart, render_series_table, render_summary, write_csv, write_summary_csv,
+};
 pub use training::train_initial;

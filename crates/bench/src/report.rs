@@ -38,29 +38,44 @@ pub fn render_series_table(runs: &[RunResult], points: usize) -> String {
     out
 }
 
-/// Render a per-run summary block: outcome, outputs, peaks, retunes.
+/// Render a per-run summary block: outcome, outputs, peaks, retunes, and
+/// the degradation/fault counters (zeros for undisturbed runs).
 pub fn render_summary(runs: &[RunResult]) -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "{:>18} {:>12} {:>10} {:>12} {:>9} {:>8}",
-        "run", "outputs", "outcome", "peak-mem(B)", "backlog", "retunes"
+        "{:>18} {:>12} {:>12} {:>12} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "run",
+        "outputs",
+        "outcome",
+        "peak-mem(B)",
+        "backlog",
+        "retunes",
+        "shed",
+        "evicted",
+        "faults"
     )
     .unwrap();
     for r in runs {
         let outcome = match r.outcome {
             RunOutcome::Completed => "done".to_string(),
             RunOutcome::OutOfMemory { at } => format!("oom@{:.1}m", at.as_mins_f64()),
+            RunOutcome::Degraded { first_at, .. } => {
+                format!("deg@{:.1}m", first_at.as_mins_f64())
+            }
         };
         writeln!(
             out,
-            "{:>18} {:>12} {:>10} {:>12} {:>9} {:>8}",
+            "{:>18} {:>12} {:>12} {:>12} {:>9} {:>8} {:>8} {:>8} {:>8}",
             r.label,
             r.outputs,
             outcome,
             r.series.peak_memory(),
             r.series.peak_backlog(),
-            r.retunes.len()
+            r.retunes.len(),
+            r.degradation.shed_jobs,
+            r.degradation.evicted_tuples,
+            r.faults.total()
         )
         .unwrap();
     }
@@ -147,6 +162,56 @@ pub fn write_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()> {
     std::fs::write(path, body)
 }
 
+/// Write one summary row per run as CSV, including the degradation and
+/// fault-injection counters — the experiment-facing face of
+/// [`RunOutcome::Degraded`] (empty cells where a counter does not apply).
+pub fn write_summary_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()> {
+    let mut body = String::from(
+        "label,outcome,outputs,peak_mem_bytes,peak_backlog,retunes,\
+         shed_jobs,evicted_tuples,first_degraded_secs,death_secs,\
+         faults_dropped,faults_duplicated,faults_delayed,faults_reordered\n",
+    );
+    for r in runs {
+        let outcome = match r.outcome {
+            RunOutcome::Completed => "completed",
+            RunOutcome::OutOfMemory { .. } => "oom",
+            RunOutcome::Degraded { .. } => "degraded",
+        };
+        let first_degraded = r
+            .degradation
+            .first_at
+            .map(|t| format!("{:.3}", t.as_secs_f64()))
+            .unwrap_or_default();
+        let death = r
+            .death_time()
+            .map(|t| format!("{:.3}", t.as_secs_f64()))
+            .unwrap_or_default();
+        writeln!(
+            body,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.label,
+            outcome,
+            r.outputs,
+            r.series.peak_memory(),
+            r.series.peak_backlog(),
+            r.retunes.len(),
+            r.degradation.shed_jobs,
+            r.degradation.evicted_tuples,
+            first_degraded,
+            death,
+            r.faults.dropped,
+            r.faults.duplicated,
+            r.faults.delayed,
+            r.faults.reordered
+        )
+        .unwrap();
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +239,8 @@ mod tests {
             requests: vec![],
             final_time: VirtualTime::from_secs(end),
             mean_job_latency_ticks: 0.0,
+            degradation: Default::default(),
+            faults: Default::default(),
         }
     }
 
@@ -223,6 +290,39 @@ mod tests {
         let runs = vec![fake_run("x", 1, 2, None)];
         let chart = render_ascii_chart(&runs, 1, 1); // clamped to minimums
         assert!(chart.contains('x'));
+    }
+
+    #[test]
+    fn summary_reports_degraded_runs_and_csv_counters() {
+        let mut degraded = fake_run("amri-gov", 10, 20, None);
+        degraded.outcome = RunOutcome::Degraded {
+            first_at: VirtualTime::from_secs(12),
+            shed_jobs: 7,
+            evicted_tuples: 40,
+        };
+        degraded.degradation.first_at = Some(VirtualTime::from_secs(12));
+        degraded.degradation.shed_jobs = 7;
+        degraded.degradation.evicted_tuples = 40;
+        degraded.faults.dropped = 3;
+        let runs = vec![degraded, fake_run("plain", 10, 20, None)];
+        let s = render_summary(&runs);
+        assert!(s.contains("deg@0.2m"), "{s}");
+        assert!(s.contains("shed"), "{s}");
+
+        let dir = std::env::temp_dir().join("amri_bench_summary_test");
+        let path = dir.join("summary.csv");
+        write_summary_csv(&runs, &path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines[0].starts_with("label,outcome,outputs"));
+        assert!(lines[0].contains("shed_jobs"));
+        assert!(lines[1].contains("degraded"), "{}", lines[1]);
+        assert!(lines[1].contains(",7,40,12.000,"), "{}", lines[1]);
+        assert!(lines[1].ends_with("3,0,0,0"), "{}", lines[1]);
+        assert!(lines[2].contains("completed"), "{}", lines[2]);
+        // A degraded run has no death time.
+        assert_eq!(runs[0].death_time(), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

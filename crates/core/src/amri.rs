@@ -118,6 +118,17 @@ impl AmriState {
         self.store.expire(now, receipt)
     }
 
+    /// Arrival time of the oldest live tuple, if any.
+    pub fn oldest_ts(&self) -> Option<VirtualTime> {
+        self.store.oldest_ts()
+    }
+
+    /// Forcibly evict up to `max` of the oldest live tuples (memory
+    /// pressure); see [`StateStore::evict_oldest`].
+    pub fn evict_oldest(&mut self, max: usize, receipt: &mut CostReceipt) -> usize {
+        self.store.evict_oldest(max, receipt)
+    }
+
     /// Answer a search request into a caller-owned scratch buffer, feeding
     /// the request's pattern to the assessor. The zero-allocation hot path.
     pub fn search_into(

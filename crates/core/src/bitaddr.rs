@@ -201,6 +201,73 @@ impl BitAddressIndex {
         }
     }
 
+    /// Exhaustively check the arena/chain invariants, returning the first
+    /// violation found. Diagnostics only — O(entries), never on the hot
+    /// path; tests call it after every mutation to prove `swap_remove`
+    /// eviction leaves the structure sound:
+    ///
+    /// * every chain is cycle-free and its `next`/`prev` links mirror;
+    /// * each bucket's maintained `len` equals its walked chain length;
+    /// * every node's cached `bucket` matches the chain it is linked into
+    ///   and re-deriving it from the node's JAS under the active config;
+    /// * the chains partition the slab: each node is reachable exactly
+    ///   once (the slab is dense by construction — it's a `Vec`).
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut reached = 0usize;
+        for (&id, bucket) in &self.heads {
+            if bucket.len == 0 {
+                return Err(format!("bucket {id:#x} kept with len 0"));
+            }
+            let mut i = bucket.head;
+            let mut prev = NIL;
+            let mut walked = 0u32;
+            while i != NIL {
+                if walked > bucket.len {
+                    return Err(format!("bucket {id:#x} chain cycles"));
+                }
+                let node = &self.nodes[i as usize];
+                if node.prev != prev {
+                    return Err(format!(
+                        "node {i} prev link {} != walk predecessor {prev}",
+                        node.prev
+                    ));
+                }
+                if node.bucket != id {
+                    return Err(format!(
+                        "node {i} cached bucket {:#x} linked under {id:#x}",
+                        node.bucket
+                    ));
+                }
+                if self.config.bucket_of(&node.jas) != id {
+                    return Err(format!("node {i} bucket stale vs config"));
+                }
+                if seen[i as usize] {
+                    return Err(format!("node {i} reachable from two chains"));
+                }
+                seen[i as usize] = true;
+                reached += 1;
+                walked += 1;
+                prev = i;
+                i = node.next;
+            }
+            if walked != bucket.len {
+                return Err(format!(
+                    "bucket {id:#x} len {} != walked {walked}",
+                    bucket.len
+                ));
+            }
+            if bucket.tail != prev {
+                return Err(format!("bucket {id:#x} tail {} != {prev}", bucket.tail));
+            }
+        }
+        if reached != n {
+            return Err(format!("{} of {n} slab nodes unreachable", n - reached));
+        }
+        Ok(())
+    }
+
     /// Distribution diagnostics over the occupied buckets.
     ///
     /// §III: "The optimal index key map is configured so that no bucket
@@ -736,6 +803,74 @@ mod tests {
                 .collect();
             expected.sort();
             prop_assert_eq!(got, expected);
+        }
+
+        /// Memory-pressure eviction through `StateStore::evict_oldest`
+        /// interleaved with inserts and searches: after every step the
+        /// flat arena stays dense with cycle-free, fully consistent
+        /// chains, and `search_into` agrees with a scan oracle over the
+        /// model's survivor set.
+        #[test]
+        fn eviction_interleavings_keep_the_arena_sound(
+            bits in proptest::collection::vec(0u8..4, 3),
+            ops in proptest::collection::vec(
+                (0u8..8, proptest::collection::vec(0u64..5, 3), 1usize..4),
+                1..80,
+            ),
+            mask in 0u32..8,
+            probe in proptest::collection::vec(0u64..5, 3),
+        ) {
+            use crate::state::StateStore;
+            use amri_stream::{AttrId, StreamId, Tuple, TupleId, VirtualTime, WindowSpec};
+
+            let config = IndexConfig::new(bits).unwrap();
+            let mut store = StateStore::new(
+                StreamId(0),
+                vec![AttrId(0), AttrId(1), AttrId(2)],
+                WindowSpec::secs(1_000_000), // never expires: evictions only
+                BitAddressIndex::new(config),
+            );
+            // Oracle: arrival-ordered (key, jas) survivors.
+            let mut model: Vec<(TupleKey, Vec<u64>)> = Vec::new();
+            let mut r = CostReceipt::new();
+            let mut scratch = SearchScratch::new();
+            let request = req(mask, 3, &probe);
+            let mut ts = 0u64;
+            for (op, attrs, count) in ops {
+                if op < 5 {
+                    // Insert (biased: eviction needs content to chew on).
+                    let t = Tuple::new(
+                        TupleId(ts),
+                        StreamId(0),
+                        VirtualTime::from_secs(ts),
+                        jas(&attrs),
+                    );
+                    ts += 1;
+                    let key = store.insert(t, &mut r);
+                    model.push((key, attrs.clone()));
+                } else if op < 7 {
+                    // Evict the `count` oldest live tuples.
+                    let evicted = store.evict_oldest(count, &mut r);
+                    prop_assert_eq!(evicted, count.min(model.len()));
+                    model.drain(..evicted);
+                } else {
+                    // Search and compare against the oracle scan.
+                    prop_assert!(store.index().search_into(&request, &mut scratch, &mut r));
+                    let mut got = scratch.hits.clone();
+                    got.sort();
+                    let mut expected: Vec<TupleKey> = model
+                        .iter()
+                        .filter(|(_, t)| request.matches(t))
+                        .map(|(k, _)| *k)
+                        .collect();
+                    expected.sort();
+                    prop_assert_eq!(got, expected);
+                }
+                prop_assert_eq!(store.index().entries(), model.len(), "arena density");
+                if let Err(why) = store.index().check_integrity() {
+                    prop_assert!(false, "integrity violated: {}", why);
+                }
+            }
         }
 
         /// Migration preserves the answer set for arbitrary config pairs.

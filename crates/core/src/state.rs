@@ -304,6 +304,35 @@ impl<I: StateIndex> StateStore<I> {
         removed
     }
 
+    /// Arrival time of the oldest live tuple, if any — the eviction-order
+    /// key a memory-pressure governor compares across states.
+    #[inline]
+    pub fn oldest_ts(&self) -> Option<VirtualTime> {
+        self.window.oldest_ts()
+    }
+
+    /// Forcibly remove up to `max` of the **oldest** live tuples — the
+    /// memory-pressure eviction path. Unlike [`expire`](Self::expire) this
+    /// ignores the window: evicted tuples may still be live, trading recall
+    /// for survival. Removal goes through the same index `remove` path as
+    /// expiry (for [`crate::bitaddr::BitAddressIndex`] that is the
+    /// chain-preserving `swap_remove`), so index integrity is identical to
+    /// normal operation. Returns how many tuples were evicted.
+    pub fn evict_oldest(&mut self, max: usize, receipt: &mut CostReceipt) -> usize {
+        let mut evicted = 0;
+        while evicted < max {
+            let Some((_, key)) = self.window.pop_oldest() else {
+                break;
+            };
+            if let Some(stored) = self.arena.remove(key) {
+                receipt.base_ops += 1;
+                self.index.remove(key, &stored.jas_values, receipt);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
     /// Answer a search request into a caller-owned scratch buffer.
     ///
     /// `scratch.hits` is cleared and then filled with the keys of matching
@@ -530,6 +559,36 @@ mod tests {
             AttrVec::from_slice(&[0, 0]).unwrap(),
         );
         assert_eq!(search_vec(&s, &req, &mut CostReceipt::new()).len(), 5);
+    }
+
+    #[test]
+    fn evict_oldest_removes_live_tuples_front_first() {
+        let mut s = store();
+        let mut r = CostReceipt::new();
+        let keys: Vec<TupleKey> = (0..5)
+            .map(|i| s.insert(mk_tuple(i, i, &[i, 0, i]), &mut r))
+            .collect();
+        assert_eq!(s.oldest_ts(), Some(VirtualTime::from_secs(0)));
+        // All five are live under the 10 s window; evict the two oldest.
+        let mut r = CostReceipt::new();
+        assert_eq!(s.evict_oldest(2, &mut r), 2);
+        assert!(r.base_ops >= 2, "eviction charges the removal cost");
+        assert_eq!(s.len(), 3);
+        assert!(s.tuple(keys[0]).is_none());
+        assert!(s.tuple(keys[1]).is_none());
+        assert!(s.tuple(keys[2]).is_some());
+        assert_eq!(s.oldest_ts(), Some(VirtualTime::from_secs(2)));
+        // Searches no longer see the evicted tuples.
+        let req = SearchRequest::new(
+            AccessPattern::empty(2),
+            AttrVec::from_slice(&[0, 0]).unwrap(),
+        );
+        assert_eq!(search_vec(&s, &req, &mut CostReceipt::new()).len(), 3);
+        // Asking for more than remain drains the state and stops cleanly.
+        assert_eq!(s.evict_oldest(100, &mut CostReceipt::new()), 3);
+        assert!(s.is_empty());
+        assert_eq!(s.oldest_ts(), None);
+        assert_eq!(s.evict_oldest(1, &mut CostReceipt::new()), 0);
     }
 
     #[test]

@@ -15,14 +15,15 @@
 //! [`runtime`](crate::runtime) layer's
 //! [`Pipeline`](crate::runtime::Pipeline) on a `VirtualClock`.
 
+use crate::error::EngineError;
 use crate::memory::MemoryBudget;
 use crate::policy::PolicyKind;
 use crate::router::Router;
-use crate::runtime::{EngineSetup, Pipeline, RunParams};
+use crate::runtime::{DegradationPolicy, EngineSetup, FaultPlan, Pipeline, RunParams};
 use crate::stem::{HashTuner, JoinState, Stem};
 use amri_core::assess::AssessorKind;
 use amri_core::{CostParams, IndexConfig, TunerConfig};
-use amri_stream::{AccessPattern, SpjQuery, StreamId, VirtualClock, VirtualDuration};
+use amri_stream::{AccessPattern, Clock, SpjQuery, StreamId, VirtualClock, VirtualDuration};
 
 // Source-compatible re-exports: these types moved into the runtime layer.
 pub use crate::runtime::{RunOutcome, RunResult, StreamWorkload};
@@ -92,6 +93,13 @@ pub struct EngineConfig {
     pub tuner: TunerConfig,
     /// Unit costs.
     pub params: CostParams,
+    /// Overload governor: shed load / evict state instead of dying when
+    /// the budget is breached. `None` keeps the paper's hard-death
+    /// semantics (and the byte-identical legacy execution path).
+    pub degradation: Option<DegradationPolicy>,
+    /// Deterministic fault injection between workload and ingest. `None`
+    /// leaves the arrival stream untouched.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +114,8 @@ impl Default for EngineConfig {
             seed: 0xE0_0D,
             tuner: TunerConfig::default(),
             params: CostParams::default(),
+            degradation: None,
+            faults: None,
         }
     }
 }
@@ -128,10 +138,60 @@ impl<W: StreamWorkload> Executor<W> {
     /// Build an engine run.
     ///
     /// # Panics
-    /// Panics if a state's JAS is wider than [`amri_stream::MAX_ATTRS`] or
-    /// the mode's per-state vectors disagree with the query.
+    /// Panics where [`try_new`](Self::try_new) would error: a state's JAS
+    /// wider than [`amri_stream::MAX_ATTRS`], per-state vectors that
+    /// disagree with the query, or invalid degradation/fault parameters.
     pub fn new(query: &SpjQuery, workload: W, mode: IndexingMode, config: EngineConfig) -> Self {
+        match Self::try_new(query, workload, mode, config) {
+            Ok(exec) => exec,
+            Err(e) => panic!("invalid engine configuration: {e}"),
+        }
+    }
+
+    /// Build an engine run, surfacing configuration problems as
+    /// [`EngineError`] instead of panicking.
+    ///
+    /// # Errors
+    /// * [`EngineError::InvalidMode`] when a mode's per-state vector
+    ///   length disagrees with the query's stream count.
+    /// * [`EngineError::Core`] when an index or tuner configuration is
+    ///   invalid (too many bits, bad parameters).
+    /// * [`EngineError::InvalidDegradationPolicy`] /
+    ///   [`EngineError::InvalidFaultPlan`] from their `validate`.
+    pub fn try_new(
+        query: &SpjQuery,
+        workload: W,
+        mode: IndexingMode,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
         let n = query.n_streams();
+        let check_len = |what: &str, len: usize| {
+            if len != n {
+                Err(EngineError::InvalidMode(format!(
+                    "{what} supplies {len} per-state entries for {n} streams"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match &mode {
+            IndexingMode::Amri {
+                initial: Some(v), ..
+            } => check_len("Amri initial configs", v.len())?,
+            IndexingMode::AdaptiveHash {
+                initial: Some(v), ..
+            } => check_len("AdaptiveHash initial patterns", v.len())?,
+            IndexingMode::StaticBitmap { configs: Some(v) } => {
+                check_len("StaticBitmap configs", v.len())?
+            }
+            _ => {}
+        }
+        if let Some(policy) = &config.degradation {
+            policy.validate()?;
+        }
+        if let Some(plan) = &config.faults {
+            plan.validate()?;
+        }
         let mode_label = mode.label();
         let mut stems = Vec::with_capacity(n);
         for i in 0..n {
@@ -142,9 +202,10 @@ impl<W: StreamWorkload> Executor<W> {
             let payload = query.schemas[i].payload_bytes;
             let state = match &mode {
                 IndexingMode::Amri { assessor, initial } => {
-                    let init = initial.as_ref().map(|v| v[i].clone()).unwrap_or_else(|| {
-                        IndexConfig::even(width, config.tuner.total_bits).expect("≤64 bits")
-                    });
+                    let init = match initial.as_ref() {
+                        Some(v) => v[i].clone(),
+                        None => IndexConfig::even(width, config.tuner.total_bits)?,
+                    };
                     JoinState::amri(
                         sid,
                         jas,
@@ -154,8 +215,7 @@ impl<W: StreamWorkload> Executor<W> {
                         config.tuner,
                         config.params,
                         payload,
-                    )
-                    .expect("valid tuner parameters")
+                    )?
                 }
                 IndexingMode::AdaptiveHash { n_indices, initial } => {
                     let patterns = initial.as_ref().map(|v| v[i].clone()).unwrap_or_else(|| {
@@ -173,9 +233,10 @@ impl<W: StreamWorkload> Executor<W> {
                     JoinState::multi_hash(sid, jas, window, patterns, Some(tuner), payload)
                 }
                 IndexingMode::StaticBitmap { configs } => {
-                    let init = configs.as_ref().map(|v| v[i].clone()).unwrap_or_else(|| {
-                        IndexConfig::even(width, config.tuner.total_bits).expect("≤64 bits")
-                    });
+                    let init = match configs.as_ref() {
+                        Some(v) => v[i].clone(),
+                        None => IndexConfig::even(width, config.tuner.total_bits)?,
+                    };
                     JoinState::static_bitmap(sid, jas, window, init, payload)
                 }
                 IndexingMode::Scan => JoinState::scan(sid, jas, window, payload),
@@ -185,7 +246,7 @@ impl<W: StreamWorkload> Executor<W> {
         let observers = (0..n)
             .map(|i| amri_core::assess::Sria::new(query.jas(StreamId(i as u16)).len()))
             .collect();
-        Executor {
+        Ok(Executor {
             query: query.clone(),
             workload,
             stems,
@@ -193,13 +254,21 @@ impl<W: StreamWorkload> Executor<W> {
             config,
             mode_label,
             observers,
-        }
+        })
     }
 
     /// Decompose this harness into the runtime pipeline it drives, on a
     /// fresh deterministic `VirtualClock`. Useful when the caller wants to
     /// own the step loop or inspect the run context.
     pub fn into_pipeline(self) -> Pipeline<W, VirtualClock> {
+        self.into_pipeline_with_clock(VirtualClock::new())
+    }
+
+    /// Decompose this harness into a pipeline on an explicit clock — e.g.
+    /// [`WallClock`](crate::runtime::WallClock) for real time, or
+    /// [`SkewedClock`](crate::runtime::SkewedClock) to inject clock-skew
+    /// faults on top of either.
+    pub fn into_pipeline_with_clock<C: Clock>(self, clock: C) -> Pipeline<W, C> {
         let run = RunParams {
             duration: self.config.duration,
             sample_interval: self.config.sample_interval,
@@ -207,8 +276,10 @@ impl<W: StreamWorkload> Executor<W> {
             lambda_ramp: self.config.lambda_ramp,
             budget: self.config.budget,
             params: self.config.params,
+            degradation: self.config.degradation,
+            faults: self.config.faults,
         };
-        Pipeline::new(
+        Pipeline::with_clock(
             EngineSetup {
                 query: self.query,
                 workload: self.workload,
@@ -218,6 +289,7 @@ impl<W: StreamWorkload> Executor<W> {
                 mode_label: self.mode_label,
             },
             run,
+            clock,
         )
     }
 
@@ -286,6 +358,8 @@ mod tests {
                 ..TunerConfig::default()
             },
             params: CostParams::default(),
+            degradation: None,
+            faults: None,
         }
     }
 
@@ -495,5 +569,49 @@ mod tests {
             base.outputs
         );
         assert!(filtered.outputs > 0, "but not to zero");
+    }
+
+    #[test]
+    fn try_new_surfaces_configuration_errors() {
+        use crate::{DegradationPolicy, EngineError, FaultPlan};
+        let query = two_way_query();
+        let workload = || PairWorkload {
+            rng: StdRng::seed_from_u64(3),
+            cardinality: 64,
+        };
+        // Per-state vector length disagrees with the query.
+        let err = Executor::try_new(
+            &query,
+            workload(),
+            IndexingMode::StaticBitmap {
+                configs: Some(vec![IndexConfig::even(1, 16).unwrap()]),
+            },
+            small_config(),
+        )
+        .err()
+        .expect("1 config for 2 streams must be rejected");
+        assert!(matches!(err, EngineError::InvalidMode(_)), "{err}");
+        // Out-of-range degradation policy.
+        let mut cfg = small_config();
+        cfg.degradation = Some(DegradationPolicy {
+            high_water: 2.0,
+            ..DegradationPolicy::default()
+        });
+        let err = Executor::try_new(&query, workload(), IndexingMode::Scan, cfg)
+            .err()
+            .expect("high_water 2.0 must be rejected");
+        assert!(matches!(err, EngineError::InvalidDegradationPolicy(_)));
+        // Out-of-range fault plan.
+        let mut cfg = small_config();
+        cfg.faults = Some(FaultPlan {
+            drop_prob: 7.0,
+            ..FaultPlan::default()
+        });
+        let err = Executor::try_new(&query, workload(), IndexingMode::Scan, cfg)
+            .err()
+            .expect("drop_prob 7.0 must be rejected");
+        assert!(matches!(err, EngineError::InvalidFaultPlan(_)));
+        // And a valid config still builds.
+        assert!(Executor::try_new(&query, workload(), IndexingMode::Scan, small_config()).is_ok());
     }
 }

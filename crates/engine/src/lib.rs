@@ -17,14 +17,19 @@
 //! * [`memory`] — the byte budget and the out-of-memory failure mode.
 //! * [`metrics`] — cumulative-throughput time series (the paper's y-axis).
 //! * [`runtime`] — the batch-first runtime layer: the `Operator` graph,
-//!   the `Pipeline` step-loop driver, and the pluggable `Clock` seam
-//!   (deterministic `VirtualClock` simulation vs the `WallClock` stub).
+//!   the `Pipeline` step-loop driver, the pluggable `Clock` seam
+//!   (deterministic `VirtualClock` simulation vs the real-time
+//!   `WallClock`), the overload governor (`DegradationPolicy`) and the
+//!   deterministic fault-injection harness (`FaultPlan`).
+//! * [`error`] — the typed [`EngineError`] layer for fallible
+//!   construction and validation paths.
 //! * [`executor`] — the thin simulation harness on top: flavor
 //!   construction, seeding, and the stable `EngineConfig`/`RunResult` API.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod error;
 pub mod executor;
 pub mod memory;
 pub mod metrics;
@@ -33,13 +38,15 @@ pub mod router;
 pub mod runtime;
 pub mod stem;
 
+pub use error::EngineError;
 pub use executor::{EngineConfig, Executor, IndexingMode, RunOutcome, RunResult, StreamWorkload};
 pub use memory::{MemoryBudget, MemoryReport};
 pub use metrics::{RetuneRecord, Sample, ThroughputSeries};
 pub use policy::{PolicyKind, RouterStats, RoutingPolicy};
 pub use router::Router;
 pub use runtime::{
-    EngineSetup, IngestOperator, Job, Operator, Pipeline, ProbeOperator, RunContext, RunParams,
-    SampleOperator, StepStatus, TuneOperator, WallClock,
+    DegradationPolicy, DegradationReport, DegradationSample, EngineSetup, FaultPlan, FaultReport,
+    IngestOperator, Job, Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams,
+    SampleOperator, SheddingPolicy, SkewedClock, StepStatus, TuneOperator, WallClock,
 };
 pub use stem::{HashTuner, JoinState, Stem};

@@ -45,13 +45,16 @@ pub struct MemoryReport {
     pub states: u64,
     /// Bytes pinned by the routing backlog.
     pub backlog: u64,
+    /// Injected allocation-pressure bytes (zero outside fault runs; see
+    /// [`FaultPlan::pressure`](crate::FaultPlan)).
+    pub phantom: u64,
 }
 
 impl MemoryReport {
     /// Total accounted bytes.
     #[inline]
     pub fn total(&self) -> u64 {
-        self.states + self.backlog
+        self.states + self.backlog + self.phantom
     }
 
     /// True iff this report breaches `budget`.
@@ -78,13 +81,27 @@ mod tests {
         let fine = MemoryReport {
             states: 60,
             backlog: 40,
+            phantom: 0,
         };
         assert_eq!(fine.total(), 100);
         assert!(!fine.over(budget), "exactly at budget is not over");
         let over = MemoryReport {
             states: 60,
             backlog: 41,
+            phantom: 0,
         };
         assert!(over.over(budget));
+    }
+
+    #[test]
+    fn phantom_pressure_counts_toward_the_budget() {
+        let budget = MemoryBudget { bytes: 100 };
+        let squeezed = MemoryReport {
+            states: 60,
+            backlog: 20,
+            phantom: 30,
+        };
+        assert_eq!(squeezed.total(), 110);
+        assert!(squeezed.over(budget), "injected pressure breaches");
     }
 }

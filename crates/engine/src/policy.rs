@@ -142,13 +142,16 @@ impl RoutingPolicy {
                     *unvisited
                         .iter()
                         .min_by(|a, b| {
+                            // NaN-safe: a poisoned fanout estimate falls
+                            // back to the stream-id tiebreak instead of
+                            // panicking mid-run.
                             stats
                                 .fanout(**a)
                                 .partial_cmp(&stats.fanout(**b))
-                                .unwrap()
+                                .unwrap_or(std::cmp::Ordering::Equal)
                                 .then_with(|| a.0.cmp(&b.0))
                         })
-                        .unwrap()
+                        .expect("unvisited is non-empty: asserted above")
                 }
             }
             PolicyKind::Lottery { exploration } => {
@@ -167,7 +170,11 @@ impl RoutingPolicy {
                     }
                     pick -= w;
                 }
-                *unvisited.last().unwrap()
+                // Float round-off can leave `pick` marginally above the
+                // last weight; the last unvisited state absorbs it.
+                *unvisited
+                    .last()
+                    .expect("unvisited is non-empty: asserted above")
             }
         }
     }

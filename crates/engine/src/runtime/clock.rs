@@ -11,13 +11,21 @@ use std::time::Instant;
 
 /// A [`Clock`] anchored to real elapsed time.
 ///
-/// This is the stub that lets the [`Pipeline`](crate::runtime::Pipeline)
-/// run against real hardware: [`advance`](Clock::advance) discards the
-/// modeled charge (the work already took real time), and
-/// [`advance_to`](Clock::advance_to) sleeps until the target instant.
+/// This lets the [`Pipeline`](crate::runtime::Pipeline) run against real
+/// hardware: [`advance`](Clock::advance) discards the modeled charge (the
+/// work already took real time), and [`advance_to`](Clock::advance_to)
+/// sleeps until the target instant.
+///
+/// Readings are monotone: `now` is anchored to a single
+/// [`Instant`] taken at construction, and a high-water mark guards
+/// against the (platform-permitted) case of `Instant::elapsed` ticking
+/// slower than a previously observed reading after a suspend — the clock
+/// never reports a smaller time than it already reported.
 #[derive(Debug)]
 pub struct WallClock {
     start: Instant,
+    /// Largest instant ever reported (monotonicity guard).
+    floor: std::cell::Cell<u64>,
 }
 
 impl WallClock {
@@ -25,6 +33,7 @@ impl WallClock {
     pub fn new() -> Self {
         WallClock {
             start: Instant::now(),
+            floor: std::cell::Cell::new(0),
         }
     }
 }
@@ -38,7 +47,10 @@ impl Default for WallClock {
 impl Clock for WallClock {
     #[inline]
     fn now(&self) -> VirtualTime {
-        VirtualTime(self.start.elapsed().as_micros() as u64)
+        let elapsed = self.start.elapsed().as_micros() as u64;
+        let floor = self.floor.get().max(elapsed);
+        self.floor.set(floor);
+        VirtualTime(floor)
     }
 
     fn advance(&mut self, _d: VirtualDuration) -> VirtualTime {
@@ -76,5 +88,20 @@ mod tests {
         // Past targets return immediately (never move backwards).
         c.advance_to(VirtualTime::ZERO);
         assert!(c.now() >= target);
+    }
+
+    #[test]
+    fn readings_never_decrease() {
+        let c = WallClock::new();
+        let mut prev = c.now();
+        for _ in 0..1_000 {
+            let t = c.now();
+            assert!(t >= prev, "wall clock went backwards: {t} < {prev}");
+            prev = t;
+        }
+        // The guard itself: a floor ahead of elapsed time is held.
+        c.floor.set(u64::MAX - 1);
+        assert_eq!(c.now(), VirtualTime(u64::MAX - 1));
+        assert_eq!(c.now(), VirtualTime(u64::MAX - 1), "floor is sticky");
     }
 }

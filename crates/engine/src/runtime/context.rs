@@ -4,8 +4,10 @@
 use crate::memory::{MemoryBudget, MemoryReport};
 use crate::metrics::{RetuneRecord, ThroughputSeries};
 use crate::router::Router;
+use crate::runtime::degrade::{DegradationPolicy, Governor};
+use crate::runtime::fault::{FaultPlan, FaultState};
 use crate::stem::Stem;
-use amri_core::{layout, CostParams};
+use amri_core::{layout, CostParams, CostReceipt};
 use amri_stream::{
     Clock, JobQueue, PartialTuple, SpjQuery, VirtualClock, VirtualDuration, VirtualTime,
 };
@@ -36,6 +38,17 @@ pub enum RunOutcome {
         /// Death time.
         at: VirtualTime,
     },
+    /// Reached the configured duration, but only by shedding load or
+    /// evicting state under a [`DegradationPolicy`] — the graceful
+    /// alternative to `OutOfMemory`.
+    Degraded {
+        /// First instant any load was shed or state evicted.
+        first_at: VirtualTime,
+        /// Total routing jobs dropped from the backlog.
+        shed_jobs: u64,
+        /// Total live tuples forcibly evicted from states.
+        evicted_tuples: u64,
+    },
 }
 
 /// The scalar knobs the runtime needs for one run — the pipeline-facing
@@ -55,6 +68,10 @@ pub struct RunParams {
     pub budget: MemoryBudget,
     /// Unit costs.
     pub params: CostParams,
+    /// Overload governor; `None` runs the pre-governor hard-death path.
+    pub degradation: Option<DegradationPolicy>,
+    /// Injected faults; `None` leaves the arrival stream untouched.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Everything one run mutates, shared by the pipeline's operators.
@@ -102,6 +119,10 @@ pub struct RunContext<C: Clock = VirtualClock> {
     pub run: RunParams,
     /// Per-state window lengths in seconds (cached for λ_r estimation).
     pub window_secs: Vec<f64>,
+    /// The overload governor, when a [`DegradationPolicy`] is configured.
+    pub governor: Option<Governor>,
+    /// Armed fault plan, when one is configured.
+    pub fault: Option<FaultState>,
 }
 
 impl<C: Clock> RunContext<C> {
@@ -124,6 +145,59 @@ impl<C: Clock> RunContext<C> {
             states,
             backlog: self.backlog.len() as u64
                 * layout::queued_request_bytes(self.query.n_streams(), arity),
+            phantom: self
+                .fault
+                .as_ref()
+                .map_or(0, |f| f.phantom_bytes(self.clock.now())),
         }
+    }
+
+    /// Run the overload governor at grid instant `due` and return the
+    /// post-governance memory report. No-op (a fresh report) when no
+    /// [`DegradationPolicy`] is configured.
+    ///
+    /// Governance order: bound the backlog to its cap, then — if
+    /// utilization exceeds the high-water mark — evict oldest-first
+    /// across states (always from the state holding the globally oldest
+    /// tuple) until utilization falls below the low-water mark or every
+    /// state is drained. Eviction work is charged to the clock like any
+    /// other work.
+    pub(crate) fn govern(&mut self, due: VirtualTime) -> MemoryReport {
+        // `take` ends the governor's borrow of `self` so the loop below
+        // can borrow stems/backlog/clock freely; restored before return.
+        let Some(mut gov) = self.governor.take() else {
+            return self.memory_report();
+        };
+        let now = self.clock.now();
+        gov.bound_backlog(&mut self.backlog, now);
+        let budget = self.run.budget.bytes;
+        let mut report = self.memory_report();
+        if gov.over_high_water(&report, budget) {
+            let target = gov.low_water_bytes(budget);
+            let mut receipt = CostReceipt::new();
+            while report.total() > target {
+                let victim = self
+                    .stems
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.state.oldest_ts().map(|t| (t, i)))
+                    .min();
+                let Some((_, idx)) = victim else {
+                    break; // every state drained; nothing left to shed
+                };
+                let evicted = self.stems[idx]
+                    .state
+                    .evict_oldest(gov.evict_chunk(), &mut receipt);
+                if evicted == 0 {
+                    break;
+                }
+                gov.note_evicted(evicted, now);
+                report = self.memory_report();
+            }
+            self.clock.advance(self.run.params.ticks(&receipt));
+        }
+        gov.sample(due);
+        self.governor = Some(gov);
+        report
     }
 }

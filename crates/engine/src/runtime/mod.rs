@@ -17,6 +17,13 @@
 //! * [`clock`] — [`WallClock`], the real-time counterpart of the
 //!   simulation's `VirtualClock` (both implement
 //!   [`amri_stream::time::Clock`]).
+//! * [`degrade`] — the overload governor: bounded-backlog load shedding
+//!   and oldest-first state eviction behind a [`DegradationPolicy`],
+//!   turning budget breaches into [`RunOutcome::Degraded`] instead of
+//!   death.
+//! * [`fault`] — the deterministic fault-injection harness: a seeded
+//!   [`FaultPlan`] of tuple drop/duplicate/reorder/late faults and
+//!   allocation pressure, plus the [`SkewedClock`] clock-skew wrapper.
 //!
 //! Partial tuples flow between ingest and probe through a
 //! [`amri_stream::JobQueue`] in batch-granular storage; the probe operator
@@ -27,11 +34,17 @@
 
 pub mod clock;
 pub mod context;
+pub mod degrade;
+pub mod fault;
 pub mod operators;
 pub mod pipeline;
 
 pub use clock::WallClock;
 pub use context::{Job, RunContext, RunOutcome, RunParams};
+pub use degrade::{
+    DegradationPolicy, DegradationReport, DegradationSample, Governor, SheddingPolicy,
+};
+pub use fault::{ArrivalFate, FaultPlan, FaultReport, FaultState, PressureWindow, SkewedClock};
 pub use operators::{
     IngestOperator, Operator, ProbeOperator, SampleOperator, StepStatus, StreamWorkload,
     TuneOperator,

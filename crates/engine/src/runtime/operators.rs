@@ -10,6 +10,8 @@
 
 use crate::metrics::RetuneRecord;
 use crate::runtime::context::{Job, RunContext, RunOutcome};
+use crate::runtime::degrade::push_governed;
+use crate::runtime::fault::ArrivalFate;
 use amri_core::assess::Assessor;
 use amri_core::CostReceipt;
 use amri_stream::{
@@ -78,7 +80,14 @@ impl<C: Clock> Operator<C> for SampleOperator {
 
     fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus {
         let due = ctx.series.next_due();
-        let report = ctx.memory_report();
+        // With a governor, shed/evict *before* the budget check — the
+        // breach only kills the run if governance couldn't clear it.
+        // Without one this is exactly the pre-governor report.
+        let report = if ctx.governor.is_some() {
+            ctx.govern(due)
+        } else {
+            ctx.memory_report()
+        };
         ctx.series
             .record_until(due, ctx.outputs, report.total(), ctx.backlog.len() as u64);
         ctx.grid_due = due;
@@ -167,21 +176,40 @@ impl<W: StreamWorkload, C: Clock> Operator<C> for IngestOperator<W> {
                 ctx.next_arrival[s] = ts + gap;
                 let sid = StreamId(s as u16);
                 let attrs = self.workload.attrs_for(sid, ts);
+                // Fault fate is decided *after* the workload generated the
+                // attributes, so the workload's RNG stream is identical
+                // with and without a plan.
+                let copies = match ctx.fault.as_mut().map(|f| f.arrival_fate()) {
+                    None | Some(ArrivalFate::Deliver) => 1,
+                    Some(ArrivalFate::Duplicate) => 2,
+                    Some(ArrivalFate::Drop) => continue,
+                    Some(ArrivalFate::Late) => {
+                        if let Some(f) = ctx.fault.as_mut() {
+                            f.defer(s, ts, attrs);
+                        }
+                        continue;
+                    }
+                };
                 // Local selections (the S of SPJ) filter at ingest.
                 if !ctx.query.passes_selections(sid, attrs.as_slice()) {
                     continue;
                 }
-                let tuple = Tuple::new(TupleId(ctx.tuple_seq), sid, ts, attrs);
-                ctx.tuple_seq += 1;
-                let mut receipt = CostReceipt::new();
-                ctx.stems[s].state.expire(now, &mut receipt);
-                ctx.stems[s].state.insert(tuple, &mut receipt);
-                ctx.clock.advance(ctx.run.params.ticks(&receipt));
-                ctx.backlog.push(Job {
-                    pt: PartialTuple::from_base(&tuple),
-                    origin_ts: ts,
-                    enqueued: now,
-                });
+                for _ in 0..copies {
+                    deliver(ctx, s, ts, attrs, now);
+                }
+            }
+        }
+        // Held-back late arrivals release *after* the step's regular
+        // arrivals, stamped with the release instant — window pushes stay
+        // monotone.
+        for s in 0..n {
+            while let Some(attrs) = ctx.fault.as_mut().and_then(|f| f.release_due(s, now)) {
+                ingested = true;
+                let sid = StreamId(s as u16);
+                if !ctx.query.passes_selections(sid, attrs.as_slice()) {
+                    continue;
+                }
+                deliver(ctx, s, now, attrs, now);
             }
         }
         if ingested {
@@ -190,6 +218,34 @@ impl<W: StreamWorkload, C: Clock> Operator<C> for IngestOperator<W> {
             StepStatus::Idle
         }
     }
+}
+
+/// Store one arriving tuple in its stream's STeM and enqueue its routing
+/// job — the ingest tail shared by regular, duplicated and late-released
+/// arrivals.
+fn deliver<C: Clock>(
+    ctx: &mut RunContext<C>,
+    s: usize,
+    ts: VirtualTime,
+    attrs: AttrVec,
+    now: VirtualTime,
+) {
+    let tuple = Tuple::new(TupleId(ctx.tuple_seq), StreamId(s as u16), ts, attrs);
+    ctx.tuple_seq += 1;
+    let mut receipt = CostReceipt::new();
+    ctx.stems[s].state.expire(now, &mut receipt);
+    ctx.stems[s].state.insert(tuple, &mut receipt);
+    ctx.clock.advance(ctx.run.params.ticks(&receipt));
+    push_governed(
+        &mut ctx.governor,
+        &mut ctx.backlog,
+        Job {
+            pt: PartialTuple::from_base(&tuple),
+            origin_ts: ts,
+            enqueued: now,
+        },
+        now,
+    );
 }
 
 /// Pops one routing job, probes the router-chosen STeM through the
@@ -209,7 +265,20 @@ impl<C: Clock> Operator<C> for ProbeOperator {
     }
 
     fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus {
-        let Some(job) = ctx.backlog.pop() else {
+        // Reorder fault: service the newest job instead of the oldest
+        // with the plan's probability. The coin is only drawn when a job
+        // is actually there to divert.
+        let popped = if ctx.backlog.is_empty() {
+            None
+        } else {
+            let reorder = ctx.fault.as_mut().is_some_and(|f| f.reorder_next());
+            if reorder {
+                ctx.backlog.pop_newest()
+            } else {
+                ctx.backlog.pop()
+            }
+        };
+        let Some(job) = popped else {
             return StepStatus::Idle;
         };
         let n = ctx.query.n_streams();
@@ -226,6 +295,7 @@ impl<C: Clock> Operator<C> for ProbeOperator {
             backlog,
             outputs,
             run,
+            governor,
             ..
         } = ctx;
         let target = router.choose_next(pt.covered);
@@ -258,7 +328,10 @@ impl<C: Clock> Operator<C> for ProbeOperator {
             // Residual (non-equality) predicates.
             let ok = residual.iter().all(|b| {
                 let lhs = t.attrs[graph.jas(target)[b.jas_pos].idx()];
-                let rhs = pt.part(b.src_stream).expect("covered")[b.src_attr.idx()];
+                let rhs = pt
+                    .part(b.src_stream)
+                    .expect("graph only emits residuals whose source stream the partial covers")
+                    [b.src_attr.idx()];
                 b.op.eval(lhs, rhs)
             });
             if !ok {
@@ -269,11 +342,16 @@ impl<C: Clock> Operator<C> for ProbeOperator {
             if extended.is_complete(n) {
                 *outputs += 1;
             } else {
-                backlog.push(Job {
-                    pt: extended,
-                    origin_ts: job.origin_ts,
-                    enqueued: now,
-                });
+                push_governed(
+                    governor,
+                    backlog,
+                    Job {
+                        pt: extended,
+                        origin_ts: job.origin_ts,
+                        enqueued: now,
+                    },
+                    now,
+                );
             }
         }
         stem.matches_returned += matches as u64;

@@ -4,6 +4,8 @@
 use crate::metrics::{RetuneRecord, ThroughputSeries};
 use crate::router::Router;
 use crate::runtime::context::{RunContext, RunOutcome, RunParams};
+use crate::runtime::degrade::{DegradationReport, Governor};
+use crate::runtime::fault::{FaultReport, FaultState};
 use crate::runtime::operators::{
     IngestOperator, Operator, ProbeOperator, SampleOperator, StepStatus, StreamWorkload,
     TuneOperator,
@@ -35,14 +37,21 @@ pub struct RunResult {
     /// Mean virtual time a routing job waited in the backlog before being
     /// processed — the latency face of overload (ticks).
     pub mean_job_latency_ticks: f64,
+    /// What the overload governor did (all zeros/empty without a
+    /// [`DegradationPolicy`](crate::DegradationPolicy)).
+    pub degradation: DegradationReport,
+    /// What the fault plan injected (all zeros without a
+    /// [`FaultPlan`](crate::FaultPlan)).
+    pub faults: FaultReport,
 }
 
 impl RunResult {
-    /// Time the run died, if it did.
+    /// Time the run died, if it did. A [`RunOutcome::Degraded`] run
+    /// survived to its deadline, so it has no death time.
     pub fn death_time(&self) -> Option<VirtualTime> {
         match self.outcome {
             RunOutcome::OutOfMemory { at } => Some(at),
-            RunOutcome::Completed => None,
+            RunOutcome::Completed | RunOutcome::Degraded { .. } => None,
         }
     }
 }
@@ -105,6 +114,8 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             .map(|w| w.length.as_secs_f64())
             .collect();
         let graph = setup.query.join_graph();
+        let governor = run.degradation.map(Governor::new);
+        let fault = run.faults.clone().map(|p| FaultState::new(p, n));
         let ctx = RunContext {
             clock,
             query: setup.query,
@@ -125,6 +136,8 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             grid_due: VirtualTime::ZERO,
             run,
             window_secs,
+            governor,
+            fault,
         };
         Pipeline {
             ctx,
@@ -168,7 +181,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
                     .iter()
                     .min()
                     .copied()
-                    .expect("at least one stream");
+                    .expect("SpjQuery validation guarantees at least one stream");
                 let deadline = self.ctx.deadline;
                 self.ctx.clock.advance_to(next.min(deadline));
                 if self.ctx.clock.now() >= deadline {
@@ -184,6 +197,19 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
     fn into_result(self) -> RunResult {
         let ctx = self.ctx;
         let pattern_stats = ctx.observers.iter().map(|o| o.frequent(0.0)).collect();
+        let degradation = ctx.governor.map(|g| g.report).unwrap_or_default();
+        let faults = ctx.fault.map(|f| f.report).unwrap_or_default();
+        // A run that completed only by shedding/evicting is Degraded.
+        let outcome = match ctx.outcome {
+            RunOutcome::Completed if degradation.degraded() => RunOutcome::Degraded {
+                first_at: degradation
+                    .first_at
+                    .expect("degraded() implies a first event was recorded"),
+                shed_jobs: degradation.shed_jobs,
+                evicted_tuples: degradation.evicted_tuples,
+            },
+            other => other,
+        };
         RunResult {
             label: self.mode_label,
             mean_job_latency_ticks: if ctx.jobs_processed == 0 {
@@ -193,11 +219,13 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             },
             final_time: ctx.clock.now().min(ctx.deadline),
             series: ctx.series,
-            outcome: ctx.outcome,
+            outcome,
             outputs: ctx.outputs,
             retunes: ctx.retunes,
             pattern_stats,
             requests: ctx.stems.iter().map(|s| s.requests_served).collect(),
+            degradation,
+            faults,
         }
     }
 }

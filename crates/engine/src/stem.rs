@@ -162,6 +162,29 @@ impl JoinState {
         }
     }
 
+    /// Arrival time of the oldest live tuple, if any — the key the
+    /// overload governor compares when choosing which state to shed from.
+    pub fn oldest_ts(&self) -> Option<VirtualTime> {
+        match self {
+            JoinState::Amri(s) => s.oldest_ts(),
+            JoinState::MultiHash { store, .. } => store.oldest_ts(),
+            JoinState::StaticBitmap(s) => s.oldest_ts(),
+            JoinState::Scan(s) => s.oldest_ts(),
+        }
+    }
+
+    /// Forcibly evict up to `max` of the oldest live tuples (memory
+    /// pressure); every flavor removes through its normal index-removal
+    /// path, so structural invariants match ordinary expiry.
+    pub fn evict_oldest(&mut self, max: usize, receipt: &mut CostReceipt) -> usize {
+        match self {
+            JoinState::Amri(s) => s.evict_oldest(max, receipt),
+            JoinState::MultiHash { store, .. } => store.evict_oldest(max, receipt),
+            JoinState::StaticBitmap(s) => s.evict_oldest(max, receipt),
+            JoinState::Scan(s) => s.evict_oldest(max, receipt),
+        }
+    }
+
     /// Answer a search request into a caller-owned scratch buffer; every
     /// flavor records the pattern into its tuner's statistics if it has
     /// one. The zero-allocation hot path: the engine reuses one scratch

@@ -49,6 +49,12 @@ impl<T> Batch<T> {
         self.items.push(item);
     }
 
+    /// Remove and return the newest (last-pushed) job, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop()
+    }
+
     /// Jobs in the batch.
     #[inline]
     pub fn len(&self) -> usize {
@@ -252,6 +258,42 @@ impl<T> JobQueue<T> {
         item
     }
 
+    /// Dequeue the **newest** job — the opposite end from [`pop`](Self::pop).
+    ///
+    /// This is the load-shedding primitive for drop-newest policies and the
+    /// reorder fault: the job removed is the one that would otherwise drain
+    /// last. All other jobs keep their exact FIFO order.
+    pub fn pop_newest(&mut self) -> Option<T> {
+        if let Some(item) = self.tail.pop() {
+            self.len -= 1;
+            return Some(item);
+        }
+        if let Some(back) = self.sealed.back_mut() {
+            let item = back.pop();
+            debug_assert!(item.is_some(), "sealed batches are never empty");
+            if item.is_some() {
+                self.len -= 1;
+                if back.is_empty() {
+                    // Drop the emptied batch so `promote` never sees it;
+                    // recycle its buffer like any drained batch.
+                    if let Some(empty) = self.sealed.pop_back() {
+                        let buf = empty.into_items();
+                        if buf.capacity() > 0 {
+                            self.spare.push(buf);
+                        }
+                    }
+                }
+                return item;
+            }
+        }
+        if self.active.is_empty() {
+            return None;
+        }
+        // `active` is reversed (oldest last), so the newest sits at index 0.
+        self.len -= 1;
+        Some(self.active.remove(0))
+    }
+
     /// Dequeue the oldest whole batch (the partially drained head batch
     /// counts: its remaining jobs come out as one batch).
     pub fn pop_batch(&mut self) -> Option<Batch<T>> {
@@ -381,6 +423,53 @@ mod tests {
         assert_eq!(q.pop_batch().unwrap().as_slice(), &[6, 7]);
         assert!(q.pop_batch().is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_newest_takes_the_back_across_every_region() {
+        // Exercise all three storage regions: tail, sealed back, active.
+        let mut q = JobQueue::with_batch_capacity(3);
+        for i in 0..8 {
+            q.push(i); // [0 1 2][3 4 5] tail:[6 7]
+        }
+        assert_eq!(q.pop_newest(), Some(7), "tail first");
+        assert_eq!(q.pop_newest(), Some(6));
+        assert_eq!(q.pop_newest(), Some(5), "then the newest sealed batch");
+        assert_eq!(q.pop(), Some(0), "head order is untouched");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        // Active now holds the promoted [3, 4]; newest is 4.
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop_newest(), Some(4), "active region, newest end");
+        assert_eq!(q.pop_newest(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_newest_matches_vecdeque_back_under_interleaving() {
+        let mut q = JobQueue::with_batch_capacity(4);
+        let mut reference: VecDeque<u64> = VecDeque::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = 0u64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match state >> 62 {
+                0 | 1 => {
+                    q.push(next);
+                    reference.push_back(next);
+                    next += 1;
+                }
+                2 => assert_eq!(q.pop(), reference.pop_front()),
+                _ => assert_eq!(q.pop_newest(), reference.pop_back()),
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        while let Some(want) = reference.pop_front() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop_newest(), None);
     }
 
     #[test]

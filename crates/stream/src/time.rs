@@ -190,8 +190,9 @@ impl fmt::Display for VirtualDuration {
 /// run in two modes: **simulation**, where [`VirtualClock`] advances by
 /// exactly the ticks each cost receipt charges (bit-for-bit reproducible),
 /// and **wall-clock**, where an implementation anchored to real time ignores
-/// modeled charges because real CPUs charge themselves (the engine ships a
-/// `WallClock` stub for that mode).
+/// modeled charges because real CPUs charge themselves (the engine's
+/// `WallClock` implements that mode; its `SkewedClock` wrapper injects
+/// clock-skew faults on top of either).
 pub trait Clock {
     /// Current instant.
     fn now(&self) -> VirtualTime;

@@ -109,6 +109,19 @@ impl<T> WindowBuffer<T> {
         })
     }
 
+    /// Arrival time of the oldest live item, if any.
+    #[inline]
+    pub fn oldest_ts(&self) -> Option<VirtualTime> {
+        self.queue.front().map(|(ts, _)| *ts)
+    }
+
+    /// Remove and return the oldest item regardless of whether its window
+    /// has elapsed — the eviction primitive for memory-pressure shedding.
+    #[inline]
+    pub fn pop_oldest(&mut self) -> Option<(VirtualTime, T)> {
+        self.queue.pop_front()
+    }
+
     /// Count of items that would expire at `now` without removing them.
     pub fn expired_count(&self, now: VirtualTime) -> usize {
         self.queue
@@ -171,6 +184,28 @@ mod tests {
         assert_eq!(b.expire(VirtualTime::from_secs(2)).count(), 0);
         assert_eq!(b.expire(VirtualTime::from_secs(6)).count(), 1);
         assert_eq!(b.expire(VirtualTime::from_secs(6)).count(), 0);
+    }
+
+    #[test]
+    fn pop_oldest_evicts_live_items_in_arrival_order() {
+        let mut b = buf(100);
+        assert_eq!(b.oldest_ts(), None);
+        assert_eq!(b.pop_oldest(), None);
+        for s in 0..3 {
+            b.push(VirtualTime::from_secs(s), s as u32);
+        }
+        assert_eq!(b.oldest_ts(), Some(VirtualTime::from_secs(0)));
+        // All three are live under the 100 s window, yet eviction takes them.
+        assert_eq!(b.pop_oldest(), Some((VirtualTime::from_secs(0), 0)));
+        assert_eq!(b.oldest_ts(), Some(VirtualTime::from_secs(1)));
+        assert_eq!(b.pop_oldest(), Some((VirtualTime::from_secs(1), 1)));
+        assert_eq!(b.len(), 1);
+        // Expiry still works on whatever eviction left behind.
+        let rest: Vec<_> = b
+            .expire(VirtualTime::from_secs(200))
+            .map(|(_, x)| x)
+            .collect();
+        assert_eq!(rest, vec![2]);
     }
 
     #[test]

@@ -129,6 +129,8 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                     c_base: 0.10,
                     probe_aware: true,
                 },
+                degradation: None,
+                faults: None,
             };
             PaperScenario {
                 query,
@@ -167,6 +169,8 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                     c_base: 0.10,
                     probe_aware: true,
                 },
+                degradation: None,
+                faults: None,
             };
             PaperScenario {
                 query,

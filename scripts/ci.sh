@@ -16,4 +16,10 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+# Fault-injection smoke matrix: every fault kind x every shedding policy at
+# quick scale, plus same-seed replay checks. Survives in a few seconds and
+# exits non-zero listing any cell that died or diverged.
+echo "==> fault-injection smoke matrix"
+cargo run --release -q -p amri-bench --bin fault_matrix
+
 echo "CI green."

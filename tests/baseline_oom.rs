@@ -3,7 +3,9 @@
 //! AMRI — same budget, same workload — survives longer (or to the end).
 
 use amri_core::assess::AssessorKind;
-use amri_engine::{Executor, IndexingMode, MemoryBudget, RunOutcome, RunResult};
+use amri_engine::{
+    DegradationPolicy, Executor, IndexingMode, MemoryBudget, RunOutcome, RunResult, SheddingPolicy,
+};
 use amri_hh::CombineStrategy;
 use amri_stream::VirtualTime;
 use amri_synth::scenario::{paper_scenario, Scale};
@@ -74,6 +76,88 @@ fn oom_truncates_the_series_at_death() {
     let last = r.series.samples().last().unwrap();
     assert_eq!(last.t, at, "the series ends at the death sample");
     assert!(last.memory > budget.bytes, "death sample shows the breach");
+}
+
+/// The tentpole's survival criterion: the same tiny budget that kills the
+/// ungoverned hash baseline leaves a `DegradationPolicy`-enabled run alive
+/// to the workload's end, finishing `Degraded` with monotone shed/evict
+/// counters instead of `OutOfMemory`.
+#[test]
+fn degradation_policy_keeps_a_doomed_run_alive() {
+    let budget = MemoryBudget { bytes: 300_000 };
+    let mode = || IndexingMode::AdaptiveHash {
+        n_indices: 7,
+        initial: None,
+    };
+    // Ungoverned: this budget is lethal (same setup as the test above).
+    let doomed = run_with_budget(mode(), budget, 42);
+    let RunOutcome::OutOfMemory { at } = doomed.outcome else {
+        panic!("the ungoverned run must die: {:?}", doomed.outcome);
+    };
+
+    // Governed: same budget, same workload, same mode — but shed and
+    // evict instead of dying.
+    let mut sc = paper_scenario(Scale::Quick, 42);
+    sc.engine.budget = budget;
+    sc.engine.degradation = Some(DegradationPolicy {
+        high_water: 0.9,
+        low_water: 0.7,
+        max_backlog: 512,
+        shedding: SheddingPolicy::DropOldest,
+        seed: 1,
+    });
+    let governed = Executor::new(&sc.query, sc.workload(), mode(), sc.engine.clone()).run();
+
+    let RunOutcome::Degraded {
+        first_at,
+        shed_jobs,
+        evicted_tuples,
+    } = governed.outcome
+    else {
+        panic!(
+            "the governed run must survive degraded, got {:?}",
+            governed.outcome
+        );
+    };
+    assert_eq!(
+        governed.final_time,
+        VirtualTime::ZERO + sc.engine.duration,
+        "survived to the workload's end"
+    );
+    assert!(governed.death_time().is_none());
+    assert!(
+        shed_jobs > 0 || evicted_tuples > 0,
+        "degradation must have done something"
+    );
+    assert!(
+        first_at <= at + sc.engine.sample_interval,
+        "degradation starts no later than the ungoverned death ({first_at} vs {at})"
+    );
+    // The result mirrors the outcome counters.
+    assert_eq!(governed.degradation.shed_jobs, shed_jobs);
+    assert_eq!(governed.degradation.evicted_tuples, evicted_tuples);
+    assert_eq!(governed.degradation.first_at, Some(first_at));
+    // Per-grid samples exist and the cumulative counters are monotone.
+    let samples = &governed.degradation.samples;
+    assert!(!samples.is_empty(), "a governed run records grid samples");
+    assert!(
+        samples.windows(2).all(|w| {
+            w[0].t < w[1].t
+                && w[0].shed_jobs <= w[1].shed_jobs
+                && w[0].evicted_tuples <= w[1].evicted_tuples
+        }),
+        "shed/evict counters must be monotone over the grid"
+    );
+    let last = samples.last().unwrap();
+    assert_eq!(last.shed_jobs, shed_jobs);
+    assert_eq!(last.evicted_tuples, evicted_tuples);
+    // And it kept producing output while degraded.
+    assert!(
+        governed.outputs > doomed.outputs,
+        "surviving degraded must out-produce dying: {} vs {}",
+        governed.outputs,
+        doomed.outputs
+    );
 }
 
 #[test]

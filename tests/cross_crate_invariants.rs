@@ -75,6 +75,8 @@ fn engine_config(lambda: f64, secs: u64, policy: PolicyKind) -> EngineConfig {
             ..TunerConfig::default()
         },
         params: CostParams::default(),
+        degradation: None,
+        faults: None,
     }
 }
 

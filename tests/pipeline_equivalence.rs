@@ -134,6 +134,7 @@ impl<W: StreamWorkload> Reference<W> {
             states,
             backlog: backlog_len as u64
                 * layout::queued_request_bytes(self.query.n_streams(), arity),
+            phantom: 0,
         }
     }
 
@@ -306,6 +307,8 @@ impl<W: StreamWorkload> Reference<W> {
             retunes,
             pattern_stats,
             requests: self.stems.iter().map(|s| s.requests_served).collect(),
+            degradation: Default::default(),
+            faults: Default::default(),
         }
     }
 }

@@ -6,6 +6,7 @@ use amri_core::{
     BitAddressIndex, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex, SearchOutcome,
     SearchScratch, StateIndex, TupleKey,
 };
+use amri_engine::WorkerPool;
 use amri_stream::{AccessPattern, AttrVec, SearchRequest};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -145,6 +146,56 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sharded batch probe through the engine's persistent worker pool at 1,
+/// 2 and 4 threads — the tentpole's scaling claim. The index, shard
+/// count (4) and request batch are identical across thread counts, so
+/// the ids differ only in executor parallelism; `BENCH_parallel.json`
+/// records the medians and derived speedups. These ids are deliberately
+/// *not* in `BENCH_index.json`, so `bench_guard.sh` never gates on them.
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_parallel_10k");
+    g.sample_size(20);
+    let n = 10_000u64;
+    let mut idx = BitAddressIndex::with_shards(IndexConfig::new(vec![8, 8, 8]).unwrap(), 4);
+    let mut r = CostReceipt::new();
+    for i in 0..n {
+        idx.insert(TupleKey(i as u32), &jas(i), &mut r);
+    }
+    // One batch of single-attribute wildcard probes (2^16 candidate
+    // buckets each — the wide, slab-walking shape that parallelizes).
+    let reqs: Vec<SearchRequest> = (0..64u64)
+        .map(|i| {
+            SearchRequest::new(
+                AccessPattern::from_positions(&[0], 3).unwrap(),
+                AttrVec::from_slice(&[i % 64, 0, 0]).unwrap(),
+            )
+        })
+        .collect();
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("wildcard_batch_probe_threads", threads),
+            &threads,
+            |b, &threads| {
+                let pool = WorkerPool::new(std::num::NonZeroUsize::new(threads).unwrap());
+                let mut scratch = SearchScratch::new();
+                b.iter(|| {
+                    let mut receipt = CostReceipt::new();
+                    let mut hits = 0usize;
+                    idx.search_batch_with(
+                        black_box(&reqs),
+                        &mut scratch,
+                        &mut receipt,
+                        &pool,
+                        |_, h| hits += h.len(),
+                    );
+                    black_box(hits)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_migrate(c: &mut Criterion) {
     let mut g = c.benchmark_group("index_migrate_10k");
     g.sample_size(20);
@@ -162,5 +213,11 @@ fn bench_migrate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_insert, bench_search, bench_migrate);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_search,
+    bench_parallel,
+    bench_migrate
+);
 criterion_main!(benches);

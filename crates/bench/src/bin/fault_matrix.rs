@@ -4,8 +4,9 @@
 //! Exits non-zero listing every violated cell, so `scripts/ci.sh` can gate
 //! on it.
 //!
-//! Usage: `fault_matrix [--seed N]`
+//! Usage: `fault_matrix [--seed N] [--threads N]`
 
+use amri_bench::{apply_threads, parse_seed, parse_threads};
 use amri_engine::{
     DegradationPolicy, Executor, FaultPlan, IndexingMode, MemoryBudget, PressureWindow, RunOutcome,
     RunResult, SheddingPolicy, SkewedClock,
@@ -103,11 +104,17 @@ fn shedding_policies(seed: u64) -> Vec<(&'static str, Option<DegradationPolicy>)
     ]
 }
 
-fn run_cell(seed: u64, plan: &FaultPlan, degradation: Option<DegradationPolicy>) -> RunResult {
+fn run_cell(
+    seed: u64,
+    threads: std::num::NonZeroUsize,
+    plan: &FaultPlan,
+    degradation: Option<DegradationPolicy>,
+) -> RunResult {
     let mut sc = paper_scenario(Scale::Quick, seed);
     sc.engine.budget = MemoryBudget::mib(50);
     sc.engine.degradation = degradation;
     sc.engine.faults = Some(plan.clone());
+    apply_threads(&mut sc.engine, threads);
     Executor::new(
         &sc.query,
         sc.workload(),
@@ -127,12 +134,9 @@ fn outcome_label(r: &RunResult) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let seed = parse_seed(&args);
+    let threads = parse_threads(&args);
+    println!("fault matrix (seed {seed}, {threads} thread(s))");
 
     let mut violations: Vec<String> = Vec::new();
     println!(
@@ -141,7 +145,7 @@ fn main() {
     );
     for (fname, plan) in fault_kinds(seed) {
         for (sname, policy) in shedding_policies(seed) {
-            let r = run_cell(seed, &plan, policy);
+            let r = run_cell(seed, threads, &plan, policy);
             println!(
                 "{:>10} {:>14} {:>10} {:>8} {:>8} {:>8} {:>8}",
                 fname,
@@ -165,8 +169,8 @@ fn main() {
     // must replay bit-for-bit under each shedding policy.
     let (_, mixed) = fault_kinds(seed).pop().expect("fault_kinds is non-empty");
     for (sname, policy) in shedding_policies(seed) {
-        let a = run_cell(seed, &mixed, policy);
-        let b = run_cell(seed, &mixed, policy);
+        let a = run_cell(seed, threads, &mixed, policy);
+        let b = run_cell(seed, threads, &mixed, policy);
         if format!("{a:#?}") != format!("{b:#?}") {
             violations.push(format!("mixed x {sname}: replay diverged"));
         } else {
@@ -187,6 +191,7 @@ fn main() {
             seed,
         });
         sc.engine.faults = Some(mixed.clone());
+        apply_threads(&mut sc.engine, threads);
         Executor::new(
             &sc.query,
             sc.workload(),

@@ -2,30 +2,22 @@
 //! cumulative throughput over time for AMRI under SRIA, CSRIA, DIA,
 //! CDIA-random and CDIA-highest.
 //!
-//! Usage: `fig6_assessment [--quick] [--seed N]`
+//! Usage: `fig6_assessment [--quick] [--seed N] [--threads N]`
 
 use amri_bench::{
-    fig6_assessment, render_ascii_chart, render_series_table, render_summary, write_csv,
+    fig6_assessment, parse_scale, parse_seed, parse_threads, render_ascii_chart,
+    render_series_table, render_summary, write_csv,
 };
-use amri_synth::scenario::Scale;
 use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Paper
-    };
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let scale = parse_scale(&args);
+    let seed = parse_seed(&args);
+    let threads = parse_threads(&args);
 
     eprintln!("running Figure 6 assessment lineup ({scale:?}, seed {seed})...");
-    let runs = fig6_assessment(scale, seed);
+    let runs = fig6_assessment(scale, seed, threads);
 
     println!("== Figure 6 — index assessment methods (cumulative throughput) ==");
     println!("{}", render_ascii_chart(&runs, 72, 18));

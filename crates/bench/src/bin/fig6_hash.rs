@@ -3,28 +3,22 @@
 //! conventional index selection). The paper: none survived past ~12.5 min;
 //! all died of memory exhaustion.
 //!
-//! Usage: `fig6_hash [--quick] [--seed N]`
+//! Usage: `fig6_hash [--quick] [--seed N] [--threads N]`
 
-use amri_bench::{fig6_hash, render_ascii_chart, render_series_table, render_summary, write_csv};
-use amri_synth::scenario::Scale;
+use amri_bench::{
+    fig6_hash, parse_scale, parse_seed, parse_threads, render_ascii_chart, render_series_table,
+    render_summary, write_csv,
+};
 use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Paper
-    };
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let scale = parse_scale(&args);
+    let seed = parse_seed(&args);
+    let threads = parse_threads(&args);
 
     eprintln!("running Figure 6 hash-index sweep ({scale:?}, seed {seed})...");
-    let runs = fig6_hash(scale, seed);
+    let runs = fig6_hash(scale, seed, threads);
 
     println!("== Figure 6 — state-of-the-art AMR indexing (1..7 hash indices) ==");
     println!("{}", render_ascii_chart(&runs, 72, 18));

@@ -3,30 +3,22 @@
 //! bitmap index. Paper headlines: +93% over the best hash configuration,
 //! +75% over the non-adapting bitmap (which died at 15.5 min).
 //!
-//! Usage: `fig7_compare [--quick] [--seed N]`
+//! Usage: `fig7_compare [--quick] [--seed N] [--threads N]`
 
 use amri_bench::{
-    fig7_compare, render_ascii_chart, render_series_table, render_summary, write_csv,
+    fig7_compare, parse_scale, parse_seed, parse_threads, render_ascii_chart, render_series_table,
+    render_summary, write_csv,
 };
-use amri_synth::scenario::Scale;
 use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Paper
-    };
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let scale = parse_scale(&args);
+    let seed = parse_seed(&args);
+    let threads = parse_threads(&args);
 
     eprintln!("running Figure 7 comparison ({scale:?}, seed {seed})...");
-    let result = fig7_compare(scale, seed);
+    let result = fig7_compare(scale, seed, threads);
     let runs = vec![
         result.amri.clone(),
         result.best_hash.clone(),

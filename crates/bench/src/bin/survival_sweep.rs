@@ -3,9 +3,10 @@
 //! peak memory/backlog and mean job latency. This is the calibration view
 //! of the §V experiments (the figure binaries print the aligned series).
 //!
-//! Usage: `survival_sweep [--quick] [--seed N]`
+//! Usage: `survival_sweep [--quick] [--seed N] [--threads N]`
 
 use amri_bench::training::train_initial;
+use amri_bench::{apply_threads, parse_scale, parse_seed, parse_threads};
 use amri_core::assess::AssessorKind;
 use amri_engine::{Executor, IndexingMode};
 use amri_hh::CombineStrategy;
@@ -13,25 +14,19 @@ use amri_synth::scenario::{paper_scenario, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Paper
-    };
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let scale = parse_scale(&args);
+    let seed = parse_seed(&args);
+    let threads = parse_threads(&args);
 
-    let sc = paper_scenario(scale, seed);
+    let mut sc = paper_scenario(scale, seed);
+    apply_threads(&mut sc.engine, threads);
     let train = match scale {
         Scale::Paper => 120,
         Scale::Quick => 20,
     };
     let init = train_initial(&sc, train);
     eprintln!("trained configurations: {:?}", init.configs);
+    eprintln!("threads: {threads} (shards: {})", sc.engine.shards);
 
     let mut modes: Vec<(String, IndexingMode)> = vec![(
         "AMRI".into(),

@@ -1,0 +1,82 @@
+//! Tiny shared CLI helpers for the `src/bin` experiment binaries.
+//!
+//! Every binary accepts the same three flags — `--quick`, `--seed N` and
+//! `--threads N` — parsed here so the bins stay thin and agree on
+//! defaults. `--threads 1` (the default) leaves the engine configuration
+//! untouched and therefore reproduces the sequential numbers exactly.
+
+use amri_engine::EngineConfig;
+use amri_synth::scenario::Scale;
+use std::num::NonZeroUsize;
+
+/// `--quick` selects [`Scale::Quick`]; otherwise [`Scale::Paper`].
+pub fn parse_scale(args: &[String]) -> Scale {
+    if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    }
+}
+
+/// `--seed N` (default 42).
+pub fn parse_seed(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64)
+}
+
+/// `--threads N` (default 1): worker threads for sharded index execution.
+pub fn parse_threads(args: &[String]) -> NonZeroUsize {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Point an engine configuration at `threads` workers: parallelism is the
+/// thread count and the arena is split into the next power of two ≥ that
+/// many shards so every worker owns at least one shard. One thread leaves
+/// the configuration at its defaults — the byte-exact sequential path.
+pub fn apply_threads(engine: &mut EngineConfig, threads: NonZeroUsize) {
+    engine.parallelism = threads;
+    engine.shards = threads.get().next_power_of_two();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_with_defaults() {
+        let args = argv(&["bin", "--quick", "--seed", "7", "--threads", "4"]);
+        assert_eq!(parse_scale(&args), Scale::Quick);
+        assert_eq!(parse_seed(&args), 7);
+        assert_eq!(parse_threads(&args).get(), 4);
+        let bare = argv(&["bin"]);
+        assert_eq!(parse_scale(&bare), Scale::Paper);
+        assert_eq!(parse_seed(&bare), 42);
+        assert_eq!(parse_threads(&bare).get(), 1);
+        // Malformed values fall back to the defaults.
+        let bad = argv(&["bin", "--threads", "zero", "--seed"]);
+        assert_eq!(parse_threads(&bad).get(), 1);
+        assert_eq!(parse_seed(&bad), 42);
+    }
+
+    #[test]
+    fn apply_threads_shapes_the_engine_config() {
+        let mut sc = amri_synth::scenario::paper_scenario(Scale::Quick, 1);
+        apply_threads(&mut sc.engine, NonZeroUsize::MIN);
+        assert_eq!(sc.engine.shards, 1, "one thread keeps the defaults");
+        assert_eq!(sc.engine.parallelism.get(), 1);
+        apply_threads(&mut sc.engine, NonZeroUsize::new(3).unwrap());
+        assert_eq!(sc.engine.shards, 4, "shards round up to a power of two");
+        assert_eq!(sc.engine.parallelism.get(), 3);
+    }
+}

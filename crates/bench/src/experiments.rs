@@ -15,6 +15,7 @@ use amri_hh::CombineStrategy;
 use amri_stream::AccessPattern;
 use amri_synth::scenario::{paper_scenario, Scale};
 use amri_synth::PaperScenario;
+use std::num::NonZeroUsize;
 
 /// Virtual seconds of quasi-training per scale (the paper used 15 min; the
 /// quick scale shrinks proportionally).
@@ -25,9 +26,11 @@ fn train_secs(scale: Scale) -> u64 {
     }
 }
 
-/// Build scenario + training for a seed.
-fn prepared(scale: Scale, seed: u64) -> (PaperScenario, TrainedInit) {
-    let scenario = paper_scenario(scale, seed);
+/// Build scenario + training for a seed, pointed at `threads` workers
+/// (one thread — the default everywhere — is the exact sequential path).
+fn prepared(scale: Scale, seed: u64, threads: NonZeroUsize) -> (PaperScenario, TrainedInit) {
+    let mut scenario = paper_scenario(scale, seed);
+    crate::cli::apply_threads(&mut scenario.engine, threads);
     let init = train_initial(&scenario, train_secs(scale));
     (scenario, init)
 }
@@ -52,10 +55,11 @@ fn run_mode(scenario: &PaperScenario, mode: IndexingMode) -> RunResult {
 /// unsaturated operating point all five variants would tie: an engine with
 /// headroom produces exactly the workload's join results regardless of
 /// index quality.)
-pub fn fig6_assessment(scale: Scale, seed: u64) -> Vec<RunResult> {
+pub fn fig6_assessment(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<RunResult> {
     let (scenario, init) = match scale {
         Scale::Paper => {
             let mut sc = paper_scenario(scale, seed);
+            crate::cli::apply_threads(&mut sc.engine, threads);
             sc.schedule = amri_synth::DriftSchedule::rotating(
                 4,
                 amri_stream::VirtualDuration::from_secs(100),
@@ -72,7 +76,7 @@ pub fn fig6_assessment(scale: Scale, seed: u64) -> Vec<RunResult> {
             let init = train_initial(&sc, train_secs(scale));
             (sc, init)
         }
-        Scale::Quick => prepared(scale, seed),
+        Scale::Quick => prepared(scale, seed, threads),
     };
     let jobs: Vec<_> = AssessorKind::figure6_lineup()
         .into_iter()
@@ -96,8 +100,8 @@ pub fn fig6_assessment(scale: Scale, seed: u64) -> Vec<RunResult> {
 /// `EXP-F6-HASH` — Figure 6, state-of-the-art AMR indexing: access modules
 /// with 1..=7 hash indices (CDIA-highest statistics, conventional
 /// selection), trained starting patterns.
-pub fn fig6_hash(scale: Scale, seed: u64) -> Vec<RunResult> {
-    let (scenario, init) = prepared(scale, seed);
+pub fn fig6_hash(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<RunResult> {
+    let (scenario, init) = prepared(scale, seed, threads);
     let jobs: Vec<_> = (1..=7usize)
         .map(|k| {
             let scenario = &scenario;
@@ -143,8 +147,8 @@ impl Fig7Result {
 }
 
 /// `EXP-F7-AMRI-VS-HASH` / `EXP-F7-AMRI-VS-BITMAP` — Figure 7.
-pub fn fig7_compare(scale: Scale, seed: u64) -> Fig7Result {
-    let (scenario, init) = prepared(scale, seed);
+pub fn fig7_compare(scale: Scale, seed: u64, threads: NonZeroUsize) -> Fig7Result {
+    let (scenario, init) = prepared(scale, seed, threads);
     let hash_runs = {
         let jobs: Vec<_> = (1..=7usize)
             .map(|k| {

@@ -12,15 +12,18 @@
 //!   short run, then select initial index configurations / hash patterns.
 //! * [`report`] — figure-shaped text tables and CSV emission.
 //! * [`parallel`] — scoped-thread fan-out over independent runs.
+//! * [`cli`] — the shared `--quick` / `--seed` / `--threads` flag parsing.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
 pub mod training;
 
+pub use cli::{apply_threads, parse_scale, parse_seed, parse_threads};
 pub use experiments::{
     fig6_assessment, fig6_hash, fig7_compare, table2_example, Fig7Result, Table2Result,
 };

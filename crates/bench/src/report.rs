@@ -165,11 +165,15 @@ pub fn write_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()> {
 /// Write one summary row per run as CSV, including the degradation and
 /// fault-injection counters — the experiment-facing face of
 /// [`RunOutcome::Degraded`] (empty cells where a counter does not apply).
-pub fn write_summary_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()> {
+/// `threads` records the worker-thread count the runs executed with, so a
+/// summary produced under `--threads N` is distinguishable from (and
+/// diffable against) the sequential one.
+pub fn write_summary_csv(runs: &[RunResult], path: &Path, threads: usize) -> std::io::Result<()> {
     let mut body = String::from(
         "label,outcome,outputs,peak_mem_bytes,peak_backlog,retunes,\
          shed_jobs,evicted_tuples,first_degraded_secs,death_secs,\
-         faults_dropped,faults_duplicated,faults_delayed,faults_reordered\n",
+         faults_dropped,faults_duplicated,faults_delayed,faults_reordered,\
+         threads\n",
     );
     for r in runs {
         let outcome = match r.outcome {
@@ -188,7 +192,7 @@ pub fn write_summary_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()>
             .unwrap_or_default();
         writeln!(
             body,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.label,
             outcome,
             r.outputs,
@@ -202,7 +206,8 @@ pub fn write_summary_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()>
             r.faults.dropped,
             r.faults.duplicated,
             r.faults.delayed,
-            r.faults.reordered
+            r.faults.reordered,
+            threads
         )
         .unwrap();
     }
@@ -311,14 +316,15 @@ mod tests {
 
         let dir = std::env::temp_dir().join("amri_bench_summary_test");
         let path = dir.join("summary.csv");
-        write_summary_csv(&runs, &path).unwrap();
+        write_summary_csv(&runs, &path, 4).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
         assert!(lines[0].starts_with("label,outcome,outputs"));
         assert!(lines[0].contains("shed_jobs"));
+        assert!(lines[0].ends_with(",threads"), "{}", lines[0]);
         assert!(lines[1].contains("degraded"), "{}", lines[1]);
         assert!(lines[1].contains(",7,40,12.000,"), "{}", lines[1]);
-        assert!(lines[1].ends_with("3,0,0,0"), "{}", lines[1]);
+        assert!(lines[1].ends_with("3,0,0,0,4"), "{}", lines[1]);
         assert!(lines[2].contains("completed"), "{}", lines[2]);
         // A degraded run has no death time.
         assert_eq!(runs[0].death_time(), None);

@@ -141,6 +141,29 @@ impl AmriState {
         self.store.search_into(req, scratch, receipt);
     }
 
+    /// [`search_into`](Self::search_into) with an explicit shard-task
+    /// executor: assessor recording stays sequential, the sharded probe
+    /// fans out through `exec`. Results are identical for any executor.
+    pub fn search_into_with(
+        &mut self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        self.tuner.record(req.pattern);
+        self.store.search_into_with(req, scratch, receipt, exec);
+    }
+
+    /// Re-partition the underlying bit-address arena into `shard_count`
+    /// shards (construction-time plumbing; charges nothing).
+    ///
+    /// # Panics
+    /// Panics unless `shard_count` is a power of two (≥ 1).
+    pub fn set_shards(&mut self, shard_count: usize) {
+        self.store.set_shards(shard_count);
+    }
+
     /// Serve a batch of search requests through one reused scratch buffer,
     /// feeding every request's pattern to the assessor. `on_result` receives
     /// each request's position in the batch and its matches.
@@ -156,6 +179,26 @@ impl AmriState {
             self.store.search_into(req, scratch, receipt);
             on_result(i, &scratch.hits);
         }
+    }
+
+    /// [`search_batch`](Self::search_batch) with an explicit shard-task
+    /// executor: every pattern is recorded sequentially up front, then the
+    /// store serves the whole batch through one executor dispatch (see
+    /// [`StateStore::search_batch_with`]). Hits, hit order, and receipts
+    /// are identical to the sequential batch.
+    pub fn search_batch_with(
+        &mut self,
+        reqs: &[SearchRequest],
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+        on_result: impl FnMut(usize, &[TupleKey]),
+    ) {
+        for req in reqs {
+            self.tuner.record(req.pattern);
+        }
+        self.store
+            .search_batch_with(reqs, scratch, receipt, exec, on_result);
     }
 
     /// Answer a search request, feeding its pattern to the assessor.

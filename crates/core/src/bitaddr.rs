@@ -31,11 +31,27 @@
 //!
 //! Removal keeps the slab dense via `swap_remove` plus a doubly-linked
 //! fixup of the moved node, so the linear-walk invariant never degrades.
+//!
+//! ## Sharding: partitioned arena for multicore execution
+//!
+//! The arena can be split into `S = 2^s` **shards** keyed by the top `s`
+//! bits of the bucket id ([`BitAddressIndex::with_shards`]). Every bucket —
+//! and hence every tuple — lives in exactly one shard, so shards are
+//! independent sub-indexes that can be probed or filled by concurrent
+//! tasks with no synchronization. A probe's candidate-id set splits
+//! cleanly by shard ([`ProbePlan::shard_slice`]): each shard either owns a
+//! disjoint sub-plan or is skipped outright. Results merge in **fixed
+//! shard order**, so a sharded search returns the same hits in the same
+//! order whether its shard tasks ran inline or on a worker pool — the
+//! determinism contract `tests/pipeline_equivalence.rs` pins. With one
+//! shard (the default) every code path below degenerates to the exact
+//! pre-sharding behavior, bit for bit, receipt for receipt.
 
-use crate::config::IndexConfig;
+use crate::config::{IndexConfig, ProbePlan};
 use crate::cost::CostReceipt;
 use crate::layout;
-use crate::state::{SearchScratch, StateIndex, TupleKey};
+use crate::parallel::{SequentialExecutor, ShardExecutor, SlotArena};
+use crate::state::{SearchScratch, ShardSlot, StateIndex, TupleKey};
 use amri_stream::{AttrVec, FxHashMap, SearchRequest};
 
 /// Null link in the intrusive bucket chains.
@@ -83,58 +99,70 @@ pub struct FillStats {
     pub addressable: u64,
 }
 
-/// The bit-address index.
-#[derive(Debug, Clone)]
-pub struct BitAddressIndex {
-    config: IndexConfig,
-    /// The flat entry arena: dense, packed, walk-friendly.
+/// The shard owning `bucket` under a `2^shard_bits`-way split of a
+/// `total_bits`-bit id space: the id's top bits. When the partition is
+/// wider than the id space, only the low `total_bits` partition bits
+/// select; a zero-width space routes everything to shard 0.
+#[inline]
+fn shard_index(bucket: u64, shard_bits: u32, total_bits: u32) -> usize {
+    let effective = shard_bits.min(total_bits);
+    if effective == 0 {
+        0
+    } else {
+        (bucket >> (total_bits - effective)) as usize
+    }
+}
+
+/// Shared fill/chi² computation over a set of maintained bucket lengths
+/// (global stats pass every shard's buckets; per-shard stats pass one
+/// shard's).
+fn fill_from_lens<'a>(
+    entries: usize,
+    occupied: usize,
+    space: f64,
+    lens: impl Iterator<Item = &'a Bucket>,
+) -> FillStats {
+    let n = entries as f64;
+    let expected = n / space;
+    let mut chi2 = 0.0;
+    let mut max = 0usize;
+    for bucket in lens {
+        let len = bucket.len as usize;
+        max = max.max(len);
+        let d = len as f64 - expected;
+        chi2 += d * d / expected.max(1e-12);
+    }
+    // Empty addressable buckets contribute `expected` each.
+    chi2 += (space - occupied as f64).max(0.0) * expected;
+    FillStats {
+        entries,
+        occupied,
+        max_fill: max,
+        mean_fill: n / occupied as f64,
+        chi_squared: chi2,
+        addressable: space as u64,
+    }
+}
+
+/// One shard of the arena: a dense node slab plus its occupied-bucket
+/// chains. Every bucket id maps to exactly one shard, so a shard is a
+/// self-contained sub-index over its slice of the bucket space that
+/// concurrent tasks can fill or probe without synchronization.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// The shard's flat entry arena: dense, packed, walk-friendly.
     nodes: Vec<Node>,
     /// Occupied buckets only: chain head into `nodes` plus entry count.
     heads: FxHashMap<u64, Bucket>,
 }
 
-impl BitAddressIndex {
-    /// New empty index under `config`.
-    pub fn new(config: IndexConfig) -> Self {
-        BitAddressIndex {
-            config,
-            nodes: Vec::new(),
-            heads: FxHashMap::default(),
-        }
-    }
-
-    /// The active configuration.
-    #[inline]
-    pub fn config(&self) -> &IndexConfig {
-        &self.config
-    }
-
-    /// Number of occupied buckets.
-    #[inline]
-    pub fn occupied_buckets(&self) -> usize {
-        self.heads.len()
-    }
-
-    /// Size of the largest bucket.
-    ///
-    /// Diagnostics only (tests, operator reports) — never called on the
-    /// search/insert hot path. Reads the incrementally maintained
-    /// per-bucket lengths, so it is O(occupied buckets) with no chain
-    /// walks.
-    pub fn max_bucket(&self) -> usize {
-        self.heads
-            .values()
-            .map(|b| b.len as usize)
-            .max()
-            .unwrap_or(0)
-    }
-
+impl Shard {
     /// Link the node at slab position `idx` at the tail of its bucket's
     /// chain (insertion order). The node's `bucket` field must already be
     /// set.
-    fn link_at_tail(nodes: &mut [Node], heads: &mut FxHashMap<u64, Bucket>, idx: u32) {
-        let bucket = nodes[idx as usize].bucket;
-        let slot = heads.entry(bucket).or_insert(Bucket {
+    fn link_at_tail(&mut self, idx: u32) {
+        let bucket = self.nodes[idx as usize].bucket;
+        let slot = self.heads.entry(bucket).or_insert(Bucket {
             head: NIL,
             tail: NIL,
             len: 0,
@@ -145,10 +173,17 @@ impl BitAddressIndex {
         if prev == NIL {
             slot.head = idx;
         } else {
-            nodes[prev as usize].next = idx;
+            self.nodes[prev as usize].next = idx;
         }
-        nodes[idx as usize].next = NIL;
-        nodes[idx as usize].prev = prev;
+        self.nodes[idx as usize].next = NIL;
+        self.nodes[idx as usize].prev = prev;
+    }
+
+    /// Push a node onto the slab and link it into its bucket's chain.
+    fn push_and_link(&mut self, node: Node) {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.link_at_tail(idx);
     }
 
     /// Unlink the node at slab position `idx` from its chain, then keep
@@ -201,6 +236,158 @@ impl BitAddressIndex {
         }
     }
 
+    /// Probe this shard under `plan`, appending matches to `hits` in
+    /// chain order and charging `receipt`. The narrow (enumerate candidate
+    /// ids) vs wide (linear slab walk) decision is made per shard against
+    /// this shard's occupied-bucket count — with one shard that is exactly
+    /// the pre-sharding decision, charge for charge.
+    fn probe(
+        &self,
+        plan: &ProbePlan,
+        req: &SearchRequest,
+        hits: &mut Vec<TupleKey>,
+        receipt: &mut CostReceipt,
+    ) {
+        let candidates = plan.candidate_buckets();
+        if candidates <= self.heads.len() as u64 {
+            // Narrow search: enumerate the 2^w candidate ids lazily (the
+            // carry-propagate submask walk) and follow each occupied
+            // bucket's chain through the slab.
+            for id in plan.enumerate() {
+                receipt.bucket_probes += 1;
+                if let Some(slot) = self.heads.get(&id) {
+                    let mut i = slot.head;
+                    while i != NIL {
+                        let node = &self.nodes[i as usize];
+                        receipt.comparisons += 1;
+                        if req.matches(node.jas.as_slice()) {
+                            hits.push(node.key);
+                        }
+                        i = node.next;
+                    }
+                }
+            }
+        } else {
+            // Wide search: one linear pass over the contiguous slab,
+            // filtering on each node's cached bucket id. Charges exactly
+            // what the per-bucket formulation did: one probe per occupied
+            // bucket plus one comparison per entry in a matching bucket.
+            receipt.bucket_probes += self.heads.len() as u64;
+            for node in &self.nodes {
+                if plan.matches(node.bucket) {
+                    receipt.comparisons += 1;
+                    if req.matches(node.jas.as_slice()) {
+                        hits.push(node.key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The bit-address index.
+#[derive(Debug, Clone)]
+pub struct BitAddressIndex {
+    config: IndexConfig,
+    /// log2 of the shard count.
+    shard_bits: u32,
+    /// The `2^shard_bits` arena shards, keyed by the top bucket-id bits.
+    shards: Vec<Shard>,
+}
+
+impl BitAddressIndex {
+    /// New empty index under `config` (single shard — the exact
+    /// pre-sharding behavior).
+    pub fn new(config: IndexConfig) -> Self {
+        Self::with_shards(config, 1)
+    }
+
+    /// New empty index partitioned into `shard_count` arena shards keyed
+    /// by the top bucket-id bits (see the module docs).
+    ///
+    /// # Panics
+    /// Panics unless `shard_count` is a power of two (≥ 1).
+    pub fn with_shards(config: IndexConfig, shard_count: usize) -> Self {
+        assert!(
+            shard_count.is_power_of_two(),
+            "shard count must be a power of two, got {shard_count}"
+        );
+        BitAddressIndex {
+            config,
+            shard_bits: shard_count.trailing_zeros(),
+            shards: (0..shard_count).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Number of arena shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Re-partition the arena into `shard_count` shards, redistributing
+    /// any existing entries deterministically (gathered shard-major in
+    /// slab order). This is structural reconfiguration, not a modeled
+    /// index operation, so no costs are charged — the engine applies it at
+    /// construction time, before tuples arrive.
+    ///
+    /// # Panics
+    /// Panics unless `shard_count` is a power of two (≥ 1).
+    pub fn set_shard_count(&mut self, shard_count: usize) {
+        assert!(
+            shard_count.is_power_of_two(),
+            "shard count must be a power of two, got {shard_count}"
+        );
+        if shard_count == self.shards.len() {
+            return;
+        }
+        let mut all: Vec<Node> = Vec::with_capacity(self.entries());
+        for shard in &mut self.shards {
+            all.append(&mut shard.nodes);
+            shard.heads.clear();
+        }
+        self.shard_bits = shard_count.trailing_zeros();
+        self.shards.resize_with(shard_count, Shard::default);
+        let (bits, total) = (self.shard_bits, self.config.total_bits());
+        for node in all {
+            self.shards[shard_index(node.bucket, bits, total)].push_and_link(node);
+        }
+    }
+
+    /// The shard a bucket id routes to.
+    #[inline]
+    fn shard_of(&self, bucket: u64) -> usize {
+        shard_index(bucket, self.shard_bits, self.config.total_bits())
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Number of occupied buckets (summed over shards; every bucket lives
+    /// in exactly one shard).
+    #[inline]
+    pub fn occupied_buckets(&self) -> usize {
+        self.shards.iter().map(|s| s.heads.len()).sum()
+    }
+
+    /// Size of the largest bucket.
+    ///
+    /// Diagnostics only (tests, operator reports) — never called on the
+    /// search/insert hot path. Reads the incrementally maintained
+    /// per-bucket lengths, so it is O(occupied buckets) with no chain
+    /// walks.
+    pub fn max_bucket(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.heads.values())
+            .map(|b| b.len as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Exhaustively check the arena/chain invariants, returning the first
     /// violation found. Diagnostics only — O(entries), never on the hot
     /// path; tests call it after every mutation to prove `swap_remove`
@@ -211,59 +398,68 @@ impl BitAddressIndex {
     /// * every node's cached `bucket` matches the chain it is linked into
     ///   and re-deriving it from the node's JAS under the active config;
     /// * the chains partition the slab: each node is reachable exactly
-    ///   once (the slab is dense by construction — it's a `Vec`).
+    ///   once (the slab is dense by construction — it's a `Vec`);
+    /// * every node lives in the shard its bucket id routes to.
     pub fn check_integrity(&self) -> Result<(), String> {
-        let n = self.nodes.len();
-        let mut seen = vec![false; n];
-        let mut reached = 0usize;
-        for (&id, bucket) in &self.heads {
-            if bucket.len == 0 {
-                return Err(format!("bucket {id:#x} kept with len 0"));
-            }
-            let mut i = bucket.head;
-            let mut prev = NIL;
-            let mut walked = 0u32;
-            while i != NIL {
-                if walked > bucket.len {
-                    return Err(format!("bucket {id:#x} chain cycles"));
+        for (s, shard) in self.shards.iter().enumerate() {
+            let n = shard.nodes.len();
+            let mut seen = vec![false; n];
+            let mut reached = 0usize;
+            for (&id, bucket) in &shard.heads {
+                if self.shard_of(id) != s {
+                    return Err(format!("bucket {id:#x} linked in foreign shard {s}"));
                 }
-                let node = &self.nodes[i as usize];
-                if node.prev != prev {
+                if bucket.len == 0 {
+                    return Err(format!("bucket {id:#x} kept with len 0"));
+                }
+                let mut i = bucket.head;
+                let mut prev = NIL;
+                let mut walked = 0u32;
+                while i != NIL {
+                    if walked > bucket.len {
+                        return Err(format!("bucket {id:#x} chain cycles"));
+                    }
+                    let node = &shard.nodes[i as usize];
+                    if node.prev != prev {
+                        return Err(format!(
+                            "node {s}/{i} prev link {} != walk predecessor {prev}",
+                            node.prev
+                        ));
+                    }
+                    if node.bucket != id {
+                        return Err(format!(
+                            "node {s}/{i} cached bucket {:#x} linked under {id:#x}",
+                            node.bucket
+                        ));
+                    }
+                    if self.config.bucket_of(&node.jas) != id {
+                        return Err(format!("node {s}/{i} bucket stale vs config"));
+                    }
+                    if seen[i as usize] {
+                        return Err(format!("node {s}/{i} reachable from two chains"));
+                    }
+                    seen[i as usize] = true;
+                    reached += 1;
+                    walked += 1;
+                    prev = i;
+                    i = node.next;
+                }
+                if walked != bucket.len {
                     return Err(format!(
-                        "node {i} prev link {} != walk predecessor {prev}",
-                        node.prev
+                        "bucket {id:#x} len {} != walked {walked}",
+                        bucket.len
                     ));
                 }
-                if node.bucket != id {
-                    return Err(format!(
-                        "node {i} cached bucket {:#x} linked under {id:#x}",
-                        node.bucket
-                    ));
+                if bucket.tail != prev {
+                    return Err(format!("bucket {id:#x} tail {} != {prev}", bucket.tail));
                 }
-                if self.config.bucket_of(&node.jas) != id {
-                    return Err(format!("node {i} bucket stale vs config"));
-                }
-                if seen[i as usize] {
-                    return Err(format!("node {i} reachable from two chains"));
-                }
-                seen[i as usize] = true;
-                reached += 1;
-                walked += 1;
-                prev = i;
-                i = node.next;
             }
-            if walked != bucket.len {
+            if reached != n {
                 return Err(format!(
-                    "bucket {id:#x} len {} != walked {walked}",
-                    bucket.len
+                    "shard {s}: {} of {n} slab nodes unreachable",
+                    n - reached
                 ));
             }
-            if bucket.tail != prev {
-                return Err(format!("bucket {id:#x} tail {} != {prev}", bucket.tail));
-            }
-        }
-        if reached != n {
-            return Err(format!("{} of {n} slab nodes unreachable", n - reached));
         }
         Ok(())
     }
@@ -280,8 +476,8 @@ impl BitAddressIndex {
     /// reads the incrementally maintained per-bucket lengths, so the cost
     /// is O(occupied buckets) regardless of entry count.
     pub fn fill_stats(&self) -> FillStats {
-        let n = self.nodes.len() as f64;
-        let occupied = self.heads.len();
+        let entries = self.entries();
+        let occupied = self.occupied_buckets();
         if occupied == 0 {
             return FillStats::default();
         }
@@ -293,25 +489,42 @@ impl BitAddressIndex {
         } else {
             (1u64 << self.config.total_bits()) as f64
         };
-        let expected = n / space;
-        let mut chi2 = 0.0;
-        let mut max = 0usize;
-        for bucket in self.heads.values() {
-            let len = bucket.len as usize;
-            max = max.max(len);
-            let d = len as f64 - expected;
-            chi2 += d * d / expected.max(1e-12);
-        }
-        // Empty addressable buckets contribute `expected` each.
-        chi2 += (space - occupied as f64).max(0.0) * expected;
-        FillStats {
-            entries: self.nodes.len(),
+        fill_from_lens(
+            entries,
             occupied,
-            max_fill: max,
-            mean_fill: n / occupied as f64,
-            chi_squared: chi2,
-            addressable: space as u64,
-        }
+            space,
+            self.shards.iter().flat_map(|s| s.heads.values()),
+        )
+    }
+
+    /// Per-shard fill diagnostics: one [`FillStats`] per arena shard, each
+    /// judged over that shard's slice of the addressable bucket space.
+    /// This is what degradation/eviction tooling reads to spot a single
+    /// overloaded shard that the global [`fill_stats`](Self::fill_stats)
+    /// would average away.
+    pub fn shard_fill_stats(&self) -> Vec<FillStats> {
+        let total_bits = self.config.total_bits();
+        let effective = self.shard_bits.min(total_bits);
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let entries = shard.nodes.len();
+                let occupied = shard.heads.len();
+                if occupied == 0 {
+                    return FillStats::default();
+                }
+                // A shard owns an equal slice of the addressable space iff
+                // its id is reachable under the effective partition bits.
+                let owns_slice = total_bits < 32 && (s as u64) < (1u64 << effective);
+                let space = if owns_slice {
+                    (1u64 << (total_bits - effective)) as f64
+                } else {
+                    occupied as f64
+                };
+                fill_from_lens(entries, occupied, space, shard.heads.values())
+            })
+            .collect()
     }
 
     /// Adapt the index to `new_config`: relocate every entry to the buckets
@@ -319,23 +532,222 @@ impl BitAddressIndex {
     /// relocation of each tuple"). Charges one hash per indexed attribute
     /// per entry plus one move per entry.
     ///
-    /// The rebuild is in place: a contiguous pass over the slab re-derives
-    /// every node's bucket id, then the chains are relinked through the
-    /// existing nodes. No per-entry allocation occurs; the only growth is
-    /// the bucket-head map when the new configuration occupies more
-    /// buckets than the map's current capacity.
+    /// The rebuild is in place when no entry changes shard (always true
+    /// for a single shard, and whenever the partitioning bits are stable
+    /// across the two configurations): a contiguous pass over each slab
+    /// re-derives every node's bucket id, then the chains are relinked
+    /// through the existing nodes with no per-entry allocation. Only when
+    /// an entry's top bucket bits change does the migrate fall back to
+    /// gathering the slabs (shard-major, slab order) and redistributing —
+    /// deterministic either way, and charged identically.
     pub fn migrate(&mut self, new_config: IndexConfig, receipt: &mut CostReceipt) {
         self.config = new_config;
+        let entries = self.entries() as u64;
         let hashes_per_entry = self.config.indexed_attrs() as u64;
-        receipt.hash_ops += hashes_per_entry * self.nodes.len() as u64;
-        receipt.moved += self.nodes.len() as u64;
-        for node in &mut self.nodes {
-            node.bucket = self.config.bucket_of(&node.jas);
+        receipt.hash_ops += hashes_per_entry * entries;
+        receipt.moved += entries;
+        let (shard_bits, total_bits) = (self.shard_bits, self.config.total_bits());
+        let config = &self.config;
+        let mut crossed = false;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            for node in &mut shard.nodes {
+                node.bucket = config.bucket_of(&node.jas);
+                crossed |= shard_index(node.bucket, shard_bits, total_bits) != s;
+            }
         }
-        self.heads.clear();
-        for idx in 0..self.nodes.len() as u32 {
-            Self::link_at_tail(&mut self.nodes, &mut self.heads, idx);
+        if !crossed {
+            // In-place relink, shard by shard. With one shard this is
+            // exactly the pre-sharding migrate path.
+            for shard in &mut self.shards {
+                shard.heads.clear();
+                for idx in 0..shard.nodes.len() as u32 {
+                    shard.link_at_tail(idx);
+                }
+            }
+        } else {
+            // Cross-shard relocation: gather deterministically and
+            // redistribute into the owning shards.
+            let mut all: Vec<Node> = Vec::with_capacity(entries as usize);
+            for shard in &mut self.shards {
+                all.append(&mut shard.nodes);
+                shard.heads.clear();
+            }
+            for node in all {
+                self.shards[shard_index(node.bucket, shard_bits, total_bits)].push_and_link(node);
+            }
         }
+    }
+
+    /// The sharded search core: plan once, probe every compatible shard,
+    /// merge hits and costs in fixed shard order.
+    ///
+    /// With one shard this is byte-for-byte the pre-sharding search (plan,
+    /// then probe the whole arena into `scratch.hits`). With `S` shards the
+    /// plan is sliced per shard ([`ProbePlan::shard_slice`] partitions the
+    /// candidate-id set), each compatible shard's probe writes into its own
+    /// pre-claimed slot, and the slots are drained `0..S` — so the hit
+    /// order and the merged receipt are independent of which threads ran
+    /// the probes and in what order they finished.
+    fn search_sharded(
+        &self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) {
+        scratch.hits.clear();
+        // Hash the specified-and-indexed attributes once (C_hash,Sr) —
+        // planning happens once, not per shard.
+        let hashed = req
+            .pattern
+            .positions()
+            .filter(|&i| self.config.bits_of(i) > 0)
+            .count() as u64;
+        receipt.hash_ops += hashed;
+
+        let plan = self.config.probe_plan(req.pattern, req.values.as_slice());
+        if self.shards.len() == 1 {
+            self.shards[0].probe(&plan, req, &mut scratch.hits, receipt);
+            return;
+        }
+        let (shard_bits, total_bits) = (self.shard_bits, self.config.total_bits());
+        let n = self.shards.len();
+        let mut slots = scratch.take_shard_slots();
+        slots.resize_with(n, ShardSlot::default);
+        {
+            let arena = SlotArena::new(&mut slots[..n]);
+            exec.run_tasks(n, &|s| {
+                // SAFETY: task `s` claims only slot `s`, exactly once.
+                let slot = unsafe { arena.claim(s) };
+                slot.hits.clear();
+                slot.receipt = CostReceipt::new();
+                if let Some(slice) = plan.shard_slice(s as u64, shard_bits, total_bits) {
+                    self.shards[s].probe(&slice, req, &mut slot.hits, &mut slot.receipt);
+                }
+            });
+        }
+        for slot in &slots[..n] {
+            scratch.hits.extend_from_slice(&slot.hits);
+            receipt.merge(&slot.receipt);
+        }
+        scratch.put_shard_slots(slots);
+    }
+
+    /// Batch-amortized sharded search: one executor dispatch covers the
+    /// whole request batch (task `s` probes *every* request against shard
+    /// `s`), then results are merged per request in shard order and handed
+    /// to `on_result` in request order.
+    ///
+    /// Semantically identical — hits, order, and receipt totals — to
+    /// calling [`StateIndex::search_into`] per request, but the per-batch
+    /// (rather than per-request) fan-out is what makes small probes worth
+    /// parallelizing at all.
+    pub fn search_batch_with(
+        &self,
+        reqs: &[SearchRequest],
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+        mut on_result: impl FnMut(usize, &[TupleKey]),
+    ) {
+        let s_count = self.shards.len();
+        if s_count == 1 {
+            for (r, req) in reqs.iter().enumerate() {
+                self.search_sharded(req, scratch, receipt, exec);
+                on_result(r, &scratch.hits);
+            }
+            return;
+        }
+        let (shard_bits, total_bits) = (self.shard_bits, self.config.total_bits());
+        // Plan (and charge hashes for) every request up front, sequentially
+        // — identical charges to the per-request path.
+        let mut plans = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let hashed = req
+                .pattern
+                .positions()
+                .filter(|&i| self.config.bits_of(i) > 0)
+                .count() as u64;
+            receipt.hash_ops += hashed;
+            plans.push(self.config.probe_plan(req.pattern, req.values.as_slice()));
+        }
+        let mut slots = scratch.take_shard_slots();
+        let want = reqs.len() * s_count;
+        slots.resize_with(want.max(slots.len()), ShardSlot::default);
+        {
+            let arena = SlotArena::new(&mut slots[..want]);
+            let plans = &plans;
+            exec.run_tasks(s_count, &|s| {
+                for (r, req) in reqs.iter().enumerate() {
+                    // SAFETY: slot `r * s_count + s` belongs to task `s`
+                    // alone; the stride keeps tasks disjoint.
+                    let slot = unsafe { arena.claim(r * s_count + s) };
+                    slot.hits.clear();
+                    slot.receipt = CostReceipt::new();
+                    if let Some(slice) = plans[r].shard_slice(s as u64, shard_bits, total_bits) {
+                        self.shards[s].probe(&slice, req, &mut slot.hits, &mut slot.receipt);
+                    }
+                }
+            });
+        }
+        for r in 0..reqs.len() {
+            scratch.hits.clear();
+            for slot in &slots[r * s_count..(r + 1) * s_count] {
+                scratch.hits.extend_from_slice(&slot.hits);
+                receipt.merge(&slot.receipt);
+            }
+            on_result(r, &scratch.hits);
+        }
+        scratch.put_shard_slots(slots);
+    }
+
+    /// Parallel batch insert: receipts and bucket ids are computed (and
+    /// arrival order fixed) sequentially, then each shard's staged run of
+    /// nodes is appended and linked by an independent task. Per-shard slab
+    /// and chain order equal the sequential outcome by construction —
+    /// arrival order is decided before any task runs.
+    pub fn insert_batch_with(
+        &mut self,
+        entries: &[(TupleKey, AttrVec)],
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) {
+        receipt.hash_ops += self.config.indexed_attrs() as u64 * entries.len() as u64;
+        receipt.bucket_probes += entries.len() as u64;
+        if self.shards.len() == 1 {
+            for &(key, jas) in entries {
+                let bucket = self.config.bucket_of(&jas);
+                self.shards[0].push_and_link(Node {
+                    key,
+                    jas,
+                    bucket,
+                    next: NIL,
+                    prev: NIL,
+                });
+            }
+            return;
+        }
+        let s_count = self.shards.len();
+        let mut staged: Vec<Vec<Node>> = (0..s_count).map(|_| Vec::new()).collect();
+        for &(key, jas) in entries {
+            let bucket = self.config.bucket_of(&jas);
+            staged[self.shard_of(bucket)].push(Node {
+                key,
+                jas,
+                bucket,
+                next: NIL,
+                prev: NIL,
+            });
+        }
+        let staged = &staged;
+        let arena = SlotArena::new(&mut self.shards[..s_count]);
+        exec.run_tasks(s_count, &|s| {
+            // SAFETY: task `s` claims only shard `s`, exactly once.
+            let shard = unsafe { arena.claim(s) };
+            for node in &staged[s] {
+                shard.push_and_link(*node);
+            }
+        });
     }
 }
 
@@ -344,29 +756,30 @@ impl StateIndex for BitAddressIndex {
         receipt.hash_ops += self.config.indexed_attrs() as u64;
         receipt.bucket_probes += 1;
         let bucket = self.config.bucket_of(jas);
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(Node {
+        let s = self.shard_of(bucket);
+        self.shards[s].push_and_link(Node {
             key,
             jas: *jas,
             bucket,
             next: NIL,
             prev: NIL,
         });
-        Self::link_at_tail(&mut self.nodes, &mut self.heads, idx);
     }
 
     fn remove(&mut self, key: TupleKey, jas: &AttrVec, receipt: &mut CostReceipt) {
         receipt.hash_ops += self.config.indexed_attrs() as u64;
         receipt.bucket_probes += 1;
         let bucket = self.config.bucket_of(jas);
-        let Some(slot) = self.heads.get(&bucket) else {
+        let s = self.shard_of(bucket);
+        let shard = &mut self.shards[s];
+        let Some(slot) = shard.heads.get(&bucket) else {
             return;
         };
         let mut i = slot.head;
         while i != NIL {
-            let node = &self.nodes[i as usize];
+            let node = &shard.nodes[i as usize];
             if node.key == key {
-                self.unlink_and_remove(i);
+                shard.unlink_and_remove(i);
                 return;
             }
             i = node.next;
@@ -379,64 +792,72 @@ impl StateIndex for BitAddressIndex {
         scratch: &mut SearchScratch,
         receipt: &mut CostReceipt,
     ) -> bool {
-        scratch.hits.clear();
-        // Hash the specified-and-indexed attributes once (C_hash,Sr).
-        let hashed = req
-            .pattern
-            .positions()
-            .filter(|&i| self.config.bits_of(i) > 0)
-            .count() as u64;
-        receipt.hash_ops += hashed;
+        self.search_sharded(req, scratch, receipt, &SequentialExecutor);
+        true
+    }
 
-        let plan = self.config.probe_plan(req.pattern, req.values.as_slice());
-        let candidates = plan.candidate_buckets();
-        if candidates <= self.heads.len() as u64 {
-            // Narrow search: enumerate the 2^w candidate ids lazily (the
-            // carry-propagate submask walk) and follow each occupied
-            // bucket's chain through the slab.
-            for id in plan.enumerate() {
-                receipt.bucket_probes += 1;
-                if let Some(slot) = self.heads.get(&id) {
-                    let mut i = slot.head;
-                    while i != NIL {
-                        let node = &self.nodes[i as usize];
-                        receipt.comparisons += 1;
-                        if req.matches(node.jas.as_slice()) {
-                            scratch.hits.push(node.key);
-                        }
-                        i = node.next;
-                    }
-                }
-            }
-        } else {
-            // Wide search: one linear pass over the contiguous slab,
-            // filtering on each node's cached bucket id. Charges exactly
-            // what the per-bucket formulation did: one probe per occupied
-            // bucket plus one comparison per entry in a matching bucket.
-            receipt.bucket_probes += self.heads.len() as u64;
-            for node in &self.nodes {
-                if plan.matches(node.bucket) {
-                    receipt.comparisons += 1;
-                    if req.matches(node.jas.as_slice()) {
-                        scratch.hits.push(node.key);
-                    }
-                }
-            }
-        }
+    fn search_into_with(
+        &self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) -> bool {
+        self.search_sharded(req, scratch, receipt, exec);
+        true
+    }
+
+    fn insert_batch_with(
+        &mut self,
+        entries: &[(TupleKey, AttrVec)],
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) {
+        BitAddressIndex::insert_batch_with(self, entries, receipt, exec);
+    }
+
+    fn search_batch_with(
+        &self,
+        reqs: &[SearchRequest],
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+        on_result: &mut dyn FnMut(usize, &[TupleKey]),
+    ) -> bool {
+        BitAddressIndex::search_batch_with(self, reqs, scratch, receipt, exec, |i, hits| {
+            on_result(i, hits)
+        });
         true
     }
 
     fn memory_bytes(&self) -> u64 {
-        self.heads.len() as u64 * layout::BUCKET_BYTES
-            + self.nodes.len() as u64 * layout::bucket_entry_bytes(self.config.width())
+        self.shards
+            .iter()
+            .map(|s| {
+                s.heads.len() as u64 * layout::BUCKET_BYTES
+                    + s.nodes.len() as u64 * layout::bucket_entry_bytes(self.config.width())
+            })
+            .sum()
     }
 
     fn entries(&self) -> usize {
-        self.nodes.len()
+        self.shards.iter().map(|s| s.nodes.len()).sum()
     }
 
     fn kind(&self) -> &'static str {
         "bit-address"
+    }
+}
+
+impl crate::state::StateStore<BitAddressIndex> {
+    /// Re-partition the underlying bit-address arena into `shard_count`
+    /// shards (see [`BitAddressIndex::set_shard_count`]). Applied at
+    /// construction time by the engine; charges nothing.
+    ///
+    /// # Panics
+    /// Panics unless `shard_count` is a power of two (≥ 1).
+    pub fn set_shards(&mut self, shard_count: usize) {
+        self.index_mut().set_shard_count(shard_count);
     }
 }
 
@@ -898,6 +1319,168 @@ mod tests {
             before.sort();
             after.sort();
             prop_assert_eq!(before, after);
+        }
+    }
+
+    fn populated_sharded(config: IndexConfig, shards: usize, n: u64) -> BitAddressIndex {
+        let mut idx = BitAddressIndex::with_shards(config, shards);
+        let mut r = CostReceipt::new();
+        for i in 0..n {
+            idx.insert(TupleKey(i as u32), &jas(&[i % 10, i % 7, i % 5]), &mut r);
+        }
+        idx
+    }
+
+    #[test]
+    fn sharded_index_matches_single_shard_answers() {
+        let config = IndexConfig::new(vec![4, 4, 4]).unwrap();
+        let one = populated(config.clone(), 200);
+        for shards in [2usize, 4, 8] {
+            let many = populated_sharded(config.clone(), shards, 200);
+            assert_eq!(many.entries(), one.entries());
+            assert_eq!(many.memory_bytes(), one.memory_bytes());
+            assert_eq!(many.occupied_buckets(), one.occupied_buckets());
+            many.check_integrity().unwrap();
+            for request in [
+                req(0b111, 3, &[3, 3, 3]),
+                req(0b001, 3, &[7, 0, 0]),
+                req(0b110, 3, &[0, 2, 4]),
+                req(0b000, 3, &[0, 0, 0]),
+            ] {
+                let mut r = CostReceipt::new();
+                let SearchOutcome::Matches(mut a) = search(&one, &request, &mut r) else {
+                    panic!()
+                };
+                let SearchOutcome::Matches(mut b) = search(&many, &request, &mut r) else {
+                    panic!()
+                };
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "{shards}-shard answer set diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_hit_order_is_deterministic() {
+        let idx = populated_sharded(IndexConfig::new(vec![3, 3, 3]).unwrap(), 4, 300);
+        let request = req(0b001, 3, &[4, 0, 0]);
+        let mut scratch = SearchScratch::new();
+        let mut r = CostReceipt::new();
+        assert!(idx.search_into(&request, &mut scratch, &mut r));
+        let first = scratch.hits.clone();
+        let first_receipt = r;
+        let mut r = CostReceipt::new();
+        assert!(idx.search_into(&request, &mut scratch, &mut r));
+        assert_eq!(scratch.hits, first, "hit order must be reproducible");
+        assert_eq!(r, first_receipt, "receipt must be reproducible");
+    }
+
+    #[test]
+    fn set_shard_count_redistributes_soundly() {
+        let mut idx = populated(IndexConfig::new(vec![4, 4, 4]).unwrap(), 150);
+        let request = req(0b010, 3, &[0, 5, 0]);
+        let mut r = CostReceipt::new();
+        let SearchOutcome::Matches(mut before) = search(&idx, &request, &mut r) else {
+            panic!()
+        };
+        for shards in [8usize, 2, 4, 1] {
+            idx.set_shard_count(shards);
+            assert_eq!(idx.shard_count(), shards);
+            assert_eq!(idx.entries(), 150);
+            idx.check_integrity().unwrap();
+            let SearchOutcome::Matches(mut after) = search(&idx, &request, &mut r) else {
+                panic!()
+            };
+            before.sort();
+            after.sort();
+            assert_eq!(before, after, "re-partition to {shards} lost answers");
+        }
+    }
+
+    #[test]
+    fn sharded_insert_batch_matches_sequential_inserts() {
+        let config = IndexConfig::new(vec![4, 4, 4]).unwrap();
+        let entries: Vec<(TupleKey, AttrVec)> = (0u64..120)
+            .map(|i| (TupleKey(i as u32), jas(&[i % 9, i % 6, i % 4])))
+            .collect();
+        let mut seq = BitAddressIndex::with_shards(config.clone(), 4);
+        let mut seq_r = CostReceipt::new();
+        for (k, v) in &entries {
+            seq.insert(*k, v, &mut seq_r);
+        }
+        let mut batch = BitAddressIndex::with_shards(config, 4);
+        let mut batch_r = CostReceipt::new();
+        batch.insert_batch_with(&entries, &mut batch_r, &SequentialExecutor);
+        batch.check_integrity().unwrap();
+        assert_eq!(batch_r, seq_r, "batch insert must charge identically");
+        // Same structure ⇒ same hit order, not just the same set.
+        let request = req(0b001, 3, &[5, 0, 0]);
+        let mut scratch = SearchScratch::new();
+        let mut r = CostReceipt::new();
+        assert!(seq.search_into(&request, &mut scratch, &mut r));
+        let want = scratch.hits.clone();
+        assert!(batch.search_into(&request, &mut scratch, &mut r));
+        assert_eq!(scratch.hits, want);
+    }
+
+    #[test]
+    fn sharded_search_batch_matches_per_request_calls() {
+        let idx = populated_sharded(IndexConfig::new(vec![4, 4, 4]).unwrap(), 4, 250);
+        let reqs: Vec<SearchRequest> = (0u64..12)
+            .map(|i| req(0b001 + (i % 7) as u32, 3, &[i % 10, i % 7, i % 5]))
+            .collect();
+        let mut scratch = SearchScratch::new();
+        let mut single_r = CostReceipt::new();
+        let mut singles: Vec<Vec<TupleKey>> = Vec::new();
+        for request in &reqs {
+            assert!(idx.search_into(request, &mut scratch, &mut single_r));
+            singles.push(scratch.hits.clone());
+        }
+        let mut batch_r = CostReceipt::new();
+        let mut batched: Vec<Vec<TupleKey>> = vec![Vec::new(); reqs.len()];
+        idx.search_batch_with(
+            &reqs,
+            &mut scratch,
+            &mut batch_r,
+            &SequentialExecutor,
+            |i, hits| batched[i] = hits.to_vec(),
+        );
+        assert_eq!(batched, singles, "batched hits/order must match singles");
+        assert_eq!(batch_r, single_r, "batched receipts must match singles");
+    }
+
+    #[test]
+    fn sharded_migration_crossing_shards_stays_sound() {
+        // [6,0,0] → [0,0,6] flips which attribute feeds the top bits, so
+        // entries must hop shards: the gather-and-redistribute path.
+        let mut idx = populated_sharded(IndexConfig::new(vec![6, 0, 0]).unwrap(), 4, 80);
+        let mut r = CostReceipt::new();
+        idx.migrate(IndexConfig::new(vec![0, 0, 6]).unwrap(), &mut r);
+        assert_eq!(r.moved, 80);
+        idx.check_integrity().unwrap();
+        let SearchOutcome::Matches(got) = search(&idx, &req(0b100, 3, &[0, 0, 3]), &mut r) else {
+            panic!()
+        };
+        assert_eq!(got.len(), 16, "i % 5 == 3 for i in 0..80");
+    }
+
+    #[test]
+    fn shard_fill_stats_cover_every_entry() {
+        let idx = populated_sharded(IndexConfig::new(vec![4, 4, 4]).unwrap(), 4, 200);
+        let per_shard = idx.shard_fill_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(
+            per_shard.iter().map(|s| s.entries).sum::<usize>(),
+            idx.entries()
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.occupied).sum::<usize>(),
+            idx.occupied_buckets()
+        );
+        // Each shard owns a quarter of the 12-bit addressable space.
+        for stats in &per_shard {
+            assert_eq!(stats.addressable, 1 << 10);
         }
     }
 }

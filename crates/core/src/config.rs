@@ -224,6 +224,43 @@ impl ProbePlan {
         1u64.checked_shl(self.wildcard_bits).unwrap_or(u64::MAX)
     }
 
+    /// Restrict this plan to one shard of a `2^shard_bits`-way partition of
+    /// the `total_bits`-bit bucket space keyed by the id's *top* bits.
+    ///
+    /// Returns `None` when the shard is incompatible with the plan's fixed
+    /// bits (no candidate bucket of this plan lives in that shard), else the
+    /// sub-plan whose candidates are exactly the plan's candidates inside
+    /// the shard. Summed over all compatible shards the sub-plans partition
+    /// the candidate set: `Σ 2^w_s = 2^w`, each global candidate appearing
+    /// in exactly one shard — the determinism basis for sharded search.
+    ///
+    /// When `shard_bits` exceeds `total_bits` only the low `total_bits`
+    /// partition bits are meaningful; when the effective partition width is
+    /// zero (trivial configuration) shard 0 owns everything.
+    pub fn shard_slice(&self, shard: u64, shard_bits: u32, total_bits: u32) -> Option<ProbePlan> {
+        let effective = shard_bits.min(total_bits);
+        if effective == 0 {
+            return (shard == 0).then_some(*self);
+        }
+        if effective < 64 && shard >= 1u64 << effective {
+            // Unreachable shard: no bucket id routes here, so handing it a
+            // slice would duplicate a reachable shard's candidates.
+            return None;
+        }
+        let region_shift = total_bits - effective;
+        let top_mask = (u64::MAX >> (64 - effective)) << region_shift;
+        let shard_fixed = shard << region_shift;
+        if (self.fixed ^ shard_fixed) & self.mask & top_mask != 0 {
+            return None; // the plan fixes a top bit to the other value
+        }
+        let free_top = !self.mask & top_mask;
+        Some(ProbePlan {
+            mask: self.mask | top_mask,
+            fixed: (self.fixed & !top_mask) | shard_fixed,
+            wildcard_bits: self.wildcard_bits - free_top.count_ones(),
+        })
+    }
+
     /// Enumerate all candidate bucket ids.
     ///
     /// Only call when [`candidate_buckets`](Self::candidate_buckets) is
@@ -404,7 +441,83 @@ mod tests {
         assert_eq!(ic.bits(), &[1, 2], "original untouched");
     }
 
+    #[test]
+    fn shard_slice_partitions_wildcard_candidates() {
+        // IC = 2|2, search fixes attr 1 only → the top 2 bits (attr 0) are
+        // wild → 4 candidates, one per shard of a 4-shard partition.
+        let ic = IndexConfig::new(vec![2, 2]).unwrap();
+        let plan = ic.probe_plan(ap(0b10, 2), &[0, 7]);
+        assert_eq!(plan.wildcard_bits, 2);
+        for s in 0..4u64 {
+            let slice = plan.shard_slice(s, 2, 4).expect("all shards compatible");
+            assert_eq!(slice.wildcard_bits, 0);
+            let ids: Vec<u64> = slice.enumerate().collect();
+            assert_eq!(ids.len(), 1);
+            assert_eq!(ids[0] >> 2, s, "candidate must live in its shard");
+            assert!(plan.matches(ids[0]));
+        }
+    }
+
+    #[test]
+    fn shard_slice_rejects_incompatible_shards() {
+        // A fully-specified probe fixes the top bits; only the shard owning
+        // that prefix is compatible.
+        let ic = IndexConfig::new(vec![3, 3]).unwrap();
+        let vals = [11u64, 23];
+        let plan = ic.probe_plan(ap(0b11, 2), &vals);
+        let home = ic.bucket_of(&vals) >> 4; // top 2 of 6 bits
+        let compatible: Vec<u64> = (0..4)
+            .filter(|&s| plan.shard_slice(s, 2, 6).is_some())
+            .collect();
+        assert_eq!(compatible, vec![home]);
+    }
+
+    #[test]
+    fn shard_slice_trivial_partition_routes_everything_to_shard_zero() {
+        let ic = IndexConfig::trivial(2);
+        let plan = ic.probe_plan(ap(0b01, 2), &[5, 0]);
+        assert_eq!(plan.shard_slice(0, 2, 0), Some(plan));
+        assert_eq!(plan.shard_slice(1, 2, 0), None);
+        // shard_bits == 0 behaves the same way.
+        assert_eq!(plan.shard_slice(0, 0, 6), Some(plan));
+    }
+
     proptest! {
+        /// Shard slices partition the candidate set: every global candidate
+        /// appears in exactly one compatible shard's enumeration, and the
+        /// per-shard wildcard widths sum back to the global width.
+        #[test]
+        fn shard_slices_partition_candidates(
+            bits in proptest::collection::vec(0u8..4, 3),
+            mask in 0u32..8,
+            vals in proptest::collection::vec(0u64..100, 3),
+            shard_bits in 0u32..4,
+        ) {
+            let ic = IndexConfig::new(bits).unwrap();
+            let total = ic.total_bits();
+            let plan = ic.probe_plan(ap(mask, 3), &vals);
+            let effective = shard_bits.min(total);
+            let shards = 1u64 << shard_bits;
+            let mut seen = std::collections::HashSet::new();
+            let mut covered = 0u64;
+            for s in 0..shards {
+                let Some(slice) = plan.shard_slice(s, shard_bits, total) else {
+                    continue;
+                };
+                covered += slice.candidate_buckets();
+                for id in slice.enumerate() {
+                    prop_assert!(plan.matches(id), "slice id escapes the plan");
+                    if effective > 0 {
+                        prop_assert_eq!(id >> (total - effective), s,
+                            "candidate in the wrong shard");
+                    }
+                    prop_assert!(seen.insert(id), "id produced by two shards");
+                }
+            }
+            prop_assert_eq!(covered, plan.candidate_buckets());
+            prop_assert_eq!(seen.len() as u64, plan.candidate_buckets());
+        }
+
         /// Every tuple consistent with a search lands in a candidate bucket
         /// — the covering property that makes wildcard search correct.
         #[test]

@@ -17,6 +17,8 @@
 //!   pluggable [`StateIndex`].
 //! * [`bitaddr`] — the bit-address index itself, including live migration
 //!   between configurations.
+//! * [`parallel`] — the shard-task execution seam ([`ShardExecutor`]):
+//!   sequential here, the engine's worker pool in `amri-engine`.
 //! * [`hash_index`] — the state-of-the-art baseline: multiple hash indices
 //!   per state (access modules, Raman et al. \[5\]).
 //! * [`scan`] — the no-index baseline (always full scan).
@@ -97,6 +99,7 @@ pub mod cost;
 pub mod error;
 pub mod hash_index;
 pub mod layout;
+pub mod parallel;
 pub mod scan;
 pub mod selection;
 pub mod state;
@@ -109,6 +112,7 @@ pub use config::IndexConfig;
 pub use cost::{ApStat, CostParams, CostReceipt, WorkloadProfile};
 pub use error::CoreError;
 pub use hash_index::MultiHashIndex;
+pub use parallel::{SequentialExecutor, ShardExecutor, SlotArena};
 pub use scan::ScanIndex;
 pub use state::{SearchOutcome, SearchScratch, StateIndex, StateStore, TupleKey};
 pub use tuner::{IndexTuner, TunerConfig, TunerEvent};

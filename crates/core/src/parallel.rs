@@ -1,0 +1,116 @@
+//! The execution seam for sharded index work.
+//!
+//! Sharded search and insert decompose into independent per-shard tasks
+//! whose results are merged in a fixed shard order. [`ShardExecutor`] is
+//! the narrow contract the index needs from whoever runs those tasks:
+//! *run task `0..n`, each exactly once, in any interleaving*. The core
+//! crate ships only the trivially-correct [`SequentialExecutor`]; the
+//! engine's worker pool implements the same trait over persistent std
+//! threads, so an index probe is oblivious to whether its shards ran on
+//! one core or eight — the merged output is identical by construction.
+
+use std::marker::PhantomData;
+
+/// Runs `n` independent tasks, each exactly once.
+///
+/// Implementations may interleave or parallelize tasks arbitrarily, but
+/// must not drop, duplicate, or outlive them: when `run_tasks` returns,
+/// every index in `0..n` has been passed to `task` exactly once and the
+/// closure is no longer referenced.
+pub trait ShardExecutor {
+    /// Execute `task(0)`, `task(1)`, ..., `task(n - 1)`.
+    fn run_tasks(&self, n: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// The zero-overhead executor: runs tasks inline, in index order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl ShardExecutor for SequentialExecutor {
+    fn run_tasks(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n {
+            task(i);
+        }
+    }
+}
+
+/// A disjoint-slot view over a mutable slice, claimable from `Fn` tasks.
+///
+/// Shard tasks each write into their own pre-allocated result slot; the
+/// executor only hands out `&(dyn Fn(usize) + Sync)`, so tasks cannot
+/// borrow the slot vector mutably through safe code. `SlotArena` carries
+/// the raw base pointer instead and [`claim`](Self::claim)s one exclusive
+/// `&mut` per index.
+///
+/// # Safety contract
+/// The caller must guarantee that no index is claimed more than once per
+/// `run_tasks` call (the shard loop claims slot `i` from task `i` only)
+/// and that the arena does not outlive the borrowed slice.
+pub struct SlotArena<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the arena is only a channel for handing each slot to exactly one
+// task (the documented contract); `T: Send` makes moving a `&mut T` into
+// another thread sound, and the arena itself holds no shared state.
+unsafe impl<T: Send> Sync for SlotArena<'_, T> {}
+
+impl<'a, T> SlotArena<'a, T> {
+    /// Wrap a slice whose slots will each be claimed by exactly one task.
+    pub fn new(slots: &'a mut [T]) -> Self {
+        SlotArena {
+            ptr: slots.as_mut_ptr(),
+            len: slots.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Exclusive access to slot `i`.
+    ///
+    /// # Safety
+    /// Each index must be claimed at most once for the lifetime of any
+    /// returned reference (one claim per task per `run_tasks` call).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn claim(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "slot {i} out of bounds (len {})", self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_executor_runs_every_task_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        SequentialExecutor.run_tasks(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slot_arena_hands_out_disjoint_slots() {
+        let mut slots = vec![0u64; 8];
+        let arena = SlotArena::new(&mut slots);
+        SequentialExecutor.run_tasks(8, &|i| {
+            // SAFETY: each task claims only its own index, once.
+            let slot = unsafe { arena.claim(i) };
+            *slot = i as u64 * 10;
+        });
+        assert_eq!(slots, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slot_arena_bounds_checks() {
+        let mut slots = vec![0u8; 2];
+        let arena = SlotArena::new(&mut slots);
+        // SAFETY: out-of-bounds claim must panic before any deref.
+        let _ = unsafe { arena.claim(2) };
+    }
+}

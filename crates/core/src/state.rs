@@ -27,6 +27,17 @@ pub enum SearchOutcome {
     NeedScan,
 }
 
+/// One shard's private result slot during a sharded search: hits and cost
+/// charges accumulate here, then merge into the caller's scratch/receipt in
+/// fixed shard order so sharded output is independent of task scheduling.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardSlot {
+    /// Matches found inside this shard.
+    pub(crate) hits: Vec<TupleKey>,
+    /// Costs charged inside this shard.
+    pub(crate) receipt: CostReceipt,
+}
+
 /// Caller-owned, reusable buffer a search writes its matches into.
 ///
 /// The engine's inner loop serves millions of search requests; allocating a
@@ -34,10 +45,18 @@ pub enum SearchOutcome {
 /// patterns. One `SearchScratch` per STeM amortizes that to zero: after
 /// warm-up the buffer's capacity covers the steady-state match fan-out and
 /// [`StateIndex::search_into`] never touches the allocator.
+///
+/// The scratch also carries the per-shard result slots a sharded index
+/// fans out into (private; sized lazily on first sharded probe), so a
+/// parallel search recycles the same buffers as a sequential one.
 #[derive(Debug, Clone, Default)]
 pub struct SearchScratch {
     /// Matches of the most recent `search_into` call.
     pub hits: Vec<TupleKey>,
+    /// Per-shard result slots for sharded searches (one per shard, or one
+    /// per request × shard for batch probes); buffers are reused across
+    /// calls.
+    shard_slots: Vec<ShardSlot>,
 }
 
 impl SearchScratch {
@@ -50,7 +69,19 @@ impl SearchScratch {
     pub fn with_capacity(cap: usize) -> Self {
         SearchScratch {
             hits: Vec::with_capacity(cap),
+            shard_slots: Vec::new(),
         }
+    }
+
+    /// Take the shard-slot buffers out (returned via
+    /// [`put_shard_slots`](Self::put_shard_slots) so capacity is kept).
+    pub(crate) fn take_shard_slots(&mut self) -> Vec<ShardSlot> {
+        std::mem::take(&mut self.shard_slots)
+    }
+
+    /// Return the shard-slot buffers for reuse by the next sharded search.
+    pub(crate) fn put_shard_slots(&mut self, slots: Vec<ShardSlot>) {
+        self.shard_slots = slots;
     }
 }
 
@@ -62,6 +93,24 @@ impl SearchScratch {
 pub trait StateIndex {
     /// Index a newly stored tuple.
     fn insert(&mut self, key: TupleKey, jas_values: &AttrVec, receipt: &mut CostReceipt);
+
+    /// Index a batch of newly stored tuples in order, with an explicit
+    /// shard-task executor. A sharded index stages the batch per shard and
+    /// links each shard's run through `exec`; this default simply loops
+    /// [`insert`](Self::insert). Either way the resulting structure and
+    /// receipt totals equal sequential insertion — arrival order is fixed
+    /// before any task runs.
+    fn insert_batch_with(
+        &mut self,
+        entries: &[(TupleKey, AttrVec)],
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        let _ = exec;
+        for (key, jas) in entries {
+            self.insert(*key, jas, receipt);
+        }
+    }
 
     /// Remove an expired tuple.
     fn remove(&mut self, key: TupleKey, jas_values: &AttrVec, receipt: &mut CostReceipt);
@@ -79,6 +128,41 @@ pub trait StateIndex {
         scratch: &mut SearchScratch,
         receipt: &mut CostReceipt,
     ) -> bool;
+
+    /// [`search_into`](Self::search_into) with an explicit shard-task
+    /// executor. Sharded indexes fan the probe out across their shards
+    /// through `exec` and merge in fixed shard order, so the result is
+    /// identical for any executor; unsharded indexes ignore `exec` (this
+    /// default).
+    fn search_into_with(
+        &self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> bool {
+        let _ = exec;
+        self.search_into(req, scratch, receipt)
+    }
+
+    /// Serve a whole batch of requests through `exec` in one dispatch,
+    /// handing each request's hits to `on_result` in request order.
+    /// Returns `true` when the index served the batch; `false` when the
+    /// caller should fall back to per-request search (this default — an
+    /// index without a batch-amortized path opts out). Implementations
+    /// must produce exactly the hits, hit order, and receipt totals of
+    /// per-request [`search_into`](Self::search_into) calls.
+    fn search_batch_with(
+        &self,
+        reqs: &[SearchRequest],
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+        on_result: &mut dyn FnMut(usize, &[TupleKey]),
+    ) -> bool {
+        let _ = (reqs, scratch, receipt, exec, on_result);
+        false
+    }
 
     /// Find tuples matching `req`, returning an owned result.
     ///
@@ -283,6 +367,34 @@ impl<I: StateIndex> StateStore<I> {
         stored
     }
 
+    /// [`insert_batch`](Self::insert_batch) with an explicit shard-task
+    /// executor: storage slots, window entries, and arrival order are fixed
+    /// sequentially up front, then the index ingests the staged batch in
+    /// one call (fanning out across shards when it is sharded). Contents
+    /// and cost accounting are identical to per-tuple
+    /// [`insert`](Self::insert).
+    ///
+    /// # Panics
+    /// Panics if any tuple is from a different stream.
+    pub fn insert_batch_with(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> usize {
+        let mut staged: Vec<(TupleKey, AttrVec)> = Vec::new();
+        for tuple in tuples {
+            assert_eq!(tuple.stream, self.stream, "tuple from wrong stream");
+            let jas_values = self.jas_values(&tuple);
+            let key = self.arena.insert(StoredTuple { tuple, jas_values });
+            self.window.push(tuple.ts, key);
+            receipt.base_ops += 1;
+            staged.push((key, jas_values));
+        }
+        self.index.insert_batch_with(&staged, receipt, exec);
+        staged.len()
+    }
+
     /// Expire every tuple that has slid out of the window at `now`;
     /// returns how many were removed.
     pub fn expire(&mut self, now: VirtualTime, receipt: &mut CostReceipt) -> usize {
@@ -362,6 +474,30 @@ impl<I: StateIndex> StateStore<I> {
         }
     }
 
+    /// [`search_into`](Self::search_into) with an explicit shard-task
+    /// executor: a sharded index probes its shards through `exec`
+    /// (sequentially or on a worker pool) and merges in fixed shard order,
+    /// so hits and receipts are identical for any executor. The scan
+    /// fallback is inherently unsharded and runs inline.
+    pub fn search_into_with(
+        &self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        debug_assert_eq!(req.pattern.n_attrs(), self.jas_width());
+        if !self.index.search_into_with(req, scratch, receipt, exec) {
+            scratch.hits.clear();
+            for (key, stored) in self.arena.iter() {
+                receipt.comparisons += 2;
+                if req.matches(&stored.jas_values) {
+                    scratch.hits.push(key);
+                }
+            }
+        }
+    }
+
     /// Serve a batch of search requests through one reused scratch buffer,
     /// invoking `on_result` with each request's position in the batch and
     /// its matches. The batch-granular probe entry point of the runtime
@@ -377,6 +513,34 @@ impl<I: StateIndex> StateStore<I> {
     ) {
         for (i, req) in reqs.into_iter().enumerate() {
             self.search_into(req, scratch, receipt);
+            on_result(i, &scratch.hits);
+        }
+    }
+
+    /// [`search_batch`](Self::search_batch) with an explicit shard-task
+    /// executor. When the index has a batch-amortized sharded path (the
+    /// bit-address index), the whole batch goes through one executor
+    /// dispatch; otherwise this falls back to per-request
+    /// [`search_into_with`](Self::search_into_with). Hits, hit order, and
+    /// receipt totals are identical either way.
+    pub fn search_batch_with(
+        &self,
+        reqs: &[SearchRequest],
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+        mut on_result: impl FnMut(usize, &[TupleKey]),
+    ) {
+        if self
+            .index
+            .search_batch_with(reqs, scratch, receipt, exec, &mut |i, hits| {
+                on_result(i, hits)
+            })
+        {
+            return;
+        }
+        for (i, req) in reqs.iter().enumerate() {
+            self.search_into_with(req, scratch, receipt, exec);
             on_result(i, &scratch.hits);
         }
     }

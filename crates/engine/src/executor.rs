@@ -100,6 +100,16 @@ pub struct EngineConfig {
     /// Deterministic fault injection between workload and ingest. `None`
     /// leaves the arrival stream untouched.
     pub faults: Option<FaultPlan>,
+    /// Arena shards per bit-address index (must be a power of two). The
+    /// partitioning changes nothing observable at a fixed shard count —
+    /// probes merge in fixed shard order — but different shard counts
+    /// produce different (equivalent) hit orders, so this is a separate
+    /// knob from `parallelism`: 1 is the pre-sharding layout.
+    pub shards: usize,
+    /// Threads executing sharded index work (the probe fan-out). With the
+    /// same `shards`, every value of `parallelism` produces byte-identical
+    /// results; 1 runs everything inline on the caller.
+    pub parallelism: std::num::NonZeroUsize,
 }
 
 impl Default for EngineConfig {
@@ -116,6 +126,8 @@ impl Default for EngineConfig {
             params: CostParams::default(),
             degradation: None,
             faults: None,
+            shards: 1,
+            parallelism: std::num::NonZeroUsize::MIN,
         }
     }
 }
@@ -192,6 +204,12 @@ impl<W: StreamWorkload> Executor<W> {
         if let Some(plan) = &config.faults {
             plan.validate()?;
         }
+        if !config.shards.is_power_of_two() {
+            return Err(EngineError::InvalidMode(format!(
+                "shards must be a power of two (≥ 1), got {}",
+                config.shards
+            )));
+        }
         let mode_label = mode.label();
         let mut stems = Vec::with_capacity(n);
         for i in 0..n {
@@ -241,6 +259,10 @@ impl<W: StreamWorkload> Executor<W> {
                 }
                 IndexingMode::Scan => JoinState::scan(sid, jas, window, payload),
             };
+            let mut state = state;
+            if config.shards > 1 {
+                state.set_shards(config.shards);
+            }
             stems.push(Stem::new(sid, state));
         }
         let observers = (0..n)
@@ -278,6 +300,7 @@ impl<W: StreamWorkload> Executor<W> {
             params: self.config.params,
             degradation: self.config.degradation,
             faults: self.config.faults,
+            parallelism: self.config.parallelism,
         };
         Pipeline::with_clock(
             EngineSetup {
@@ -360,6 +383,8 @@ mod tests {
             params: CostParams::default(),
             degradation: None,
             faults: None,
+            shards: 1,
+            parallelism: std::num::NonZeroUsize::MIN,
         }
     }
 

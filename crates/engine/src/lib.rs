@@ -47,6 +47,6 @@ pub use router::Router;
 pub use runtime::{
     DegradationPolicy, DegradationReport, DegradationSample, EngineSetup, FaultPlan, FaultReport,
     IngestOperator, Job, Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams,
-    SampleOperator, SheddingPolicy, SkewedClock, StepStatus, TuneOperator, WallClock,
+    SampleOperator, SheddingPolicy, SkewedClock, StepStatus, TuneOperator, WallClock, WorkerPool,
 };
 pub use stem::{HashTuner, JoinState, Stem};

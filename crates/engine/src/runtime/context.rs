@@ -72,6 +72,9 @@ pub struct RunParams {
     pub degradation: Option<DegradationPolicy>,
     /// Injected faults; `None` leaves the arrival stream untouched.
     pub faults: Option<FaultPlan>,
+    /// Threads executing sharded index work; 1 (the default engine
+    /// configuration) runs everything inline with no pool threads.
+    pub parallelism: std::num::NonZeroUsize,
 }
 
 /// Everything one run mutates, shared by the pipeline's operators.
@@ -123,6 +126,9 @@ pub struct RunContext<C: Clock = VirtualClock> {
     pub governor: Option<Governor>,
     /// Armed fault plan, when one is configured.
     pub fault: Option<FaultState>,
+    /// Persistent worker pool for sharded index work, sized to
+    /// [`RunParams::parallelism`] (no threads at parallelism 1).
+    pub pool: crate::runtime::pool::WorkerPool,
 }
 
 impl<C: Clock> RunContext<C> {

@@ -24,6 +24,10 @@
 //! * [`fault`] — the deterministic fault-injection harness: a seeded
 //!   [`FaultPlan`] of tuple drop/duplicate/reorder/late faults and
 //!   allocation pressure, plus the [`SkewedClock`] clock-skew wrapper.
+//! * [`pool`] — [`WorkerPool`]: the persistent shard-task worker pool
+//!   behind `parallelism > 1` runs; it implements
+//!   `amri_core::ShardExecutor`, so sharded index probes fan out across
+//!   its threads and still merge deterministically.
 //!
 //! Partial tuples flow between ingest and probe through a
 //! [`amri_stream::JobQueue`] in batch-granular storage; the probe operator
@@ -38,6 +42,7 @@ pub mod degrade;
 pub mod fault;
 pub mod operators;
 pub mod pipeline;
+pub mod pool;
 
 pub use clock::WallClock;
 pub use context::{Job, RunContext, RunOutcome, RunParams};
@@ -50,3 +55,4 @@ pub use operators::{
     TuneOperator,
 };
 pub use pipeline::{EngineSetup, Pipeline, RunResult};
+pub use pool::WorkerPool;

@@ -296,6 +296,7 @@ impl<C: Clock> Operator<C> for ProbeOperator {
             outputs,
             run,
             governor,
+            pool,
             ..
         } = ctx;
         let target = router.choose_next(pt.covered);
@@ -305,9 +306,12 @@ impl<C: Clock> Operator<C> for ProbeOperator {
         let mut receipt = CostReceipt::new();
         let stem = &mut stems[target.idx()];
         // Scratch-buffered search: the per-STeM buffer is reused across
-        // requests, so steady state never allocates here.
+        // requests, so steady state never allocates here. A sharded state
+        // fans the probe out over the run's worker pool; at the default
+        // parallelism of 1 the pool runs it inline — the exact sequential
+        // path.
         stem.state
-            .search_into(&req, &mut stem.scratch, &mut receipt);
+            .search_into_with(&req, &mut stem.scratch, &mut receipt, pool);
         stem.requests_served += 1;
         let window = query.windows[target.idx()];
         let now = clock.now();

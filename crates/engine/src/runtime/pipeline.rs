@@ -116,6 +116,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
         let graph = setup.query.join_graph();
         let governor = run.degradation.map(Governor::new);
         let fault = run.faults.clone().map(|p| FaultState::new(p, n));
+        let pool = crate::runtime::pool::WorkerPool::new(run.parallelism);
         let ctx = RunContext {
             clock,
             query: setup.query,
@@ -138,6 +139,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             window_secs,
             governor,
             fault,
+            pool,
         };
         Pipeline {
             ctx,

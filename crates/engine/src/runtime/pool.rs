@@ -1,0 +1,319 @@
+//! A persistent worker pool for sharded index tasks.
+//!
+//! [`WorkerPool`] implements [`amri_core::ShardExecutor`] over a fixed set
+//! of `parallelism - 1` std threads (the dispatching thread is the
+//! remaining worker): one pool per pipeline run, reused for every
+//! dispatch, so the steady state spawns nothing and allocates nothing.
+//! With a `parallelism` of 1 the pool holds no threads at all and
+//! `run_tasks` degenerates to the inline sequential loop — the default
+//! engine configuration pays nothing for the machinery's existence.
+//!
+//! Dispatch protocol: the caller publishes the task (a lifetime-erased
+//! pointer valid until `run_tasks` returns), bumps the epoch, and wakes
+//! the workers; everyone — workers and caller alike — claims indices from
+//! a shared epoch-tagged cursor until the epoch drains, then the caller
+//! blocks until the last claimant signals completion. Correctness does
+//! not depend on which thread runs which index: shard tasks write
+//! disjoint result slots and the caller merges them in fixed shard order
+//! (see `amri_core::parallel`), which is what keeps parallel output
+//! byte-identical to sequential.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use amri_core::ShardExecutor;
+
+/// A `&(dyn Fn(usize) + Sync)` with its lifetime erased for the duration
+/// of one `run_tasks` call.
+type RawTask = *const (dyn Fn(usize) + Sync);
+
+/// The published work for one dispatch epoch, guarded by [`Shared::job`].
+struct JobSlot {
+    /// Monotonic dispatch counter; a worker runs each epoch once.
+    epoch: u64,
+    /// The current epoch's task (`None` between dispatches).
+    task: Option<RawTask>,
+    /// Number of task indices in the current epoch.
+    n: usize,
+    /// Set once, on drop: workers exit.
+    shutdown: bool,
+}
+
+// SAFETY: the raw task pointer is only dereferenced by a thread that has
+// CAS-claimed an index of the pointer's own epoch, and `run_tasks` keeps
+// the referent alive until every claimed index of that epoch has finished
+// (it blocks on the `pending == 0` handshake before returning). `Sync` on
+// the referent makes the concurrent calls themselves sound.
+unsafe impl Send for JobSlot {}
+
+struct Shared {
+    job: Mutex<JobSlot>,
+    /// Wakes workers on a new epoch or shutdown.
+    work: Condvar,
+    /// Claim cursor: `(epoch & 0xffff_ffff) << 32 | next_index`. Packing
+    /// the epoch tag into the same word as the index closes the ABA window
+    /// where a worker holding a stale cursor value could otherwise claim
+    /// an index belonging to a later dispatch.
+    cursor: AtomicU64,
+    /// Claimed-but-unfinished indices of the current epoch; the claimant
+    /// that drops it to zero wakes the dispatcher.
+    pending: AtomicUsize,
+    done_mutex: Mutex<()>,
+    done: Condvar,
+}
+
+impl Shared {
+    /// Claim and run indices of `epoch` until the cursor leaves the epoch
+    /// or runs past `n`.
+    ///
+    /// # Safety
+    /// `task` must point at the closure published for `epoch` — guaranteed
+    /// alive while any index of that epoch is unclaimed or unfinished.
+    unsafe fn drain(&self, epoch: u64, n: usize, task: RawTask) {
+        let tag = (epoch & 0xffff_ffff) << 32;
+        loop {
+            let cur = self.cursor.load(Ordering::Acquire);
+            if cur & 0xffff_ffff_0000_0000 != tag {
+                return; // a different epoch owns the cursor
+            }
+            let idx = (cur & 0xffff_ffff) as usize;
+            if idx >= n {
+                return; // fully claimed
+            }
+            if self
+                .cursor
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: per the contract — the successful claim pins the
+            // epoch (pending ≥ 1 until we finish), so the referent lives.
+            unsafe { (*task)(idx) };
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = self.done_mutex.lock().expect("done mutex poisoned");
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let (epoch, n, task) = {
+            let mut job = shared.job.lock().expect("job mutex poisoned");
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                match job.task {
+                    Some(task) if job.epoch != last_epoch => break (job.epoch, job.n, task),
+                    _ => job = shared.work.wait(job).expect("job mutex poisoned"),
+                }
+            }
+        };
+        last_epoch = epoch;
+        // SAFETY: `task` is the pointer published for `epoch` (read under
+        // the job mutex, after the cursor was armed for this epoch).
+        unsafe { shared.drain(epoch, n, task) };
+    }
+}
+
+/// A persistent pool of shard-task workers (see the module docs).
+///
+/// Construct once per run with the configured parallelism and pass it as
+/// the [`ShardExecutor`] wherever a sharded index fans work out. Dropping
+/// the pool joins its threads.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Guards against re-entrant dispatch (an index probing inside an
+    /// index probe would corrupt the epoch handshake).
+    dispatching: AtomicBool,
+}
+
+impl WorkerPool {
+    /// A pool that runs dispatches on `parallelism` threads total: the
+    /// dispatcher plus `parallelism - 1` spawned workers. `parallelism`
+    /// of 1 spawns nothing and runs everything inline.
+    pub fn new(parallelism: NonZeroUsize) -> Self {
+        let shared = Arc::new(Shared {
+            job: Mutex::new(JobSlot {
+                epoch: 0,
+                task: None,
+                n: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            cursor: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+            done_mutex: Mutex::new(()),
+            done: Condvar::new(),
+        });
+        let workers = (1..parallelism.get())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("amri-shard-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            dispatching: AtomicBool::new(false),
+        }
+    }
+
+    /// Total threads a dispatch runs on (spawned workers + the caller).
+    pub fn parallelism(&self) -> usize {
+        self.workers.len() + 1
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("parallelism", &self.parallelism())
+            .finish()
+    }
+}
+
+impl ShardExecutor for WorkerPool {
+    fn run_tasks(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() || n <= 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        assert!(
+            !self.dispatching.swap(true, Ordering::Acquire),
+            "re-entrant WorkerPool dispatch"
+        );
+        // Erase the task's lifetime for publication. Sound because this
+        // call does not return until every claimed index has finished
+        // (the `pending == 0` handshake below) and the epoch tag stops
+        // late claims.
+        let raw: RawTask = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), RawTask>(task) };
+        let epoch = {
+            let mut job = self.shared.job.lock().expect("job mutex poisoned");
+            job.epoch += 1;
+            job.task = Some(raw);
+            job.n = n;
+            self.shared.pending.store(n, Ordering::Release);
+            self.shared
+                .cursor
+                .store((job.epoch & 0xffff_ffff) << 32, Ordering::Release);
+            job.epoch
+        };
+        self.shared.work.notify_all();
+        // The dispatcher is a worker too: drain alongside the pool.
+        // SAFETY: `raw` is this epoch's published task.
+        unsafe { self.shared.drain(epoch, n, raw) };
+        let mut guard = self.shared.done_mutex.lock().expect("done mutex poisoned");
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            guard = self.shared.done.wait(guard).expect("done mutex poisoned");
+        }
+        drop(guard);
+        // Retire the pointer before returning control (and the referent's
+        // lifetime) to the caller.
+        self.shared.job.lock().expect("job mutex poisoned").task = None;
+        self.dispatching.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.job.lock().expect("job mutex poisoned").shutdown = true;
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn pool(n: usize) -> WorkerPool {
+        WorkerPool::new(NonZeroUsize::new(n).unwrap())
+    }
+
+    #[test]
+    fn parallelism_one_spawns_no_threads_and_runs_inline() {
+        let p = pool(1);
+        assert_eq!(p.parallelism(), 1);
+        let order = Mutex::new(Vec::new());
+        p.run_tasks(4, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let p = pool(4);
+        let counts: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        p.run_tasks(64, &|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_epochs() {
+        let p = pool(3);
+        for round in 0..500u32 {
+            let sum = AtomicU32::new(0);
+            p.run_tasks(8, &|i| {
+                sum.fetch_add(round + i as u32, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 8 * round + 28);
+        }
+    }
+
+    #[test]
+    fn dispatches_actually_overlap_threads() {
+        use std::sync::atomic::AtomicUsize;
+        let p = pool(2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        p.run_tasks(2, &|_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 2, "tasks must overlap");
+    }
+
+    #[test]
+    fn zero_and_single_task_dispatches_are_noops_or_inline() {
+        let p = pool(4);
+        p.run_tasks(0, &|_| panic!("no task to run"));
+        let ran = AtomicU32::new(0);
+        p.run_tasks(1, &|i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_work_done() {
+        let p = pool(4);
+        let sum = AtomicU32::new(0);
+        p.run_tasks(16, &|i| {
+            sum.fetch_add(i as u32, Ordering::Relaxed);
+        });
+        drop(p);
+        assert_eq!(sum.load(Ordering::Relaxed), 120);
+    }
+}

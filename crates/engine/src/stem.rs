@@ -208,6 +208,45 @@ impl JoinState {
         }
     }
 
+    /// [`search_into`](Self::search_into) with an explicit shard-task
+    /// executor: the bit-address flavors (AMRI, static bitmap) fan a
+    /// sharded probe out through `exec` and merge in fixed shard order;
+    /// the hash and scan flavors have no sharded path and run inline.
+    /// Hits, hit order, and receipts are identical for any executor.
+    pub fn search_into_with(
+        &mut self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn amri_core::ShardExecutor,
+    ) {
+        match self {
+            JoinState::Amri(s) => s.search_into_with(req, scratch, receipt, exec),
+            JoinState::MultiHash { store, tuner } => {
+                if let Some(t) = tuner {
+                    t.record(req.pattern);
+                }
+                store.search_into(req, scratch, receipt);
+            }
+            JoinState::StaticBitmap(s) => s.search_into_with(req, scratch, receipt, exec),
+            JoinState::Scan(s) => s.search_into(req, scratch, receipt),
+        }
+    }
+
+    /// Re-partition the flavor's bit-address arena into `shard_count`
+    /// shards (construction-time plumbing; charges nothing). The hash and
+    /// scan flavors have no bit-address arena and ignore the call.
+    ///
+    /// # Panics
+    /// Panics unless `shard_count` is a power of two (≥ 1).
+    pub fn set_shards(&mut self, shard_count: usize) {
+        match self {
+            JoinState::Amri(s) => s.set_shards(shard_count),
+            JoinState::StaticBitmap(s) => s.set_shards(shard_count),
+            JoinState::MultiHash { .. } | JoinState::Scan(_) => {}
+        }
+    }
+
     /// Answer a search request; every flavor records the pattern into its
     /// tuner's statistics if it has one.
     ///

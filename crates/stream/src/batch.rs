@@ -82,6 +82,28 @@ impl<T> Batch<T> {
     pub fn into_items(self) -> Vec<T> {
         self.items
     }
+
+    /// Split the batch into `parts` contiguous runs of near-equal length
+    /// (sizes differ by at most one, order preserved) — the fan-out shape
+    /// a parallel consumer hands to `parts` shard workers. Trailing runs
+    /// are empty when the batch holds fewer jobs than `parts`, so every
+    /// worker index stays addressable.
+    ///
+    /// # Panics
+    /// Panics when `parts` is zero.
+    pub fn split(&self, parts: usize) -> impl Iterator<Item = &[T]> + '_ {
+        assert!(parts > 0, "parts must be positive");
+        let len = self.items.len();
+        let base = len / parts;
+        let extra = len % parts;
+        let mut start = 0usize;
+        (0..parts).map(move |i| {
+            let take = base + usize::from(i < extra);
+            let run = &self.items[start..start + take];
+            start += take;
+            run
+        })
+    }
 }
 
 impl<T> From<Vec<T>> for Batch<T> {
@@ -184,11 +206,26 @@ impl<T> JobQueue<T> {
             + usize::from(!self.tail.is_empty())
     }
 
+    /// Most spare buffers retained for reuse. A deep backlog seals many
+    /// batches whose buffers all come home when the queue drains; without
+    /// a bound the pool would keep the burst's peak allocation for the
+    /// rest of the run. Steady state cycles far fewer buffers than this.
+    pub const MAX_SPARE_BUFFERS: usize = 8;
+
     /// Take a recycled buffer (or allocate the first time around).
     fn fresh_buf(&mut self) -> Vec<T> {
         self.spare
             .pop()
             .unwrap_or_else(|| Vec::with_capacity(self.batch_capacity))
+    }
+
+    /// Return a drained buffer to the spare pool, unless the pool is
+    /// already at [`Self::MAX_SPARE_BUFFERS`] (then the buffer is freed).
+    fn recycle(&mut self, buf: Vec<T>) {
+        debug_assert!(buf.is_empty());
+        if buf.capacity() > 0 && self.spare.len() < Self::MAX_SPARE_BUFFERS {
+            self.spare.push(buf);
+        }
     }
 
     /// Enqueue one job at the back.
@@ -232,9 +269,7 @@ impl<T> JobQueue<T> {
         let mut items = next.into_items();
         items.reverse();
         let old = std::mem::replace(&mut self.active, items);
-        if old.capacity() > 0 {
-            self.spare.push(old);
-        }
+        self.recycle(old);
         true
     }
 
@@ -250,9 +285,7 @@ impl<T> JobQueue<T> {
             if self.active.is_empty() {
                 // Recycle the drained buffer for a future tail batch.
                 let buf = std::mem::take(&mut self.active);
-                if buf.capacity() > 0 {
-                    self.spare.push(buf);
-                }
+                self.recycle(buf);
             }
         }
         item
@@ -278,9 +311,7 @@ impl<T> JobQueue<T> {
                     // recycle its buffer like any drained batch.
                     if let Some(empty) = self.sealed.pop_back() {
                         let buf = empty.into_items();
-                        if buf.capacity() > 0 {
-                            self.spare.push(buf);
-                        }
+                        self.recycle(buf);
                     }
                 }
                 return item;
@@ -470,6 +501,60 @@ mod tests {
             assert_eq!(q.pop(), Some(want));
         }
         assert_eq!(q.pop_newest(), None);
+    }
+
+    #[test]
+    fn split_yields_contiguous_near_equal_runs() {
+        let b = Batch::from((0..10).collect::<Vec<i32>>());
+        let runs: Vec<&[i32]> = b.split(3).collect();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], &[0, 1, 2, 3]);
+        assert_eq!(runs[1], &[4, 5, 6]);
+        assert_eq!(runs[2], &[7, 8, 9]);
+        // Fewer jobs than parts: trailing runs are empty, order intact.
+        let small = Batch::from(vec![1, 2]);
+        let runs: Vec<&[i32]> = small.split(4).collect();
+        assert_eq!(runs, vec![&[1][..], &[2][..], &[][..], &[][..]]);
+        // Concatenation of the runs is always the original batch.
+        for parts in 1..=12 {
+            let joined: Vec<i32> = b.split(parts).flatten().copied().collect();
+            assert_eq!(joined, b.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn split_rejects_zero_parts() {
+        let _ = Batch::from(vec![1]).split(0).count();
+    }
+
+    #[test]
+    fn spare_pool_never_exceeds_its_cap() {
+        let cap = JobQueue::<u64>::MAX_SPARE_BUFFERS;
+        let mut q = JobQueue::with_batch_capacity(4);
+        // A deep burst seals ~100 batches; draining them all would hand
+        // ~100 buffers back to the pool without the bound.
+        for burst in 0..3 {
+            for i in 0..400u64 {
+                q.push(burst * 1000 + i);
+            }
+            while q.pop().is_some() {
+                assert!(
+                    q.spare.len() <= cap,
+                    "spare pool grew past its cap: {} > {cap}",
+                    q.spare.len()
+                );
+            }
+            assert!(q.is_empty());
+        }
+        // pop_newest drains recycle through the same bounded path.
+        for i in 0..400u64 {
+            q.push(i);
+        }
+        while q.pop_newest().is_some() {
+            assert!(q.spare.len() <= cap);
+        }
+        assert!(q.spare.len() <= cap);
     }
 
     #[test]

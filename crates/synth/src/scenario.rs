@@ -131,6 +131,8 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                 },
                 degradation: None,
                 faults: None,
+                shards: 1,
+                parallelism: std::num::NonZeroUsize::MIN,
             };
             PaperScenario {
                 query,
@@ -171,6 +173,8 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                 },
                 degradation: None,
                 faults: None,
+                shards: 1,
+                parallelism: std::num::NonZeroUsize::MIN,
             };
             PaperScenario {
                 query,

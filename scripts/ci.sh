@@ -22,4 +22,23 @@ cargo test -q
 echo "==> fault-injection smoke matrix"
 cargo run --release -q -p amri-bench --bin fault_matrix
 
+# Determinism under parallelism: the same quick-scale sweep run twice at
+# --threads 4 must emit byte-identical summary CSVs (the sharded merge is
+# deterministic, so thread scheduling must be unobservable), and the fault
+# matrix's replay checks must stay green with the pool engaged.
+echo "==> determinism under parallelism (--threads 4)"
+PAR_A="$(mktemp -d)"
+PAR_B="$(mktemp -d)"
+trap 'rm -rf "$PAR_A" "$PAR_B"' EXIT
+(cd "$PAR_A" && "$OLDPWD"/target/release/all_experiments --quick --threads 4 > /dev/null)
+(cd "$PAR_B" && "$OLDPWD"/target/release/all_experiments --quick --threads 4 > /dev/null)
+for csv in fig6_assessment_summary fig6_hash_summary fig7_compare_summary; do
+    diff "$PAR_A/results/${csv}.csv" "$PAR_B/results/${csv}.csv" \
+        || { echo "parallel run diverged: ${csv}"; exit 1; }
+done
+echo "summary CSVs identical across repeated --threads 4 sweeps"
+
+echo "==> fault-injection replay at --threads 4"
+cargo run --release -q -p amri-bench --bin fault_matrix -- --threads 4
+
 echo "CI green."

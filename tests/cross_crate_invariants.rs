@@ -77,6 +77,8 @@ fn engine_config(lambda: f64, secs: u64, policy: PolicyKind) -> EngineConfig {
         params: CostParams::default(),
         degradation: None,
         faults: None,
+        shards: 1,
+        parallelism: std::num::NonZeroUsize::MIN,
     }
 }
 

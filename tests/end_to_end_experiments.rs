@@ -11,7 +11,7 @@ use amri_synth::scenario::Scale;
 
 #[test]
 fn fig6_quick_lineup_completes_with_sane_curves() {
-    let runs = fig6_assessment(Scale::Quick, 42);
+    let runs = fig6_assessment(Scale::Quick, 42, std::num::NonZeroUsize::MIN);
     assert_eq!(runs.len(), 5);
     for r in &runs {
         assert!(r.outputs > 0, "{} produced nothing", r.label);
@@ -48,8 +48,8 @@ fn fig6_quick_lineup_completes_with_sane_curves() {
 
 #[test]
 fn fig6_is_deterministic_per_seed() {
-    let a = fig6_assessment(Scale::Quick, 7);
-    let b = fig6_assessment(Scale::Quick, 7);
+    let a = fig6_assessment(Scale::Quick, 7, std::num::NonZeroUsize::MIN);
+    let b = fig6_assessment(Scale::Quick, 7, std::num::NonZeroUsize::MIN);
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.label, y.label);
         assert_eq!(x.outputs, y.outputs, "{}", x.label);
@@ -58,7 +58,7 @@ fn fig6_is_deterministic_per_seed() {
 
 #[test]
 fn fig6_hash_quick_sweep_has_seven_labeled_runs() {
-    let runs = fig6_hash(Scale::Quick, 42);
+    let runs = fig6_hash(Scale::Quick, 42, std::num::NonZeroUsize::MIN);
     assert_eq!(runs.len(), 7);
     for (i, r) in runs.iter().enumerate() {
         assert_eq!(r.label, format!("hash-{}", i + 1));
@@ -77,7 +77,7 @@ fn fig6_hash_quick_sweep_has_seven_labeled_runs() {
 
 #[test]
 fn fig7_quick_bundle_reports_gains_and_charts() {
-    let f7 = fig7_compare(Scale::Quick, 42);
+    let f7 = fig7_compare(Scale::Quick, 42, std::num::NonZeroUsize::MIN);
     assert!(f7.amri.outputs > 0);
     assert!(f7.best_hash.label.starts_with("hash-"));
     // Unconstrained quick runs tie, so the gains hover near zero — the
@@ -100,7 +100,7 @@ fn fig7_quick_bundle_reports_gains_and_charts() {
 
 #[test]
 fn all_states_see_drifting_patterns() {
-    let runs = fig6_assessment(Scale::Quick, 42);
+    let runs = fig6_assessment(Scale::Quick, 42, std::num::NonZeroUsize::MIN);
     for r in &runs {
         for (state, stats) in r.pattern_stats.iter().enumerate() {
             assert!(

@@ -363,6 +363,96 @@ fn quick_scale_all_four_modes_are_byte_identical() {
     }
 }
 
+/// Run one scenario at `shards = 4` with `parallelism` 1 and 4 and
+/// require byte-identical results: the deterministic shard-then-slot
+/// merge makes thread count an implementation detail, not an observable.
+fn assert_parallelism_invariant(
+    mode: IndexingMode,
+    scale: Scale,
+    seed: u64,
+    truncate: Option<u64>,
+) {
+    let mut sc = paper_scenario(scale, seed);
+    if let Some(secs) = truncate {
+        sc.engine.duration = VirtualDuration::from_secs(secs);
+    }
+    sc.engine.shards = 4;
+    sc.engine.parallelism = std::num::NonZeroUsize::MIN;
+    let seq = Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
+    sc.engine.parallelism = std::num::NonZeroUsize::new(4).unwrap();
+    let par = Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
+    assert_eq!(
+        format!("{seq:#?}"),
+        format!("{par:#?}"),
+        "parallelism=4 diverged from parallelism=1 ({}, {scale:?}, seed {seed})",
+        mode.label()
+    );
+}
+
+#[test]
+fn paper_scale_parallelism_is_byte_identical() {
+    // The §V configuration truncated exactly like the frozen-reference
+    // pin above: 120 grid points, retunes, the first drift phases.
+    assert_parallelism_invariant(
+        IndexingMode::Amri {
+            assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+            initial: None,
+        },
+        Scale::Paper,
+        42,
+        Some(120),
+    );
+}
+
+#[test]
+fn quick_scale_parallelism_is_byte_identical_in_all_four_modes() {
+    for mode in [
+        IndexingMode::Amri {
+            assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+            initial: None,
+        },
+        IndexingMode::AdaptiveHash {
+            n_indices: 3,
+            initial: None,
+        },
+        IndexingMode::StaticBitmap { configs: None },
+        IndexingMode::Scan,
+    ] {
+        assert_parallelism_invariant(mode, Scale::Quick, 7, None);
+    }
+}
+
+#[test]
+fn governed_degradation_parallelism_is_byte_identical() {
+    // Sharded + threaded execution must not perturb the governor: shed
+    // and eviction decisions hang off memory reports and backlog lengths,
+    // both of which the deterministic merge keeps identical.
+    let mut sc = paper_scenario(Scale::Quick, 42);
+    sc.engine.budget = MemoryBudget { bytes: 150_000 };
+    sc.engine.degradation = Some(amri_engine::DegradationPolicy {
+        high_water: 0.9,
+        low_water: 0.7,
+        max_backlog: 512,
+        shedding: amri_engine::SheddingPolicy::DropOldest,
+        seed: 1,
+    });
+    sc.engine.shards = 4;
+    let mode = IndexingMode::Amri {
+        assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+        initial: None,
+    };
+    sc.engine.parallelism = std::num::NonZeroUsize::MIN;
+    let seq = Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
+    sc.engine.parallelism = std::num::NonZeroUsize::new(4).unwrap();
+    let par = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone()).run();
+    assert!(
+        matches!(seq.outcome, RunOutcome::Degraded { .. }),
+        "the tight budget must force governed degradation: {:?}",
+        seq.outcome
+    );
+    assert_eq!(format!("{seq:#?}"), format!("{par:#?}"));
+}
+
 #[test]
 fn oom_death_is_byte_identical() {
     // A budget tight enough to kill hash-7 mid-run: the death instant and

@@ -1,0 +1,215 @@
+//! Sharded vs unsharded bit-address index equivalence — the correctness
+//! half of the multicore tentpole. A sharded arena partitions buckets by
+//! the top bits of the bucket id; this file pins that the partitioning is
+//! unobservable through the index API: for every shard count in
+//! {1, 2, 4, 8} a random interleaving of inserts, searches, migrations,
+//! expirations and evictions yields the identical result *set* (order may
+//! differ across shard counts — the deterministic-order pin per count
+//! lives with the engine's parallelism equivalence tests), identical
+//! entry/memory accounting, and a structurally sound arena in every
+//! shard after every structural change.
+
+use amri_core::{BitAddressIndex, CostReceipt, IndexConfig, StateStore};
+use amri_stream::{
+    AccessPattern, AttrId, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualTime,
+    WindowSpec,
+};
+use proptest::prelude::*;
+
+/// One scripted operation over a state.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a tuple with the given JAS values at the given second.
+    Insert([u64; 3], u64),
+    /// Expire at the given second.
+    Expire(u64),
+    /// Search with (pattern mask, values).
+    Search(u32, [u64; 3]),
+    /// Migrate to the i-th target configuration.
+    Migrate(u8),
+    /// Forcibly evict up to n oldest live tuples (the governor's move).
+    Evict(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (proptest::array::uniform3(0u64..6), 0u64..40).prop_map(|(v, t)| Op::Insert(v, t)),
+        (proptest::array::uniform3(0u64..6), 0u64..40).prop_map(|(v, t)| Op::Insert(v, t)),
+        (0u64..60).prop_map(Op::Expire),
+        (0u32..8, proptest::array::uniform3(0u64..6)).prop_map(|(m, v)| Op::Search(m, v)),
+        (0u32..8, proptest::array::uniform3(0u64..6)).prop_map(|(m, v)| Op::Search(m, v)),
+        (0u8..6).prop_map(Op::Migrate),
+        (1u8..8).prop_map(Op::Evict),
+    ]
+}
+
+/// Migration targets spanning trivial, skewed and wide configurations —
+/// including bit widths below the shard bits of the 8-way index, so the
+/// "fewer buckets than shards" degeneracy is exercised.
+fn config(i: u8) -> IndexConfig {
+    let bits = match i % 6 {
+        0 => vec![4, 4, 4],
+        1 => vec![12, 0, 0],
+        2 => vec![0, 0, 10],
+        3 => vec![1, 1, 1],
+        4 => vec![8, 8, 0],
+        _ => vec![0, 0, 0],
+    };
+    IndexConfig::new(bits).unwrap()
+}
+
+/// Monotone-clock script runner over a sharded store (same shape as the
+/// cross-flavor equivalence runner).
+struct Runner {
+    store: StateStore<BitAddressIndex>,
+    now: u64,
+    seq: u64,
+}
+
+impl Runner {
+    fn new(shards: usize) -> Self {
+        Runner {
+            store: StateStore::new(
+                StreamId(0),
+                vec![AttrId(0), AttrId(1), AttrId(2)],
+                WindowSpec::secs(20),
+                BitAddressIndex::with_shards(config(0), shards),
+            ),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    fn insert(&mut self, vals: [u64; 3], t: u64) {
+        self.now = self.now.max(t);
+        let tuple = Tuple::new(
+            TupleId(self.seq),
+            StreamId(0),
+            VirtualTime::from_secs(self.now),
+            AttrVec::from_slice(&vals).unwrap(),
+        );
+        self.seq += 1;
+        self.store.insert(tuple, &mut CostReceipt::new());
+    }
+
+    fn expire(&mut self, t: u64) {
+        self.now = self.now.max(t);
+        self.store
+            .expire(VirtualTime::from_secs(self.now), &mut CostReceipt::new());
+    }
+
+    /// Sorted tuple ids matching the request — the shard-count-invariant
+    /// answer set.
+    fn search(&self, mask: u32, vals: [u64; 3]) -> Vec<u64> {
+        let req = SearchRequest::new(
+            AccessPattern::new(mask, 3),
+            AttrVec::from_slice(&vals).unwrap(),
+        );
+        let mut scratch = amri_core::SearchScratch::new();
+        self.store
+            .search_into(&req, &mut scratch, &mut CostReceipt::new());
+        let mut ids: Vec<u64> = scratch
+            .hits
+            .iter()
+            .map(|k| self.store.tuple(*k).unwrap().id.0)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Arena integrity across every shard, plus the accounting invariant
+    /// that per-shard fill statistics cover exactly the live entries.
+    fn check_sound(&self) -> Result<(), String> {
+        let index = self.store.index();
+        index.check_integrity()?;
+        let per_shard: usize = index
+            .shard_fill_stats()
+            .iter()
+            .map(|f| f.entries)
+            .sum();
+        if per_shard != amri_core::StateIndex::entries(index) {
+            return Err(format!(
+                "shard fill stats cover {per_shard} entries, index holds {}",
+                amri_core::StateIndex::entries(index)
+            ));
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_shard_count_agrees_on_random_scripts(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut runners: Vec<Runner> = [1usize, 2, 4, 8].iter().map(|&s| Runner::new(s)).collect();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(vals, t) => {
+                    for r in &mut runners {
+                        r.insert(vals, t);
+                    }
+                }
+                Op::Expire(t) => {
+                    for r in &mut runners {
+                        r.expire(t);
+                    }
+                }
+                Op::Search(mask, vals) => {
+                    let want = runners[0].search(mask, vals);
+                    for (i, r) in runners.iter().enumerate().skip(1) {
+                        prop_assert_eq!(
+                            &r.search(mask, vals), &want,
+                            "shard count {} diverged at step {}", 1usize << i, step
+                        );
+                    }
+                }
+                Op::Migrate(i) => {
+                    for r in &mut runners {
+                        r.store
+                            .index_mut()
+                            .migrate(config(i), &mut CostReceipt::new());
+                        let sound = r.check_sound();
+                        prop_assert!(sound.is_ok(), "after migrate: {:?}", sound);
+                    }
+                }
+                Op::Evict(n) => {
+                    let evicted = runners[0]
+                        .store
+                        .evict_oldest(n as usize, &mut CostReceipt::new());
+                    for r in &mut runners[1..] {
+                        let e = r.store.evict_oldest(n as usize, &mut CostReceipt::new());
+                        prop_assert_eq!(e, evicted, "eviction count diverged");
+                        let sound = r.check_sound();
+                        prop_assert!(sound.is_ok(), "after evict: {:?}", sound);
+                    }
+                }
+            }
+            // Accounting is shard-count-invariant at every step: each
+            // bucket lives in exactly one shard.
+            let entries = runners[0].store.len();
+            let mem = amri_core::StateIndex::memory_bytes(runners[0].store.index());
+            for r in &runners[1..] {
+                prop_assert_eq!(r.store.len(), entries);
+                prop_assert_eq!(amri_core::StateIndex::memory_bytes(r.store.index()), mem);
+            }
+        }
+        // Terminal sweep: every pattern over a value grid, every shard
+        // count, one final integrity pass.
+        for r in &runners {
+            let sound = r.check_sound();
+            prop_assert!(sound.is_ok(), "terminal integrity: {:?}", sound);
+        }
+        for mask in 0..8u32 {
+            for v in 0..6u64 {
+                let vals = [v, (v + 1) % 6, (v + 2) % 6];
+                let want = runners[0].search(mask, vals);
+                for r in &runners[1..] {
+                    prop_assert_eq!(&r.search(mask, vals), &want);
+                }
+            }
+        }
+    }
+}

@@ -1,11 +1,17 @@
 //! Run every §V experiment end to end and print a combined report —
 //! the one-command regeneration entry point referenced by EXPERIMENTS.md.
+//! With `--checkpoint-every N` the suite finishes with a crash-replay
+//! proof: the AMRI flavor is crashed mid-run, resumed from its latest
+//! snapshot, and must land byte-identical to an uninterrupted twin
+//! (summary under `results/crash_replay_summary.csv`).
 //!
-//! Usage: `all_experiments [--quick] [--seed N] [--threads N]`
+//! Usage: `all_experiments [--quick] [--seed N] [--threads N]
+//!         [--checkpoint-every N]`
 
 use amri_bench::{
-    fig6_assessment, fig6_hash, fig7_compare, parse_scale, parse_seed, parse_threads,
-    render_series_table, render_summary, table2_example, write_csv, write_summary_csv,
+    fig6_assessment, fig6_hash, fig7_compare, parse_checkpoint_every, parse_scale, parse_seed,
+    parse_threads, render_series_table, render_summary, resume_latest, run_until_crash,
+    table2_example, write_csv, write_summary_csv,
 };
 use std::path::Path;
 
@@ -14,6 +20,7 @@ fn main() {
     let scale = parse_scale(&args);
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
+    let checkpoint_every = parse_checkpoint_every(&args);
 
     println!(
         "################ AMRI experiment suite ({scale:?}, seed {seed}, {threads} thread(s)) ################\n"
@@ -38,6 +45,7 @@ fn main() {
         &assess,
         Path::new("results/fig6_assessment_summary.csv"),
         threads.get(),
+        &[],
     )
     .expect("csv");
 
@@ -51,6 +59,7 @@ fn main() {
         &hash,
         Path::new("results/fig6_hash_summary.csv"),
         threads.get(),
+        &[],
     )
     .expect("csv");
 
@@ -70,8 +79,61 @@ fn main() {
         &f7_runs,
         Path::new("results/fig7_compare_summary.csv"),
         threads.get(),
+        &[],
     )
     .expect("csv");
+
+    if let Some(every) = checkpoint_every {
+        use amri_bench::apply_threads;
+        use amri_core::assess::AssessorKind;
+        use amri_engine::{Executor, FaultKind, IndexingMode};
+        use amri_synth::scenario::paper_scenario;
+
+        eprintln!("running crash-replay proof (checkpoint every {every} steps)...");
+        let mut sc = paper_scenario(amri_synth::scenario::Scale::Quick, seed);
+        apply_threads(&mut sc.engine, threads);
+        let exec = || {
+            Executor::new(
+                &sc.query,
+                sc.workload(),
+                IndexingMode::Amri {
+                    assessor: AssessorKind::Csria,
+                    initial: None,
+                },
+                sc.engine.clone(),
+            )
+        };
+        let baseline = exec().run();
+        let dir = Path::new("results/checkpoints/all_experiments");
+        std::fs::remove_dir_all(dir).ok();
+        let crash_at = every * 3 + every / 2;
+        let (step, taken) = run_until_crash(
+            exec(),
+            dir,
+            every,
+            vec![FaultKind::CrashAt { step: crash_at }],
+        )
+        .expect("crash run");
+        let (resumed, note, skipped) = resume_latest(exec(), dir).expect("resume");
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            format!("{baseline:#?}"),
+            format!("{resumed:#?}"),
+            "resumed run must be byte-identical to the uninterrupted one"
+        );
+        println!(
+            "== Crash replay == crashed at step {step} after {taken} snapshot(s), \
+             resumed from step {}, byte-identical",
+            note.resumed_from_step.unwrap_or(0)
+        );
+        write_summary_csv(
+            &[resumed],
+            Path::new("results/crash_replay_summary.csv"),
+            threads.get(),
+            &[note],
+        )
+        .expect("csv");
+    }
 
     println!("\nall experiment CSVs under results/");
 }

@@ -1,0 +1,223 @@
+//! Crash-recovery acceptance matrix: every indexing mode is run once
+//! uninterrupted and once crash-at-step-k + resumed-from-snapshot, and the
+//! two `RunResult`s must be byte-identical (Debug render). The matching
+//! summary CSVs are written under `--out` so `scripts/ci.sh` can diff them
+//! byte-for-byte, and a recovery CSV records the bench-side checkpoint
+//! counters. `--torn` additionally corrupts the latest snapshot in flight,
+//! forcing recovery through the checksum fallback to the previous good
+//! image. Exits non-zero listing every violated cell.
+//!
+//! Usage: `crash_matrix [--quick] [--seed N] [--threads N]
+//!         [--checkpoint-every N] [--crash-at STEP] [--out DIR] [--torn]`
+
+use amri_bench::{
+    apply_threads, parse_checkpoint_every, parse_scale, parse_seed, parse_threads, resume_latest,
+    run_until_crash, write_summary_csv, CheckpointNote,
+};
+use amri_core::assess::AssessorKind;
+use amri_engine::{DegradationPolicy, Executor, FaultKind, FaultPlan, IndexingMode, TornMode};
+use amri_stream::VirtualDuration;
+use amri_synth::scenario::{paper_scenario, PaperScenario, Scale};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn parse_out(args: &[String]) -> PathBuf {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/crash_matrix"))
+}
+
+/// The recovery lineup: one representative per index flavor, plus the
+/// adversarial cell — AMRI with the degradation governor and a noisy
+/// fault plan active (the hardest state to carry through a snapshot).
+fn lineup(seed: u64) -> Vec<(&'static str, IndexingMode, bool)> {
+    let _ = seed;
+    vec![
+        (
+            "amri",
+            IndexingMode::Amri {
+                assessor: AssessorKind::Csria,
+                initial: None,
+            },
+            false,
+        ),
+        (
+            "hash-3",
+            IndexingMode::AdaptiveHash {
+                n_indices: 3,
+                initial: None,
+            },
+            false,
+        ),
+        (
+            "static-bitmap",
+            IndexingMode::StaticBitmap { configs: None },
+            false,
+        ),
+        ("scan", IndexingMode::Scan, false),
+        (
+            "amri-governed-faulted",
+            IndexingMode::Amri {
+                assessor: AssessorKind::Csria,
+                initial: None,
+            },
+            true,
+        ),
+    ]
+}
+
+fn scenario(scale: Scale, seed: u64, perturbed: bool) -> PaperScenario {
+    let mut sc = paper_scenario(scale, seed);
+    if scale == Scale::Quick {
+        sc.engine.duration = VirtualDuration::from_secs(8);
+    }
+    if perturbed {
+        sc.engine.degradation = Some(DegradationPolicy::default());
+        sc.engine.faults = Some(FaultPlan {
+            seed: seed ^ 0x5eed,
+            drop_prob: 0.05,
+            duplicate_prob: 0.05,
+            reorder_prob: 0.15,
+            late_prob: 0.1,
+            late_by: VirtualDuration::from_secs(2),
+            pressure: vec![],
+        });
+    }
+    sc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let seed = parse_seed(&args);
+    let threads = parse_threads(&args);
+    let every = parse_checkpoint_every(&args).unwrap_or(60);
+    let crash_at = parse_u64(&args, "--crash-at", 200);
+    let out = parse_out(&args);
+    let torn = args.iter().any(|a| a == "--torn");
+    println!(
+        "crash matrix (scale {scale:?}, seed {seed}, {threads} thread(s), \
+         checkpoint every {every}, crash at {crash_at}{})",
+        if torn { ", torn latest snapshot" } else { "" }
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut baselines = Vec::new();
+    let mut resumed_runs = Vec::new();
+    let mut recovery = String::from(
+        "label,crash_step,checkpoints_taken,resumed_from_step,snapshots_skipped,identical\n",
+    );
+    let mut notes: Vec<CheckpointNote> = Vec::new();
+
+    for (label, mode, perturbed) in lineup(seed) {
+        let sc = scenario(scale, seed, perturbed);
+        let exec = |mode: IndexingMode| {
+            let mut engine = sc.engine.clone();
+            apply_threads(&mut engine, threads);
+            Executor::new(&sc.query, sc.workload(), mode, engine)
+        };
+        let baseline = exec(mode.clone()).run();
+
+        let dir = out.join("snapshots").join(label);
+        std::fs::remove_dir_all(&dir).ok();
+        let mut faults = vec![FaultKind::CrashAt { step: crash_at }];
+        if torn {
+            // Snapshots land at every, 2·every, … < crash_at, so this
+            // many are taken before the crash; the torn write corrupts
+            // the last one (0-based sequence = count − 1).
+            let taken_before_crash = (crash_at - 1) / every;
+            faults.push(FaultKind::TornWrite {
+                snapshot: taken_before_crash.saturating_sub(1),
+                mode: TornMode::Truncate,
+            });
+        }
+        let (taken, resumed, note, skipped) =
+            match run_until_crash(exec(mode.clone()), &dir, every, faults) {
+                Ok((step, taken)) => {
+                    assert_eq!(step, crash_at);
+                    match resume_latest(exec(mode), &dir) {
+                        Ok((r, note, skipped)) => (taken, r, note, skipped),
+                        Err(e) => {
+                            violations.push(format!("{label}: resume failed: {e}"));
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => {
+                    violations.push(format!("{label}: crash run failed: {e}"));
+                    continue;
+                }
+            };
+
+        let identical = format!("{baseline:#?}") == format!("{resumed:#?}");
+        if !identical {
+            violations.push(format!("{label}: resumed run diverged from baseline"));
+        }
+        if torn && skipped == 0 {
+            violations.push(format!("{label}: torn snapshot was not skipped"));
+        }
+        println!(
+            "{label:>22}: crash@{crash_at}, {taken} snapshot(s), resumed from step {}, \
+             {skipped} skipped, {}",
+            note.resumed_from_step.unwrap_or(0),
+            if identical { "identical" } else { "DIVERGED" }
+        );
+        writeln!(
+            recovery,
+            "{label},{crash_at},{taken},{},{skipped},{identical}",
+            note.resumed_from_step.unwrap_or(0)
+        )
+        .unwrap();
+        baselines.push(baseline);
+        resumed_runs.push(resumed);
+        notes.push(note);
+    }
+
+    // The diffable pair: both summaries are pure functions of the
+    // RunResults (no checkpoint notes), so byte-equal files == recovered
+    // state is indistinguishable from never having crashed.
+    write_summary_csv(
+        &baselines,
+        &out.join("baseline_summary.csv"),
+        threads.get(),
+        &[],
+    )
+    .expect("baseline summary");
+    write_summary_csv(
+        &resumed_runs,
+        &out.join("resumed_summary.csv"),
+        threads.get(),
+        &[],
+    )
+    .expect("resumed summary");
+    // The bookkeeping view, with the checkpoint columns populated.
+    write_summary_csv(
+        &resumed_runs,
+        &out.join("recovery_summary.csv"),
+        threads.get(),
+        &notes,
+    )
+    .expect("recovery summary");
+    std::fs::write(out.join("recovery.csv"), recovery).expect("recovery csv");
+    println!("summaries under {}", out.display());
+
+    if violations.is_empty() {
+        println!("crash matrix green.");
+    } else {
+        eprintln!("crash matrix violations:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -4,9 +4,14 @@
 //! Exits non-zero listing every violated cell, so `scripts/ci.sh` can gate
 //! on it.
 //!
-//! Usage: `fault_matrix [--seed N] [--threads N]`
+//! With `--checkpoint-every N` the replay spot-checks additionally run
+//! through a checkpointer writing into `results/checkpoints/fault_matrix`
+//! and must stay bit-identical — pinning that snapshotting is a pure
+//! observer even under active shedding and fault injection.
+//!
+//! Usage: `fault_matrix [--seed N] [--threads N] [--checkpoint-every N]`
 
-use amri_bench::{apply_threads, parse_seed, parse_threads};
+use amri_bench::{apply_threads, parse_checkpoint_every, parse_seed, parse_threads};
 use amri_engine::{
     DegradationPolicy, Executor, FaultPlan, IndexingMode, MemoryBudget, PressureWindow, RunOutcome,
     RunResult, SheddingPolicy, SkewedClock,
@@ -104,12 +109,12 @@ fn shedding_policies(seed: u64) -> Vec<(&'static str, Option<DegradationPolicy>)
     ]
 }
 
-fn run_cell(
+fn cell_executor(
     seed: u64,
     threads: std::num::NonZeroUsize,
     plan: &FaultPlan,
     degradation: Option<DegradationPolicy>,
-) -> RunResult {
+) -> Executor<amri_synth::DriftingWorkload> {
     let mut sc = paper_scenario(Scale::Quick, seed);
     sc.engine.budget = MemoryBudget::mib(50);
     sc.engine.degradation = degradation;
@@ -121,7 +126,15 @@ fn run_cell(
         IndexingMode::Scan,
         sc.engine.clone(),
     )
-    .run()
+}
+
+fn run_cell(
+    seed: u64,
+    threads: std::num::NonZeroUsize,
+    plan: &FaultPlan,
+    degradation: Option<DegradationPolicy>,
+) -> RunResult {
+    cell_executor(seed, threads, plan, degradation).run()
 }
 
 fn outcome_label(r: &RunResult) -> String {
@@ -136,6 +149,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
+    let checkpoint_every = parse_checkpoint_every(&args);
     println!("fault matrix (seed {seed}, {threads} thread(s))");
 
     let mut violations: Vec<String> = Vec::new();
@@ -166,11 +180,27 @@ fn main() {
     }
 
     // Determinism spot-checks: the mixed plan (every fault kind at once)
-    // must replay bit-for-bit under each shedding policy.
+    // must replay bit-for-bit under each shedding policy — and, when
+    // checkpointing is requested, stay bit-identical while snapshotting
+    // (the pure-observer property under shedding + injected faults).
     let (_, mixed) = fault_kinds(seed).pop().expect("fault_kinds is non-empty");
     for (sname, policy) in shedding_policies(seed) {
         let a = run_cell(seed, threads, &mixed, policy);
-        let b = run_cell(seed, threads, &mixed, policy);
+        let b = match checkpoint_every {
+            Some(every) => {
+                let dir = format!("results/checkpoints/fault_matrix/{sname}");
+                std::fs::remove_dir_all(&dir).ok();
+                let (r, note) = amri_bench::run_checkpointed(
+                    cell_executor(seed, threads, &mixed, policy),
+                    std::path::Path::new(&dir),
+                    every,
+                )
+                .expect("checkpointed replay");
+                println!("replay {sname:>14}: {} snapshot(s)", note.checkpoints_taken);
+                r
+            }
+            None => run_cell(seed, threads, &mixed, policy),
+        };
         if format!("{a:#?}") != format!("{b:#?}") {
             violations.push(format!("mixed x {sname}: replay diverged"));
         } else {

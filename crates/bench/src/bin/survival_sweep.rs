@@ -3,10 +3,19 @@
 //! peak memory/backlog and mean job latency. This is the calibration view
 //! of the §V experiments (the figure binaries print the aligned series).
 //!
-//! Usage: `survival_sweep [--quick] [--seed N] [--threads N]`
+//! With `--checkpoint-every N` every run also snapshots itself every N
+//! steps (a pure observer — the numbers are unchanged), the table gains a
+//! `ckpts` column, and the sweep writes `results/survival_summary.csv`
+//! with the checkpoint bookkeeping columns populated.
+//!
+//! Usage: `survival_sweep [--quick] [--seed N] [--threads N]
+//!         [--checkpoint-every N]`
 
 use amri_bench::training::train_initial;
-use amri_bench::{apply_threads, parse_scale, parse_seed, parse_threads};
+use amri_bench::{
+    apply_threads, parse_checkpoint_every, parse_scale, parse_seed, parse_threads,
+    run_checkpointed, write_summary_csv, CheckpointNote,
+};
 use amri_core::assess::AssessorKind;
 use amri_engine::{Executor, IndexingMode};
 use amri_hh::CombineStrategy;
@@ -17,6 +26,7 @@ fn main() {
     let scale = parse_scale(&args);
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
+    let checkpoint_every = parse_checkpoint_every(&args);
 
     let mut sc = paper_scenario(scale, seed);
     apply_threads(&mut sc.engine, threads);
@@ -52,23 +62,43 @@ fn main() {
     ));
 
     println!(
-        "{:>14} {:>10} {:>8} {:>12} {:>10} {:>12}",
-        "flavor", "outputs", "death", "peak-mem(B)", "backlog", "latency(tk)"
+        "{:>14} {:>10} {:>8} {:>12} {:>10} {:>12} {:>6}",
+        "flavor", "outputs", "death", "peak-mem(B)", "backlog", "latency(tk)", "ckpts"
     );
+    let mut runs = Vec::new();
+    let mut notes: Vec<CheckpointNote> = Vec::new();
     for (label, mode) in modes {
-        let r = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone()).run();
+        let exec = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone());
+        let (r, note) = match checkpoint_every {
+            Some(every) => {
+                let dir = format!("results/checkpoints/survival/{label}");
+                std::fs::remove_dir_all(&dir).ok();
+                run_checkpointed(exec, std::path::Path::new(&dir), every).expect("checkpointed run")
+            }
+            None => (exec.run(), CheckpointNote::default()),
+        };
         let death = r
             .death_time()
             .map(|t| format!("{:.1}m", t.as_mins_f64()))
             .unwrap_or_else(|| "-".into());
         println!(
-            "{:>14} {:>10} {:>8} {:>12} {:>10} {:>12.0}",
+            "{:>14} {:>10} {:>8} {:>12} {:>10} {:>12.0} {:>6}",
             label,
             r.outputs,
             death,
             r.series.peak_memory(),
             r.series.peak_backlog(),
-            r.mean_job_latency_ticks
+            r.mean_job_latency_ticks,
+            note.checkpoints_taken
         );
+        runs.push(r);
+        notes.push(note);
     }
+    write_summary_csv(
+        &runs,
+        std::path::Path::new("results/survival_summary.csv"),
+        threads.get(),
+        &notes,
+    )
+    .expect("summary csv");
 }

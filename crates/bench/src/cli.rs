@@ -36,6 +36,17 @@ pub fn parse_threads(args: &[String]) -> NonZeroUsize {
         .unwrap_or(NonZeroUsize::MIN)
 }
 
+/// `--checkpoint-every N` (default off): snapshot the run every N
+/// pipeline steps. `0` and malformed values disable checkpointing, same
+/// as omitting the flag — checkpointing is a pure observer either way.
+pub fn parse_checkpoint_every(args: &[String]) -> Option<u64> {
+    args.iter()
+        .position(|a| a == "--checkpoint-every")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &u64| n > 0)
+}
+
 /// Point an engine configuration at `threads` workers: parallelism is the
 /// thread count and the arena is split into the next power of two ≥ that
 /// many shards so every worker owns at least one shard. One thread leaves
@@ -67,6 +78,24 @@ mod tests {
         let bad = argv(&["bin", "--threads", "zero", "--seed"]);
         assert_eq!(parse_threads(&bad).get(), 1);
         assert_eq!(parse_seed(&bad), 42);
+    }
+
+    #[test]
+    fn checkpoint_every_parses_and_defaults_off() {
+        assert_eq!(
+            parse_checkpoint_every(&argv(&["bin", "--checkpoint-every", "500"])),
+            Some(500)
+        );
+        assert_eq!(parse_checkpoint_every(&argv(&["bin"])), None);
+        assert_eq!(
+            parse_checkpoint_every(&argv(&["bin", "--checkpoint-every", "0"])),
+            None,
+            "zero disables the periodic trigger"
+        );
+        assert_eq!(
+            parse_checkpoint_every(&argv(&["bin", "--checkpoint-every", "lots"])),
+            None
+        );
     }
 
     #[test]

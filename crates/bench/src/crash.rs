@@ -1,0 +1,177 @@
+//! Crash/recovery drivers shared by the experiment binaries.
+//!
+//! The engine side (`amri_engine::runtime::checkpoint`) owns the snapshot
+//! mechanics; this module packages the three moves a benchmark needs —
+//! run-while-checkpointing, run-until-injected-crash, and
+//! resume-from-latest-good-snapshot — and reports the bench-side
+//! [`CheckpointNote`] bookkeeping that
+//! [`write_summary_csv`](crate::report::write_summary_csv) emits. The
+//! `RunResult` itself never mentions checkpointing: it is the
+//! byte-identity oracle the recovery checks diff, so the counters ride
+//! alongside it instead.
+
+use crate::report::CheckpointNote;
+use amri_engine::{
+    load_latest, CheckpointPolicy, Checkpointer, EngineError, Executor, FaultKind, RunResult,
+    StreamWorkload,
+};
+use std::path::Path;
+
+/// Run to completion while snapshotting every `every` steps into `dir`.
+///
+/// Checkpointing is a pure observer, so the returned [`RunResult`] is
+/// byte-identical to what `exec.run()` would have produced.
+///
+/// # Errors
+/// [`EngineError::Snapshot`] on checkpoint I/O failures.
+pub fn run_checkpointed<W: StreamWorkload>(
+    exec: Executor<W>,
+    dir: &Path,
+    every: u64,
+) -> Result<(RunResult, CheckpointNote), EngineError> {
+    let fingerprint = exec.config_fingerprint();
+    let mut ckpt = Checkpointer::new(dir, CheckpointPolicy::every(every))?;
+    let result = exec
+        .into_pipeline()
+        .run_with(Some(&mut ckpt), fingerprint)?;
+    Ok((
+        result,
+        CheckpointNote {
+            checkpoints_taken: ckpt.checkpoints_taken(),
+            resumed_from_step: None,
+        },
+    ))
+}
+
+/// Run with checkpointing and the given checkpoint-layer `faults` armed;
+/// the run is expected to die on an injected crash. Returns the step it
+/// died at and how many snapshots were written first.
+///
+/// # Errors
+/// [`EngineError::Snapshot`] on checkpoint I/O failures, or
+/// `Malformed` (as a snapshot error) if the run survives — an armed
+/// crash that never fires means the crash step was past the run's end.
+pub fn run_until_crash<W: StreamWorkload>(
+    exec: Executor<W>,
+    dir: &Path,
+    every: u64,
+    faults: Vec<FaultKind>,
+) -> Result<(u64, u64), EngineError> {
+    let fingerprint = exec.config_fingerprint();
+    let mut ckpt = Checkpointer::new(dir, CheckpointPolicy::every(every))?.with_faults(faults);
+    match exec.into_pipeline().run_with(Some(&mut ckpt), fingerprint) {
+        Err(EngineError::InjectedCrash { step }) => Ok((step, ckpt.checkpoints_taken())),
+        Err(e) => Err(e),
+        Ok(_) => Err(amri_stream::SnapshotError::Malformed(
+            "the armed crash never fired — crash step past the run's end".into(),
+        )
+        .into()),
+    }
+}
+
+/// Resume `exec` from the latest good snapshot in `dir` and run it to
+/// completion. Returns the finished result, the note recording the
+/// resume step, and how many corrupt snapshots recovery had to skip.
+///
+/// # Errors
+/// Any [`EngineError::Snapshot`] from loading (no usable snapshot,
+/// configuration mismatch) or from the restore itself.
+pub fn resume_latest<W: StreamWorkload>(
+    exec: Executor<W>,
+    dir: &Path,
+) -> Result<(RunResult, CheckpointNote, u64), EngineError> {
+    let (snap, _path, skipped) = load_latest(dir)?;
+    let step = snap.step();
+    let result = exec.resume_from(&snap)?.run_with(None, 0)?;
+    Ok((
+        result,
+        CheckpointNote {
+            checkpoints_taken: 0,
+            resumed_from_step: Some(step),
+        },
+        skipped,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amri_engine::{IndexingMode, TornMode};
+    use amri_stream::VirtualDuration;
+    use amri_synth::scenario::{paper_scenario, Scale};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("amri-bench-crash-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn quick_exec(seed: u64) -> Executor<amri_synth::DriftingWorkload> {
+        let mut sc = paper_scenario(Scale::Quick, seed);
+        sc.engine.duration = VirtualDuration::from_secs(6);
+        Executor::new(
+            &sc.query,
+            sc.workload(),
+            IndexingMode::Scan,
+            sc.engine.clone(),
+        )
+    }
+
+    #[test]
+    fn crash_resume_round_trip_matches_the_straight_run() {
+        let baseline = quick_exec(8).run();
+        let dir = tmpdir("roundtrip");
+        let (step, taken) = run_until_crash(
+            quick_exec(8),
+            &dir,
+            40,
+            vec![FaultKind::CrashAt { step: 150 }],
+        )
+        .unwrap();
+        assert_eq!(step, 150);
+        assert!(taken >= 3);
+        let (resumed, note, skipped) = resume_latest(quick_exec(8), &dir).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(note.resumed_from_step, Some(120));
+        assert_eq!(format!("{baseline:#?}"), format!("{resumed:#?}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observer_run_reports_its_checkpoints() {
+        let dir = tmpdir("observer");
+        let baseline = quick_exec(3).run();
+        let (result, note) = run_checkpointed(quick_exec(3), &dir, 100).unwrap();
+        assert!(note.checkpoints_taken > 0);
+        assert_eq!(note.resumed_from_step, None);
+        assert_eq!(format!("{baseline:#?}"), format!("{result:#?}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_latest_snapshot_is_skipped_on_resume() {
+        let dir = tmpdir("torn");
+        let baseline = quick_exec(4).run();
+        // Checkpoints at 40/80/120 (seqs 0/1/2); seq 2 is torn.
+        let (_, taken) = run_until_crash(
+            quick_exec(4),
+            &dir,
+            40,
+            vec![
+                FaultKind::TornWrite {
+                    snapshot: 2,
+                    mode: TornMode::Truncate,
+                },
+                FaultKind::CrashAt { step: 130 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(taken, 3);
+        let (resumed, note, skipped) = resume_latest(quick_exec(4), &dir).unwrap();
+        assert_eq!(skipped, 1, "the torn image must be skipped by checksum");
+        assert_eq!(note.resumed_from_step, Some(80));
+        assert_eq!(format!("{baseline:#?}"), format!("{resumed:#?}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`training`] — the paper's "quasi training data" bootstrap: observe a
 //!   short run, then select initial index configurations / hash patterns.
 //! * [`report`] — figure-shaped text tables and CSV emission.
+//! * [`crash`] — checkpointed / crash-and-resume run drivers for the
+//!   recovery experiments (`crash_matrix`, the `--checkpoint-every` flag).
 //! * [`parallel`] — scoped-thread fan-out over independent runs.
 //! * [`cli`] — the shared `--quick` / `--seed` / `--threads` flag parsing.
 
@@ -18,17 +20,20 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cli;
+pub mod crash;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
 pub mod training;
 
-pub use cli::{apply_threads, parse_scale, parse_seed, parse_threads};
+pub use cli::{apply_threads, parse_checkpoint_every, parse_scale, parse_seed, parse_threads};
+pub use crash::{resume_latest, run_checkpointed, run_until_crash};
 pub use experiments::{
     fig6_assessment, fig6_hash, fig7_compare, table2_example, Fig7Result, Table2Result,
 };
 pub use parallel::run_all;
 pub use report::{
     render_ascii_chart, render_series_table, render_summary, write_csv, write_summary_csv,
+    CheckpointNote,
 };
 pub use training::train_initial;

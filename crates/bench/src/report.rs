@@ -162,20 +162,41 @@ pub fn write_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()> {
     std::fs::write(path, body)
 }
 
+/// Per-run checkpoint bookkeeping for [`write_summary_csv`]: how many
+/// snapshots the run wrote and, when it was resumed from one, the step it
+/// restarted at. This lives bench-side on purpose — checkpointing is a
+/// pure observer and must not appear in [`RunResult`], whose Debug render
+/// is the byte-identity oracle the recovery tests diff.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointNote {
+    /// Snapshots written during the run (0 when checkpointing was off).
+    pub checkpoints_taken: u64,
+    /// Step the run was resumed at, `None` for uninterrupted runs.
+    pub resumed_from_step: Option<u64>,
+}
+
 /// Write one summary row per run as CSV, including the degradation and
 /// fault-injection counters — the experiment-facing face of
 /// [`RunOutcome::Degraded`] (empty cells where a counter does not apply).
 /// `threads` records the worker-thread count the runs executed with, so a
 /// summary produced under `--threads N` is distinguishable from (and
-/// diffable against) the sequential one.
-pub fn write_summary_csv(runs: &[RunResult], path: &Path, threads: usize) -> std::io::Result<()> {
+/// diffable against) the sequential one. `notes` aligns with `runs` and
+/// fills the `checkpoints_taken`/`resumed_from_step` columns; pass `&[]`
+/// for uncheckpointed lineups (zero / empty cells).
+pub fn write_summary_csv(
+    runs: &[RunResult],
+    path: &Path,
+    threads: usize,
+    notes: &[CheckpointNote],
+) -> std::io::Result<()> {
     let mut body = String::from(
         "label,outcome,outputs,peak_mem_bytes,peak_backlog,retunes,\
          shed_jobs,evicted_tuples,first_degraded_secs,death_secs,\
          faults_dropped,faults_duplicated,faults_delayed,faults_reordered,\
-         threads\n",
+         threads,checkpoints_taken,resumed_from_step\n",
     );
-    for r in runs {
+    for (i, r) in runs.iter().enumerate() {
+        let note = notes.get(i).copied().unwrap_or_default();
         let outcome = match r.outcome {
             RunOutcome::Completed => "completed",
             RunOutcome::OutOfMemory { .. } => "oom",
@@ -190,9 +211,13 @@ pub fn write_summary_csv(runs: &[RunResult], path: &Path, threads: usize) -> std
             .death_time()
             .map(|t| format!("{:.3}", t.as_secs_f64()))
             .unwrap_or_default();
+        let resumed = note
+            .resumed_from_step
+            .map(|s| s.to_string())
+            .unwrap_or_default();
         writeln!(
             body,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.label,
             outcome,
             r.outputs,
@@ -207,7 +232,9 @@ pub fn write_summary_csv(runs: &[RunResult], path: &Path, threads: usize) -> std
             r.faults.duplicated,
             r.faults.delayed,
             r.faults.reordered,
-            threads
+            threads,
+            note.checkpoints_taken,
+            resumed
         )
         .unwrap();
     }
@@ -316,16 +343,26 @@ mod tests {
 
         let dir = std::env::temp_dir().join("amri_bench_summary_test");
         let path = dir.join("summary.csv");
-        write_summary_csv(&runs, &path, 4).unwrap();
+        let notes = [CheckpointNote {
+            checkpoints_taken: 5,
+            resumed_from_step: Some(120),
+        }];
+        write_summary_csv(&runs, &path, 4, &notes).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
         assert!(lines[0].starts_with("label,outcome,outputs"));
         assert!(lines[0].contains("shed_jobs"));
-        assert!(lines[0].ends_with(",threads"), "{}", lines[0]);
+        assert!(
+            lines[0].ends_with(",threads,checkpoints_taken,resumed_from_step"),
+            "{}",
+            lines[0]
+        );
         assert!(lines[1].contains("degraded"), "{}", lines[1]);
         assert!(lines[1].contains(",7,40,12.000,"), "{}", lines[1]);
-        assert!(lines[1].ends_with("3,0,0,0,4"), "{}", lines[1]);
+        assert!(lines[1].ends_with("3,0,0,0,4,5,120"), "{}", lines[1]);
         assert!(lines[2].contains("completed"), "{}", lines[2]);
+        // Runs without a note get zero / empty checkpoint cells.
+        assert!(lines[2].ends_with(",4,0,"), "{}", lines[2]);
         // A degraded run has no death time.
         assert_eq!(runs[0].death_time(), None);
         std::fs::remove_dir_all(&dir).ok();

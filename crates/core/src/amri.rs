@@ -251,6 +251,30 @@ impl AmriState {
             _ => None,
         }
     }
+
+    /// Serialize the full mutable state: stored tuples and window, the
+    /// physical bit-address index (with its tuned configuration), and the
+    /// tuner (decision clock, counters, assessor statistics).
+    pub fn save(&self, w: &mut crate::snapshot_io::SectionWriter) {
+        w.put_str("AMRI");
+        self.store.save_state(w);
+        self.store.index().save(w);
+        self.tuner.save(w);
+    }
+
+    /// Overwrite this state from a [`save`](Self::save)d section. The
+    /// receiver must be freshly constructed with the original
+    /// configuration (stream, JAS, window spec, assessment method, tuner
+    /// parameters); shard count is restored from the section.
+    pub fn restore_from(
+        &mut self,
+        r: &mut crate::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), crate::snapshot_io::SnapshotError> {
+        crate::snapshot_io::expect_tag(r, "AMRI")?;
+        self.store.restore_state(r)?;
+        *self.store.index_mut() = BitAddressIndex::restore(r)?;
+        self.tuner.restore_from(r)
+    }
 }
 
 impl std::fmt::Debug for AmriState {

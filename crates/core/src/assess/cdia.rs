@@ -9,9 +9,9 @@
 //! members are individually rare, recovering configurations CSRIA misses
 //! (the Table II example, asserted in this module's tests).
 
-use super::{Assessor, AssessorKind};
-use amri_hh::{CombineStrategy, HhhConfig, HierarchicalHeavyHitters};
-use amri_stream::AccessPattern;
+use super::{check_tag, Assessor, AssessorKind};
+use amri_hh::{CombineStrategy, HhhConfig, HierarchicalHeavyHitters, LossyEntry};
+use amri_stream::{AccessPattern, SectionReader, SectionWriter, SnapshotError};
 
 /// The compact dependent assessment method.
 #[derive(Debug, Clone)]
@@ -76,6 +76,59 @@ impl Assessor for Cdia {
 
     fn kind(&self) -> AssessorKind {
         AssessorKind::Cdia(self.strategy)
+    }
+
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_str("CDIA");
+        w.put_u64(self.hhh.n());
+        for word in self.hhh.rng_state() {
+            w.put_u64(word);
+        }
+        w.put_usize(self.hhh.peak_entries());
+        w.put_u64(self.hhh.dropped());
+        let mut nodes: Vec<(u32, LossyEntry)> = self
+            .hhh
+            .lattice()
+            .iter()
+            .map(|(p, &e)| (p.mask(), e))
+            .collect();
+        nodes.sort_unstable_by_key(|(mask, _)| *mask);
+        w.put_usize(nodes.len());
+        for (mask, e) in nodes {
+            w.put_u32(mask);
+            w.put_u64(e.count);
+            w.put_u64(e.delta);
+        }
+    }
+
+    fn load(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        check_tag(r, "CDIA")?;
+        let n = r.get_u64()?;
+        let mut rng_state = [0u64; 4];
+        for word in rng_state.iter_mut() {
+            *word = r.get_u64()?;
+        }
+        let peak = r.get_usize()?;
+        let dropped = r.get_u64()?;
+        let n_nodes = r.get_usize()?;
+        let width = self.hhh.width();
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let mask = r.get_u32()?;
+            let count = r.get_u64()?;
+            let delta = r.get_u64()?;
+            nodes.push((AccessPattern::new(mask, width), LossyEntry { count, delta }));
+        }
+        self.hhh = HierarchicalHeavyHitters::from_parts(
+            width,
+            self.hhh.config(),
+            n,
+            rng_state,
+            peak,
+            dropped,
+            nodes,
+        );
+        Ok(())
     }
 }
 

@@ -6,10 +6,10 @@
 //! the Table II example (two 4% children of a common 8% ancestor) is
 //! exactly what it gets wrong, and what CDIA fixes.
 
-use super::{Assessor, AssessorKind};
+use super::{check_tag, Assessor, AssessorKind};
 use crate::assess::cdia::sort_desc;
-use amri_hh::{FrequencyEstimator, LossyCounter};
-use amri_stream::AccessPattern;
+use amri_hh::{FrequencyEstimator, LossyCounter, LossyEntry};
+use amri_stream::{AccessPattern, SectionReader, SectionWriter, SnapshotError};
 
 /// The compact SRIA table.
 #[derive(Debug, Clone)]
@@ -64,6 +64,40 @@ impl Assessor for Csria {
 
     fn kind(&self) -> AssessorKind {
         AssessorKind::Csria
+    }
+
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_str("CSRIA");
+        w.put_u64(self.counter.n());
+        w.put_usize(self.counter.peak_entries());
+        let mut entries: Vec<(u32, LossyEntry)> =
+            self.counter.iter().map(|(p, &e)| (p.mask(), e)).collect();
+        entries.sort_unstable_by_key(|(mask, _)| *mask);
+        w.put_usize(entries.len());
+        for (mask, e) in entries {
+            w.put_u32(mask);
+            w.put_u64(e.count);
+            w.put_u64(e.delta);
+        }
+    }
+
+    fn load(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        check_tag(r, "CSRIA")?;
+        let n = r.get_u64()?;
+        let peak = r.get_usize()?;
+        let n_entries = r.get_usize()?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let mask = r.get_u32()?;
+            let count = r.get_u64()?;
+            let delta = r.get_u64()?;
+            entries.push((
+                AccessPattern::new(mask, self.width),
+                LossyEntry { count, delta },
+            ));
+        }
+        self.counter = LossyCounter::from_parts(self.counter.epsilon(), n, peak, entries);
+        Ok(())
     }
 }
 

@@ -7,10 +7,10 @@
 //! base, use the same SRIA table, and do not reduce any nodes"); the value
 //! of the lattice appears only once CDIA starts folding.
 
-use super::{Assessor, AssessorKind};
+use super::{check_tag, Assessor, AssessorKind};
 use crate::assess::cdia::sort_desc;
 use amri_hh::PatternLattice;
-use amri_stream::AccessPattern;
+use amri_stream::{AccessPattern, SectionReader, SectionWriter, SnapshotError};
 
 /// The DIA lattice of exact counts.
 #[derive(Debug, Clone)]
@@ -79,6 +79,38 @@ impl Assessor for Dia {
 
     fn kind(&self) -> AssessorKind {
         AssessorKind::Dia
+    }
+
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_str("DIA");
+        w.put_u64(self.n);
+        w.put_usize(self.peak);
+        let mut entries: Vec<(u32, u64)> =
+            self.lattice.iter().map(|(p, &c)| (p.mask(), c)).collect();
+        entries.sort_unstable();
+        w.put_usize(entries.len());
+        for (mask, count) in entries {
+            w.put_u32(mask);
+            w.put_u64(count);
+        }
+    }
+
+    fn load(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        check_tag(r, "DIA")?;
+        let n = r.get_u64()?;
+        let peak = r.get_usize()?;
+        let n_entries = r.get_usize()?;
+        let width = self.lattice.width();
+        let mut lattice = PatternLattice::new(width);
+        for _ in 0..n_entries {
+            let mask = r.get_u32()?;
+            let count = r.get_u64()?;
+            lattice.insert(AccessPattern::new(mask, width), count);
+        }
+        self.lattice = lattice;
+        self.n = n;
+        self.peak = peak;
+        Ok(())
     }
 }
 

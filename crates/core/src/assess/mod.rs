@@ -24,7 +24,7 @@ pub use dia::Dia;
 pub use sria::Sria;
 
 use amri_hh::CombineStrategy;
-use amri_stream::AccessPattern;
+use amri_stream::{AccessPattern, SectionReader, SectionWriter, SnapshotError};
 
 /// A statistics collector over the stream of access patterns hitting one
 /// state.
@@ -51,7 +51,26 @@ pub trait Assessor: Send {
 
     /// Which method this is.
     fn kind(&self) -> AssessorKind;
+
+    /// Serialize the collected statistics into a snapshot section. The
+    /// constructor-time configuration (width, ε, strategy, seed) is not
+    /// captured — restore rebuilds the collector from configuration and
+    /// then [`load`](Assessor::load)s the statistics into it. Entries are
+    /// written in ascending `BR(ap)` order so the section bytes are
+    /// deterministic.
+    fn save(&self, w: &mut SectionWriter);
+
+    /// Overwrite this collector's statistics from a section written by
+    /// [`save`](Assessor::save) on a collector of the same kind.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Malformed`] when the section was written by a
+    /// different method; decode errors pass through.
+    fn load(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError>;
 }
+
+/// Shared save/load helper: check the method tag the collector wrote.
+pub(crate) use crate::snapshot_io::expect_tag as check_tag;
 
 /// The four assessment methods (plus the CDIA strategy choice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,6 +243,45 @@ mod tests {
             cdia.entries(),
             sria.entries()
         );
+    }
+
+    #[test]
+    fn save_load_roundtrips_every_method() {
+        let stream: Vec<u32> = (0..2000)
+            .map(|i| [1u32, 3, 7, 7, 5, 2, 6, 7][(i * 7 % 13) as usize % 8])
+            .collect();
+        for kind in AssessorKind::figure6_lineup() {
+            let a = drive(kind, &stream);
+            let mut w = SectionWriter::new();
+            a.save(&mut w);
+            let bytes = w.into_bytes();
+            // Restore into a fresh collector built from the same config.
+            let mut b = kind.build(3, 0.001, 7);
+            let mut r = SectionReader::new(&bytes);
+            b.load(&mut r).expect("load");
+            assert_eq!(r.remaining(), 0, "{}: trailing bytes", kind.label());
+            assert_eq!(a.n(), b.n(), "{}", kind.label());
+            assert_eq!(a.entries(), b.entries(), "{}", kind.label());
+            assert_eq!(a.peak_entries(), b.peak_entries(), "{}", kind.label());
+            for theta in [0.0, 0.05, 0.2, 0.5] {
+                assert_eq!(a.frequent(theta), b.frequent(theta), "{}", kind.label());
+            }
+            // Saving again must produce identical bytes (determinism).
+            let mut w2 = SectionWriter::new();
+            b.save(&mut w2);
+            assert_eq!(bytes, w2.into_bytes(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_method_tag() {
+        let sria = drive(AssessorKind::Sria, &[1, 2, 3]);
+        let mut w = SectionWriter::new();
+        sria.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut dia = AssessorKind::Dia.build(3, 0.001, 7);
+        let err = dia.load(&mut SectionReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed(_)), "{err:?}");
     }
 
     #[test]

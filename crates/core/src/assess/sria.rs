@@ -5,10 +5,10 @@
 //! pattern's. Simple and accurate, but its table can grow to all `2^n − 1`
 //! patterns.
 
-use super::{Assessor, AssessorKind};
+use super::{check_tag, Assessor, AssessorKind};
 use crate::assess::cdia::sort_desc;
 use amri_hh::{ExactCounter, FrequencyEstimator};
-use amri_stream::AccessPattern;
+use amri_stream::{AccessPattern, SectionReader, SectionWriter, SnapshotError};
 
 /// The SRIA table.
 #[derive(Debug, Clone)]
@@ -66,6 +66,34 @@ impl Assessor for Sria {
 
     fn kind(&self) -> AssessorKind {
         AssessorKind::Sria
+    }
+
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_str("SRIA");
+        w.put_usize(self.peak);
+        let mut entries: Vec<(u32, u64)> =
+            self.counts.iter().map(|(p, &c)| (p.mask(), c)).collect();
+        entries.sort_unstable();
+        w.put_usize(entries.len());
+        for (mask, count) in entries {
+            w.put_u32(mask);
+            w.put_u64(count);
+        }
+    }
+
+    fn load(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        check_tag(r, "SRIA")?;
+        let peak = r.get_usize()?;
+        let n_entries = r.get_usize()?;
+        let mut counts = ExactCounter::new();
+        for _ in 0..n_entries {
+            let mask = r.get_u32()?;
+            let count = r.get_u64()?;
+            counts.observe_n(AccessPattern::new(mask, self.width), count);
+        }
+        self.counts = counts;
+        self.peak = peak;
+        Ok(())
     }
 }
 

@@ -124,16 +124,26 @@ fn fill_from_lens<'a>(
 ) -> FillStats {
     let n = entries as f64;
     let expected = n / space;
-    let mut chi2 = 0.0;
+    // Accumulate in integers so the statistic is independent of the
+    // bucket-map iteration order (floating-point addition isn't
+    // associative): Σ(len−e)²/e = (Σlen² − 2eΣlen + k·e²)/e for k
+    // occupied buckets. Restored snapshots rebuild the bucket map with a
+    // different insertion history, so order-sensitive float sums here
+    // would break resumed-run equivalence.
+    let mut sum_len: u64 = 0;
+    let mut sum_sq: u64 = 0;
     let mut max = 0usize;
     for bucket in lens {
         let len = bucket.len as usize;
         max = max.max(len);
-        let d = len as f64 - expected;
-        chi2 += d * d / expected.max(1e-12);
+        sum_len += bucket.len as u64;
+        sum_sq += bucket.len as u64 * bucket.len as u64;
     }
+    let e = expected.max(1e-12);
+    let k = occupied as f64;
+    let mut chi2 = (sum_sq as f64 - 2.0 * e * sum_len as f64 + k * e * e) / e;
     // Empty addressable buckets contribute `expected` each.
-    chi2 += (space - occupied as f64).max(0.0) * expected;
+    chi2 += (space - k).max(0.0) * expected;
     FillStats {
         entries,
         occupied,
@@ -748,6 +758,113 @@ impl BitAddressIndex {
                 shard.push_and_link(*node);
             }
         });
+    }
+
+    /// Serialize the full physical structure — the (possibly tuned)
+    /// active configuration, each shard's slab in slab order with chain
+    /// links verbatim, and the occupied-bucket records sorted by id — so
+    /// a restored index probes, charges, and yields hits in exactly the
+    /// original order. Chain order carries insertion history that slab
+    /// order does not (swap-remove eviction reorders the slab), which is
+    /// why the links are stored rather than re-derived.
+    pub fn save(&self, w: &mut crate::snapshot_io::SectionWriter) {
+        w.put_str("BITADDR");
+        let bits = self.config.bits();
+        w.put_usize(bits.len());
+        for &b in bits {
+            w.put_u8(b);
+        }
+        w.put_u32(self.shard_bits);
+        for shard in &self.shards {
+            w.put_usize(shard.nodes.len());
+            for node in &shard.nodes {
+                w.put_u32(node.key.0);
+                w.put_attrs(&node.jas);
+                w.put_u64(node.bucket);
+                w.put_u32(node.next);
+                w.put_u32(node.prev);
+            }
+            let mut buckets: Vec<(u64, Bucket)> =
+                shard.heads.iter().map(|(&id, &b)| (id, b)).collect();
+            buckets.sort_unstable_by_key(|&(id, _)| id);
+            w.put_usize(buckets.len());
+            for (id, b) in buckets {
+                w.put_u64(id);
+                w.put_u32(b.head);
+                w.put_u32(b.tail);
+                w.put_u32(b.len);
+            }
+        }
+    }
+
+    /// Rebuild an index from a [`save`](Self::save)d section.
+    pub fn restore(
+        r: &mut crate::snapshot_io::SectionReader<'_>,
+    ) -> Result<Self, crate::snapshot_io::SnapshotError> {
+        use crate::snapshot_io::SnapshotError;
+        crate::snapshot_io::expect_tag(r, "BITADDR")?;
+        let width = r.get_usize()?;
+        let mut bits = Vec::with_capacity(width);
+        for _ in 0..width {
+            bits.push(r.get_u8()?);
+        }
+        let config = IndexConfig::new(bits)
+            .map_err(|e| SnapshotError::Malformed(format!("index config: {e}")))?;
+        let shard_bits = r.get_u32()?;
+        if shard_bits > 16 {
+            return Err(SnapshotError::Malformed(format!(
+                "shard bits {shard_bits} out of range"
+            )));
+        }
+        let shard_count = 1usize << shard_bits;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let n_nodes = r.get_usize()?;
+            let mut nodes = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                let key = TupleKey(r.get_u32()?);
+                let jas = r.get_attrs()?;
+                let bucket = r.get_u64()?;
+                let next = r.get_u32()?;
+                let prev = r.get_u32()?;
+                for link in [next, prev] {
+                    if link != NIL && link as usize >= n_nodes {
+                        return Err(SnapshotError::Malformed(format!(
+                            "chain link {link} beyond slab of {n_nodes}"
+                        )));
+                    }
+                }
+                nodes.push(Node {
+                    key,
+                    jas,
+                    bucket,
+                    next,
+                    prev,
+                });
+            }
+            let n_buckets = r.get_usize()?;
+            let mut heads = FxHashMap::default();
+            for _ in 0..n_buckets {
+                let id = r.get_u64()?;
+                let head = r.get_u32()?;
+                let tail = r.get_u32()?;
+                let len = r.get_u32()?;
+                if head as usize >= n_nodes || tail as usize >= n_nodes {
+                    return Err(SnapshotError::Malformed(format!(
+                        "bucket {id:#x} endpoints beyond slab of {n_nodes}"
+                    )));
+                }
+                heads.insert(id, Bucket { head, tail, len });
+            }
+            shards.push(Shard { nodes, heads });
+        }
+        let idx = BitAddressIndex {
+            config,
+            shard_bits,
+            shards,
+        };
+        idx.check_integrity().map_err(SnapshotError::Malformed)?;
+        Ok(idx)
     }
 }
 

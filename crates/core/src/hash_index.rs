@@ -130,6 +130,70 @@ impl MultiHashIndex {
         }
         self.subs = subs;
     }
+
+    /// Serialize the module: each sub-index's pattern plus its buckets
+    /// sorted by hash key, entries in stored order (search yields hits in
+    /// bucket order, so the order is part of the observable state).
+    pub fn save(&self, w: &mut crate::snapshot_io::SectionWriter) {
+        w.put_str("MULTIHASH");
+        w.put_usize(self.jas_width);
+        w.put_usize(self.n_tuples);
+        w.put_usize(self.subs.len());
+        for sub in &self.subs {
+            w.put_u32(sub.pattern.mask());
+            let mut buckets: Vec<(u64, &Vec<(TupleKey, AttrVec)>)> =
+                sub.map.iter().map(|(&k, v)| (k, v)).collect();
+            buckets.sort_unstable_by_key(|&(k, _)| k);
+            w.put_usize(buckets.len());
+            for (k, entries) in buckets {
+                w.put_u64(k);
+                w.put_usize(entries.len());
+                for (key, jas) in entries {
+                    w.put_u32(key.0);
+                    w.put_attrs(jas);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a module from a [`save`](Self::save)d section.
+    pub fn restore(
+        r: &mut crate::snapshot_io::SectionReader<'_>,
+    ) -> Result<Self, crate::snapshot_io::SnapshotError> {
+        use crate::snapshot_io::SnapshotError;
+        crate::snapshot_io::expect_tag(r, "MULTIHASH")?;
+        let jas_width = r.get_usize()?;
+        let n_tuples = r.get_usize()?;
+        let n_subs = r.get_usize()?;
+        if n_subs == 0 {
+            return Err(SnapshotError::Malformed(
+                "multi-hash module with no sub-indices".into(),
+            ));
+        }
+        let mut subs = Vec::with_capacity(n_subs);
+        for _ in 0..n_subs {
+            let pattern = AccessPattern::new(r.get_u32()?, jas_width);
+            let n_buckets = r.get_usize()?;
+            let mut map = FxHashMap::default();
+            for _ in 0..n_buckets {
+                let k = r.get_u64()?;
+                let n_entries = r.get_usize()?;
+                let mut entries = Vec::with_capacity(n_entries);
+                for _ in 0..n_entries {
+                    let key = TupleKey(r.get_u32()?);
+                    let jas = r.get_attrs()?;
+                    entries.push((key, jas));
+                }
+                map.insert(k, entries);
+            }
+            subs.push(SubIndex { pattern, map });
+        }
+        Ok(MultiHashIndex {
+            subs,
+            jas_width,
+            n_tuples,
+        })
+    }
 }
 
 impl StateIndex for MultiHashIndex {

@@ -102,6 +102,7 @@ pub mod layout;
 pub mod parallel;
 pub mod scan;
 pub mod selection;
+pub mod snapshot_io;
 pub mod state;
 pub mod tuner;
 

@@ -19,6 +19,22 @@ impl ScanIndex {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Serialize the (single-counter) state.
+    pub fn save(&self, w: &mut crate::snapshot_io::SectionWriter) {
+        w.put_str("SCAN");
+        w.put_usize(self.entries);
+    }
+
+    /// Rebuild from a [`save`](Self::save)d section.
+    pub fn restore(
+        r: &mut crate::snapshot_io::SectionReader<'_>,
+    ) -> Result<Self, crate::snapshot_io::SnapshotError> {
+        crate::snapshot_io::expect_tag(r, "SCAN")?;
+        Ok(ScanIndex {
+            entries: r.get_usize()?,
+        })
+    }
 }
 
 impl StateIndex for ScanIndex {

@@ -584,6 +584,88 @@ impl<I: StateIndex> StateStore<I> {
             + 16; // window-queue slot
         self.arena.len as u64 * per_tuple + self.index.memory_bytes()
     }
+
+    /// Serialize the stored contents — arena slots verbatim (holes and
+    /// free-list order included, so restored [`TupleKey`]s and future slot
+    /// reuse match the original exactly) plus the window queue. The index
+    /// is saved separately by its concrete type; construction-time
+    /// configuration (stream, JAS, window spec, payload bytes) is not
+    /// captured.
+    pub fn save_state(&self, w: &mut crate::snapshot_io::SectionWriter) {
+        w.put_str("STATE");
+        w.put_usize(self.arena.slots.len());
+        for slot in &self.arena.slots {
+            match slot {
+                Some(stored) => {
+                    w.put_bool(true);
+                    w.put_u64(stored.tuple.id.0);
+                    w.put_u16(stored.tuple.stream.0);
+                    w.put_time(stored.tuple.ts);
+                    w.put_attrs(&stored.tuple.attrs);
+                    w.put_attrs(&stored.jas_values);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_usize(self.arena.free.len());
+        for &k in &self.arena.free {
+            w.put_u32(k);
+        }
+        self.window.save_items(w, |w, key| w.put_u32(key.0));
+    }
+
+    /// Overwrite this state's stored contents from a
+    /// [`save_state`](Self::save_state)d section. The receiver must be
+    /// freshly constructed with the original configuration; the index is
+    /// restored separately.
+    pub fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), crate::snapshot_io::SnapshotError> {
+        use crate::snapshot_io::SnapshotError;
+        crate::snapshot_io::expect_tag(r, "STATE")?;
+        let n_slots = r.get_usize()?;
+        let mut arena = Slab::default();
+        for _ in 0..n_slots {
+            if r.get_bool()? {
+                let id = amri_stream::TupleId(r.get_u64()?);
+                let stream = StreamId(r.get_u16()?);
+                let ts = r.get_time()?;
+                let attrs = r.get_attrs()?;
+                let jas_values = r.get_attrs()?;
+                arena.slots.push(Some(StoredTuple {
+                    tuple: Tuple::new(id, stream, ts, attrs),
+                    jas_values,
+                }));
+                arena.len += 1;
+            } else {
+                arena.slots.push(None);
+            }
+        }
+        let n_free = r.get_usize()?;
+        for _ in 0..n_free {
+            let k = r.get_u32()?;
+            if k as usize >= n_slots || arena.slots[k as usize].is_some() {
+                return Err(SnapshotError::Malformed(format!(
+                    "free-list slot {k} is not an empty arena slot"
+                )));
+            }
+            arena.free.push(k);
+        }
+        if arena.len + arena.free.len() != n_slots {
+            return Err(SnapshotError::Malformed(format!(
+                "arena {} live + {} free != {n_slots} slots",
+                arena.len,
+                arena.free.len()
+            )));
+        }
+        let window = amri_stream::WindowBuffer::load_items(self.window.spec(), r, |r| {
+            Ok(TupleKey(r.get_u32()?))
+        })?;
+        self.arena = arena;
+        self.window = window;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

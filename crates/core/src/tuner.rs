@@ -255,6 +255,54 @@ impl IndexTuner {
             }
         }
     }
+
+    /// Serialize the mutable tuning state: the endorsed configuration, the
+    /// decision clock and counters, and the assessor's statistics. The
+    /// constructor arguments (method, width, [`TunerConfig`],
+    /// [`CostParams`]) are not captured — restore rebuilds the tuner from
+    /// configuration and loads this section into it.
+    pub fn save(&self, w: &mut crate::snapshot_io::SectionWriter) {
+        w.put_str("TUNER");
+        let bits = self.current.bits();
+        w.put_usize(bits.len());
+        for &b in bits {
+            w.put_u8(b);
+        }
+        w.put_time(self.last_decision);
+        w.put_u64(self.decisions);
+        w.put_u64(self.migrations);
+        self.assessor.save(w);
+    }
+
+    /// Overwrite this tuner's mutable state from a [`save`](Self::save)d
+    /// section. The receiver must be freshly constructed with the original
+    /// configuration.
+    pub fn restore_from(
+        &mut self,
+        r: &mut crate::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), crate::snapshot_io::SnapshotError> {
+        use crate::snapshot_io::SnapshotError;
+        crate::snapshot_io::expect_tag(r, "TUNER")?;
+        let width = r.get_usize()?;
+        let mut bits = Vec::with_capacity(width);
+        for _ in 0..width {
+            bits.push(r.get_u8()?);
+        }
+        let current = IndexConfig::new(bits)
+            .map_err(|e| SnapshotError::Malformed(format!("tuner config: {e}")))?;
+        if current.width() != self.width {
+            return Err(SnapshotError::Malformed(format!(
+                "tuner width {} != constructed width {}",
+                current.width(),
+                self.width
+            )));
+        }
+        self.current = current;
+        self.last_decision = r.get_time()?;
+        self.decisions = r.get_u64()?;
+        self.migrations = r.get_u64()?;
+        self.assessor.load(r)
+    }
 }
 
 impl std::fmt::Debug for IndexTuner {

@@ -8,7 +8,7 @@
 //! invariant that guarantees them.
 
 use amri_core::CoreError;
-use amri_stream::StreamError;
+use amri_stream::{SnapshotError, StreamError};
 use std::fmt;
 
 /// Errors raised while assembling or driving an engine run.
@@ -27,6 +27,17 @@ pub enum EngineError {
     /// A [`FaultPlan`](crate::FaultPlan) with out-of-range parameters
     /// (message names the offending knob).
     InvalidFaultPlan(String),
+    /// A checkpoint could not be written, parsed, or restored — carries
+    /// the typed snapshot failure (I/O, checksum mismatch, version
+    /// mismatch, configuration mismatch, malformed contents).
+    Snapshot(SnapshotError),
+    /// An injected [`FaultKind::CrashAt`](crate::FaultKind::CrashAt)
+    /// killed the run at the contained pipeline step. Recovery resumes
+    /// from the latest good checkpoint.
+    InjectedCrash {
+        /// The step at which the simulated process died.
+        step: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +50,10 @@ impl fmt::Display for EngineError {
                 write!(f, "invalid degradation policy: {msg}")
             }
             EngineError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            EngineError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            EngineError::InjectedCrash { step } => {
+                write!(f, "injected crash killed the run at step {step}")
+            }
         }
     }
 }
@@ -48,8 +63,15 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Core(e) => Some(e),
             EngineError::Stream(e) => Some(e),
+            EngineError::Snapshot(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> Self {
+        EngineError::Snapshot(e)
     }
 }
 

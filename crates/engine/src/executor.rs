@@ -320,6 +320,53 @@ impl<W: StreamWorkload> Executor<W> {
     pub fn run(self) -> RunResult {
         self.into_pipeline().run()
     }
+
+    /// A fingerprint of everything that shapes this run besides its
+    /// mutable state: the query, the index flavor, and the full engine
+    /// configuration. Snapshots are stamped with it at write time and
+    /// restore refuses a mismatch ([`amri_stream::SnapshotError::ConfigMismatch`])
+    /// — resuming under a different configuration would silently diverge.
+    ///
+    /// Derived from the `Debug` renderings, which cover every field of
+    /// the participating types; any configuration change therefore
+    /// changes the fingerprint.
+    pub fn config_fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = amri_stream::fxhash::FxHasher::default();
+        h.write(format!("{:?}", self.query).as_bytes());
+        h.write(self.mode_label.as_bytes());
+        h.write(format!("{:?}", self.config).as_bytes());
+        h.finish()
+    }
+
+    /// Rebuild the pipeline of a crashed run from a parsed snapshot: the
+    /// harness constructs the engine exactly as [`try_new`](Self::try_new)
+    /// built the original, then overwrites its mutable state with the
+    /// snapshot's. Driving the returned pipeline produces results
+    /// byte-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    /// * [`EngineError::Snapshot`] with
+    ///   [`SnapshotError::ConfigMismatch`](amri_stream::SnapshotError::ConfigMismatch)
+    ///   when the snapshot was taken under a different configuration.
+    /// * [`EngineError::Snapshot`] when a section is missing, malformed,
+    ///   or structurally incompatible.
+    pub fn resume_from(
+        self,
+        snap: &amri_stream::SnapshotReader,
+    ) -> Result<Pipeline<W, VirtualClock>, EngineError> {
+        let expected = self.config_fingerprint();
+        if snap.fingerprint() != expected {
+            return Err(amri_stream::SnapshotError::ConfigMismatch {
+                found: snap.fingerprint(),
+                expected,
+            }
+            .into());
+        }
+        let mut pipeline = self.into_pipeline();
+        pipeline.restore_from(snap)?;
+        Ok(pipeline)
+    }
 }
 
 #[cfg(test)]

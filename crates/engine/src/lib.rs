@@ -45,8 +45,9 @@ pub use metrics::{RetuneRecord, Sample, ThroughputSeries};
 pub use policy::{PolicyKind, RouterStats, RoutingPolicy};
 pub use router::Router;
 pub use runtime::{
-    DegradationPolicy, DegradationReport, DegradationSample, EngineSetup, FaultPlan, FaultReport,
-    IngestOperator, Job, Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams,
-    SampleOperator, SheddingPolicy, SkewedClock, StepStatus, TuneOperator, WallClock, WorkerPool,
+    load_latest, CheckpointPolicy, Checkpointer, DegradationPolicy, DegradationReport,
+    DegradationSample, EngineSetup, FaultKind, FaultPlan, FaultReport, IngestOperator, Job,
+    Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams, SampleOperator,
+    SheddingPolicy, SkewedClock, StepStatus, TornMode, TuneOperator, WallClock, WorkerPool,
 };
 pub use stem::{HashTuner, JoinState, Stem};

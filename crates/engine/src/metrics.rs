@@ -94,6 +94,52 @@ impl ThroughputSeries {
     pub fn peak_backlog(&self) -> u64 {
         self.samples.iter().map(|s| s.backlog).max().unwrap_or(0)
     }
+
+    /// Serialize the recorded samples into a snapshot section (the
+    /// interval is construction-time configuration, saved only to be
+    /// cross-checked on restore).
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("SERIES");
+        w.put_duration(self.interval);
+        w.put_usize(self.samples.len());
+        for s in &self.samples {
+            w.put_time(s.t);
+            w.put_u64(s.outputs);
+            w.put_u64(s.memory);
+            w.put_u64(s.backlog);
+        }
+    }
+
+    /// Overwrite the samples from a [`save`](Self::save)d section.
+    ///
+    /// # Errors
+    /// [`SnapshotError`](amri_core::snapshot_io::SnapshotError) on decode
+    /// failure or an interval that disagrees with this run's grid.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "SERIES")?;
+        let interval = r.get_duration()?;
+        if interval != self.interval {
+            return Err(amri_core::snapshot_io::SnapshotError::Malformed(format!(
+                "series sampled every {interval:?}, this run samples every {:?}",
+                self.interval
+            )));
+        }
+        let n = r.get_usize()?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(Sample {
+                t: r.get_time()?,
+                outputs: r.get_u64()?,
+                memory: r.get_u64()?,
+                backlog: r.get_u64()?,
+            });
+        }
+        self.samples = samples;
+        Ok(())
+    }
 }
 
 /// One index-retuning event, for the migration timeline reports.

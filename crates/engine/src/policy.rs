@@ -69,6 +69,44 @@ impl RouterStats {
     pub fn probes(&self, target: StreamId) -> u64 {
         self.probes[target.idx()]
     }
+
+    /// Serialize the statistics into a snapshot section.
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("RSTATS");
+        w.put_usize(self.fanout.len());
+        for i in 0..self.fanout.len() {
+            w.put_f64(self.fanout[i]);
+            w.put_f64(self.cost[i]);
+            w.put_u64(self.probes[i]);
+        }
+        w.put_f64(self.alpha);
+    }
+
+    /// Overwrite the statistics from a [`save`](Self::save)d section.
+    ///
+    /// # Errors
+    /// [`SnapshotError`](amri_core::snapshot_io::SnapshotError) on a
+    /// decode failure or a state count that disagrees with this run.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "RSTATS")?;
+        let n = r.get_usize()?;
+        if n != self.fanout.len() {
+            return Err(amri_core::snapshot_io::SnapshotError::Malformed(format!(
+                "router stats cover {n} states, this run has {}",
+                self.fanout.len()
+            )));
+        }
+        for i in 0..n {
+            self.fanout[i] = r.get_f64()?;
+            self.cost[i] = r.get_f64()?;
+            self.probes[i] = r.get_u64()?;
+        }
+        self.alpha = r.get_f64()?;
+        Ok(())
+    }
 }
 
 /// Which routing policy the engine runs.

@@ -48,6 +48,35 @@ impl Router {
     pub fn policy_kind(&self) -> PolicyKind {
         self.policy.kind()
     }
+
+    /// Serialize the mutable routing state (statistics + RNG stream). The
+    /// policy itself is construction-time configuration and not captured.
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("ROUTER");
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        self.stats.save(w);
+    }
+
+    /// Overwrite the mutable routing state from a [`save`](Self::save)d
+    /// section; the restored router continues the exact RNG stream.
+    ///
+    /// # Errors
+    /// [`SnapshotError`](amri_core::snapshot_io::SnapshotError) on decode
+    /// failure or a state-count mismatch.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "ROUTER")?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        self.rng = StdRng::from_state(state);
+        self.stats.restore_from(r)
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,11 @@ pub struct RunContext<C: Clock = VirtualClock> {
     pub sojourn_ticks: u64,
     /// Jobs popped and processed.
     pub jobs_processed: u64,
+    /// Pipeline loop iterations completed — the coordinate checkpoints
+    /// and injected crashes are addressed by. Purely observational: the
+    /// counter feeds no routing or cost decision, so stepping it (or
+    /// checkpointing at it) never perturbs the run.
+    pub step: u64,
     /// Completion or death (updated by the sample operator).
     pub outcome: RunOutcome,
     /// The virtual instant the run must stop.

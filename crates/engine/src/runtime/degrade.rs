@@ -249,6 +249,60 @@ impl Governor {
     pub fn evict_chunk(&self) -> usize {
         EVICT_CHUNK
     }
+
+    /// Serialize the mutable governor state (shedding coin + report). The
+    /// policy is construction-time configuration and not captured.
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("GOVERNOR");
+        w.put_u64(self.rng);
+        match self.report.first_at {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_time(t);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.report.shed_jobs);
+        w.put_u64(self.report.evicted_tuples);
+        w.put_usize(self.report.samples.len());
+        for s in &self.report.samples {
+            w.put_time(s.t);
+            w.put_u64(s.shed_jobs);
+            w.put_u64(s.evicted_tuples);
+        }
+    }
+
+    /// Overwrite the mutable governor state from a [`save`](Self::save)d
+    /// section; the restored coin continues the exact decision stream.
+    ///
+    /// # Errors
+    /// [`SnapshotError`](amri_core::snapshot_io::SnapshotError) on decode
+    /// failure.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "GOVERNOR")?;
+        self.rng = r.get_u64()?;
+        self.report.first_at = if r.get_bool()? {
+            Some(r.get_time()?)
+        } else {
+            None
+        };
+        self.report.shed_jobs = r.get_u64()?;
+        self.report.evicted_tuples = r.get_u64()?;
+        let n = r.get_usize()?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(DegradationSample {
+                t: r.get_time()?,
+                shed_jobs: r.get_u64()?,
+                evicted_tuples: r.get_u64()?,
+            });
+        }
+        self.report.samples = samples;
+        Ok(())
+    }
 }
 
 /// `budget * fraction`, saturating (an unlimited budget stays unlimited).

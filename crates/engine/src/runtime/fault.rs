@@ -120,6 +120,40 @@ impl FaultReport {
     }
 }
 
+/// How a torn snapshot write corrupts the file image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TornMode {
+    /// The file is cut to half its length mid-write (power loss).
+    Truncate,
+    /// One byte in the middle of the file is bit-flipped (silent media
+    /// corruption).
+    FlipByte,
+}
+
+/// A fault injected at the checkpoint layer rather than the arrival
+/// stream. These are carried by the
+/// [`Checkpointer`](crate::runtime::checkpoint::Checkpointer), not by a
+/// [`FaultPlan`]: they perturb durability, which only exists when
+/// checkpointing is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Kill the run when the pipeline's step counter reaches `step`
+    /// (before the step executes), surfacing as
+    /// [`EngineError::InjectedCrash`](crate::EngineError::InjectedCrash).
+    CrashAt {
+        /// The step at which the simulated process dies.
+        step: u64,
+    },
+    /// Corrupt the `snapshot`-th snapshot file (0-based write order) as
+    /// it is written, the way a crash mid-write or failing media would.
+    TornWrite {
+        /// Which snapshot write (0-based) is corrupted.
+        snapshot: u64,
+        /// How the bytes are damaged.
+        mode: TornMode,
+    },
+}
+
 /// The fate of one arriving tuple, decided after its attributes exist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArrivalFate {
@@ -222,6 +256,61 @@ impl FaultState {
             self.report.reordered += 1;
         }
         reorder
+    }
+
+    /// Serialize the mutable fault state (decision stream, held-back
+    /// arrivals, counters). The plan is construction-time configuration
+    /// and not captured.
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("FAULT");
+        w.put_u64(self.rng);
+        w.put_usize(self.pending.len());
+        for q in &self.pending {
+            w.put_usize(q.len());
+            for (at, attrs) in q {
+                w.put_time(*at);
+                w.put_attrs(attrs);
+            }
+        }
+        w.put_u64(self.report.dropped);
+        w.put_u64(self.report.duplicated);
+        w.put_u64(self.report.delayed);
+        w.put_u64(self.report.reordered);
+    }
+
+    /// Overwrite the mutable fault state from a [`save`](Self::save)d
+    /// section; the restored decision stream continues exactly.
+    ///
+    /// # Errors
+    /// [`SnapshotError`](amri_core::snapshot_io::SnapshotError) on decode
+    /// failure or a stream count that disagrees with this run.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "FAULT")?;
+        self.rng = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.pending.len() {
+            return Err(amri_core::snapshot_io::SnapshotError::Malformed(format!(
+                "fault state covers {n} streams, this run has {}",
+                self.pending.len()
+            )));
+        }
+        for q in &mut self.pending {
+            q.clear();
+            let k = r.get_usize()?;
+            for _ in 0..k {
+                let at = r.get_time()?;
+                let attrs = r.get_attrs()?;
+                q.push_back((at, attrs));
+            }
+        }
+        self.report.dropped = r.get_u64()?;
+        self.report.duplicated = r.get_u64()?;
+        self.report.delayed = r.get_u64()?;
+        self.report.reordered = r.get_u64()?;
+        Ok(())
     }
 
     /// Phantom bytes injected at `now` by the active pressure windows.

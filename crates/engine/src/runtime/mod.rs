@@ -23,7 +23,14 @@
 //!   death.
 //! * [`fault`] — the deterministic fault-injection harness: a seeded
 //!   [`FaultPlan`] of tuple drop/duplicate/reorder/late faults and
-//!   allocation pressure, plus the [`SkewedClock`] clock-skew wrapper.
+//!   allocation pressure, plus the [`SkewedClock`] clock-skew wrapper and
+//!   the checkpoint-layer [`FaultKind`] crash/torn-write faults.
+//! * [`checkpoint`] — [`Checkpointer`]: versioned, checksummed snapshots
+//!   of the whole run state taken inside the step loop
+//!   ([`CheckpointPolicy`]: every N steps and/or on memory pressure),
+//!   with bounded retention and checksum-verified fallback recovery
+//!   ([`checkpoint::load_latest`]). A crashed run resumed from its latest
+//!   good snapshot is byte-identical to an uninterrupted one.
 //! * [`pool`] — [`WorkerPool`]: the persistent shard-task worker pool
 //!   behind `parallelism > 1` runs; it implements
 //!   `amri_core::ShardExecutor`, so sharded index probes fan out across
@@ -36,6 +43,7 @@
 //! this). The MJoin exactly-once rule (`ts < origin_ts`) lives in
 //! [`ProbeOperator`] unchanged.
 
+pub mod checkpoint;
 pub mod clock;
 pub mod context;
 pub mod degrade;
@@ -44,12 +52,16 @@ pub mod operators;
 pub mod pipeline;
 pub mod pool;
 
+pub use checkpoint::{load_latest, CheckpointPolicy, Checkpointer};
 pub use clock::WallClock;
 pub use context::{Job, RunContext, RunOutcome, RunParams};
 pub use degrade::{
     DegradationPolicy, DegradationReport, DegradationSample, Governor, SheddingPolicy,
 };
-pub use fault::{ArrivalFate, FaultPlan, FaultReport, FaultState, PressureWindow, SkewedClock};
+pub use fault::{
+    ArrivalFate, FaultKind, FaultPlan, FaultReport, FaultState, PressureWindow, SkewedClock,
+    TornMode,
+};
 pub use operators::{
     IngestOperator, Operator, ProbeOperator, SampleOperator, StepStatus, StreamWorkload,
     TuneOperator,

@@ -24,6 +24,24 @@ use amri_stream::{
 pub trait StreamWorkload {
     /// Attribute values for the next tuple of `stream` arriving at `now`.
     fn attrs_for(&mut self, stream: StreamId, now: VirtualTime) -> AttrVec;
+
+    /// Serialize the workload's mutable state (typically its RNG stream)
+    /// into a checkpoint section. Stateless workloads keep the default
+    /// no-op; stateful ones must override **both** this and
+    /// [`load_state`](Self::load_state) or resumed runs diverge.
+    fn save_state(&self, _w: &mut amri_core::snapshot_io::SectionWriter) {}
+
+    /// Restore the state captured by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    /// Implementations propagate decode failures as
+    /// [`SnapshotError`](amri_core::snapshot_io::SnapshotError).
+    fn load_state(
+        &mut self,
+        _r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        Ok(())
+    }
 }
 
 /// What one operator step observed.
@@ -154,6 +172,16 @@ impl<W: StreamWorkload> IngestOperator<W> {
     /// Wrap the arrival-attribute source.
     pub fn new(workload: W) -> Self {
         IngestOperator { workload }
+    }
+
+    /// The wrapped workload (checkpoint capture).
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// The wrapped workload, mutably (checkpoint restore).
+    pub fn workload_mut(&mut self) -> &mut W {
+        &mut self.workload
     }
 }
 

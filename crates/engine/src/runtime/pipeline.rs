@@ -1,9 +1,11 @@
 //! The [`Pipeline`] driver: owns the operator step loop and assembles the
 //! [`RunResult`].
 
+use crate::error::EngineError;
 use crate::metrics::{RetuneRecord, ThroughputSeries};
 use crate::router::Router;
-use crate::runtime::context::{RunContext, RunOutcome, RunParams};
+use crate::runtime::checkpoint::Checkpointer;
+use crate::runtime::context::{Job, RunContext, RunOutcome, RunParams};
 use crate::runtime::degrade::{DegradationReport, Governor};
 use crate::runtime::fault::{FaultReport, FaultState};
 use crate::runtime::operators::{
@@ -12,7 +14,10 @@ use crate::runtime::operators::{
 };
 use crate::stem::Stem;
 use amri_core::assess::Assessor;
-use amri_stream::{AccessPattern, Clock, JobQueue, SpjQuery, VirtualClock, VirtualTime};
+use amri_stream::snapshot::{SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter};
+use amri_stream::{
+    AccessPattern, Clock, JobQueue, PartialTuple, SpjQuery, StreamMask, VirtualClock, VirtualTime,
+};
 use serde::{Deserialize, Serialize};
 
 /// Everything a run produced.
@@ -132,6 +137,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             tuple_seq: 0,
             sojourn_ticks: 0,
             jobs_processed: 0,
+            step: 0,
             outcome: RunOutcome::Completed,
             deadline,
             grid_due: VirtualTime::ZERO,
@@ -157,8 +163,44 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
     }
 
     /// Run to completion (or death) and return the results.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_with(None, 0)
+            .expect("a run without a checkpointer has no crash or I/O path")
+    }
+
+    /// Run to completion (or death), taking checkpoints through `ckpt`
+    /// when one is supplied. `fingerprint` stamps each snapshot with the
+    /// configuration that produced it (see
+    /// [`Executor::config_fingerprint`](crate::Executor::config_fingerprint)).
+    ///
+    /// Checkpointing is a pure observer — no clock charges, no RNG draws
+    /// — so the result is byte-identical with and without it.
+    ///
+    /// # Errors
+    /// * [`EngineError::InjectedCrash`] when an armed
+    ///   [`FaultKind::CrashAt`](crate::FaultKind::CrashAt) kills the run.
+    /// * [`EngineError::Snapshot`] when a checkpoint write fails.
+    pub fn run_with(
+        mut self,
+        mut ckpt: Option<&mut Checkpointer>,
+        fingerprint: u64,
+    ) -> Result<RunResult, EngineError> {
         'run: loop {
+            if let Some(c) = ckpt.as_deref_mut() {
+                let step = self.ctx.step;
+                if c.should_crash(step) {
+                    return Err(EngineError::InjectedCrash { step });
+                }
+                let budget = self.ctx.run.budget.bytes;
+                let utilization = if budget == 0 {
+                    0.0
+                } else {
+                    self.ctx.memory_report().total() as f64 / budget as f64
+                };
+                if c.due(step, utilization) {
+                    c.write(self.snapshot_image(fingerprint))?;
+                }
+            }
             // Sampling / tuning / memory checks on the grid. `now` is
             // captured once: grid points falling due *while tuning* are
             // handled on the next pipeline iteration.
@@ -192,8 +234,223 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
                     break 'run;
                 }
             }
+            self.ctx.step += 1;
         }
-        self.into_result()
+        Ok(self.into_result())
+    }
+
+    /// Capture the complete mutable run state as a snapshot file image.
+    ///
+    /// Everything a resumed run needs is serialized: the clock, arrival
+    /// schedule, counters, metrics series, retune log, router statistics
+    /// and RNG, the backlog (live jobs only — spare-pool buffers are
+    /// working storage, re-warmed lazily after restore), every STeM's
+    /// state store, index and tuner, the exact pattern observers, the
+    /// governor and fault state when configured, and the workload's own
+    /// state. Construction-time configuration (query, policy kinds, cost
+    /// params) is *not* captured; it is pinned by `fingerprint` instead.
+    pub fn snapshot_image(&self, fingerprint: u64) -> Vec<u8> {
+        let ctx = &self.ctx;
+        let mut snap = SnapshotWriter::new(fingerprint, ctx.step);
+
+        let mut w = SectionWriter::new();
+        w.put_time(ctx.clock.now());
+        w.put_usize(ctx.next_arrival.len());
+        for &t in &ctx.next_arrival {
+            w.put_time(t);
+        }
+        w.put_u64(ctx.outputs);
+        w.put_u64(ctx.tuple_seq);
+        w.put_u64(ctx.sojourn_ticks);
+        w.put_u64(ctx.jobs_processed);
+        w.put_time(ctx.grid_due);
+        snap.add("runtime", w);
+
+        let mut w = SectionWriter::new();
+        ctx.series.save(&mut w);
+        snap.add("series", w);
+
+        let mut w = SectionWriter::new();
+        w.put_usize(ctx.retunes.len());
+        for r in &ctx.retunes {
+            w.put_time(r.t);
+            w.put_u16(r.state);
+            w.put_str(&r.config);
+            w.put_u64(r.moved);
+        }
+        snap.add("retunes", w);
+
+        let mut w = SectionWriter::new();
+        ctx.router.save(&mut w);
+        snap.add("router", w);
+
+        let mut w = SectionWriter::new();
+        ctx.backlog.save_jobs(&mut w, |w, job| {
+            w.put_u16(job.pt.covered.0);
+            w.put_time(job.pt.min_ts);
+            for s in job.pt.covered.streams() {
+                w.put_attrs(job.pt.part(s).expect("covered stream has a part"));
+            }
+            w.put_time(job.origin_ts);
+            w.put_time(job.enqueued);
+        });
+        snap.add("backlog", w);
+
+        let mut w = SectionWriter::new();
+        w.put_usize(ctx.stems.len());
+        for stem in &ctx.stems {
+            stem.save(&mut w);
+        }
+        snap.add("stems", w);
+
+        let mut w = SectionWriter::new();
+        w.put_usize(ctx.observers.len());
+        for o in &ctx.observers {
+            o.save(&mut w);
+        }
+        snap.add("observers", w);
+
+        if let Some(gov) = &ctx.governor {
+            let mut w = SectionWriter::new();
+            gov.save(&mut w);
+            snap.add("governor", w);
+        }
+        if let Some(fault) = &ctx.fault {
+            let mut w = SectionWriter::new();
+            fault.save(&mut w);
+            snap.add("fault", w);
+        }
+
+        let mut w = SectionWriter::new();
+        self.ingest.workload().save_state(&mut w);
+        snap.add("workload", w);
+
+        snap.finish()
+    }
+
+    /// Overwrite this freshly constructed pipeline's mutable state from a
+    /// parsed snapshot, so the subsequent [`run_with`](Self::run_with)
+    /// continues the captured run exactly. The pipeline must have been
+    /// built from the same configuration that produced the snapshot
+    /// (callers enforce this via the fingerprint; see
+    /// [`Executor::resume_from`](crate::Executor::resume_from)).
+    ///
+    /// # Errors
+    /// [`EngineError::Snapshot`] when a section is missing, malformed, or
+    /// structurally incompatible with this pipeline (stream counts,
+    /// flavor tags, sampling grid).
+    pub fn restore_from(&mut self, snap: &SnapshotReader) -> Result<(), EngineError> {
+        let mut r = snap.section("runtime")?;
+        let now = r.get_time()?;
+        let n = r.get_usize()?;
+        if n != self.ctx.next_arrival.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot covers {n} streams, this run has {}",
+                self.ctx.next_arrival.len()
+            ))
+            .into());
+        }
+        for slot in &mut self.ctx.next_arrival {
+            *slot = r.get_time()?;
+        }
+        self.ctx.outputs = r.get_u64()?;
+        self.ctx.tuple_seq = r.get_u64()?;
+        self.ctx.sojourn_ticks = r.get_u64()?;
+        self.ctx.jobs_processed = r.get_u64()?;
+        self.ctx.grid_due = r.get_time()?;
+        self.ctx.step = snap.step();
+        self.ctx.clock.advance_to(now);
+
+        self.ctx.series.restore_from(&mut snap.section("series")?)?;
+
+        let mut r = snap.section("retunes")?;
+        let n = r.get_usize()?;
+        let mut retunes = Vec::with_capacity(n);
+        for _ in 0..n {
+            retunes.push(RetuneRecord {
+                t: r.get_time()?,
+                state: r.get_u16()?,
+                config: r.get_str()?,
+                moved: r.get_u64()?,
+            });
+        }
+        self.ctx.retunes = retunes;
+
+        self.ctx.router.restore_from(&mut snap.section("router")?)?;
+
+        let n_streams = self.ctx.query.n_streams();
+        self.ctx.backlog = JobQueue::load_jobs(&mut snap.section("backlog")?, |r| {
+            let covered = StreamMask(r.get_u16()?);
+            if covered.is_empty() || covered.streams().any(|s| s.idx() >= n_streams) {
+                return Err(SnapshotError::Malformed(format!(
+                    "backlog job covers streams {covered:?} outside this {n_streams}-way query"
+                )));
+            }
+            let min_ts = r.get_time()?;
+            let mut parts = Vec::with_capacity(covered.count() as usize);
+            for _ in 0..covered.count() {
+                parts.push(r.get_attrs()?);
+            }
+            Ok(Job {
+                pt: PartialTuple::from_parts(covered, min_ts, parts),
+                origin_ts: r.get_time()?,
+                enqueued: r.get_time()?,
+            })
+        })?;
+
+        let mut r = snap.section("stems")?;
+        let n = r.get_usize()?;
+        if n != self.ctx.stems.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot holds {n} STeMs, this run has {}",
+                self.ctx.stems.len()
+            ))
+            .into());
+        }
+        for stem in &mut self.ctx.stems {
+            stem.restore_from(&mut r)?;
+        }
+
+        let mut r = snap.section("observers")?;
+        let n = r.get_usize()?;
+        if n != self.ctx.observers.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot holds {n} observers, this run has {}",
+                self.ctx.observers.len()
+            ))
+            .into());
+        }
+        for o in &mut self.ctx.observers {
+            o.load(&mut r)?;
+        }
+
+        match (&mut self.ctx.governor, snap.section("governor")) {
+            (Some(gov), Ok(mut r)) => gov.restore_from(&mut r)?,
+            (None, Err(_)) => {}
+            (Some(_), Err(e)) => return Err(e.into()),
+            (None, Ok(_)) => {
+                return Err(SnapshotError::Malformed(
+                    "snapshot carries governor state but this run has no degradation policy".into(),
+                )
+                .into())
+            }
+        }
+        match (&mut self.ctx.fault, snap.section("fault")) {
+            (Some(fault), Ok(mut r)) => fault.restore_from(&mut r)?,
+            (None, Err(_)) => {}
+            (Some(_), Err(e)) => return Err(e.into()),
+            (None, Ok(_)) => {
+                return Err(SnapshotError::Malformed(
+                    "snapshot carries fault state but this run has no fault plan".into(),
+                )
+                .into())
+            }
+        }
+
+        self.ingest
+            .workload_mut()
+            .load_state(&mut snap.section("workload")?)?;
+        Ok(())
     }
 
     fn into_result(self) -> RunResult {

@@ -57,6 +57,26 @@ impl HashTuner {
         self.assessor.entries()
     }
 
+    /// Serialize the mutable tuning state (decision clock + assessor
+    /// statistics); `k`, θ, period, and volume floor are construction-time
+    /// configuration.
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("HASHTUNER");
+        w.put_time(self.last_decision);
+        self.assessor.save(w);
+    }
+
+    /// Overwrite the mutable tuning state from a [`save`](Self::save)d
+    /// section.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "HASHTUNER")?;
+        self.last_decision = r.get_time()?;
+        self.assessor.load(r)
+    }
+
     /// If a decision is due, return the `k` patterns the indices should
     /// serve (most frequent first, empty patterns excluded).
     pub fn maybe_select(&mut self, now: VirtualTime) -> Option<Vec<AccessPattern>> {
@@ -325,6 +345,79 @@ impl JoinState {
             JoinState::StaticBitmap(_) | JoinState::Scan(_) => None,
         }
     }
+
+    /// Serialize the flavor's full mutable state (stored tuples, index
+    /// structure, tuner statistics) behind a flavor tag.
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        match self {
+            JoinState::Amri(s) => {
+                w.put_str("amri");
+                s.save(w);
+            }
+            JoinState::MultiHash { store, tuner } => {
+                w.put_str("multi-hash");
+                store.save_state(w);
+                store.index().save(w);
+                match tuner {
+                    Some(t) => {
+                        w.put_bool(true);
+                        t.save(w);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            JoinState::StaticBitmap(s) => {
+                w.put_str("static-bitmap");
+                s.save_state(w);
+                s.index().save(w);
+            }
+            JoinState::Scan(s) => {
+                w.put_str("scan");
+                s.save_state(w);
+                s.index().save(w);
+            }
+        }
+    }
+
+    /// Overwrite this state from a [`save`](Self::save)d section. The
+    /// receiver must be the same flavor, freshly constructed with the
+    /// original configuration.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        use amri_core::snapshot_io::SnapshotError;
+        let tag = r.get_str()?;
+        match (self, tag.as_str()) {
+            (JoinState::Amri(s), "amri") => s.restore_from(r),
+            (JoinState::MultiHash { store, tuner }, "multi-hash") => {
+                store.restore_state(r)?;
+                *store.index_mut() = MultiHashIndex::restore(r)?;
+                let saved_tuner = r.get_bool()?;
+                match (tuner, saved_tuner) {
+                    (Some(t), true) => t.restore_from(r),
+                    (None, false) => Ok(()),
+                    _ => Err(SnapshotError::Malformed(
+                        "hash-tuner presence mismatch".into(),
+                    )),
+                }
+            }
+            (JoinState::StaticBitmap(s), "static-bitmap") => {
+                s.restore_state(r)?;
+                *s.index_mut() = amri_core::BitAddressIndex::restore(r)?;
+                Ok(())
+            }
+            (JoinState::Scan(s), "scan") => {
+                s.restore_state(r)?;
+                *s.index_mut() = ScanIndex::restore(r)?;
+                Ok(())
+            }
+            (state, _) => Err(SnapshotError::Malformed(format!(
+                "state section holds {tag}, expected {}",
+                state.kind()
+            ))),
+        }
+    }
 }
 
 impl std::fmt::Debug for JoinState {
@@ -368,6 +461,25 @@ impl Stem {
         } else {
             self.matches_returned as f64 / self.requests_served as f64
         }
+    }
+
+    /// Serialize the STeM: its join state plus the served/matched counters
+    /// that feed λ_r and selectivity estimation. The search scratch is
+    /// transient and not captured.
+    pub fn save(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_u64(self.requests_served);
+        w.put_u64(self.matches_returned);
+        self.state.save(w);
+    }
+
+    /// Overwrite this STeM from a [`save`](Self::save)d section.
+    pub fn restore_from(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        self.requests_served = r.get_u64()?;
+        self.matches_returned = r.get_u64()?;
+        self.state.restore_from(r)
     }
 }
 

@@ -306,6 +306,48 @@ impl HierarchicalHeavyHitters {
         self.peak_entries = 0;
         self.dropped = 0;
     }
+
+    /// The summary's configuration.
+    #[inline]
+    pub fn config(&self) -> HhhConfig {
+        self.config
+    }
+
+    /// Raw RNG state words, for checkpointing (paired with
+    /// [`from_parts`](Self::from_parts) the fold stream continues exactly
+    /// where it left off).
+    #[inline]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuild a summary from checkpointed state: constructor arguments
+    /// plus the mutable state captured from a live summary (`n()`,
+    /// `rng_state()`, `peak_entries()`, `dropped()`, and the stored
+    /// lattice nodes). Node order is immaterial — every query path sorts.
+    ///
+    /// # Panics
+    /// Panics on ε outside (0,1) (like [`new`](Self::new)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        width: usize,
+        config: HhhConfig,
+        n: u64,
+        rng_state: [u64; 4],
+        peak_entries: usize,
+        dropped: u64,
+        nodes: impl IntoIterator<Item = (AccessPattern, LossyEntry)>,
+    ) -> Self {
+        let mut h = HierarchicalHeavyHitters::new(width, config);
+        h.n = n;
+        h.rng = StdRng::from_state(rng_state);
+        h.peak_entries = peak_entries;
+        h.dropped = dropped;
+        for (ap, e) in nodes {
+            h.lattice.insert(ap, e);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

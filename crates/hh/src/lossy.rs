@@ -106,6 +106,26 @@ impl<T: Eq + Hash + Copy> LossyCounter<T> {
         let sid = self.segment_id();
         self.entries.retain(|_, e| e.count + e.delta > sid);
     }
+
+    /// Rebuild a counter from checkpointed state: the constructor-time
+    /// `epsilon` plus the mutable state captured from a live counter
+    /// (`n()`, `peak_entries()`, and the `iter()` entries). Entry order is
+    /// immaterial — no observable output depends on map iteration order.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range ε (like [`new`](Self::new)).
+    pub fn from_parts(
+        epsilon: f64,
+        n: u64,
+        peak_entries: usize,
+        entries: impl IntoIterator<Item = (T, LossyEntry)>,
+    ) -> Self {
+        let mut c = LossyCounter::new(epsilon);
+        c.n = n;
+        c.peak_entries = peak_entries;
+        c.entries.extend(entries);
+        c
+    }
 }
 
 impl<T: Eq + Hash + Copy + crate::exact::OrdKey> FrequencyEstimator<T> for LossyCounter<T> {

@@ -346,6 +346,56 @@ impl<T> JobQueue<T> {
             .chain(self.sealed.iter().flat_map(|b| b.iter()))
             .chain(self.tail.iter())
     }
+
+    /// Serialize the live backlog into a snapshot section: batch capacity,
+    /// job count, then every queued job oldest-first via `put`.
+    ///
+    /// Only *live* jobs are captured. Spare-pool buffers are working
+    /// storage, not state — a queue restored by [`load_jobs`]
+    /// (Self::load_jobs) starts with an empty pool and re-warms it lazily
+    /// as batches drain, exactly like a freshly built queue.
+    pub fn save_jobs(
+        &self,
+        w: &mut crate::snapshot::SectionWriter,
+        mut put: impl FnMut(&mut crate::snapshot::SectionWriter, &T),
+    ) {
+        w.put_usize(self.batch_capacity);
+        w.put_usize(self.len);
+        for job in self.iter() {
+            put(w, job);
+        }
+    }
+
+    /// Rebuild a queue from a section written by [`save_jobs`]
+    /// (Self::save_jobs), reading each job with `get`.
+    ///
+    /// Jobs re-enter through [`push`](Self::push), so internal batch
+    /// boundaries may differ from the saved queue's — irrelevant at the
+    /// job level, where the queue is pinned indistinguishable from a
+    /// `VecDeque` under any `pop`/`pop_newest` interleaving.
+    ///
+    /// # Errors
+    /// Propagates decode failures from `get` and rejects a corrupt
+    /// (zero) batch capacity.
+    pub fn load_jobs(
+        r: &mut crate::snapshot::SectionReader<'_>,
+        mut get: impl FnMut(
+            &mut crate::snapshot::SectionReader<'_>,
+        ) -> Result<T, crate::snapshot::SnapshotError>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let batch_capacity = r.get_usize()?;
+        if batch_capacity == 0 {
+            return Err(crate::snapshot::SnapshotError::Malformed(
+                "job queue batch capacity is zero".into(),
+            ));
+        }
+        let n = r.get_usize()?;
+        let mut q = JobQueue::with_batch_capacity(batch_capacity);
+        for _ in 0..n {
+            q.push(get(r)?);
+        }
+        Ok(q)
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +605,50 @@ mod tests {
             assert!(q.spare.len() <= cap);
         }
         assert!(q.spare.len() <= cap);
+    }
+
+    #[test]
+    fn snapshot_excludes_spare_pool_and_restored_queue_rewarms_lazily() {
+        use crate::snapshot::{SectionReader, SectionWriter};
+        let cap = JobQueue::<u64>::MAX_SPARE_BUFFERS;
+        let mut q = JobQueue::with_batch_capacity(4);
+        // Warm the spare pool, then leave a partially drained backlog.
+        for i in 0..64u64 {
+            q.push(i);
+        }
+        while q.len() > 10 {
+            q.pop();
+        }
+        assert!(!q.spare.is_empty(), "test needs a warmed spare pool");
+        let live: Vec<u64> = q.iter().copied().collect();
+
+        let mut w = SectionWriter::new();
+        q.save_jobs(&mut w, |w, &job| w.put_u64(job));
+        let bytes = w.into_bytes();
+        // The image holds capacity + count + the live jobs, nothing more:
+        // spare buffers must not inflate the snapshot.
+        assert_eq!(bytes.len(), 16 + live.len() * 8);
+
+        let mut r = SectionReader::new(&bytes);
+        let mut restored: JobQueue<u64> = JobQueue::load_jobs(&mut r, |r| r.get_u64()).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored.batch_capacity(), 4);
+        assert_eq!(restored.len(), live.len());
+        assert!(
+            restored.spare.is_empty(),
+            "restored queue must start with an empty spare pool"
+        );
+        // Draining re-warms the pool lazily and the bound still holds.
+        for i in 0..400u64 {
+            restored.push(i);
+        }
+        let drained: Vec<u64> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(&drained[..live.len()], &live[..], "job order preserved");
+        assert!(
+            !restored.spare.is_empty(),
+            "drained buffers re-warm the pool"
+        );
+        assert!(restored.spare.len() <= cap, "MAX_SPARE_BUFFERS respected");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod fxhash;
 pub mod pattern;
 pub mod query;
 pub mod schema;
+pub mod snapshot;
 pub mod time;
 pub mod tuple;
 pub mod value;
@@ -41,6 +42,9 @@ pub use fxhash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use pattern::{AccessPattern, SearchRequest};
 pub use query::{JoinGraph, JoinOp, JoinPredicate, Selection, SpjQuery};
 pub use schema::{AttrDomain, AttrId, AttrSpec, StreamId, StreamSchema};
+pub use snapshot::{
+    SectionReader, SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_VERSION,
+};
 pub use time::{Clock, VirtualClock, VirtualDuration, VirtualTime, TICKS_PER_SEC};
 pub use tuple::{PartialTuple, StreamMask, Tuple, TupleId};
 pub use value::{AttrValue, AttrVec, MAX_ATTRS};

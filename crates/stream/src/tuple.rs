@@ -200,6 +200,36 @@ impl PartialTuple {
     pub fn is_complete(&self, n_streams: usize) -> bool {
         self.covered == StreamMask::all(n_streams)
     }
+
+    /// Rebuild a partial tuple from its covered parts (checkpoint
+    /// restore). `parts` supplies the attribute values for `covered`'s
+    /// streams in ascending stream order; uncovered slots are zeroed
+    /// exactly as [`from_base`](Self::from_base)/[`extend`](Self::extend)
+    /// leave them, so the restored value is `==` the captured one.
+    ///
+    /// # Panics
+    /// Panics if `parts` does not supply exactly one entry per covered
+    /// stream.
+    pub fn from_parts(
+        covered: StreamMask,
+        min_ts: VirtualTime,
+        parts: impl IntoIterator<Item = AttrVec>,
+    ) -> Self {
+        let mut slots = [AttrVec::new(); MAX_STREAMS];
+        let mut streams = covered.streams();
+        let mut n = 0u32;
+        for attrs in parts {
+            let s = streams.next().expect("more parts than covered streams");
+            slots[s.idx()] = attrs;
+            n += 1;
+        }
+        assert_eq!(n, covered.count(), "fewer parts than covered streams");
+        PartialTuple {
+            covered,
+            min_ts,
+            parts: slots,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -129,6 +129,50 @@ impl<T> WindowBuffer<T> {
             .take_while(|(ts, _)| !self.spec.live(*ts, now))
             .count()
     }
+
+    /// Serialize the expiration queue (arrival order) into a snapshot
+    /// section, writing each item with `put`. The spec is static
+    /// configuration and is not captured.
+    pub fn save_items(
+        &self,
+        w: &mut crate::snapshot::SectionWriter,
+        mut put: impl FnMut(&mut crate::snapshot::SectionWriter, &T),
+    ) {
+        w.put_usize(self.queue.len());
+        for (ts, item) in &self.queue {
+            w.put_time(*ts);
+            put(w, item);
+        }
+    }
+
+    /// Rebuild a buffer for `spec` from a section written by
+    /// [`save_items`](Self::save_items), reading each item with `get`.
+    ///
+    /// # Errors
+    /// Propagates decode failures and rejects out-of-order timestamps.
+    pub fn load_items(
+        spec: WindowSpec,
+        r: &mut crate::snapshot::SectionReader<'_>,
+        mut get: impl FnMut(
+            &mut crate::snapshot::SectionReader<'_>,
+        ) -> Result<T, crate::snapshot::SnapshotError>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let n = r.get_usize()?;
+        let mut buf = WindowBuffer::new(spec);
+        let mut last = VirtualTime::ZERO;
+        for _ in 0..n {
+            let ts = r.get_time()?;
+            if ts < last {
+                return Err(crate::snapshot::SnapshotError::Malformed(
+                    "window arrivals out of order".into(),
+                ));
+            }
+            last = ts;
+            let item = get(r)?;
+            buf.queue.push_back((ts, item));
+        }
+        Ok(buf)
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,28 @@ impl DriftingWorkload {
 }
 
 impl StreamWorkload for DriftingWorkload {
+    /// Capture the workload's only mutable state — the RNG stream. The
+    /// schedule and skew overrides are construction-time configuration.
+    fn save_state(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("DRIFTWL");
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "DRIFTWL")?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.get_u64()?;
+        }
+        self.rng = StdRng::from_state(state);
+        Ok(())
+    }
+
     fn attrs_for(&mut self, stream: StreamId, now: VirtualTime) -> AttrVec {
         let n = self.schedule.n_streams();
         let mut attrs = AttrVec::new();

@@ -147,6 +147,34 @@ impl TraceWorkload {
 }
 
 impl StreamWorkload for TraceWorkload {
+    /// Capture the replay cursors; the trace body itself is
+    /// construction-time configuration.
+    fn save_state(&self, w: &mut amri_core::snapshot_io::SectionWriter) {
+        w.put_str("TRACEWL");
+        w.put_usize(self.next.len());
+        for &n in &self.next {
+            w.put_usize(n);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut amri_core::snapshot_io::SectionReader<'_>,
+    ) -> Result<(), amri_core::snapshot_io::SnapshotError> {
+        amri_core::snapshot_io::expect_tag(r, "TRACEWL")?;
+        let n = r.get_usize()?;
+        if n != self.next.len() {
+            return Err(amri_core::snapshot_io::SnapshotError::Malformed(format!(
+                "trace cursor covers {n} streams, this trace has {}",
+                self.next.len()
+            )));
+        }
+        for slot in &mut self.next {
+            *slot = r.get_usize()?;
+        }
+        Ok(())
+    }
+
     fn attrs_for(&mut self, stream: StreamId, _now: VirtualTime) -> AttrVec {
         let s = stream.idx();
         let tuples = &self.per_stream[s];

@@ -41,4 +41,32 @@ echo "summary CSVs identical across repeated --threads 4 sweeps"
 echo "==> fault-injection replay at --threads 4"
 cargo run --release -q -p amri-bench --bin fault_matrix -- --threads 4
 
+# Crash-recovery replay: every indexing mode is crashed at a mid-run step,
+# resumed from its latest snapshot, and the resumed summary CSV must be
+# byte-identical to the uninterrupted baseline's — sequentially and with
+# the worker pool engaged. The bin itself exits non-zero on divergence;
+# the explicit diff below keeps the byte-identity claim visible in CI.
+for threads in 1 4; do
+    echo "==> crash-resume replay (--threads ${threads})"
+    CRASH_OUT="$(mktemp -d)"
+    cargo run --release -q -p amri-bench --bin crash_matrix -- \
+        --quick --threads "${threads}" --out "${CRASH_OUT}"
+    diff "${CRASH_OUT}/baseline_summary.csv" "${CRASH_OUT}/resumed_summary.csv" \
+        || { echo "crash-resume summary diverged at --threads ${threads}"; exit 1; }
+    echo "resumed summary byte-identical at --threads ${threads}"
+    rm -rf "${CRASH_OUT}"
+done
+
+# Torn-snapshot fallback: the latest snapshot is corrupted in flight; the
+# checksum must reject it and recovery must fall back to the previous good
+# image, still landing byte-identical.
+echo "==> torn-snapshot fallback"
+CRASH_OUT="$(mktemp -d)"
+cargo run --release -q -p amri-bench --bin crash_matrix -- \
+    --quick --torn --out "${CRASH_OUT}"
+diff "${CRASH_OUT}/baseline_summary.csv" "${CRASH_OUT}/resumed_summary.csv" \
+    || { echo "torn-snapshot fallback diverged"; exit 1; }
+echo "torn latest snapshot skipped, fallback byte-identical"
+rm -rf "${CRASH_OUT}"
+
 echo "CI green."

@@ -178,6 +178,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpointing. Paired
+        /// with [`StdRng::from_state`] this round-trips the generator
+        /// exactly: the restored generator continues the same stream.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from state words previously captured with
+        /// [`StdRng::state`].
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

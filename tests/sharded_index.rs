@@ -122,11 +122,7 @@ impl Runner {
     fn check_sound(&self) -> Result<(), String> {
         let index = self.store.index();
         index.check_integrity()?;
-        let per_shard: usize = index
-            .shard_fill_stats()
-            .iter()
-            .map(|f| f.entries)
-            .sum();
+        let per_shard: usize = index.shard_fill_stats().iter().map(|f| f.entries).sum();
         if per_shard != amri_core::StateIndex::entries(index) {
             return Err(format!(
                 "shard fill stats cover {per_shard} entries, index holds {}",
@@ -134,6 +130,24 @@ impl Runner {
             ));
         }
         Ok(())
+    }
+
+    /// Apply one scripted op to this runner alone (searches are pure and
+    /// compared separately by the callers that need them).
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Insert(vals, t) => self.insert(vals, t),
+            Op::Expire(t) => self.expire(t),
+            Op::Search(..) => {}
+            Op::Migrate(i) => {
+                self.store
+                    .index_mut()
+                    .migrate(config(i), &mut CostReceipt::new());
+            }
+            Op::Evict(n) => {
+                self.store.evict_oldest(n as usize, &mut CostReceipt::new());
+            }
+        }
     }
 }
 
@@ -210,6 +224,114 @@ proptest! {
                     prop_assert_eq!(&r.search(mask, vals), &want);
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Snapshot → restore round trip at every shard count: a restored
+    /// store is structurally sound, reports the same per-shard fill
+    /// statistics, answers every probe with the same result set — and
+    /// keeps behaving identically when the script continues (slot reuse
+    /// and chain order survive the trip verbatim).
+    #[test]
+    fn snapshot_roundtrip_preserves_arena_and_answers(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        tail in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        use amri_core::snapshot_io::{SectionReader, SectionWriter};
+        for shards in [1usize, 2, 4, 8] {
+            let mut original = Runner::new(shards);
+            for op in &ops {
+                original.apply(op);
+            }
+
+            let mut w = SectionWriter::new();
+            original.store.save_state(&mut w);
+            original.store.index().save(&mut w);
+            let bytes = w.into_bytes();
+
+            let mut restored = Runner::new(shards);
+            let mut r = SectionReader::new(&bytes);
+            restored.store.restore_state(&mut r).expect("state section");
+            *restored.store.index_mut() =
+                BitAddressIndex::restore(&mut r).expect("index section");
+            prop_assert_eq!(r.remaining(), 0, "trailing bytes at {} shards", shards);
+            restored.now = original.now;
+            restored.seq = original.seq;
+
+            let sound = restored.check_sound();
+            prop_assert!(sound.is_ok(), "restored integrity: {:?}", sound);
+            prop_assert_eq!(restored.store.len(), original.store.len());
+            prop_assert_eq!(
+                format!("{:?}", restored.store.index().shard_fill_stats()),
+                format!("{:?}", original.store.index().shard_fill_stats()),
+                "fill statistics diverged at {} shards", shards
+            );
+            for mask in 0..8u32 {
+                for v in 0..6u64 {
+                    let vals = [v, (v + 1) % 6, (v + 2) % 6];
+                    prop_assert_eq!(
+                        restored.search(mask, vals),
+                        original.search(mask, vals),
+                        "probe diverged at {} shards", shards
+                    );
+                }
+            }
+
+            // The trip must also preserve unobservable bookkeeping
+            // (free-list order, bucket chains): continuing the script on
+            // both sides must stay in lockstep.
+            for op in &tail {
+                original.apply(op);
+                restored.apply(op);
+                if let Op::Search(mask, vals) = *op {
+                    prop_assert_eq!(
+                        restored.search(mask, vals),
+                        original.search(mask, vals),
+                        "post-restore script diverged at {} shards", shards
+                    );
+                }
+            }
+            let sound = restored.check_sound();
+            prop_assert!(sound.is_ok(), "post-restore integrity: {:?}", sound);
+        }
+    }
+
+    /// Collector round trip: every assessment method restored from a
+    /// snapshot reports the same frequent set at every threshold, the
+    /// same totals — and re-saves to identical bytes.
+    #[test]
+    fn collector_roundtrip_preserves_frequent_answers(
+        masks in proptest::collection::vec(1u32..8, 1..400),
+        theta in 0.0f64..0.6,
+    ) {
+        use amri_core::assess::AssessorKind;
+        use amri_core::snapshot_io::{SectionReader, SectionWriter};
+        for kind in AssessorKind::figure6_lineup() {
+            let mut a = kind.build(3, 0.001, 7);
+            for &m in &masks {
+                a.record(AccessPattern::new(m, 3));
+            }
+            let mut w = SectionWriter::new();
+            a.save(&mut w);
+            let bytes = w.into_bytes();
+
+            let mut b = kind.build(3, 0.001, 7);
+            let mut r = SectionReader::new(&bytes);
+            b.load(&mut r).expect("collector section");
+            prop_assert_eq!(r.remaining(), 0);
+            prop_assert_eq!(a.n(), b.n());
+            prop_assert_eq!(a.entries(), b.entries());
+            prop_assert_eq!(
+                a.frequent(theta), b.frequent(theta),
+                "{} diverged at theta {}", kind.label(), theta
+            );
+            let mut w2 = SectionWriter::new();
+            b.save(&mut w2);
+            prop_assert_eq!(bytes, w2.into_bytes(), "re-save must be byte-identical");
         }
     }
 }

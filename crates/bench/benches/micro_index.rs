@@ -3,11 +3,14 @@
 //! multi-hash access module vs a full scan.
 
 use amri_core::{
-    BitAddressIndex, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex, SearchOutcome,
-    SearchScratch, StateIndex, TupleKey,
+    BitAddressIndex, CostReceipt, IndexConfig, IngestStage, MultiHashIndex, ScanIndex,
+    SearchOutcome, SearchScratch, StateIndex, StateStore, TupleKey,
 };
 use amri_engine::WorkerPool;
-use amri_stream::{AccessPattern, AttrVec, SearchRequest};
+use amri_stream::{
+    AccessPattern, AttrId, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualTime,
+    WindowSpec,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn jas(i: u64) -> AttrVec {
@@ -213,11 +216,115 @@ fn bench_migrate(c: &mut Criterion) {
     g.finish();
 }
 
+/// Staged parallel ingest — the tentpole's write path. 10k tuples arrive
+/// in 256-tuple bursts; each burst stages its index linking per shard and
+/// is applied through the worker pool, then the whole window expires in
+/// one staged batch. The 4-shard index and arrival sequence are identical
+/// across thread counts (the arena/window half is sequential by design),
+/// so the ids differ only in executor parallelism. Like
+/// `index_parallel_10k`, these ids feed `BENCH_parallel.json` and are
+/// deliberately absent from `BENCH_index.json`/`bench_guard.sh`.
+fn bench_ingest_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest_parallel_10k");
+    g.sample_size(10);
+    let n = 10_000u64;
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("insert_expire_threads", threads),
+            &threads,
+            |b, &threads| {
+                let pool = WorkerPool::new(std::num::NonZeroUsize::new(threads).unwrap());
+                b.iter_batched(
+                    || {
+                        StateStore::new(
+                            StreamId(0),
+                            vec![AttrId(0), AttrId(1), AttrId(2)],
+                            WindowSpec::secs(60),
+                            BitAddressIndex::with_shards(
+                                IndexConfig::new(vec![8, 8, 8]).unwrap(),
+                                4,
+                            ),
+                        )
+                    },
+                    |mut store| {
+                        let mut receipt = CostReceipt::new();
+                        let mut stage = IngestStage::new();
+                        for i in 0..n {
+                            let tuple = Tuple::new(
+                                TupleId(i),
+                                StreamId(0),
+                                VirtualTime::from_secs(i / 200),
+                                jas(i),
+                            );
+                            store.insert_staged(tuple, &mut receipt, &mut stage);
+                            if i % 256 == 255 {
+                                store.apply_staged(&mut stage, &pool);
+                            }
+                        }
+                        store.apply_staged(&mut stage, &pool);
+                        // Slide the window past every arrival: one staged
+                        // expiry batch unlinks all 10k entries.
+                        let expired = store.expire_staged(
+                            VirtualTime::from_secs(10_000),
+                            &mut receipt,
+                            &mut stage,
+                        );
+                        store.apply_staged(&mut stage, &pool);
+                        black_box((expired, receipt.hash_ops))
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Sharded migration — `migrate_with` on the identical populated 4-shard
+/// index at 1, 2 and 4 threads. The [8,8,8] → [4,10,10] target moves
+/// entries across shard boundaries, so this exercises the gather +
+/// redistribute path (the expensive one), not the in-place relink.
+fn bench_migrate_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migrate_parallel_10k");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("bitaddr_sharded_rebucket_threads", threads),
+            &threads,
+            |b, &threads| {
+                let pool = WorkerPool::new(std::num::NonZeroUsize::new(threads).unwrap());
+                b.iter_batched(
+                    || {
+                        let mut idx = BitAddressIndex::with_shards(
+                            IndexConfig::new(vec![8, 8, 8]).unwrap(),
+                            4,
+                        );
+                        let mut r = CostReceipt::new();
+                        for i in 0..10_000u64 {
+                            idx.insert(TupleKey(i as u32), &jas(i), &mut r);
+                        }
+                        idx
+                    },
+                    |mut idx| {
+                        let mut r = CostReceipt::new();
+                        idx.migrate_with(IndexConfig::new(vec![4, 10, 10]).unwrap(), &mut r, &pool);
+                        black_box(r.moved)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_insert,
     bench_search,
     bench_parallel,
-    bench_migrate
+    bench_migrate,
+    bench_ingest_parallel,
+    bench_migrate_parallel
 );
 criterion_main!(benches);

@@ -9,9 +9,9 @@
 //!         [--checkpoint-every N]`
 
 use amri_bench::{
-    fig6_assessment, fig6_hash, fig7_compare, parse_checkpoint_every, parse_scale, parse_seed,
-    parse_threads, render_series_table, render_summary, resume_latest, run_until_crash,
-    table2_example, write_csv, write_summary_csv,
+    fig6_assessment_with_stats, fig6_hash_with_stats, fig7_compare, parse_checkpoint_every,
+    parse_scale, parse_seed, parse_threads, render_maintenance_table, render_series_table,
+    render_summary, resume_latest, run_until_crash, table2_example, write_csv, write_summary_csv,
 };
 use std::path::Path;
 
@@ -36,30 +36,38 @@ fn main() {
     println!();
 
     eprintln!("running Figure 6 assessment lineup...");
-    let assess = fig6_assessment(scale, seed, threads);
+    let (assess, assess_maint): (Vec<_>, Vec<_>) = fig6_assessment_with_stats(scale, seed, threads)
+        .into_iter()
+        .unzip();
     println!("== Figure 6 — assessment methods ==");
     println!("{}", render_series_table(&assess, 12));
     println!("{}", render_summary(&assess));
+    println!("{}", render_maintenance_table(&assess, &assess_maint));
     write_csv(&assess, Path::new("results/fig6_assessment.csv")).expect("csv");
     write_summary_csv(
         &assess,
         Path::new("results/fig6_assessment_summary.csv"),
         threads.get(),
         &[],
+        &assess_maint,
     )
     .expect("csv");
 
     eprintln!("running Figure 6 hash sweep...");
-    let hash = fig6_hash(scale, seed, threads);
+    let (hash, hash_maint): (Vec<_>, Vec<_>) = fig6_hash_with_stats(scale, seed, threads)
+        .into_iter()
+        .unzip();
     println!("== Figure 6 — hash baselines ==");
     println!("{}", render_series_table(&hash, 12));
     println!("{}", render_summary(&hash));
+    println!("{}", render_maintenance_table(&hash, &hash_maint));
     write_csv(&hash, Path::new("results/fig6_hash.csv")).expect("csv");
     write_summary_csv(
         &hash,
         Path::new("results/fig6_hash_summary.csv"),
         threads.get(),
         &[],
+        &hash_maint,
     )
     .expect("csv");
 
@@ -69,6 +77,7 @@ fn main() {
     println!("== Figure 7 ==");
     println!("{}", render_series_table(&f7_runs, 12));
     println!("{}", render_summary(&f7_runs));
+    println!("{}", render_maintenance_table(&f7_runs, &f7.maint));
     println!(
         "AMRI vs best hash: {:+.0}% (paper +93%) | AMRI vs static bitmap: {:+.0}% (paper +75%)",
         f7.gain_over_hash() * 100.0,
@@ -80,6 +89,7 @@ fn main() {
         Path::new("results/fig7_compare_summary.csv"),
         threads.get(),
         &[],
+        &f7.maint,
     )
     .expect("csv");
 
@@ -114,7 +124,7 @@ fn main() {
             vec![FaultKind::CrashAt { step: crash_at }],
         )
         .expect("crash run");
-        let (resumed, note, skipped) = resume_latest(exec(), dir).expect("resume");
+        let (resumed, note, maint, skipped) = resume_latest(exec(), dir).expect("resume");
         assert_eq!(skipped, 0);
         assert_eq!(
             format!("{baseline:#?}"),
@@ -131,6 +141,7 @@ fn main() {
             Path::new("results/crash_replay_summary.csv"),
             threads.get(),
             &[note],
+            &[maint],
         )
         .expect("csv");
     }

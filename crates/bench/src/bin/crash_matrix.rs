@@ -114,6 +114,8 @@ fn main() {
     let mut violations: Vec<String> = Vec::new();
     let mut baselines = Vec::new();
     let mut resumed_runs = Vec::new();
+    let mut base_maints = Vec::new();
+    let mut resumed_maints = Vec::new();
     let mut recovery = String::from(
         "label,crash_step,checkpoints_taken,resumed_from_step,snapshots_skipped,identical\n",
     );
@@ -126,7 +128,7 @@ fn main() {
             apply_threads(&mut engine, threads);
             Executor::new(&sc.query, sc.workload(), mode, engine)
         };
-        let baseline = exec(mode.clone()).run();
+        let (baseline, base_maint) = exec(mode.clone()).run_with_stats();
 
         let dir = out.join("snapshots").join(label);
         std::fs::remove_dir_all(&dir).ok();
@@ -141,12 +143,12 @@ fn main() {
                 mode: TornMode::Truncate,
             });
         }
-        let (taken, resumed, note, skipped) =
+        let (taken, resumed, note, resumed_maint, skipped) =
             match run_until_crash(exec(mode.clone()), &dir, every, faults) {
                 Ok((step, taken)) => {
                     assert_eq!(step, crash_at);
                     match resume_latest(exec(mode), &dir) {
-                        Ok((r, note, skipped)) => (taken, r, note, skipped),
+                        Ok((r, note, maint, skipped)) => (taken, r, note, maint, skipped),
                         Err(e) => {
                             violations.push(format!("{label}: resume failed: {e}"));
                             continue;
@@ -162,6 +164,12 @@ fn main() {
         let identical = format!("{baseline:#?}") == format!("{resumed:#?}");
         if !identical {
             violations.push(format!("{label}: resumed run diverged from baseline"));
+        }
+        if base_maint != resumed_maint {
+            violations.push(format!(
+                "{label}: maintenance ticks diverged after resume \
+                 ({base_maint:?} vs {resumed_maint:?})"
+            ));
         }
         if torn && skipped == 0 {
             violations.push(format!("{label}: torn snapshot was not skipped"));
@@ -180,17 +188,22 @@ fn main() {
         .unwrap();
         baselines.push(baseline);
         resumed_runs.push(resumed);
+        base_maints.push(base_maint);
+        resumed_maints.push(resumed_maint);
         notes.push(note);
     }
 
     // The diffable pair: both summaries are pure functions of the
-    // RunResults (no checkpoint notes), so byte-equal files == recovered
-    // state is indistinguishable from never having crashed.
+    // RunResults plus the maintenance ticks (no checkpoint notes).
+    // Maintenance ticks are part of the snapshot image, so byte-equal
+    // files == recovered state (including the maintenance accounting) is
+    // indistinguishable from never having crashed.
     write_summary_csv(
         &baselines,
         &out.join("baseline_summary.csv"),
         threads.get(),
         &[],
+        &base_maints,
     )
     .expect("baseline summary");
     write_summary_csv(
@@ -198,6 +211,7 @@ fn main() {
         &out.join("resumed_summary.csv"),
         threads.get(),
         &[],
+        &resumed_maints,
     )
     .expect("resumed summary");
     // The bookkeeping view, with the checkpoint columns populated.
@@ -206,6 +220,7 @@ fn main() {
         &out.join("recovery_summary.csv"),
         threads.get(),
         &notes,
+        &resumed_maints,
     )
     .expect("recovery summary");
     std::fs::write(out.join("recovery.csv"), recovery).expect("recovery csv");

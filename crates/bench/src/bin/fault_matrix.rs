@@ -190,7 +190,7 @@ fn main() {
             Some(every) => {
                 let dir = format!("results/checkpoints/fault_matrix/{sname}");
                 std::fs::remove_dir_all(&dir).ok();
-                let (r, note) = amri_bench::run_checkpointed(
+                let (r, note, _maint) = amri_bench::run_checkpointed(
                     cell_executor(seed, threads, &mixed, policy),
                     std::path::Path::new(&dir),
                     every,

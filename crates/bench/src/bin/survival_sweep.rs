@@ -67,15 +67,19 @@ fn main() {
     );
     let mut runs = Vec::new();
     let mut notes: Vec<CheckpointNote> = Vec::new();
+    let mut maints = Vec::new();
     for (label, mode) in modes {
         let exec = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone());
-        let (r, note) = match checkpoint_every {
+        let (r, note, maint) = match checkpoint_every {
             Some(every) => {
                 let dir = format!("results/checkpoints/survival/{label}");
                 std::fs::remove_dir_all(&dir).ok();
                 run_checkpointed(exec, std::path::Path::new(&dir), every).expect("checkpointed run")
             }
-            None => (exec.run(), CheckpointNote::default()),
+            None => {
+                let (r, maint) = exec.run_with_stats();
+                (r, CheckpointNote::default(), maint)
+            }
         };
         let death = r
             .death_time()
@@ -93,12 +97,14 @@ fn main() {
         );
         runs.push(r);
         notes.push(note);
+        maints.push(maint);
     }
     write_summary_csv(
         &runs,
         std::path::Path::new("results/survival_summary.csv"),
         threads.get(),
         &notes,
+        &maints,
     )
     .expect("summary csv");
 }

@@ -12,15 +12,18 @@
 
 use crate::report::CheckpointNote;
 use amri_engine::{
-    load_latest, CheckpointPolicy, Checkpointer, EngineError, Executor, FaultKind, RunResult,
-    StreamWorkload,
+    load_latest, CheckpointPolicy, Checkpointer, EngineError, Executor, FaultKind,
+    MaintenanceStats, RunResult, StreamWorkload,
 };
 use std::path::Path;
 
 /// Run to completion while snapshotting every `every` steps into `dir`.
 ///
 /// Checkpointing is a pure observer, so the returned [`RunResult`] is
-/// byte-identical to what `exec.run()` would have produced.
+/// byte-identical to what `exec.run()` would have produced. The
+/// [`MaintenanceStats`] ride along for the summary CSV's maintenance
+/// columns; they are part of the snapshot image, so a resumed run reports
+/// the same final ticks as an uninterrupted one.
 ///
 /// # Errors
 /// [`EngineError::Snapshot`] on checkpoint I/O failures.
@@ -28,18 +31,19 @@ pub fn run_checkpointed<W: StreamWorkload>(
     exec: Executor<W>,
     dir: &Path,
     every: u64,
-) -> Result<(RunResult, CheckpointNote), EngineError> {
+) -> Result<(RunResult, CheckpointNote, MaintenanceStats), EngineError> {
     let fingerprint = exec.config_fingerprint();
     let mut ckpt = Checkpointer::new(dir, CheckpointPolicy::every(every))?;
-    let result = exec
+    let (result, maint) = exec
         .into_pipeline()
-        .run_with(Some(&mut ckpt), fingerprint)?;
+        .run_with_stats_ckpt(Some(&mut ckpt), fingerprint)?;
     Ok((
         result,
         CheckpointNote {
             checkpoints_taken: ckpt.checkpoints_taken(),
             resumed_from_step: None,
         },
+        maint,
     ))
 }
 
@@ -71,7 +75,9 @@ pub fn run_until_crash<W: StreamWorkload>(
 
 /// Resume `exec` from the latest good snapshot in `dir` and run it to
 /// completion. Returns the finished result, the note recording the
-/// resume step, and how many corrupt snapshots recovery had to skip.
+/// resume step, the maintenance ticks (restored from the snapshot and
+/// accumulated to the end — identical to an uninterrupted run's), and how
+/// many corrupt snapshots recovery had to skip.
 ///
 /// # Errors
 /// Any [`EngineError::Snapshot`] from loading (no usable snapshot,
@@ -79,16 +85,17 @@ pub fn run_until_crash<W: StreamWorkload>(
 pub fn resume_latest<W: StreamWorkload>(
     exec: Executor<W>,
     dir: &Path,
-) -> Result<(RunResult, CheckpointNote, u64), EngineError> {
+) -> Result<(RunResult, CheckpointNote, MaintenanceStats, u64), EngineError> {
     let (snap, _path, skipped) = load_latest(dir)?;
     let step = snap.step();
-    let result = exec.resume_from(&snap)?.run_with(None, 0)?;
+    let (result, maint) = exec.resume_from(&snap)?.run_with_stats_ckpt(None, 0)?;
     Ok((
         result,
         CheckpointNote {
             checkpoints_taken: 0,
             resumed_from_step: Some(step),
         },
+        maint,
         skipped,
     ))
 }
@@ -120,7 +127,7 @@ mod tests {
 
     #[test]
     fn crash_resume_round_trip_matches_the_straight_run() {
-        let baseline = quick_exec(8).run();
+        let (baseline, base_maint) = quick_exec(8).run_with_stats();
         let dir = tmpdir("roundtrip");
         let (step, taken) = run_until_crash(
             quick_exec(8),
@@ -131,21 +138,26 @@ mod tests {
         .unwrap();
         assert_eq!(step, 150);
         assert!(taken >= 3);
-        let (resumed, note, skipped) = resume_latest(quick_exec(8), &dir).unwrap();
+        let (resumed, note, maint, skipped) = resume_latest(quick_exec(8), &dir).unwrap();
         assert_eq!(skipped, 0);
         assert_eq!(note.resumed_from_step, Some(120));
         assert_eq!(format!("{baseline:#?}"), format!("{resumed:#?}"));
+        // Maintenance ticks are snapshotted, so the resumed run's final
+        // tally must match the uninterrupted run's.
+        assert_eq!(base_maint, maint);
+        assert!(maint.ingest_ns > 0, "{maint:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn observer_run_reports_its_checkpoints() {
         let dir = tmpdir("observer");
-        let baseline = quick_exec(3).run();
-        let (result, note) = run_checkpointed(quick_exec(3), &dir, 100).unwrap();
+        let (baseline, base_maint) = quick_exec(3).run_with_stats();
+        let (result, note, maint) = run_checkpointed(quick_exec(3), &dir, 100).unwrap();
         assert!(note.checkpoints_taken > 0);
         assert_eq!(note.resumed_from_step, None);
         assert_eq!(format!("{baseline:#?}"), format!("{result:#?}"));
+        assert_eq!(base_maint, maint);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -168,7 +180,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(taken, 3);
-        let (resumed, note, skipped) = resume_latest(quick_exec(4), &dir).unwrap();
+        let (resumed, note, _maint, skipped) = resume_latest(quick_exec(4), &dir).unwrap();
         assert_eq!(skipped, 1, "the torn image must be skipped by checksum");
         assert_eq!(note.resumed_from_step, Some(80));
         assert_eq!(format!("{baseline:#?}"), format!("{resumed:#?}"));

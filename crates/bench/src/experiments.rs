@@ -10,7 +10,7 @@ use crate::parallel::run_all;
 use crate::training::{train_initial, TrainedInit};
 use amri_core::assess::AssessorKind;
 use amri_core::IndexConfig;
-use amri_engine::{Executor, IndexingMode, RunResult};
+use amri_engine::{Executor, IndexingMode, MaintenanceStats, RunResult};
 use amri_hh::CombineStrategy;
 use amri_stream::AccessPattern;
 use amri_synth::scenario::{paper_scenario, Scale};
@@ -35,14 +35,17 @@ fn prepared(scale: Scale, seed: u64, threads: NonZeroUsize) -> (PaperScenario, T
     (scenario, init)
 }
 
-fn run_mode(scenario: &PaperScenario, mode: IndexingMode) -> RunResult {
+fn run_mode_with_stats(
+    scenario: &PaperScenario,
+    mode: IndexingMode,
+) -> (RunResult, MaintenanceStats) {
     Executor::new(
         &scenario.query,
         scenario.workload(),
         mode,
         scenario.engine.clone(),
     )
-    .run()
+    .run_with_stats()
 }
 
 /// `EXP-F6-ASSESS` — Figure 6, assessment methods: AMRI under SRIA, CSRIA,
@@ -56,6 +59,19 @@ fn run_mode(scenario: &PaperScenario, mode: IndexingMode) -> RunResult {
 /// headroom produces exactly the workload's join results regardless of
 /// index quality.)
 pub fn fig6_assessment(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<RunResult> {
+    fig6_assessment_with_stats(scale, seed, threads)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// [`fig6_assessment`] plus per-run [`MaintenanceStats`] — the deterministic
+/// virtual ticks each variant spent on ingest and migration.
+pub fn fig6_assessment_with_stats(
+    scale: Scale,
+    seed: u64,
+    threads: NonZeroUsize,
+) -> Vec<(RunResult, MaintenanceStats)> {
     let (scenario, init) = match scale {
         Scale::Paper => {
             let mut sc = paper_scenario(scale, seed);
@@ -84,7 +100,7 @@ pub fn fig6_assessment(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<Ru
             let scenario = &scenario;
             let configs: Vec<IndexConfig> = init.configs.clone();
             move || {
-                run_mode(
+                run_mode_with_stats(
                     scenario,
                     IndexingMode::Amri {
                         assessor: kind,
@@ -101,13 +117,25 @@ pub fn fig6_assessment(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<Ru
 /// with 1..=7 hash indices (CDIA-highest statistics, conventional
 /// selection), trained starting patterns.
 pub fn fig6_hash(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<RunResult> {
+    fig6_hash_with_stats(scale, seed, threads)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// [`fig6_hash`] plus per-run [`MaintenanceStats`].
+pub fn fig6_hash_with_stats(
+    scale: Scale,
+    seed: u64,
+    threads: NonZeroUsize,
+) -> Vec<(RunResult, MaintenanceStats)> {
     let (scenario, init) = prepared(scale, seed, threads);
     let jobs: Vec<_> = (1..=7usize)
         .map(|k| {
             let scenario = &scenario;
             let patterns: Vec<Vec<AccessPattern>> = init.hash_patterns(k);
             move || {
-                run_mode(
+                run_mode_with_stats(
                     scenario,
                     IndexingMode::AdaptiveHash {
                         n_indices: k,
@@ -130,6 +158,10 @@ pub struct Fig7Result {
     pub best_hash: RunResult,
     /// The non-adapting bitmap starting from the same trained optimum.
     pub bitmap: RunResult,
+    /// Maintenance ticks for `[amri, best_hash, bitmap]`, in that order —
+    /// aligned with the run fields so callers can feed both straight into
+    /// the summary CSV.
+    pub maint: [MaintenanceStats; 3],
 }
 
 impl Fig7Result {
@@ -155,7 +187,7 @@ pub fn fig7_compare(scale: Scale, seed: u64, threads: NonZeroUsize) -> Fig7Resul
                 let scenario = &scenario;
                 let patterns = init.hash_patterns(k);
                 move || {
-                    run_mode(
+                    run_mode_with_stats(
                         scenario,
                         IndexingMode::AdaptiveHash {
                             n_indices: k,
@@ -171,9 +203,9 @@ pub fn fig7_compare(scale: Scale, seed: u64, threads: NonZeroUsize) -> Fig7Resul
         let configs = init.configs.clone();
         let configs2 = init.configs.clone();
         let scenario_ref = &scenario;
-        let jobs: Vec<Box<dyn FnOnce() -> RunResult + Send>> = vec![
+        let jobs: Vec<Box<dyn FnOnce() -> (RunResult, MaintenanceStats) + Send>> = vec![
             Box::new(move || {
-                run_mode(
+                run_mode_with_stats(
                     scenario_ref,
                     IndexingMode::Amri {
                         assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
@@ -182,7 +214,7 @@ pub fn fig7_compare(scale: Scale, seed: u64, threads: NonZeroUsize) -> Fig7Resul
                 )
             }),
             Box::new(move || {
-                run_mode(
+                run_mode_with_stats(
                     scenario_ref,
                     IndexingMode::StaticBitmap {
                         configs: Some(configs2),
@@ -192,16 +224,17 @@ pub fn fig7_compare(scale: Scale, seed: u64, threads: NonZeroUsize) -> Fig7Resul
         ];
         run_all(jobs)
     };
-    let bitmap = pair.pop().expect("two jobs");
-    let amri = pair.pop().expect("two jobs");
-    let best_hash = hash_runs
+    let (bitmap, bitmap_maint) = pair.pop().expect("two jobs");
+    let (amri, amri_maint) = pair.pop().expect("two jobs");
+    let (best_hash, best_hash_maint) = hash_runs
         .into_iter()
-        .max_by_key(|r| r.outputs)
+        .max_by_key(|(r, _)| r.outputs)
         .expect("seven hash runs");
     Fig7Result {
         amri,
         best_hash,
         bitmap,
+        maint: [amri_maint, best_hash_maint, bitmap_maint],
     }
 }
 

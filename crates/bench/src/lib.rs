@@ -29,11 +29,12 @@ pub mod training;
 pub use cli::{apply_threads, parse_checkpoint_every, parse_scale, parse_seed, parse_threads};
 pub use crash::{resume_latest, run_checkpointed, run_until_crash};
 pub use experiments::{
-    fig6_assessment, fig6_hash, fig7_compare, table2_example, Fig7Result, Table2Result,
+    fig6_assessment, fig6_assessment_with_stats, fig6_hash, fig6_hash_with_stats, fig7_compare,
+    table2_example, Fig7Result, Table2Result,
 };
 pub use parallel::run_all;
 pub use report::{
-    render_ascii_chart, render_series_table, render_summary, write_csv, write_summary_csv,
-    CheckpointNote,
+    render_ascii_chart, render_maintenance_table, render_series_table, render_summary, write_csv,
+    write_summary_csv, CheckpointNote,
 };
 pub use training::train_initial;

@@ -1,7 +1,7 @@
 //! Figure-shaped reporting: aligned time-series tables, run summaries and
 //! CSV emission.
 
-use amri_engine::{RunOutcome, RunResult};
+use amri_engine::{MaintenanceStats, RunOutcome, RunResult};
 use amri_stream::VirtualTime;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -76,6 +76,35 @@ pub fn render_summary(runs: &[RunResult]) -> String {
             r.degradation.shed_jobs,
             r.degradation.evicted_tuples,
             r.faults.total()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render the per-run maintenance-cost block: deterministic virtual
+/// nanoseconds spent on ingest (insert + expire) and on index migration,
+/// plus how many retunes fired while a probe backlog was pending
+/// (`stalls` — migrations that delayed visible work). `ingest%` relates
+/// ingest time to the run's total virtual time (ticks model microseconds,
+/// so ns/1000 per tick). `maint` aligns with `runs`; missing entries
+/// render as zeros, so lineups that never collected stats still tabulate.
+pub fn render_maintenance_table(runs: &[RunResult], maint: &[MaintenanceStats]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>18} {:>14} {:>14} {:>8} {:>10}",
+        "run", "ingest-ns", "migrate-ns", "stalls", "ingest%"
+    )
+    .unwrap();
+    for (i, r) in runs.iter().enumerate() {
+        let m = maint.get(i).copied().unwrap_or_default();
+        let total = r.final_time.0.max(1);
+        let pct = 100.0 * (m.ingest_ns as f64 / 1000.0) / total as f64;
+        writeln!(
+            out,
+            "{:>18} {:>14} {:>14} {:>8} {:>9.1}%",
+            r.label, m.ingest_ns, m.migrate_ns, m.migrate_stalls, pct
         )
         .unwrap();
     }
@@ -182,21 +211,28 @@ pub struct CheckpointNote {
 /// summary produced under `--threads N` is distinguishable from (and
 /// diffable against) the sequential one. `notes` aligns with `runs` and
 /// fills the `checkpoints_taken`/`resumed_from_step` columns; pass `&[]`
-/// for uncheckpointed lineups (zero / empty cells).
+/// for uncheckpointed lineups (zero / empty cells). `maint` aligns with
+/// `runs` and fills the maintenance-cost columns (`ingest_ns`,
+/// `migrate_ns`, `migrate_stalls`); the `_ns` columns carry deterministic
+/// *virtual* ticks, not wall-clock nanoseconds, so repeated runs diff
+/// byte-for-byte. Pass `&[]` when stats were not collected (zeros).
 pub fn write_summary_csv(
     runs: &[RunResult],
     path: &Path,
     threads: usize,
     notes: &[CheckpointNote],
+    maint: &[MaintenanceStats],
 ) -> std::io::Result<()> {
     let mut body = String::from(
         "label,outcome,outputs,peak_mem_bytes,peak_backlog,retunes,\
          shed_jobs,evicted_tuples,first_degraded_secs,death_secs,\
          faults_dropped,faults_duplicated,faults_delayed,faults_reordered,\
-         threads,checkpoints_taken,resumed_from_step\n",
+         threads,checkpoints_taken,resumed_from_step,\
+         ingest_ns,migrate_ns,migrate_stalls\n",
     );
     for (i, r) in runs.iter().enumerate() {
         let note = notes.get(i).copied().unwrap_or_default();
+        let m = maint.get(i).copied().unwrap_or_default();
         let outcome = match r.outcome {
             RunOutcome::Completed => "completed",
             RunOutcome::OutOfMemory { .. } => "oom",
@@ -217,7 +253,7 @@ pub fn write_summary_csv(
             .unwrap_or_default();
         writeln!(
             body,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.label,
             outcome,
             r.outputs,
@@ -234,7 +270,10 @@ pub fn write_summary_csv(
             r.faults.reordered,
             threads,
             note.checkpoints_taken,
-            resumed
+            resumed,
+            m.ingest_ns,
+            m.migrate_ns,
+            m.migrate_stalls
         )
         .unwrap();
     }
@@ -347,25 +386,59 @@ mod tests {
             checkpoints_taken: 5,
             resumed_from_step: Some(120),
         }];
-        write_summary_csv(&runs, &path, 4, &notes).unwrap();
+        let maint = [MaintenanceStats {
+            ingest_ns: 900,
+            migrate_ns: 70,
+            migrate_stalls: 2,
+        }];
+        write_summary_csv(&runs, &path, 4, &notes, &maint).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
         assert!(lines[0].starts_with("label,outcome,outputs"));
         assert!(lines[0].contains("shed_jobs"));
         assert!(
-            lines[0].ends_with(",threads,checkpoints_taken,resumed_from_step"),
+            lines[0].ends_with(
+                ",threads,checkpoints_taken,resumed_from_step,\
+                 ingest_ns,migrate_ns,migrate_stalls"
+            ),
             "{}",
             lines[0]
         );
         assert!(lines[1].contains("degraded"), "{}", lines[1]);
         assert!(lines[1].contains(",7,40,12.000,"), "{}", lines[1]);
-        assert!(lines[1].ends_with("3,0,0,0,4,5,120"), "{}", lines[1]);
+        assert!(
+            lines[1].ends_with("3,0,0,0,4,5,120,900,70,2"),
+            "{}",
+            lines[1]
+        );
         assert!(lines[2].contains("completed"), "{}", lines[2]);
-        // Runs without a note get zero / empty checkpoint cells.
-        assert!(lines[2].ends_with(",4,0,"), "{}", lines[2]);
+        // Runs without a note get zero / empty checkpoint cells, and runs
+        // without maintenance stats get zero maintenance columns.
+        assert!(lines[2].ends_with(",4,0,,0,0,0"), "{}", lines[2]);
         // A degraded run has no death time.
         assert_eq!(runs[0].death_time(), None);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maintenance_table_renders_ticks_and_tolerates_missing_stats() {
+        let runs = vec![
+            fake_run("amri", 100, 10, None),
+            fake_run("hash", 50, 10, None),
+        ];
+        let maint = [MaintenanceStats {
+            ingest_ns: 1234,
+            migrate_ns: 56,
+            migrate_stalls: 3,
+        }];
+        let table = render_maintenance_table(&runs, &maint);
+        assert!(table.contains("ingest-ns"), "{table}");
+        assert!(table.contains("1234"), "{table}");
+        assert!(table.contains("56"), "{table}");
+        // The second run has no stats entry: zeros, not a panic.
+        let last = table.lines().last().unwrap();
+        assert!(last.contains("hash"), "{table}");
+        assert!(last.contains('0'), "{table}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cost receipt like any other work.
 
 use crate::assess::AssessorKind;
-use crate::bitaddr::BitAddressIndex;
+use crate::bitaddr::{BitAddressIndex, IngestStage};
 use crate::config::IndexConfig;
 use crate::cost::{CostParams, CostReceipt};
 use crate::error::CoreError;
@@ -129,6 +129,65 @@ impl AmriState {
         self.store.evict_oldest(max, receipt)
     }
 
+    /// [`evict_oldest`](Self::evict_oldest) with the per-shard index
+    /// unlinks fanned out through `exec`; identical outcome and charges.
+    pub fn evict_oldest_with(
+        &mut self,
+        max: usize,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> usize {
+        self.store.evict_oldest_with(max, receipt, exec)
+    }
+
+    /// [`insert`](Self::insert) with the physical index linking staged for
+    /// a later flush; arena slot, window order, and charges are identical.
+    pub fn insert_staged(
+        &mut self,
+        tuple: Tuple,
+        receipt: &mut CostReceipt,
+        stage: &mut IngestStage,
+    ) -> TupleKey {
+        self.store.insert_staged(tuple, receipt, stage)
+    }
+
+    /// [`expire`](Self::expire) with the index unlinks staged in arrival
+    /// order; arena frees and charges are identical.
+    pub fn expire_staged(
+        &mut self,
+        now: VirtualTime,
+        receipt: &mut CostReceipt,
+        stage: &mut IngestStage,
+    ) -> usize {
+        self.store.expire_staged(now, receipt, stage)
+    }
+
+    /// Flush every staged index operation through `exec` (no charges —
+    /// costs were taken at stage time).
+    pub fn apply_staged(
+        &mut self,
+        stage: &mut IngestStage,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        self.store.apply_staged(stage, exec);
+    }
+
+    /// Flush the stage and serve `req` in one fused dispatch (ingest–probe
+    /// overlap), feeding the request's pattern to the assessor exactly as
+    /// [`search_into`](Self::search_into) does.
+    pub fn apply_staged_then_search(
+        &mut self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        stage: &mut IngestStage,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        self.tuner.record(req.pattern);
+        self.store
+            .apply_staged_then_search(req, scratch, receipt, stage, exec);
+    }
+
     /// Answer a search request into a caller-owned scratch buffer, feeding
     /// the request's pattern to the assessor. The zero-allocation hot path.
     pub fn search_into(
@@ -230,6 +289,29 @@ impl AmriState {
         window_secs: f64,
         receipt: &mut CostReceipt,
     ) -> Option<RetuneReport> {
+        self.maybe_retune_with(
+            now,
+            lambda_d,
+            lambda_r,
+            window_secs,
+            receipt,
+            &crate::parallel::SequentialExecutor,
+        )
+    }
+
+    /// [`maybe_retune`](Self::maybe_retune) with the migration's rebucket
+    /// and relink passes fanned out shard-by-shard through `exec` (see
+    /// [`BitAddressIndex::migrate_with`]); decision, outcome, and charges
+    /// are identical for any executor.
+    pub fn maybe_retune_with(
+        &mut self,
+        now: VirtualTime,
+        lambda_d: f64,
+        lambda_r: f64,
+        window_secs: f64,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> Option<RetuneReport> {
         match self
             .tuner
             .maybe_retune(now, lambda_d, lambda_r, window_secs)
@@ -241,7 +323,9 @@ impl AmriState {
                 ..
             } => {
                 let before = receipt.moved;
-                self.store.index_mut().migrate(config.clone(), receipt);
+                self.store
+                    .index_mut()
+                    .migrate_with(config.clone(), receipt, exec);
                 Some(RetuneReport {
                     config,
                     moved: receipt.moved - before,

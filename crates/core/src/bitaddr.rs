@@ -51,7 +51,7 @@ use crate::config::{IndexConfig, ProbePlan};
 use crate::cost::CostReceipt;
 use crate::layout;
 use crate::parallel::{SequentialExecutor, ShardExecutor, SlotArena};
-use crate::state::{SearchScratch, ShardSlot, StateIndex, TupleKey};
+use crate::state::{SearchScratch, ShardSlot, StagedIndex, StateIndex, TupleKey};
 use amri_stream::{AttrVec, FxHashMap, SearchRequest};
 
 /// Null link in the intrusive bucket chains.
@@ -79,6 +79,61 @@ struct Bucket {
     head: u32,
     tail: u32,
     len: u32,
+}
+
+/// One deferred structural index operation, already routed to its owning
+/// shard. Inserts carry the fully built node (bucket id pre-hashed at
+/// stage time); removes carry the chain to walk. Replayed in arrival
+/// order per shard, so a remove staged after an insert of the same key
+/// unlinks exactly the node the sequential path would.
+#[derive(Debug, Clone, Copy)]
+enum StagedOp {
+    Insert(Node),
+    Remove { bucket: u64, key: TupleKey },
+}
+
+/// Per-shard lanes of deferred index maintenance (see [`StagedIndex`]).
+/// Cost receipts are charged when an op is *staged* — insert/remove
+/// charges are data-independent, so staging is exact — and the physical
+/// link/unlink work is replayed later, one task per shard, in arrival
+/// order. Lanes are retained across flushes so steady-state ingest does
+/// not allocate.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStage {
+    ops: Vec<Vec<StagedOp>>,
+    pending: usize,
+}
+
+impl IngestStage {
+    /// An empty stage (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing is staged — flushing is then free.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Number of staged, not-yet-applied operations.
+    pub fn pending_ops(&self) -> usize {
+        self.pending
+    }
+
+    fn push(&mut self, s_count: usize, s: usize, op: StagedOp) {
+        if self.ops.len() < s_count {
+            self.ops.resize_with(s_count, Vec::new);
+        }
+        self.ops[s].push(op);
+        self.pending += 1;
+    }
+
+    fn clear(&mut self) {
+        for lane in &mut self.ops {
+            lane.clear();
+        }
+        self.pending = 0;
+    }
 }
 
 /// Bucket-fill distribution report (see [`BitAddressIndex::fill_stats`]).
@@ -246,11 +301,46 @@ impl Shard {
         }
     }
 
-    /// Probe this shard under `plan`, appending matches to `hits` in
-    /// chain order and charging `receipt`. The narrow (enumerate candidate
-    /// ids) vs wide (linear slab walk) decision is made per shard against
-    /// this shard's occupied-bucket count — with one shard that is exactly
-    /// the pre-sharding decision, charge for charge.
+    /// Remove the entry for `key` from `bucket`'s chain, if present
+    /// (silently a no-op otherwise, matching [`StateIndex::remove`]).
+    fn remove_by_key(&mut self, bucket: u64, key: TupleKey) {
+        let Some(slot) = self.heads.get(&bucket) else {
+            return;
+        };
+        let mut i = slot.head;
+        while i != NIL {
+            let node = &self.nodes[i as usize];
+            if node.key == key {
+                self.unlink_and_remove(i);
+                return;
+            }
+            i = node.next;
+        }
+    }
+
+    /// Replay one staged maintenance operation. Ops arrive in this shard's
+    /// original arrival order, so the resulting slab and chain state equal
+    /// eager sequential maintenance.
+    fn apply(&mut self, op: StagedOp) {
+        match op {
+            StagedOp::Insert(node) => self.push_and_link(node),
+            StagedOp::Remove { bucket, key } => self.remove_by_key(bucket, key),
+        }
+    }
+
+    /// Probe this shard under `plan`, appending matches to `hits` in walk
+    /// order and charging `receipt` one comparison per entry whose
+    /// bucket is a candidate. The narrow (enumerate candidate ids) vs wide
+    /// (linear slab walk) decision is made per shard against this shard's
+    /// occupied-bucket count — it picks the cheaper walk without changing
+    /// the hit *set* or the comparisons; the caller sorts the merged hits
+    /// into canonical key order, so the walk-order difference never
+    /// escapes. `bucket_probes` are deliberately *not* charged
+    /// here: the per-shard `min(candidates, occupied)` would sum to less
+    /// than the unsharded charge (min is not additive), making the receipt
+    /// depend on the shard count. The caller charges the canonical
+    /// `min(candidate_buckets, occupied_buckets)` against global totals
+    /// instead, so receipts are shard-count invariant.
     fn probe(
         &self,
         plan: &ProbePlan,
@@ -264,7 +354,6 @@ impl Shard {
             // carry-propagate submask walk) and follow each occupied
             // bucket's chain through the slab.
             for id in plan.enumerate() {
-                receipt.bucket_probes += 1;
                 if let Some(slot) = self.heads.get(&id) {
                     let mut i = slot.head;
                     while i != NIL {
@@ -279,10 +368,9 @@ impl Shard {
             }
         } else {
             // Wide search: one linear pass over the contiguous slab,
-            // filtering on each node's cached bucket id. Charges exactly
-            // what the per-bucket formulation did: one probe per occupied
-            // bucket plus one comparison per entry in a matching bucket.
-            receipt.bucket_probes += self.heads.len() as u64;
+            // filtering on each node's cached bucket id. Visits exactly
+            // the entries the per-bucket formulation would: one comparison
+            // per entry in a candidate bucket.
             for node in &self.nodes {
                 if plan.matches(node.bucket) {
                     receipt.comparisons += 1;
@@ -551,53 +639,123 @@ impl BitAddressIndex {
     /// gathering the slabs (shard-major, slab order) and redistributing —
     /// deterministic either way, and charged identically.
     pub fn migrate(&mut self, new_config: IndexConfig, receipt: &mut CostReceipt) {
+        self.migrate_with(new_config, receipt, &SequentialExecutor);
+    }
+
+    /// [`BitAddressIndex::migrate`] with the rebucket and relink passes
+    /// fanned out shard-by-shard over `exec` (one task per shard, two
+    /// dispatches at most), so tuner reconfiguration no longer serializes
+    /// the pipeline. Identical outcome — slab order, chain order, charges
+    /// — to the sequential migrate:
+    ///
+    /// 1. **Rebucket** (parallel): each shard re-derives its nodes' bucket
+    ///    ids from the new key map and records whether any entry now
+    ///    belongs to a different shard. Per-shard work is independent and
+    ///    order-free.
+    /// 2. **Relink** (parallel) when no entry crossed shards: each shard
+    ///    clears its chains and relinks its slab in slab order — exactly
+    ///    the in-place sequential pass.
+    /// 3. **Redistribute** otherwise: nodes are gathered shard-major (a
+    ///    deterministic sequential pass fixing arrival order), staged per
+    ///    destination shard, and each destination relinks its staged run
+    ///    in one parallel task — the same discipline as
+    ///    [`BitAddressIndex::insert_batch_with`].
+    pub fn migrate_with(
+        &mut self,
+        new_config: IndexConfig,
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) {
         self.config = new_config;
         let entries = self.entries() as u64;
         let hashes_per_entry = self.config.indexed_attrs() as u64;
         receipt.hash_ops += hashes_per_entry * entries;
         receipt.moved += entries;
         let (shard_bits, total_bits) = (self.shard_bits, self.config.total_bits());
-        let config = &self.config;
-        let mut crossed = false;
-        for (s, shard) in self.shards.iter_mut().enumerate() {
+        let s_count = self.shards.len();
+        if s_count == 1 {
+            // Single shard: rebucket and relink inline — exactly the
+            // pre-sharding migrate path.
+            let config = &self.config;
+            let shard = &mut self.shards[0];
             for node in &mut shard.nodes {
                 node.bucket = config.bucket_of(&node.jas);
-                crossed |= shard_index(node.bucket, shard_bits, total_bits) != s;
             }
+            shard.heads.clear();
+            for idx in 0..shard.nodes.len() as u32 {
+                shard.link_at_tail(idx);
+            }
+            return;
         }
-        if !crossed {
-            // In-place relink, shard by shard. With one shard this is
-            // exactly the pre-sharding migrate path.
-            for shard in &mut self.shards {
+        let mut crossed_flags = vec![false; s_count];
+        {
+            let config = &self.config;
+            let shards = SlotArena::new(&mut self.shards[..s_count]);
+            let flags = SlotArena::new(&mut crossed_flags[..s_count]);
+            exec.run_tasks(s_count, &|s| {
+                // SAFETY: task `s` claims only shard `s` and flag `s`,
+                // exactly once each.
+                let shard = unsafe { shards.claim(s) };
+                let flag = unsafe { flags.claim(s) };
+                for node in &mut shard.nodes {
+                    node.bucket = config.bucket_of(&node.jas);
+                    *flag |= shard_index(node.bucket, shard_bits, total_bits) != s;
+                }
+            });
+        }
+        if !crossed_flags.iter().any(|&f| f) {
+            // In-place relink, one task per shard.
+            let shards = SlotArena::new(&mut self.shards[..s_count]);
+            exec.run_tasks(s_count, &|s| {
+                // SAFETY: task `s` claims only shard `s`, exactly once.
+                let shard = unsafe { shards.claim(s) };
                 shard.heads.clear();
                 for idx in 0..shard.nodes.len() as u32 {
                     shard.link_at_tail(idx);
                 }
-            }
+            });
         } else {
-            // Cross-shard relocation: gather deterministically and
-            // redistribute into the owning shards.
+            // Cross-shard relocation: gather deterministically
+            // (shard-major, slab order — the arrival order the sequential
+            // migrate produces), stage per destination, relink in
+            // parallel.
             let mut all: Vec<Node> = Vec::with_capacity(entries as usize);
             for shard in &mut self.shards {
                 all.append(&mut shard.nodes);
                 shard.heads.clear();
             }
+            let mut staged: Vec<Vec<Node>> = (0..s_count).map(|_| Vec::new()).collect();
             for node in all {
-                self.shards[shard_index(node.bucket, shard_bits, total_bits)].push_and_link(node);
+                staged[shard_index(node.bucket, shard_bits, total_bits)].push(node);
             }
+            let staged = &staged;
+            let shards = SlotArena::new(&mut self.shards[..s_count]);
+            exec.run_tasks(s_count, &|s| {
+                // SAFETY: task `s` claims only shard `s`, exactly once.
+                let shard = unsafe { shards.claim(s) };
+                for node in &staged[s] {
+                    shard.push_and_link(*node);
+                }
+            });
         }
     }
 
     /// The sharded search core: plan once, probe every compatible shard,
-    /// merge hits and costs in fixed shard order.
+    /// merge hits and costs in fixed shard order, then canonicalize.
     ///
-    /// With one shard this is byte-for-byte the pre-sharding search (plan,
-    /// then probe the whole arena into `scratch.hits`). With `S` shards the
-    /// plan is sliced per shard ([`ProbePlan::shard_slice`] partitions the
-    /// candidate-id set), each compatible shard's probe writes into its own
-    /// pre-claimed slot, and the slots are drained `0..S` — so the hit
-    /// order and the merged receipt are independent of which threads ran
-    /// the probes and in what order they finished.
+    /// With `S` shards the plan is sliced per shard
+    /// ([`ProbePlan::shard_slice`] partitions the candidate-id set), each
+    /// compatible shard's probe writes into its own pre-claimed slot, and
+    /// the slots are drained `0..S` — so the merged receipt is independent
+    /// of which threads ran the probes and in what order they finished.
+    /// Hits are then sorted by [`TupleKey`]: the raw walk order (chain
+    /// order for a narrow probe, slab order for a wide one) depends on the
+    /// shard partition and on each shard's swap-remove history, whereas
+    /// arena keys are assigned by the unsharded state store — sorting is
+    /// the only order every shard count can agree on. Downstream routing
+    /// consumes hits in order, so without the canonical sort the join-job
+    /// queue (and every adaptive decision fed by it) would observe the
+    /// shard count.
     fn search_sharded(
         &self,
         req: &SearchRequest,
@@ -616,8 +774,14 @@ impl BitAddressIndex {
         receipt.hash_ops += hashed;
 
         let plan = self.config.probe_plan(req.pattern, req.values.as_slice());
+        // Canonical probe charge against global totals (shard-count
+        // invariant): the cheaper of enumerating every candidate id and
+        // touching every occupied bucket. Shards pick their own walk
+        // strategy but never charge probes themselves.
+        receipt.bucket_probes += plan.candidate_buckets().min(self.occupied_buckets() as u64);
         if self.shards.len() == 1 {
             self.shards[0].probe(&plan, req, &mut scratch.hits, receipt);
+            scratch.hits.sort_unstable();
             return;
         }
         let (shard_bits, total_bits) = (self.shard_bits, self.config.total_bits());
@@ -640,6 +804,7 @@ impl BitAddressIndex {
             scratch.hits.extend_from_slice(&slot.hits);
             receipt.merge(&slot.receipt);
         }
+        scratch.hits.sort_unstable();
         scratch.put_shard_slots(slots);
     }
 
@@ -700,12 +865,16 @@ impl BitAddressIndex {
                 }
             });
         }
+        let occupied = self.occupied_buckets() as u64;
         for r in 0..reqs.len() {
             scratch.hits.clear();
             for slot in &slots[r * s_count..(r + 1) * s_count] {
                 scratch.hits.extend_from_slice(&slot.hits);
                 receipt.merge(&slot.receipt);
             }
+            // Same canonical per-request probe charge as search_sharded.
+            receipt.bucket_probes += plans[r].candidate_buckets().min(occupied);
+            scratch.hits.sort_unstable();
             on_result(r, &scratch.hits);
         }
         scratch.put_shard_slots(slots);
@@ -888,19 +1057,43 @@ impl StateIndex for BitAddressIndex {
         receipt.bucket_probes += 1;
         let bucket = self.config.bucket_of(jas);
         let s = self.shard_of(bucket);
-        let shard = &mut self.shards[s];
-        let Some(slot) = shard.heads.get(&bucket) else {
-            return;
-        };
-        let mut i = slot.head;
-        while i != NIL {
-            let node = &shard.nodes[i as usize];
-            if node.key == key {
-                shard.unlink_and_remove(i);
-                return;
+        self.shards[s].remove_by_key(bucket, key);
+    }
+
+    /// Parallel batch remove: charges and bucket routing are computed
+    /// sequentially (fixing the unlink order per shard), then each shard's
+    /// chain walks run as one independent task — the removal mirror of
+    /// [`BitAddressIndex::insert_batch_with`].
+    fn remove_batch_with(
+        &mut self,
+        entries: &[(TupleKey, AttrVec)],
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) {
+        receipt.hash_ops += self.config.indexed_attrs() as u64 * entries.len() as u64;
+        receipt.bucket_probes += entries.len() as u64;
+        let s_count = self.shards.len();
+        if s_count == 1 {
+            for &(key, jas) in entries {
+                let bucket = self.config.bucket_of(&jas);
+                self.shards[0].remove_by_key(bucket, key);
             }
-            i = node.next;
+            return;
         }
+        let mut staged: Vec<Vec<(u64, TupleKey)>> = (0..s_count).map(|_| Vec::new()).collect();
+        for &(key, jas) in entries {
+            let bucket = self.config.bucket_of(&jas);
+            staged[self.shard_of(bucket)].push((bucket, key));
+        }
+        let staged = &staged;
+        let arena = SlotArena::new(&mut self.shards[..s_count]);
+        exec.run_tasks(s_count, &|s| {
+            // SAFETY: task `s` claims only shard `s`, exactly once.
+            let shard = unsafe { arena.claim(s) };
+            for &(bucket, key) in &staged[s] {
+                shard.remove_by_key(bucket, key);
+            }
+        });
     }
 
     fn search_into(
@@ -963,6 +1156,147 @@ impl StateIndex for BitAddressIndex {
 
     fn kind(&self) -> &'static str {
         "bit-address"
+    }
+}
+
+impl StagedIndex for BitAddressIndex {
+    type Stage = IngestStage;
+
+    fn stage_insert(
+        &self,
+        key: TupleKey,
+        jas_values: &AttrVec,
+        receipt: &mut CostReceipt,
+        stage: &mut IngestStage,
+    ) {
+        receipt.hash_ops += self.config.indexed_attrs() as u64;
+        receipt.bucket_probes += 1;
+        let bucket = self.config.bucket_of(jas_values);
+        stage.push(
+            self.shards.len(),
+            self.shard_of(bucket),
+            StagedOp::Insert(Node {
+                key,
+                jas: *jas_values,
+                bucket,
+                next: NIL,
+                prev: NIL,
+            }),
+        );
+    }
+
+    fn stage_remove(
+        &self,
+        key: TupleKey,
+        jas_values: &AttrVec,
+        receipt: &mut CostReceipt,
+        stage: &mut IngestStage,
+    ) {
+        receipt.hash_ops += self.config.indexed_attrs() as u64;
+        receipt.bucket_probes += 1;
+        let bucket = self.config.bucket_of(jas_values);
+        stage.push(
+            self.shards.len(),
+            self.shard_of(bucket),
+            StagedOp::Remove { bucket, key },
+        );
+    }
+
+    fn apply_stage(&mut self, stage: &mut IngestStage, exec: &dyn ShardExecutor) {
+        if stage.pending == 0 {
+            return;
+        }
+        let s_count = self.shards.len();
+        debug_assert!(
+            stage.ops.len() >= s_count,
+            "stage routed against a different shard count"
+        );
+        if s_count == 1 {
+            let shard = &mut self.shards[0];
+            for op in &stage.ops[0] {
+                shard.apply(*op);
+            }
+        } else {
+            let ops = &stage.ops;
+            let arena = SlotArena::new(&mut self.shards[..s_count]);
+            exec.run_tasks(s_count, &|s| {
+                // SAFETY: task `s` claims only shard `s`, exactly once.
+                let shard = unsafe { arena.claim(s) };
+                for op in &ops[s] {
+                    shard.apply(*op);
+                }
+            });
+        }
+        stage.clear();
+    }
+
+    fn apply_stage_then_search(
+        &mut self,
+        stage: &mut IngestStage,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) -> bool {
+        let s_count = self.shards.len();
+        if stage.pending == 0 || s_count == 1 {
+            // Nothing to overlap: drain (inline for one shard) and fall
+            // through to the plain sharded search.
+            self.apply_stage(stage, exec);
+            self.search_sharded(req, scratch, receipt, exec);
+            return true;
+        }
+        debug_assert!(
+            stage.ops.len() >= s_count,
+            "stage routed against a different shard count"
+        );
+        // Fused apply+probe: plan and charge sequentially (identical to
+        // search_sharded), then one dispatch where task `s` replays shard
+        // `s`'s staged run before probing it — shard `s`'s probe sees
+        // exactly its post-apply state while other shards are still
+        // applying theirs.
+        scratch.hits.clear();
+        let hashed = req
+            .pattern
+            .positions()
+            .filter(|&i| self.config.bits_of(i) > 0)
+            .count() as u64;
+        receipt.hash_ops += hashed;
+        let plan = self.config.probe_plan(req.pattern, req.values.as_slice());
+        let (shard_bits, total_bits) = (self.shard_bits, self.config.total_bits());
+        let mut slots = scratch.take_shard_slots();
+        slots.resize_with(s_count.max(slots.len()), ShardSlot::default);
+        {
+            let ops = &stage.ops;
+            let shards = SlotArena::new(&mut self.shards[..s_count]);
+            let arena = SlotArena::new(&mut slots[..s_count]);
+            exec.run_tasks(s_count, &|s| {
+                // SAFETY: task `s` claims only shard `s` and slot `s`,
+                // exactly once each.
+                let shard = unsafe { shards.claim(s) };
+                for op in &ops[s] {
+                    shard.apply(*op);
+                }
+                let slot = unsafe { arena.claim(s) };
+                slot.hits.clear();
+                slot.receipt = CostReceipt::new();
+                if let Some(slice) = plan.shard_slice(s as u64, shard_bits, total_bits) {
+                    shard.probe(&slice, req, &mut slot.hits, &mut slot.receipt);
+                }
+            });
+        }
+        for slot in &slots[..s_count] {
+            scratch.hits.extend_from_slice(&slot.hits);
+            receipt.merge(&slot.receipt);
+        }
+        // Canonical probe charge, computed *after* the dispatch so the
+        // occupancy reflects the staged ops the probe just saw — the same
+        // post-apply totals the drain-then-search path charges against.
+        receipt.bucket_probes += plan.candidate_buckets().min(self.occupied_buckets() as u64);
+        scratch.hits.sort_unstable();
+        scratch.put_shard_slots(slots);
+        stage.clear();
+        true
     }
 }
 

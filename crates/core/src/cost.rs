@@ -114,6 +114,21 @@ impl CostParams {
         VirtualDuration(t.round() as u64)
     }
 
+    /// Convert a receipt into virtual **nanoseconds** — the same cost
+    /// model as [`ticks`](Self::ticks) at 1000× resolution (one tick
+    /// models a microsecond). Use this for accounting that sums many
+    /// sub-tick charges (e.g. per-arrival ingest maintenance, which costs
+    /// a fraction of a tick and would round to zero tick-by-tick); the
+    /// virtual clock itself still advances in whole ticks.
+    pub fn nanos(&self, r: &CostReceipt) -> u64 {
+        let t = self.c_h * r.hash_ops as f64
+            + self.c_c * r.comparisons as f64
+            + self.c_probe * r.bucket_probes as f64
+            + self.c_move * r.moved as f64
+            + self.c_base * r.base_ops as f64;
+        (t * 1000.0).round() as u64
+    }
+
     /// Eq. 1: expected configuration-dependent cost rate (ticks per virtual
     /// second) of `config` under `profile`.
     pub fn expected_cd(&self, config: &IndexConfig, profile: &WorkloadProfile) -> f64 {

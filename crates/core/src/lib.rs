@@ -108,12 +108,12 @@ pub mod tuner;
 
 pub use amri::AmriState;
 pub use assess::{Assessor, AssessorKind};
-pub use bitaddr::BitAddressIndex;
+pub use bitaddr::{BitAddressIndex, IngestStage};
 pub use config::IndexConfig;
 pub use cost::{ApStat, CostParams, CostReceipt, WorkloadProfile};
 pub use error::CoreError;
 pub use hash_index::MultiHashIndex;
 pub use parallel::{SequentialExecutor, ShardExecutor, SlotArena};
 pub use scan::ScanIndex;
-pub use state::{SearchOutcome, SearchScratch, StateIndex, StateStore, TupleKey};
+pub use state::{SearchOutcome, SearchScratch, StagedIndex, StateIndex, StateStore, TupleKey};
 pub use tuner::{IndexTuner, TunerConfig, TunerEvent};

@@ -115,6 +115,24 @@ pub trait StateIndex {
     /// Remove an expired tuple.
     fn remove(&mut self, key: TupleKey, jas_values: &AttrVec, receipt: &mut CostReceipt);
 
+    /// Remove a batch of tuples in order, with an explicit shard-task
+    /// executor. A sharded index groups the batch per shard and unlinks
+    /// each shard's run through `exec`; this default simply loops
+    /// [`remove`](Self::remove). Either way the resulting structure and
+    /// receipt totals equal sequential removal — the batch order is fixed
+    /// before any task runs.
+    fn remove_batch_with(
+        &mut self,
+        entries: &[(TupleKey, AttrVec)],
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        let _ = exec;
+        for (key, jas) in entries {
+            self.remove(*key, jas, receipt);
+        }
+    }
+
     /// Find tuples matching `req` (equality on the specified attributes),
     /// writing them into `scratch.hits` (cleared first).
     ///
@@ -191,6 +209,66 @@ pub trait StateIndex {
 
     /// Human-readable kind for reports.
     fn kind(&self) -> &'static str;
+}
+
+/// A [`StateIndex`] whose physical maintenance can be *staged*: the cost
+/// charges and shard routing of an insert/remove happen at arrival time
+/// (they are data-independent for the bit-address index), while the
+/// link/unlink work is deferred into a [`Stage`](StagedIndex::Stage) and
+/// later replayed per shard in arrival order — sequentially or fanned out
+/// across a worker pool. Because every operation touches exactly one
+/// shard and each shard replays its own subsequence in the original
+/// order, the applied structure is byte-identical to eager sequential
+/// maintenance regardless of the executor.
+///
+/// Contract: the stage must be drained (applied) before any observation
+/// of the index — searches, memory accounting, migration, snapshots —
+/// and before the index is reconfigured.
+pub trait StagedIndex: StateIndex {
+    /// Deferred per-shard maintenance operations.
+    type Stage: Default + Send;
+
+    /// Charge and stage the insertion of `key`; physical linking is
+    /// deferred until [`apply_stage`](Self::apply_stage).
+    fn stage_insert(
+        &self,
+        key: TupleKey,
+        jas_values: &AttrVec,
+        receipt: &mut CostReceipt,
+        stage: &mut Self::Stage,
+    );
+
+    /// Charge and stage the removal of `key`; physical unlinking is
+    /// deferred until [`apply_stage`](Self::apply_stage).
+    fn stage_remove(
+        &self,
+        key: TupleKey,
+        jas_values: &AttrVec,
+        receipt: &mut CostReceipt,
+        stage: &mut Self::Stage,
+    );
+
+    /// Apply every staged operation, fanning the per-shard runs out
+    /// through `exec`. Charges nothing — all costs were taken at stage
+    /// time. Leaves the stage empty.
+    fn apply_stage(&mut self, stage: &mut Self::Stage, exec: &dyn crate::parallel::ShardExecutor);
+
+    /// Apply the staged operations and then serve `req`, fused into one
+    /// executor dispatch: task *s* replays shard *s*'s staged run and
+    /// immediately probes that shard, so ingest work on one shard
+    /// overlaps with probe work on another. Results and receipts are
+    /// identical to [`apply_stage`](Self::apply_stage) followed by
+    /// [`search_into_with`](StateIndex::search_into_with) — each shard's
+    /// probe only depends on that shard's post-apply state. Returns the
+    /// served flag of `search_into`.
+    fn apply_stage_then_search(
+        &mut self,
+        stage: &mut Self::Stage,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> bool;
 }
 
 /// One stored tuple plus its extracted JAS values.
@@ -445,6 +523,31 @@ impl<I: StateIndex> StateStore<I> {
         evicted
     }
 
+    /// [`evict_oldest`](Self::evict_oldest) with an explicit shard-task
+    /// executor: window pops, arena removals (and thus free-list order)
+    /// stay sequential in eviction order, then the index unlinks the whole
+    /// batch in one call — fanned out per shard when it is sharded.
+    /// Contents and cost accounting are identical to per-tuple eviction.
+    pub fn evict_oldest_with(
+        &mut self,
+        max: usize,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> usize {
+        let mut batch: Vec<(TupleKey, AttrVec)> = Vec::new();
+        while batch.len() < max {
+            let Some((_, key)) = self.window.pop_oldest() else {
+                break;
+            };
+            if let Some(stored) = self.arena.remove(key) {
+                receipt.base_ops += 1;
+                batch.push((key, stored.jas_values));
+            }
+        }
+        self.index.remove_batch_with(&batch, receipt, exec);
+        batch.len()
+    }
+
     /// Answer a search request into a caller-owned scratch buffer.
     ///
     /// `scratch.hits` is cleared and then filled with the keys of matching
@@ -665,6 +768,93 @@ impl<I: StateIndex> StateStore<I> {
         self.arena = arena;
         self.window = window;
         Ok(())
+    }
+}
+
+impl<I: StagedIndex> StateStore<I> {
+    /// Store an arriving tuple, charging full ingest cost now but staging
+    /// the index linking for a later [`apply_staged`](Self::apply_staged).
+    /// Arena slot assignment, window order, and receipts are identical to
+    /// [`insert`](Self::insert); only the physical index work is deferred.
+    ///
+    /// # Panics
+    /// Panics if the tuple is from a different stream.
+    pub fn insert_staged(
+        &mut self,
+        tuple: Tuple,
+        receipt: &mut CostReceipt,
+        stage: &mut I::Stage,
+    ) -> TupleKey {
+        assert_eq!(tuple.stream, self.stream, "tuple from wrong stream");
+        let jas_values = self.jas_values(&tuple);
+        let key = self.arena.insert(StoredTuple { tuple, jas_values });
+        self.window.push(tuple.ts, key);
+        receipt.base_ops += 1;
+        self.index.stage_insert(key, &jas_values, receipt, stage);
+        key
+    }
+
+    /// [`expire`](Self::expire) with staged index removal: the window
+    /// drains and the arena frees slots immediately (preserving free-list
+    /// order), while the unlink work joins the stage *in order* — so a
+    /// staged removal and a staged same-key re-insert within one batch
+    /// replay exactly as they would have executed eagerly.
+    pub fn expire_staged(
+        &mut self,
+        now: VirtualTime,
+        receipt: &mut CostReceipt,
+        stage: &mut I::Stage,
+    ) -> usize {
+        let mut removed = 0;
+        let mut expired = std::mem::take(&mut self.expire_buf);
+        expired.clear();
+        expired.extend(self.window.expire(now).map(|(_, k)| k));
+        for &key in &expired {
+            if let Some(stored) = self.arena.remove(key) {
+                receipt.base_ops += 1;
+                self.index
+                    .stage_remove(key, &stored.jas_values, receipt, stage);
+                removed += 1;
+            }
+        }
+        self.expire_buf = expired;
+        removed
+    }
+
+    /// Apply every staged index operation through `exec`. Charges nothing.
+    pub fn apply_staged(
+        &mut self,
+        stage: &mut I::Stage,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        self.index.apply_stage(stage, exec);
+    }
+
+    /// Apply the staged operations and serve `req` in one fused executor
+    /// dispatch (see [`StagedIndex::apply_stage_then_search`]). Falls back
+    /// to the arena scan when the index cannot serve the request — the
+    /// stage is applied either way.
+    pub fn apply_staged_then_search(
+        &mut self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        stage: &mut I::Stage,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        debug_assert_eq!(req.pattern.n_attrs(), self.jas_width());
+        if !self
+            .index
+            .apply_stage_then_search(stage, req, scratch, receipt, exec)
+        {
+            scratch.hits.clear();
+            for (key, stored) in self.arena.iter() {
+                receipt.comparisons += 2;
+                if req.matches(&stored.jas_values) {
+                    scratch.hits.push(key);
+                }
+            }
+        }
     }
 }
 

@@ -47,7 +47,8 @@ pub use router::Router;
 pub use runtime::{
     load_latest, CheckpointPolicy, Checkpointer, DegradationPolicy, DegradationReport,
     DegradationSample, EngineSetup, FaultKind, FaultPlan, FaultReport, IngestOperator, Job,
-    Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams, SampleOperator,
-    SheddingPolicy, SkewedClock, StepStatus, TornMode, TuneOperator, WallClock, WorkerPool,
+    MaintenanceStats, Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams,
+    SampleOperator, SheddingPolicy, SkewedClock, StepStatus, TornMode, TuneOperator, WallClock,
+    WorkerPool,
 };
 pub use stem::{HashTuner, JoinState, Stem};

@@ -51,6 +51,29 @@ pub enum RunOutcome {
     },
 }
 
+/// Where the run's maintenance time went, in deterministic **virtual
+/// nanoseconds** (the cost model's sub-tick resolution, where one clock
+/// tick models a microsecond — see
+/// [`CostParams::nanos`](amri_core::CostParams::nanos)). This is *not*
+/// wall time: the totals are byte-identical across thread counts and
+/// replayable through the CI byte-diff. Nanoseconds rather than whole
+/// ticks because one arrival's ingest work costs well under a tick and
+/// would otherwise round to zero everywhere. Surfaced per run through
+/// [`Executor::run_with_stats`](crate::Executor::run_with_stats) and the
+/// bench summary CSV's `ingest_ns`/`migrate_ns` columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceStats {
+    /// Virtual ns charged to ingest-side maintenance: window expiry,
+    /// arena stores, and staged index link/unlink work.
+    pub ingest_ns: u64,
+    /// Virtual ns charged to index reconfiguration (AMRI migrations and
+    /// hash retargets).
+    pub migrate_ns: u64,
+    /// Retunes that fired while routing jobs were queued — each one
+    /// stalled the pipeline for its migration's duration.
+    pub migrate_stalls: u64,
+}
+
 /// The scalar knobs the runtime needs for one run — the pipeline-facing
 /// subset of the harness's `EngineConfig` (routing policy, seed and tuner
 /// parameters are consumed at construction time and never reread).
@@ -134,6 +157,8 @@ pub struct RunContext<C: Clock = VirtualClock> {
     /// Persistent worker pool for sharded index work, sized to
     /// [`RunParams::parallelism`] (no threads at parallelism 1).
     pub pool: crate::runtime::pool::WorkerPool,
+    /// Virtual-tick totals for the maintenance path (ingest, migration).
+    pub maint: MaintenanceStats,
 }
 
 impl<C: Clock> RunContext<C> {
@@ -196,9 +221,11 @@ impl<C: Clock> RunContext<C> {
                 let Some((_, idx)) = victim else {
                     break; // every state drained; nothing left to shed
                 };
-                let evicted = self.stems[idx]
-                    .state
-                    .evict_oldest(gov.evict_chunk(), &mut receipt);
+                let evicted = self.stems[idx].state.evict_oldest_with(
+                    gov.evict_chunk(),
+                    &mut receipt,
+                    &self.pool,
+                );
                 if evicted == 0 {
                     break;
                 }

@@ -54,7 +54,7 @@ pub mod pool;
 
 pub use checkpoint::{load_latest, CheckpointPolicy, Checkpointer};
 pub use clock::WallClock;
-pub use context::{Job, RunContext, RunOutcome, RunParams};
+pub use context::{Job, MaintenanceStats, RunContext, RunOutcome, RunParams};
 pub use degrade::{
     DegradationPolicy, DegradationReport, DegradationSample, Governor, SheddingPolicy,
 };

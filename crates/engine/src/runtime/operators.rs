@@ -138,23 +138,40 @@ impl<C: Clock> Operator<C> for TuneOperator {
             clock,
             window_secs,
             run,
+            pool,
+            maint,
+            backlog,
             ..
         } = ctx;
         for (i, stem) in stems.iter_mut().enumerate() {
             let lambda_r = stem.requests_served as f64 / elapsed;
             let mut receipt = CostReceipt::new();
-            if let Some(r) =
-                stem.state
-                    .maybe_retune(due, lambda_now, lambda_r, window_secs[i], &mut receipt)
-            {
+            // Migration work fans out shard-by-shard over the run's
+            // worker pool; at parallelism 1 the pool runs it inline.
+            let retuned = stem.state.maybe_retune_with(
+                due,
+                lambda_now,
+                lambda_r,
+                window_secs[i],
+                &mut receipt,
+                pool,
+            );
+            let ticks = run.params.ticks(&receipt);
+            if let Some(r) = retuned {
                 retunes.push(RetuneRecord {
                     t: due,
                     state: i as u16,
                     config: r.description,
                     moved: r.moved,
                 });
+                maint.migrate_ns += run.params.nanos(&receipt);
+                // A reconfiguration that fires with jobs queued stalls
+                // the pipeline for its whole duration.
+                if !backlog.is_empty() {
+                    maint.migrate_stalls += 1;
+                }
             }
-            clock.advance(run.params.ticks(&receipt));
+            clock.advance(ticks);
         }
         StepStatus::Worked
     }
@@ -251,6 +268,13 @@ impl<W: StreamWorkload, C: Clock> Operator<C> for IngestOperator<W> {
 /// Store one arriving tuple in its stream's STeM and enqueue its routing
 /// job — the ingest tail shared by regular, duplicated and late-released
 /// arrivals.
+///
+/// Expiry and insertion charge eagerly (arena slot, window order, and
+/// receipts are exactly the sequential path's), but the physical index
+/// link/unlink work is *staged* per shard; the same iteration's probe
+/// step replays it — fused with the probe's own shard fan-out — so
+/// ingest maintenance on one shard overlaps probe work on another. The
+/// stage is always drained before anything observes the index.
 fn deliver<C: Clock>(
     ctx: &mut RunContext<C>,
     s: usize,
@@ -261,8 +285,10 @@ fn deliver<C: Clock>(
     let tuple = Tuple::new(TupleId(ctx.tuple_seq), StreamId(s as u16), ts, attrs);
     ctx.tuple_seq += 1;
     let mut receipt = CostReceipt::new();
-    ctx.stems[s].state.expire(now, &mut receipt);
-    ctx.stems[s].state.insert(tuple, &mut receipt);
+    let stem = &mut ctx.stems[s];
+    stem.state
+        .ingest_arrival(tuple, now, &mut receipt, &mut stem.ingest_stage);
+    ctx.maint.ingest_ns += ctx.run.params.nanos(&receipt);
     ctx.clock.advance(ctx.run.params.ticks(&receipt));
     push_governed(
         &mut ctx.governor,
@@ -307,6 +333,14 @@ impl<C: Clock> Operator<C> for ProbeOperator {
             }
         };
         let Some(job) = popped else {
+            // No job to fuse with: drain every STeM's staged ingest work
+            // before reporting idle — the pipeline observes memory (and
+            // may checkpoint) at the loop boundary, and the visibility
+            // contract requires an applied index by then.
+            let RunContext { stems, pool, .. } = ctx;
+            for stem in stems.iter_mut() {
+                stem.state.flush_ingest(&mut stem.ingest_stage, pool);
+            }
             return StepStatus::Idle;
         };
         let n = ctx.query.n_streams();
@@ -332,14 +366,32 @@ impl<C: Clock> Operator<C> for ProbeOperator {
         let req = SearchRequest::new(pattern, values);
         observers[target.idx()].record(pattern);
         let mut receipt = CostReceipt::new();
+        // Drain the staged ingest work of every *other* STeM first (plain
+        // per-shard replay); the probe target's stage rides along in the
+        // fused dispatch below instead.
+        for (i, stem) in stems.iter_mut().enumerate() {
+            if i != target.idx() {
+                stem.state.flush_ingest(&mut stem.ingest_stage, pool);
+            }
+        }
         let stem = &mut stems[target.idx()];
         // Scratch-buffered search: the per-STeM buffer is reused across
-        // requests, so steady state never allocates here. A sharded state
-        // fans the probe out over the run's worker pool; at the default
-        // parallelism of 1 the pool runs it inline — the exact sequential
-        // path.
-        stem.state
-            .search_into_with(&req, &mut stem.scratch, &mut receipt, pool);
+        // requests, so steady state never allocates here. One pool
+        // dispatch replays the target's staged ingest ops and probes each
+        // shard — per-shard apply-before-probe keeps results identical to
+        // the sequential flush-then-search, while ingest maintenance on
+        // one shard overlaps probe work on another. Probes only match
+        // tuples with `ts < origin_ts` (the MJoin rule below), which is
+        // the semantic visibility barrier that makes same-batch overlap
+        // legal at all. At the default parallelism of 1 the pool runs it
+        // inline — the exact sequential path.
+        stem.state.flush_ingest_then_search(
+            &req,
+            &mut stem.scratch,
+            &mut receipt,
+            &mut stem.ingest_stage,
+            pool,
+        );
         stem.requests_served += 1;
         let window = query.windows[target.idx()];
         let now = clock.now();

@@ -5,7 +5,7 @@ use crate::error::EngineError;
 use crate::metrics::{RetuneRecord, ThroughputSeries};
 use crate::router::Router;
 use crate::runtime::checkpoint::Checkpointer;
-use crate::runtime::context::{Job, RunContext, RunOutcome, RunParams};
+use crate::runtime::context::{Job, MaintenanceStats, RunContext, RunOutcome, RunParams};
 use crate::runtime::degrade::{DegradationReport, Governor};
 use crate::runtime::fault::{FaultReport, FaultState};
 use crate::runtime::operators::{
@@ -146,6 +146,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             governor,
             fault,
             pool,
+            maint: MaintenanceStats::default(),
         };
         Pipeline {
             ctx,
@@ -168,6 +169,14 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             .expect("a run without a checkpointer has no crash or I/O path")
     }
 
+    /// [`run`](Self::run), additionally returning the maintenance-path
+    /// tick totals (where ingest and migration time went). Kept out of
+    /// [`RunResult`] so the result schema the reports pin stays frozen.
+    pub fn run_with_stats(self) -> (RunResult, MaintenanceStats) {
+        self.run_with_stats_ckpt(None, 0)
+            .expect("a run without a checkpointer has no crash or I/O path")
+    }
+
     /// Run to completion (or death), taking checkpoints through `ckpt`
     /// when one is supplied. `fingerprint` stamps each snapshot with the
     /// configuration that produced it (see
@@ -181,10 +190,23 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
     ///   [`FaultKind::CrashAt`](crate::FaultKind::CrashAt) kills the run.
     /// * [`EngineError::Snapshot`] when a checkpoint write fails.
     pub fn run_with(
+        self,
+        ckpt: Option<&mut Checkpointer>,
+        fingerprint: u64,
+    ) -> Result<RunResult, EngineError> {
+        self.run_with_stats_ckpt(ckpt, fingerprint).map(|(r, _)| r)
+    }
+
+    /// [`run_with`](Self::run_with), additionally returning the
+    /// maintenance-path tick totals.
+    ///
+    /// # Errors
+    /// As [`run_with`](Self::run_with).
+    pub fn run_with_stats_ckpt(
         mut self,
         mut ckpt: Option<&mut Checkpointer>,
         fingerprint: u64,
-    ) -> Result<RunResult, EngineError> {
+    ) -> Result<(RunResult, MaintenanceStats), EngineError> {
         'run: loop {
             if let Some(c) = ckpt.as_deref_mut() {
                 let step = self.ctx.step;
@@ -236,7 +258,8 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             }
             self.ctx.step += 1;
         }
-        Ok(self.into_result())
+        let maint = self.ctx.maint;
+        Ok((self.into_result(), maint))
     }
 
     /// Capture the complete mutable run state as a snapshot file image.
@@ -320,6 +343,12 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             fault.save(&mut w);
             snap.add("fault", w);
         }
+
+        let mut w = SectionWriter::new();
+        w.put_u64(ctx.maint.ingest_ns);
+        w.put_u64(ctx.maint.migrate_ns);
+        w.put_u64(ctx.maint.migrate_stalls);
+        snap.add("maint", w);
 
         let mut w = SectionWriter::new();
         self.ingest.workload().save_state(&mut w);
@@ -446,6 +475,18 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
                 .into())
             }
         }
+
+        // Maintenance totals: tolerated as optional so snapshots taken
+        // before the section existed still resume (they restart the
+        // counters at zero — observational only, never behavioral).
+        self.ctx.maint = match snap.section("maint") {
+            Ok(mut r) => MaintenanceStats {
+                ingest_ns: r.get_u64()?,
+                migrate_ns: r.get_u64()?,
+                migrate_stalls: r.get_u64()?,
+            },
+            Err(_) => MaintenanceStats::default(),
+        };
 
         self.ingest
             .workload_mut()

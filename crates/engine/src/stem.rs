@@ -13,8 +13,8 @@
 
 use amri_core::assess::{Assessor, AssessorKind};
 use amri_core::{
-    AmriState, BitAddressIndex, CostParams, CostReceipt, IndexConfig, MultiHashIndex, ScanIndex,
-    SearchScratch, StateStore, TunerConfig, TupleKey,
+    AmriState, BitAddressIndex, CostParams, CostReceipt, IndexConfig, IngestStage, MultiHashIndex,
+    ScanIndex, SearchScratch, StateStore, TunerConfig, TupleKey,
 };
 use amri_stream::{
     AccessPattern, AttrId, SearchRequest, StreamId, Tuple, VirtualDuration, VirtualTime, WindowSpec,
@@ -205,6 +205,101 @@ impl JoinState {
         }
     }
 
+    /// [`evict_oldest`](Self::evict_oldest) with the per-shard index
+    /// unlinks fanned out through `exec`. Window pops, arena frees, and
+    /// charges are sequential and identical to the eager path; only the
+    /// bit-address flavors have sharded unlink work to parallelize.
+    pub fn evict_oldest_with(
+        &mut self,
+        max: usize,
+        receipt: &mut CostReceipt,
+        exec: &dyn amri_core::ShardExecutor,
+    ) -> usize {
+        match self {
+            JoinState::Amri(s) => s.evict_oldest_with(max, receipt, exec),
+            JoinState::MultiHash { store, .. } => store.evict_oldest_with(max, receipt, exec),
+            JoinState::StaticBitmap(s) => s.evict_oldest_with(max, receipt, exec),
+            JoinState::Scan(s) => s.evict_oldest_with(max, receipt, exec),
+        }
+    }
+
+    /// Ingest one arrival: expire out-of-window tuples, then store the
+    /// tuple — charging exactly what the eager
+    /// [`expire`](Self::expire)+[`insert`](Self::insert) pair charges, but
+    /// deferring the bit-address flavors' physical index link/unlink work
+    /// into `stage` (replayed per shard by
+    /// [`flush_ingest`](Self::flush_ingest) /
+    /// [`flush_ingest_then_search`](Self::flush_ingest_then_search)). The
+    /// hash and scan flavors have no sharded maintenance path and ingest
+    /// eagerly; their stage stays empty.
+    pub fn ingest_arrival(
+        &mut self,
+        tuple: Tuple,
+        now: VirtualTime,
+        receipt: &mut CostReceipt,
+        stage: &mut IngestStage,
+    ) {
+        match self {
+            JoinState::Amri(s) => {
+                s.expire_staged(now, receipt, stage);
+                s.insert_staged(tuple, receipt, stage);
+            }
+            JoinState::StaticBitmap(s) => {
+                s.expire_staged(now, receipt, stage);
+                s.insert_staged(tuple, receipt, stage);
+            }
+            other => {
+                other.expire(now, receipt);
+                other.insert(tuple, receipt);
+            }
+        }
+    }
+
+    /// Flush every staged ingest operation through `exec` (no charges —
+    /// costs were taken at ingest time). Must run before any observation
+    /// of the state: searches, memory accounting, retuning, snapshots.
+    pub fn flush_ingest(&mut self, stage: &mut IngestStage, exec: &dyn amri_core::ShardExecutor) {
+        match self {
+            JoinState::Amri(s) => s.apply_staged(stage, exec),
+            JoinState::StaticBitmap(s) => s.apply_staged(stage, exec),
+            JoinState::MultiHash { .. } | JoinState::Scan(_) => {
+                debug_assert!(stage.is_empty(), "non-bit-address flavors never stage");
+            }
+        }
+    }
+
+    /// Flush the stage and serve `req` in one fused executor dispatch
+    /// (ingest–probe overlap: task *s* replays shard *s*'s staged ops and
+    /// immediately probes it). Pattern recording and receipts match
+    /// [`flush_ingest`](Self::flush_ingest) followed by
+    /// [`search_into_with`](Self::search_into_with) exactly.
+    pub fn flush_ingest_then_search(
+        &mut self,
+        req: &SearchRequest,
+        scratch: &mut SearchScratch,
+        receipt: &mut CostReceipt,
+        stage: &mut IngestStage,
+        exec: &dyn amri_core::ShardExecutor,
+    ) {
+        match self {
+            JoinState::Amri(s) => s.apply_staged_then_search(req, scratch, receipt, stage, exec),
+            JoinState::StaticBitmap(s) => {
+                s.apply_staged_then_search(req, scratch, receipt, stage, exec)
+            }
+            JoinState::MultiHash { store, tuner } => {
+                debug_assert!(stage.is_empty(), "non-bit-address flavors never stage");
+                if let Some(t) = tuner {
+                    t.record(req.pattern);
+                }
+                store.search_into(req, scratch, receipt);
+            }
+            JoinState::Scan(s) => {
+                debug_assert!(stage.is_empty(), "non-bit-address flavors never stage");
+                s.search_into(req, scratch, receipt);
+            }
+        }
+    }
+
     /// Answer a search request into a caller-owned scratch buffer; every
     /// flavor records the pattern into its tuner's statistics if it has
     /// one. The zero-allocation hot path: the engine reuses one scratch
@@ -316,9 +411,33 @@ impl JoinState {
         window_secs: f64,
         receipt: &mut CostReceipt,
     ) -> Option<StemRetune> {
+        self.maybe_retune_with(
+            now,
+            lambda_d,
+            lambda_r,
+            window_secs,
+            receipt,
+            &amri_core::SequentialExecutor,
+        )
+    }
+
+    /// [`maybe_retune`](Self::maybe_retune) with AMRI's index migration
+    /// fanned out shard-by-shard through `exec` (see
+    /// [`AmriState::maybe_retune_with`]); the hash flavor's retarget has
+    /// no sharded arena and stays sequential. Decisions, outcomes, and
+    /// charges are identical for any executor.
+    pub fn maybe_retune_with(
+        &mut self,
+        now: VirtualTime,
+        lambda_d: f64,
+        lambda_r: f64,
+        window_secs: f64,
+        receipt: &mut CostReceipt,
+        exec: &dyn amri_core::ShardExecutor,
+    ) -> Option<StemRetune> {
         match self {
             JoinState::Amri(s) => s
-                .maybe_retune(now, lambda_d, lambda_r, window_secs, receipt)
+                .maybe_retune_with(now, lambda_d, lambda_r, window_secs, receipt, exec)
                 .map(|r| StemRetune {
                     description: r.config.to_string(),
                     moved: r.moved,
@@ -436,6 +555,10 @@ pub struct Stem {
     /// Reusable search buffer: one per STeM, so the executor's inner loop
     /// never allocates per request ([`JoinState::search_into`]).
     pub scratch: SearchScratch,
+    /// Reusable staged-ingest lanes ([`JoinState::ingest_arrival`]).
+    /// Transient like `scratch` — always drained before any observation
+    /// (and therefore before every snapshot), so it is never captured.
+    pub ingest_stage: IngestStage,
     /// Requests served (for λ_r estimation).
     pub requests_served: u64,
     /// Matches returned (for selectivity statistics).
@@ -449,6 +572,7 @@ impl Stem {
             stream,
             state,
             scratch: SearchScratch::new(),
+            ingest_stage: IngestStage::new(),
             requests_served: 0,
             matches_returned: 0,
         }

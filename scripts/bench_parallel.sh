@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_parallel.json: measure the sharded batch-probe bench
-# at 1, 2 and 4 worker threads and record medians, derived speedups and
-# the environment the numbers were taken on.
+# Regenerate BENCH_parallel.json: measure the three parallel-path benches
+# — sharded batch probe, staged parallel ingest (insert + expire), and
+# sharded migration — at 1, 2 and 4 worker threads, and record medians,
+# derived speedups and the environment the numbers were taken on.
 #
 # Like bench_guard.sh, each median is the *minimum* over BENCH_RUNS runs
 # (noise only inflates a run). Unlike bench_guard.sh this script is a
@@ -18,31 +19,42 @@ BENCH_RUNS="${BENCH_RUNS:-3}"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
-echo "==> cargo bench -p amri-bench --bench micro_index -- index_parallel_10k (best of ${BENCH_RUNS})"
+# The filter `parallel_10k` is a substring match, so one invocation covers
+# index_parallel_10k (probe), ingest_parallel_10k (staged insert+expire)
+# and migrate_parallel_10k (sharded rebucket).
+echo "==> cargo bench -p amri-bench --bench micro_index -- parallel_10k (best of ${BENCH_RUNS})"
 for run in $(seq "$BENCH_RUNS"); do
     echo "--- run ${run}/${BENCH_RUNS}"
-    cargo bench -p amri-bench --bench micro_index -- index_parallel_10k 2>&1 \
+    cargo bench -p amri-bench --bench micro_index -- parallel_10k 2>&1 \
         | grep 'median_ns=' | tee -a "$OUT"
 done
 
 median_for() {
-    awk -v k="index_parallel_10k/wildcard_batch_probe_threads/$1" '$1 == k {
+    awk -v k="$1" '$1 == k {
         sub(/.*median_ns=/, "")
         if (best == "" || $0 + 0 < best + 0) best = $0 + 0
     } END { if (best == "") exit 1; print best }' "$OUT"
 }
 
-T1="$(median_for 1)"
-T2="$(median_for 2)"
-T4="$(median_for 4)"
+P1="$(median_for index_parallel_10k/wildcard_batch_probe_threads/1)"
+P2="$(median_for index_parallel_10k/wildcard_batch_probe_threads/2)"
+P4="$(median_for index_parallel_10k/wildcard_batch_probe_threads/4)"
+I1="$(median_for ingest_parallel_10k/insert_expire_threads/1)"
+I2="$(median_for ingest_parallel_10k/insert_expire_threads/2)"
+I4="$(median_for ingest_parallel_10k/insert_expire_threads/4)"
+M1="$(median_for migrate_parallel_10k/bitaddr_sharded_rebucket_threads/1)"
+M2="$(median_for migrate_parallel_10k/bitaddr_sharded_rebucket_threads/2)"
+M4="$(median_for migrate_parallel_10k/bitaddr_sharded_rebucket_threads/4)"
 CORES="$(nproc)"
 
 jq -n \
-    --argjson t1 "$T1" --argjson t2 "$T2" --argjson t4 "$T4" \
+    --argjson p1 "$P1" --argjson p2 "$P2" --argjson p4 "$P4" \
+    --argjson i1 "$I1" --argjson i2 "$I2" --argjson i4 "$I4" \
+    --argjson m1 "$M1" --argjson m2 "$M2" --argjson m4 "$M4" \
     --argjson cores "$CORES" --argjson runs "$BENCH_RUNS" \
     --arg kernel "$(uname -sr)" --arg arch "$(uname -m)" '
 {
-  description: "Scaling evidence for the sharded multicore tentpole: the index_parallel_10k/wildcard_batch_probe_threads bench probes one 10k-entry, 4-shard BitAddressIndex with a 64-request single-attribute-wildcard batch (2^16 candidate buckets per request) through the engine WorkerPool at 1, 2 and 4 threads. The index, shard count and batch are identical across thread counts and the deterministic shard-then-slot merge makes the results byte-identical, so the ids differ only in executor parallelism.",
+  description: "Scaling evidence for the multicore tentpole, full pipeline: three benches over the identical 10k-entry 4-shard BitAddressIndex through the engine WorkerPool at 1, 2 and 4 threads. index_parallel_10k/wildcard_batch_probe_threads probes a 64-request single-attribute-wildcard batch (2^16 candidate buckets per request); ingest_parallel_10k/insert_expire_threads runs the staged write path (10k inserts in 256-tuple bursts, each burst applied per shard through the pool, then one staged whole-window expiry); migrate_parallel_10k/bitaddr_sharded_rebucket_threads reconfigures [8,8,8] -> [4,10,10] via the shard-crossing gather+redistribute protocol. Index, shard count and inputs are identical across thread counts and every result is byte-identical by construction, so the ids differ only in executor parallelism.",
   regenerate: "scripts/bench_parallel.sh  # best-of-N medians; BENCH_RUNS to change N",
   environment: {
     cores: $cores,
@@ -52,22 +64,30 @@ jq -n \
     profile: "bench (lto=thin, codegen-units=1)",
     entries_per_index: 10000,
     shards: 4,
-    batch_requests: 64
+    batch_requests: 64,
+    ingest_burst: 256
   },
   micro_index_median_ns: {
-    "index_parallel_10k/wildcard_batch_probe_threads/1": $t1,
-    "index_parallel_10k/wildcard_batch_probe_threads/2": $t2,
-    "index_parallel_10k/wildcard_batch_probe_threads/4": $t4
+    "index_parallel_10k/wildcard_batch_probe_threads/1": $p1,
+    "index_parallel_10k/wildcard_batch_probe_threads/2": $p2,
+    "index_parallel_10k/wildcard_batch_probe_threads/4": $p4,
+    "ingest_parallel_10k/insert_expire_threads/1": $i1,
+    "ingest_parallel_10k/insert_expire_threads/2": $i2,
+    "ingest_parallel_10k/insert_expire_threads/4": $i4,
+    "migrate_parallel_10k/bitaddr_sharded_rebucket_threads/1": $m1,
+    "migrate_parallel_10k/bitaddr_sharded_rebucket_threads/2": $m2,
+    "migrate_parallel_10k/bitaddr_sharded_rebucket_threads/4": $m4
   },
   speedup_vs_1_thread: {
-    threads_2: (($t1 / $t2 * 100 | round) / 100),
-    threads_4: (($t1 / $t4 * 100 | round) / 100)
+    probe:   { threads_2: (($p1 / $p2 * 100 | round) / 100), threads_4: (($p1 / $p4 * 100 | round) / 100) },
+    ingest:  { threads_2: (($i1 / $i2 * 100 | round) / 100), threads_4: (($i1 / $i4 * 100 | round) / 100) },
+    migrate: { threads_2: (($m1 / $m2 * 100 | round) / 100), threads_4: (($m1 / $m4 * 100 | round) / 100) }
   },
   note: (
     if $cores >= 4 then
-      "Measured on a \($cores)-core host; the >= 2.0x-at-4-threads target applies."
+      "Measured on a \($cores)-core host; the >= 2.0x-at-4-threads target applies to the probe and migrate benches (parallel fraction ~1.0). Staged ingest keeps its arena/window half sequential by design, so its ceiling is set by the index-linking share of the write path."
     else
-      "Measured on a \($cores)-core host: wall-clock speedup from threads is capped at \($cores)x here regardless of implementation, so the three thread counts tying (speedup ~1.0x) is the expected — and desirable — result. It demonstrates the correctness half of the scaling claim that IS measurable on one core: the sharded parallel path (shard planning, cross-thread dispatch, deterministic merge) costs no more than the sequential path, i.e. parallelism is overhead-free to turn on. The >= 2.0x-at-4-threads throughput target requires re-running scripts/bench_parallel.sh on a host with >= 4 cores; the per-shard work units this bench dispatches are independent full bucket-range walks with no shared mutable state, so the parallel fraction of the probe is ~1.0."
+      "Measured on a \($cores)-core host: wall-clock speedup from threads is capped at \($cores)x here regardless of implementation, so the three thread counts tying (speedup ~1.0x) is the expected — and desirable — result. It demonstrates the correctness half of the scaling claim that IS measurable on one core: the sharded parallel paths (shard planning, staged-op replay, cross-thread dispatch, deterministic merge) cost no more than the sequential paths, i.e. parallelism is overhead-free to turn on. The >= 2.0x-at-4-threads throughput target requires re-running scripts/bench_parallel.sh on a host with >= 4 cores; the per-shard work units these benches dispatch (bucket-range walks, staged-op lanes, shard rebuckets) are independent with no shared mutable state, so the parallel fraction of probe and migrate is ~1.0, while staged ingest is bounded by its sequential arena/window half."
     end
   )
 }' > BENCH_parallel.json

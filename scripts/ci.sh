@@ -23,13 +23,18 @@ echo "==> fault-injection smoke matrix"
 cargo run --release -q -p amri-bench --bin fault_matrix
 
 # Determinism under parallelism: the same quick-scale sweep run twice at
-# --threads 4 must emit byte-identical summary CSVs (the sharded merge is
-# deterministic, so thread scheduling must be unobservable), and the fault
-# matrix's replay checks must stay green with the pool engaged.
+# --threads 4 must emit byte-identical summary CSVs. A --threads 4 sweep
+# now drives the whole parallel pipeline — staged per-shard ingest
+# (insert/expire), sharded probe, and per-shard migration all fan out
+# over the worker pool — so thread scheduling must be unobservable in
+# every column, including the maintenance-tick (ingest_ns/migrate_ns)
+# accounting, and the fault matrix's replay checks must stay green with
+# the pool engaged.
 echo "==> determinism under parallelism (--threads 4)"
 PAR_A="$(mktemp -d)"
 PAR_B="$(mktemp -d)"
-trap 'rm -rf "$PAR_A" "$PAR_B"' EXIT
+SEQ_DIR="$(mktemp -d)"
+trap 'rm -rf "$PAR_A" "$PAR_B" "$SEQ_DIR"' EXIT
 (cd "$PAR_A" && "$OLDPWD"/target/release/all_experiments --quick --threads 4 > /dev/null)
 (cd "$PAR_B" && "$OLDPWD"/target/release/all_experiments --quick --threads 4 > /dev/null)
 for csv in fig6_assessment_summary fig6_hash_summary fig7_compare_summary; do
@@ -38,7 +43,27 @@ for csv in fig6_assessment_summary fig6_hash_summary fig7_compare_summary; do
 done
 echo "summary CSVs identical across repeated --threads 4 sweeps"
 
-echo "==> fault-injection replay at --threads 4"
+# Cross-thread-count equivalence: a --threads 1 sweep must match the
+# --threads 4 one byte-for-byte — the tentpole invariant (parallel ingest,
+# probe and migration are pure implementation detail). Series CSVs carry
+# no thread count and must be identical verbatim; summary CSVs record the
+# thread count in column 15, which is blanked on both sides before the
+# diff so every *measured* column (outputs, peaks, retunes, faults,
+# ingest_ns/migrate_ns/migrate_stalls) must agree exactly.
+echo "==> ingest-parallel equivalence (--threads 1 vs --threads 4)"
+(cd "$SEQ_DIR" && "$OLDPWD"/target/release/all_experiments --quick --threads 1 > /dev/null)
+for csv in fig6_assessment fig6_hash fig7_compare; do
+    diff "$SEQ_DIR/results/${csv}.csv" "$PAR_A/results/${csv}.csv" \
+        || { echo "thread counts diverged: ${csv}"; exit 1; }
+done
+for csv in fig6_assessment_summary fig6_hash_summary fig7_compare_summary; do
+    diff <(awk -F, -v OFS=, '{$15=""}1' "$SEQ_DIR/results/${csv}.csv") \
+         <(awk -F, -v OFS=, '{$15=""}1' "$PAR_A/results/${csv}.csv") \
+        || { echo "thread counts diverged: ${csv}"; exit 1; }
+done
+echo "--threads 1 and --threads 4 sweeps byte-identical (modulo the recorded thread count)"
+
+echo "==> fault-injection replay at --threads 4 (staged parallel ingest engaged)"
 cargo run --release -q -p amri-bench --bin fault_matrix -- --threads 4
 
 # Crash-recovery replay: every indexing mode is crashed at a mid-run step,

@@ -259,6 +259,69 @@ fn mismatched_configuration_is_refused() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The parallel write path end to end: shards=4/parallelism=4 routes
+/// every insert/expire through the staged per-shard ingest seam and
+/// overlaps it with the probe, while the degradation governor and a
+/// fault plan perturb the stream. A checkpoint taken between a parallel
+/// ingest burst and the probe that flushes it must capture the logical
+/// state exactly, so crash + resume stays invisible even with every
+/// concurrent subsystem engaged at once.
+#[test]
+fn parallel_ingest_with_degradation_and_faults_recovers_byte_identically() {
+    let mut sc = scenario(9);
+    sc.engine.shards = 4;
+    sc.engine.parallelism = std::num::NonZeroUsize::new(4).unwrap();
+    sc.engine.degradation = Some(DegradationPolicy::default());
+    sc.engine.faults = Some(FaultPlan {
+        seed: 77,
+        drop_prob: 0.05,
+        duplicate_prob: 0.05,
+        reorder_prob: 0.15,
+        late_prob: 0.1,
+        late_by: VirtualDuration::from_secs(2),
+        pressure: vec![],
+    });
+    let mode = IndexingMode::Amri {
+        assessor: AssessorKind::Csria,
+        initial: None,
+    };
+    let dir = tmpdir("parallel-degraded-faulted");
+    let (baseline, resumed) = crash_and_resume(&sc, mode, &dir, 60, 250);
+    assert!(
+        baseline.faults.total() > 0,
+        "the plan must actually perturb the run"
+    );
+    assert_byte_identical(&baseline, &resumed, "parallel degraded+faulted");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Dense checkpoints bracket every migration: with a snapshot at *every*
+/// step, some snapshot lands on the exact step of each retune, so the
+/// resume replays from immediately before/after a sharded migration
+/// rather than a quiet stretch. The run must actually retune for the
+/// test to mean anything, and recovery must still be byte-identical.
+#[test]
+fn dense_checkpoints_resume_mid_migration_byte_identically() {
+    let mut sc = scenario(42);
+    // The 8s quick run ends before the assessor's first verdict; 12s is
+    // the shortest duration where this workload migrates (4 retunes).
+    sc.engine.duration = VirtualDuration::from_secs(12);
+    sc.engine.shards = 4;
+    sc.engine.parallelism = std::num::NonZeroUsize::new(4).unwrap();
+    let mode = IndexingMode::Amri {
+        assessor: AssessorKind::Csria,
+        initial: None,
+    };
+    let dir = tmpdir("dense-mid-migration");
+    let (baseline, resumed) = crash_and_resume(&sc, mode, &dir, 1, 300);
+    assert!(
+        !baseline.retunes.is_empty(),
+        "the scenario must migrate at least once for the dense bracket to bite"
+    );
+    assert_byte_identical(&baseline, &resumed, "dense mid-migration");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Checkpointing is a pure observer: a run that takes snapshots is
 /// byte-identical to one that never does.
 #[test]

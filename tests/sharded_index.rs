@@ -151,6 +151,137 @@ impl Runner {
     }
 }
 
+/// Script runner for the staged-vs-eager write-path comparison: same
+/// store shape as [`Runner`], but with an explicit cumulative receipt and
+/// an [`amri_core::IngestStage`] when `staged`. The flush discipline
+/// mirrors the engine's: inserts and expirations accumulate in the stage
+/// across steps; any observation of the index (search, migrate, evict)
+/// flushes first — searches through the fused apply-then-probe dispatch,
+/// the rest via an explicit `apply_staged`.
+struct IngestRunner {
+    store: StateStore<BitAddressIndex>,
+    stage: amri_core::IngestStage,
+    receipt: CostReceipt,
+    now: u64,
+    seq: u64,
+    staged: bool,
+}
+
+impl IngestRunner {
+    fn new(shards: usize, staged: bool) -> Self {
+        IngestRunner {
+            store: StateStore::new(
+                StreamId(0),
+                vec![AttrId(0), AttrId(1), AttrId(2)],
+                WindowSpec::secs(20),
+                BitAddressIndex::with_shards(config(0), shards),
+            ),
+            stage: amri_core::IngestStage::new(),
+            receipt: CostReceipt::new(),
+            now: 0,
+            seq: 0,
+            staged,
+        }
+    }
+
+    fn insert(&mut self, vals: [u64; 3], t: u64) {
+        self.now = self.now.max(t);
+        let tuple = Tuple::new(
+            TupleId(self.seq),
+            StreamId(0),
+            VirtualTime::from_secs(self.now),
+            AttrVec::from_slice(&vals).unwrap(),
+        );
+        self.seq += 1;
+        if self.staged {
+            self.store
+                .insert_staged(tuple, &mut self.receipt, &mut self.stage);
+        } else {
+            self.store.insert(tuple, &mut self.receipt);
+        }
+    }
+
+    fn expire(&mut self, t: u64) {
+        self.now = self.now.max(t);
+        let now = VirtualTime::from_secs(self.now);
+        if self.staged {
+            self.store
+                .expire_staged(now, &mut self.receipt, &mut self.stage);
+        } else {
+            self.store.expire(now, &mut self.receipt);
+        }
+    }
+
+    fn flush(&mut self, exec: &dyn amri_core::ShardExecutor) {
+        if self.staged {
+            self.store.apply_staged(&mut self.stage, exec);
+        }
+    }
+
+    /// Sorted matching tuple ids; for staged runners the pending stage is
+    /// applied and the probe served in one fused dispatch.
+    fn search(
+        &mut self,
+        mask: u32,
+        vals: [u64; 3],
+        exec: &dyn amri_core::ShardExecutor,
+    ) -> Vec<u64> {
+        let req = SearchRequest::new(
+            AccessPattern::new(mask, 3),
+            AttrVec::from_slice(&vals).unwrap(),
+        );
+        let mut scratch = amri_core::SearchScratch::new();
+        if self.staged {
+            self.store.apply_staged_then_search(
+                &req,
+                &mut scratch,
+                &mut self.receipt,
+                &mut self.stage,
+                exec,
+            );
+        } else {
+            self.store
+                .search_into(&req, &mut scratch, &mut self.receipt);
+        }
+        let mut ids: Vec<u64> = scratch
+            .hits
+            .iter()
+            .map(|k| self.store.tuple(*k).unwrap().id.0)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn migrate(&mut self, i: u8, exec: &dyn amri_core::ShardExecutor) {
+        self.flush(exec);
+        self.store
+            .index_mut()
+            .migrate_with(config(i), &mut self.receipt, exec);
+    }
+
+    fn evict(&mut self, n: usize, exec: &dyn amri_core::ShardExecutor) -> usize {
+        self.flush(exec);
+        if self.staged {
+            self.store.evict_oldest_with(n, &mut self.receipt, exec)
+        } else {
+            self.store.evict_oldest(n, &mut self.receipt)
+        }
+    }
+
+    fn check_sound(&self) -> Result<(), String> {
+        let index = self.store.index();
+        index.check_integrity()?;
+        let per_shard: usize = index.shard_fill_stats().iter().map(|f| f.entries).sum();
+        if per_shard != amri_core::StateIndex::entries(index) {
+            return Err(format!(
+                "shard fill stats cover {per_shard} entries, index holds {}",
+                amri_core::StateIndex::entries(index)
+            ));
+        }
+        Ok(())
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -297,6 +428,122 @@ proptest! {
             }
             let sound = restored.check_sound();
             prop_assert!(sound.is_ok(), "post-restore integrity: {:?}", sound);
+        }
+    }
+
+    /// Tentpole write-path invariance: the staged parallel ingest path —
+    /// `insert_staged`/`expire_staged` accumulating an [`IngestStage`],
+    /// flushed through a real 2-thread `WorkerPool` or the inline
+    /// `SequentialExecutor`, with fused apply+search, batched eviction and
+    /// parallel migration — must be indistinguishable from the eager,
+    /// unsharded, sequential reference: identical result sets, identical
+    /// cumulative cost receipts after every op, identical live-tuple
+    /// counts, and a structurally sound arena at every flush point.
+    #[test]
+    fn staged_parallel_ingest_matches_sequential_eager(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        use amri_core::{SequentialExecutor, ShardExecutor};
+        use amri_engine::WorkerPool;
+
+        let pool = WorkerPool::new(std::num::NonZeroUsize::new(2).unwrap());
+        let seq_exec = SequentialExecutor;
+
+        let mut reference = IngestRunner::new(1, false);
+        // Staged candidates at every shard count; alternate real-pool and
+        // inline executors so both dispatch paths are exercised.
+        let mut candidates: Vec<IngestRunner> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&s| IngestRunner::new(s, true))
+            .collect();
+        let execs: [&dyn ShardExecutor; 2] = [&pool, &seq_exec];
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(vals, t) => {
+                    reference.insert(vals, t);
+                    for c in &mut candidates {
+                        c.insert(vals, t);
+                    }
+                }
+                Op::Expire(t) => {
+                    reference.expire(t);
+                    for c in &mut candidates {
+                        c.expire(t);
+                    }
+                }
+                Op::Search(mask, vals) => {
+                    let want = reference.search(mask, vals, &seq_exec);
+                    for (i, c) in candidates.iter_mut().enumerate() {
+                        let got = c.search(mask, vals, execs[i % 2]);
+                        prop_assert_eq!(
+                            &got, &want,
+                            "staged search diverged at step {} ({} shards)",
+                            step, 1usize << i
+                        );
+                    }
+                }
+                Op::Migrate(i) => {
+                    reference.migrate(i, &seq_exec);
+                    for (ci, c) in candidates.iter_mut().enumerate() {
+                        c.migrate(i, execs[ci % 2]);
+                        let sound = c.check_sound();
+                        prop_assert!(sound.is_ok(), "after staged migrate: {:?}", sound);
+                    }
+                }
+                Op::Evict(n) => {
+                    let want = reference.evict(n as usize, &seq_exec);
+                    for (ci, c) in candidates.iter_mut().enumerate() {
+                        let got = c.evict(n as usize, execs[ci % 2]);
+                        prop_assert_eq!(got, want, "staged eviction count diverged");
+                        let sound = c.check_sound();
+                        prop_assert!(sound.is_ok(), "after staged evict: {:?}", sound);
+                    }
+                }
+            }
+            // Cost accounting is path-invariant at every step: staged ops
+            // charge at stage time, exactly what eager execution charges.
+            // Live-tuple counts agree too (the arena half is never
+            // deferred). Index-internal views (entries, memory) are only
+            // comparable at flush points — see the terminal sweep.
+            for c in &candidates {
+                prop_assert_eq!(
+                    c.receipt, reference.receipt,
+                    "receipts diverged at step {}", step
+                );
+                prop_assert_eq!(c.store.len(), reference.store.len());
+            }
+        }
+
+        // Terminal sweep: flush everything, then the staged stores must be
+        // indistinguishable from the eager reference in every observable.
+        for (ci, c) in candidates.iter_mut().enumerate() {
+            c.flush(execs[ci % 2]);
+        }
+        for c in &mut candidates {
+            let sound = c.check_sound();
+            prop_assert!(sound.is_ok(), "terminal staged integrity: {:?}", sound);
+            prop_assert_eq!(
+                amri_core::StateIndex::entries(c.store.index()),
+                amri_core::StateIndex::entries(reference.store.index())
+            );
+            prop_assert_eq!(
+                amri_core::StateIndex::memory_bytes(c.store.index()),
+                amri_core::StateIndex::memory_bytes(reference.store.index())
+            );
+        }
+        for mask in 0..8u32 {
+            for v in 0..6u64 {
+                let vals = [v, (v + 1) % 6, (v + 2) % 6];
+                let want = reference.search(mask, vals, &seq_exec);
+                for (ci, c) in candidates.iter_mut().enumerate() {
+                    prop_assert_eq!(
+                        c.search(mask, vals, execs[ci % 2]),
+                        want.clone(),
+                        "terminal staged probe diverged"
+                    );
+                }
+            }
         }
     }
 

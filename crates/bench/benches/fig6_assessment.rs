@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sc = paper_scenario(Scale::Quick, 42);
                     sc.engine.duration = VirtualDuration::from_secs(10);
-                    let r = Executor::new(
+                    let r = Executor::try_new(
                         &sc.query,
                         sc.workload(),
                         IndexingMode::Amri {
@@ -28,6 +28,7 @@ fn bench(c: &mut Criterion) {
                         },
                         sc.engine.clone(),
                     )
+                    .expect("valid engine configuration")
                     .run();
                     black_box(r.outputs)
                 })

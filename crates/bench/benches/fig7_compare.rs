@@ -11,7 +11,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 fn run(mode: IndexingMode) -> u64 {
     let mut sc = paper_scenario(Scale::Quick, 42);
     sc.engine.duration = VirtualDuration::from_secs(10);
-    Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone())
+    Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .expect("valid engine configuration")
         .run()
         .outputs
 }

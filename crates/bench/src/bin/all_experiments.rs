@@ -103,7 +103,7 @@ fn main() {
         let mut sc = paper_scenario(amri_synth::scenario::Scale::Quick, seed);
         apply_threads(&mut sc.engine, threads);
         let exec = || {
-            Executor::new(
+            Executor::try_new(
                 &sc.query,
                 sc.workload(),
                 IndexingMode::Amri {
@@ -112,6 +112,7 @@ fn main() {
                 },
                 sc.engine.clone(),
             )
+            .expect("valid engine configuration")
         };
         let baseline = exec().run();
         let dir = Path::new("results/checkpoints/all_experiments");

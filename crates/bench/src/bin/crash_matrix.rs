@@ -126,7 +126,8 @@ fn main() {
         let exec = |mode: IndexingMode| {
             let mut engine = sc.engine.clone();
             apply_threads(&mut engine, threads);
-            Executor::new(&sc.query, sc.workload(), mode, engine)
+            Executor::try_new(&sc.query, sc.workload(), mode, engine)
+                .expect("valid engine configuration")
         };
         let (baseline, base_maint) = exec(mode.clone()).run_with_stats();
 

@@ -120,12 +120,13 @@ fn cell_executor(
     sc.engine.degradation = degradation;
     sc.engine.faults = Some(plan.clone());
     apply_threads(&mut sc.engine, threads);
-    Executor::new(
+    Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::Scan,
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
 }
 
 fn run_cell(
@@ -222,12 +223,13 @@ fn main() {
         });
         sc.engine.faults = Some(mixed.clone());
         apply_threads(&mut sc.engine, threads);
-        Executor::new(
+        Executor::try_new(
             &sc.query,
             sc.workload(),
             IndexingMode::Scan,
             sc.engine.clone(),
         )
+        .expect("valid engine configuration")
         .into_pipeline_with_clock(SkewedClock::new(VirtualClock::new(), 1_200_000))
         .run()
     };

@@ -1,0 +1,143 @@
+//! Fleet sweep: a quick-scale parameter sweep (four indexing modes) run
+//! as four tenants of one `TenantHost`, merged into one summary CSV in
+//! deterministic cell order.
+//!
+//! Three modes, writing three CSVs that CI diffs byte-for-byte:
+//!
+//! * default — hosted: all cells co-resident in one host, a global
+//!   budget sized so one tenant queues at admission and activates as
+//!   budget frees. Writes `results/fleet_summary.csv`.
+//! * `--solo` — each cell run alone through `Executor::run_with_stats`,
+//!   no host anywhere. Writes `results/fleet_solo_summary.csv`.
+//! * `--migrate` — hosted, but mid-sweep every running tenant is
+//!   suspended to disk and resumed in a *fresh* host. Writes
+//!   `results/fleet_migrated_summary.csv`.
+//!
+//! `hosted == solo` pins that co-residency is invisible; `hosted ==
+//! migrated` pins that suspend/resume is invisible.
+//!
+//! Usage: `fleet_sweep [--solo | --migrate] [--seed N]`
+
+use amri_bench::{parse_seed, write_summary_csv};
+use amri_core::assess::AssessorKind;
+use amri_engine::{Executor, IndexingMode, MemoryBudget};
+use amri_hh::CombineStrategy;
+use amri_serve::{run_fleet, run_fleet_migrated, FleetCell, FleetOutcome, HostConfig};
+use amri_stream::VirtualDuration;
+use amri_synth::scenario::{paper_scenario, Scale};
+use amri_synth::DriftingWorkload;
+use std::path::Path;
+
+/// Quanta the `--migrate` mode runs before suspending the whole fleet —
+/// deep enough that every tenant has real in-flight state.
+const SUSPEND_AFTER_QUANTA: u64 = 24;
+
+/// The sweep: one cell per indexing mode, identical workloads. Finite
+/// per-tenant budgets so the host's reservations are real.
+fn cells(seed: u64) -> Vec<FleetCell<DriftingWorkload>> {
+    let modes: Vec<(&str, u32, IndexingMode)> = vec![
+        (
+            "amri-cdia-highest",
+            2,
+            IndexingMode::Amri {
+                assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+                initial: None,
+            },
+        ),
+        (
+            "hash-2",
+            1,
+            IndexingMode::AdaptiveHash {
+                n_indices: 2,
+                initial: None,
+            },
+        ),
+        (
+            "static-bitmap",
+            1,
+            IndexingMode::StaticBitmap { configs: None },
+        ),
+        ("scan", 1, IndexingMode::Scan),
+    ];
+    modes
+        .into_iter()
+        .map(|(label, weight, mode)| {
+            FleetCell::new(label, weight, move || {
+                let mut sc = paper_scenario(Scale::Quick, seed);
+                sc.engine.duration = VirtualDuration::from_secs(8);
+                sc.engine.budget = MemoryBudget::mib(8);
+                Executor::try_new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone())
+            })
+        })
+        .collect()
+}
+
+/// Global budget admitting three of the four 8-MiB reservations, so the
+/// admission queue is exercised on every hosted run.
+fn host_config() -> HostConfig {
+    HostConfig {
+        budget: MemoryBudget::mib(24),
+        ..HostConfig::default()
+    }
+}
+
+fn write(outcomes: &[FleetOutcome], path: &Path) {
+    let runs: Vec<_> = outcomes.iter().map(|o| o.result.clone()).collect();
+    let maint: Vec<_> = outcomes.iter().map(|o| o.maint).collect();
+    write_summary_csv(&runs, path, 1, &[], &maint).expect("write summary CSV");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = parse_seed(&args);
+    let solo = args.iter().any(|a| a == "--solo");
+    let migrate = args.iter().any(|a| a == "--migrate");
+
+    if solo {
+        println!("fleet sweep (seed {seed}): solo baseline, 4 cells sequentially");
+        let mut outcomes = Vec::new();
+        for cell in cells(seed) {
+            let exec = cell.executor().expect("valid engine configuration");
+            let (result, maint) = exec.run_with_stats();
+            println!("  {:<20} {:?}", cell.label, result.outcome);
+            outcomes.push(FleetOutcome {
+                label: cell.label,
+                result,
+                maint,
+                quanta: 0,
+            });
+        }
+        write(&outcomes, Path::new("results/fleet_solo_summary.csv"));
+        return;
+    }
+
+    if migrate {
+        println!(
+            "fleet sweep (seed {seed}): hosted, suspended after {SUSPEND_AFTER_QUANTA} quanta, \
+             resumed in a fresh host"
+        );
+        let dir = Path::new("results/checkpoints/fleet_sweep");
+        std::fs::remove_dir_all(dir).ok();
+        let outcomes = run_fleet_migrated(&cells(seed), host_config(), SUSPEND_AFTER_QUANTA, dir)
+            .expect("migrated fleet");
+        for o in &outcomes {
+            println!(
+                "  {:<20} {:?} ({} quanta)",
+                o.label, o.result.outcome, o.quanta
+            );
+        }
+        write(&outcomes, Path::new("results/fleet_migrated_summary.csv"));
+        return;
+    }
+
+    println!("fleet sweep (seed {seed}): 4 tenants co-resident in one host");
+    let outcomes = run_fleet(&cells(seed), host_config()).expect("hosted fleet");
+    for o in &outcomes {
+        println!(
+            "  {:<20} {:?} ({} quanta)",
+            o.label, o.result.outcome, o.quanta
+        );
+    }
+    write(&outcomes, Path::new("results/fleet_summary.csv"));
+}

@@ -69,7 +69,8 @@ fn main() {
     let mut notes: Vec<CheckpointNote> = Vec::new();
     let mut maints = Vec::new();
     for (label, mode) in modes {
-        let exec = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone());
+        let exec = Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+            .expect("valid engine configuration");
         let (r, note, maint) = match checkpoint_every {
             Some(every) => {
                 let dir = format!("results/checkpoints/survival/{label}");

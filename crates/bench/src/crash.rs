@@ -117,12 +117,13 @@ mod tests {
     fn quick_exec(seed: u64) -> Executor<amri_synth::DriftingWorkload> {
         let mut sc = paper_scenario(Scale::Quick, seed);
         sc.engine.duration = VirtualDuration::from_secs(6);
-        Executor::new(
+        Executor::try_new(
             &sc.query,
             sc.workload(),
             IndexingMode::Scan,
             sc.engine.clone(),
         )
+        .expect("valid engine configuration")
     }
 
     #[test]

@@ -39,12 +39,13 @@ fn run_mode_with_stats(
     scenario: &PaperScenario,
     mode: IndexingMode,
 ) -> (RunResult, MaintenanceStats) {
-    Executor::new(
+    Executor::try_new(
         &scenario.query,
         scenario.workload(),
         mode,
         scenario.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run_with_stats()
 }
 

@@ -59,7 +59,7 @@ pub fn train_initial(scenario: &PaperScenario, train_secs: u64) -> TrainedInit {
     let mut engine = scenario.engine.clone();
     engine.duration = VirtualDuration::from_secs(train_secs);
     engine.budget = amri_engine::MemoryBudget::unlimited();
-    let observation = Executor::new(
+    let observation = Executor::try_new(
         &scenario.query,
         scenario.workload(),
         // Observe under an untrained even AMRI so training is not biased
@@ -70,6 +70,7 @@ pub fn train_initial(scenario: &PaperScenario, train_secs: u64) -> TrainedInit {
         },
         engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
 
     let lambda_d = engine.lambda_d;

@@ -110,6 +110,13 @@ pub struct EngineConfig {
     /// same `shards`, every value of `parallelism` produces byte-identical
     /// results; 1 runs everything inline on the caller.
     pub parallelism: std::num::NonZeroUsize,
+    /// Most drained batch buffers the backlog queue retains for reuse
+    /// ([`amri_stream::JobQueue::with_caps`]). Spare buffers are working
+    /// storage — never observable in results, never snapshotted — so this
+    /// only trades steady-state allocation against resident memory. A
+    /// multi-tenant host lowers it to cap aggregate spare-buffer memory
+    /// across co-resident tenants.
+    pub spare_buffer_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +135,7 @@ impl Default for EngineConfig {
             faults: None,
             shards: 1,
             parallelism: std::num::NonZeroUsize::MIN,
+            spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
         }
     }
 }
@@ -153,11 +161,25 @@ impl<W: StreamWorkload> Executor<W> {
     /// Panics where [`try_new`](Self::try_new) would error: a state's JAS
     /// wider than [`amri_stream::MAX_ATTRS`], per-state vectors that
     /// disagree with the query, or invalid degradation/fault parameters.
+    #[deprecated(note = "predates the typed EngineError layer; use `try_new` and handle the error")]
     pub fn new(query: &SpjQuery, workload: W, mode: IndexingMode, config: EngineConfig) -> Self {
         match Self::try_new(query, workload, mode, config) {
             Ok(exec) => exec,
             Err(e) => panic!("invalid engine configuration: {e}"),
         }
+    }
+
+    /// The engine configuration this run was built with. A host uses it
+    /// for admission control: `config().budget.bytes` is the tenant's
+    /// memory reservation against the global budget.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mode label for this run (e.g. `AMRI-CDIA-highest`), as it will
+    /// appear in the [`RunResult`].
+    pub fn mode_label(&self) -> &str {
+        &self.mode_label
     }
 
     /// Build an engine run, surfacing configuration problems as
@@ -301,6 +323,7 @@ impl<W: StreamWorkload> Executor<W> {
             degradation: self.config.degradation,
             faults: self.config.faults,
             parallelism: self.config.parallelism,
+            spare_buffer_cap: self.config.spare_buffer_cap,
         };
         Pipeline::with_clock(
             EngineSetup {
@@ -438,6 +461,7 @@ mod tests {
             faults: None,
             shards: 1,
             parallelism: std::num::NonZeroUsize::MIN,
+            spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
         }
     }
 
@@ -447,7 +471,9 @@ mod tests {
             rng: StdRng::seed_from_u64(3),
             cardinality: 64,
         };
-        Executor::new(&query, workload, mode, small_config()).run()
+        Executor::try_new(&query, workload, mode, small_config())
+            .expect("valid engine configuration")
+            .run()
     }
 
     #[test]
@@ -534,12 +560,13 @@ mod tests {
         };
         let mut cfg = small_config();
         cfg.budget = MemoryBudget { bytes: 20_000 };
-        let result = Executor::new(
+        let result = Executor::try_new(
             &query,
             workload,
             IndexingMode::StaticBitmap { configs: None },
             cfg,
         )
+        .expect("valid engine configuration")
         .run();
         let RunOutcome::OutOfMemory { at } = result.outcome else {
             panic!("a 20 kB budget must die, got {:?}", result.outcome);
@@ -566,7 +593,7 @@ mod tests {
         let run = |ramp: f64| {
             let mut cfg = small_config();
             cfg.lambda_ramp = ramp;
-            Executor::new(
+            Executor::try_new(
                 &query,
                 PairWorkload {
                     rng: StdRng::seed_from_u64(3),
@@ -575,6 +602,7 @@ mod tests {
                 IndexingMode::StaticBitmap { configs: None },
                 cfg,
             )
+            .expect("valid engine configuration")
             .run()
         };
         let flat = run(0.0);
@@ -594,7 +622,7 @@ mod tests {
         let run = |c_c: f64| {
             let mut cfg = small_config();
             cfg.params.c_c = c_c;
-            Executor::new(
+            Executor::try_new(
                 &query,
                 PairWorkload {
                     rng: StdRng::seed_from_u64(3),
@@ -603,6 +631,7 @@ mod tests {
                 IndexingMode::Scan,
                 cfg,
             )
+            .expect("valid engine configuration")
             .run()
         };
         let light = run(0.01);
@@ -627,7 +656,7 @@ mod tests {
             }])
             .unwrap();
         let run = |q: &amri_stream::SpjQuery| {
-            Executor::new(
+            Executor::try_new(
                 q,
                 PairWorkload {
                     rng: StdRng::seed_from_u64(3),
@@ -636,6 +665,7 @@ mod tests {
                 IndexingMode::Scan,
                 small_config(),
             )
+            .expect("valid engine configuration")
             .run()
         };
         let base = run(&two_way_query());

@@ -48,7 +48,7 @@ pub use runtime::{
     load_latest, CheckpointPolicy, Checkpointer, DegradationPolicy, DegradationReport,
     DegradationSample, EngineSetup, FaultKind, FaultPlan, FaultReport, IngestOperator, Job,
     MaintenanceStats, Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams,
-    SampleOperator, SheddingPolicy, SkewedClock, StepStatus, TornMode, TuneOperator, WallClock,
-    WorkerPool,
+    SampleOperator, Session, SessionStatus, SheddingPolicy, SkewedClock, StepStatus, TornMode,
+    TuneOperator, WallClock, WorkerPool,
 };
 pub use stem::{HashTuner, JoinState, Stem};

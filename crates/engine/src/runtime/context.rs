@@ -98,6 +98,9 @@ pub struct RunParams {
     /// Threads executing sharded index work; 1 (the default engine
     /// configuration) runs everything inline with no pool threads.
     pub parallelism: std::num::NonZeroUsize,
+    /// Bound on the backlog queue's spare-buffer pool
+    /// ([`JobQueue::with_caps`](amri_stream::JobQueue::with_caps)).
+    pub spare_buffer_cap: usize,
 }
 
 /// Everything one run mutates, shared by the pipeline's operators.

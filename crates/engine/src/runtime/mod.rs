@@ -14,6 +14,9 @@
 //!   [`ProbeOperator`] (routing jobs through STeMs).
 //! * [`pipeline`] — the [`Pipeline`] driver that owns the step loop and
 //!   assembles the [`RunResult`].
+//! * [`session`] — [`Session`]: the pipeline as a resumable unit of
+//!   scheduling (one iteration or one bounded quantum per call), the
+//!   granule a multi-tenant host interleaves.
 //! * [`clock`] — [`WallClock`], the real-time counterpart of the
 //!   simulation's `VirtualClock` (both implement
 //!   [`amri_stream::time::Clock`]).
@@ -51,6 +54,7 @@ pub mod fault;
 pub mod operators;
 pub mod pipeline;
 pub mod pool;
+pub mod session;
 
 pub use checkpoint::{load_latest, CheckpointPolicy, Checkpointer};
 pub use clock::WallClock;
@@ -68,3 +72,4 @@ pub use operators::{
 };
 pub use pipeline::{EngineSetup, Pipeline, RunResult};
 pub use pool::WorkerPool;
+pub use session::{Session, SessionStatus};

@@ -12,6 +12,7 @@ use crate::runtime::operators::{
     IngestOperator, Operator, ProbeOperator, SampleOperator, StepStatus, StreamWorkload,
     TuneOperator,
 };
+use crate::runtime::session::SessionStatus;
 use crate::stem::Stem;
 use amri_core::assess::Assessor;
 use amri_stream::snapshot::{SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter};
@@ -92,6 +93,9 @@ pub struct Pipeline<W, C: Clock = VirtualClock> {
     ingest: IngestOperator<W>,
     probe: ProbeOperator,
     mode_label: String,
+    /// Latched once the run reached its end (deadline or death), so
+    /// [`step_once`](Self::step_once) is safely re-invocable.
+    done: bool,
 }
 
 impl<W: StreamWorkload> Pipeline<W> {
@@ -129,7 +133,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             stems: setup.stems,
             router: setup.router,
             observers: setup.observers,
-            backlog: JobQueue::new(),
+            backlog: JobQueue::with_caps(amri_stream::DEFAULT_BATCH_CAPACITY, run.spare_buffer_cap),
             series: ThroughputSeries::new(run.sample_interval),
             retunes: Vec::new(),
             next_arrival,
@@ -155,6 +159,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             ingest: IngestOperator::new(setup.workload),
             probe: ProbeOperator,
             mode_label: setup.mode_label,
+            done: false,
         }
     }
 
@@ -207,7 +212,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
         mut ckpt: Option<&mut Checkpointer>,
         fingerprint: u64,
     ) -> Result<(RunResult, MaintenanceStats), EngineError> {
-        'run: loop {
+        loop {
             if let Some(c) = ckpt.as_deref_mut() {
                 let step = self.ctx.step;
                 if c.should_crash(step) {
@@ -223,43 +228,83 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
                     c.write(self.snapshot_image(fingerprint))?;
                 }
             }
-            // Sampling / tuning / memory checks on the grid. `now` is
-            // captured once: grid points falling due *while tuning* are
-            // handled on the next pipeline iteration.
-            let now = self.ctx.clock.now();
-            while self.ctx.series.next_due() <= now {
-                if let StepStatus::Finished = self.sample.step(&mut self.ctx) {
-                    break 'run; // out of memory
-                }
-                self.tune.step(&mut self.ctx);
+            if self.step_once() == SessionStatus::Finished {
+                break;
             }
-            if self.ctx.clock.now() >= self.ctx.deadline {
-                break 'run;
-            }
-
-            let ingested = self.ingest.step(&mut self.ctx);
-            let probed = self.probe.step(&mut self.ctx);
-            if probed == StepStatus::Idle && ingested == StepStatus::Idle {
-                // Idle: jump to the next arrival.
-                let next = self
-                    .ctx
-                    .next_arrival
-                    .iter()
-                    .min()
-                    .copied()
-                    .expect("SpjQuery validation guarantees at least one stream");
-                let deadline = self.ctx.deadline;
-                self.ctx.clock.advance_to(next.min(deadline));
-                if self.ctx.clock.now() >= deadline {
-                    // Final sample row, then stop.
-                    self.sample.finish(&mut self.ctx);
-                    break 'run;
-                }
-            }
-            self.ctx.step += 1;
         }
+        Ok(self.into_result_with_stats())
+    }
+
+    /// One iteration of the run loop: every due grid point gets a sample
+    /// row (memory check) and a tuning pass, then the ingest operator
+    /// pulls due arrivals and the probe operator processes one routing
+    /// job; when both are idle the clock jumps to the next arrival (or
+    /// the deadline, closing the series with a final row).
+    ///
+    /// Returns [`SessionStatus::Finished`] once the run is over — the
+    /// deadline was reached or the budget check killed it — after which
+    /// further calls are no-ops. This is the scheduling granule a host
+    /// interleaves: the iteration boundary is exactly where
+    /// [`run_with`](Self::run_with) checkpoints, so a pipeline may be
+    /// [snapshotted](Self::snapshot_image) between any two calls (all
+    /// staged ingest work is flushed within each iteration).
+    pub fn step_once(&mut self) -> SessionStatus {
+        if self.done {
+            return SessionStatus::Finished;
+        }
+        // Sampling / tuning / memory checks on the grid. `now` is
+        // captured once: grid points falling due *while tuning* are
+        // handled on the next pipeline iteration.
+        let now = self.ctx.clock.now();
+        while self.ctx.series.next_due() <= now {
+            if let StepStatus::Finished = self.sample.step(&mut self.ctx) {
+                self.done = true; // out of memory
+                return SessionStatus::Finished;
+            }
+            self.tune.step(&mut self.ctx);
+        }
+        if self.ctx.clock.now() >= self.ctx.deadline {
+            self.done = true;
+            return SessionStatus::Finished;
+        }
+
+        let ingested = self.ingest.step(&mut self.ctx);
+        let probed = self.probe.step(&mut self.ctx);
+        if probed == StepStatus::Idle && ingested == StepStatus::Idle {
+            // Idle: jump to the next arrival.
+            let next = self
+                .ctx
+                .next_arrival
+                .iter()
+                .min()
+                .copied()
+                .expect("SpjQuery validation guarantees at least one stream");
+            let deadline = self.ctx.deadline;
+            self.ctx.clock.advance_to(next.min(deadline));
+            if self.ctx.clock.now() >= deadline {
+                // Final sample row, then stop.
+                self.sample.finish(&mut self.ctx);
+                self.done = true;
+                return SessionStatus::Finished;
+            }
+        }
+        self.ctx.step += 1;
+        SessionStatus::Ready
+    }
+
+    /// True once [`step_once`](Self::step_once) has returned
+    /// [`SessionStatus::Finished`].
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Consume the pipeline into its results plus the maintenance-path
+    /// tick totals. The terminal step for callers driving the loop
+    /// themselves; the `run*` drivers all end here. Calling this before
+    /// the run finished yields the partial result as of the last step.
+    pub fn into_result_with_stats(self) -> (RunResult, MaintenanceStats) {
         let maint = self.ctx.maint;
-        Ok((self.into_result(), maint))
+        (self.into_result(), maint)
     }
 
     /// Capture the complete mutable run state as a snapshot file image.
@@ -426,6 +471,11 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
                 enqueued: r.get_time()?,
             })
         })?;
+        // Spare buffers are working storage, not snapshot state: re-apply
+        // this run's configured cap to the restored queue.
+        self.ctx
+            .backlog
+            .set_spare_cap(self.ctx.run.spare_buffer_cap);
 
         let mut r = snap.section("stems")?;
         let n = r.get_usize()?;

@@ -1,0 +1,103 @@
+//! The global-budget ledger: carving per-tenant reservations.
+//!
+//! Admission control is reservation-based, not usage-based: a tenant
+//! reserves its *entire* own [`MemoryBudget`] up front, because the
+//! engine's budget is a hard ceiling the tenant may legitimately reach
+//! at any step. Per-tenant enforcement stays where it always was — each
+//! pipeline's own budget checks and [`Governor`](amri_engine::runtime::degrade::Governor)
+//! are untouched — so the ledger never has to police a running tenant,
+//! only decide who gets to hold memory at all.
+
+use amri_engine::MemoryBudget;
+
+/// Tracks how much of the global budget is committed to reservations.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    global: u64,
+    committed: u64,
+}
+
+impl BudgetLedger {
+    /// A ledger over the host's global budget.
+    /// [`MemoryBudget::unlimited`] admits everything.
+    pub fn new(global: MemoryBudget) -> Self {
+        BudgetLedger {
+            global: global.bytes,
+            committed: 0,
+        }
+    }
+
+    /// The global budget in bytes (`u64::MAX` = unlimited).
+    pub fn global(&self) -> u64 {
+        self.global
+    }
+
+    /// Bytes currently committed to reservations.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Bytes still uncommitted.
+    pub fn available(&self) -> u64 {
+        self.global.saturating_sub(self.committed)
+    }
+
+    /// Whether `reservation` could *ever* be carved (ignores current
+    /// commitments; the admission-or-queue decision uses
+    /// [`reserve`](Self::reserve)).
+    pub fn admissible(&self, reservation: u64) -> bool {
+        reservation <= self.global
+    }
+
+    /// Try to carve `reservation` bytes; true on success. An unlimited
+    /// global budget always succeeds — admission control is off — with
+    /// the committed counter saturating rather than overflowing on
+    /// unlimited per-tenant budgets.
+    pub fn reserve(&mut self, reservation: u64) -> bool {
+        if self.global == u64::MAX || reservation <= self.available() {
+            self.committed = self.committed.saturating_add(reservation);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return a reservation to the pool.
+    pub fn release(&mut self, reservation: u64) {
+        self.committed = self.committed.saturating_sub(reservation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carves_and_releases() {
+        let mut l = BudgetLedger::new(MemoryBudget { bytes: 100 });
+        assert!(l.reserve(60));
+        assert!(!l.reserve(50), "only 40 left");
+        assert!(l.reserve(40));
+        assert_eq!(l.available(), 0);
+        l.release(60);
+        assert_eq!(l.available(), 60);
+        assert!(l.reserve(60));
+    }
+
+    #[test]
+    fn unlimited_global_admits_unlimited_tenants() {
+        let mut l = BudgetLedger::new(MemoryBudget::unlimited());
+        assert!(l.admissible(u64::MAX));
+        assert!(l.reserve(u64::MAX));
+        assert!(l.reserve(u64::MAX), "saturating commit never overflows");
+        l.release(u64::MAX);
+        assert!(l.reserve(12345));
+    }
+
+    #[test]
+    fn oversized_reservation_is_never_admissible() {
+        let l = BudgetLedger::new(MemoryBudget { bytes: 100 });
+        assert!(!l.admissible(101));
+        assert!(l.admissible(100));
+    }
+}

@@ -1,0 +1,107 @@
+//! The typed error layer for host operations.
+
+use crate::tenant::{TenantId, TenantState};
+use amri_engine::EngineError;
+use amri_stream::SnapshotError;
+use std::fmt;
+
+/// Why a host operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An engine-layer failure (construction, restore).
+    Engine(EngineError),
+    /// A snapshot could not be read, parsed, or written.
+    Snapshot(SnapshotError),
+    /// Filesystem failure around a tenant `.snap` file.
+    Io(std::io::Error),
+    /// A tenant was admitted with weight 0 (the fair-share scheduler
+    /// divides by weight).
+    ZeroWeight,
+    /// The tenant's reservation exceeds the whole global budget: it could
+    /// never be admitted, so queueing it would hang forever.
+    ReservationExceedsGlobal {
+        /// Requested bytes (the tenant's own `MemoryBudget`).
+        reservation: u64,
+        /// The host's global budget.
+        global: u64,
+    },
+    /// A resume needed its reservation immediately (resumes do not
+    /// queue) and the ledger could not carve it.
+    InsufficientBudget {
+        /// Requested bytes.
+        reservation: u64,
+        /// Bytes currently uncommitted.
+        available: u64,
+    },
+    /// No tenant with this id.
+    UnknownTenant(TenantId),
+    /// The tenant is not in the state the operation requires.
+    WrongState {
+        /// The tenant.
+        id: TenantId,
+        /// State the operation needs.
+        expected: &'static str,
+        /// State the tenant is in.
+        actual: TenantState,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::Io(e) => write!(f, "snapshot file I/O: {e}"),
+            ServeError::ZeroWeight => write!(f, "tenant weight must be >= 1"),
+            ServeError::ReservationExceedsGlobal {
+                reservation,
+                global,
+            } => write!(
+                f,
+                "reservation of {reservation} B exceeds the global budget of {global} B"
+            ),
+            ServeError::InsufficientBudget {
+                reservation,
+                available,
+            } => write!(
+                f,
+                "cannot carve {reservation} B right now ({available} B available)"
+            ),
+            ServeError::UnknownTenant(id) => write!(f, "no tenant {id}"),
+            ServeError::WrongState {
+                id,
+                expected,
+                actual,
+            } => write!(f, "tenant {id} is {actual:?}, operation needs {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,46 @@
+//! # amri-serve — the multi-tenant serving layer
+//!
+//! Everything below this crate assumes one query per process: an
+//! [`Executor`](amri_engine::Executor) owns the whole
+//! [`MemoryBudget`](amri_engine::MemoryBudget) and drives its pipeline to
+//! completion. This crate is the "millions of users" refactor on top of
+//! the step-granular [`Session`](amri_engine::Session) API: many engine
+//! runs co-resident in one process, scheduled cooperatively, carved out
+//! of one global budget, suspendable to disk and resumable anywhere.
+//!
+//! * [`host`] — [`TenantHost`]: admits tenants (reservation-based
+//!   admission control over a [`BudgetLedger`]), queues what doesn't fit,
+//!   drives ready sessions quantum by quantum, suspends/resumes/evicts.
+//! * [`scheduler`] — [`FairScheduler`]: seeded deterministic weighted
+//!   fair-share over the tenants' own virtual clocks.
+//! * [`budget`] — [`BudgetLedger`]: the global-budget carving arithmetic.
+//! * [`tenant`] — [`TenantId`], the lifecycle [`TenantState`] machine,
+//!   and the per-tenant [`TenantReport`].
+//! * [`fleet`] — [`run_fleet`] / [`run_fleet_migrated`]: an entire
+//!   parameter sweep as N tenants of one host, merged in deterministic
+//!   cell order.
+//! * [`error`] — [`ServeError`].
+//!
+//! The load-bearing property, pinned by the tenant-isolation suite and
+//! CI's fleet smoke: **co-residency is invisible**. Every tenant's
+//! results — under any schedule, any co-residents, any suspend/resume
+//! cycle — are byte-identical to the same configuration run solo,
+//! because a session owns all of its mutable state and the host never
+//! reaches into one.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budget;
+pub mod error;
+pub mod fleet;
+pub mod host;
+pub mod scheduler;
+pub mod tenant;
+
+pub use budget::BudgetLedger;
+pub use error::ServeError;
+pub use fleet::{run_fleet, run_fleet_migrated, FleetCell, FleetOutcome};
+pub use host::{Admission, HostConfig, TenantHost};
+pub use scheduler::{FairScheduler, ScheduleKey};
+pub use tenant::{TenantId, TenantReport, TenantState};

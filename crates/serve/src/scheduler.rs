@@ -1,0 +1,145 @@
+//! The seeded, deterministic weighted fair-share scheduler.
+//!
+//! Weighted round-robin over ready sessions, virtual-time based: each
+//! tenant's scheduling key is its own pipeline's virtual "now" scaled
+//! down by its weight (`vnow / weight`, fixed-point), and the scheduler
+//! always runs the minimum — the tenant whose weighted virtual clock has
+//! fallen furthest behind. A weight-3 tenant therefore accumulates
+//! roughly 3x the virtual progress of a weight-1 tenant over any window
+//! where both are ready, without any wall-clock measurement entering the
+//! decision.
+//!
+//! **Determinism.** The key is derived purely from replayable state
+//! (per-tenant virtual clocks, static weights); exact ties break by a
+//! seeded hash of the tenant id, then by the id itself. Two hosts fed the
+//! same admission sequence therefore produce the same schedule trace,
+//! byte for byte — and because every session owns all of its mutable
+//! state, *any* schedule produces each tenant's solo output. The schedule
+//! decides only who finishes first, never what anyone computes.
+
+use crate::tenant::TenantId;
+use amri_stream::VirtualTime;
+use std::hash::Hasher;
+
+/// Fixed-point scale for the weighted virtual time, so integer division
+/// by the weight keeps sub-tick resolution.
+const WEIGHT_SCALE: u128 = 1 << 16;
+
+/// One ready tenant's scheduling coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleKey {
+    /// The tenant.
+    pub id: TenantId,
+    /// Fair-share weight (>= 1).
+    pub weight: u32,
+    /// The tenant session's private virtual now.
+    pub vnow: VirtualTime,
+}
+
+/// The pure pick-next policy. Holds only the tie-break seed; all real
+/// state lives in the tenants' own clocks.
+#[derive(Debug, Clone)]
+pub struct FairScheduler {
+    seed: u64,
+}
+
+impl FairScheduler {
+    /// A scheduler whose tie-breaks are salted with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FairScheduler { seed }
+    }
+
+    /// The weighted virtual time the scheduler minimizes.
+    fn vruntime(key: &ScheduleKey) -> u128 {
+        (key.vnow.0 as u128) * WEIGHT_SCALE / key.weight.max(1) as u128
+    }
+
+    /// Seeded tie-break salt for a tenant.
+    fn salt(&self, id: TenantId) -> u64 {
+        let mut h = amri_stream::fxhash::FxHasher::default();
+        h.write_u64(self.seed);
+        h.write_u32(id.0);
+        h.finish()
+    }
+
+    /// Pick the next tenant to run from the ready set, or `None` when the
+    /// set is empty. Total order: weighted virtual time, then seeded
+    /// salt, then tenant id — so the choice is unique and replayable.
+    pub fn pick(&self, ready: impl IntoIterator<Item = ScheduleKey>) -> Option<TenantId> {
+        ready
+            .into_iter()
+            .min_by_key(|k| (Self::vruntime(k), self.salt(k.id), k.id))
+            .map(|k| k.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u32, weight: u32, vnow: u64) -> ScheduleKey {
+        ScheduleKey {
+            id: TenantId(id),
+            weight,
+            vnow: VirtualTime(vnow),
+        }
+    }
+
+    #[test]
+    fn picks_the_furthest_behind_weighted_clock() {
+        let s = FairScheduler::new(7);
+        // Equal weights: the smaller clock runs.
+        assert_eq!(s.pick([key(0, 1, 500), key(1, 1, 200)]), Some(TenantId(1)));
+        // Weight 3 divides its clock: 900/3 = 300 > 200, so t1 still runs.
+        assert_eq!(s.pick([key(0, 3, 900), key(1, 1, 200)]), Some(TenantId(1)));
+        // ...until t1 catches up in weighted terms.
+        assert_eq!(s.pick([key(0, 3, 900), key(1, 1, 301)]), Some(TenantId(0)));
+        assert_eq!(s.pick([]), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically_and_seed_dependently() {
+        let a = FairScheduler::new(1);
+        let b = FairScheduler::new(1);
+        let tied = [key(0, 1, 100), key(1, 1, 100), key(2, 1, 100)];
+        // Same seed: same pick, every time.
+        let first = a.pick(tied);
+        for _ in 0..10 {
+            assert_eq!(a.pick(tied), first);
+            assert_eq!(b.pick(tied), first);
+        }
+        // Some seed disagrees with seed 1 on some tied set (salts differ);
+        // scan a few to avoid pinning one hash value.
+        let disagrees = (2u64..50).any(|seed| {
+            let c = FairScheduler::new(seed);
+            (0..8).any(|shift| {
+                let tied = [key(shift, 1, 100), key(shift + 1, 1, 100)];
+                c.pick(tied) != a.pick(tied)
+            })
+        });
+        assert!(disagrees, "tie-breaks must actually depend on the seed");
+    }
+
+    #[test]
+    fn weighted_shares_emerge_over_a_synthetic_horizon() {
+        // Simulate two tenants whose clocks advance 1 tick per quantum
+        // received: the weight-3 tenant should get ~3x the quanta.
+        let s = FairScheduler::new(42);
+        let mut clocks = [0u64, 0u64];
+        let weights = [3u32, 1u32];
+        let mut quanta = [0u64, 0u64];
+        for _ in 0..4000 {
+            let picked = s
+                .pick((0..2).map(|i| key(i as u32, weights[i], clocks[i])))
+                .unwrap();
+            let i = picked.0 as usize;
+            clocks[i] += 1;
+            quanta[i] += 1;
+        }
+        let ratio = quanta[0] as f64 / quanta[1] as f64;
+        assert!(
+            (2.9..=3.1).contains(&ratio),
+            "weight-3 tenant must get ~3x the quanta, got {ratio} ({quanta:?})"
+        );
+    }
+}

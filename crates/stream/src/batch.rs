@@ -19,6 +19,11 @@ use std::collections::VecDeque;
 /// job headers while giving a parallel consumer enough work per handoff.
 pub const DEFAULT_BATCH_CAPACITY: usize = 64;
 
+/// Default bound on a [`JobQueue`]'s spare-buffer pool (see
+/// [`JobQueue::with_caps`]). A host co-locating many queues can pass a
+/// smaller cap to bound aggregate spare-buffer memory.
+pub const DEFAULT_MAX_SPARE_BUFFERS: usize = 8;
+
 /// One batch of jobs, in arrival order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Batch<T> {
@@ -150,6 +155,8 @@ pub struct JobQueue<T> {
     batch_capacity: usize,
     /// Drained buffers kept for reuse (steady state never allocates).
     spare: Vec<Vec<T>>,
+    /// Most spare buffers retained (see [`Self::with_caps`]).
+    spare_cap: usize,
 }
 
 impl<T> Default for JobQueue<T> {
@@ -164,11 +171,27 @@ impl<T> JobQueue<T> {
         Self::with_batch_capacity(DEFAULT_BATCH_CAPACITY)
     }
 
-    /// An empty queue sealing batches at `batch_capacity` jobs.
+    /// An empty queue sealing batches at `batch_capacity` jobs, retaining
+    /// at most [`DEFAULT_MAX_SPARE_BUFFERS`] spare buffers.
     ///
     /// # Panics
     /// Panics on a zero capacity.
     pub fn with_batch_capacity(batch_capacity: usize) -> Self {
+        Self::with_caps(batch_capacity, DEFAULT_MAX_SPARE_BUFFERS)
+    }
+
+    /// An empty queue with explicit batch capacity *and* spare-pool bound.
+    ///
+    /// A deep backlog seals many batches whose buffers all come home when
+    /// the queue drains; without a bound the pool would keep the burst's
+    /// peak allocation for the rest of the run. `spare_cap = 0` disables
+    /// recycling entirely — every sealed batch allocates fresh — which a
+    /// multi-tenant host can use to cap aggregate spare-buffer memory
+    /// across many co-resident queues.
+    ///
+    /// # Panics
+    /// Panics on a zero batch capacity (a zero `spare_cap` is valid).
+    pub fn with_caps(batch_capacity: usize, spare_cap: usize) -> Self {
         assert!(batch_capacity > 0, "batch capacity must be positive");
         JobQueue {
             active: Vec::new(),
@@ -177,6 +200,7 @@ impl<T> JobQueue<T> {
             len: 0,
             batch_capacity,
             spare: Vec::new(),
+            spare_cap,
         }
     }
 
@@ -184,6 +208,19 @@ impl<T> JobQueue<T> {
     #[inline]
     pub fn batch_capacity(&self) -> usize {
         self.batch_capacity
+    }
+
+    /// Most spare buffers this queue retains for reuse.
+    #[inline]
+    pub fn spare_cap(&self) -> usize {
+        self.spare_cap
+    }
+
+    /// Re-bound the spare pool, freeing buffers beyond the new cap
+    /// immediately. Live jobs are untouched.
+    pub fn set_spare_cap(&mut self, spare_cap: usize) {
+        self.spare_cap = spare_cap;
+        self.spare.truncate(spare_cap);
     }
 
     /// Total queued jobs.
@@ -206,12 +243,6 @@ impl<T> JobQueue<T> {
             + usize::from(!self.tail.is_empty())
     }
 
-    /// Most spare buffers retained for reuse. A deep backlog seals many
-    /// batches whose buffers all come home when the queue drains; without
-    /// a bound the pool would keep the burst's peak allocation for the
-    /// rest of the run. Steady state cycles far fewer buffers than this.
-    pub const MAX_SPARE_BUFFERS: usize = 8;
-
     /// Take a recycled buffer (or allocate the first time around).
     fn fresh_buf(&mut self) -> Vec<T> {
         self.spare
@@ -220,10 +251,10 @@ impl<T> JobQueue<T> {
     }
 
     /// Return a drained buffer to the spare pool, unless the pool is
-    /// already at [`Self::MAX_SPARE_BUFFERS`] (then the buffer is freed).
+    /// already at [`Self::spare_cap`] (then the buffer is freed).
     fn recycle(&mut self, buf: Vec<T>) {
         debug_assert!(buf.is_empty());
-        if buf.capacity() > 0 && self.spare.len() < Self::MAX_SPARE_BUFFERS {
+        if buf.capacity() > 0 && self.spare.len() < self.spare_cap {
             self.spare.push(buf);
         }
     }
@@ -580,8 +611,9 @@ mod tests {
 
     #[test]
     fn spare_pool_never_exceeds_its_cap() {
-        let cap = JobQueue::<u64>::MAX_SPARE_BUFFERS;
+        let cap = DEFAULT_MAX_SPARE_BUFFERS;
         let mut q = JobQueue::with_batch_capacity(4);
+        assert_eq!(q.spare_cap(), cap);
         // A deep burst seals ~100 batches; draining them all would hand
         // ~100 buffers back to the pool without the bound.
         for burst in 0..3 {
@@ -610,7 +642,7 @@ mod tests {
     #[test]
     fn snapshot_excludes_spare_pool_and_restored_queue_rewarms_lazily() {
         use crate::snapshot::{SectionReader, SectionWriter};
-        let cap = JobQueue::<u64>::MAX_SPARE_BUFFERS;
+        let cap = DEFAULT_MAX_SPARE_BUFFERS;
         let mut q = JobQueue::with_batch_capacity(4);
         // Warm the spare pool, then leave a partially drained backlog.
         for i in 0..64u64 {
@@ -648,7 +680,43 @@ mod tests {
             !restored.spare.is_empty(),
             "drained buffers re-warm the pool"
         );
-        assert!(restored.spare.len() <= cap, "MAX_SPARE_BUFFERS respected");
+        assert!(restored.spare.len() <= cap, "default spare cap respected");
+    }
+
+    #[test]
+    fn zero_spare_queue_recycles_nothing() {
+        let mut q = JobQueue::with_caps(4, 0);
+        assert_eq!(q.spare_cap(), 0);
+        // Fill/drain cycles that would warm a default pool keep it empty.
+        for round in 0..5u64 {
+            for i in 0..32 {
+                q.push(round * 100 + i);
+            }
+            let drained: Vec<u64> = std::iter::from_fn(|| q.pop()).collect();
+            assert_eq!(drained.len(), 32, "FIFO contents unaffected by the cap");
+            assert!(drained.windows(2).all(|w| w[0] < w[1]));
+            assert!(
+                q.spare.is_empty(),
+                "a 0-spare queue must never retain buffers"
+            );
+        }
+        // Tightening a warmed queue frees the excess immediately.
+        let mut warm = JobQueue::with_batch_capacity(4);
+        for i in 0..64u64 {
+            warm.push(i);
+        }
+        while warm.pop().is_some() {}
+        assert!(warm.spare.len() > 2, "test needs a warmed pool");
+        warm.set_spare_cap(2);
+        assert_eq!(warm.spare.len(), 2);
+        warm.set_spare_cap(0);
+        assert!(warm.spare.is_empty());
+        // And it keeps working, just allocation-per-batch.
+        for i in 0..64u64 {
+            warm.push(i);
+        }
+        while warm.pop().is_some() {}
+        assert!(warm.spare.is_empty());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod tuple;
 pub mod value;
 pub mod window;
 
-pub use batch::{Batch, JobQueue, DEFAULT_BATCH_CAPACITY};
+pub use batch::{Batch, JobQueue, DEFAULT_BATCH_CAPACITY, DEFAULT_MAX_SPARE_BUFFERS};
 pub use error::StreamError;
 pub use fxhash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use pattern::{AccessPattern, SearchRequest};

@@ -133,6 +133,7 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                 faults: None,
                 shards: 1,
                 parallelism: std::num::NonZeroUsize::MIN,
+                spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
             };
             PaperScenario {
                 query,
@@ -175,6 +176,7 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                 faults: None,
                 shards: 1,
                 parallelism: std::num::NonZeroUsize::MIN,
+                spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
             };
             PaperScenario {
                 query,
@@ -215,7 +217,7 @@ mod tests {
     fn quick_scenario_runs_and_produces_output() {
         let sc = paper_scenario(Scale::Quick, 42);
         let workload = sc.workload();
-        let result = Executor::new(
+        let result = Executor::try_new(
             &sc.query,
             workload,
             IndexingMode::Amri {
@@ -224,6 +226,7 @@ mod tests {
             },
             sc.engine.clone(),
         )
+        .expect("valid engine configuration")
         .run();
         assert_eq!(result.outcome, RunOutcome::Completed);
         assert!(result.outputs > 0, "the 4-way join must produce results");
@@ -240,12 +243,13 @@ mod tests {
     fn scenario_is_deterministic() {
         let run = || {
             let sc = paper_scenario(Scale::Quick, 7);
-            Executor::new(
+            Executor::try_new(
                 &sc.query,
                 sc.workload(),
                 IndexingMode::StaticBitmap { configs: None },
                 sc.engine.clone(),
             )
+            .expect("valid engine configuration")
             .run()
             .outputs
         };

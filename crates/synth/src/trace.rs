@@ -265,7 +265,9 @@ mod tests {
         sc.engine.duration = amri_stream::VirtualDuration::from_secs(10);
         let trace = record_trace(&mut sc.workload(), 4, 500);
         let workload = TraceWorkload::parse(&trace, 4).unwrap();
-        let r = Executor::new(&sc.query, workload, IndexingMode::Scan, sc.engine.clone()).run();
+        let r = Executor::try_new(&sc.query, workload, IndexingMode::Scan, sc.engine.clone())
+            .expect("valid engine configuration")
+            .run();
         assert!(r.outputs > 0, "replayed trace must join");
     }
 }

@@ -22,7 +22,7 @@ fn main() {
         sc.engine.lambda_d
     );
 
-    let amri = Executor::new(
+    let amri = Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::Amri {
@@ -31,13 +31,15 @@ fn main() {
         },
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
-    let bitmap = Executor::new(
+    let bitmap = Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::StaticBitmap { configs: None },
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
 
     let runs = vec![amri, bitmap];

@@ -23,7 +23,9 @@ fn main() {
     };
 
     // Run once with the live generator.
-    let live = Executor::new(&sc.query, sc.workload(), mode(), sc.engine.clone()).run();
+    let live = Executor::try_new(&sc.query, sc.workload(), mode(), sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
     println!("live run    : {} outputs", live.outputs);
 
     // Record enough tuples to cover the run, then replay the trace.
@@ -35,12 +37,13 @@ fn main() {
         trace.lines().count(),
         trace.len()
     );
-    let replayed = Executor::new(
+    let replayed = Executor::try_new(
         &sc.query,
         TraceWorkload::parse(&trace, n_streams).expect("well-formed trace"),
         mode(),
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
     println!("replayed run: {} outputs", replayed.outputs);
 

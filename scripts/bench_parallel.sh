@@ -15,6 +15,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FORCE=0
+for arg in "$@"; do
+    case "$arg" in
+        --force) FORCE=1 ;;
+        *) echo "usage: scripts/bench_parallel.sh [--force]" >&2; exit 2 ;;
+    esac
+done
+
+# On a <4-core host the thread counts tie by construction, so regenerating
+# would silently replace committed multi-core scaling evidence with tied
+# medians. Refuse unless the caller explicitly says that's what they want.
+if [[ "$(nproc)" -lt 4 && -f BENCH_parallel.json && "$FORCE" -ne 1 ]]; then
+    echo "refusing to overwrite BENCH_parallel.json: this host has $(nproc) core(s)," >&2
+    echo "so the recorded >=4-core speedups would be replaced by tied single-core" >&2
+    echo "medians. Re-run on a >=4-core host, or pass --force to record this" >&2
+    echo "environment anyway (the JSON records the core count either way)." >&2
+    exit 1
+fi
+
 BENCH_RUNS="${BENCH_RUNS:-3}"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT

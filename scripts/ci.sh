@@ -94,4 +94,22 @@ diff "${CRASH_OUT}/baseline_summary.csv" "${CRASH_OUT}/resumed_summary.csv" \
 echo "torn latest snapshot skipped, fallback byte-identical"
 rm -rf "${CRASH_OUT}"
 
+# Fleet-sweep smoke: the same four-cell sweep (mixed indexing modes, one
+# tenant forced through the admission queue) run three ways — hosted in
+# one TenantHost, solo with no host anywhere, and hosted with a mid-sweep
+# suspend-to-disk / resume-in-a-fresh-host migration. All three merged
+# summary CSVs must be byte-identical: co-residency and suspend/resume
+# are invisible in every measured column.
+echo "==> fleet-sweep smoke (4 tenants, mixed modes)"
+FLEET_DIR="$(mktemp -d)"
+(cd "$FLEET_DIR" && "$OLDPWD"/target/release/fleet_sweep > /dev/null)
+(cd "$FLEET_DIR" && "$OLDPWD"/target/release/fleet_sweep --solo > /dev/null)
+(cd "$FLEET_DIR" && "$OLDPWD"/target/release/fleet_sweep --migrate > /dev/null)
+diff "$FLEET_DIR/results/fleet_summary.csv" "$FLEET_DIR/results/fleet_solo_summary.csv" \
+    || { echo "hosted fleet diverged from solo runs"; exit 1; }
+diff "$FLEET_DIR/results/fleet_summary.csv" "$FLEET_DIR/results/fleet_migrated_summary.csv" \
+    || { echo "migrated fleet diverged from uninterrupted hosted run"; exit 1; }
+echo "hosted, solo and migrated fleet summaries byte-identical"
+rm -rf "$FLEET_DIR"
+
 echo "CI green."

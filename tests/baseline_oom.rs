@@ -13,7 +13,9 @@ use amri_synth::scenario::{paper_scenario, Scale};
 fn run_with_budget(mode: IndexingMode, budget: MemoryBudget, seed: u64) -> RunResult {
     let mut sc = paper_scenario(Scale::Quick, seed);
     sc.engine.budget = budget;
-    Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone()).run()
+    Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .expect("valid engine configuration")
+        .run()
 }
 
 fn lifetime(r: &RunResult) -> VirtualTime {
@@ -106,7 +108,9 @@ fn degradation_policy_keeps_a_doomed_run_alive() {
         shedding: SheddingPolicy::DropOldest,
         seed: 1,
     });
-    let governed = Executor::new(&sc.query, sc.workload(), mode(), sc.engine.clone()).run();
+    let governed = Executor::try_new(&sc.query, sc.workload(), mode(), sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
 
     let RunOutcome::Degraded {
         first_at,

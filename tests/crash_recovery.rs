@@ -31,7 +31,8 @@ fn scenario(seed: u64) -> PaperScenario {
 }
 
 fn executor(sc: &PaperScenario, mode: IndexingMode) -> Executor<amri_synth::DriftingWorkload> {
-    Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone())
+    Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .expect("valid engine configuration")
 }
 
 /// Run uninterrupted; then crash an identical run at `crash_step` with

@@ -79,6 +79,7 @@ fn engine_config(lambda: f64, secs: u64, policy: PolicyKind) -> EngineConfig {
         faults: None,
         shards: 1,
         parallelism: std::num::NonZeroUsize::MIN,
+        spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
     }
 }
 
@@ -145,12 +146,12 @@ proptest! {
             2 => IndexingMode::StaticBitmap { configs: None },
             _ => IndexingMode::Scan,
         };
-        let result = Executor::new(
+        let result = Executor::try_new(
             &query,
             Scripted::new(script.clone()),
             mode,
             engine_config(lambda, secs, PolicyKind::RoundRobin),
-        )
+        ).expect("valid engine configuration")
         .run();
         let expected = reference_join_count(&script, lambda, secs, window_secs);
         // The engine's probe lag can defer matches at the horizon edge by
@@ -174,12 +175,12 @@ proptest! {
             PolicyKind::SelectivityGreedy { exploration: 0.2 },
             PolicyKind::Lottery { exploration: 0.1 },
         ] {
-            let r = Executor::new(
+            let r = Executor::try_new(
                 &query,
                 Scripted::new(script.clone()),
                 IndexingMode::StaticBitmap { configs: None },
                 engine_config(10.0, 6, policy),
-            )
+            ).expect("valid engine configuration")
             .run();
             outs.push(r.outputs);
         }

@@ -13,12 +13,13 @@ use amri_synth::scenario::{paper_scenario, Scale};
 fn run_with_faults(faults: Option<FaultPlan>, seed: u64) -> RunResult {
     let mut sc = paper_scenario(Scale::Quick, seed);
     sc.engine.faults = faults;
-    Executor::new(
+    Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::Scan,
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run()
 }
 
@@ -155,12 +156,13 @@ fn pressure_forces_oom_at_the_chosen_instant() {
         }],
         ..FaultPlan::default()
     });
-    let r = Executor::new(
+    let r = Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::Scan,
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
     let RunOutcome::OutOfMemory { at } = r.outcome else {
         panic!("injected pressure must breach the budget: {:?}", r.outcome);
@@ -194,12 +196,13 @@ fn governor_rides_out_survivable_pressure() {
         }],
         ..FaultPlan::default()
     });
-    let r = Executor::new(
+    let r = Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::Scan,
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
     let RunOutcome::Degraded { evicted_tuples, .. } = r.outcome else {
         panic!("the governed run must survive degraded: {:?}", r.outcome);
@@ -211,12 +214,13 @@ fn governor_rides_out_survivable_pressure() {
         "survived to the workload's end"
     );
     // Degraded replay is just as deterministic.
-    let again = Executor::new(
+    let again = Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::Scan,
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
     assert_eq!(format!("{r:#?}"), format!("{again:#?}"));
 }
@@ -227,12 +231,13 @@ fn governor_rides_out_survivable_pressure() {
 fn skewed_clocks_are_deterministic_and_slow_the_engine() {
     let run_skewed = |rate_ppm: u64| {
         let sc = paper_scenario(Scale::Quick, 42);
-        Executor::new(
+        Executor::try_new(
             &sc.query,
             sc.workload(),
             IndexingMode::Scan,
             sc.engine.clone(),
         )
+        .expect("valid engine configuration")
         .into_pipeline_with_clock(SkewedClock::new(VirtualClock::new(), rate_ppm))
         .run()
     };

@@ -320,7 +320,9 @@ fn assert_equivalent(mode: IndexingMode, scale: Scale, seed: u64, truncate: Opti
         sc.engine.duration = VirtualDuration::from_secs(secs);
     }
     let old = Reference::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
-    let new = Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
+    let new = Executor::try_new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
     assert_eq!(
         format!("{old:#?}"),
         format!("{new:#?}"),
@@ -378,9 +380,13 @@ fn assert_parallelism_invariant(
     }
     sc.engine.shards = 4;
     sc.engine.parallelism = std::num::NonZeroUsize::MIN;
-    let seq = Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
+    let seq = Executor::try_new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
     sc.engine.parallelism = std::num::NonZeroUsize::new(4).unwrap();
-    let par = Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
+    let par = Executor::try_new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
     assert_eq!(
         format!("{seq:#?}"),
         format!("{par:#?}"),
@@ -442,9 +448,13 @@ fn governed_degradation_parallelism_is_byte_identical() {
         initial: None,
     };
     sc.engine.parallelism = std::num::NonZeroUsize::MIN;
-    let seq = Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
+    let seq = Executor::try_new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
     sc.engine.parallelism = std::num::NonZeroUsize::new(4).unwrap();
-    let par = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone()).run();
+    let par = Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
     assert!(
         matches!(seq.outcome, RunOutcome::Degraded { .. }),
         "the tight budget must force governed degradation: {:?}",
@@ -464,7 +474,9 @@ fn oom_death_is_byte_identical() {
         initial: None,
     };
     let old = Reference::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone()).run();
-    let new = Executor::new(&sc.query, sc.workload(), mode, sc.engine.clone()).run();
+    let new = Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .expect("valid engine configuration")
+        .run();
     assert!(
         matches!(old.outcome, RunOutcome::OutOfMemory { .. }),
         "the tight budget must kill the reference run: {:?}",

@@ -84,12 +84,13 @@ fn pipeline_series_has_no_grid_gaps() {
     // Inflate unit costs so single probes routinely cross grid points.
     sc.engine.params.c_base *= 50.0;
     sc.engine.params.c_c *= 50.0;
-    let r = Executor::new(
+    let r = Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::Scan,
         sc.engine.clone(),
     )
+    .expect("valid engine configuration")
     .run();
     let interval = sc.engine.sample_interval;
     for (i, s) in r.series.samples().iter().enumerate() {
@@ -195,7 +196,7 @@ fn budget_exhaustion_boundaries() {
 fn oom_through_the_explicit_pipeline_mirrors_the_baseline() {
     let mut sc = paper_scenario(Scale::Quick, 42);
     sc.engine.budget = MemoryBudget { bytes: 300_000 };
-    let executor = Executor::new(
+    let executor = Executor::try_new(
         &sc.query,
         sc.workload(),
         IndexingMode::AdaptiveHash {
@@ -203,7 +204,8 @@ fn oom_through_the_explicit_pipeline_mirrors_the_baseline() {
             initial: None,
         },
         sc.engine.clone(),
-    );
+    )
+    .expect("valid engine configuration");
     let pipeline = executor.into_pipeline();
     assert_eq!(pipeline.context().outcome, RunOutcome::Completed);
     let r = pipeline.run();
@@ -230,7 +232,10 @@ fn into_pipeline_run_equals_executor_run() {
         assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
         initial: None,
     };
-    let build = || Executor::new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone());
+    let build = || {
+        Executor::try_new(&sc.query, sc.workload(), mode.clone(), sc.engine.clone())
+            .expect("valid engine configuration")
+    };
     let direct = build().run();
     let via_pipeline = build().into_pipeline().run();
     assert_eq!(format!("{direct:#?}"), format!("{via_pipeline:#?}"));
@@ -252,7 +257,9 @@ fn engine_config_defaults_remain_source_compatible() {
         lambda_d: 20.0,
         ..sc.engine.clone()
     };
-    let r = Executor::new(&sc.query, ConstWorkload, IndexingMode::Scan, config).run();
+    let r = Executor::try_new(&sc.query, ConstWorkload, IndexingMode::Scan, config)
+        .expect("valid engine configuration")
+        .run();
     assert_eq!(r.outcome, RunOutcome::Completed);
     assert_eq!(r.label, "scan");
 }

@@ -3,8 +3,9 @@
 //! multi-hash access module vs a full scan.
 
 use amri_core::{
-    BitAddressIndex, CostReceipt, IndexConfig, IngestStage, MultiHashIndex, ScanIndex,
-    SearchOutcome, SearchScratch, StateIndex, StateStore, TupleKey,
+    BitAddressIndex, CostReceipt, IndexConfig, IngestStage, IoFaultConfig, MultiHashIndex,
+    ScanIndex, SearchOutcome, SearchScratch, SpillConfig, SpillTier, StateIndex, StateStore,
+    StorageProfile, TupleKey,
 };
 use amri_engine::WorkerPool;
 use amri_stream::{
@@ -318,6 +319,93 @@ fn bench_migrate_parallel(c: &mut Criterion) {
     g.finish();
 }
 
+/// A populated state with a disk spill tier attached: 4k tuples over a
+/// window wide enough that nothing expires mid-measurement.
+fn spill_store(tag: &str) -> StateStore<ScanIndex> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("amri-bench-spill-{}-{tag}-{n}", std::process::id()));
+    let tier = SpillTier::create(&SpillConfig {
+        dir,
+        file_name: "s0.blocks".into(),
+        profile: StorageProfile::default(),
+        faults: IoFaultConfig::default(),
+        seed: 11,
+    })
+    .expect("temp dir block store");
+    let mut store = StateStore::new(
+        StreamId(0),
+        vec![AttrId(0), AttrId(1), AttrId(2)],
+        WindowSpec::secs(1 << 20),
+        ScanIndex::new(),
+    )
+    .with_payload_bytes(64);
+    store.enable_spill(tier);
+    let mut r = CostReceipt::new();
+    for i in 0..4_000u64 {
+        store.insert(
+            Tuple::new(TupleId(i), StreamId(0), VirtualTime::from_secs(i), jas(i)),
+            &mut r,
+        );
+    }
+    store
+}
+
+/// The spill tier's data path (the robustness tentpole): cold tuples
+/// leave RAM for the checksummed block store in 256-tuple chunks, hot
+/// blocks come home through `promote_hottest`, and a probe-hit stub is
+/// materialized from disk. Wall time here is the real `fsync`-free file
+/// I/O plus frame checksumming — the physical cost the virtual
+/// `StorageProfile` models.
+fn bench_spill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spill_4k");
+    g.sample_size(20);
+    g.bench_function("spill_promote_round_trip", |b| {
+        b.iter_batched(
+            || spill_store("round-trip"),
+            |mut store| {
+                let mut r = CostReceipt::new();
+                let mut moved = 0usize;
+                while store.spilled_frac() < 0.5 {
+                    moved += store.spill_oldest(256, &mut r);
+                }
+                // min_reads 0: promote unconditionally, one block per call.
+                while store.spilled_len() > 0 {
+                    moved += store.promote_hottest(0, &mut r).moved;
+                }
+                black_box(moved)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("materialize_spilled_hit", |b| {
+        b.iter_batched(
+            || {
+                let mut store = spill_store("materialize");
+                let mut r = CostReceipt::new();
+                while store.spilled_frac() < 0.5 {
+                    store.spill_oldest(256, &mut r);
+                }
+                store
+            },
+            |mut store| {
+                let mut r = CostReceipt::new();
+                // The oldest tuple is spill-resident; a hit on it pays one
+                // verified block read.
+                let t = store
+                    .materialize(TupleKey(0), &mut r)
+                    .expect("block store intact")
+                    .expect("tuple 0 was spilled and live");
+                black_box(t.id)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_insert,
@@ -325,6 +413,7 @@ criterion_group!(
     bench_parallel,
     bench_migrate,
     bench_ingest_parallel,
-    bench_migrate_parallel
+    bench_migrate_parallel,
+    bench_spill
 );
 criterion_main!(benches);

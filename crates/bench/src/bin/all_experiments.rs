@@ -125,8 +125,8 @@ fn main() {
             vec![FaultKind::CrashAt { step: crash_at }],
         )
         .expect("crash run");
-        let (resumed, note, maint, skipped) = resume_latest(exec(), dir).expect("resume");
-        assert_eq!(skipped, 0);
+        let (resumed, note, maint, report) = resume_latest(exec(), dir).expect("resume");
+        assert!(report.skipped.is_empty());
         assert_eq!(
             format!("{baseline:#?}"),
             format!("{resumed:#?}"),

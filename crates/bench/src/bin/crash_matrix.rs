@@ -11,8 +11,8 @@
 //!         [--checkpoint-every N] [--crash-at STEP] [--out DIR] [--torn]`
 
 use amri_bench::{
-    apply_threads, parse_checkpoint_every, parse_scale, parse_seed, parse_threads, resume_latest,
-    run_until_crash, write_summary_csv, CheckpointNote,
+    apply_threads, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed, parse_threads,
+    resume_latest, run_until_crash, write_summary_csv, CheckpointNote, FlagSpec, COMMON_FLAGS,
 };
 use amri_core::assess::AssessorKind;
 use amri_engine::{DegradationPolicy, Executor, FaultKind, FaultPlan, IndexingMode, TornMode};
@@ -90,14 +90,35 @@ fn scenario(scale: Scale, seed: u64, perturbed: bool) -> PaperScenario {
             reorder_prob: 0.15,
             late_prob: 0.1,
             late_by: VirtualDuration::from_secs(2),
-            pressure: vec![],
+            ..FaultPlan::default()
         });
     }
     sc
 }
 
+const EXTRA_FLAGS: &[FlagSpec] = &[
+    (
+        "--checkpoint-every",
+        true,
+        "snapshot every N pipeline steps (default 60)",
+    ),
+    ("--crash-at", true, "injected crash step (default 200)"),
+    (
+        "--out",
+        true,
+        "output directory (default results/crash_matrix)",
+    ),
+    ("--torn", false, "tear the latest snapshot in flight"),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let flags: Vec<FlagSpec> = COMMON_FLAGS
+        .iter()
+        .chain(EXTRA_FLAGS.iter())
+        .copied()
+        .collect();
+    enforce_cli(&args, "crash_matrix", &flags);
     let scale = parse_scale(&args);
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
@@ -149,7 +170,9 @@ fn main() {
                 Ok((step, taken)) => {
                     assert_eq!(step, crash_at);
                     match resume_latest(exec(mode), &dir) {
-                        Ok((r, note, maint, skipped)) => (taken, r, note, maint, skipped),
+                        Ok((r, note, maint, report)) => {
+                            (taken, r, note, maint, report.skipped.len() as u64)
+                        }
                         Err(e) => {
                             violations.push(format!("{label}: resume failed: {e}"));
                             continue;

@@ -11,7 +11,9 @@
 //!
 //! Usage: `fault_matrix [--seed N] [--threads N] [--checkpoint-every N]`
 
-use amri_bench::{apply_threads, parse_checkpoint_every, parse_seed, parse_threads};
+use amri_bench::{
+    apply_threads, enforce_cli, parse_checkpoint_every, parse_seed, parse_threads, FlagSpec,
+};
 use amri_engine::{
     DegradationPolicy, Executor, FaultPlan, IndexingMode, MemoryBudget, PressureWindow, RunOutcome,
     RunResult, SheddingPolicy, SkewedClock,
@@ -146,8 +148,23 @@ fn outcome_label(r: &RunResult) -> String {
     }
 }
 
+const FLAGS: &[FlagSpec] = &[
+    ("--seed", true, "master seed (default 42)"),
+    (
+        "--threads",
+        true,
+        "worker threads for sharded index execution (default 1)",
+    ),
+    (
+        "--checkpoint-every",
+        true,
+        "replay spot-checks also snapshot every N steps",
+    ),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    enforce_cli(&args, "fault_matrix", FLAGS);
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
     let checkpoint_every = parse_checkpoint_every(&args);

@@ -18,7 +18,7 @@
 //!
 //! Usage: `fleet_sweep [--solo | --migrate] [--seed N]`
 
-use amri_bench::{parse_seed, write_summary_csv};
+use amri_bench::{enforce_cli, parse_seed, write_summary_csv, FlagSpec};
 use amri_core::assess::AssessorKind;
 use amri_engine::{Executor, IndexingMode, MemoryBudget};
 use amri_hh::CombineStrategy;
@@ -88,8 +88,19 @@ fn write(outcomes: &[FleetOutcome], path: &Path) {
     println!("wrote {}", path.display());
 }
 
+const FLAGS: &[FlagSpec] = &[
+    ("--solo", false, "run each cell alone, no host"),
+    (
+        "--migrate",
+        false,
+        "suspend mid-sweep, resume in a fresh host",
+    ),
+    ("--seed", true, "master seed (default 42)"),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    enforce_cli(&args, "fleet_sweep", FLAGS);
     let seed = parse_seed(&args);
     let solo = args.iter().any(|a| a == "--solo");
     let migrate = args.iter().any(|a| a == "--migrate");

@@ -1,0 +1,269 @@
+//! Spill-tier acceptance matrix: every indexing mode is run three ways —
+//! unconstrained, under an OOM-killing budget without a tier (must die),
+//! and under the same budget *with* a disk spill tier (must complete with
+//! the unconstrained outputs and output digest, since the identity
+//! storage profile charges no virtual time). A crash-at-step run over
+//! the spilled configuration must resume byte-identical, and a seeded
+//! disk-fault storm (torn writes, read errors, latency spikes) must end
+//! in recovery or a typed `Degraded` outcome — never a panic — and
+//! replay bit-for-bit. Exits non-zero listing every violated cell.
+//!
+//! The matching summary CSVs are written under `--out` so
+//! `scripts/ci.sh` can diff the spilled summary across thread counts.
+//!
+//! Usage: `spill_matrix [--quick] [--seed N] [--threads N] [--out DIR]`
+
+use amri_bench::{
+    apply_threads, enforce_cli, parse_scale, parse_seed, parse_threads, resume_latest,
+    run_until_crash, write_summary_csv, FlagSpec, COMMON_FLAGS,
+};
+use amri_core::assess::AssessorKind;
+use amri_core::IoFaultConfig;
+use amri_engine::{
+    Executor, FaultKind, FaultPlan, IndexingMode, MemoryBudget, RunOutcome, SpillSettings,
+};
+use amri_synth::scenario::{paper_scenario, PaperScenario, Scale};
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+
+const EXTRA_FLAGS: &[FlagSpec] = &[(
+    "--out",
+    true,
+    "output directory (default results/spill_matrix)",
+)];
+
+fn parse_out(args: &[String]) -> PathBuf {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/spill_matrix"))
+}
+
+/// The §V lineup, one representative per flavor.
+fn lineup() -> Vec<(&'static str, IndexingMode)> {
+    vec![
+        (
+            "amri",
+            IndexingMode::Amri {
+                assessor: AssessorKind::Csria,
+                initial: None,
+            },
+        ),
+        (
+            "hash-3",
+            IndexingMode::AdaptiveHash {
+                n_indices: 3,
+                initial: None,
+            },
+        ),
+        (
+            "static-bitmap",
+            IndexingMode::StaticBitmap { configs: None },
+        ),
+        ("scan", IndexingMode::Scan),
+    ]
+}
+
+/// A budget below the mode's unconstrained peak (the all-RAM run must
+/// die) but above its spill-resident floor (stubs and index links stay
+/// in RAM; multi-hash keeps ~3 hash links per tuple resident).
+fn forcing_budget(label: &str, peak: u64) -> u64 {
+    match label {
+        "hash-3" => peak * 9 / 10,
+        _ => peak * 7 / 10,
+    }
+}
+
+fn scenario(scale: Scale, seed: u64, threads: NonZeroUsize) -> PaperScenario {
+    let mut sc = paper_scenario(scale, seed);
+    sc.engine.duration = amri_stream::VirtualDuration::from_secs(8);
+    sc.engine.budget = MemoryBudget::unlimited();
+    apply_threads(&mut sc.engine, threads);
+    sc
+}
+
+fn executor(sc: &PaperScenario, mode: IndexingMode) -> Executor<amri_synth::DriftingWorkload> {
+    Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .expect("valid engine configuration")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flags: Vec<FlagSpec> = COMMON_FLAGS
+        .iter()
+        .chain(EXTRA_FLAGS.iter())
+        .copied()
+        .collect();
+    enforce_cli(&args, "spill_matrix", &flags);
+    let scale = parse_scale(&args);
+    let seed = parse_seed(&args);
+    let threads = parse_threads(&args);
+    let out = parse_out(&args);
+    println!("spill matrix (scale {scale:?}, seed {seed}, {threads} thread(s))");
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut spilled_runs = Vec::new();
+    let mut spilled_maints = Vec::new();
+    let mut identity = String::from(
+        "label,budget,outputs,output_digest,spilled_tuples,lost_blocks,oom_without_spill,\
+         identical_outputs,crash_resume_identical,fault_outcome,fault_replay_identical\n",
+    );
+
+    for (label, mode) in lineup() {
+        let sc = scenario(scale, seed, threads);
+        let (baseline, _) = executor(&sc, mode.clone()).run_with_stats();
+        if baseline.outcome != RunOutcome::Completed {
+            violations.push(format!(
+                "{label}: unconstrained baseline must complete, got {:?}",
+                baseline.outcome
+            ));
+            continue;
+        }
+
+        let budget = forcing_budget(label, baseline.series.peak_memory());
+        let mut constrained = sc.clone();
+        constrained.engine.budget = MemoryBudget { bytes: budget };
+        let dead = executor(&constrained, mode.clone()).run();
+        let oomed = matches!(dead.outcome, RunOutcome::OutOfMemory { .. });
+        if !oomed {
+            violations.push(format!(
+                "{label}: the {budget}-byte budget must kill the all-RAM run, got {:?}",
+                dead.outcome
+            ));
+        }
+
+        let spill_dir = out.join("spill").join(label);
+        std::fs::remove_dir_all(&spill_dir).ok();
+        let mut spilled_sc = constrained.clone();
+        spilled_sc.engine.spill = Some(SpillSettings::in_dir(&spill_dir));
+        let (spilled, spilled_maint) = executor(&spilled_sc, mode.clone()).run_with_stats();
+        let identical = spilled.outcome == RunOutcome::Completed
+            && spilled.outputs == baseline.outputs
+            && spilled.output_digest == baseline.output_digest;
+        if !identical {
+            violations.push(format!(
+                "{label}: spilled run must complete with the unconstrained answer \
+                 (got {:?}, {} vs {} outputs)",
+                spilled.outcome, spilled.outputs, baseline.outputs
+            ));
+        }
+        if spilled.spill.spilled_tuples == 0 {
+            violations.push(format!("{label}: the tier never spilled"));
+        }
+
+        // Crash the same spilled configuration mid-run and resume it:
+        // recovery with the tier active must be invisible.
+        let ckpt_dir = out.join("snapshots").join(label);
+        std::fs::remove_dir_all(&ckpt_dir).ok();
+        let crash_identical = match run_until_crash(
+            executor(&spilled_sc, mode.clone()),
+            &ckpt_dir,
+            60,
+            vec![FaultKind::CrashAt { step: 200 }],
+        ) {
+            Ok(_) => match resume_latest(executor(&spilled_sc, mode.clone()), &ckpt_dir) {
+                Ok((resumed, ..)) => format!("{spilled:#?}") == format!("{resumed:#?}"),
+                Err(e) => {
+                    violations.push(format!("{label}: resume with spill failed: {e}"));
+                    false
+                }
+            },
+            Err(e) => {
+                violations.push(format!("{label}: crash run with spill failed: {e}"));
+                false
+            }
+        };
+        if !crash_identical {
+            violations.push(format!(
+                "{label}: crash+resume with spill diverged from the uninterrupted run"
+            ));
+        }
+
+        // Disk-fault storm over the same spilled configuration: torn
+        // writes are absorbed by write-verify, double read failures lose
+        // blocks, spikes charge virtual time. The outcome must be typed
+        // (Completed iff nothing was lost, else Degraded carrying the
+        // loss) and the same seed must replay bit-for-bit.
+        let mut faulted_sc = spilled_sc.clone();
+        faulted_sc.engine.faults = Some(FaultPlan {
+            seed: seed ^ 0xD15C,
+            io: IoFaultConfig {
+                torn_write_prob: 0.25,
+                read_error_prob: 0.5,
+                latency_spike_prob: 0.25,
+                spike_ns: 50_000,
+            },
+            ..FaultPlan::default()
+        });
+        let faulted = executor(&faulted_sc, mode.clone()).run();
+        let fault_outcome = match &faulted.outcome {
+            RunOutcome::Completed if faulted.spill.lost_blocks == 0 => "completed",
+            RunOutcome::Degraded { lost_tuples, .. }
+                if faulted.spill.lost_blocks > 0 && *lost_tuples > 0 =>
+            {
+                "degraded"
+            }
+            other => {
+                violations.push(format!(
+                    "{label}: disk faults must end typed (Completed/Degraded matching \
+                     the loss counters), got {other:?} with {:?}",
+                    faulted.spill
+                ));
+                "violated"
+            }
+        };
+        let fault_replay = executor(&faulted_sc, mode).run();
+        let fault_replay_identical = format!("{faulted:#?}") == format!("{fault_replay:#?}");
+        if !fault_replay_identical {
+            violations.push(format!(
+                "{label}: faulted spill run did not replay identically"
+            ));
+        }
+
+        println!(
+            "{label:>14}: budget {budget}, {} outputs, {} spilled, {} lost, \
+             oom-without-spill {oomed}, identical {identical}, crash-resume {crash_identical}, \
+             faults {fault_outcome} (replay {fault_replay_identical})",
+            spilled.outputs, spilled.spill.spilled_tuples, spilled.spill.lost_blocks
+        );
+        writeln!(
+            identity,
+            "{label},{budget},{},{:#018x},{},{},{oomed},{identical},{crash_identical},\
+             {fault_outcome},{fault_replay_identical}",
+            spilled.outputs,
+            spilled.output_digest,
+            spilled.spill.spilled_tuples,
+            spilled.spill.lost_blocks
+        )
+        .unwrap();
+        spilled_runs.push(spilled);
+        spilled_maints.push(spilled_maint);
+    }
+
+    std::fs::create_dir_all(&out).expect("create output directory");
+    // The diffable artifact: every measured column of the spilled runs —
+    // spill counters included — must be byte-identical across thread
+    // counts (ci.sh blanks only the recorded thread-count column).
+    write_summary_csv(
+        &spilled_runs,
+        &out.join("spilled_summary.csv"),
+        threads.get(),
+        &[],
+        &spilled_maints,
+    )
+    .expect("spilled summary");
+    std::fs::write(out.join("spill_identity.csv"), identity).expect("identity csv");
+    println!("summaries under {}", out.display());
+
+    if violations.is_empty() {
+        println!("spill matrix green.");
+    } else {
+        eprintln!("spill matrix violations:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,81 @@
 
 use amri_engine::EngineConfig;
 use amri_synth::scenario::Scale;
+use std::fmt::Write as _;
 use std::num::NonZeroUsize;
+
+/// One flag an experiment binary accepts: `(--name, takes a value,
+/// one-line description)`.
+pub type FlagSpec = (&'static str, bool, &'static str);
+
+/// The three flags every binary shares (see the module docs).
+pub const COMMON_FLAGS: &[FlagSpec] = &[
+    ("--quick", false, "quick scale instead of full paper scale"),
+    ("--seed", true, "master seed (default 42)"),
+    (
+        "--threads",
+        true,
+        "worker threads for sharded index execution (default 1)",
+    ),
+];
+
+/// Render the canonical usage banner for `bin` over its flag table.
+pub fn usage(bin: &str, flags: &[FlagSpec]) -> String {
+    let mut s = format!("usage: {bin} [options]\n\noptions:\n");
+    for (name, takes_value, help) in flags {
+        let left = if *takes_value {
+            format!("{name} N")
+        } else {
+            (*name).to_string()
+        };
+        let _ = writeln!(s, "  {left:<22}{help}");
+    }
+    let _ = writeln!(s, "  {:<22}print this help and exit", "-h, --help");
+    s
+}
+
+/// True if the user asked for help.
+pub fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// Scan `args` (argv, program name first) against the flag table:
+/// anything not in the table — and not a value consumed by a
+/// value-taking flag — is an error naming the offender. Typo'd flags
+/// silently falling through to defaults is how an experiment quietly
+/// runs the wrong configuration.
+///
+/// # Errors
+/// The first unknown argument, as a human-readable message.
+pub fn check_args(args: &[String], flags: &[FlagSpec]) -> Result<(), String> {
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        match flags.iter().find(|(name, ..)| name == a) {
+            Some((_, true, _)) => i += 2, // flag + its value
+            Some(_) => i += 1,
+            None if a == "--help" || a == "-h" => i += 1,
+            None => return Err(format!("unknown argument `{a}`")),
+        }
+    }
+    Ok(())
+}
+
+/// The shared front door for every experiment binary's `main`: print the
+/// usage banner and exit 0 on `--help`/`-h`, or report the first unknown
+/// argument with the banner on stderr and exit 2. Returns normally only
+/// when the argument vector is clean.
+pub fn enforce_cli(args: &[String], bin: &str, flags: &[FlagSpec]) {
+    if wants_help(args) {
+        print!("{}", usage(bin, flags));
+        std::process::exit(0);
+    }
+    if let Err(e) = check_args(args, flags) {
+        eprintln!("{bin}: {e}");
+        eprint!("{}", usage(bin, flags));
+        std::process::exit(2);
+    }
+}
 
 /// `--quick` selects [`Scale::Quick`]; otherwise [`Scale::Paper`].
 pub fn parse_scale(args: &[String]) -> Scale {
@@ -96,6 +170,44 @@ mod tests {
             parse_checkpoint_every(&argv(&["bin", "--checkpoint-every", "lots"])),
             None
         );
+    }
+
+    #[test]
+    fn unknown_arguments_are_named_and_values_are_consumed() {
+        let flags: &[FlagSpec] = &[
+            ("--quick", false, "quick scale"),
+            ("--seed", true, "seed"),
+            ("--out", true, "output dir"),
+        ];
+        assert_eq!(
+            check_args(&argv(&["bin", "--seed", "7", "--quick"]), flags),
+            Ok(())
+        );
+        // A value-taking flag's operand is not itself checked…
+        assert_eq!(
+            check_args(&argv(&["bin", "--out", "--weird-dir"]), flags),
+            Ok(())
+        );
+        // …but a bare unknown flag is an error naming the offender.
+        assert_eq!(
+            check_args(&argv(&["bin", "--quick", "--sede", "7"]), flags),
+            Err("unknown argument `--sede`".to_string())
+        );
+        // Help tokens are always accepted.
+        assert_eq!(check_args(&argv(&["bin", "-h"]), flags), Ok(()));
+        assert!(wants_help(&argv(&["bin", "--help"])));
+        assert!(!wants_help(&argv(&["bin", "--quick"])));
+    }
+
+    #[test]
+    fn usage_banner_lists_every_flag_and_help() {
+        let banner = usage("crash_matrix", COMMON_FLAGS);
+        assert!(banner.starts_with("usage: crash_matrix [options]"));
+        for (name, ..) in COMMON_FLAGS {
+            assert!(banner.contains(name), "banner must list {name}");
+        }
+        assert!(banner.contains("--seed N"), "value flags show an operand");
+        assert!(banner.contains("-h, --help"));
     }
 
     #[test]

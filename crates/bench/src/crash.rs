@@ -13,7 +13,7 @@
 use crate::report::CheckpointNote;
 use amri_engine::{
     load_latest, CheckpointPolicy, Checkpointer, EngineError, Executor, FaultKind,
-    MaintenanceStats, RunResult, StreamWorkload,
+    MaintenanceStats, RestoreReport, RunResult, StreamWorkload,
 };
 use std::path::Path;
 
@@ -42,6 +42,7 @@ pub fn run_checkpointed<W: StreamWorkload>(
         CheckpointNote {
             checkpoints_taken: ckpt.checkpoints_taken(),
             resumed_from_step: None,
+            restore_notes: String::new(),
         },
         maint,
     ))
@@ -75,9 +76,10 @@ pub fn run_until_crash<W: StreamWorkload>(
 
 /// Resume `exec` from the latest good snapshot in `dir` and run it to
 /// completion. Returns the finished result, the note recording the
-/// resume step, the maintenance ticks (restored from the snapshot and
-/// accumulated to the end — identical to an uninterrupted run's), and how
-/// many corrupt snapshots recovery had to skip.
+/// resume step (and, in its `restore_notes`, any corrupt snapshots that
+/// recovery skipped, with reasons), the maintenance ticks (restored from
+/// the snapshot and accumulated to the end — identical to an
+/// uninterrupted run's), and the full [`RestoreReport`].
 ///
 /// # Errors
 /// Any [`EngineError::Snapshot`] from loading (no usable snapshot,
@@ -85,8 +87,8 @@ pub fn run_until_crash<W: StreamWorkload>(
 pub fn resume_latest<W: StreamWorkload>(
     exec: Executor<W>,
     dir: &Path,
-) -> Result<(RunResult, CheckpointNote, MaintenanceStats, u64), EngineError> {
-    let (snap, _path, skipped) = load_latest(dir)?;
+) -> Result<(RunResult, CheckpointNote, MaintenanceStats, RestoreReport), EngineError> {
+    let (snap, report) = load_latest(dir)?;
     let step = snap.step();
     let (result, maint) = exec.resume_from(&snap)?.run_with_stats_ckpt(None, 0)?;
     Ok((
@@ -94,9 +96,10 @@ pub fn resume_latest<W: StreamWorkload>(
         CheckpointNote {
             checkpoints_taken: 0,
             resumed_from_step: Some(step),
+            restore_notes: report.notes(),
         },
         maint,
-        skipped,
+        report,
     ))
 }
 
@@ -139,8 +142,9 @@ mod tests {
         .unwrap();
         assert_eq!(step, 150);
         assert!(taken >= 3);
-        let (resumed, note, maint, skipped) = resume_latest(quick_exec(8), &dir).unwrap();
-        assert_eq!(skipped, 0);
+        let (resumed, note, maint, report) = resume_latest(quick_exec(8), &dir).unwrap();
+        assert!(report.skipped.is_empty());
+        assert_eq!(note.restore_notes, "");
         assert_eq!(note.resumed_from_step, Some(120));
         assert_eq!(format!("{baseline:#?}"), format!("{resumed:#?}"));
         // Maintenance ticks are snapshotted, so the resumed run's final
@@ -181,8 +185,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(taken, 3);
-        let (resumed, note, _maint, skipped) = resume_latest(quick_exec(4), &dir).unwrap();
-        assert_eq!(skipped, 1, "the torn image must be skipped by checksum");
+        let (resumed, note, _maint, report) = resume_latest(quick_exec(4), &dir).unwrap();
+        assert_eq!(
+            report.skipped.len(),
+            1,
+            "the torn image must be skipped by checksum"
+        );
+        assert!(
+            note.restore_notes.contains("checkpoint-000002.snap"),
+            "the skipped file must be named in the note: {}",
+            note.restore_notes
+        );
         assert_eq!(note.resumed_from_step, Some(80));
         assert_eq!(format!("{baseline:#?}"), format!("{resumed:#?}"));
         std::fs::remove_dir_all(&dir).ok();

@@ -26,7 +26,10 @@ pub mod parallel;
 pub mod report;
 pub mod training;
 
-pub use cli::{apply_threads, parse_checkpoint_every, parse_scale, parse_seed, parse_threads};
+pub use cli::{
+    apply_threads, check_args, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed,
+    parse_threads, usage, wants_help, FlagSpec, COMMON_FLAGS,
+};
 pub use crash::{resume_latest, run_checkpointed, run_until_crash};
 pub use experiments::{
     fig6_assessment, fig6_assessment_with_stats, fig6_hash, fig6_hash_with_stats, fig7_compare,

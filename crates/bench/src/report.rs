@@ -196,12 +196,17 @@ pub fn write_csv(runs: &[RunResult], path: &Path) -> std::io::Result<()> {
 /// restarted at. This lives bench-side on purpose — checkpointing is a
 /// pure observer and must not appear in [`RunResult`], whose Debug render
 /// is the byte-identity oracle the recovery tests diff.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckpointNote {
     /// Snapshots written during the run (0 when checkpointing was off).
     pub checkpoints_taken: u64,
     /// Step the run was resumed at, `None` for uninterrupted runs.
     pub resumed_from_step: Option<u64>,
+    /// Corrupt snapshot files recovery skipped on the way to the restored
+    /// one, with reasons (from
+    /// [`RestoreReport::notes`](amri_engine::RestoreReport::notes));
+    /// empty for clean restores and uninterrupted runs.
+    pub restore_notes: String,
 }
 
 /// Write one summary row per run as CSV, including the degradation and
@@ -216,6 +221,15 @@ pub struct CheckpointNote {
 /// `migrate_ns`, `migrate_stalls`); the `_ns` columns carry deterministic
 /// *virtual* ticks, not wall-clock nanoseconds, so repeated runs diff
 /// byte-for-byte. Pass `&[]` when stats were not collected (zeros).
+///
+/// The trailing spill columns come from each run's own
+/// [`SpillStats`](amri_core::SpillStats) rollup: `spilled_buckets`
+/// (blocks written to the cold store), `promoted_buckets` (blocks
+/// promoted back to RAM) and `spill_read_ns` (virtual nanoseconds charged
+/// for block reads) — zeros when no spill tier was configured. The final
+/// `notes` column carries each run's restore notes (corrupt checkpoints
+/// skipped during recovery); commas are folded to `;` to keep the CSV
+/// one-cell-per-column.
 pub fn write_summary_csv(
     runs: &[RunResult],
     path: &Path,
@@ -228,10 +242,11 @@ pub fn write_summary_csv(
          shed_jobs,evicted_tuples,first_degraded_secs,death_secs,\
          faults_dropped,faults_duplicated,faults_delayed,faults_reordered,\
          threads,checkpoints_taken,resumed_from_step,\
-         ingest_ns,migrate_ns,migrate_stalls\n",
+         ingest_ns,migrate_ns,migrate_stalls,\
+         spilled_buckets,promoted_buckets,spill_read_ns,notes\n",
     );
     for (i, r) in runs.iter().enumerate() {
-        let note = notes.get(i).copied().unwrap_or_default();
+        let note = notes.get(i).cloned().unwrap_or_default();
         let m = maint.get(i).copied().unwrap_or_default();
         let outcome = match r.outcome {
             RunOutcome::Completed => "completed",
@@ -253,7 +268,7 @@ pub fn write_summary_csv(
             .unwrap_or_default();
         writeln!(
             body,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.label,
             outcome,
             r.outputs,
@@ -273,7 +288,11 @@ pub fn write_summary_csv(
             resumed,
             m.ingest_ns,
             m.migrate_ns,
-            m.migrate_stalls
+            m.migrate_stalls,
+            r.spill.blocks_written,
+            r.spill.promoted_blocks,
+            r.spill.read_ns,
+            note.restore_notes.replace(',', ";")
         )
         .unwrap();
     }
@@ -312,6 +331,8 @@ mod tests {
             mean_job_latency_ticks: 0.0,
             degradation: Default::default(),
             faults: Default::default(),
+            spill: Default::default(),
+            output_digest: 0,
         }
     }
 
@@ -370,6 +391,7 @@ mod tests {
             first_at: VirtualTime::from_secs(12),
             shed_jobs: 7,
             evicted_tuples: 40,
+            lost_tuples: 0,
         };
         degraded.degradation.first_at = Some(VirtualTime::from_secs(12));
         degraded.degradation.shed_jobs = 7;
@@ -385,6 +407,7 @@ mod tests {
         let notes = [CheckpointNote {
             checkpoints_taken: 5,
             resumed_from_step: Some(120),
+            restore_notes: "skipped checkpoint-000002.snap (checksum mismatch, torn)".into(),
         }];
         let maint = [MaintenanceStats {
             ingest_ns: 900,
@@ -399,22 +422,29 @@ mod tests {
         assert!(
             lines[0].ends_with(
                 ",threads,checkpoints_taken,resumed_from_step,\
-                 ingest_ns,migrate_ns,migrate_stalls"
+                 ingest_ns,migrate_ns,migrate_stalls,\
+                 spilled_buckets,promoted_buckets,spill_read_ns,notes"
             ),
             "{}",
             lines[0]
         );
         assert!(lines[1].contains("degraded"), "{}", lines[1]);
         assert!(lines[1].contains(",7,40,12.000,"), "{}", lines[1]);
+        // Restore notes land in the final cell with commas folded to ';'
+        // so the row keeps one value per column.
         assert!(
-            lines[1].ends_with("3,0,0,0,4,5,120,900,70,2"),
+            lines[1].ends_with(
+                "3,0,0,0,4,5,120,900,70,2,0,0,0,\
+                 skipped checkpoint-000002.snap (checksum mismatch; torn)"
+            ),
             "{}",
             lines[1]
         );
         assert!(lines[2].contains("completed"), "{}", lines[2]);
-        // Runs without a note get zero / empty checkpoint cells, and runs
-        // without maintenance stats get zero maintenance columns.
-        assert!(lines[2].ends_with(",4,0,,0,0,0"), "{}", lines[2]);
+        // Runs without a note get zero / empty checkpoint cells, runs
+        // without maintenance stats get zero maintenance columns, and
+        // runs without a spill tier get zero spill columns.
+        assert!(lines[2].ends_with(",4,0,,0,0,0,0,0,0,"), "{}", lines[2]);
         // A degraded run has no death time.
         assert_eq!(runs[0].death_time(), None);
         std::fs::remove_dir_all(&dir).ok();

@@ -13,6 +13,7 @@ use crate::config::IndexConfig;
 use crate::cost::{CostParams, CostReceipt};
 use crate::error::CoreError;
 use crate::state::{SearchScratch, StateStore, TupleKey};
+use crate::tier::{SpillOutcome, SpillStats, SpillTier};
 use crate::tuner::{IndexTuner, TunerConfig, TunerEvent};
 use amri_stream::{AttrId, SearchRequest, StreamId, Tuple, VirtualTime, WindowSpec};
 
@@ -275,8 +276,69 @@ impl AmriState {
     }
 
     /// The stored tuple for a key returned by [`search`](Self::search).
+    /// `None` for empty slots *and* for spill-resident tuples — use
+    /// [`materialize`](Self::materialize) to read the latter back.
     pub fn tuple(&self, key: TupleKey) -> Option<&Tuple> {
         self.store.tuple(key)
+    }
+
+    /// Attach a disk spill tier; see [`StateStore::enable_spill`].
+    pub fn enable_spill(&mut self, tier: SpillTier) {
+        self.store.enable_spill(tier);
+    }
+
+    /// True iff a spill tier is attached.
+    pub fn has_tier(&self) -> bool {
+        self.store.tier().is_some()
+    }
+
+    /// Spill-resident tuples.
+    pub fn spilled_len(&self) -> usize {
+        self.store.spilled_len()
+    }
+
+    /// Fraction of live tuples that are spill-resident (0.0 without a tier).
+    pub fn spilled_frac(&self) -> f64 {
+        self.store.spilled_frac()
+    }
+
+    /// Bytes the spill tier occupies on disk (0 without a tier).
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.disk_bytes()
+    }
+
+    /// The tier's lifetime spill/promote/fault counters.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.store.spill_stats()
+    }
+
+    /// Arrival time of the oldest *RAM-resident* live tuple, if any — the
+    /// tier policy's spill victim signal.
+    pub fn oldest_resident_ts(&self) -> Option<VirtualTime> {
+        self.store.oldest_resident_ts()
+    }
+
+    /// Spill up to `max` of the oldest RAM-resident tuples to the tier;
+    /// see [`StateStore::spill_oldest`]. Returns how many moved.
+    pub fn spill_oldest(&mut self, max: usize, receipt: &mut CostReceipt) -> usize {
+        self.store.spill_oldest(max, receipt)
+    }
+
+    /// Promote the hottest spilled block back to RAM; see
+    /// [`StateStore::promote_hottest`].
+    pub fn promote_hottest(&mut self, min_reads: u32, receipt: &mut CostReceipt) -> SpillOutcome {
+        self.store.promote_hottest(min_reads, receipt)
+    }
+
+    /// Read a spill-resident tuple's full attributes back from disk; see
+    /// [`StateStore::materialize`]. `Err(lost)` reports tuples purged after
+    /// an unrecoverable block read.
+    pub fn materialize(
+        &mut self,
+        key: TupleKey,
+        receipt: &mut CostReceipt,
+    ) -> Result<Option<Tuple>, usize> {
+        self.store.materialize(key, receipt)
     }
 
     /// Take a tuning decision if due; migrates the physical index on
@@ -312,9 +374,10 @@ impl AmriState {
         receipt: &mut CostReceipt,
         exec: &dyn crate::parallel::ShardExecutor,
     ) -> Option<RetuneReport> {
+        let spilled_frac = self.store.spilled_frac();
         match self
             .tuner
-            .maybe_retune(now, lambda_d, lambda_r, window_secs)
+            .maybe_retune(now, lambda_d, lambda_r, window_secs, spilled_frac)
         {
             TunerEvent::Retune {
                 config,

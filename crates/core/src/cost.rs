@@ -41,6 +41,12 @@ pub struct CostReceipt {
     pub moved: u64,
     /// Fixed-cost operations (tuple insert/delete slots).
     pub base_ops: u64,
+    /// Virtual nanoseconds of storage-tier I/O (block reads/writes of the
+    /// disk spill tier, plus injected latency spikes). Unlike the counted
+    /// actions above this is already a time, charged straight from the
+    /// [`StorageProfile`]; zero for every purely in-memory operation, so
+    /// legacy receipts are unchanged.
+    pub io_ns: u64,
 }
 
 impl CostReceipt {
@@ -56,11 +62,115 @@ impl CostReceipt {
         self.bucket_probes += other.bucket_probes;
         self.moved += other.moved;
         self.base_ops += other.base_ops;
+        self.io_ns += other.io_ns;
     }
 
-    /// Total primitive actions (for quick assertions in tests).
+    /// Total primitive actions (for quick assertions in tests). I/O time
+    /// is not an action count and is excluded.
     pub fn total_actions(&self) -> u64 {
         self.hash_ops + self.comparisons + self.bucket_probes + self.moved + self.base_ops
+    }
+}
+
+/// Latency profile of one storage tier, in virtual nanoseconds per block
+/// operation. Folded into [`CostParams::expected_cd`] so the tuner prices
+/// probes that touch spill-resident tuples, and used to charge
+/// [`CostReceipt::io_ns`] for actual block I/O.
+///
+/// The all-zero [`Default`] models an infinitely fast disk: cost folding
+/// becomes the identity (the proptests pin this), so enabling the spill
+/// tier with the default profile is behaviorally invisible. Use
+/// [`committed_default`](Self::committed_default) for a realistic committed
+/// profile, or [`measure`](Self::measure) to benchmark the actual device —
+/// the latter is wall-clock dependent and must never be used where
+/// deterministic replay matters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageProfile {
+    /// Virtual nanoseconds to read one block.
+    pub read_ns: u64,
+    /// Virtual nanoseconds to write (and verify) one block.
+    pub write_ns: u64,
+    /// Tuples per block, for amortizing block latency to per-tuple cost.
+    pub block_tuples: u32,
+}
+
+impl Default for StorageProfile {
+    fn default() -> Self {
+        StorageProfile {
+            read_ns: 0,
+            write_ns: 0,
+            block_tuples: 64,
+        }
+    }
+}
+
+impl StorageProfile {
+    /// The committed default profile: round numbers for a local NVMe-class
+    /// device (~120 µs per 64-tuple block read) so storage-aware tuning is
+    /// reproducible without measuring anything.
+    pub fn committed_default() -> Self {
+        StorageProfile {
+            read_ns: 120_000,
+            write_ns: 180_000,
+            block_tuples: 64,
+        }
+    }
+
+    /// True iff this profile charges nothing (the identity fold).
+    pub fn is_zero(&self) -> bool {
+        self.read_ns == 0 && self.write_ns == 0
+    }
+
+    /// Amortized per-scanned-tuple read penalty, in ticks (a tick models a
+    /// microsecond): one block read shared by `block_tuples` tuples.
+    pub fn per_tuple_read_ticks(&self) -> f64 {
+        if self.block_tuples == 0 {
+            0.0
+        } else {
+            self.read_ns as f64 / 1000.0 / self.block_tuples as f64
+        }
+    }
+
+    /// Measure the actual device under `dir` by writing and re-reading a
+    /// handful of blocks, mapping wall nanoseconds 1:1 to virtual
+    /// nanoseconds. Startup calibration only — results differ run to run,
+    /// so a measured profile breaks byte-identical replay by design.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the probe file.
+    pub fn measure(dir: &std::path::Path) -> std::io::Result<Self> {
+        use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+        const BLOCKS: usize = 8;
+        const BLOCK_BYTES: usize = 64 * 138; // ~64 tuples of a typical schema
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("profile.probe");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        let block = vec![0xA5u8; BLOCK_BYTES];
+        let t0 = std::time::Instant::now();
+        for _ in 0..BLOCKS {
+            file.write_all(&block)?;
+        }
+        file.sync_data()?;
+        let write_ns = (t0.elapsed().as_nanos() as u64 / BLOCKS as u64).max(1);
+        let mut buf = vec![0u8; BLOCK_BYTES];
+        let t0 = std::time::Instant::now();
+        for i in 0..BLOCKS {
+            file.seek(SeekFrom::Start((i * BLOCK_BYTES) as u64))?;
+            file.read_exact(&mut buf)?;
+        }
+        let read_ns = (t0.elapsed().as_nanos() as u64 / BLOCKS as u64).max(1);
+        drop(file);
+        std::fs::remove_file(&path).ok();
+        Ok(StorageProfile {
+            read_ns,
+            write_ns,
+            block_tuples: 64,
+        })
     }
 }
 
@@ -85,6 +195,12 @@ pub struct CostParams {
     /// buckets the probe walk is a real cost the tuner should see. Off by
     /// default (paper-faithful Eq. 1); the engine scenarios enable it.
     pub probe_aware: bool,
+    /// Latency profile of the disk spill tier. With the all-zero default
+    /// the storage fold is the identity and `expected_cd` matches the
+    /// paper's in-memory model exactly; a nonzero profile raises the
+    /// effective per-tuple scan cost for the spill-resident fraction of
+    /// the window (see [`WorkloadProfile::spilled_frac`]).
+    pub storage: StorageProfile,
 }
 
 impl Default for CostParams {
@@ -99,6 +215,7 @@ impl Default for CostParams {
             c_move: 0.06,
             c_base: 0.10,
             probe_aware: false,
+            storage: StorageProfile::default(),
         }
     }
 }
@@ -110,7 +227,8 @@ impl CostParams {
             + self.c_c * r.comparisons as f64
             + self.c_probe * r.bucket_probes as f64
             + self.c_move * r.moved as f64
-            + self.c_base * r.base_ops as f64;
+            + self.c_base * r.base_ops as f64
+            + r.io_ns as f64 / 1000.0;
         VirtualDuration(t.round() as u64)
     }
 
@@ -126,7 +244,7 @@ impl CostParams {
             + self.c_probe * r.bucket_probes as f64
             + self.c_move * r.moved as f64
             + self.c_base * r.base_ops as f64;
-        (t * 1000.0).round() as u64
+        (t * 1000.0).round() as u64 + r.io_ns
     }
 
     /// Eq. 1: expected configuration-dependent cost rate (ticks per virtual
@@ -134,6 +252,11 @@ impl CostParams {
     pub fn expected_cd(&self, config: &IndexConfig, profile: &WorkloadProfile) -> f64 {
         let maintenance = profile.lambda_d * config.indexed_attrs() as f64 * self.c_h;
         let window_tuples = profile.lambda_d * profile.window_secs;
+        // Storage-aware scan cost: a scanned tuple is spill-resident with
+        // probability `spilled_frac` and then pays an amortized block read
+        // on top of the comparison. Zero profile or zero spill ⇒ exactly
+        // the paper's in-memory `C_c`.
+        let c_scan = self.c_c + profile.spilled_frac * self.storage.per_tuple_read_ticks();
         let mut request = 0.0;
         for stat in &profile.aps {
             // Hash only the specified attrs that the config actually indexes.
@@ -144,7 +267,7 @@ impl CostParams {
                 .count() as f64;
             let b_ap = config.pattern_bits(stat.pattern);
             let scanned = window_tuples / 2f64.powi(b_ap as i32);
-            let mut per_request = hashed * self.c_h + scanned * self.c_c;
+            let mut per_request = hashed * self.c_h + scanned * c_scan;
             if self.probe_aware {
                 // Bucket walk: 2^w candidate ids over the wildcard bits,
                 // capped by the buckets that can actually be occupied.
@@ -181,18 +304,30 @@ pub struct WorkloadProfile {
     /// Access patterns and their frequencies (need not sum to 1 if rare
     /// patterns were compressed away).
     pub aps: Vec<ApStat>,
+    /// Fraction of live window tuples resident in the disk spill tier, in
+    /// `[0, 1]`. Zero (the [`new`](Self::new) default) when no tier is
+    /// active, so existing call sites keep the pure in-memory model.
+    pub spilled_frac: f64,
 }
 
 impl WorkloadProfile {
     /// Build a profile, normalizing no frequencies (callers pass what the
-    /// assessor reported).
+    /// assessor reported). The spill-resident fraction starts at zero; set
+    /// it with [`with_spilled_frac`](Self::with_spilled_frac).
     pub fn new(lambda_d: f64, lambda_r: f64, window_secs: f64, aps: Vec<ApStat>) -> Self {
         WorkloadProfile {
             lambda_d,
             lambda_r,
             window_secs,
             aps,
+            spilled_frac: 0.0,
         }
+    }
+
+    /// Set the spill-resident fraction of the window (clamped to `[0, 1]`).
+    pub fn with_spilled_frac(mut self, frac: f64) -> Self {
+        self.spilled_frac = frac.clamp(0.0, 1.0);
+        self
     }
 }
 
@@ -216,6 +351,7 @@ mod tests {
             bucket_probes: 3,
             moved: 4,
             base_ops: 5,
+            io_ns: 6,
         };
         let b = CostReceipt {
             hash_ops: 10,
@@ -223,10 +359,13 @@ mod tests {
             bucket_probes: 30,
             moved: 40,
             base_ops: 50,
+            io_ns: 60,
         };
         a.merge(&b);
         assert_eq!(a.hash_ops, 11);
         assert_eq!(a.comparisons, 22);
+        assert_eq!(a.io_ns, 66);
+        // I/O is time, not an action — merged but not counted.
         assert_eq!(a.total_actions(), 11 + 22 + 33 + 44 + 55);
     }
 
@@ -239,6 +378,7 @@ mod tests {
             c_move: 5.0,
             c_base: 7.0,
             probe_aware: false,
+            storage: StorageProfile::default(),
         };
         let r = CostReceipt {
             hash_ops: 1,
@@ -246,9 +386,89 @@ mod tests {
             bucket_probes: 1,
             moved: 1,
             base_ops: 1,
+            io_ns: 0,
         };
         assert_eq!(p.ticks(&r), VirtualDuration(18));
         assert_eq!(p.ticks(&CostReceipt::new()), VirtualDuration(0));
+    }
+
+    #[test]
+    fn io_time_charges_ticks_and_nanos_directly() {
+        let p = CostParams::default();
+        let r = CostReceipt {
+            io_ns: 2_500,
+            ..CostReceipt::new()
+        };
+        // 2500 ns = 2.5 ticks, rounded; nanos pass through exactly.
+        assert_eq!(p.ticks(&r), VirtualDuration(3));
+        assert_eq!(p.nanos(&r), 2_500);
+        let mixed = CostReceipt {
+            comparisons: 100, // 1 tick at default c_c
+            io_ns: 1_000,
+            ..CostReceipt::new()
+        };
+        assert_eq!(p.nanos(&mixed), 2_000);
+    }
+
+    #[test]
+    fn zero_storage_profile_is_the_identity_fold() {
+        // With the all-zero profile, a fully spilled window costs exactly
+        // what the in-memory model says — the byte-identity guarantee.
+        let params = CostParams::default();
+        assert!(params.storage.is_zero());
+        let in_mem = profile(vec![ApStat {
+            pattern: ap(0b011),
+            freq: 1.0,
+        }]);
+        let spilled = in_mem.clone().with_spilled_frac(1.0);
+        let ic = IndexConfig::new(vec![3, 2, 0]).unwrap();
+        assert_eq!(
+            params.expected_cd(&ic, &in_mem),
+            params.expected_cd(&ic, &spilled)
+        );
+    }
+
+    #[test]
+    fn spilled_fraction_raises_cd_under_a_slow_disk() {
+        let params = CostParams {
+            storage: StorageProfile::committed_default(),
+            ..CostParams::default()
+        };
+        let base = profile(vec![ApStat {
+            pattern: ap(0b001),
+            freq: 1.0,
+        }]);
+        let ic = IndexConfig::new(vec![2, 0, 0]).unwrap();
+        let cd_mem = params.expected_cd(&ic, &base);
+        let cd_half = params.expected_cd(&ic, &base.clone().with_spilled_frac(0.5));
+        let cd_full = params.expected_cd(&ic, &base.clone().with_spilled_frac(1.0));
+        assert!(cd_mem < cd_half, "{cd_mem} vs {cd_half}");
+        assert!(cd_half < cd_full, "{cd_half} vs {cd_full}");
+    }
+
+    #[test]
+    fn spilled_frac_builder_clamps() {
+        let p = profile(vec![]).with_spilled_frac(7.0);
+        assert_eq!(p.spilled_frac, 1.0);
+        let p = profile(vec![]).with_spilled_frac(-1.0);
+        assert_eq!(p.spilled_frac, 0.0);
+    }
+
+    #[test]
+    fn per_tuple_read_ticks_amortizes_over_the_block() {
+        let prof = StorageProfile {
+            read_ns: 128_000,
+            write_ns: 0,
+            block_tuples: 64,
+        };
+        // 128 µs per 64-tuple block ⇒ 2 ticks per tuple.
+        assert!((prof.per_tuple_read_ticks() - 2.0).abs() < 1e-12);
+        let degenerate = StorageProfile {
+            read_ns: 1,
+            write_ns: 1,
+            block_tuples: 0,
+        };
+        assert_eq!(degenerate.per_tuple_read_ticks(), 0.0);
     }
 
     #[test]

@@ -37,6 +37,18 @@ pub fn hash_link_bytes(jas_width: usize) -> u64 {
 /// Per-access-pattern statistics entry in an assessor table.
 pub const ASSESS_ENTRY_BYTES: u64 = 32;
 
+/// RAM footprint of a spill-resident tuple's stub: arena slot header,
+/// timestamp, block id, plus the JAS values kept inline so index probes
+/// and expiry never touch disk. The payload and non-JAS attributes live in
+/// the block store.
+pub fn spilled_stub_bytes(jas_width: usize) -> u64 {
+    32 + ATTR_BYTES * jas_width as u64
+}
+
+/// Per-block metadata the spill tier keeps in RAM: file offset, length,
+/// tuple count, read counter.
+pub const BLOCK_META_BYTES: u64 = 24;
+
 /// Bytes a queued (backlogged) search request pins: the partial tuple, the
 /// request descriptor and queue bookkeeping.
 pub fn queued_request_bytes(n_streams: usize, attrs_per_stream: usize) -> u64 {
@@ -60,5 +72,14 @@ mod tests {
     fn constants_are_plausible() {
         assert_eq!(bucket_entry_bytes(3), 8 + 24);
         assert!(queued_request_bytes(4, 3) > 48);
+    }
+
+    #[test]
+    fn spilling_actually_frees_memory() {
+        // The tier only helps if a stub costs less than a resident tuple
+        // even before counting payload bytes.
+        for w in 1..=8 {
+            assert!(spilled_stub_bytes(w) < TUPLE_BASE_BYTES + ATTR_BYTES * w as u64);
+        }
     }
 }

@@ -26,6 +26,8 @@
 //!   (§IV-C, §IV-D), behind one [`Assessor`] trait.
 //! * [`selection`] — picking the cheapest configuration for a set of
 //!   frequent patterns (greedy marginal-gain + exhaustive reference).
+//! * [`tier`] — the disk spill tier: checksummed append-only block store
+//!   cold window buckets migrate into, with seeded I/O fault injection.
 //! * [`tuner`] — the online tuning loop: assess → select → migrate.
 //! * [`amri`] — [`AmriState`], the glued-together product:
 //!   a tuned bit-address-indexed state ready for an AMR engine.
@@ -104,16 +106,21 @@ pub mod scan;
 pub mod selection;
 pub mod snapshot_io;
 pub mod state;
+pub mod tier;
 pub mod tuner;
 
 pub use amri::AmriState;
 pub use assess::{Assessor, AssessorKind};
 pub use bitaddr::{BitAddressIndex, IngestStage};
 pub use config::IndexConfig;
-pub use cost::{ApStat, CostParams, CostReceipt, WorkloadProfile};
+pub use cost::{ApStat, CostParams, CostReceipt, StorageProfile, WorkloadProfile};
 pub use error::CoreError;
 pub use hash_index::MultiHashIndex;
 pub use parallel::{SequentialExecutor, ShardExecutor, SlotArena};
 pub use scan::ScanIndex;
 pub use state::{SearchOutcome, SearchScratch, StagedIndex, StateIndex, StateStore, TupleKey};
+pub use tier::{
+    BlockMeta, BlockReadError, BlockWriteError, IoFaultConfig, SpillConfig, SpillOutcome,
+    SpillStats, SpillTier,
+};
 pub use tuner::{IndexTuner, TunerConfig, TunerEvent};

@@ -280,5 +280,88 @@ mod tests {
                 params.expected_cd(&ic, &prof) <= params.expected_cd(&trivial, &prof)
             );
         }
+
+        /// A zero-read-latency storage profile is the identity fold: `C_D`
+        /// and the selected configuration are *bitwise* those of the pure
+        /// in-memory cost model, for any spilled fraction. This is the
+        /// invariant the CI byte-identity pins rest on.
+        #[test]
+        fn zero_latency_disk_is_the_in_memory_model(
+            freqs in proptest::collection::vec(0.01f64..1.0, 7),
+            frac in 0.0f64..1.0,
+            budget in 1u32..8,
+            write_ns in 0u64..1_000_000,
+            block_tuples in 1u32..512,
+        ) {
+            let total: f64 = freqs.iter().sum();
+            let aps: Vec<(u32, f64)> = freqs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| ((i + 1) as u32, f / total))
+                .collect();
+            let prof = profile(aps).with_spilled_frac(frac);
+            let mem = CostParams::default();
+            let disk = CostParams {
+                storage: crate::cost::StorageProfile {
+                    read_ns: 0,
+                    write_ns,
+                    block_tuples,
+                },
+                ..CostParams::default()
+            };
+            let ic_mem = select_config_greedy(budget, 3, &prof, &mem);
+            let ic_disk = select_config_greedy(budget, 3, &prof, &disk);
+            prop_assert_eq!(&ic_mem, &ic_disk, "selection must not see a zero-latency disk");
+            prop_assert_eq!(
+                mem.expected_cd(&ic_mem, &prof).to_bits(),
+                disk.expected_cd(&ic_disk, &prof).to_bits(),
+                "C_D must be bitwise identical under a zero-latency profile"
+            );
+        }
+
+        /// IC selection is monotone in disk latency: a slower disk never
+        /// makes the tuner choose a configuration that leaves *more* tuples
+        /// on the (partly spill-resident) scan path. The scanned count of a
+        /// chosen IC is recovered from the cost identity
+        /// `cd_disk - cd_mem = spilled_frac · per_tuple_read_ticks · scanned`.
+        #[test]
+        fn selection_monotone_in_disk_latency(
+            freqs in proptest::collection::vec(0.01f64..1.0, 7),
+            frac in 0.1f64..1.0,
+            budget in 1u32..8,
+            read_lo in 1u64..100_000,
+            step in 1u64..2_000_000,
+        ) {
+            let total: f64 = freqs.iter().sum();
+            let aps: Vec<(u32, f64)> = freqs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| ((i + 1) as u32, f / total))
+                .collect();
+            let prof = profile(aps).with_spilled_frac(frac);
+            let params_at = |read_ns: u64| CostParams {
+                storage: crate::cost::StorageProfile {
+                    read_ns,
+                    write_ns: 0,
+                    block_tuples: 1,
+                },
+                ..CostParams::default()
+            };
+            // Expected scanned tuples of `ic` under `prof`, via the identity
+            // above with a unit-tick reference disk (1000 ns/tuple = 1 tick).
+            let scanned_of = |ic: &IndexConfig| {
+                let unit = params_at(1000);
+                (unit.expected_cd(ic, &prof)
+                    - CostParams::default().expected_cd(ic, &prof))
+                    / frac
+            };
+            let slow = select_config_greedy(budget, 3, &prof, &params_at(read_lo + step));
+            let fast = select_config_greedy(budget, 3, &prof, &params_at(read_lo));
+            prop_assert!(
+                scanned_of(&slow) <= scanned_of(&fast) + 1e-9,
+                "slower disk chose a scan-heavier IC: {slow} ({}) vs {fast} ({})",
+                scanned_of(&slow), scanned_of(&fast)
+            );
+        }
     }
 }

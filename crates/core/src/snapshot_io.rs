@@ -2,7 +2,7 @@
 //! encoder/decoder from `amri-stream` plus small shared helpers, so every
 //! `save`/`restore` pair in this crate speaks one dialect.
 
-pub use amri_stream::{SectionReader, SectionWriter, SnapshotError};
+pub use amri_stream::{open_block, seal_block, SectionReader, SectionWriter, SnapshotError};
 
 /// Read and verify a structure tag. Each `save` implementation opens its
 /// section body with a short ASCII tag; `restore` calls this first so a

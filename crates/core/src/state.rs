@@ -10,8 +10,9 @@
 
 use crate::cost::CostReceipt;
 use crate::layout;
+use crate::tier::{BlockReadError, SpillOutcome, SpillStats, SpillTier};
 use amri_stream::{
-    AttrId, AttrVec, SearchRequest, StreamId, Tuple, VirtualTime, WindowBuffer, WindowSpec,
+    AttrId, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualTime, WindowBuffer, WindowSpec,
 };
 
 /// Key of a stored tuple within its state's arena.
@@ -271,11 +272,50 @@ pub trait StagedIndex: StateIndex {
     ) -> bool;
 }
 
-/// One stored tuple plus its extracted JAS values.
+/// One arena slot's contents: a fully resident tuple, or the RAM stub of
+/// a tuple whose attributes live in a disk spill block. The stub keeps
+/// everything index probes, the scan fallback, and expiry need (arrival
+/// time + inline JAS values), so only materializing a probe *hit* reads
+/// the block.
 #[derive(Debug, Clone, Copy)]
-struct StoredTuple {
-    tuple: Tuple,
-    jas_values: AttrVec,
+enum StoredTuple {
+    /// Fully in RAM.
+    Resident {
+        /// The stored tuple.
+        tuple: Tuple,
+        /// Its JAS-aligned values, extracted at insert.
+        jas_values: AttrVec,
+    },
+    /// Attributes spilled to disk; only the probe-relevant stub remains.
+    Spilled {
+        /// Tuple identity (needed to rebuild the tuple on materialize).
+        id: TupleId,
+        /// Arrival time (window membership).
+        ts: VirtualTime,
+        /// Inline JAS values (index/scan comparisons without disk).
+        jas_values: AttrVec,
+        /// Spill block holding the full attributes.
+        block: u32,
+    },
+}
+
+impl StoredTuple {
+    #[inline]
+    fn jas_values(&self) -> &AttrVec {
+        match self {
+            StoredTuple::Resident { jas_values, .. } | StoredTuple::Spilled { jas_values, .. } => {
+                jas_values
+            }
+        }
+    }
+
+    #[inline]
+    fn tuple(&self) -> Option<&Tuple> {
+        match self {
+            StoredTuple::Resident { tuple, .. } => Some(tuple),
+            StoredTuple::Spilled { .. } => None,
+        }
+    }
 }
 
 /// A minimal slab allocator: stable `u32` keys, O(1) insert/remove, dense
@@ -313,6 +353,10 @@ impl Slab {
         self.slots.get(key.0 as usize)?.as_ref()
     }
 
+    fn get_mut(&mut self, key: TupleKey) -> Option<&mut StoredTuple> {
+        self.slots.get_mut(key.0 as usize)?.as_mut()
+    }
+
     fn iter(&self) -> impl Iterator<Item = (TupleKey, &StoredTuple)> {
         self.slots
             .iter()
@@ -335,6 +379,10 @@ pub struct StateStore<I> {
     /// Reusable drain buffer for [`StateStore::expire`] (borrow discipline:
     /// the window queue and the arena/index cannot be borrowed at once).
     expire_buf: Vec<TupleKey>,
+    /// The disk spill tier, when enabled for this state.
+    tier: Option<SpillTier>,
+    /// Live slots currently spill-resident (stub in RAM, attrs on disk).
+    spilled: usize,
 }
 
 impl<I: StateIndex> StateStore<I> {
@@ -349,6 +397,8 @@ impl<I: StateIndex> StateStore<I> {
             index,
             payload_bytes: 0,
             expire_buf: Vec::new(),
+            tier: None,
+            spilled: 0,
         }
     }
 
@@ -418,7 +468,9 @@ impl<I: StateIndex> StateStore<I> {
     pub fn insert(&mut self, tuple: Tuple, receipt: &mut CostReceipt) -> TupleKey {
         assert_eq!(tuple.stream, self.stream, "tuple from wrong stream");
         let jas_values = self.jas_values(&tuple);
-        let key = self.arena.insert(StoredTuple { tuple, jas_values });
+        let key = self
+            .arena
+            .insert(StoredTuple::Resident { tuple, jas_values });
         self.window.push(tuple.ts, key);
         receipt.base_ops += 1;
         self.index.insert(key, &jas_values, receipt);
@@ -464,7 +516,9 @@ impl<I: StateIndex> StateStore<I> {
         for tuple in tuples {
             assert_eq!(tuple.stream, self.stream, "tuple from wrong stream");
             let jas_values = self.jas_values(&tuple);
-            let key = self.arena.insert(StoredTuple { tuple, jas_values });
+            let key = self
+                .arena
+                .insert(StoredTuple::Resident { tuple, jas_values });
             self.window.push(tuple.ts, key);
             receipt.base_ops += 1;
             staged.push((key, jas_values));
@@ -485,8 +539,9 @@ impl<I: StateIndex> StateStore<I> {
         expired.extend(self.window.expire(now).map(|(_, k)| k));
         for &key in &expired {
             if let Some(stored) = self.arena.remove(key) {
+                self.note_removed(&stored);
                 receipt.base_ops += 1;
-                self.index.remove(key, &stored.jas_values, receipt);
+                self.index.remove(key, stored.jas_values(), receipt);
                 removed += 1;
             }
         }
@@ -494,11 +549,32 @@ impl<I: StateIndex> StateStore<I> {
         removed
     }
 
+    /// Bookkeeping for a slot leaving the arena: a spilled stub releases
+    /// its block reference.
+    fn note_removed(&mut self, stored: &StoredTuple) {
+        if let StoredTuple::Spilled { block, .. } = stored {
+            self.spilled -= 1;
+            if let Some(tier) = self.tier.as_mut() {
+                tier.note_dropped(*block);
+            }
+        }
+    }
+
     /// Arrival time of the oldest live tuple, if any — the eviction-order
     /// key a memory-pressure governor compares across states.
     #[inline]
     pub fn oldest_ts(&self) -> Option<VirtualTime> {
         self.window.oldest_ts()
+    }
+
+    /// Arrival time of the oldest tuple still fully in RAM — the victim
+    /// key the tier policy compares across states when choosing where to
+    /// spill next. Skips spill-resident stubs (promotion punches holes in
+    /// the spilled prefix, so this walks rather than peeks).
+    pub fn oldest_resident_ts(&self) -> Option<VirtualTime> {
+        self.window.iter().find_map(|&(ts, key)| {
+            matches!(self.arena.get(key), Some(StoredTuple::Resident { .. })).then_some(ts)
+        })
     }
 
     /// Forcibly remove up to `max` of the **oldest** live tuples — the
@@ -515,8 +591,9 @@ impl<I: StateIndex> StateStore<I> {
                 break;
             };
             if let Some(stored) = self.arena.remove(key) {
+                self.note_removed(&stored);
                 receipt.base_ops += 1;
-                self.index.remove(key, &stored.jas_values, receipt);
+                self.index.remove(key, stored.jas_values(), receipt);
                 evicted += 1;
             }
         }
@@ -540,8 +617,9 @@ impl<I: StateIndex> StateStore<I> {
                 break;
             };
             if let Some(stored) = self.arena.remove(key) {
+                self.note_removed(&stored);
                 receipt.base_ops += 1;
-                batch.push((key, stored.jas_values));
+                batch.push((key, *stored.jas_values()));
             }
         }
         self.index.remove_batch_with(&batch, receipt, exec);
@@ -570,7 +648,7 @@ impl<I: StateIndex> StateStore<I> {
                 // over inline JAS values (§I-A's "complete scans" are
                 // what drown the few-index access modules).
                 receipt.comparisons += 2;
-                if req.matches(&stored.jas_values) {
+                if req.matches(stored.jas_values()) {
                     scratch.hits.push(key);
                 }
             }
@@ -594,7 +672,7 @@ impl<I: StateIndex> StateStore<I> {
             scratch.hits.clear();
             for (key, stored) in self.arena.iter() {
                 receipt.comparisons += 2;
-                if req.matches(&stored.jas_values) {
+                if req.matches(stored.jas_values()) {
                     scratch.hits.push(key);
                 }
             }
@@ -662,30 +740,292 @@ impl<I: StateIndex> StateStore<I> {
         scratch.hits
     }
 
-    /// The stored tuple for `key`, if live.
+    /// The stored tuple for `key`, if live **and fully in RAM**. A
+    /// spill-resident key returns `None`; use
+    /// [`materialize`](Self::materialize) to read it back from disk.
     pub fn tuple(&self, key: TupleKey) -> Option<&Tuple> {
-        self.arena.get(key).map(|s| &s.tuple)
+        self.arena.get(key).and_then(|s| s.tuple())
     }
 
-    /// The stored JAS values for `key`, if live.
+    /// The stored JAS values for `key`, if live (spilled stubs included —
+    /// JAS values never leave RAM).
     pub fn jas_of(&self, key: TupleKey) -> Option<&AttrVec> {
-        self.arena.get(key).map(|s| &s.jas_values)
+        self.arena.get(key).map(|s| s.jas_values())
     }
 
     /// Iterate over `(key, jas_values)` of live tuples (used by index
-    /// migration and by tests).
+    /// migration and by tests). Spilled stubs participate: their JAS
+    /// values are inline, so migration never touches disk.
     pub fn iter_jas(&self) -> impl Iterator<Item = (TupleKey, &AttrVec)> {
-        self.arena.iter().map(|(k, s)| (k, &s.jas_values))
+        self.arena.iter().map(|(k, s)| (k, s.jas_values()))
     }
 
-    /// Bytes this state occupies: tuples (base + attrs + payload) plus the
-    /// index and the window queue.
+    /// Bytes this state occupies in RAM: resident tuples at full cost
+    /// (base + attrs + payload), spilled tuples at stub cost, plus the
+    /// index, the window queue, and the tier's metadata table. Spilled
+    /// attribute/payload bytes live on disk and are reported by
+    /// [`disk_bytes`](Self::disk_bytes) instead.
     pub fn memory_bytes(&self) -> u64 {
         let per_tuple = layout::TUPLE_BASE_BYTES
             + layout::ATTR_BYTES * self.jas.len() as u64
             + self.payload_bytes as u64
             + 16; // window-queue slot
-        self.arena.len as u64 * per_tuple + self.index.memory_bytes()
+        let resident = (self.arena.len - self.spilled) as u64;
+        let stub = layout::spilled_stub_bytes(self.jas.len()) + 16;
+        let tier_meta = self.tier.as_ref().map_or(0, |t| t.meta_bytes());
+        resident * per_tuple + self.spilled as u64 * stub + self.index.memory_bytes() + tier_meta
+    }
+
+    /// Attach a disk spill tier to this state. Call before any tuple is
+    /// stored; the runtime enables spilling at engine construction.
+    pub fn enable_spill(&mut self, tier: SpillTier) {
+        self.tier = Some(tier);
+    }
+
+    /// The spill tier, when enabled.
+    #[inline]
+    pub fn tier(&self) -> Option<&SpillTier> {
+        self.tier.as_ref()
+    }
+
+    /// The tier's replay-identical operation counters (zeros without a
+    /// tier).
+    pub fn spill_stats(&self) -> SpillStats {
+        self.tier.as_ref().map(|t| *t.stats()).unwrap_or_default()
+    }
+
+    /// Live tuples currently spill-resident.
+    #[inline]
+    pub fn spilled_len(&self) -> usize {
+        self.spilled
+    }
+
+    /// Fraction of live tuples that are spill-resident, in `[0, 1]` —
+    /// what the tuner folds into the storage-aware `C_D`.
+    pub fn spilled_frac(&self) -> f64 {
+        if self.arena.len == 0 {
+            0.0
+        } else {
+            self.spilled as f64 / self.arena.len as f64
+        }
+    }
+
+    /// Bytes of live spilled data on disk (informational; not RAM).
+    pub fn disk_bytes(&self) -> u64 {
+        self.tier.as_ref().map_or(0, |t| t.disk_bytes())
+    }
+
+    /// Spill up to `max` of the **oldest resident** tuples into one disk
+    /// block, leaving probe-ready stubs behind. Walks the window in
+    /// arrival order, skipping tuples that are already spilled. Returns
+    /// how many tuples moved; `0` with no tier, nothing resident, or a
+    /// persistently torn write (in which case every tuple simply stays
+    /// resident — a torn block never loses data).
+    pub fn spill_oldest(&mut self, max: usize, receipt: &mut CostReceipt) -> usize {
+        if self.tier.is_none() || max == 0 {
+            return 0;
+        }
+        let mut victims: Vec<TupleKey> = Vec::with_capacity(max);
+        for &(_, key) in self.window.iter() {
+            if victims.len() >= max {
+                break;
+            }
+            if matches!(self.arena.get(key), Some(StoredTuple::Resident { .. })) {
+                victims.push(key);
+            }
+        }
+        if victims.is_empty() {
+            return 0;
+        }
+        let mut body = crate::snapshot_io::SectionWriter::new();
+        body.put_usize(victims.len());
+        for &key in &victims {
+            let Some(StoredTuple::Resident { tuple, .. }) = self.arena.get(key) else {
+                unreachable!("victim vanished between walk and write");
+            };
+            body.put_u32(key.0);
+            body.put_u64(tuple.id.0);
+            body.put_time(tuple.ts);
+            body.put_attrs(&tuple.attrs);
+        }
+        let written = self
+            .tier
+            .as_mut()
+            .expect("tier checked above")
+            .append_block(body, victims.len() as u32, receipt);
+        match written {
+            Ok(block) => {
+                for &key in &victims {
+                    if let Some(slot) = self.arena.get_mut(key) {
+                        if let StoredTuple::Resident { tuple, jas_values } = *slot {
+                            *slot = StoredTuple::Spilled {
+                                id: tuple.id,
+                                ts: tuple.ts,
+                                jas_values,
+                                block,
+                            };
+                            self.spilled += 1;
+                        }
+                    }
+                }
+                victims.len()
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Promote the hottest spill block (most materialization reads, at
+    /// least `min_reads`) back to RAM, rebuilding full tuples from the
+    /// block and retiring it. A block that fails to read is purged
+    /// instead: its stubs are removed and counted as lost.
+    pub fn promote_hottest(&mut self, min_reads: u32, receipt: &mut CostReceipt) -> SpillOutcome {
+        let Some(block) = self.tier.as_ref().and_then(|t| t.hottest_block(min_reads)) else {
+            return SpillOutcome::default();
+        };
+        let read = self
+            .tier
+            .as_mut()
+            .expect("tier checked above")
+            .read_block(block, receipt);
+        match read {
+            Ok(frame) => match self.rebuild_from_frame(block, &frame) {
+                Some(promoted) => {
+                    let tier = self.tier.as_mut().expect("tier checked above");
+                    tier.mark_dead(block, false);
+                    tier.note_promoted(promoted as u64);
+                    SpillOutcome {
+                        moved: promoted,
+                        lost: 0,
+                    }
+                }
+                None => SpillOutcome {
+                    moved: 0,
+                    lost: self.purge_block(block, receipt),
+                },
+            },
+            Err(BlockReadError::Gone) => SpillOutcome::default(),
+            Err(_) => SpillOutcome {
+                moved: 0,
+                lost: self.purge_block(block, receipt),
+            },
+        }
+    }
+
+    /// Decode a verified block frame and convert its still-live stubs back
+    /// to resident tuples. Returns `None` on a decode mismatch (treated as
+    /// corruption by the caller).
+    fn rebuild_from_frame(&mut self, block: u32, frame: &[u8]) -> Option<usize> {
+        let mut r = crate::snapshot_io::open_block(frame).ok()?;
+        let n = r.get_usize().ok()?;
+        let mut promoted = 0;
+        for _ in 0..n {
+            let key = TupleKey(r.get_u32().ok()?);
+            let id = TupleId(r.get_u64().ok()?);
+            let ts = r.get_time().ok()?;
+            let attrs = r.get_attrs().ok()?;
+            if let Some(slot) = self.arena.get_mut(key) {
+                if let StoredTuple::Spilled {
+                    id: sid,
+                    jas_values,
+                    block: b,
+                    ..
+                } = *slot
+                {
+                    if b == block && sid == id {
+                        *slot = StoredTuple::Resident {
+                            tuple: Tuple::new(id, self.stream, ts, attrs),
+                            jas_values,
+                        };
+                        self.spilled -= 1;
+                        promoted += 1;
+                    }
+                }
+            }
+        }
+        Some(promoted)
+    }
+
+    /// Read the full tuple behind `key`, from RAM or from its spill
+    /// block. `Ok(None)` for a dead key.
+    ///
+    /// # Errors
+    /// When the block is lost (double injected read error, checksum
+    /// corruption, or a real filesystem failure), every stub of that
+    /// block — `key` included — is purged from the state and the number
+    /// of tuples lost is returned; the caller converts that into a typed
+    /// degradation instead of a panic.
+    pub fn materialize(
+        &mut self,
+        key: TupleKey,
+        receipt: &mut CostReceipt,
+    ) -> Result<Option<Tuple>, usize> {
+        let block = match self.arena.get(key) {
+            None => return Ok(None),
+            Some(StoredTuple::Resident { tuple, .. }) => return Ok(Some(*tuple)),
+            Some(StoredTuple::Spilled { block, .. }) => *block,
+        };
+        let read = self
+            .tier
+            .as_mut()
+            .expect("spilled slot requires a tier")
+            .read_block(block, receipt);
+        match read {
+            Ok(frame) => {
+                if let Some(tuple) = self.find_in_frame(key, &frame) {
+                    Ok(Some(tuple))
+                } else {
+                    // The frame verified but does not hold this key: the
+                    // metadata and the file disagree — treat as corruption.
+                    Err(self.purge_block(block, receipt))
+                }
+            }
+            Err(_) => Err(self.purge_block(block, receipt)),
+        }
+    }
+
+    /// Scan a verified frame for `key`'s entry.
+    fn find_in_frame(&self, key: TupleKey, frame: &[u8]) -> Option<Tuple> {
+        let mut r = crate::snapshot_io::open_block(frame).ok()?;
+        let n = r.get_usize().ok()?;
+        for _ in 0..n {
+            let k = TupleKey(r.get_u32().ok()?);
+            let id = TupleId(r.get_u64().ok()?);
+            let ts = r.get_time().ok()?;
+            let attrs = r.get_attrs().ok()?;
+            if k == key {
+                return Some(Tuple::new(id, self.stream, ts, attrs));
+            }
+        }
+        None
+    }
+
+    /// Drop every stub referencing `block` — the typed-degradation path
+    /// for a lost block. Stubs are unindexed through the normal `remove`
+    /// path and pulled from the window queue; the block is marked dead.
+    /// Returns how many tuples were lost.
+    pub fn purge_block(&mut self, block: u32, receipt: &mut CostReceipt) -> usize {
+        let victims: Vec<TupleKey> = self
+            .arena
+            .iter()
+            .filter_map(|(k, s)| match s {
+                StoredTuple::Spilled { block: b, .. } if *b == block => Some(k),
+                _ => None,
+            })
+            .collect();
+        for &key in &victims {
+            if let Some(stored) = self.arena.remove(key) {
+                receipt.base_ops += 1;
+                self.index.remove(key, stored.jas_values(), receipt);
+                self.spilled -= 1;
+            }
+        }
+        if !victims.is_empty() {
+            self.window.retain(|key| !victims.contains(key));
+        }
+        if let Some(tier) = self.tier.as_mut() {
+            tier.mark_dead(block, true);
+        }
+        victims.len()
     }
 
     /// Serialize the stored contents — arena slots verbatim (holes and
@@ -698,16 +1038,29 @@ impl<I: StateIndex> StateStore<I> {
         w.put_str("STATE");
         w.put_usize(self.arena.slots.len());
         for slot in &self.arena.slots {
+            // Per-slot tag: 0 empty, 1 resident, 2 spilled stub.
             match slot {
-                Some(stored) => {
-                    w.put_bool(true);
-                    w.put_u64(stored.tuple.id.0);
-                    w.put_u16(stored.tuple.stream.0);
-                    w.put_time(stored.tuple.ts);
-                    w.put_attrs(&stored.tuple.attrs);
-                    w.put_attrs(&stored.jas_values);
+                Some(StoredTuple::Resident { tuple, jas_values }) => {
+                    w.put_u8(1);
+                    w.put_u64(tuple.id.0);
+                    w.put_u16(tuple.stream.0);
+                    w.put_time(tuple.ts);
+                    w.put_attrs(&tuple.attrs);
+                    w.put_attrs(jas_values);
                 }
-                None => w.put_bool(false),
+                Some(StoredTuple::Spilled {
+                    id,
+                    ts,
+                    jas_values,
+                    block,
+                }) => {
+                    w.put_u8(2);
+                    w.put_u64(id.0);
+                    w.put_time(*ts);
+                    w.put_attrs(jas_values);
+                    w.put_u32(*block);
+                }
+                None => w.put_u8(0),
             }
         }
         w.put_usize(self.arena.free.len());
@@ -715,6 +1068,12 @@ impl<I: StateIndex> StateStore<I> {
             w.put_u32(k);
         }
         self.window.save_items(w, |w, key| w.put_u32(key.0));
+        // Tier subsection: metadata, coin stream, and live block contents,
+        // so a restore rebuilds the block file at exactly this step.
+        w.put_bool(self.tier.is_some());
+        if let Some(tier) = &self.tier {
+            tier.save(w);
+        }
     }
 
     /// Overwrite this state's stored contents from a
@@ -729,20 +1088,41 @@ impl<I: StateIndex> StateStore<I> {
         crate::snapshot_io::expect_tag(r, "STATE")?;
         let n_slots = r.get_usize()?;
         let mut arena = Slab::default();
+        let mut spilled = 0usize;
         for _ in 0..n_slots {
-            if r.get_bool()? {
-                let id = amri_stream::TupleId(r.get_u64()?);
-                let stream = StreamId(r.get_u16()?);
-                let ts = r.get_time()?;
-                let attrs = r.get_attrs()?;
-                let jas_values = r.get_attrs()?;
-                arena.slots.push(Some(StoredTuple {
-                    tuple: Tuple::new(id, stream, ts, attrs),
-                    jas_values,
-                }));
-                arena.len += 1;
-            } else {
-                arena.slots.push(None);
+            match r.get_u8()? {
+                1 => {
+                    let id = TupleId(r.get_u64()?);
+                    let stream = StreamId(r.get_u16()?);
+                    let ts = r.get_time()?;
+                    let attrs = r.get_attrs()?;
+                    let jas_values = r.get_attrs()?;
+                    arena.slots.push(Some(StoredTuple::Resident {
+                        tuple: Tuple::new(id, stream, ts, attrs),
+                        jas_values,
+                    }));
+                    arena.len += 1;
+                }
+                2 => {
+                    let id = TupleId(r.get_u64()?);
+                    let ts = r.get_time()?;
+                    let jas_values = r.get_attrs()?;
+                    let block = r.get_u32()?;
+                    arena.slots.push(Some(StoredTuple::Spilled {
+                        id,
+                        ts,
+                        jas_values,
+                        block,
+                    }));
+                    arena.len += 1;
+                    spilled += 1;
+                }
+                0 => arena.slots.push(None),
+                tag => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "unknown arena slot tag {tag}"
+                    )))
+                }
             }
         }
         let n_free = r.get_usize()?;
@@ -765,8 +1145,22 @@ impl<I: StateIndex> StateStore<I> {
         let window = amri_stream::WindowBuffer::load_items(self.window.spec(), r, |r| {
             Ok(TupleKey(r.get_u32()?))
         })?;
+        let has_tier = r.get_bool()?;
+        match (self.tier.as_mut(), has_tier) {
+            (Some(tier), true) => tier.restore_from(r)?,
+            (None, true) => {
+                return Err(SnapshotError::Malformed(
+                    "snapshot carries a spill tier but this state has none configured".into(),
+                ))
+            }
+            // A snapshot without a tier restores into a (fresh, empty)
+            // tier or into a tierless state unchanged; with no spilled
+            // slots there is nothing to reconcile.
+            (_, false) => {}
+        }
         self.arena = arena;
         self.window = window;
+        self.spilled = spilled;
         Ok(())
     }
 }
@@ -787,7 +1181,9 @@ impl<I: StagedIndex> StateStore<I> {
     ) -> TupleKey {
         assert_eq!(tuple.stream, self.stream, "tuple from wrong stream");
         let jas_values = self.jas_values(&tuple);
-        let key = self.arena.insert(StoredTuple { tuple, jas_values });
+        let key = self
+            .arena
+            .insert(StoredTuple::Resident { tuple, jas_values });
         self.window.push(tuple.ts, key);
         receipt.base_ops += 1;
         self.index.stage_insert(key, &jas_values, receipt, stage);
@@ -811,9 +1207,10 @@ impl<I: StagedIndex> StateStore<I> {
         expired.extend(self.window.expire(now).map(|(_, k)| k));
         for &key in &expired {
             if let Some(stored) = self.arena.remove(key) {
+                self.note_removed(&stored);
                 receipt.base_ops += 1;
                 self.index
-                    .stage_remove(key, &stored.jas_values, receipt, stage);
+                    .stage_remove(key, stored.jas_values(), receipt, stage);
                 removed += 1;
             }
         }
@@ -850,7 +1247,7 @@ impl<I: StagedIndex> StateStore<I> {
             scratch.hits.clear();
             for (key, stored) in self.arena.iter() {
                 receipt.comparisons += 2;
-                if req.matches(&stored.jas_values) {
+                if req.matches(stored.jas_values()) {
                     scratch.hits.push(key);
                 }
             }
@@ -1050,6 +1447,161 @@ mod tests {
             search_vec(&batched, &req, &mut CostReceipt::new()),
             search_vec(&sequential, &req, &mut CostReceipt::new()),
         );
+    }
+
+    fn spill_store(tag: &str, faults: crate::tier::IoFaultConfig) -> StateStore<ScanIndex> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("amri-state-spill-{}-{tag}-{n}", std::process::id()));
+        let tier = SpillTier::create(&crate::tier::SpillConfig {
+            dir,
+            file_name: "s0.blocks".into(),
+            profile: crate::cost::StorageProfile::default(),
+            faults,
+            seed: 11,
+        })
+        .unwrap();
+        let mut s = store().with_payload_bytes(64);
+        s.enable_spill(tier);
+        s
+    }
+
+    #[test]
+    fn spill_keeps_probes_serving_and_materialize_round_trips() {
+        let mut s = spill_store("rt", crate::tier::IoFaultConfig::default());
+        let mut r = CostReceipt::new();
+        let keys: Vec<TupleKey> = (0..6)
+            .map(|i| s.insert(mk_tuple(i, i, &[i % 2, 0, i]), &mut r))
+            .collect();
+        let full_mem = s.memory_bytes();
+
+        // Spill the three oldest; stubs keep searches working disk-free.
+        assert_eq!(s.spill_oldest(3, &mut r), 3);
+        assert_eq!(s.spilled_len(), 3);
+        assert!((s.spilled_frac() - 0.5).abs() < 1e-12);
+        assert!(s.memory_bytes() < full_mem, "spilling must free RAM");
+        assert!(s.disk_bytes() > 0);
+        let req = SearchRequest::new(
+            AccessPattern::from_positions(&[0], 2).unwrap(),
+            AttrVec::from_slice(&[0, 0]).unwrap(),
+        );
+        let hits = search_vec(&s, &req, &mut CostReceipt::new());
+        assert_eq!(hits.len(), 3, "spilled stubs still match searches");
+
+        // Resident key: tuple() works; spilled key: tuple() is None but
+        // materialize reads it back intact.
+        assert!(s.tuple(keys[5]).is_some());
+        assert!(s.tuple(keys[0]).is_none());
+        let t0 = s.materialize(keys[0], &mut r).unwrap().unwrap();
+        assert_eq!(t0.id.0, 0);
+        assert_eq!(t0.attrs.as_slice(), &[0, 0, 0]);
+        assert_eq!(s.spill_stats().blocks_read, 1);
+
+        // Oldest *resident* skips the spilled prefix.
+        assert_eq!(s.oldest_ts(), Some(VirtualTime::from_secs(0)));
+        assert_eq!(s.oldest_resident_ts(), Some(VirtualTime::from_secs(3)));
+
+        // Promotion brings the hot block home and restores full residency.
+        let out = s.promote_hottest(1, &mut r);
+        assert_eq!(out, SpillOutcome { moved: 3, lost: 0 });
+        assert_eq!(s.spilled_len(), 0);
+        // Footprint returns to full residency plus the (permanent) block
+        // metadata slot.
+        assert_eq!(s.memory_bytes(), full_mem + layout::BLOCK_META_BYTES);
+        assert!(s.tuple(keys[0]).is_some());
+        assert_eq!(s.tuple(keys[0]).unwrap().attrs.as_slice(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn spilled_stubs_expire_without_disk_reads() {
+        let mut s = spill_store("exp", crate::tier::IoFaultConfig::default());
+        let mut r = CostReceipt::new();
+        for i in 0..4 {
+            s.insert(mk_tuple(i, i, &[i, 0, i]), &mut r);
+        }
+        assert_eq!(s.spill_oldest(2, &mut r), 2);
+        let reads_before = s.spill_stats().blocks_read;
+        // Window is 10 s: at t=11 the two spilled (t=0,1) and nothing else
+        // expire; expiry of stubs must not read the block.
+        assert_eq!(s.expire(VirtualTime::from_secs(11), &mut r), 2);
+        assert_eq!(s.spilled_len(), 0);
+        assert_eq!(s.spill_stats().blocks_read, reads_before);
+        // The block is now dead and cannot be promoted.
+        assert_eq!(s.promote_hottest(0, &mut r), SpillOutcome::default());
+    }
+
+    #[test]
+    fn lost_block_purges_stubs_as_typed_loss() {
+        let faults = crate::tier::IoFaultConfig {
+            read_error_prob: 1.0,
+            ..Default::default()
+        };
+        let mut s = spill_store("lost", faults);
+        let mut r = CostReceipt::new();
+        for i in 0..5 {
+            s.insert(mk_tuple(i, i, &[i, 0, i]), &mut r);
+        }
+        assert_eq!(s.spill_oldest(3, &mut r), 3);
+        let victim = TupleKey(0);
+        let lost = s.materialize(victim, &mut r).unwrap_err();
+        assert_eq!(lost, 3, "the whole block's stubs are purged");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.spilled_len(), 0);
+        assert_eq!(s.spill_stats().lost_blocks, 1);
+        // Window no longer holds the purged keys; searches agree.
+        let req = SearchRequest::new(
+            AccessPattern::empty(2),
+            AttrVec::from_slice(&[0, 0]).unwrap(),
+        );
+        assert_eq!(search_vec(&s, &req, &mut CostReceipt::new()).len(), 2);
+        // The purged key is dead now.
+        assert_eq!(s.materialize(victim, &mut CostReceipt::new()), Ok(None));
+    }
+
+    #[test]
+    fn torn_spill_keeps_tuples_resident() {
+        let faults = crate::tier::IoFaultConfig {
+            torn_write_prob: 1.0,
+            ..Default::default()
+        };
+        let mut s = spill_store("torn", faults);
+        let mut r = CostReceipt::new();
+        for i in 0..3 {
+            s.insert(mk_tuple(i, i, &[i, 0, i]), &mut r);
+        }
+        assert_eq!(s.spill_oldest(2, &mut r), 0, "torn write aborts the spill");
+        assert_eq!(s.spilled_len(), 0);
+        assert_eq!(s.len(), 3, "no data lost");
+        assert!(s.spill_stats().torn_writes > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_spilled_state() {
+        let mut s = spill_store("snap", crate::tier::IoFaultConfig::default());
+        let mut r = CostReceipt::new();
+        for i in 0..6 {
+            s.insert(mk_tuple(i, i, &[i % 2, 0, i]), &mut r);
+        }
+        assert_eq!(s.spill_oldest(3, &mut r), 3);
+        let _ = s.materialize(TupleKey(1), &mut r); // heat + coin draws
+        let mut w = crate::snapshot_io::SectionWriter::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut twin = spill_store("snap-twin", crate::tier::IoFaultConfig::default());
+        let mut rd = crate::snapshot_io::SectionReader::new(&bytes);
+        twin.restore_state(&mut rd).unwrap();
+        assert_eq!(twin.len(), s.len());
+        assert_eq!(twin.spilled_len(), s.spilled_len());
+        assert_eq!(twin.spill_stats(), s.spill_stats());
+        assert_eq!(twin.memory_bytes(), s.memory_bytes());
+        // The rebuilt block file serves the same data.
+        let a = s.materialize(TupleKey(2), &mut CostReceipt::new());
+        let b = twin.materialize(TupleKey(2), &mut CostReceipt::new());
+        assert_eq!(a, b);
+        assert!(matches!(a, Ok(Some(_))));
     }
 
     #[test]

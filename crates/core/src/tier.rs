@@ -1,0 +1,791 @@
+//! The disk spill tier: a checksummed, append-only block store cold
+//! window buckets migrate into when the memory budget cannot hold the
+//! full window (ROADMAP open item 1 — beyond-RAM windows).
+//!
+//! Design:
+//!
+//! * **Stub-resident spilling.** A spilled tuple keeps a RAM stub (arrival
+//!   time + inline JAS values + block id), so index probes, the scan
+//!   fallback, and window expiry never touch disk; only materializing a
+//!   probe *hit* reads a block. The stub costs
+//!   [`layout::spilled_stub_bytes`] against the memory model instead of
+//!   the full tuple footprint.
+//! * **Blocks reuse the snapshot codec.** Each block is a
+//!   [`seal_block`](crate::snapshot_io::seal_block) frame — magic, length,
+//!   fxhash checksum, section body — appended to one file per state. A
+//!   block id is an index into the in-RAM [`BlockMeta`] table; the file is
+//!   append-only and never compacted (dead frames stay as dead space; the
+//!   window bounds live data, so the file is bounded per run).
+//! * **Write-verify.** Every append is read back and checksum-verified
+//!   before the spill commits. A torn write (injected or real) is retried
+//!   at the same offset up to [`WRITE_ATTEMPTS`] times; persistent failure
+//!   aborts the spill and the tuples simply stay resident — a torn block
+//!   never loses data.
+//! * **Seeded fault injection.** [`IoFaultConfig`] drives a splitmix64
+//!   coin stream with a *fixed draw discipline* — one draw per write, three
+//!   per modeled read, none for verify-reads or restore-time file rebuilds
+//!   — so the injected fault sequence is a pure function of the seed and
+//!   the operation sequence, and same-seed runs replay identically.
+//! * **Virtual I/O cost.** Each operation charges
+//!   [`CostReceipt::io_ns`] from the [`StorageProfile`], so the engine's
+//!   clock (and through [`WorkloadProfile::spilled_frac`] the tuner's
+//!   `C_D`) sees disk latency. The all-zero default profile charges
+//!   nothing, keeping the tier behaviorally invisible.
+//!
+//! [`WorkloadProfile::spilled_frac`]: crate::cost::WorkloadProfile::spilled_frac
+//! [`StorageProfile`]: crate::cost::StorageProfile
+
+use crate::cost::{CostReceipt, StorageProfile};
+use crate::layout;
+use crate::snapshot_io::{open_block, seal_block, SectionReader, SectionWriter, SnapshotError};
+use serde::{Deserialize, Serialize};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::PathBuf;
+
+/// Retry budget for a torn block write (first attempt + two retries).
+pub const WRITE_ATTEMPTS: u32 = 3;
+
+/// Injected disk-fault probabilities. All-zero ([`Default`]) injects
+/// nothing; real corruption and real I/O errors are still detected and
+/// handled identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct IoFaultConfig {
+    /// Probability a block-write attempt is torn (frame corrupted on the
+    /// way down, caught by write-verify).
+    pub torn_write_prob: f64,
+    /// Probability a block read fails transiently; a second draw with the
+    /// same probability decides whether the immediate retry also fails,
+    /// which loses the block.
+    pub read_error_prob: f64,
+    /// Probability a block read takes a latency spike.
+    pub latency_spike_prob: f64,
+    /// Extra virtual nanoseconds a latency spike adds.
+    pub spike_ns: u64,
+}
+
+impl IoFaultConfig {
+    /// True iff no fault can ever be injected.
+    pub fn is_noop(&self) -> bool {
+        self.torn_write_prob == 0.0 && self.read_error_prob == 0.0 && self.latency_spike_prob == 0.0
+    }
+
+    /// Validate probabilities are in `[0, 1]`.
+    ///
+    /// # Errors
+    /// Returns a description of the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("torn_write_prob", self.torn_write_prob),
+            ("read_error_prob", self.read_error_prob),
+            ("latency_spike_prob", self.latency_spike_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Construction parameters for one state's [`SpillTier`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillConfig {
+    /// Directory holding this state's block file (created if absent).
+    pub dir: PathBuf,
+    /// File name of the block store within `dir`.
+    pub file_name: String,
+    /// Latency profile charged per block operation.
+    pub profile: StorageProfile,
+    /// Injected fault probabilities.
+    pub faults: IoFaultConfig,
+    /// Seed of this tier's private coin stream.
+    pub seed: u64,
+}
+
+/// Replay-identical counters of what the tier did — the disk-fault report
+/// and the source of the bench spill columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpillStats {
+    /// Tuples moved RAM → disk.
+    pub spilled_tuples: u64,
+    /// Tuples moved disk → RAM by promotion.
+    pub promoted_tuples: u64,
+    /// Blocks successfully written.
+    pub blocks_written: u64,
+    /// Blocks successfully read (materialization + promotion).
+    pub blocks_read: u64,
+    /// Injected torn-write attempts (each caught by write-verify).
+    pub torn_writes: u64,
+    /// Injected transient read errors (including the retry failures).
+    pub read_errors: u64,
+    /// Injected latency spikes.
+    pub latency_spikes: u64,
+    /// Blocks lost to a double read failure or checksum corruption.
+    pub lost_blocks: u64,
+    /// Blocks retired by promotion back to RAM.
+    pub promoted_blocks: u64,
+    /// Virtual nanoseconds charged for block reads (spike included).
+    pub read_ns: u64,
+}
+
+impl SpillStats {
+    /// Fold another state's counters in (the run-level rollup).
+    pub fn merge(&mut self, other: &SpillStats) {
+        self.spilled_tuples += other.spilled_tuples;
+        self.promoted_tuples += other.promoted_tuples;
+        self.blocks_written += other.blocks_written;
+        self.blocks_read += other.blocks_read;
+        self.torn_writes += other.torn_writes;
+        self.read_errors += other.read_errors;
+        self.latency_spikes += other.latency_spikes;
+        self.lost_blocks += other.lost_blocks;
+        self.promoted_blocks += other.promoted_blocks;
+        self.read_ns += other.read_ns;
+    }
+}
+
+/// Result of a spill-tier movement operation (promotion or recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillOutcome {
+    /// Tuples moved between tiers as requested.
+    pub moved: usize,
+    /// Tuples lost to an unreadable block (purged, typed degradation).
+    pub lost: usize,
+}
+
+/// In-RAM metadata of one on-disk block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Byte offset of the frame in the block file.
+    pub offset: u64,
+    /// Frame length in bytes.
+    pub len: u32,
+    /// Tuples the block was written with.
+    pub tuples: u32,
+    /// Tuples still referenced by live stubs (0 ⇒ the block is dead).
+    pub live: u32,
+    /// Materialization reads served — the heat counter promotion ranks by.
+    pub reads: u32,
+}
+
+/// Why a block write failed after all attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockWriteError {
+    /// Every attempt was torn (injected) — the caller keeps the tuples
+    /// resident; nothing is lost.
+    Torn,
+    /// The filesystem itself failed.
+    Io(String),
+}
+
+/// Why a block read failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockReadError {
+    /// Injected device error on the read and on its retry.
+    Device,
+    /// The frame failed checksum/framing verification.
+    Corrupt(String),
+    /// The filesystem itself failed.
+    Io(String),
+    /// The block id is unknown or already dead.
+    Gone,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One state's disk spill tier: the block file, its metadata table, the
+/// seeded fault coin stream, and the replay-identical counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillTier {
+    path: PathBuf,
+    profile: StorageProfile,
+    faults: IoFaultConfig,
+    rng: u64,
+    file_len: u64,
+    blocks: Vec<BlockMeta>,
+    stats: SpillStats,
+}
+
+impl SpillTier {
+    /// Create the tier, truncating any leftover block file from a previous
+    /// run.
+    ///
+    /// # Errors
+    /// Filesystem errors creating the directory or file.
+    pub fn create(cfg: &SpillConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let path = cfg.dir.join(&cfg.file_name);
+        std::fs::File::create(&path)?; // truncate
+        Ok(SpillTier {
+            path,
+            profile: cfg.profile,
+            faults: cfg.faults,
+            rng: cfg.seed ^ 0x9E37_79B9_7F4A_7C15,
+            file_len: 0,
+            blocks: Vec::new(),
+            stats: SpillStats::default(),
+        })
+    }
+
+    fn next_coin(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.rng)
+    }
+
+    /// The latency profile this tier charges.
+    #[inline]
+    pub fn profile(&self) -> &StorageProfile {
+        &self.profile
+    }
+
+    /// The replay-identical operation counters.
+    #[inline]
+    pub fn stats(&self) -> &SpillStats {
+        &self.stats
+    }
+
+    /// Metadata of block `id`, if it exists.
+    #[inline]
+    pub fn block(&self, id: u32) -> Option<&BlockMeta> {
+        self.blocks.get(id as usize)
+    }
+
+    /// Number of block slots ever allocated (dead ones included).
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes of live block frames on disk (the memory the tier moved out
+    /// of RAM, reported — not charged — by the memory model).
+    pub fn disk_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|m| m.live > 0)
+            .map(|m| m.len as u64)
+            .sum()
+    }
+
+    /// RAM bytes of the metadata table under the memory model.
+    pub fn meta_bytes(&self) -> u64 {
+        self.blocks.len() as u64 * layout::BLOCK_META_BYTES
+    }
+
+    /// Append `body` as a checksummed block holding `tuples` tuples, with
+    /// write-verify and torn-write retry. Draws exactly one fault coin
+    /// regardless of outcome; charges one `write_ns` per attempt.
+    ///
+    /// # Errors
+    /// [`BlockWriteError::Torn`] when every attempt was torn (the caller
+    /// keeps the tuples resident), [`BlockWriteError::Io`] on filesystem
+    /// failure.
+    pub fn append_block(
+        &mut self,
+        body: SectionWriter,
+        tuples: u32,
+        receipt: &mut CostReceipt,
+    ) -> Result<u32, BlockWriteError> {
+        let frame = seal_block(body);
+        let coin = self.next_coin();
+        let io = |e: std::io::Error| BlockWriteError::Io(e.to_string());
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(io)?;
+        let offset = self.file_len;
+        for attempt in 0..WRITE_ATTEMPTS {
+            let torn = self.faults.torn_write_prob > 0.0
+                && unit(mix(coin ^ u64::from(attempt))) < self.faults.torn_write_prob;
+            let mut written = frame.clone();
+            if torn {
+                // Tear the tail: the body loses its last byte's integrity,
+                // exactly what a power cut mid-append produces.
+                let last = written.len() - 1;
+                written[last] ^= 0xFF;
+                self.stats.torn_writes += 1;
+            }
+            file.seek(SeekFrom::Start(offset)).map_err(io)?;
+            file.write_all(&written).map_err(io)?;
+            receipt.io_ns += self.profile.write_ns;
+            // Write-verify (no coin draws, cost covered by write_ns).
+            let mut back = vec![0u8; frame.len()];
+            file.seek(SeekFrom::Start(offset)).map_err(io)?;
+            file.read_exact(&mut back).map_err(io)?;
+            if open_block(&back).is_ok() {
+                self.file_len = offset + frame.len() as u64;
+                let id = self.blocks.len() as u32;
+                self.blocks.push(BlockMeta {
+                    offset,
+                    len: frame.len() as u32,
+                    tuples,
+                    live: tuples,
+                    reads: 0,
+                });
+                self.stats.blocks_written += 1;
+                self.stats.spilled_tuples += u64::from(tuples);
+                return Ok(id);
+            }
+        }
+        // Leave no torn residue behind the committed length.
+        file.set_len(self.file_len).map_err(io)?;
+        Err(BlockWriteError::Torn)
+    }
+
+    /// Read block `id`, returning the verified frame (open it with
+    /// [`open_block`]). Draws exactly three fault coins regardless of
+    /// outcome — transient error, retry failure, latency spike — and
+    /// charges `read_ns` per attempt plus any spike.
+    ///
+    /// # Errors
+    /// [`BlockReadError::Device`] when the injected error hits twice,
+    /// [`BlockReadError::Corrupt`] on checksum/framing failure,
+    /// [`BlockReadError::Gone`] for a dead or unknown id.
+    pub fn read_block(
+        &mut self,
+        id: u32,
+        receipt: &mut CostReceipt,
+    ) -> Result<Vec<u8>, BlockReadError> {
+        let (c_err, c_retry, c_spike) = (self.next_coin(), self.next_coin(), self.next_coin());
+        let meta = match self.blocks.get(id as usize) {
+            Some(m) if m.live > 0 => *m,
+            _ => return Err(BlockReadError::Gone),
+        };
+        let mut io_ns = self.profile.read_ns;
+        if self.faults.latency_spike_prob > 0.0 && unit(c_spike) < self.faults.latency_spike_prob {
+            io_ns += self.faults.spike_ns;
+            self.stats.latency_spikes += 1;
+        }
+        if self.faults.read_error_prob > 0.0 && unit(c_err) < self.faults.read_error_prob {
+            self.stats.read_errors += 1;
+            if unit(c_retry) < self.faults.read_error_prob {
+                // The retry failed too: the device lost this block.
+                self.stats.read_errors += 1;
+                self.stats.read_ns += io_ns;
+                receipt.io_ns += io_ns;
+                return Err(BlockReadError::Device);
+            }
+            io_ns += self.profile.read_ns; // the successful retry
+        }
+        let frame = self.read_frame(&meta).map_err(|e| match e {
+            ReadFrameError::Io(msg) => BlockReadError::Io(msg),
+            ReadFrameError::Corrupt(msg) => BlockReadError::Corrupt(msg),
+        });
+        self.stats.read_ns += io_ns;
+        receipt.io_ns += io_ns;
+        let frame = frame?;
+        self.stats.blocks_read += 1;
+        self.blocks[id as usize].reads += 1;
+        Ok(frame)
+    }
+
+    fn read_frame(&self, meta: &BlockMeta) -> Result<Vec<u8>, ReadFrameError> {
+        let io = |e: std::io::Error| ReadFrameError::Io(e.to_string());
+        let mut file = std::fs::File::open(&self.path).map_err(io)?;
+        file.seek(SeekFrom::Start(meta.offset)).map_err(io)?;
+        let mut frame = vec![0u8; meta.len as usize];
+        file.read_exact(&mut frame).map_err(io)?;
+        open_block(&frame).map_err(|e| ReadFrameError::Corrupt(e.to_string()))?;
+        Ok(frame)
+    }
+
+    /// Note that one live stub of `id` expired or was evicted.
+    pub fn note_dropped(&mut self, id: u32) {
+        if let Some(m) = self.blocks.get_mut(id as usize) {
+            m.live = m.live.saturating_sub(1);
+        }
+    }
+
+    /// Mark block `id` dead (promoted away or lost), accounting `lost`
+    /// tuples against the stats when it was lost rather than promoted.
+    pub fn mark_dead(&mut self, id: u32, lost: bool) {
+        if let Some(m) = self.blocks.get_mut(id as usize) {
+            if m.live > 0 {
+                if lost {
+                    self.stats.lost_blocks += 1;
+                } else {
+                    self.stats.promoted_blocks += 1;
+                }
+            }
+            m.live = 0;
+        }
+    }
+
+    /// Note `n` tuples were promoted back to RAM.
+    pub fn note_promoted(&mut self, n: u64) {
+        self.stats.promoted_tuples += n;
+    }
+
+    /// The hottest live block — most materialization reads, at least
+    /// `min_reads` — as the promotion candidate. Ties break toward the
+    /// oldest block id, deterministically.
+    pub fn hottest_block(&self, min_reads: u32) -> Option<u32> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.live > 0 && m.reads >= min_reads)
+            .max_by(|(ia, a), (ib, b)| a.reads.cmp(&b.reads).then(ib.cmp(ia)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Serialize tier state *and live block contents* into a snapshot
+    /// section, so a restore can rebuild the block file byte-for-byte at
+    /// the checkpointed step (crash-at-k identity). Dead blocks keep a
+    /// metadata placeholder (ids are stable) but drop their bytes. Draws
+    /// no fault coins.
+    pub fn save(&self, w: &mut SectionWriter) {
+        w.put_str("TIER");
+        w.put_u64(self.rng);
+        for v in [
+            self.stats.spilled_tuples,
+            self.stats.promoted_tuples,
+            self.stats.blocks_written,
+            self.stats.blocks_read,
+            self.stats.torn_writes,
+            self.stats.read_errors,
+            self.stats.latency_spikes,
+            self.stats.lost_blocks,
+            self.stats.promoted_blocks,
+            self.stats.read_ns,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_usize(self.blocks.len());
+        for meta in &self.blocks {
+            w.put_u32(meta.tuples);
+            w.put_u32(meta.live);
+            w.put_u32(meta.reads);
+            if meta.live > 0 {
+                // Verbatim byte copy; verification happens on future reads.
+                let frame = self
+                    .read_frame_unverified(meta)
+                    .unwrap_or_else(|_| Vec::new());
+                w.put_bytes(&frame);
+            }
+        }
+    }
+
+    fn read_frame_unverified(&self, meta: &BlockMeta) -> std::io::Result<Vec<u8>> {
+        let mut file = std::fs::File::open(&self.path)?;
+        file.seek(SeekFrom::Start(meta.offset))?;
+        let mut frame = vec![0u8; meta.len as usize];
+        file.read_exact(&mut frame)?;
+        Ok(frame)
+    }
+
+    /// Restore tier state from a [`save`](Self::save)d section: truncates
+    /// the block file and rewrites every live frame verbatim (offsets are
+    /// recomputed densely). Draws no fault coins and charges no cost —
+    /// restore is not a modeled workload.
+    ///
+    /// # Errors
+    /// Decode failures, or the block file being unwritable.
+    pub fn restore_from(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
+        crate::snapshot_io::expect_tag(r, "TIER")?;
+        let rng = r.get_u64()?;
+        let mut vals = [0u64; 10];
+        for v in &mut vals {
+            *v = r.get_u64()?;
+        }
+        let stats = SpillStats {
+            spilled_tuples: vals[0],
+            promoted_tuples: vals[1],
+            blocks_written: vals[2],
+            blocks_read: vals[3],
+            torn_writes: vals[4],
+            read_errors: vals[5],
+            latency_spikes: vals[6],
+            lost_blocks: vals[7],
+            promoted_blocks: vals[8],
+            read_ns: vals[9],
+        };
+        let n = r.get_usize()?;
+        let mut file =
+            std::fs::File::create(&self.path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let mut blocks = Vec::with_capacity(n);
+        let mut offset = 0u64;
+        for _ in 0..n {
+            let tuples = r.get_u32()?;
+            let live = r.get_u32()?;
+            let reads = r.get_u32()?;
+            if live > 0 {
+                let frame = r.get_bytes()?;
+                file.write_all(frame)
+                    .map_err(|e| SnapshotError::Io(e.to_string()))?;
+                blocks.push(BlockMeta {
+                    offset,
+                    len: frame.len() as u32,
+                    tuples,
+                    live,
+                    reads,
+                });
+                offset += frame.len() as u64;
+            } else {
+                blocks.push(BlockMeta {
+                    offset: 0,
+                    len: 0,
+                    tuples,
+                    live: 0,
+                    reads,
+                });
+            }
+        }
+        file.sync_data().ok();
+        self.rng = rng;
+        self.stats = stats;
+        self.blocks = blocks;
+        self.file_len = offset;
+        Ok(())
+    }
+}
+
+enum ReadFrameError {
+    Io(String),
+    Corrupt(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("amri-tier-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn tier(tag: &str, faults: IoFaultConfig, profile: StorageProfile) -> SpillTier {
+        SpillTier::create(&SpillConfig {
+            dir: scratch_dir(tag),
+            file_name: "s0.blocks".into(),
+            profile,
+            faults,
+            seed: 7,
+        })
+        .unwrap()
+    }
+
+    fn body(vals: &[u64]) -> SectionWriter {
+        let mut w = SectionWriter::new();
+        w.put_usize(vals.len());
+        for &v in vals {
+            w.put_u64(v);
+        }
+        w
+    }
+
+    fn read_vals(frame: &[u8]) -> Vec<u64> {
+        let mut r = open_block(frame).unwrap();
+        let n = r.get_usize().unwrap();
+        (0..n).map(|_| r.get_u64().unwrap()).collect()
+    }
+
+    #[test]
+    fn block_round_trips_and_counts_heat() {
+        let mut t = tier("rt", IoFaultConfig::default(), StorageProfile::default());
+        let mut rc = CostReceipt::new();
+        let id = t.append_block(body(&[10, 20, 30]), 3, &mut rc).unwrap();
+        assert_eq!(rc.io_ns, 0, "zero profile charges nothing");
+        let frame = t.read_block(id, &mut rc).unwrap();
+        assert_eq!(read_vals(&frame), vec![10, 20, 30]);
+        assert_eq!(t.block(id).unwrap().reads, 1);
+        assert_eq!(t.stats().blocks_written, 1);
+        assert_eq!(t.stats().blocks_read, 1);
+    }
+
+    #[test]
+    fn io_cost_comes_from_the_profile() {
+        let profile = StorageProfile {
+            read_ns: 1000,
+            write_ns: 2000,
+            block_tuples: 64,
+        };
+        let mut t = tier("cost", IoFaultConfig::default(), profile);
+        let mut rc = CostReceipt::new();
+        let id = t.append_block(body(&[1]), 1, &mut rc).unwrap();
+        assert_eq!(rc.io_ns, 2000);
+        t.read_block(id, &mut rc).unwrap();
+        assert_eq!(rc.io_ns, 3000);
+        assert_eq!(t.stats().read_ns, 1000);
+    }
+
+    #[test]
+    fn certain_torn_writes_fail_cleanly_after_retries() {
+        let faults = IoFaultConfig {
+            torn_write_prob: 1.0,
+            ..IoFaultConfig::default()
+        };
+        let mut t = tier("torn", faults, StorageProfile::default());
+        let mut rc = CostReceipt::new();
+        let err = t.append_block(body(&[1, 2]), 2, &mut rc).unwrap_err();
+        assert_eq!(err, BlockWriteError::Torn);
+        assert_eq!(t.stats().torn_writes as u32, WRITE_ATTEMPTS);
+        assert_eq!(t.stats().blocks_written, 0);
+        assert_eq!(t.n_blocks(), 0);
+        // The file holds no torn residue; a later write starts clean.
+        let ok = t.read_frame_unverified(&BlockMeta {
+            offset: 0,
+            len: 0,
+            tuples: 0,
+            live: 0,
+            reads: 0,
+        });
+        assert!(ok.unwrap().is_empty());
+    }
+
+    #[test]
+    fn certain_read_errors_lose_the_block() {
+        let faults = IoFaultConfig {
+            read_error_prob: 1.0,
+            ..IoFaultConfig::default()
+        };
+        let mut t = tier("readerr", faults, StorageProfile::default());
+        let mut rc = CostReceipt::new();
+        let id = t.append_block(body(&[5]), 1, &mut rc).unwrap();
+        let err = t.read_block(id, &mut rc).unwrap_err();
+        assert_eq!(err, BlockReadError::Device);
+        assert!(t.stats().read_errors >= 2);
+        t.mark_dead(id, true);
+        assert_eq!(t.stats().lost_blocks, 1);
+        assert_eq!(t.read_block(id, &mut rc).unwrap_err(), BlockReadError::Gone);
+    }
+
+    #[test]
+    fn latency_spikes_charge_extra_io_time() {
+        let faults = IoFaultConfig {
+            latency_spike_prob: 1.0,
+            spike_ns: 5000,
+            ..IoFaultConfig::default()
+        };
+        let profile = StorageProfile {
+            read_ns: 100,
+            write_ns: 0,
+            block_tuples: 64,
+        };
+        let mut t = tier("spike", faults, profile);
+        let mut rc = CostReceipt::new();
+        let id = t.append_block(body(&[9]), 1, &mut rc).unwrap();
+        t.read_block(id, &mut rc).unwrap();
+        assert_eq!(rc.io_ns, 5100);
+        assert_eq!(t.stats().latency_spikes, 1);
+    }
+
+    #[test]
+    fn real_corruption_is_detected_by_checksum() {
+        let mut t = tier(
+            "corrupt",
+            IoFaultConfig::default(),
+            StorageProfile::default(),
+        );
+        let mut rc = CostReceipt::new();
+        let id = t.append_block(body(&[1, 2, 3]), 3, &mut rc).unwrap();
+        // Flip a byte on disk behind the tier's back.
+        let meta = *t.block(id).unwrap();
+        let raw = std::fs::read(&t.path).unwrap();
+        let mut raw = raw;
+        let victim = meta.offset as usize + meta.len as usize - 1;
+        raw[victim] ^= 0x01;
+        std::fs::write(&t.path, &raw).unwrap();
+        match t.read_block(id, &mut rc).unwrap_err() {
+            BlockReadError::Corrupt(_) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let faults = IoFaultConfig {
+            torn_write_prob: 0.3,
+            read_error_prob: 0.3,
+            latency_spike_prob: 0.3,
+            spike_ns: 10,
+        };
+        let run = |tag: &str| {
+            let mut t = tier(tag, faults, StorageProfile::default());
+            let mut rc = CostReceipt::new();
+            let mut trace = Vec::new();
+            for i in 0..20u64 {
+                match t.append_block(body(&[i]), 1, &mut rc) {
+                    Ok(id) => {
+                        let r = t.read_block(id, &mut rc).is_ok();
+                        trace.push((true, r));
+                    }
+                    Err(_) => trace.push((false, false)),
+                }
+            }
+            (trace, *t.stats())
+        };
+        let (ta, sa) = run("det-a");
+        let (tb, sb) = run("det-b");
+        assert_eq!(ta, tb, "fault sequence must be a pure function of seed");
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn save_restore_rebuilds_the_file_and_coin_stream() {
+        let faults = IoFaultConfig {
+            read_error_prob: 0.4,
+            ..IoFaultConfig::default()
+        };
+        let mut t = tier("snap", faults, StorageProfile::default());
+        let mut rc = CostReceipt::new();
+        let a = t.append_block(body(&[1, 2]), 2, &mut rc).unwrap();
+        let b = t.append_block(body(&[3]), 1, &mut rc).unwrap();
+        let _ = t.read_block(a, &mut rc);
+        t.mark_dead(a, false); // promoted away: content dropped, id kept
+        let mut w = SectionWriter::new();
+        t.save(&mut w);
+        let bytes = w.into_bytes();
+
+        // A parallel clone continues live; the restored twin must match it.
+        let mut live = t.clone();
+        let mut t2 = tier("snap2", faults, StorageProfile::default());
+        let mut r = SectionReader::new(&bytes);
+        t2.restore_from(&mut r).unwrap();
+        assert_eq!(t2.stats(), live.stats());
+        assert_eq!(t2.block(b).map(|m| (m.tuples, m.live)), Some((1, 1)));
+        assert_eq!(t2.block(a).map(|m| m.live), Some(0));
+        // Same future: identical coin stream and readable content.
+        let mut rc1 = CostReceipt::new();
+        let mut rc2 = CostReceipt::new();
+        let r1 = live.read_block(b, &mut rc1).map(|f| read_vals(&f));
+        let r2 = t2.read_block(b, &mut rc2).map(|f| read_vals(&f));
+        assert_eq!(r1, r2);
+        assert_eq!(live.stats(), t2.stats());
+    }
+
+    #[test]
+    fn hottest_block_ranks_by_reads_with_stable_ties() {
+        let mut t = tier("hot", IoFaultConfig::default(), StorageProfile::default());
+        let mut rc = CostReceipt::new();
+        let a = t.append_block(body(&[1]), 1, &mut rc).unwrap();
+        let b = t.append_block(body(&[2]), 1, &mut rc).unwrap();
+        assert_eq!(t.hottest_block(0), Some(a), "tie breaks to the oldest id");
+        t.read_block(b, &mut rc).unwrap();
+        assert_eq!(t.hottest_block(0), Some(b));
+        assert_eq!(t.hottest_block(2), None, "below the heat threshold");
+        t.mark_dead(b, false);
+        assert_eq!(t.hottest_block(0), Some(a), "dead blocks cannot promote");
+    }
+
+    #[test]
+    fn fault_config_validates_probabilities() {
+        assert!(IoFaultConfig::default().validate().is_ok());
+        assert!(IoFaultConfig::default().is_noop());
+        let bad = IoFaultConfig {
+            read_error_prob: 1.5,
+            ..IoFaultConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -31,6 +31,9 @@ pub enum EngineError {
     /// the typed snapshot failure (I/O, checksum mismatch, version
     /// mismatch, configuration mismatch, malformed contents).
     Snapshot(SnapshotError),
+    /// The spill tier's block store could not be set up (message carries
+    /// the underlying I/O failure).
+    Spill(String),
     /// An injected [`FaultKind::CrashAt`](crate::FaultKind::CrashAt)
     /// killed the run at the contained pipeline step. Recovery resumes
     /// from the latest good checkpoint.
@@ -51,6 +54,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             EngineError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            EngineError::Spill(msg) => write!(f, "spill tier error: {msg}"),
             EngineError::InjectedCrash { step } => {
                 write!(f, "injected crash killed the run at step {step}")
             }

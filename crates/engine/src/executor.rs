@@ -19,10 +19,10 @@ use crate::error::EngineError;
 use crate::memory::MemoryBudget;
 use crate::policy::PolicyKind;
 use crate::router::Router;
-use crate::runtime::{DegradationPolicy, EngineSetup, FaultPlan, Pipeline, RunParams};
+use crate::runtime::{DegradationPolicy, EngineSetup, FaultPlan, Pipeline, RunParams, TierPolicy};
 use crate::stem::{HashTuner, JoinState, Stem};
 use amri_core::assess::AssessorKind;
-use amri_core::{CostParams, IndexConfig, TunerConfig};
+use amri_core::{CostParams, IndexConfig, SpillConfig, SpillTier, StorageProfile, TunerConfig};
 use amri_stream::{AccessPattern, Clock, SpjQuery, StreamId, VirtualClock, VirtualDuration};
 
 // Source-compatible re-exports: these types moved into the runtime layer.
@@ -69,6 +69,35 @@ impl IndexingMode {
     }
 }
 
+/// Disk spill tier settings for a run: where the per-state block files
+/// live, when buckets move between tiers, and what the disk costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillSettings {
+    /// Directory holding the per-state block files (created if absent;
+    /// files are named `state-<i>.blocks`).
+    pub dir: std::path::PathBuf,
+    /// When cold buckets spill and hot blocks promote.
+    pub policy: TierPolicy,
+    /// Per-tier latency profile — also folded into
+    /// [`CostParams::storage`](amri_core::CostParams) so the tuner prices
+    /// probes that touch spill-resident tuples. The all-zero
+    /// [`StorageProfile::default`] makes the tier behaviorally invisible
+    /// (byte-identical outputs to an all-RAM run that never dies).
+    pub profile: StorageProfile,
+}
+
+impl SpillSettings {
+    /// Settings with the default balancing policy and the all-zero
+    /// (identity) storage profile.
+    pub fn in_dir(dir: impl Into<std::path::PathBuf>) -> Self {
+        SpillSettings {
+            dir: dir.into(),
+            policy: TierPolicy::default(),
+            profile: StorageProfile::default(),
+        }
+    }
+}
+
 /// Engine-level run parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -100,6 +129,10 @@ pub struct EngineConfig {
     /// Deterministic fault injection between workload and ingest. `None`
     /// leaves the arrival stream untouched.
     pub faults: Option<FaultPlan>,
+    /// Disk spill tier: cold buckets leave RAM for a checksummed block
+    /// store instead of being evicted or killing the run. `None` keeps
+    /// the all-RAM engine.
+    pub spill: Option<SpillSettings>,
     /// Arena shards per bit-address index (must be a power of two). The
     /// partitioning changes nothing observable at a fixed shard count —
     /// probes merge in fixed shard order — but different shard counts
@@ -133,6 +166,7 @@ impl Default for EngineConfig {
             params: CostParams::default(),
             degradation: None,
             faults: None,
+            spill: None,
             shards: 1,
             parallelism: std::num::NonZeroUsize::MIN,
             spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
@@ -232,6 +266,14 @@ impl<W: StreamWorkload> Executor<W> {
                 config.shards
             )));
         }
+        let mut config = config;
+        if let Some(spill) = &config.spill {
+            spill.policy.validate()?;
+            // The tuner must price probes knowing what the disk costs:
+            // fold the tier's latency profile into the cost model every
+            // flavor is constructed with.
+            config.params.storage = spill.profile;
+        }
         let mode_label = mode.label();
         let mut stems = Vec::with_capacity(n);
         for i in 0..n {
@@ -285,6 +327,26 @@ impl<W: StreamWorkload> Executor<W> {
             if config.shards > 1 {
                 state.set_shards(config.shards);
             }
+            if let Some(spill) = &config.spill {
+                // One block store per state. The injection seed derives
+                // from the fault plan's seed when one is armed (same plan
+                // → replay-identical disk faults), else the master seed.
+                let io_seed = config.faults.as_ref().map_or(config.seed, |f| f.seed);
+                let tier = SpillTier::create(&SpillConfig {
+                    dir: spill.dir.clone(),
+                    file_name: format!("state-{i}.blocks"),
+                    profile: spill.profile,
+                    faults: config.faults.as_ref().map(|f| f.io).unwrap_or_default(),
+                    seed: io_seed ^ 0xD15C_B10C ^ i as u64,
+                })
+                .map_err(|e| {
+                    EngineError::Spill(format!(
+                        "cannot create block store for state {i} in {}: {e}",
+                        spill.dir.display()
+                    ))
+                })?;
+                state.enable_spill(tier);
+            }
             stems.push(Stem::new(sid, state));
         }
         let observers = (0..n)
@@ -321,6 +383,7 @@ impl<W: StreamWorkload> Executor<W> {
             budget: self.config.budget,
             params: self.config.params,
             degradation: self.config.degradation,
+            tier: self.config.spill.as_ref().map(|s| s.policy),
             faults: self.config.faults,
             parallelism: self.config.parallelism,
             spare_buffer_cap: self.config.spare_buffer_cap,
@@ -459,6 +522,7 @@ mod tests {
             params: CostParams::default(),
             degradation: None,
             faults: None,
+            spill: None,
             shards: 1,
             parallelism: std::num::NonZeroUsize::MIN,
             spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,

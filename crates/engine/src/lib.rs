@@ -39,16 +39,19 @@ pub mod runtime;
 pub mod stem;
 
 pub use error::EngineError;
-pub use executor::{EngineConfig, Executor, IndexingMode, RunOutcome, RunResult, StreamWorkload};
+pub use executor::{
+    EngineConfig, Executor, IndexingMode, RunOutcome, RunResult, SpillSettings, StreamWorkload,
+};
 pub use memory::{MemoryBudget, MemoryReport};
 pub use metrics::{RetuneRecord, Sample, ThroughputSeries};
 pub use policy::{PolicyKind, RouterStats, RoutingPolicy};
 pub use router::Router;
 pub use runtime::{
-    load_latest, CheckpointPolicy, Checkpointer, DegradationPolicy, DegradationReport,
-    DegradationSample, EngineSetup, FaultKind, FaultPlan, FaultReport, IngestOperator, Job,
-    MaintenanceStats, Operator, Pipeline, PressureWindow, ProbeOperator, RunContext, RunParams,
-    SampleOperator, Session, SessionStatus, SheddingPolicy, SkewedClock, StepStatus, TornMode,
-    TuneOperator, WallClock, WorkerPool,
+    io_faults_fired, load_latest, CheckpointPolicy, Checkpointer, DegradationPolicy,
+    DegradationReport, DegradationSample, EngineSetup, FaultKind, FaultPlan, FaultReport,
+    IngestOperator, IoFaultKind, Job, MaintenanceStats, Operator, Pipeline, PressureWindow,
+    ProbeOperator, RestoreReport, RunContext, RunParams, SampleOperator, Session, SessionStatus,
+    SheddingPolicy, SkewedClock, SkippedCheckpoint, StepStatus, TierPolicy, TornMode, TuneOperator,
+    WallClock, WorkerPool,
 };
 pub use stem::{HashTuner, JoinState, Stem};

@@ -48,10 +48,15 @@ pub struct MemoryReport {
     /// Injected allocation-pressure bytes (zero outside fault runs; see
     /// [`FaultPlan::pressure`](crate::FaultPlan)).
     pub phantom: u64,
+    /// Bytes resident in the disk spill tier. Reported for observability
+    /// but **excluded** from [`total`](Self::total): spilled bytes are
+    /// exactly the ones no longer charged against the RAM budget.
+    #[serde(default)]
+    pub spilled: u64,
 }
 
 impl MemoryReport {
-    /// Total accounted bytes.
+    /// Total accounted RAM bytes (disk-resident spill bytes excluded).
     #[inline]
     pub fn total(&self) -> u64 {
         self.states + self.backlog + self.phantom
@@ -82,6 +87,7 @@ mod tests {
             states: 60,
             backlog: 40,
             phantom: 0,
+            ..MemoryReport::default()
         };
         assert_eq!(fine.total(), 100);
         assert!(!fine.over(budget), "exactly at budget is not over");
@@ -89,6 +95,7 @@ mod tests {
             states: 60,
             backlog: 41,
             phantom: 0,
+            ..MemoryReport::default()
         };
         assert!(over.over(budget));
     }
@@ -100,6 +107,7 @@ mod tests {
             states: 60,
             backlog: 20,
             phantom: 30,
+            ..MemoryReport::default()
         };
         assert_eq!(squeezed.total(), 110);
         assert!(squeezed.over(budget), "injected pressure breaches");

@@ -177,15 +177,50 @@ impl Checkpointer {
     }
 }
 
+/// A checkpoint file [`load_latest`] could not parse and had to skip on
+/// its way down to an older good snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCheckpoint {
+    /// File name of the corrupt snapshot (`checkpoint-NNNNNN.snap`).
+    pub file: String,
+    /// Why the parse failed (checksum mismatch, truncation, bad magic…).
+    pub reason: String,
+}
+
+/// What [`load_latest`] found: which file was restored and every newer
+/// corrupt file it skipped to get there, with the parse-failure reason.
+/// Surfaced in the bench summary notes so silent fallback leaves a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RestoreReport {
+    /// Path of the snapshot that parsed and was restored.
+    pub path: PathBuf,
+    /// Newer files that failed to parse, newest first.
+    pub skipped: Vec<SkippedCheckpoint>,
+}
+
+impl RestoreReport {
+    /// Compact one-line rendering of the skipped files for CSV notes;
+    /// empty string when nothing was skipped.
+    pub fn notes(&self) -> String {
+        self.skipped
+            .iter()
+            .map(|s| format!("skipped {} ({})", s.file, s.reason))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
 /// Load the newest snapshot in `dir` that parses and verifies, falling
 /// back through older ones past any corrupt (torn, bit-flipped,
-/// truncated) files. Returns the parsed snapshot, its path, and how many
-/// newer corrupt files were skipped.
+/// truncated) files. Returns the parsed snapshot plus a [`RestoreReport`]
+/// naming the restored file and every newer corrupt file skipped.
 ///
 /// # Errors
 /// [`SnapshotError::Io`] when the directory holds no snapshot files at
 /// all, or the last parse error when every candidate is corrupt.
-pub fn load_latest(dir: impl AsRef<Path>) -> Result<(SnapshotReader, PathBuf, u64), SnapshotError> {
+pub fn load_latest(
+    dir: impl AsRef<Path>,
+) -> Result<(SnapshotReader, RestoreReport), SnapshotError> {
     let dir = dir.as_ref();
     let mut candidates: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
@@ -203,14 +238,21 @@ pub fn load_latest(dir: impl AsRef<Path>) -> Result<(SnapshotReader, PathBuf, u6
         )));
     }
     candidates.sort();
-    let mut skipped = 0u64;
+    let mut skipped = Vec::new();
     let mut last_err = None;
     for path in candidates.into_iter().rev() {
         let bytes = std::fs::read(&path)?;
         match SnapshotReader::parse(&bytes) {
-            Ok(snap) => return Ok((snap, path, skipped)),
+            Ok(snap) => return Ok((snap, RestoreReport { path, skipped })),
             Err(e) => {
-                skipped += 1;
+                skipped.push(SkippedCheckpoint {
+                    file: path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or("<non-utf8>")
+                        .to_string(),
+                    reason: e.to_string(),
+                });
                 last_err = Some(e);
             }
         }
@@ -285,9 +327,10 @@ mod tests {
             .map(|e| e.file_name().into_string().unwrap())
             .collect();
         assert_eq!(files.len(), 2, "{files:?}");
-        let (snap, _, skipped) = load_latest(c.dir()).unwrap();
+        let (snap, report) = load_latest(c.dir()).unwrap();
         assert_eq!(snap.step(), 4);
-        assert_eq!(skipped, 0);
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.notes(), "");
         let _ = std::fs::remove_dir_all(c.dir());
     }
 
@@ -306,10 +349,16 @@ mod tests {
             for step in 0..3 {
                 c.write(image(step * 10)).unwrap();
             }
-            let (snap, path, skipped) = load_latest(&dir).unwrap();
+            let (snap, report) = load_latest(&dir).unwrap();
             assert_eq!(snap.step(), 10, "latest (torn) skipped, previous used");
-            assert_eq!(skipped, 1, "exactly the torn file was skipped");
-            assert!(path.to_str().unwrap().contains("checkpoint-000001"));
+            assert_eq!(report.skipped.len(), 1, "exactly the torn file skipped");
+            assert_eq!(report.skipped[0].file, "checkpoint-000002.snap");
+            assert!(
+                !report.skipped[0].reason.is_empty(),
+                "skip carries the parse-failure reason"
+            );
+            assert!(report.notes().contains("checkpoint-000002.snap"));
+            assert!(report.path.to_str().unwrap().contains("checkpoint-000001"));
             let _ = std::fs::remove_dir_all(dir);
         }
     }

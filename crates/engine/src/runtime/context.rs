@@ -4,7 +4,7 @@
 use crate::memory::{MemoryBudget, MemoryReport};
 use crate::metrics::{RetuneRecord, ThroughputSeries};
 use crate::router::Router;
-use crate::runtime::degrade::{DegradationPolicy, Governor};
+use crate::runtime::degrade::{DegradationPolicy, Governor, TierPolicy};
 use crate::runtime::fault::{FaultPlan, FaultState};
 use crate::stem::Stem;
 use amri_core::{layout, CostParams, CostReceipt};
@@ -42,12 +42,16 @@ pub enum RunOutcome {
     /// evicting state under a [`DegradationPolicy`] — the graceful
     /// alternative to `OutOfMemory`.
     Degraded {
-        /// First instant any load was shed or state evicted.
+        /// First instant any load was shed, state evicted, or spilled
+        /// data lost.
         first_at: VirtualTime,
         /// Total routing jobs dropped from the backlog.
         shed_jobs: u64,
         /// Total live tuples forcibly evicted from states.
         evicted_tuples: u64,
+        /// Tuples lost to unrecoverable spill-block corruption.
+        #[serde(default)]
+        lost_tuples: u64,
     },
 }
 
@@ -93,6 +97,9 @@ pub struct RunParams {
     pub params: CostParams,
     /// Overload governor; `None` runs the pre-governor hard-death path.
     pub degradation: Option<DegradationPolicy>,
+    /// Spill-tier balancing policy; `None` when no tier is attached (the
+    /// pre-tier all-RAM engine).
+    pub tier: Option<TierPolicy>,
     /// Injected faults; `None` leaves the arrival stream untouched.
     pub faults: Option<FaultPlan>,
     /// Threads executing sharded index work; 1 (the default engine
@@ -162,6 +169,22 @@ pub struct RunContext<C: Clock = VirtualClock> {
     pub pool: crate::runtime::pool::WorkerPool,
     /// Virtual-tick totals for the maintenance path (ingest, migration).
     pub maint: MaintenanceStats,
+    /// Order-sensitive digest folded over every completed join output —
+    /// the byte-identity witness the spill matrix compares across
+    /// budget-constrained, crash-resumed and thread-count variants.
+    pub output_digest: u64,
+    /// Tuples lost to unrecoverable spill-block corruption (merged into
+    /// the degradation report at run end).
+    pub spill_lost: u64,
+    /// First instant spilled data was lost, if ever.
+    pub spill_first_at: Option<VirtualTime>,
+}
+
+/// Fold one observation into an order-sensitive digest (rotate-xor-mul;
+/// same shape as splitmix64's finalizer constants).
+#[inline]
+pub(crate) fn digest_fold(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
 }
 
 impl<C: Clock> RunContext<C> {
@@ -188,7 +211,65 @@ impl<C: Clock> RunContext<C> {
                 .fault
                 .as_ref()
                 .map_or(0, |f| f.phantom_bytes(self.clock.now())),
+            spilled: self.stems.iter().map(|s| s.state.disk_bytes()).sum(),
         }
+    }
+
+    /// Balance the spill tier at a grid point: above the tier's
+    /// high-water mark, spill the globally oldest resident tuples to disk
+    /// in chunks until utilization is back under it; below the low-water
+    /// mark, promote at most one hot block back into RAM. Runs *before*
+    /// the governor, so state moves to disk before any of it is evicted.
+    /// All I/O work is charged to the clock like any other work.
+    pub(crate) fn tier_balance(&mut self, _due: VirtualTime) {
+        let Some(policy) = self.run.tier else {
+            return;
+        };
+        let budget = self.run.budget.bytes;
+        let mut receipt = CostReceipt::new();
+        let mut report = self.memory_report();
+        let high = policy.high_water_bytes(budget);
+        if report.total() > high {
+            while report.total() > high {
+                // Spill from the state holding the globally oldest
+                // resident tuple — mirrors the governor's eviction order,
+                // so the tuples spilled are exactly the ones eviction
+                // would have destroyed.
+                let victim = self
+                    .stems
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.state.oldest_resident_ts().map(|t| (t, i)))
+                    .min();
+                let Some((_, idx)) = victim else {
+                    break; // nothing resident anywhere
+                };
+                let moved = self.stems[idx]
+                    .state
+                    .spill_oldest(policy.spill_chunk, &mut receipt);
+                if moved == 0 {
+                    break; // torn write or nothing spillable: leave it to the governor
+                }
+                report = self.memory_report();
+            }
+        } else if report.total() < policy.low_water_bytes(budget) {
+            // Plenty of headroom: bring back at most one hot block per
+            // grid point (bounded work; keeps the decision deterministic).
+            for stem in &mut self.stems {
+                let outcome = stem
+                    .state
+                    .promote_hottest(policy.promote_min_reads, &mut receipt);
+                if outcome.lost > 0 {
+                    self.spill_lost += outcome.lost as u64;
+                    let now = self.clock.now();
+                    self.spill_first_at.get_or_insert(now);
+                }
+                if outcome.moved > 0 {
+                    break;
+                }
+            }
+        }
+        self.clock.advance(self.run.params.ticks(&receipt));
     }
 
     /// Run the overload governor at grid instant `due` and return the

@@ -103,6 +103,79 @@ impl DegradationPolicy {
     }
 }
 
+/// The spill-tier balancing configuration: when cold buckets move to
+/// disk and when hot spilled blocks come back. Works alongside the
+/// [`DegradationPolicy`] governor — spilling engages *below* the
+/// governor's eviction band, so state moves to disk before any of it has
+/// to be destroyed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierPolicy {
+    /// Budget utilization fraction above which cold tuples spill to disk.
+    pub high_water: f64,
+    /// Utilization fraction below which hot spilled blocks are promoted
+    /// back into RAM.
+    pub low_water: f64,
+    /// Tuples spilled per balancing round before the memory report is
+    /// recomputed.
+    pub spill_chunk: usize,
+    /// Minimum reads a spilled block needs before it qualifies for
+    /// promotion (cold blocks stay on disk).
+    pub promote_min_reads: u32,
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        TierPolicy {
+            high_water: 0.8,
+            low_water: 0.5,
+            spill_chunk: 64,
+            promote_min_reads: 2,
+        }
+    }
+}
+
+impl TierPolicy {
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidDegradationPolicy`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let frac = |name: &str, v: f64| {
+            if !(0.0..=1.0).contains(&v) {
+                Err(EngineError::InvalidDegradationPolicy(format!(
+                    "tier {name} = {v} must lie in [0, 1]"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        frac("high_water", self.high_water)?;
+        frac("low_water", self.low_water)?;
+        if self.low_water > self.high_water {
+            return Err(EngineError::InvalidDegradationPolicy(format!(
+                "tier low_water {} exceeds high_water {}",
+                self.low_water, self.high_water
+            )));
+        }
+        if self.spill_chunk == 0 {
+            return Err(EngineError::InvalidDegradationPolicy(
+                "tier spill_chunk must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bytes above which the balancer spills.
+    pub fn high_water_bytes(&self, budget_bytes: u64) -> u64 {
+        water_bytes(budget_bytes, self.high_water)
+    }
+
+    /// Bytes below which the balancer promotes.
+    pub fn low_water_bytes(&self, budget_bytes: u64) -> u64 {
+        water_bytes(budget_bytes, self.low_water)
+    }
+}
+
 /// One per-grid-point snapshot of the cumulative degradation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DegradationSample {
@@ -124,15 +197,19 @@ pub struct DegradationReport {
     pub shed_jobs: u64,
     /// Total live tuples forcibly evicted from states.
     pub evicted_tuples: u64,
+    /// Tuples lost to unrecoverable spill-block corruption (the block was
+    /// already evicted from RAM when its checksum failed twice).
+    #[serde(default)]
+    pub lost_tuples: u64,
     /// Cumulative counters sampled at every grid point (present only when
     /// a policy was configured; monotone by construction).
     pub samples: Vec<DegradationSample>,
 }
 
 impl DegradationReport {
-    /// True iff the run shed or evicted anything.
+    /// True iff the run shed, evicted or lost anything.
     pub fn degraded(&self) -> bool {
-        self.shed_jobs > 0 || self.evicted_tuples > 0
+        self.shed_jobs > 0 || self.evicted_tuples > 0 || self.lost_tuples > 0
     }
 }
 
@@ -381,6 +458,35 @@ mod tests {
     }
 
     #[test]
+    fn tier_policy_validation() {
+        assert!(TierPolicy::default().validate().is_ok());
+        let inverted = TierPolicy {
+            high_water: 0.4,
+            low_water: 0.6,
+            ..TierPolicy::default()
+        };
+        assert!(inverted.validate().is_err());
+        let zero_chunk = TierPolicy {
+            spill_chunk: 0,
+            ..TierPolicy::default()
+        };
+        assert!(zero_chunk.validate().is_err());
+        let p = TierPolicy::default();
+        assert_eq!(p.high_water_bytes(1000), 800);
+        assert_eq!(p.low_water_bytes(1000), 500);
+        assert!(p.high_water_bytes(u64::MAX) > u64::MAX / 2, "saturates");
+    }
+
+    #[test]
+    fn lost_tuples_count_as_degradation() {
+        let report = DegradationReport {
+            lost_tuples: 3,
+            ..DegradationReport::default()
+        };
+        assert!(report.degraded());
+    }
+
+    #[test]
     fn drop_oldest_keeps_the_freshest_jobs() {
         let mut gov = Governor::new(policy(SheddingPolicy::DropOldest, 3));
         let mut q = JobQueue::new();
@@ -468,6 +574,7 @@ mod tests {
             states: u64::MAX / 2,
             backlog: 0,
             phantom: 0,
+            ..MemoryReport::default()
         };
         assert!(!gov.over_high_water(&report, u64::MAX));
         assert!(gov.over_high_water(
@@ -475,6 +582,7 @@ mod tests {
                 states: 95,
                 backlog: 0,
                 phantom: 0,
+                ..MemoryReport::default()
             },
             100
         ));

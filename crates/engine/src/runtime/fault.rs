@@ -24,6 +24,7 @@
 //!   newest job instead of the oldest with probability `reorder_prob`).
 
 use crate::error::EngineError;
+use amri_core::{IoFaultConfig, SpillStats};
 use amri_stream::{AttrVec, Clock, VirtualDuration, VirtualTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -58,6 +59,11 @@ pub struct FaultPlan {
     pub late_by: VirtualDuration,
     /// Injected allocation-pressure windows.
     pub pressure: Vec<PressureWindow>,
+    /// Disk-layer faults against the spill tier's block store (torn
+    /// writes, read errors, latency spikes). Drawn from the tier's own
+    /// seeded stream, independent of the arrival-fate coins.
+    #[serde(default)]
+    pub io: IoFaultConfig,
 }
 
 impl FaultPlan {
@@ -87,6 +93,7 @@ impl FaultPlan {
                 )));
             }
         }
+        self.io.validate().map_err(EngineError::InvalidFaultPlan)?;
         Ok(())
     }
 
@@ -97,6 +104,7 @@ impl FaultPlan {
             && self.reorder_prob == 0.0
             && self.late_prob == 0.0
             && self.pressure.is_empty()
+            && self.io.is_noop()
     }
 }
 
@@ -130,11 +138,26 @@ pub enum TornMode {
     FlipByte,
 }
 
-/// A fault injected at the checkpoint layer rather than the arrival
-/// stream. These are carried by the
-/// [`Checkpointer`](crate::runtime::checkpoint::Checkpointer), not by a
-/// [`FaultPlan`]: they perturb durability, which only exists when
-/// checkpointing is on.
+/// One flavor of injected disk fault against the spill tier's block
+/// store. The probabilities live in [`FaultPlan::io`]
+/// ([`IoFaultConfig`]); the draws happen inside
+/// [`amri_core::SpillTier`] from its own seeded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoFaultKind {
+    /// A block write is cut short: the tail of the frame never lands, so
+    /// the checksum fails on the write-verify read-back.
+    TornBlockWrite,
+    /// A block read returns garbage (checksum mismatch) and must retry.
+    ReadError,
+    /// A block read stalls for `spike_ns` beyond the profiled latency.
+    LatencySpike,
+}
+
+/// A fault injected at the durability layer rather than the arrival
+/// stream. `CrashAt`/`TornWrite` are carried by the
+/// [`Checkpointer`](crate::runtime::checkpoint::Checkpointer); `Io`
+/// faults are carried by [`FaultPlan::io`] and fire inside the spill
+/// tier's block store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Kill the run when the pipeline's step counter reaches `step`
@@ -152,6 +175,33 @@ pub enum FaultKind {
         /// How the bytes are damaged.
         mode: TornMode,
     },
+    /// A disk fault fired inside the spill tier's block store.
+    Io {
+        /// Which flavor of disk fault.
+        kind: IoFaultKind,
+    },
+}
+
+/// The disk-fault kinds that actually fired during a run, read off the
+/// spill tier's counters. Same seed → same stats → identical report.
+pub fn io_faults_fired(stats: &SpillStats) -> Vec<FaultKind> {
+    let mut fired = Vec::new();
+    if stats.torn_writes > 0 {
+        fired.push(FaultKind::Io {
+            kind: IoFaultKind::TornBlockWrite,
+        });
+    }
+    if stats.read_errors > 0 {
+        fired.push(FaultKind::Io {
+            kind: IoFaultKind::ReadError,
+        });
+    }
+    if stats.latency_spikes > 0 {
+        fired.push(FaultKind::Io {
+            kind: IoFaultKind::LatencySpike,
+        });
+    }
+    fired
 }
 
 /// The fate of one arriving tuple, decided after its attributes exist.
@@ -377,7 +427,7 @@ mod tests {
             reorder_prob: 0.3,
             late_prob: 0.1,
             late_by: VirtualDuration::from_secs(5),
-            pressure: vec![],
+            ..FaultPlan::default()
         }
     }
 
@@ -404,6 +454,46 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(inverted.validate().is_err());
+        let bad_io = FaultPlan {
+            io: IoFaultConfig {
+                read_error_prob: -0.5,
+                ..IoFaultConfig::default()
+            },
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            bad_io.validate(),
+            Err(EngineError::InvalidFaultPlan(_))
+        ));
+        let io_only = FaultPlan {
+            io: IoFaultConfig {
+                torn_write_prob: 0.1,
+                ..IoFaultConfig::default()
+            },
+            ..FaultPlan::default()
+        };
+        assert!(!io_only.is_noop());
+    }
+
+    #[test]
+    fn io_fault_kinds_are_read_off_spill_counters() {
+        assert!(io_faults_fired(&SpillStats::default()).is_empty());
+        let stats = SpillStats {
+            torn_writes: 2,
+            latency_spikes: 1,
+            ..SpillStats::default()
+        };
+        assert_eq!(
+            io_faults_fired(&stats),
+            vec![
+                FaultKind::Io {
+                    kind: IoFaultKind::TornBlockWrite
+                },
+                FaultKind::Io {
+                    kind: IoFaultKind::LatencySpike
+                },
+            ]
+        );
     }
 
     #[test]

@@ -56,15 +56,17 @@ pub mod pipeline;
 pub mod pool;
 pub mod session;
 
-pub use checkpoint::{load_latest, CheckpointPolicy, Checkpointer};
+pub use checkpoint::{
+    load_latest, CheckpointPolicy, Checkpointer, RestoreReport, SkippedCheckpoint,
+};
 pub use clock::WallClock;
 pub use context::{Job, MaintenanceStats, RunContext, RunOutcome, RunParams};
 pub use degrade::{
-    DegradationPolicy, DegradationReport, DegradationSample, Governor, SheddingPolicy,
+    DegradationPolicy, DegradationReport, DegradationSample, Governor, SheddingPolicy, TierPolicy,
 };
 pub use fault::{
-    ArrivalFate, FaultKind, FaultPlan, FaultReport, FaultState, PressureWindow, SkewedClock,
-    TornMode,
+    io_faults_fired, ArrivalFate, FaultKind, FaultPlan, FaultReport, FaultState, IoFaultKind,
+    PressureWindow, SkewedClock, TornMode,
 };
 pub use operators::{
     IngestOperator, Operator, ProbeOperator, SampleOperator, StepStatus, StreamWorkload,

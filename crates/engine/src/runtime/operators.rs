@@ -9,7 +9,7 @@
 //! byte-identical.
 
 use crate::metrics::RetuneRecord;
-use crate::runtime::context::{Job, RunContext, RunOutcome};
+use crate::runtime::context::{digest_fold, Job, RunContext, RunOutcome};
 use crate::runtime::degrade::push_governed;
 use crate::runtime::fault::ArrivalFate;
 use amri_core::assess::Assessor;
@@ -98,6 +98,10 @@ impl<C: Clock> Operator<C> for SampleOperator {
 
     fn step(&mut self, ctx: &mut RunContext<C>) -> StepStatus {
         let due = ctx.series.next_due();
+        // Tier balancing runs *before* the governor: cold tuples move to
+        // disk first, so eviction (which destroys state) only fires if
+        // spilling could not clear the pressure.
+        ctx.tier_balance(due);
         // With a governor, shed/evict *before* the budget check — the
         // breach only kills the run if governance couldn't clear it.
         // Without one this is exactly the pre-governor report.
@@ -359,6 +363,9 @@ impl<C: Clock> Operator<C> for ProbeOperator {
             run,
             governor,
             pool,
+            output_digest,
+            spill_lost,
+            spill_first_at,
             ..
         } = ctx;
         let target = router.choose_next(pt.covered);
@@ -397,8 +404,18 @@ impl<C: Clock> Operator<C> for ProbeOperator {
         let now = clock.now();
         let mut matches = 0usize;
         for &key in &stem.scratch.hits {
-            let Some(t) = stem.state.tuple(key) else {
-                continue;
+            // Read the hit's full tuple: free for RAM-resident tuples, a
+            // charged (and fallible) block read for spill-resident ones.
+            // A lost block — double read error or real corruption — purges
+            // its stubs and counts as typed degradation, never a panic.
+            let t = match stem.state.materialize(key, &mut receipt) {
+                Ok(Some(t)) => t,
+                Ok(None) => continue,
+                Err(lost) => {
+                    *spill_lost += lost as u64;
+                    spill_first_at.get_or_insert(now);
+                    continue;
+                }
             };
             // Lazy expiry: skip tuples that slid out of the window.
             if !window.live(t.ts, now) {
@@ -425,6 +442,17 @@ impl<C: Clock> Operator<C> for ProbeOperator {
             let extended = pt.extend(target, t.attrs, t.ts);
             if extended.is_complete(n) {
                 *outputs += 1;
+                // Fold the completed output into the order-sensitive run
+                // digest — the identity witness the spill matrix pins.
+                let mut h = digest_fold(*output_digest, job.origin_ts.0);
+                for s in 0..n {
+                    if let Some(part) = extended.part(StreamId(s as u16)) {
+                        for &v in part.as_slice() {
+                            h = digest_fold(h, v);
+                        }
+                    }
+                }
+                *output_digest = h;
             } else {
                 push_governed(
                     governor,

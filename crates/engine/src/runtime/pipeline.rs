@@ -49,6 +49,14 @@ pub struct RunResult {
     /// What the fault plan injected (all zeros without a
     /// [`FaultPlan`](crate::FaultPlan)).
     pub faults: FaultReport,
+    /// What the spill tier did (all zeros without a tier), summed over
+    /// every STeM's block store.
+    #[serde(default)]
+    pub spill: amri_core::SpillStats,
+    /// Order-sensitive digest over every completed join output — the
+    /// byte-identity witness compared across budget/crash/thread variants.
+    #[serde(default)]
+    pub output_digest: u64,
 }
 
 impl RunResult {
@@ -151,6 +159,9 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             fault,
             pool,
             maint: MaintenanceStats::default(),
+            output_digest: 0,
+            spill_lost: 0,
+            spill_first_at: None,
         };
         Pipeline {
             ctx,
@@ -332,6 +343,15 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
         w.put_u64(ctx.sojourn_ticks);
         w.put_u64(ctx.jobs_processed);
         w.put_time(ctx.grid_due);
+        w.put_u64(ctx.output_digest);
+        w.put_u64(ctx.spill_lost);
+        match ctx.spill_first_at {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_time(t);
+            }
+            None => w.put_bool(false),
+        }
         snap.add("runtime", w);
 
         let mut w = SectionWriter::new();
@@ -432,6 +452,13 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
         self.ctx.sojourn_ticks = r.get_u64()?;
         self.ctx.jobs_processed = r.get_u64()?;
         self.ctx.grid_due = r.get_time()?;
+        self.ctx.output_digest = r.get_u64()?;
+        self.ctx.spill_lost = r.get_u64()?;
+        self.ctx.spill_first_at = if r.get_bool()? {
+            Some(r.get_time()?)
+        } else {
+            None
+        };
         self.ctx.step = snap.step();
         self.ctx.clock.advance_to(now);
 
@@ -547,9 +574,21 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
     fn into_result(self) -> RunResult {
         let ctx = self.ctx;
         let pattern_stats = ctx.observers.iter().map(|o| o.frequent(0.0)).collect();
-        let degradation = ctx.governor.map(|g| g.report).unwrap_or_default();
+        let mut spill = amri_core::SpillStats::default();
+        for s in &ctx.stems {
+            spill.merge(&s.state.spill_stats());
+        }
+        let mut degradation = ctx.governor.map(|g| g.report).unwrap_or_default();
+        // Tuples lost to unrecoverable spill blocks are degradation too,
+        // even in runs without an overload governor.
+        degradation.lost_tuples += ctx.spill_lost;
+        degradation.first_at = match (degradation.first_at, ctx.spill_first_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let faults = ctx.fault.map(|f| f.report).unwrap_or_default();
-        // A run that completed only by shedding/evicting is Degraded.
+        // A run that completed only by shedding/evicting/losing is
+        // Degraded.
         let outcome = match ctx.outcome {
             RunOutcome::Completed if degradation.degraded() => RunOutcome::Degraded {
                 first_at: degradation
@@ -557,6 +596,7 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
                     .expect("degraded() implies a first event was recorded"),
                 shed_jobs: degradation.shed_jobs,
                 evicted_tuples: degradation.evicted_tuples,
+                lost_tuples: degradation.lost_tuples,
             },
             other => other,
         };
@@ -576,6 +616,8 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
             requests: ctx.stems.iter().map(|s| s.requests_served).collect(),
             degradation,
             faults,
+            spill,
+            output_digest: ctx.output_digest,
         }
     }
 }

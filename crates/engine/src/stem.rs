@@ -387,6 +387,103 @@ impl JoinState {
         }
     }
 
+    /// Attach a disk spill tier to the flavor's backing store — cold
+    /// tuples can then leave RAM as probe-ready stubs.
+    pub fn enable_spill(&mut self, tier: amri_core::SpillTier) {
+        match self {
+            JoinState::Amri(s) => s.enable_spill(tier),
+            JoinState::MultiHash { store, .. } => store.enable_spill(tier),
+            JoinState::StaticBitmap(s) => s.enable_spill(tier),
+            JoinState::Scan(s) => s.enable_spill(tier),
+        }
+    }
+
+    /// Read the full tuple behind a search hit: free for RAM-resident
+    /// tuples, a charged block read for spill-resident ones.
+    ///
+    /// # Errors
+    /// The number of tuples lost when the backing block is unrecoverable
+    /// (its stubs are purged — typed degradation, not a panic).
+    pub fn materialize(
+        &mut self,
+        key: TupleKey,
+        receipt: &mut CostReceipt,
+    ) -> Result<Option<Tuple>, usize> {
+        match self {
+            JoinState::Amri(s) => s.materialize(key, receipt),
+            JoinState::MultiHash { store, .. } => store.materialize(key, receipt),
+            JoinState::StaticBitmap(s) => s.materialize(key, receipt),
+            JoinState::Scan(s) => s.materialize(key, receipt),
+        }
+    }
+
+    /// Arrival instant of the oldest RAM-resident tuple, if any.
+    pub fn oldest_resident_ts(&self) -> Option<VirtualTime> {
+        match self {
+            JoinState::Amri(s) => s.oldest_resident_ts(),
+            JoinState::MultiHash { store, .. } => store.oldest_resident_ts(),
+            JoinState::StaticBitmap(s) => s.oldest_resident_ts(),
+            JoinState::Scan(s) => s.oldest_resident_ts(),
+        }
+    }
+
+    /// Spill up to `max` of the oldest resident tuples into one disk
+    /// block; returns how many moved (0 without a tier or on a torn
+    /// write — data never leaves RAM un-verified).
+    pub fn spill_oldest(&mut self, max: usize, receipt: &mut CostReceipt) -> usize {
+        match self {
+            JoinState::Amri(s) => s.spill_oldest(max, receipt),
+            JoinState::MultiHash { store, .. } => store.spill_oldest(max, receipt),
+            JoinState::StaticBitmap(s) => s.spill_oldest(max, receipt),
+            JoinState::Scan(s) => s.spill_oldest(max, receipt),
+        }
+    }
+
+    /// Promote the hottest spill block (≥ `min_reads` materialization
+    /// reads) back into RAM.
+    pub fn promote_hottest(
+        &mut self,
+        min_reads: u32,
+        receipt: &mut CostReceipt,
+    ) -> amri_core::SpillOutcome {
+        match self {
+            JoinState::Amri(s) => s.promote_hottest(min_reads, receipt),
+            JoinState::MultiHash { store, .. } => store.promote_hottest(min_reads, receipt),
+            JoinState::StaticBitmap(s) => s.promote_hottest(min_reads, receipt),
+            JoinState::Scan(s) => s.promote_hottest(min_reads, receipt),
+        }
+    }
+
+    /// The spill tier's cumulative counters (zeros without a tier).
+    pub fn spill_stats(&self) -> amri_core::SpillStats {
+        match self {
+            JoinState::Amri(s) => s.spill_stats(),
+            JoinState::MultiHash { store, .. } => store.spill_stats(),
+            JoinState::StaticBitmap(s) => s.spill_stats(),
+            JoinState::Scan(s) => s.spill_stats(),
+        }
+    }
+
+    /// Live tuples currently spill-resident.
+    pub fn spilled_len(&self) -> usize {
+        match self {
+            JoinState::Amri(s) => s.spilled_len(),
+            JoinState::MultiHash { store, .. } => store.spilled_len(),
+            JoinState::StaticBitmap(s) => s.spilled_len(),
+            JoinState::Scan(s) => s.spilled_len(),
+        }
+    }
+
+    /// Bytes of live spilled data on disk (informational; not RAM).
+    pub fn disk_bytes(&self) -> u64 {
+        match self {
+            JoinState::Amri(s) => s.disk_bytes(),
+            JoinState::MultiHash { store, .. } => store.disk_bytes(),
+            JoinState::StaticBitmap(s) => s.disk_bytes(),
+            JoinState::Scan(s) => s.disk_bytes(),
+        }
+    }
+
     /// Accounted bytes (store + index + statistics).
     pub fn memory_bytes(&self) -> u64 {
         match self {

@@ -66,6 +66,21 @@ impl BudgetLedger {
     pub fn release(&mut self, reservation: u64) {
         self.committed = self.committed.saturating_sub(reservation);
     }
+
+    /// The RAM bytes admission actually has to carve for a tenant: its
+    /// whole engine budget, or — when the tenant runs a disk spill tier —
+    /// only the tier's high-water carve, because the tier's balancer
+    /// keeps the resident set at or below that mark and the overflow
+    /// lives on disk, outside the global RAM pool. Spill is thus an
+    /// *admission alternative*: a tenant too large to fit the remaining
+    /// budget outright can still be admitted by bringing a tier.
+    /// Unlimited budgets stay unlimited.
+    pub fn effective_reservation(budget: u64, spill_high_water: Option<f64>) -> u64 {
+        match spill_high_water {
+            Some(hw) if budget != u64::MAX => (budget as f64 * hw).ceil() as u64,
+            _ => budget,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +114,20 @@ mod tests {
         let l = BudgetLedger::new(MemoryBudget { bytes: 100 });
         assert!(!l.admissible(101));
         assert!(l.admissible(100));
+    }
+
+    #[test]
+    fn spill_tier_shrinks_the_effective_reservation() {
+        // No tier: the full budget is carved.
+        assert_eq!(BudgetLedger::effective_reservation(1000, None), 1000);
+        // A tier with high water 0.8 only needs the resident carve.
+        assert_eq!(BudgetLedger::effective_reservation(1000, Some(0.8)), 800);
+        // Rounding is conservative (ceil): never under-reserve.
+        assert_eq!(BudgetLedger::effective_reservation(1001, Some(0.8)), 801);
+        // Unlimited budgets stay unlimited either way.
+        assert_eq!(
+            BudgetLedger::effective_reservation(u64::MAX, Some(0.5)),
+            u64::MAX
+        );
     }
 }

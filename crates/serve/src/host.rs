@@ -136,10 +136,16 @@ impl<W: StreamWorkload> TenantHost<W> {
         self.ledger.committed()
     }
 
-    /// Admit a tenant: carve its reservation (= its own engine
-    /// `MemoryBudget`) from the global budget and make it schedulable,
-    /// or queue it until the reservation fits. Ids are assigned in
-    /// admission order.
+    /// Admit a tenant: carve its reservation from the global budget and
+    /// make it schedulable, or queue it until the reservation fits. Ids
+    /// are assigned in admission order.
+    ///
+    /// The reservation is normally the tenant's own engine
+    /// `MemoryBudget`; a tenant configured with a disk spill tier only
+    /// reserves its tier's high-water carve
+    /// ([`BudgetLedger::effective_reservation`]) — spill is an admission
+    /// alternative, letting a tenant that would otherwise queue run
+    /// within a smaller RAM slice by keeping cold state on disk.
     ///
     /// # Errors
     /// * [`ServeError::ZeroWeight`] — the scheduler divides by weight.
@@ -154,7 +160,7 @@ impl<W: StreamWorkload> TenantHost<W> {
         if weight == 0 {
             return Err(ServeError::ZeroWeight);
         }
-        let reservation = exec.config().budget.bytes;
+        let reservation = Self::reservation_for(&exec);
         if !self.ledger.admissible(reservation) {
             return Err(ServeError::ReservationExceedsGlobal {
                 reservation,
@@ -207,7 +213,7 @@ impl<W: StreamWorkload> TenantHost<W> {
         if weight == 0 {
             return Err(ServeError::ZeroWeight);
         }
-        let reservation = exec.config().budget.bytes;
+        let reservation = Self::reservation_for(&exec);
         if !self.ledger.admissible(reservation) {
             return Err(ServeError::ReservationExceedsGlobal {
                 reservation,
@@ -254,7 +260,7 @@ impl<W: StreamWorkload> TenantHost<W> {
             });
         };
         let snap = snap.clone();
-        let reservation = exec.config().budget.bytes;
+        let reservation = Self::reservation_for(&exec);
         let bytes = std::fs::read(&snap)?;
         let reader = SnapshotReader::parse(&bytes)?;
         let pipeline = exec.resume_from(&reader)?;
@@ -484,6 +490,17 @@ impl<W: StreamWorkload> TenantHost<W> {
                 }
             })
             .collect()
+    }
+
+    /// The RAM bytes this tenant's admission must carve: its engine
+    /// budget, shrunk to the spill tier's high-water carve when one is
+    /// configured (the tier keeps the resident set under that mark).
+    fn reservation_for(exec: &Executor<W>) -> u64 {
+        let cfg = exec.config();
+        BudgetLedger::effective_reservation(
+            cfg.budget.bytes,
+            cfg.spill.as_ref().map(|s| s.policy.high_water),
+        )
     }
 
     fn slot(&self, id: TenantId) -> Result<&Slot<W>, ServeError> {

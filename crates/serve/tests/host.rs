@@ -297,3 +297,49 @@ fn refusal_paths_are_typed() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn spill_tier_is_an_admission_alternative() {
+    use amri_engine::SpillSettings;
+
+    // Global budget: one plain 8 MiB tenant fits with 7 MiB to spare.
+    let cfg = HostConfig {
+        budget: MemoryBudget::mib(15),
+        ..HostConfig::default()
+    };
+    let mut host = TenantHost::new(cfg);
+    let sc = scenario(23);
+    let a = host
+        .admit("plain-a", 1, executor(&sc, IndexingMode::Scan))
+        .unwrap();
+    assert!(matches!(a, Admission::Admitted(_)));
+
+    // A second plain 8 MiB tenant cannot fit the remaining 7 MiB.
+    let b = host
+        .admit("plain-b", 1, executor(&sc, IndexingMode::Scan))
+        .unwrap();
+    assert!(matches!(b, Admission::Queued(_)));
+
+    // The same tenant *with a spill tier* only reserves its high-water
+    // carve (0.8 · 8 MiB = 6.4 MiB ≤ 7 MiB): spill buys admission.
+    let dir = tmpdir("spill-admission");
+    let mut spilled_sc = scenario(23);
+    spilled_sc.engine.spill = Some(SpillSettings::in_dir(&dir));
+    let c = host
+        .admit("spilled-c", 1, executor(&spilled_sc, IndexingMode::Scan))
+        .unwrap();
+    assert!(
+        matches!(c, Admission::Admitted(_)),
+        "the spill tier's smaller carve must fit where the full budget did not"
+    );
+    let expected = 8 * 1024 * 1024
+        + amri_serve::BudgetLedger::effective_reservation(8 * 1024 * 1024, Some(0.8));
+    assert_eq!(host.committed_bytes(), expected);
+
+    // Everyone completes; the freed carves activate the queued tenant.
+    host.drive();
+    for (i, r) in host.into_reports().iter().enumerate() {
+        assert_eq!(r.state, TenantState::Completed, "tenant {i}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

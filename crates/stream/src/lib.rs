@@ -43,7 +43,8 @@ pub use pattern::{AccessPattern, SearchRequest};
 pub use query::{JoinGraph, JoinOp, JoinPredicate, Selection, SpjQuery};
 pub use schema::{AttrDomain, AttrId, AttrSpec, StreamId, StreamSchema};
 pub use snapshot::{
-    SectionReader, SectionWriter, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_VERSION,
+    open_block, seal_block, SectionReader, SectionWriter, SnapshotError, SnapshotReader,
+    SnapshotWriter, SNAPSHOT_VERSION,
 };
 pub use time::{Clock, VirtualClock, VirtualDuration, VirtualTime, TICKS_PER_SEC};
 pub use tuple::{PartialTuple, StreamMask, Tuple, TupleId};

@@ -122,6 +122,20 @@ impl<T> WindowBuffer<T> {
         self.queue.pop_front()
     }
 
+    /// Iterate the live items in arrival order without draining them —
+    /// the read-only walk a storage tier uses to pick spill victims.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &(VirtualTime, T)> {
+        self.queue.iter()
+    }
+
+    /// Keep only the items for which `keep` returns true, preserving
+    /// arrival order. The purge primitive for a storage tier that lost a
+    /// block: the owning state removes exactly the affected handles.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        self.queue.retain(|(_, item)| keep(item));
+    }
+
     /// Count of items that would expire at `now` without removing them.
     pub fn expired_count(&self, now: VirtualTime) -> usize {
         self.queue

@@ -128,12 +128,14 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                     c_move: 0.06,
                     c_base: 0.10,
                     probe_aware: true,
+                    storage: amri_core::cost::StorageProfile::default(),
                 },
                 degradation: None,
                 faults: None,
                 shards: 1,
                 parallelism: std::num::NonZeroUsize::MIN,
                 spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
+                spill: None,
             };
             PaperScenario {
                 query,
@@ -171,12 +173,14 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                     c_move: 0.06,
                     c_base: 0.10,
                     probe_aware: true,
+                    storage: amri_core::cost::StorageProfile::default(),
                 },
                 degradation: None,
                 faults: None,
                 shards: 1,
                 parallelism: std::num::NonZeroUsize::MIN,
                 spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
+                spill: None,
             };
             PaperScenario {
                 query,

@@ -94,6 +94,32 @@ diff "${CRASH_OUT}/baseline_summary.csv" "${CRASH_OUT}/resumed_summary.csv" \
 echo "torn latest snapshot skipped, fallback byte-identical"
 rm -rf "${CRASH_OUT}"
 
+# Spill-tier acceptance: every indexing mode is run under a budget that
+# kills the all-RAM engine; the same budget with a disk spill tier must
+# complete with the unconstrained outputs and output digest (the identity
+# storage profile charges no virtual time), crash+resume with the tier
+# active must be byte-identical, and the seeded disk-fault storm (torn
+# writes, double read failures, latency spikes) must end typed —
+# Completed or Degraded matching the loss counters, never a panic — and
+# replay bit-for-bit. The bin exits non-zero on any violation; the diffs
+# below additionally pin that every measured column of the spilled
+# summary — spill counters included — is byte-identical across thread
+# counts (column 15 is the recorded thread count, blanked as above).
+echo "==> spill-tier matrix (OOM budget survives via disk, identical across threads)"
+SPILL_A="$(mktemp -d)"
+SPILL_B="$(mktemp -d)"
+cargo run --release -q -p amri-bench --bin spill_matrix -- \
+    --quick --threads 1 --out "${SPILL_A}"
+cargo run --release -q -p amri-bench --bin spill_matrix -- \
+    --quick --threads 4 --out "${SPILL_B}"
+diff <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_A}/spilled_summary.csv") \
+     <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_B}/spilled_summary.csv") \
+    || { echo "spilled summary diverged across thread counts"; exit 1; }
+diff "${SPILL_A}/spill_identity.csv" "${SPILL_B}/spill_identity.csv" \
+    || { echo "spill identity report diverged across thread counts"; exit 1; }
+echo "spill matrix green: beyond-RAM windows, byte-identical across threads 1 and 4"
+rm -rf "${SPILL_A}" "${SPILL_B}"
+
 # Fleet-sweep smoke: the same four-cell sweep (mixed indexing modes, one
 # tenant forced through the admission queue) run three ways — hosted in
 # one TenantHost, solo with no host anywhere, and hosted with a mid-sweep

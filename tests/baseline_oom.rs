@@ -116,6 +116,7 @@ fn degradation_policy_keeps_a_doomed_run_alive() {
         first_at,
         shed_jobs,
         evicted_tuples,
+        ..
     } = governed.outcome
     else {
         panic!(

@@ -65,8 +65,11 @@ fn crash_and_resume(
         "at least one checkpoint must precede the crash"
     );
 
-    let (snap, _path, skipped) = load_latest(dir).expect("a good snapshot must be recoverable");
-    assert_eq!(skipped, 0, "no snapshot was corrupted in this scenario");
+    let (snap, report) = load_latest(dir).expect("a good snapshot must be recoverable");
+    assert!(
+        report.skipped.is_empty(),
+        "no snapshot was corrupted in this scenario"
+    );
     let resumed = executor(sc, mode)
         .resume_from(&snap)
         .expect("an identically-configured executor must accept the snapshot")
@@ -161,7 +164,7 @@ fn degraded_and_faulted_runs_recover_byte_identically() {
         reorder_prob: 0.15,
         late_prob: 0.1,
         late_by: VirtualDuration::from_secs(2),
-        pressure: vec![],
+        ..FaultPlan::default()
     });
     let mode = IndexingMode::Amri {
         assessor: AssessorKind::Csria,
@@ -202,11 +205,20 @@ fn torn_final_snapshot_falls_back_to_previous_good_image() {
             .expect_err("the armed crash must kill the run");
         assert_eq!(ckpt.checkpoints_taken(), 3);
 
-        let (snap, path, skipped) = load_latest(&dir).expect("fallback must find seq 1");
-        assert_eq!(skipped, 1, "exactly the torn file is skipped ({mode:?})");
+        let (snap, report) = load_latest(&dir).expect("fallback must find seq 1");
+        assert_eq!(
+            report.skipped.len(),
+            1,
+            "exactly the torn file is skipped ({mode:?})"
+        );
+        assert_eq!(report.skipped[0].file, "checkpoint-000002.snap");
         assert!(
-            path.to_string_lossy().ends_with("checkpoint-000001.snap"),
-            "fallback must pick the previous image, got {path:?}"
+            report
+                .path
+                .to_string_lossy()
+                .ends_with("checkpoint-000001.snap"),
+            "fallback must pick the previous image, got {:?}",
+            report.path
         );
         let resumed = executor(&sc, index_mode)
             .resume_from(&snap)
@@ -232,7 +244,7 @@ fn mismatched_configuration_is_refused() {
     exec.into_pipeline()
         .run_with(Some(&mut ckpt), fingerprint)
         .expect_err("the armed crash must kill the run");
-    let (snap, _, _) = load_latest(&dir).unwrap();
+    let (snap, _report) = load_latest(&dir).unwrap();
 
     // Different seed → different workload and router streams → refused.
     let mut other = scenario(3);
@@ -280,7 +292,7 @@ fn parallel_ingest_with_degradation_and_faults_recovers_byte_identically() {
         reorder_prob: 0.15,
         late_prob: 0.1,
         late_by: VirtualDuration::from_secs(2),
-        pressure: vec![],
+        ..FaultPlan::default()
     });
     let mode = IndexingMode::Amri {
         assessor: AssessorKind::Csria,

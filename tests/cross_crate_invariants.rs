@@ -80,6 +80,7 @@ fn engine_config(lambda: f64, secs: u64, policy: PolicyKind) -> EngineConfig {
         shards: 1,
         parallelism: std::num::NonZeroUsize::MIN,
         spare_buffer_cap: amri_stream::DEFAULT_MAX_SPARE_BUFFERS,
+        spill: None,
     }
 }
 

@@ -31,7 +31,7 @@ fn noisy_plan(seed: u64) -> FaultPlan {
         reorder_prob: 0.2,
         late_prob: 0.1,
         late_by: VirtualDuration::from_secs(2),
-        pressure: vec![],
+        ..FaultPlan::default()
     }
 }
 

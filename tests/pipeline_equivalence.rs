@@ -28,6 +28,13 @@ use amri_stream::{
 use amri_synth::scenario::{paper_scenario, Scale};
 use std::collections::VecDeque;
 
+/// Mirror of the runtime's output-digest fold — a pure observer over the
+/// completed-output stream, so it cannot perturb the frozen loop's
+/// behavior; it only lets the baseline fill `RunResult::output_digest`.
+fn digest_fold(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
+}
+
 /// One routing job, as the pre-refactor loop represented it.
 #[derive(Debug, Clone, Copy)]
 struct Job {
@@ -135,6 +142,7 @@ impl<W: StreamWorkload> Reference<W> {
             backlog: backlog_len as u64
                 * layout::queued_request_bytes(self.query.n_streams(), arity),
             phantom: 0,
+            spilled: 0,
         }
     }
 
@@ -151,6 +159,7 @@ impl<W: StreamWorkload> Reference<W> {
             .map(|i| VirtualTime(base_gap.0 * i as u64 / n as u64))
             .collect();
         let mut outputs: u64 = 0;
+        let mut output_digest: u64 = 0;
         let mut tuple_seq: u64 = 0;
         let mut sojourn_ticks: u64 = 0;
         let mut jobs_processed: u64 = 0;
@@ -265,6 +274,15 @@ impl<W: StreamWorkload> Reference<W> {
                     let extended = pt.extend(target, t.attrs, t.ts);
                     if extended.is_complete(n) {
                         outputs += 1;
+                        let mut h = digest_fold(output_digest, job.origin_ts.0);
+                        for s in 0..n {
+                            if let Some(part) = extended.part(StreamId(s as u16)) {
+                                for &v in part.as_slice() {
+                                    h = digest_fold(h, v);
+                                }
+                            }
+                        }
+                        output_digest = h;
                     } else {
                         backlog.push_back(Job {
                             pt: extended,
@@ -309,6 +327,8 @@ impl<W: StreamWorkload> Reference<W> {
             requests: self.stems.iter().map(|s| s.requests_served).collect(),
             degradation: Default::default(),
             faults: Default::default(),
+            spill: Default::default(),
+            output_digest,
         }
     }
 }

@@ -168,18 +168,21 @@ fn budget_exhaustion_boundaries() {
         states: 600,
         backlog: 400,
         phantom: 0,
+        spilled: 0,
     };
     assert!(!exactly.over(budget), "spending the whole budget is fine");
     let one_more = MemoryReport {
         states: 600,
         backlog: 401,
         phantom: 0,
+        spilled: 0,
     };
     assert!(one_more.over(budget), "one byte past the budget kills");
     let huge = MemoryReport {
         states: u64::MAX,
         backlog: 0,
         phantom: 0,
+        spilled: 0,
     };
     assert!(
         !huge.over(MemoryBudget::unlimited()),

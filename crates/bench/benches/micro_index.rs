@@ -322,6 +322,11 @@ fn bench_migrate_parallel(c: &mut Criterion) {
 /// A populated state with a disk spill tier attached: 4k tuples over a
 /// window wide enough that nothing expires mid-measurement.
 fn spill_store(tag: &str) -> StateStore<ScanIndex> {
+    spill_store_with(tag, StorageProfile::default(), 0)
+}
+
+/// `spill_store` with an explicit storage profile and block-cache budget.
+fn spill_store_with(tag: &str, profile: StorageProfile, cache_bytes: u64) -> StateStore<ScanIndex> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static N: AtomicU64 = AtomicU64::new(0);
     let n = N.fetch_add(1, Ordering::Relaxed);
@@ -330,9 +335,10 @@ fn spill_store(tag: &str) -> StateStore<ScanIndex> {
     let tier = SpillTier::create(&SpillConfig {
         dir,
         file_name: "s0.blocks".into(),
-        profile: StorageProfile::default(),
+        profile,
         faults: IoFaultConfig::default(),
         seed: 11,
+        cache_bytes,
     })
     .expect("temp dir block store");
     let mut store = StateStore::new(
@@ -406,6 +412,128 @@ fn bench_spill(c: &mut Criterion) {
     g.finish();
 }
 
+/// The spill-tier fast path: decoded-block cache hits, coalesced batch
+/// reads and expiry-order readahead, measured against the cold verified
+/// read they replace. The acceptance bar: a warm hit beats the cold
+/// materialize by ≥ 5x, and a coalesced 64-hit batch beats 64
+/// independent reads by ≥ 3x.
+fn bench_spill_cached(c: &mut Criterion) {
+    const CACHE: u64 = 1 << 20; // 1 MiB: plenty for every spilled block.
+    let exec = amri_core::SequentialExecutor;
+
+    // Fresh half-spilled store; keys 0..64 all land in the first block.
+    let half_spilled = |tag: &str, profile: StorageProfile, cache: u64| {
+        let mut store = spill_store_with(tag, profile, cache);
+        let mut r = CostReceipt::new();
+        while store.spilled_frac() < 0.5 {
+            store.spill_oldest(256, &mut r);
+        }
+        store
+    };
+
+    let mut g = c.benchmark_group("spill_cached_4k");
+    g.sample_size(20);
+
+    // Cold read: cache enabled but empty — a miss pays the verified
+    // device read plus decode plus admission.
+    g.bench_function("cold_read", |b| {
+        b.iter_batched(
+            || half_spilled("cold", StorageProfile::default(), CACHE),
+            |mut store| {
+                let mut r = CostReceipt::new();
+                let t = store
+                    .materialize(TupleKey(0), &mut r)
+                    .expect("block store intact")
+                    .expect("tuple 0 was spilled and live");
+                black_box(t.id)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Warm hit: the block is already decoded in the cache — no file I/O,
+    // no checksum, no decode; just the slot lookup and the entry scan.
+    g.bench_function("warm_hit", |b| {
+        let mut store = half_spilled("warm", StorageProfile::default(), CACHE);
+        let mut r = CostReceipt::new();
+        store
+            .materialize(TupleKey(0), &mut r)
+            .expect("block store intact")
+            .expect("warming read");
+        b.iter(|| {
+            let mut r = CostReceipt::new();
+            let t = store
+                .materialize(TupleKey(0), &mut r)
+                .expect("block store intact")
+                .expect("tuple 0 stays cached");
+            black_box(t.id)
+        })
+    });
+
+    // Coalesced batch: 64 stub hits in one probe batch, grouped by
+    // block — one verified read serves all of them.
+    let keys: Vec<TupleKey> = (0..64).map(TupleKey).collect();
+    g.bench_function("coalesced_batch_64", |b| {
+        b.iter_batched(
+            || {
+                (
+                    half_spilled("batch", StorageProfile::default(), CACHE),
+                    Vec::new(),
+                )
+            },
+            |(mut store, mut out)| {
+                let mut r = CostReceipt::new();
+                let lost = store.materialize_batch(&keys, &mut out, &mut r, &exec);
+                assert_eq!(lost, 0);
+                black_box(out.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // The baseline the batch replaces: 64 independent cacheless reads,
+    // each paying its own device read.
+    g.bench_function("independent_64", |b| {
+        b.iter_batched(
+            || half_spilled("indep", StorageProfile::default(), 0),
+            |mut store| {
+                let mut r = CostReceipt::new();
+                let mut sum = 0u64;
+                for k in &keys {
+                    let t = store
+                        .materialize(*k, &mut r)
+                        .expect("block store intact")
+                        .expect("spilled and live");
+                    sum += t.id.0;
+                }
+                black_box(sum)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Expiry-order readahead: plan the next-oldest blocks and drain the
+    // prefetch — the background work a grid point overlaps with compute.
+    g.bench_function("readahead_drain_2", |b| {
+        let profile = StorageProfile {
+            readahead_blocks: 2,
+            ..StorageProfile::default()
+        };
+        b.iter_batched(
+            || half_spilled("readahead", profile, CACHE),
+            |mut store| {
+                let mut r = CostReceipt::new();
+                store.schedule_readahead();
+                store.drain_prefetch(&mut r, &exec);
+                black_box(store.cache_used_bytes())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_insert,
@@ -414,6 +542,7 @@ criterion_group!(
     bench_migrate,
     bench_ingest_parallel,
     bench_migrate_parallel,
-    bench_spill
+    bench_spill,
+    bench_spill_cached
 );
 criterion_main!(benches);

@@ -7,15 +7,23 @@
 //! forcing recovery through the checksum fallback to the previous good
 //! image. Exits non-zero listing every violated cell.
 //!
+//! With `--spill-cache N` every cell additionally carries a disk spill
+//! tier with an N-byte decoded-block cache, so the byte-identity proof
+//! also covers resuming into a lazily rewarmed cache.
+//!
 //! Usage: `crash_matrix [--quick] [--seed N] [--threads N]
-//!         [--checkpoint-every N] [--crash-at STEP] [--out DIR] [--torn]`
+//!         [--checkpoint-every N] [--crash-at STEP] [--out DIR] [--torn]
+//!         [--spill-cache N]`
 
 use amri_bench::{
-    apply_threads, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed, parse_threads,
-    resume_latest, run_until_crash, write_summary_csv, CheckpointNote, FlagSpec, COMMON_FLAGS,
+    apply_threads, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed, parse_spill_cache,
+    parse_threads, resume_latest, run_until_crash, write_summary_csv, CheckpointNote, FlagSpec,
+    COMMON_FLAGS, SPILL_CACHE_FLAG,
 };
 use amri_core::assess::AssessorKind;
-use amri_engine::{DegradationPolicy, Executor, FaultKind, FaultPlan, IndexingMode, TornMode};
+use amri_engine::{
+    DegradationPolicy, Executor, FaultKind, FaultPlan, IndexingMode, SpillSettings, TornMode,
+};
 use amri_stream::VirtualDuration;
 use amri_synth::scenario::{paper_scenario, PaperScenario, Scale};
 use std::fmt::Write as _;
@@ -109,6 +117,7 @@ const EXTRA_FLAGS: &[FlagSpec] = &[
         "output directory (default results/crash_matrix)",
     ),
     ("--torn", false, "tear the latest snapshot in flight"),
+    SPILL_CACHE_FLAG,
 ];
 
 fn main() {
@@ -126,9 +135,10 @@ fn main() {
     let crash_at = parse_u64(&args, "--crash-at", 200);
     let out = parse_out(&args);
     let torn = args.iter().any(|a| a == "--torn");
+    let cache_bytes = parse_spill_cache(&args);
     println!(
         "crash matrix (scale {scale:?}, seed {seed}, {threads} thread(s), \
-         checkpoint every {every}, crash at {crash_at}{})",
+         checkpoint every {every}, crash at {crash_at}{}, cache {cache_bytes} B)",
         if torn { ", torn latest snapshot" } else { "" }
     );
 
@@ -146,6 +156,12 @@ fn main() {
         let sc = scenario(scale, seed, perturbed);
         let exec = |mode: IndexingMode| {
             let mut engine = sc.engine.clone();
+            if cache_bytes > 0 {
+                engine.spill = Some(
+                    SpillSettings::in_dir(out.join("spill").join(label))
+                        .with_cache_bytes(cache_bytes),
+                );
+            }
             apply_threads(&mut engine, threads);
             Executor::try_new(&sc.query, sc.workload(), mode, engine)
                 .expect("valid engine configuration")

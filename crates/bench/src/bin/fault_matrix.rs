@@ -9,14 +9,20 @@
 //! and must stay bit-identical — pinning that snapshotting is a pure
 //! observer even under active shedding and fault injection.
 //!
-//! Usage: `fault_matrix [--seed N] [--threads N] [--checkpoint-every N]`
+//! With `--spill-cache N` every cell additionally carries a disk spill
+//! tier with an N-byte decoded-block cache, so the survive-and-replay
+//! guarantees also cover the spill fast path under ingest faults.
+//!
+//! Usage: `fault_matrix [--seed N] [--threads N] [--checkpoint-every N]
+//!         [--spill-cache N]`
 
 use amri_bench::{
-    apply_threads, enforce_cli, parse_checkpoint_every, parse_seed, parse_threads, FlagSpec,
+    apply_threads, enforce_cli, parse_checkpoint_every, parse_seed, parse_spill_cache,
+    parse_threads, FlagSpec, SPILL_CACHE_FLAG,
 };
 use amri_engine::{
     DegradationPolicy, Executor, FaultPlan, IndexingMode, MemoryBudget, PressureWindow, RunOutcome,
-    RunResult, SheddingPolicy, SkewedClock,
+    RunResult, SheddingPolicy, SkewedClock, SpillSettings,
 };
 use amri_stream::{VirtualClock, VirtualDuration, VirtualTime};
 use amri_synth::scenario::{paper_scenario, Scale};
@@ -111,16 +117,28 @@ fn shedding_policies(seed: u64) -> Vec<(&'static str, Option<DegradationPolicy>)
     ]
 }
 
+/// Per-cell spill settings: an identity-profile tier with an N-byte
+/// block cache under its own directory, or `None` when the cache flag is
+/// off (the all-RAM matrix, exactly as before).
+fn spill_for(cache_bytes: u64, tag: &str) -> Option<SpillSettings> {
+    (cache_bytes > 0).then(|| {
+        SpillSettings::in_dir(format!("results/spill/fault_matrix/{tag}"))
+            .with_cache_bytes(cache_bytes)
+    })
+}
+
 fn cell_executor(
     seed: u64,
     threads: std::num::NonZeroUsize,
     plan: &FaultPlan,
     degradation: Option<DegradationPolicy>,
+    spill: Option<SpillSettings>,
 ) -> Executor<amri_synth::DriftingWorkload> {
     let mut sc = paper_scenario(Scale::Quick, seed);
     sc.engine.budget = MemoryBudget::mib(50);
     sc.engine.degradation = degradation;
     sc.engine.faults = Some(plan.clone());
+    sc.engine.spill = spill;
     apply_threads(&mut sc.engine, threads);
     Executor::try_new(
         &sc.query,
@@ -136,8 +154,9 @@ fn run_cell(
     threads: std::num::NonZeroUsize,
     plan: &FaultPlan,
     degradation: Option<DegradationPolicy>,
+    spill: Option<SpillSettings>,
 ) -> RunResult {
-    cell_executor(seed, threads, plan, degradation).run()
+    cell_executor(seed, threads, plan, degradation, spill).run()
 }
 
 fn outcome_label(r: &RunResult) -> String {
@@ -160,6 +179,7 @@ const FLAGS: &[FlagSpec] = &[
         true,
         "replay spot-checks also snapshot every N steps",
     ),
+    SPILL_CACHE_FLAG,
 ];
 
 fn main() {
@@ -168,7 +188,8 @@ fn main() {
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
     let checkpoint_every = parse_checkpoint_every(&args);
-    println!("fault matrix (seed {seed}, {threads} thread(s))");
+    let cache_bytes = parse_spill_cache(&args);
+    println!("fault matrix (seed {seed}, {threads} thread(s), cache {cache_bytes} B)");
 
     let mut violations: Vec<String> = Vec::new();
     println!(
@@ -177,7 +198,8 @@ fn main() {
     );
     for (fname, plan) in fault_kinds(seed) {
         for (sname, policy) in shedding_policies(seed) {
-            let r = run_cell(seed, threads, &plan, policy);
+            let spill = spill_for(cache_bytes, &format!("{fname}-{sname}"));
+            let r = run_cell(seed, threads, &plan, policy, spill);
             println!(
                 "{:>10} {:>14} {:>10} {:>8} {:>8} {:>8} {:>8}",
                 fname,
@@ -203,13 +225,14 @@ fn main() {
     // (the pure-observer property under shedding + injected faults).
     let (_, mixed) = fault_kinds(seed).pop().expect("fault_kinds is non-empty");
     for (sname, policy) in shedding_policies(seed) {
-        let a = run_cell(seed, threads, &mixed, policy);
+        let spill = || spill_for(cache_bytes, &format!("replay-{sname}"));
+        let a = run_cell(seed, threads, &mixed, policy, spill());
         let b = match checkpoint_every {
             Some(every) => {
                 let dir = format!("results/checkpoints/fault_matrix/{sname}");
                 std::fs::remove_dir_all(&dir).ok();
                 let (r, note, _maint) = amri_bench::run_checkpointed(
-                    cell_executor(seed, threads, &mixed, policy),
+                    cell_executor(seed, threads, &mixed, policy, spill()),
                     std::path::Path::new(&dir),
                     every,
                 )
@@ -217,7 +240,7 @@ fn main() {
                 println!("replay {sname:>14}: {} snapshot(s)", note.checkpoints_taken);
                 r
             }
-            None => run_cell(seed, threads, &mixed, policy),
+            None => run_cell(seed, threads, &mixed, policy, spill()),
         };
         if format!("{a:#?}") != format!("{b:#?}") {
             violations.push(format!("mixed x {sname}: replay diverged"));
@@ -239,6 +262,7 @@ fn main() {
             seed,
         });
         sc.engine.faults = Some(mixed.clone());
+        sc.engine.spill = spill_for(cache_bytes, "skewed-clock");
         apply_threads(&mut sc.engine, threads);
         Executor::try_new(
             &sc.query,

@@ -8,17 +8,25 @@
 //! in recovery or a typed `Degraded` outcome — never a panic — and
 //! replay bit-for-bit. Exits non-zero listing every violated cell.
 //!
-//! The matching summary CSVs are written under `--out` so
-//! `scripts/ci.sh` can diff the spilled summary across thread counts.
+//! With `--spill-cache N` every mode gains a fourth cell: the same
+//! spilled configuration with an N-byte decoded-block cache and
+//! expiry-order readahead under the identity profile. That cell must
+//! reproduce the cacheless spilled run byte-for-byte (its own cache
+//! counters aside) — the determinism proof for the spill fast path.
 //!
-//! Usage: `spill_matrix [--quick] [--seed N] [--threads N] [--out DIR]`
+//! The matching summary CSVs are written under `--out` so
+//! `scripts/ci.sh` can diff the spilled summary across thread counts
+//! and the cached summary against the cacheless one.
+//!
+//! Usage: `spill_matrix [--quick] [--seed N] [--threads N] [--out DIR]
+//!         [--spill-cache N]`
 
 use amri_bench::{
-    apply_threads, enforce_cli, parse_scale, parse_seed, parse_threads, resume_latest,
-    run_until_crash, write_summary_csv, FlagSpec, COMMON_FLAGS,
+    apply_threads, enforce_cli, parse_scale, parse_seed, parse_spill_cache, parse_threads,
+    resume_latest, run_until_crash, write_summary_csv, FlagSpec, COMMON_FLAGS, SPILL_CACHE_FLAG,
 };
 use amri_core::assess::AssessorKind;
-use amri_core::IoFaultConfig;
+use amri_core::{IoFaultConfig, StorageProfile};
 use amri_engine::{
     Executor, FaultKind, FaultPlan, IndexingMode, MemoryBudget, RunOutcome, SpillSettings,
 };
@@ -27,11 +35,14 @@ use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 
-const EXTRA_FLAGS: &[FlagSpec] = &[(
-    "--out",
-    true,
-    "output directory (default results/spill_matrix)",
-)];
+const EXTRA_FLAGS: &[FlagSpec] = &[
+    (
+        "--out",
+        true,
+        "output directory (default results/spill_matrix)",
+    ),
+    SPILL_CACHE_FLAG,
+];
 
 fn parse_out(args: &[String]) -> PathBuf {
     args.iter()
@@ -101,14 +112,21 @@ fn main() {
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
     let out = parse_out(&args);
-    println!("spill matrix (scale {scale:?}, seed {seed}, {threads} thread(s))");
+    let cache_bytes = parse_spill_cache(&args);
+    println!(
+        "spill matrix (scale {scale:?}, seed {seed}, {threads} thread(s), \
+         cache {cache_bytes} B)"
+    );
 
     let mut violations: Vec<String> = Vec::new();
     let mut spilled_runs = Vec::new();
     let mut spilled_maints = Vec::new();
+    let mut cached_runs = Vec::new();
+    let mut cached_maints = Vec::new();
     let mut identity = String::from(
         "label,budget,outputs,output_digest,spilled_tuples,lost_blocks,oom_without_spill,\
-         identical_outputs,crash_resume_identical,fault_outcome,fault_replay_identical\n",
+         identical_outputs,crash_resume_identical,fault_outcome,fault_replay_identical,\
+         cache_identical\n",
     );
 
     for (label, mode) in lineup() {
@@ -152,6 +170,101 @@ fn main() {
         if spilled.spill.spilled_tuples == 0 {
             violations.push(format!("{label}: the tier never spilled"));
         }
+
+        // The fast-path cell: the same spilled configuration with a
+        // decoded-block cache and expiry-order readahead, still under the
+        // identity profile. Everything the cacheless run observed must be
+        // reproduced byte-for-byte; only the cache's own counters (hits,
+        // misses, coalesced, prefetched, evictions) may differ from zero.
+        let cache_identical = if cache_bytes > 0 {
+            let cached_dir = out.join("spill-cached").join(label);
+            std::fs::remove_dir_all(&cached_dir).ok();
+            let mut cached_sc = constrained.clone();
+            cached_sc.engine.spill = Some(
+                SpillSettings {
+                    profile: StorageProfile {
+                        readahead_blocks: 2,
+                        ..StorageProfile::default()
+                    },
+                    ..SpillSettings::in_dir(&cached_dir)
+                }
+                .with_cache_bytes(cache_bytes),
+            );
+            let (cached, cached_maint) = executor(&cached_sc, mode.clone()).run_with_stats();
+            let mut norm = cached.clone();
+            norm.spill.cache_hits = 0;
+            norm.spill.cache_misses = 0;
+            norm.spill.coalesced_reads = 0;
+            norm.spill.prefetched_blocks = 0;
+            norm.spill.cache_evictions = 0;
+            let identical = format!("{norm:#?}") == format!("{spilled:#?}");
+            if !identical {
+                violations.push(format!(
+                    "{label}: cache-enabled identity-profile run diverged from the \
+                     cacheless one (got {:?}, {} vs {} outputs)",
+                    cached.outcome, cached.outputs, spilled.outputs
+                ));
+            }
+            if cached.spill.cache_hits == 0 {
+                violations.push(format!(
+                    "{label}: the {cache_bytes}-byte cache never served a hit"
+                ));
+            }
+
+            // Crash+resume with the cache active: decoded contents are
+            // deliberately not snapshotted (metadata and counters are),
+            // so the resumed run rewarms lazily — and must still land
+            // byte-identical to the uninterrupted cached run.
+            let cached_ckpt = out.join("snapshots-cached").join(label);
+            std::fs::remove_dir_all(&cached_ckpt).ok();
+            match run_until_crash(
+                executor(&cached_sc, mode.clone()),
+                &cached_ckpt,
+                60,
+                vec![FaultKind::CrashAt { step: 200 }],
+            ) {
+                Ok(_) => match resume_latest(executor(&cached_sc, mode.clone()), &cached_ckpt) {
+                    Ok((resumed, ..)) => {
+                        if format!("{cached:#?}") != format!("{resumed:#?}") {
+                            violations.push(format!(
+                                "{label}: crash+resume with a warm cache diverged from \
+                                 the uninterrupted cached run"
+                            ));
+                        }
+                    }
+                    Err(e) => violations.push(format!("{label}: cached resume failed: {e}")),
+                },
+                Err(e) => violations.push(format!("{label}: cached crash run failed: {e}")),
+            }
+
+            // Fault storm with cache+prefetch active: same seed must
+            // still replay bit-for-bit (cache counters included — replay
+            // is same-config, so they match exactly).
+            let mut cached_faulted_sc = cached_sc.clone();
+            cached_faulted_sc.engine.faults = Some(FaultPlan {
+                seed: seed ^ 0xD15C,
+                io: IoFaultConfig {
+                    torn_write_prob: 0.25,
+                    read_error_prob: 0.5,
+                    latency_spike_prob: 0.25,
+                    spike_ns: 50_000,
+                },
+                ..FaultPlan::default()
+            });
+            let storm_a = executor(&cached_faulted_sc, mode.clone()).run();
+            let storm_b = executor(&cached_faulted_sc, mode.clone()).run();
+            if format!("{storm_a:#?}") != format!("{storm_b:#?}") {
+                violations.push(format!(
+                    "{label}: faulted run with cache+prefetch did not replay identically"
+                ));
+            }
+
+            cached_runs.push(cached);
+            cached_maints.push(cached_maint);
+            identical.to_string()
+        } else {
+            "skipped".to_string()
+        };
 
         // Crash the same spilled configuration mid-run and resume it:
         // recovery with the tier active must be invisible.
@@ -225,13 +338,13 @@ fn main() {
         println!(
             "{label:>14}: budget {budget}, {} outputs, {} spilled, {} lost, \
              oom-without-spill {oomed}, identical {identical}, crash-resume {crash_identical}, \
-             faults {fault_outcome} (replay {fault_replay_identical})",
+             faults {fault_outcome} (replay {fault_replay_identical}), cache {cache_identical}",
             spilled.outputs, spilled.spill.spilled_tuples, spilled.spill.lost_blocks
         );
         writeln!(
             identity,
             "{label},{budget},{},{:#018x},{},{},{oomed},{identical},{crash_identical},\
-             {fault_outcome},{fault_replay_identical}",
+             {fault_outcome},{fault_replay_identical},{cache_identical}",
             spilled.outputs,
             spilled.output_digest,
             spilled.spill.spilled_tuples,
@@ -254,6 +367,18 @@ fn main() {
         &spilled_maints,
     )
     .expect("spilled summary");
+    if !cached_runs.is_empty() {
+        // Same shape as the cacheless artifact: every column outside the
+        // cache counters must be byte-identical to spilled_summary.csv.
+        write_summary_csv(
+            &cached_runs,
+            &out.join("spilled_cached_summary.csv"),
+            threads.get(),
+            &[],
+            &cached_maints,
+        )
+        .expect("cached summary");
+    }
     std::fs::write(out.join("spill_identity.csv"), identity).expect("identity csv");
     println!("summaries under {}", out.display());
 

@@ -8,25 +8,46 @@
 //! `ckpts` column, and the sweep writes `results/survival_summary.csv`
 //! with the checkpoint bookkeeping columns populated.
 //!
+//! With `--spill-cache N` every flavor additionally carries a disk spill
+//! tier with an N-byte decoded-block cache (its own directory per
+//! flavor), so the survival table also reflects the spill fast path.
+//!
 //! Usage: `survival_sweep [--quick] [--seed N] [--threads N]
-//!         [--checkpoint-every N]`
+//!         [--checkpoint-every N] [--spill-cache N]`
 
 use amri_bench::training::train_initial;
 use amri_bench::{
-    apply_threads, parse_checkpoint_every, parse_scale, parse_seed, parse_threads,
-    run_checkpointed, write_summary_csv, CheckpointNote,
+    apply_threads, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed, parse_spill_cache,
+    parse_threads, run_checkpointed, write_summary_csv, CheckpointNote, FlagSpec, COMMON_FLAGS,
+    SPILL_CACHE_FLAG,
 };
 use amri_core::assess::AssessorKind;
-use amri_engine::{Executor, IndexingMode};
+use amri_engine::{Executor, IndexingMode, SpillSettings};
 use amri_hh::CombineStrategy;
 use amri_synth::scenario::{paper_scenario, Scale};
 
+const EXTRA_FLAGS: &[FlagSpec] = &[
+    (
+        "--checkpoint-every",
+        true,
+        "snapshot every N pipeline steps (default off)",
+    ),
+    SPILL_CACHE_FLAG,
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let flags: Vec<FlagSpec> = COMMON_FLAGS
+        .iter()
+        .chain(EXTRA_FLAGS.iter())
+        .copied()
+        .collect();
+    enforce_cli(&args, "survival_sweep", &flags);
     let scale = parse_scale(&args);
     let seed = parse_seed(&args);
     let threads = parse_threads(&args);
     let checkpoint_every = parse_checkpoint_every(&args);
+    let cache_bytes = parse_spill_cache(&args);
 
     let mut sc = paper_scenario(scale, seed);
     apply_threads(&mut sc.engine, threads);
@@ -69,7 +90,14 @@ fn main() {
     let mut notes: Vec<CheckpointNote> = Vec::new();
     let mut maints = Vec::new();
     for (label, mode) in modes {
-        let exec = Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        let mut engine = sc.engine.clone();
+        if cache_bytes > 0 {
+            engine.spill = Some(
+                SpillSettings::in_dir(format!("results/spill/survival/{label}"))
+                    .with_cache_bytes(cache_bytes),
+            );
+        }
+        let exec = Executor::try_new(&sc.query, sc.workload(), mode, engine)
             .expect("valid engine configuration");
         let (r, note, maint) = match checkpoint_every {
             Some(every) => {

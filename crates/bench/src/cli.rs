@@ -121,6 +121,24 @@ pub fn parse_checkpoint_every(args: &[String]) -> Option<u64> {
         .filter(|&n: &u64| n > 0)
 }
 
+/// The `--spill-cache N` flag spec, shared by the spill-bearing binaries.
+pub const SPILL_CACHE_FLAG: FlagSpec = (
+    "--spill-cache",
+    true,
+    "spill-tier block cache budget in bytes (default 0: cache off)",
+);
+
+/// `--spill-cache N` (default 0): byte budget for the spill tier's
+/// decoded-block cache. `0` and malformed values keep the cache off —
+/// the byte-exact pre-cache read path, coin stream included.
+pub fn parse_spill_cache(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--spill-cache")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Point an engine configuration at `threads` workers: parallelism is the
 /// thread count and the arena is split into the next power of two ≥ that
 /// many shards so every worker owns at least one shard. One thread leaves
@@ -169,6 +187,20 @@ mod tests {
         assert_eq!(
             parse_checkpoint_every(&argv(&["bin", "--checkpoint-every", "lots"])),
             None
+        );
+    }
+
+    #[test]
+    fn spill_cache_parses_and_defaults_off() {
+        assert_eq!(
+            parse_spill_cache(&argv(&["bin", "--spill-cache", "1048576"])),
+            1_048_576
+        );
+        assert_eq!(parse_spill_cache(&argv(&["bin"])), 0);
+        assert_eq!(
+            parse_spill_cache(&argv(&["bin", "--spill-cache", "big"])),
+            0,
+            "malformed values keep the cache off"
         );
     }
 

@@ -28,7 +28,7 @@ pub mod training;
 
 pub use cli::{
     apply_threads, check_args, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed,
-    parse_threads, usage, wants_help, FlagSpec, COMMON_FLAGS,
+    parse_spill_cache, parse_threads, usage, wants_help, FlagSpec, COMMON_FLAGS, SPILL_CACHE_FLAG,
 };
 pub use crash::{resume_latest, run_checkpointed, run_until_crash};
 pub use experiments::{

@@ -87,14 +87,25 @@ pub fn render_summary(runs: &[RunResult]) -> String {
 /// plus how many retunes fired while a probe backlog was pending
 /// (`stalls` — migrations that delayed visible work). `ingest%` relates
 /// ingest time to the run's total virtual time (ticks model microseconds,
-/// so ns/1000 per tick). `maint` aligns with `runs`; missing entries
-/// render as zeros, so lineups that never collected stats still tabulate.
+/// so ns/1000 per tick). The trailing spill columns come from each run's
+/// [`SpillStats`](amri_core::SpillStats) rollup: demand block reads, the
+/// block-cache hit fraction, and readahead-loaded blocks (all zeros for
+/// tierless or cacheless runs). `maint` aligns with `runs`; missing
+/// entries render as zeros, so lineups that never collected stats still
+/// tabulate.
 pub fn render_maintenance_table(runs: &[RunResult], maint: &[MaintenanceStats]) -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "{:>18} {:>14} {:>14} {:>8} {:>10}",
-        "run", "ingest-ns", "migrate-ns", "stalls", "ingest%"
+        "{:>18} {:>14} {:>14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "run",
+        "ingest-ns",
+        "migrate-ns",
+        "stalls",
+        "ingest%",
+        "spill-rd",
+        "cache-hit%",
+        "prefetched"
     )
     .unwrap();
     for (i, r) in runs.iter().enumerate() {
@@ -103,8 +114,15 @@ pub fn render_maintenance_table(runs: &[RunResult], maint: &[MaintenanceStats]) 
         let pct = 100.0 * (m.ingest_ns as f64 / 1000.0) / total as f64;
         writeln!(
             out,
-            "{:>18} {:>14} {:>14} {:>8} {:>9.1}%",
-            r.label, m.ingest_ns, m.migrate_ns, m.migrate_stalls, pct
+            "{:>18} {:>14} {:>14} {:>8} {:>9.1}% {:>10} {:>9.1}% {:>10}",
+            r.label,
+            m.ingest_ns,
+            m.migrate_ns,
+            m.migrate_stalls,
+            pct,
+            r.spill.blocks_read,
+            100.0 * r.spill.cache_hit_frac(),
+            r.spill.prefetched_blocks
         )
         .unwrap();
     }
@@ -226,10 +244,12 @@ pub struct CheckpointNote {
 /// [`SpillStats`](amri_core::SpillStats) rollup: `spilled_buckets`
 /// (blocks written to the cold store), `promoted_buckets` (blocks
 /// promoted back to RAM) and `spill_read_ns` (virtual nanoseconds charged
-/// for block reads) — zeros when no spill tier was configured. The final
-/// `notes` column carries each run's restore notes (corrupt checkpoints
-/// skipped during recovery); commas are folded to `;` to keep the CSV
-/// one-cell-per-column.
+/// for block reads), then the block-cache counters — `cache_hits`,
+/// `cache_misses`, `coalesced_reads`, `prefetched_blocks`,
+/// `cache_evictions` — all zeros when no spill tier (or no cache) was
+/// configured. The final `notes` column carries each run's restore notes
+/// (corrupt checkpoints skipped during recovery); commas are folded to
+/// `;` to keep the CSV one-cell-per-column.
 pub fn write_summary_csv(
     runs: &[RunResult],
     path: &Path,
@@ -243,7 +263,9 @@ pub fn write_summary_csv(
          faults_dropped,faults_duplicated,faults_delayed,faults_reordered,\
          threads,checkpoints_taken,resumed_from_step,\
          ingest_ns,migrate_ns,migrate_stalls,\
-         spilled_buckets,promoted_buckets,spill_read_ns,notes\n",
+         spilled_buckets,promoted_buckets,spill_read_ns,\
+         cache_hits,cache_misses,coalesced_reads,prefetched_blocks,\
+         cache_evictions,notes\n",
     );
     for (i, r) in runs.iter().enumerate() {
         let note = notes.get(i).cloned().unwrap_or_default();
@@ -268,7 +290,7 @@ pub fn write_summary_csv(
             .unwrap_or_default();
         writeln!(
             body,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.label,
             outcome,
             r.outputs,
@@ -292,6 +314,11 @@ pub fn write_summary_csv(
             r.spill.blocks_written,
             r.spill.promoted_blocks,
             r.spill.read_ns,
+            r.spill.cache_hits,
+            r.spill.cache_misses,
+            r.spill.coalesced_reads,
+            r.spill.prefetched_blocks,
+            r.spill.cache_evictions,
             note.restore_notes.replace(',', ";")
         )
         .unwrap();
@@ -423,7 +450,9 @@ mod tests {
             lines[0].ends_with(
                 ",threads,checkpoints_taken,resumed_from_step,\
                  ingest_ns,migrate_ns,migrate_stalls,\
-                 spilled_buckets,promoted_buckets,spill_read_ns,notes"
+                 spilled_buckets,promoted_buckets,spill_read_ns,\
+                 cache_hits,cache_misses,coalesced_reads,prefetched_blocks,\
+                 cache_evictions,notes"
             ),
             "{}",
             lines[0]
@@ -434,7 +463,7 @@ mod tests {
         // so the row keeps one value per column.
         assert!(
             lines[1].ends_with(
-                "3,0,0,0,4,5,120,900,70,2,0,0,0,\
+                "3,0,0,0,4,5,120,900,70,2,0,0,0,0,0,0,0,0,\
                  skipped checkpoint-000002.snap (checksum mismatch; torn)"
             ),
             "{}",
@@ -444,7 +473,11 @@ mod tests {
         // Runs without a note get zero / empty checkpoint cells, runs
         // without maintenance stats get zero maintenance columns, and
         // runs without a spill tier get zero spill columns.
-        assert!(lines[2].ends_with(",4,0,,0,0,0,0,0,0,"), "{}", lines[2]);
+        assert!(
+            lines[2].ends_with(",4,0,,0,0,0,0,0,0,0,0,0,0,0,"),
+            "{}",
+            lines[2]
+        );
         // A degraded run has no death time.
         assert_eq!(runs[0].death_time(), None);
         std::fs::remove_dir_all(&dir).ok();

@@ -341,6 +341,44 @@ impl AmriState {
         self.store.materialize(key, receipt)
     }
 
+    /// Batch-materialize probe hits with coalesced spill reads (see
+    /// [`StateStore::materialize_batch`]).
+    pub fn materialize_batch(
+        &mut self,
+        keys: &[TupleKey],
+        out: &mut Vec<Option<Tuple>>,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> usize {
+        self.store.materialize_batch(keys, out, receipt, exec)
+    }
+
+    /// Queue expiry-order readahead (see
+    /// [`StateStore::schedule_readahead`]).
+    pub fn schedule_readahead(&mut self) {
+        self.store.schedule_readahead();
+    }
+
+    /// Run queued readahead now (see [`StateStore::drain_prefetch`]).
+    pub fn drain_prefetch(
+        &mut self,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        self.store.drain_prefetch(receipt, exec);
+    }
+
+    /// Bytes the spill tier's decoded-block cache currently holds.
+    pub fn cache_used_bytes(&self) -> u64 {
+        self.store.cache_used_bytes()
+    }
+
+    /// Observed block-cache hit fraction (see
+    /// [`StateStore::cache_hit_frac`]).
+    pub fn cache_hit_frac(&self) -> f64 {
+        self.store.cache_hit_frac()
+    }
+
     /// Take a tuning decision if due; migrates the physical index on
     /// [`TunerEvent::Retune`] and reports what happened.
     pub fn maybe_retune(
@@ -375,10 +413,15 @@ impl AmriState {
         exec: &dyn crate::parallel::ShardExecutor,
     ) -> Option<RetuneReport> {
         let spilled_frac = self.store.spilled_frac();
-        match self
-            .tuner
-            .maybe_retune(now, lambda_d, lambda_r, window_secs, spilled_frac)
-        {
+        let cache_hit_frac = self.store.cache_hit_frac();
+        match self.tuner.maybe_retune(
+            now,
+            lambda_d,
+            lambda_r,
+            window_secs,
+            spilled_frac,
+            cache_hit_frac,
+        ) {
             TunerEvent::Retune {
                 config,
                 current_cd,

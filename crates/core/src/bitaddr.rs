@@ -1237,12 +1237,15 @@ impl StagedIndex for BitAddressIndex {
         scratch: &mut SearchScratch,
         receipt: &mut CostReceipt,
         exec: &dyn ShardExecutor,
+        side: &crate::parallel::SideTasks<'_>,
     ) -> bool {
         let s_count = self.shards.len();
         if stage.pending == 0 || s_count == 1 {
-            // Nothing to overlap: drain (inline for one shard) and fall
-            // through to the plain sharded search.
+            // Nothing to overlap: drain (inline for one shard), run the
+            // side I/O as its own dispatch, and fall through to the plain
+            // sharded search.
             self.apply_stage(stage, exec);
+            side.run_leftover(exec);
             self.search_sharded(req, scratch, receipt, exec);
             return true;
         }
@@ -1270,20 +1273,28 @@ impl StagedIndex for BitAddressIndex {
             let ops = &stage.ops;
             let shards = SlotArena::new(&mut self.shards[..s_count]);
             let arena = SlotArena::new(&mut slots[..s_count]);
-            exec.run_tasks(s_count, &|s| {
-                // SAFETY: task `s` claims only shard `s` and slot `s`,
-                // exactly once each.
-                let shard = unsafe { shards.claim(s) };
-                for op in &ops[s] {
-                    shard.apply(*op);
-                }
-                let slot = unsafe { arena.claim(s) };
-                slot.hits.clear();
-                slot.receipt = CostReceipt::new();
-                if let Some(slice) = plan.shard_slice(s as u64, shard_bits, total_bits) {
-                    shard.probe(&slice, req, &mut slot.hits, &mut slot.receipt);
-                }
-            });
+            // The probe's speculative spill reads ride the same dispatch:
+            // indices past `s_count` are pure file I/O into caller-owned
+            // slots, so disk time overlaps apply+probe work.
+            crate::parallel::run_fused(
+                exec,
+                s_count,
+                &|s| {
+                    // SAFETY: task `s` claims only shard `s` and slot `s`,
+                    // exactly once each.
+                    let shard = unsafe { shards.claim(s) };
+                    for op in &ops[s] {
+                        shard.apply(*op);
+                    }
+                    let slot = unsafe { arena.claim(s) };
+                    slot.hits.clear();
+                    slot.receipt = CostReceipt::new();
+                    if let Some(slice) = plan.shard_slice(s as u64, shard_bits, total_bits) {
+                        shard.probe(&slice, req, &mut slot.hits, &mut slot.receipt);
+                    }
+                },
+                side,
+            );
         }
         for slot in &slots[..s_count] {
             scratch.hits.extend_from_slice(&slot.hits);

@@ -92,6 +92,17 @@ pub struct StorageProfile {
     pub write_ns: u64,
     /// Tuples per block, for amortizing block latency to per-tuple cost.
     pub block_tuples: u32,
+    /// Virtual nanoseconds a demand read costs when the block is resident
+    /// in the decoded block cache (a RAM lookup, orders of magnitude below
+    /// `read_ns`). Zero in the identity profile, so cache hits charge
+    /// nothing and cached runs stay byte-identical to cacheless ones.
+    #[serde(default)]
+    pub cache_hit_ns: u64,
+    /// Blocks of expiry-order readahead issued per maintenance grid point
+    /// (the next-oldest live spill blocks are the ones probes over an
+    /// aging window will want). Zero disables prefetch entirely.
+    #[serde(default)]
+    pub readahead_blocks: u32,
 }
 
 impl Default for StorageProfile {
@@ -100,25 +111,32 @@ impl Default for StorageProfile {
             read_ns: 0,
             write_ns: 0,
             block_tuples: 64,
+            cache_hit_ns: 0,
+            readahead_blocks: 0,
         }
     }
 }
 
 impl StorageProfile {
     /// The committed default profile: round numbers for a local NVMe-class
-    /// device (~120 µs per 64-tuple block read) so storage-aware tuning is
-    /// reproducible without measuring anything.
+    /// device (~120 µs per 64-tuple block read, ~2 µs per warm cache hit)
+    /// so storage-aware tuning is reproducible without measuring anything.
     pub fn committed_default() -> Self {
         StorageProfile {
             read_ns: 120_000,
             write_ns: 180_000,
             block_tuples: 64,
+            cache_hit_ns: 2_000,
+            readahead_blocks: 2,
         }
     }
 
     /// True iff this profile charges nothing (the identity fold).
+    /// `readahead_blocks` is not consulted: prefetch charges `read_ns`
+    /// per block, so a zero-latency profile stays the identity no matter
+    /// how much readahead it issues.
     pub fn is_zero(&self) -> bool {
-        self.read_ns == 0 && self.write_ns == 0
+        self.read_ns == 0 && self.write_ns == 0 && self.cache_hit_ns == 0
     }
 
     /// Amortized per-scanned-tuple read penalty, in ticks (a tick models a
@@ -128,6 +146,16 @@ impl StorageProfile {
             0.0
         } else {
             self.read_ns as f64 / 1000.0 / self.block_tuples as f64
+        }
+    }
+
+    /// Amortized per-scanned-tuple penalty when the block is cache-warm,
+    /// in ticks: one `cache_hit_ns` lookup shared by `block_tuples`.
+    pub fn per_tuple_hit_ticks(&self) -> f64 {
+        if self.block_tuples == 0 {
+            0.0
+        } else {
+            self.cache_hit_ns as f64 / 1000.0 / self.block_tuples as f64
         }
     }
 
@@ -169,7 +197,7 @@ impl StorageProfile {
         Ok(StorageProfile {
             read_ns,
             write_ns,
-            block_tuples: 64,
+            ..StorageProfile::default()
         })
     }
 }
@@ -253,10 +281,17 @@ impl CostParams {
         let maintenance = profile.lambda_d * config.indexed_attrs() as f64 * self.c_h;
         let window_tuples = profile.lambda_d * profile.window_secs;
         // Storage-aware scan cost: a scanned tuple is spill-resident with
-        // probability `spilled_frac` and then pays an amortized block read
-        // on top of the comparison. Zero profile or zero spill ⇒ exactly
-        // the paper's in-memory `C_c`.
-        let c_scan = self.c_c + profile.spilled_frac * self.storage.per_tuple_read_ticks();
+        // probability `spilled_frac` and then pays an amortized block
+        // access on top of the comparison — a full device read when cold,
+        // only the cache lookup when the block is warm (probability
+        // `cache_hit_frac`, observed from the tier's hit/miss counters).
+        // Zero profile or zero spill ⇒ exactly the paper's in-memory
+        // `C_c`; a fully warm cache prices a spilled tuple at RAM-lookup
+        // cost, so the tuner stops over-penalizing ICs whose cold STeMs
+        // are actually cache-resident.
+        let per_spilled = (1.0 - profile.cache_hit_frac) * self.storage.per_tuple_read_ticks()
+            + profile.cache_hit_frac * self.storage.per_tuple_hit_ticks();
+        let c_scan = self.c_c + profile.spilled_frac * per_spilled;
         let mut request = 0.0;
         for stat in &profile.aps {
             // Hash only the specified attrs that the config actually indexes.
@@ -308,6 +343,12 @@ pub struct WorkloadProfile {
     /// `[0, 1]`. Zero (the [`new`](Self::new) default) when no tier is
     /// active, so existing call sites keep the pure in-memory model.
     pub spilled_frac: f64,
+    /// Fraction of spill-tier demand reads served by the decoded block
+    /// cache, in `[0, 1]` — the tier's observed `hits / (hits + misses)`.
+    /// Zero (the default) prices every spilled tuple at full device
+    /// latency, the cacheless PR 8 model.
+    #[serde(default)]
+    pub cache_hit_frac: f64,
 }
 
 impl WorkloadProfile {
@@ -321,12 +362,19 @@ impl WorkloadProfile {
             window_secs,
             aps,
             spilled_frac: 0.0,
+            cache_hit_frac: 0.0,
         }
     }
 
     /// Set the spill-resident fraction of the window (clamped to `[0, 1]`).
     pub fn with_spilled_frac(mut self, frac: f64) -> Self {
         self.spilled_frac = frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the observed block-cache hit fraction (clamped to `[0, 1]`).
+    pub fn with_cache_hit_frac(mut self, frac: f64) -> Self {
+        self.cache_hit_frac = frac.clamp(0.0, 1.0);
         self
     }
 }
@@ -460,6 +508,7 @@ mod tests {
             read_ns: 128_000,
             write_ns: 0,
             block_tuples: 64,
+            ..StorageProfile::default()
         };
         // 128 µs per 64-tuple block ⇒ 2 ticks per tuple.
         assert!((prof.per_tuple_read_ticks() - 2.0).abs() < 1e-12);
@@ -467,8 +516,59 @@ mod tests {
             read_ns: 1,
             write_ns: 1,
             block_tuples: 0,
+            ..StorageProfile::default()
         };
         assert_eq!(degenerate.per_tuple_read_ticks(), 0.0);
+        assert_eq!(degenerate.per_tuple_hit_ticks(), 0.0);
+    }
+
+    #[test]
+    fn warm_cache_discounts_cd_between_hit_cost_and_device_cost() {
+        let params = CostParams {
+            storage: StorageProfile::committed_default(),
+            ..CostParams::default()
+        };
+        let base = profile(vec![ApStat {
+            pattern: ap(0b001),
+            freq: 1.0,
+        }])
+        .with_spilled_frac(0.8);
+        let ic = IndexConfig::new(vec![2, 0, 0]).unwrap();
+        let cold = params.expected_cd(&ic, &base);
+        let half_warm = params.expected_cd(&ic, &base.clone().with_cache_hit_frac(0.5));
+        let warm = params.expected_cd(&ic, &base.clone().with_cache_hit_frac(1.0));
+        assert!(warm < half_warm, "{warm} vs {half_warm}");
+        assert!(half_warm < cold, "{half_warm} vs {cold}");
+        // A fully warm tier still costs more than unspilled RAM: the
+        // cache-hit lookup is cheap, not free.
+        let in_mem = params.expected_cd(&ic, &base.clone().with_spilled_frac(0.0));
+        assert!(in_mem < warm, "{in_mem} vs {warm}");
+    }
+
+    #[test]
+    fn zero_profile_ignores_cache_hit_frac() {
+        // Identity profile: the warm/cold split prices nothing, so the
+        // fold stays the identity no matter the observed hit rate — the
+        // byte-identity guarantee for cache-enabled identity runs.
+        let params = CostParams::default();
+        let base = profile(vec![ApStat {
+            pattern: ap(0b011),
+            freq: 1.0,
+        }])
+        .with_spilled_frac(1.0);
+        let ic = IndexConfig::new(vec![3, 2, 0]).unwrap();
+        assert_eq!(
+            params.expected_cd(&ic, &base),
+            params.expected_cd(&ic, &base.clone().with_cache_hit_frac(0.7))
+        );
+    }
+
+    #[test]
+    fn cache_hit_frac_builder_clamps() {
+        let p = profile(vec![]).with_cache_hit_frac(3.0);
+        assert_eq!(p.cache_hit_frac, 1.0);
+        let p = profile(vec![]).with_cache_hit_frac(-0.5);
+        assert_eq!(p.cache_hit_frac, 0.0);
     }
 
     #[test]

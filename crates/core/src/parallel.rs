@@ -82,6 +82,94 @@ impl<'a, T> SlotArena<'a, T> {
     }
 }
 
+/// A bundle of independent side tasks (typically speculative block I/O)
+/// that a sharded dispatch can fuse into its own `run_tasks` call, so the
+/// side work overlaps shard work on the same pool instead of running as a
+/// separate, serialized dispatch.
+///
+/// Side tasks must be order-independent and write only into disjoint,
+/// pre-allocated slots (the [`SlotArena`] pattern); the caller merges
+/// their results sequentially afterwards, so *which* dispatch carried
+/// them — or whether they ran inline — never shows in observable state.
+/// [`take_fire`](Self::take_fire) hands the bundle out exactly once:
+/// the first dispatch to claim it runs it, later dispatches see it empty,
+/// and a caller whose index never dispatched runs the leftovers inline
+/// via [`run_leftover`](Self::run_leftover).
+pub struct SideTasks<'a> {
+    n: usize,
+    run: &'a (dyn Fn(usize) + Sync),
+    fired: std::sync::atomic::AtomicBool,
+}
+
+impl<'a> SideTasks<'a> {
+    /// Bundle `n` tasks backed by `run`.
+    pub fn new(n: usize, run: &'a (dyn Fn(usize) + Sync)) -> Self {
+        SideTasks {
+            n,
+            run,
+            fired: std::sync::atomic::AtomicBool::new(n == 0),
+        }
+    }
+
+    /// The empty bundle (already fired).
+    pub fn none() -> SideTasks<'static> {
+        SideTasks::new(0, &|_| {})
+    }
+
+    /// Number of side tasks when not yet claimed by a dispatch, else 0.
+    /// A dispatch that wants to fuse the bundle must call this exactly
+    /// once and, when nonzero, run every claimed task.
+    pub fn take_fire(&self) -> usize {
+        if self.fired.swap(true, std::sync::atomic::Ordering::AcqRel) {
+            0
+        } else {
+            self.n
+        }
+    }
+
+    /// Run side task `i` (valid for `i < ` the count [`take_fire`]
+    /// returned).
+    ///
+    /// [`take_fire`]: Self::take_fire
+    pub fn run(&self, i: usize) {
+        (self.run)(i);
+    }
+
+    /// Run any not-yet-claimed tasks through `exec` — the fallback for
+    /// callers whose fused dispatch never happened (empty stage, scan
+    /// fallback). Idempotent.
+    pub fn run_leftover(&self, exec: &dyn ShardExecutor) {
+        let n = self.take_fire();
+        if n > 0 {
+            exec.run_tasks(n, &|i| self.run(i));
+        }
+    }
+}
+
+/// Dispatch `n` shard tasks and the side bundle as one fused
+/// `run_tasks(n + m)` call: indices `0..n` run `task`, the rest run the
+/// side tasks. When the bundle is empty (or already claimed) this is a
+/// plain `run_tasks(n, task)`.
+pub fn run_fused(
+    exec: &dyn ShardExecutor,
+    n: usize,
+    task: &(dyn Fn(usize) + Sync),
+    side: &SideTasks<'_>,
+) {
+    let m = side.take_fire();
+    if m == 0 {
+        exec.run_tasks(n, task);
+    } else {
+        exec.run_tasks(n + m, &|i| {
+            if i < n {
+                task(i);
+            } else {
+                side.run(i - n);
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +191,36 @@ mod tests {
             *slot = i as u64 * 10;
         });
         assert_eq!(slots, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn fused_dispatch_runs_shards_then_side_tasks_once() {
+        let order = std::sync::Mutex::new(Vec::new());
+        let side_hits = std::sync::Mutex::new(Vec::new());
+        let side_fn = |i: usize| side_hits.lock().unwrap().push(i);
+        let side = SideTasks::new(2, &side_fn);
+        run_fused(
+            &SequentialExecutor,
+            3,
+            &|i| order.lock().unwrap().push(i),
+            &side,
+        );
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+        assert_eq!(*side_hits.lock().unwrap(), vec![0, 1]);
+        // A second dispatch (or leftover run) must not re-fire the bundle.
+        run_fused(&SequentialExecutor, 1, &|_| {}, &side);
+        side.run_leftover(&SequentialExecutor);
+        assert_eq!(*side_hits.lock().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn leftover_side_tasks_run_when_no_dispatch_claimed_them() {
+        let hits = std::sync::Mutex::new(0usize);
+        let side_fn = |_i: usize| *hits.lock().unwrap() += 1;
+        let side = SideTasks::new(3, &side_fn);
+        side.run_leftover(&SequentialExecutor);
+        assert_eq!(*hits.lock().unwrap(), 3);
+        assert_eq!(SideTasks::none().take_fire(), 0);
     }
 
     #[test]

@@ -306,6 +306,7 @@ mod tests {
                     read_ns: 0,
                     write_ns,
                     block_tuples,
+                    ..crate::cost::StorageProfile::default()
                 },
                 ..CostParams::default()
             };
@@ -344,6 +345,7 @@ mod tests {
                     read_ns,
                     write_ns: 0,
                     block_tuples: 1,
+                    ..crate::cost::StorageProfile::default()
                 },
                 ..CostParams::default()
             };

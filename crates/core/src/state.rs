@@ -10,7 +10,7 @@
 
 use crate::cost::CostReceipt;
 use crate::layout;
-use crate::tier::{BlockReadError, SpillOutcome, SpillStats, SpillTier};
+use crate::tier::{BlockReadError, SpillEntry, SpillOutcome, SpillStats, SpillTier};
 use amri_stream::{
     AttrId, AttrVec, SearchRequest, StreamId, Tuple, TupleId, VirtualTime, WindowBuffer, WindowSpec,
 };
@@ -262,6 +262,16 @@ pub trait StagedIndex: StateIndex {
     /// [`search_into_with`](StateIndex::search_into_with) — each shard's
     /// probe only depends on that shard's post-apply state. Returns the
     /// served flag of `search_into`.
+    ///
+    /// `side` carries this probe's speculative spill-block reads (see
+    /// [`SideTasks`](crate::parallel::SideTasks)): the index fuses them
+    /// into its own dispatch (via
+    /// [`run_fused`](crate::parallel::run_fused)) so the virtual disk
+    /// time overlaps shard probe work, or runs them as a plain leftover
+    /// dispatch on paths with nothing to fuse. Every implementation must
+    /// guarantee the bundle has fired before returning; side tasks write
+    /// only into caller-owned slots, so *where* they ran never shows in
+    /// hits or receipts.
     fn apply_stage_then_search(
         &mut self,
         stage: &mut Self::Stage,
@@ -269,6 +279,7 @@ pub trait StagedIndex: StateIndex {
         scratch: &mut SearchScratch,
         receipt: &mut CostReceipt,
         exec: &dyn crate::parallel::ShardExecutor,
+        side: &crate::parallel::SideTasks<'_>,
     ) -> bool;
 }
 
@@ -815,6 +826,93 @@ impl<I: StateIndex> StateStore<I> {
         self.tier.as_ref().map_or(0, |t| t.disk_bytes())
     }
 
+    /// Bytes the decoded-block cache currently holds (the `MemoryReport`
+    /// cache column; `0` without a tier or with the cache disabled).
+    pub fn cache_used_bytes(&self) -> u64 {
+        self.tier.as_ref().map_or(0, SpillTier::cache_used_bytes)
+    }
+
+    /// Fraction of demand block fetches served from the cache, in
+    /// `[0, 1]` — what the tuner folds into the warm-tier `C_D`.
+    pub fn cache_hit_frac(&self) -> f64 {
+        self.tier
+            .as_ref()
+            .map_or(0.0, |t| t.stats().cache_hit_frac())
+    }
+
+    /// Queue the expiry-order readahead plan: walk the window oldest
+    /// first, collect up to `readahead_blocks` distinct live, uncached
+    /// spill blocks, and hand them to the tier. The next probe's fused
+    /// dispatch issues the reads as side tasks overlapped with shard
+    /// compute ([`apply_staged_then_search`]); flavors without a staged
+    /// dispatch drain them via [`drain_prefetch`](Self::drain_prefetch).
+    /// No-op without an enabled cache.
+    ///
+    /// [`apply_staged_then_search`]: Self::apply_staged_then_search
+    pub fn schedule_readahead(&mut self) {
+        let Some(tier) = self.tier.as_ref() else {
+            return;
+        };
+        if !tier.cache_enabled() {
+            return;
+        }
+        let max = tier.readahead_blocks() as usize;
+        if max == 0 {
+            return;
+        }
+        let mut plan: Vec<u32> = Vec::with_capacity(max);
+        for &(_, key) in self.window.iter() {
+            if plan.len() >= max {
+                break;
+            }
+            if let Some(StoredTuple::Spilled { block, .. }) = self.arena.get(key) {
+                if !plan.contains(block) && !tier.cached(*block) {
+                    plan.push(*block);
+                }
+            }
+        }
+        self.tier
+            .as_mut()
+            .expect("tier checked above")
+            .set_prefetch_plan(plan);
+    }
+
+    /// Run any queued readahead now, as its own executor dispatch — the
+    /// path for index flavors whose probes are not staged (and therefore
+    /// never fuse side tasks). Speculative reads draw no fault coins; each
+    /// admitted block charges one `read_ns` through
+    /// [`SpillTier::finish_prefetch`].
+    pub fn drain_prefetch(
+        &mut self,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) {
+        let Some(tier) = self.tier.as_mut() else {
+            return;
+        };
+        let plan = tier.take_prefetch_io();
+        if plan.is_empty() {
+            return;
+        }
+        let path = tier.file_path().clone();
+        let mut slots: Vec<Option<Vec<SpillEntry>>> = vec![None; plan.len()];
+        {
+            let arena = crate::parallel::SlotArena::new(&mut slots);
+            let plan_ref: &[(u32, u64, u32)] = &plan;
+            let path_ref = &path;
+            exec.run_tasks(plan.len(), &|i| {
+                let (_, offset, len) = plan_ref[i];
+                // SAFETY: prefetch task `i` claims only slot `i`, once.
+                *unsafe { arena.claim(i) } =
+                    crate::tier::read_spill_entries_at(path_ref, offset, len);
+            });
+        }
+        let tier = self.tier.as_mut().expect("tier checked above");
+        for (&(id, _, _), slot) in plan.iter().zip(slots.iter_mut()) {
+            tier.finish_prefetch(id, slot.take(), receipt);
+        }
+    }
+
     /// Spill up to `max` of the **oldest resident** tuples into one disk
     /// block, leaving probe-ready stubs behind. Walks the window in
     /// arrival order, skipping tuples that are already spilled. Returns
@@ -882,48 +980,36 @@ impl<I: StateIndex> StateStore<I> {
         let Some(block) = self.tier.as_ref().and_then(|t| t.hottest_block(min_reads)) else {
             return SpillOutcome::default();
         };
-        let read = self
+        let fetched = self
             .tier
             .as_mut()
             .expect("tier checked above")
-            .read_block(block, receipt);
-        match read {
-            Ok(frame) => match self.rebuild_from_frame(block, &frame) {
-                Some(promoted) => {
-                    let tier = self.tier.as_mut().expect("tier checked above");
-                    tier.mark_dead(block, false);
-                    tier.note_promoted(promoted as u64);
-                    SpillOutcome {
-                        moved: promoted,
-                        lost: 0,
-                    }
-                }
-                None => SpillOutcome {
+            .fetch_entries(block, receipt);
+        let entries: Vec<SpillEntry> = match fetched {
+            Ok(entries) => entries.to_vec(),
+            Err(BlockReadError::Gone) => return SpillOutcome::default(),
+            Err(_) => {
+                return SpillOutcome {
                     moved: 0,
                     lost: self.purge_block(block, receipt),
-                },
-            },
-            Err(BlockReadError::Gone) => SpillOutcome::default(),
-            Err(_) => SpillOutcome {
-                moved: 0,
-                lost: self.purge_block(block, receipt),
-            },
+                }
+            }
+        };
+        let promoted = self.rebuild_from_entries(block, &entries);
+        let tier = self.tier.as_mut().expect("tier checked above");
+        tier.mark_dead(block, false);
+        tier.note_promoted(promoted as u64);
+        SpillOutcome {
+            moved: promoted,
+            lost: 0,
         }
     }
 
-    /// Decode a verified block frame and convert its still-live stubs back
-    /// to resident tuples. Returns `None` on a decode mismatch (treated as
-    /// corruption by the caller).
-    fn rebuild_from_frame(&mut self, block: u32, frame: &[u8]) -> Option<usize> {
-        let mut r = crate::snapshot_io::open_block(frame).ok()?;
-        let n = r.get_usize().ok()?;
+    /// Convert a decoded block's still-live stubs back to resident tuples.
+    fn rebuild_from_entries(&mut self, block: u32, entries: &[SpillEntry]) -> usize {
         let mut promoted = 0;
-        for _ in 0..n {
-            let key = TupleKey(r.get_u32().ok()?);
-            let id = TupleId(r.get_u64().ok()?);
-            let ts = r.get_time().ok()?;
-            let attrs = r.get_attrs().ok()?;
-            if let Some(slot) = self.arena.get_mut(key) {
+        for e in entries {
+            if let Some(slot) = self.arena.get_mut(e.key) {
                 if let StoredTuple::Spilled {
                     id: sid,
                     jas_values,
@@ -931,9 +1017,9 @@ impl<I: StateIndex> StateStore<I> {
                     ..
                 } = *slot
                 {
-                    if b == block && sid == id {
+                    if b == block && sid == e.id {
                         *slot = StoredTuple::Resident {
-                            tuple: Tuple::new(id, self.stream, ts, attrs),
+                            tuple: Tuple::new(e.id, self.stream, e.ts, e.attrs),
                             jas_values,
                         };
                         self.spilled -= 1;
@@ -942,7 +1028,7 @@ impl<I: StateIndex> StateStore<I> {
                 }
             }
         }
-        Some(promoted)
+        promoted
     }
 
     /// Read the full tuple behind `key`, from RAM or from its spill
@@ -964,39 +1050,82 @@ impl<I: StateIndex> StateStore<I> {
             Some(StoredTuple::Resident { tuple, .. }) => return Ok(Some(*tuple)),
             Some(StoredTuple::Spilled { block, .. }) => *block,
         };
-        let read = self
+        let stream = self.stream;
+        let fetched = self
             .tier
             .as_mut()
             .expect("spilled slot requires a tier")
-            .read_block(block, receipt);
-        match read {
-            Ok(frame) => {
-                if let Some(tuple) = self.find_in_frame(key, &frame) {
-                    Ok(Some(tuple))
-                } else {
-                    // The frame verified but does not hold this key: the
-                    // metadata and the file disagree — treat as corruption.
-                    Err(self.purge_block(block, receipt))
-                }
-            }
-            Err(_) => Err(self.purge_block(block, receipt)),
+            .fetch_entries(block, receipt);
+        let found = match fetched {
+            Ok(entries) => entries.iter().find(|e| e.key == key).copied(),
+            Err(_) => return Err(self.purge_block(block, receipt)),
+        };
+        match found {
+            Some(e) => Ok(Some(Tuple::new(e.id, stream, e.ts, e.attrs))),
+            // The frame verified but does not hold this key: the
+            // metadata and the file disagree — treat as corruption.
+            None => Err(self.purge_block(block, receipt)),
         }
     }
 
-    /// Scan a verified frame for `key`'s entry.
-    fn find_in_frame(&self, key: TupleKey, frame: &[u8]) -> Option<Tuple> {
-        let mut r = crate::snapshot_io::open_block(frame).ok()?;
-        let n = r.get_usize().ok()?;
-        for _ in 0..n {
-            let k = TupleKey(r.get_u32().ok()?);
-            let id = TupleId(r.get_u64().ok()?);
-            let ts = r.get_time().ok()?;
-            let attrs = r.get_attrs().ok()?;
-            if k == key {
-                return Some(Tuple::new(id, self.stream, ts, attrs));
+    /// Materialize a batch of probe hits into `out` (parallel to `keys`),
+    /// coalescing the spill reads: with the block cache enabled, all
+    /// spilled hits are grouped by block in first-occurrence order and
+    /// each distinct block is read **once** (through
+    /// [`SpillTier::preload_missing`], which overlaps the device reads on
+    /// `exec`), then every hit is served from the warm cache. Without a
+    /// cache this is exactly the per-key [`materialize`](Self::materialize)
+    /// sequence — same reads, same fault-coin stream, same receipts — so
+    /// cacheless runs stay byte-identical to the pre-cache engine.
+    ///
+    /// Returns the number of tuples lost to failed block reads (those
+    /// keys' slots in `out` are `None`, as are dead keys').
+    pub fn materialize_batch(
+        &mut self,
+        keys: &[TupleKey],
+        out: &mut Vec<Option<Tuple>>,
+        receipt: &mut CostReceipt,
+        exec: &dyn crate::parallel::ShardExecutor,
+    ) -> usize {
+        out.clear();
+        out.reserve(keys.len());
+        let mut lost = 0;
+        if self.tier.as_ref().is_some_and(SpillTier::cache_enabled) {
+            // Group the spilled hits by block, first-occurrence order: the
+            // deterministic read plan. Hits beyond the first per block are
+            // the reads coalescing saved.
+            let mut plan: Vec<(u32, u64)> = Vec::new();
+            for &key in keys {
+                if let Some(StoredTuple::Spilled { block, .. }) = self.arena.get(key) {
+                    match plan.iter_mut().find(|(b, _)| b == block) {
+                        Some((_, n)) => *n += 1,
+                        None => plan.push((*block, 1)),
+                    }
+                }
+            }
+            if !plan.is_empty() {
+                let tier = self.tier.as_mut().expect("cache implies a tier");
+                tier.note_coalesced(plan.iter().map(|&(_, n)| n - 1).sum());
+                let ids: Vec<u32> = plan.iter().map(|&(b, _)| b).collect();
+                for (block, err) in tier.preload_missing(&ids, receipt, exec) {
+                    if !matches!(err, BlockReadError::Gone) {
+                        lost += self.purge_block(block, receipt);
+                    }
+                }
             }
         }
-        None
+        // Serve per key — warm hits when the preload above ran, the plain
+        // PR 8 read sequence when cacheless.
+        for &key in keys {
+            match self.materialize(key, receipt) {
+                Ok(t) => out.push(t),
+                Err(n) => {
+                    lost += n;
+                    out.push(None);
+                }
+            }
+        }
+        lost
     }
 
     /// Drop every stub referencing `block` — the typed-degradation path
@@ -1231,6 +1360,16 @@ impl<I: StagedIndex> StateStore<I> {
     /// dispatch (see [`StagedIndex::apply_stage_then_search`]). Falls back
     /// to the arena scan when the index cannot serve the request — the
     /// stage is applied either way.
+    ///
+    /// Any readahead queued by [`schedule_readahead`] rides the same
+    /// dispatch as side tasks: the index fuses the speculative spill
+    /// reads with its apply+probe shard work, and their decoded blocks
+    /// are merged into the cache sequentially afterwards — so the wall
+    /// clock overlaps I/O with compute while every observable effect
+    /// (admissions, counters, virtual-clock charges) lands in a fixed
+    /// order.
+    ///
+    /// [`schedule_readahead`]: Self::schedule_readahead
     pub fn apply_staged_then_search(
         &mut self,
         req: &SearchRequest,
@@ -1240,10 +1379,42 @@ impl<I: StagedIndex> StateStore<I> {
         exec: &dyn crate::parallel::ShardExecutor,
     ) {
         debug_assert_eq!(req.pattern.n_attrs(), self.jas_width());
-        if !self
-            .index
-            .apply_stage_then_search(stage, req, scratch, receipt, exec)
-        {
+        let plan = self
+            .tier
+            .as_mut()
+            .map(SpillTier::take_prefetch_io)
+            .unwrap_or_default();
+        let path = self
+            .tier
+            .as_ref()
+            .map(|t| t.file_path().clone())
+            .unwrap_or_default();
+        let mut slots: Vec<Option<Vec<SpillEntry>>> = vec![None; plan.len()];
+        let served = {
+            let arena = crate::parallel::SlotArena::new(&mut slots);
+            let plan_ref: &[(u32, u64, u32)] = &plan;
+            let path_ref = &path;
+            let side_fn = |i: usize| {
+                let (_, offset, len) = plan_ref[i];
+                // SAFETY: prefetch task `i` claims only slot `i`, once.
+                *unsafe { arena.claim(i) } =
+                    crate::tier::read_spill_entries_at(path_ref, offset, len);
+            };
+            let side = crate::parallel::SideTasks::new(plan.len(), &side_fn);
+            let served = self
+                .index
+                .apply_stage_then_search(stage, req, scratch, receipt, exec, &side);
+            // The index guarantees the bundle fired, but stay safe against
+            // future implementations: leftovers are idempotent.
+            side.run_leftover(exec);
+            served
+        };
+        if let Some(tier) = self.tier.as_mut() {
+            for (&(id, _, _), slot) in plan.iter().zip(slots.iter_mut()) {
+                tier.finish_prefetch(id, slot.take(), receipt);
+            }
+        }
+        if !served {
             scratch.hits.clear();
             for (key, stored) in self.arena.iter() {
                 receipt.comparisons += 2;
@@ -1461,6 +1632,7 @@ mod tests {
             profile: crate::cost::StorageProfile::default(),
             faults,
             seed: 11,
+            cache_bytes: 0,
         })
         .unwrap();
         let mut s = store().with_payload_bytes(64);

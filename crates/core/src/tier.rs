@@ -37,13 +37,72 @@
 
 use crate::cost::{CostReceipt, StorageProfile};
 use crate::layout;
+use crate::parallel::{ShardExecutor, SlotArena};
 use crate::snapshot_io::{open_block, seal_block, SectionReader, SectionWriter, SnapshotError};
+use crate::state::TupleKey;
+use amri_stream::{AttrVec, TupleId, VirtualTime};
 use serde::{Deserialize, Serialize};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Retry budget for a torn block write (first attempt + two retries).
 pub const WRITE_ATTEMPTS: u32 = 3;
+
+/// Cache occupancy fraction that triggers eviction — mirrors the engine
+/// tier policy's high-water default so both tiers degrade under the same
+/// discipline.
+pub const CACHE_HIGH_WATER: f64 = 0.8;
+
+/// Cache occupancy fraction eviction drains down to (the hysteresis band
+/// below [`CACHE_HIGH_WATER`]).
+pub const CACHE_LOW_WATER: f64 = 0.5;
+
+/// One decoded tuple record of a spill block — the cached form, ready to
+/// serve a materialization without touching the device or re-parsing the
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpillEntry {
+    /// Arena key the tuple was spilled under.
+    pub key: TupleKey,
+    /// Stream-assigned tuple id.
+    pub id: TupleId,
+    /// Arrival time.
+    pub ts: VirtualTime,
+    /// Full attribute vector.
+    pub attrs: AttrVec,
+}
+
+/// Decode a verified spill-block frame into its tuple records — the body
+/// codec [`spill_oldest`](crate::state::StateStore::spill_oldest) writes.
+/// `None` on any framing/decode mismatch (the caller treats that as
+/// corruption).
+pub fn decode_spill_block(frame: &[u8]) -> Option<Vec<SpillEntry>> {
+    let mut r = open_block(frame).ok()?;
+    let n = r.get_usize().ok()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(SpillEntry {
+            key: TupleKey(r.get_u32().ok()?),
+            id: TupleId(r.get_u64().ok()?),
+            ts: r.get_time().ok()?,
+            attrs: r.get_attrs().ok()?,
+        });
+    }
+    Some(entries)
+}
+
+/// Read and decode one frame straight off the block file — the body of a
+/// speculative side-I/O task (prefetch fused into a probe dispatch). Pure
+/// read-only file access with full checksum verification; any failure
+/// collapses to `None`, which [`SpillTier::finish_prefetch`] treats as a
+/// silently abandoned speculation.
+pub fn read_spill_entries_at(path: &Path, offset: u64, len: u32) -> Option<Vec<SpillEntry>> {
+    let mut file = std::fs::File::open(path).ok()?;
+    file.seek(SeekFrom::Start(offset)).ok()?;
+    let mut frame = vec![0u8; len as usize];
+    file.read_exact(&mut frame).ok()?;
+    decode_spill_block(&frame)
+}
 
 /// Injected disk-fault probabilities. All-zero ([`Default`]) injects
 /// nothing; real corruption and real I/O errors are still detected and
@@ -100,6 +159,10 @@ pub struct SpillConfig {
     pub faults: IoFaultConfig,
     /// Seed of this tier's private coin stream.
     pub seed: u64,
+    /// Byte budget of the decoded-block read cache; 0 disables the cache
+    /// entirely, reproducing the per-hit device-read path exactly (coin
+    /// stream included).
+    pub cache_bytes: u64,
 }
 
 /// Replay-identical counters of what the tier did — the disk-fault report
@@ -126,6 +189,23 @@ pub struct SpillStats {
     pub promoted_blocks: u64,
     /// Virtual nanoseconds charged for block reads (spike included).
     pub read_ns: u64,
+    /// Demand fetches served from the decoded-block cache.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Distinct device reads taken on the demand path while the cache was
+    /// enabled (one per cold block, however many tuples it serves).
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Batch stub hits that shared another hit's block read instead of
+    /// issuing their own (per batch: spilled hits minus distinct blocks).
+    #[serde(default)]
+    pub coalesced_reads: u64,
+    /// Blocks loaded into the cache by expiry-order readahead.
+    #[serde(default)]
+    pub prefetched_blocks: u64,
+    /// Cache blocks evicted to stay under the byte budget.
+    #[serde(default)]
+    pub cache_evictions: u64,
 }
 
 impl SpillStats {
@@ -141,6 +221,24 @@ impl SpillStats {
         self.lost_blocks += other.lost_blocks;
         self.promoted_blocks += other.promoted_blocks;
         self.read_ns += other.read_ns;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.coalesced_reads += other.coalesced_reads;
+        self.prefetched_blocks += other.prefetched_blocks;
+        self.cache_evictions += other.cache_evictions;
+    }
+
+    /// Observed cache hit fraction `hits / (hits + misses)`, `0` before
+    /// any demand fetch — the [`WorkloadProfile::cache_hit_frac`] input.
+    ///
+    /// [`WorkloadProfile::cache_hit_frac`]: crate::cost::WorkloadProfile::cache_hit_frac
+    pub fn cache_hit_frac(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -202,9 +300,172 @@ fn unit(bits: u64) -> f64 {
     (bits >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// One cached block: the decoded tuple records plus the bookkeeping the
+/// deterministic LRU needs. `warm == false` marks a slot restored from a
+/// snapshot whose contents were deliberately not saved — the entries are
+/// re-read from the rebuilt block file on first touch, with no fault
+/// coins and no counters, so a resumed run's observable state matches the
+/// uninterrupted one exactly.
+#[derive(Debug, Clone)]
+struct CacheSlot {
+    entries: Vec<SpillEntry>,
+    bytes: u64,
+    touch: u64,
+    warm: bool,
+}
+
+/// Deterministic decoded-block LRU over one tier's spill blocks.
+///
+/// Recency is a monotone virtual touch counter (no wall clock); the slot
+/// table is indexed by block id and victims are found by a linear
+/// min-touch scan (no hash-map iteration order), so every eviction
+/// decision is a pure function of the operation sequence. Occupancy is
+/// accounted in on-disk frame bytes and evicted under the same
+/// high/low-water discipline as the engine's `TierPolicy`: exceeding
+/// [`CACHE_HIGH_WATER`] of the budget drains least-recently-touched
+/// blocks until occupancy falls to [`CACHE_LOW_WATER`].
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    budget: u64,
+    seq: u64,
+    used: u64,
+    slots: Vec<Option<CacheSlot>>,
+}
+
+/// Comparable cache shape: budget, touch sequence, occupied bytes and
+/// per-slot `(bytes, touch)` — everything a snapshot carries.
+type CacheMeta = (u64, u64, u64, Vec<Option<(u64, u64)>>);
+
+impl BlockCache {
+    fn new(budget: u64) -> Self {
+        BlockCache {
+            budget,
+            seq: 0,
+            used: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Cache metadata as comparable shape (entries and warmth excluded —
+    /// a lazily-rewarmed twin is the same cache).
+    fn meta(&self) -> CacheMeta {
+        (
+            self.budget,
+            self.seq,
+            self.used,
+            self.slots
+                .iter()
+                .map(|s| s.as_ref().map(|s| (s.bytes, s.touch)))
+                .collect(),
+        )
+    }
+
+    fn slot(&self, id: u32) -> Option<&CacheSlot> {
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.slot(id).is_some()
+    }
+
+    /// Touch `id` (bump its recency) and return its entries.
+    fn touch_get(&mut self, id: u32) -> Option<&[SpillEntry]> {
+        self.seq += 1;
+        let seq = self.seq;
+        let slot = self.slots.get_mut(id as usize)?.as_mut()?;
+        slot.touch = seq;
+        Some(&slot.entries)
+    }
+
+    /// Fill a metadata-only (restored) slot with its re-read contents.
+    fn rewarm(&mut self, id: u32, entries: Vec<SpillEntry>) {
+        if let Some(slot) = self.slots.get_mut(id as usize).and_then(|s| s.as_mut()) {
+            slot.entries = entries;
+            slot.warm = true;
+        }
+    }
+
+    /// Insert `id`, evicting under the high/low-water discipline. Returns
+    /// the entries back when the block alone exceeds the whole budget
+    /// (never cached; the caller serves it transiently instead).
+    fn admit(
+        &mut self,
+        id: u32,
+        entries: Vec<SpillEntry>,
+        bytes: u64,
+        stats: &mut SpillStats,
+    ) -> Result<(), Vec<SpillEntry>> {
+        if bytes > self.budget {
+            return Err(entries);
+        }
+        if self.slots.len() <= id as usize {
+            self.slots.resize_with(id as usize + 1, || None);
+        }
+        self.seq += 1;
+        if let Some(old) = self.slots[id as usize].replace(CacheSlot {
+            entries,
+            bytes,
+            touch: self.seq,
+            warm: true,
+        }) {
+            self.used -= old.bytes;
+        }
+        self.used += bytes;
+        let high = (self.budget as f64 * CACHE_HIGH_WATER).floor() as u64;
+        let low = (self.budget as f64 * CACHE_LOW_WATER).floor() as u64;
+        if self.used > high {
+            while self.used > low {
+                // Min-touch victim, protected: never the block just
+                // admitted (it holds the max touch, so the scan cannot
+                // pick it while another slot exists).
+                let victim = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|s| (i, s.touch)))
+                    .filter(|&(i, _)| i != id as usize)
+                    .min_by_key(|&(_, touch)| touch)
+                    .map(|(i, _)| i);
+                let Some(victim) = victim else { break };
+                self.remove(victim as u32);
+                stats.cache_evictions += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop `id` without counting an eviction (invalidation: the block
+    /// died by promotion, loss, or expiry).
+    fn remove(&mut self, id: u32) {
+        if let Some(slot) = self.slots.get_mut(id as usize).and_then(|s| s.take()) {
+            self.used -= slot.bytes;
+        }
+    }
+
+    /// Bytes of decoded blocks currently held (frame-byte accounting).
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Cached block ids in ascending id order (deterministic; tests and
+    /// snapshots iterate this way).
+    fn cached_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as u32))
+    }
+}
+
 /// One state's disk spill tier: the block file, its metadata table, the
-/// seeded fault coin stream, and the replay-identical counters.
-#[derive(Debug, Clone, PartialEq)]
+/// seeded fault coin stream, the decoded-block read cache, and the
+/// replay-identical counters.
+#[derive(Debug, Clone)]
 pub struct SpillTier {
     path: PathBuf,
     profile: StorageProfile,
@@ -213,6 +474,33 @@ pub struct SpillTier {
     file_len: u64,
     blocks: Vec<BlockMeta>,
     stats: SpillStats,
+    cache: Option<BlockCache>,
+    /// Expiry-order readahead plan queued at the last maintenance grid
+    /// point, drained by the next fused probe dispatch.
+    pending_prefetch: Vec<u32>,
+    /// Cacheless decode scratch: the most recent block served through
+    /// [`fetch_entries`](Self::fetch_entries) with the cache disabled.
+    /// Never consulted as a cache — every cacheless fetch re-reads the
+    /// device — it only gives the returned slice a place to live.
+    scratch: Option<(u32, Vec<SpillEntry>)>,
+}
+
+impl PartialEq for SpillTier {
+    /// Structural equality over replayable state: the decode scratch is
+    /// excluded (it is not observable), and the cache compares by
+    /// metadata shape so a lazily-rewarmed restore equals its live twin.
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path
+            && self.profile == other.profile
+            && self.faults == other.faults
+            && self.rng == other.rng
+            && self.file_len == other.file_len
+            && self.blocks == other.blocks
+            && self.stats == other.stats
+            && self.pending_prefetch == other.pending_prefetch
+            && self.cache.as_ref().map(BlockCache::meta)
+                == other.cache.as_ref().map(BlockCache::meta)
+    }
 }
 
 impl SpillTier {
@@ -233,6 +521,9 @@ impl SpillTier {
             file_len: 0,
             blocks: Vec::new(),
             stats: SpillStats::default(),
+            cache: (cfg.cache_bytes > 0).then(|| BlockCache::new(cfg.cache_bytes)),
+            pending_prefetch: Vec::new(),
+            scratch: None,
         })
     }
 
@@ -355,11 +646,50 @@ impl SpillTier {
         id: u32,
         receipt: &mut CostReceipt,
     ) -> Result<Vec<u8>, BlockReadError> {
+        let frame = self.read_device(id, receipt)?;
+        self.note_demand_read(id);
+        Ok(frame)
+    }
+
+    /// One modeled device read: three fault coins, `read_ns` per attempt
+    /// plus any spike, but **no** demand counters (`blocks_read` / block
+    /// heat) — those belong to whoever serves the demand, which may be
+    /// the cache.
+    fn read_device(
+        &mut self,
+        id: u32,
+        receipt: &mut CostReceipt,
+    ) -> Result<Vec<u8>, BlockReadError> {
         let (c_err, c_retry, c_spike) = (self.next_coin(), self.next_coin(), self.next_coin());
         let meta = match self.blocks.get(id as usize) {
             Some(m) if m.live > 0 => *m,
             _ => return Err(BlockReadError::Gone),
         };
+        let io_ns = self.injected_read_ns(c_err, c_retry, c_spike);
+        let io_ns = match io_ns {
+            Ok(ns) => ns,
+            Err(ns) => {
+                // The retry failed too: the device lost this block.
+                self.stats.read_ns += ns;
+                receipt.io_ns += ns;
+                return Err(BlockReadError::Device);
+            }
+        };
+        let frame = self.read_frame(&meta).map_err(|e| match e {
+            ReadFrameError::Io(msg) => BlockReadError::Io(msg),
+            ReadFrameError::Corrupt(msg) => BlockReadError::Corrupt(msg),
+        });
+        self.stats.read_ns += io_ns;
+        receipt.io_ns += io_ns;
+        frame
+    }
+
+    /// Resolve one read's injected-fault coins: `Ok(io_ns)` for a read
+    /// that reaches the platter (spike and retry charges folded in),
+    /// `Err(io_ns)` when the injected error hit twice and the charge
+    /// still applies but the read is lost. Counter side effects
+    /// (`latency_spikes`, `read_errors`) happen here, in coin order.
+    fn injected_read_ns(&mut self, c_err: u64, c_retry: u64, c_spike: u64) -> Result<u64, u64> {
         let mut io_ns = self.profile.read_ns;
         if self.faults.latency_spike_prob > 0.0 && unit(c_spike) < self.faults.latency_spike_prob {
             io_ns += self.faults.spike_ns;
@@ -368,24 +698,97 @@ impl SpillTier {
         if self.faults.read_error_prob > 0.0 && unit(c_err) < self.faults.read_error_prob {
             self.stats.read_errors += 1;
             if unit(c_retry) < self.faults.read_error_prob {
-                // The retry failed too: the device lost this block.
                 self.stats.read_errors += 1;
-                self.stats.read_ns += io_ns;
-                receipt.io_ns += io_ns;
-                return Err(BlockReadError::Device);
+                return Err(io_ns);
             }
             io_ns += self.profile.read_ns; // the successful retry
         }
-        let frame = self.read_frame(&meta).map_err(|e| match e {
-            ReadFrameError::Io(msg) => BlockReadError::Io(msg),
-            ReadFrameError::Corrupt(msg) => BlockReadError::Corrupt(msg),
-        });
-        self.stats.read_ns += io_ns;
-        receipt.io_ns += io_ns;
-        let frame = frame?;
+        Ok(io_ns)
+    }
+
+    /// Account one served demand fetch against block `id`: `blocks_read`
+    /// and the promotion heat counter. Charged identically whether the
+    /// bytes came from the device or the cache, so promotion decisions
+    /// and the PR 8 counters are cache-invariant.
+    fn note_demand_read(&mut self, id: u32) {
         self.stats.blocks_read += 1;
         self.blocks[id as usize].reads += 1;
-        Ok(frame)
+    }
+
+    /// Serve the decoded tuple records of block `id` for one demand fetch
+    /// (materialization or promotion).
+    ///
+    /// * **Cache disabled** — exactly the [`read_block`](Self::read_block)
+    ///   path (three coins, device latency) plus a decode; byte-for-byte
+    ///   the PR 8 behavior.
+    /// * **Cache hit** — no coins, `cache_hit_ns` charged (zero under the
+    ///   identity profile), recency touched. `blocks_read` and block heat
+    ///   still accrue, so cached and cacheless runs agree on every PR 8
+    ///   counter under the identity profile.
+    /// * **Cache miss** — one device read (three coins), decode admitted
+    ///   into the cache under the high/low-water discipline.
+    ///
+    /// # Errors
+    /// As [`read_block`](Self::read_block); additionally a verified frame
+    /// whose body does not decode returns [`BlockReadError::Corrupt`].
+    pub fn fetch_entries(
+        &mut self,
+        id: u32,
+        receipt: &mut CostReceipt,
+    ) -> Result<&[SpillEntry], BlockReadError> {
+        let corrupt = || BlockReadError::Corrupt("spill block body does not decode".into());
+        if self.cache.is_none() {
+            let frame = self.read_block(id, receipt)?;
+            let entries = decode_spill_block(&frame).ok_or_else(corrupt)?;
+            let slot = self.scratch.insert((id, entries));
+            return Ok(&slot.1);
+        }
+        if !matches!(self.blocks.get(id as usize), Some(m) if m.live > 0) {
+            return Err(BlockReadError::Gone);
+        }
+        let slot_state = self.cache.as_ref().and_then(|c| c.slot(id)).map(|s| s.warm);
+        if let Some(warm) = slot_state {
+            if !warm {
+                // Restored metadata without contents: re-read from the
+                // rebuilt block file. Like the restore itself this draws
+                // no coins and charges nothing — the uninterrupted twin
+                // already has the bytes in RAM.
+                let meta = self.blocks[id as usize];
+                let frame = self.read_frame(&meta).map_err(|e| match e {
+                    ReadFrameError::Io(msg) => BlockReadError::Io(msg),
+                    ReadFrameError::Corrupt(msg) => BlockReadError::Corrupt(msg),
+                })?;
+                let entries = decode_spill_block(&frame).ok_or_else(corrupt)?;
+                self.cache
+                    .as_mut()
+                    .expect("cache checked above")
+                    .rewarm(id, entries);
+            }
+            let io_ns = self.profile.cache_hit_ns;
+            self.stats.cache_hits += 1;
+            self.stats.read_ns += io_ns;
+            receipt.io_ns += io_ns;
+            self.note_demand_read(id);
+            let cache = self.cache.as_mut().expect("cache checked above");
+            return Ok(cache.touch_get(id).expect("slot checked above"));
+        }
+        self.stats.cache_misses += 1;
+        let frame = self.read_device(id, receipt)?;
+        let entries = decode_spill_block(&frame).ok_or_else(corrupt)?;
+        self.note_demand_read(id);
+        let bytes = u64::from(self.blocks[id as usize].len);
+        let cache = self.cache.as_mut().expect("cache checked above");
+        match cache.admit(id, entries, bytes, &mut self.stats) {
+            Ok(()) => {
+                let cache = self.cache.as_ref().expect("cache checked above");
+                Ok(&cache.slot(id).expect("just admitted").entries)
+            }
+            Err(entries) => {
+                // Larger than the whole budget: serve transiently.
+                let slot = self.scratch.insert((id, entries));
+                Ok(&slot.1)
+            }
+        }
     }
 
     fn read_frame(&self, meta: &BlockMeta) -> Result<Vec<u8>, ReadFrameError> {
@@ -398,10 +801,236 @@ impl SpillTier {
         Ok(frame)
     }
 
+    /// Coalesced cold-batch fill: read the distinct uncached blocks `ids`
+    /// (first-occurrence order) from the device **in one executor
+    /// dispatch** and admit the decodes into the cache, so the per-key
+    /// fetches that follow are all hits. Fault coins are pre-drawn
+    /// sequentially in `ids` order before any task runs and results merge
+    /// back in the same order, so counters, charges, and the coin stream
+    /// are identical for any executor. Returns the blocks whose read
+    /// failed (injected device loss, corruption, or I/O), for the caller
+    /// to purge; those blocks drew their coins and charged their latency
+    /// exactly like a sequential failed read.
+    ///
+    /// No-op unless the cache is enabled.
+    pub fn preload_missing(
+        &mut self,
+        ids: &[u32],
+        receipt: &mut CostReceipt,
+        exec: &dyn ShardExecutor,
+    ) -> Vec<(u32, BlockReadError)> {
+        let mut failures = Vec::new();
+        if self.cache.is_none() {
+            return failures;
+        }
+        // Pre-draw: one (err, retry, spike) triple per block, in order —
+        // the same stream a sequence of read_device calls would draw.
+        struct Plan {
+            id: u32,
+            meta: BlockMeta,
+            outcome: Result<u64, u64>, // io_ns, Err = injected device loss
+        }
+        let mut plan: Vec<Plan> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            if self.cache.as_ref().is_some_and(|c| c.contains(id)) {
+                continue;
+            }
+            let (c_err, c_retry, c_spike) = (self.next_coin(), self.next_coin(), self.next_coin());
+            let meta = match self.blocks.get(id as usize) {
+                Some(m) if m.live > 0 => *m,
+                _ => {
+                    failures.push((id, BlockReadError::Gone));
+                    continue;
+                }
+            };
+            let outcome = self.injected_read_ns(c_err, c_retry, c_spike);
+            plan.push(Plan { id, meta, outcome });
+        }
+        // Fan the surviving reads out: each task opens the file itself
+        // (read-only), verifies, and decodes into its private slot.
+        let mut slots: Vec<Option<Result<Vec<SpillEntry>, ReadFrameError>>> =
+            plan.iter().map(|_| None).collect();
+        {
+            let live: Vec<usize> = plan
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.outcome.is_ok())
+                .map(|(i, _)| i)
+                .collect();
+            let arena = SlotArena::new(&mut slots);
+            let path = self.path.clone();
+            let task = |t: usize| {
+                let i = live[t];
+                let meta = plan[i].meta;
+                let read = (|| {
+                    let io = |e: std::io::Error| ReadFrameError::Io(e.to_string());
+                    let mut file = std::fs::File::open(&path).map_err(io)?;
+                    file.seek(SeekFrom::Start(meta.offset)).map_err(io)?;
+                    let mut frame = vec![0u8; meta.len as usize];
+                    file.read_exact(&mut frame).map_err(io)?;
+                    open_block(&frame).map_err(|e| ReadFrameError::Corrupt(e.to_string()))?;
+                    decode_spill_block(&frame).ok_or_else(|| {
+                        ReadFrameError::Corrupt("spill block body does not decode".into())
+                    })
+                })();
+                // SAFETY: each task claims only its own slot, once.
+                *unsafe { arena.claim(i) } = Some(read);
+            };
+            exec.run_tasks(live.len(), &task);
+        }
+        // Merge sequentially in plan order: charges, counters, and cache
+        // admissions happen exactly as a sequential read sequence would.
+        for (p, slot) in plan.into_iter().zip(slots) {
+            match p.outcome {
+                Err(io_ns) => {
+                    self.stats.read_ns += io_ns;
+                    receipt.io_ns += io_ns;
+                    failures.push((p.id, BlockReadError::Device));
+                }
+                Ok(io_ns) => {
+                    self.stats.read_ns += io_ns;
+                    receipt.io_ns += io_ns;
+                    match slot.expect("live plan entries ran") {
+                        Ok(entries) => {
+                            self.stats.cache_misses += 1;
+                            let cache = self.cache.as_mut().expect("cache checked above");
+                            // A budget-oversized block stays uncached; the
+                            // per-key fetch will serve it as its own miss.
+                            if let Err(_big) =
+                                cache.admit(p.id, entries, u64::from(p.meta.len), &mut self.stats)
+                            {
+                                self.stats.cache_misses -= 1;
+                            }
+                        }
+                        Err(ReadFrameError::Io(msg)) => {
+                            failures.push((p.id, BlockReadError::Io(msg)))
+                        }
+                        Err(ReadFrameError::Corrupt(msg)) => {
+                            failures.push((p.id, BlockReadError::Corrupt(msg)));
+                        }
+                    }
+                }
+            }
+        }
+        failures
+    }
+
+    /// Record `n` batch stub hits that shared another hit's block read.
+    pub fn note_coalesced(&mut self, n: u64) {
+        self.stats.coalesced_reads += n;
+    }
+
+    /// Queue an expiry-order readahead plan (distinct live block ids,
+    /// oldest first), replacing any previous plan. Ignored without a
+    /// cache. The plan is drained by the next probe's fused dispatch via
+    /// [`take_prefetch_io`](Self::take_prefetch_io) /
+    /// [`finish_prefetch`](Self::finish_prefetch).
+    pub fn set_prefetch_plan(&mut self, ids: Vec<u32>) {
+        if self.cache.is_some() {
+            self.pending_prefetch = ids;
+        }
+    }
+
+    /// The queued readahead plan (empty when nothing is pending).
+    pub fn prefetch_pending(&self) -> &[u32] {
+        &self.pending_prefetch
+    }
+
+    /// Drain the readahead plan into raw read descriptors
+    /// `(id, offset, len)` for still-live, still-uncached blocks — the
+    /// side tasks a probe dispatch fuses in. Speculative reads draw **no
+    /// fault coins**: an injected fault on a prefetch would be observable
+    /// only through the cache, and the cache is not allowed to change
+    /// observable state.
+    pub fn take_prefetch_io(&mut self) -> Vec<(u32, u64, u32)> {
+        let plan = std::mem::take(&mut self.pending_prefetch);
+        if self.cache.is_none() {
+            return Vec::new();
+        }
+        plan.into_iter()
+            .filter(|&id| !self.cache.as_ref().is_some_and(|c| c.contains(id)))
+            .filter_map(|id| {
+                self.blocks
+                    .get(id as usize)
+                    .filter(|m| m.live > 0)
+                    .map(|m| (id, m.offset, m.len))
+            })
+            .collect()
+    }
+
+    /// Complete one readahead: admit the decoded block (when still live
+    /// and still uncached), count it, and charge one `read_ns` of
+    /// (virtual) disk time — the wall-clock read overlapped probe
+    /// compute, but the modeled device still spent the latency. A failed
+    /// speculative read (`None`) charges and changes nothing.
+    pub fn finish_prefetch(
+        &mut self,
+        id: u32,
+        decoded: Option<Vec<SpillEntry>>,
+        receipt: &mut CostReceipt,
+    ) {
+        let Some(entries) = decoded else { return };
+        if !matches!(self.blocks.get(id as usize), Some(m) if m.live > 0) {
+            return;
+        }
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        if cache.contains(id) {
+            return;
+        }
+        let bytes = u64::from(self.blocks[id as usize].len);
+        let cache = self.cache.as_mut().expect("checked above");
+        if cache.admit(id, entries, bytes, &mut self.stats).is_ok() {
+            self.stats.prefetched_blocks += 1;
+            let io_ns = self.profile.read_ns;
+            self.stats.read_ns += io_ns;
+            receipt.io_ns += io_ns;
+        }
+    }
+
+    /// The block file's path (side I/O tasks read it directly).
+    pub fn file_path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    /// True iff the decoded-block cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Bytes the decoded-block cache currently holds (its `MemoryReport`
+    /// column; budgeted separately from the engine's window budget).
+    pub fn cache_used_bytes(&self) -> u64 {
+        self.cache.as_ref().map_or(0, BlockCache::used_bytes)
+    }
+
+    /// True iff block `id` is cache-resident.
+    pub fn cached(&self, id: u32) -> bool {
+        self.cache.as_ref().is_some_and(|c| c.contains(id))
+    }
+
+    /// Configured expiry-order readahead depth (blocks per grid point).
+    pub fn readahead_blocks(&self) -> u32 {
+        self.profile.readahead_blocks
+    }
+
+    /// The cache's byte budget (`0` when disabled).
+    pub fn cache_budget_bytes(&self) -> u64 {
+        self.cache.as_ref().map_or(0, BlockCache::budget_bytes)
+    }
+
     /// Note that one live stub of `id` expired or was evicted.
     pub fn note_dropped(&mut self, id: u32) {
         if let Some(m) = self.blocks.get_mut(id as usize) {
             m.live = m.live.saturating_sub(1);
+            if m.live == 0 {
+                // The block died by expiry: invalidate, don't count an
+                // eviction — nothing was displaced for budget.
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.remove(id);
+                }
+            }
         }
     }
 
@@ -417,6 +1046,12 @@ impl SpillTier {
                 }
             }
             m.live = 0;
+        }
+        if let Some(cache) = self.cache.as_mut() {
+            cache.remove(id);
+        }
+        if self.scratch.as_ref().is_some_and(|(sid, _)| *sid == id) {
+            self.scratch = None;
         }
     }
 
@@ -456,6 +1091,11 @@ impl SpillTier {
             self.stats.lost_blocks,
             self.stats.promoted_blocks,
             self.stats.read_ns,
+            self.stats.cache_hits,
+            self.stats.cache_misses,
+            self.stats.coalesced_reads,
+            self.stats.prefetched_blocks,
+            self.stats.cache_evictions,
         ] {
             w.put_u64(v);
         }
@@ -470,6 +1110,28 @@ impl SpillTier {
                     .read_frame_unverified(meta)
                     .unwrap_or_else(|_| Vec::new());
                 w.put_bytes(&frame);
+            }
+        }
+        // Readahead plan queued but not yet drained at the checkpoint.
+        w.put_usize(self.pending_prefetch.len());
+        for &id in &self.pending_prefetch {
+            w.put_u32(id);
+        }
+        // Cache **metadata** only — which blocks are resident, their
+        // recency, and the byte accounting. The decoded contents are
+        // deliberately not saved: a resume rewarms each slot lazily from
+        // the rebuilt block file, with no coins and no counters, so the
+        // observable run is byte-identical while snapshots stay small.
+        w.put_bool(self.cache.is_some());
+        if let Some(cache) = &self.cache {
+            w.put_u64(cache.seq);
+            let cached: Vec<u32> = cache.cached_ids().collect();
+            w.put_usize(cached.len());
+            for id in cached {
+                let slot = cache.slot(id).expect("cached_ids yields resident slots");
+                w.put_u32(id);
+                w.put_u64(slot.touch);
+                w.put_u64(slot.bytes);
             }
         }
     }
@@ -492,7 +1154,7 @@ impl SpillTier {
     pub fn restore_from(&mut self, r: &mut SectionReader<'_>) -> Result<(), SnapshotError> {
         crate::snapshot_io::expect_tag(r, "TIER")?;
         let rng = r.get_u64()?;
-        let mut vals = [0u64; 10];
+        let mut vals = [0u64; 15];
         for v in &mut vals {
             *v = r.get_u64()?;
         }
@@ -507,6 +1169,11 @@ impl SpillTier {
             lost_blocks: vals[7],
             promoted_blocks: vals[8],
             read_ns: vals[9],
+            cache_hits: vals[10],
+            cache_misses: vals[11],
+            coalesced_reads: vals[12],
+            prefetched_blocks: vals[13],
+            cache_evictions: vals[14],
         };
         let n = r.get_usize()?;
         let mut file =
@@ -540,10 +1207,47 @@ impl SpillTier {
             }
         }
         file.sync_data().ok();
+        let n_pending = r.get_usize()?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push(r.get_u32()?);
+        }
+        let saved_cache = r.get_bool()?;
+        let mut restored_cache = self.cache.as_ref().map(|c| BlockCache::new(c.budget));
+        if saved_cache {
+            let seq = r.get_u64()?;
+            let n_cached = r.get_usize()?;
+            if let Some(cache) = restored_cache.as_mut() {
+                cache.seq = seq;
+            }
+            for _ in 0..n_cached {
+                let id = r.get_u32()?;
+                let touch = r.get_u64()?;
+                let bytes = r.get_u64()?;
+                // Metadata-only slot: contents rewarm lazily on first
+                // touch. Dropped silently when this tier was configured
+                // without a cache (resume under a different config).
+                if let Some(cache) = restored_cache.as_mut() {
+                    if cache.slots.len() <= id as usize {
+                        cache.slots.resize_with(id as usize + 1, || None);
+                    }
+                    cache.slots[id as usize] = Some(CacheSlot {
+                        entries: Vec::new(),
+                        bytes,
+                        touch,
+                        warm: false,
+                    });
+                    cache.used += bytes;
+                }
+            }
+        }
         self.rng = rng;
         self.stats = stats;
         self.blocks = blocks;
         self.file_len = offset;
+        self.pending_prefetch = pending;
+        self.cache = restored_cache;
+        self.scratch = None;
         Ok(())
     }
 }
@@ -565,12 +1269,22 @@ mod tests {
     }
 
     fn tier(tag: &str, faults: IoFaultConfig, profile: StorageProfile) -> SpillTier {
+        tier_cached(tag, faults, profile, 0)
+    }
+
+    fn tier_cached(
+        tag: &str,
+        faults: IoFaultConfig,
+        profile: StorageProfile,
+        cache_bytes: u64,
+    ) -> SpillTier {
         SpillTier::create(&SpillConfig {
             dir: scratch_dir(tag),
             file_name: "s0.blocks".into(),
             profile,
             faults,
             seed: 7,
+            cache_bytes,
         })
         .unwrap()
     }
@@ -609,6 +1323,7 @@ mod tests {
             read_ns: 1000,
             write_ns: 2000,
             block_tuples: 64,
+            ..StorageProfile::default()
         };
         let mut t = tier("cost", IoFaultConfig::default(), profile);
         let mut rc = CostReceipt::new();
@@ -671,6 +1386,7 @@ mod tests {
             read_ns: 100,
             write_ns: 0,
             block_tuples: 64,
+            ..StorageProfile::default()
         };
         let mut t = tier("spike", faults, profile);
         let mut rc = CostReceipt::new();
@@ -787,5 +1503,268 @@ mod tests {
             ..IoFaultConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    /// A block body in the spill-entry codec (what `spill_oldest` writes).
+    fn entry_body(keys: &[u32]) -> SectionWriter {
+        let mut w = SectionWriter::new();
+        w.put_usize(keys.len());
+        for &k in keys {
+            w.put_u32(k);
+            w.put_u64(u64::from(k) + 100);
+            w.put_time(VirtualTime(u64::from(k)));
+            w.put_attrs(&AttrVec::new());
+        }
+        w
+    }
+
+    #[test]
+    fn cache_hit_skips_coins_but_keeps_demand_counters() {
+        let profile = StorageProfile {
+            read_ns: 1000,
+            cache_hit_ns: 10,
+            ..StorageProfile::default()
+        };
+        let mut t = tier_cached("hitpath", IoFaultConfig::default(), profile, 1 << 20);
+        let mut rc = CostReceipt::new();
+        let id = t.append_block(entry_body(&[1, 2, 3]), 3, &mut rc).unwrap();
+        let rng_before = t.rng;
+        let entries = t.fetch_entries(id, &mut rc).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(t.stats().cache_misses, 1, "cold fetch reads the device");
+        assert_ne!(t.rng, rng_before, "the miss drew its three coins");
+        let rng_after_miss = t.rng;
+        let io_after_miss = rc.io_ns;
+        let _ = t.fetch_entries(id, &mut rc).unwrap();
+        assert_eq!(t.stats().cache_hits, 1);
+        assert_eq!(t.rng, rng_after_miss, "a hit draws no coins");
+        assert_eq!(rc.io_ns, io_after_miss + 10, "a hit charges cache_hit_ns");
+        // Demand counters are cache-invariant: two fetches, two reads, heat 2.
+        assert_eq!(t.stats().blocks_read, 2);
+        assert_eq!(t.block(id).unwrap().reads, 2);
+    }
+
+    #[test]
+    fn cacheless_fetch_matches_read_block_exactly() {
+        let faults = IoFaultConfig {
+            read_error_prob: 0.3,
+            latency_spike_prob: 0.3,
+            spike_ns: 11,
+            ..IoFaultConfig::default()
+        };
+        let run_reads = |mut t: SpillTier, via_fetch: bool| {
+            let mut rc = CostReceipt::new();
+            let id = t.append_block(entry_body(&[7]), 1, &mut rc).unwrap();
+            let mut trace = Vec::new();
+            for _ in 0..16 {
+                let ok = if via_fetch {
+                    t.fetch_entries(id, &mut rc).is_ok()
+                } else {
+                    t.read_block(id, &mut rc).is_ok()
+                };
+                trace.push(ok);
+            }
+            (trace, *t.stats(), rc)
+        };
+        let (ta, sa, ra) = run_reads(tier("fvr-a", faults, StorageProfile::default()), true);
+        let (tb, sb, rb) = run_reads(tier("fvr-b", faults, StorageProfile::default()), false);
+        assert_eq!(
+            ta, tb,
+            "cacheless fetch must replay read_block's coin stream"
+        );
+        assert_eq!(sa, sb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn cache_evicts_lru_under_the_water_marks() {
+        // Budget sized so the third block crosses high water (0.8) and
+        // eviction drains to low water (0.5) by dropping the least
+        // recently touched block.
+        let mut probe = tier(
+            "evict-probe",
+            IoFaultConfig::default(),
+            StorageProfile::default(),
+        );
+        let mut rc = CostReceipt::new();
+        let pid = probe.append_block(entry_body(&[0]), 1, &mut rc).unwrap();
+        let frame_bytes = u64::from(probe.block(pid).unwrap().len);
+        let budget = frame_bytes * 2 + frame_bytes / 2; // high water ≈ 2 frames
+        let mut t = tier_cached(
+            "evict",
+            IoFaultConfig::default(),
+            StorageProfile::default(),
+            budget,
+        );
+        let a = t.append_block(entry_body(&[1]), 1, &mut rc).unwrap();
+        let b = t.append_block(entry_body(&[2]), 1, &mut rc).unwrap();
+        let c = t.append_block(entry_body(&[3]), 1, &mut rc).unwrap();
+        t.fetch_entries(a, &mut rc).unwrap();
+        t.fetch_entries(b, &mut rc).unwrap();
+        t.fetch_entries(a, &mut rc).unwrap(); // a is now hotter than b
+        t.fetch_entries(c, &mut rc).unwrap(); // crosses high water
+        assert!(t.stats().cache_evictions >= 1);
+        assert!(!t.cached(b), "the LRU block is the victim");
+        assert!(
+            t.cached(c),
+            "the admitted block survives its own eviction pass"
+        );
+        assert!(t.cache_used_bytes() <= (budget as f64 * CACHE_LOW_WATER) as u64);
+    }
+
+    #[test]
+    fn oversized_block_is_served_transiently_not_cached() {
+        let mut t = tier_cached(
+            "big",
+            IoFaultConfig::default(),
+            StorageProfile::default(),
+            8,
+        );
+        let mut rc = CostReceipt::new();
+        let id = t.append_block(entry_body(&[1, 2]), 2, &mut rc).unwrap();
+        let entries = t.fetch_entries(id, &mut rc).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(!t.cached(id));
+        assert_eq!(t.cache_used_bytes(), 0);
+        assert_eq!(t.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn preload_is_executor_invariant_and_makes_later_fetches_hits() {
+        let faults = IoFaultConfig {
+            read_error_prob: 0.4,
+            latency_spike_prob: 0.2,
+            spike_ns: 9,
+            ..IoFaultConfig::default()
+        };
+        let run = |tag: &str| {
+            let mut t = tier_cached(tag, faults, StorageProfile::default(), 1 << 20);
+            let mut rc = CostReceipt::new();
+            let ids: Vec<u32> = (0..6u32)
+                .map(|i| t.append_block(entry_body(&[i]), 1, &mut rc).unwrap())
+                .collect();
+            let failures = t.preload_missing(&ids, &mut rc, &crate::parallel::SequentialExecutor);
+            (failures, *t.stats(), t.rng, rc)
+        };
+        let (fa, sa, ra, rca) = run("pre-a");
+        let (fb, sb, rb, rcb) = run("pre-b");
+        assert_eq!(fa, fb, "preload outcome is a pure function of the seed");
+        assert_eq!(sa, sb);
+        assert_eq!(ra, rb, "coin stream position matches");
+        assert_eq!(rca, rcb);
+        // Preloaded blocks serve as hits with no further coins.
+        let mut t = tier_cached(
+            "pre-c",
+            IoFaultConfig::default(),
+            StorageProfile::default(),
+            1 << 20,
+        );
+        let mut rc = CostReceipt::new();
+        let ids: Vec<u32> = (0..3u32)
+            .map(|i| t.append_block(entry_body(&[i]), 1, &mut rc).unwrap())
+            .collect();
+        let failures = t.preload_missing(&ids, &mut rc, &crate::parallel::SequentialExecutor);
+        assert!(failures.is_empty());
+        assert_eq!(t.stats().cache_misses, 3);
+        let rng = t.rng;
+        for &id in &ids {
+            t.fetch_entries(id, &mut rc).unwrap();
+        }
+        assert_eq!(t.stats().cache_hits, 3);
+        assert_eq!(t.rng, rng);
+    }
+
+    #[test]
+    fn prefetch_charges_latency_draws_no_coins_and_counts() {
+        let profile = StorageProfile {
+            read_ns: 500,
+            readahead_blocks: 2,
+            ..StorageProfile::default()
+        };
+        let mut t = tier_cached("prefetch", IoFaultConfig::default(), profile, 1 << 20);
+        let mut rc = CostReceipt::new();
+        let a = t.append_block(entry_body(&[1]), 1, &mut rc).unwrap();
+        let b = t.append_block(entry_body(&[2]), 1, &mut rc).unwrap();
+        t.set_prefetch_plan(vec![a, b]);
+        assert_eq!(t.prefetch_pending(), &[a, b]);
+        let rng = t.rng;
+        let io = t.take_prefetch_io();
+        assert_eq!(io.len(), 2);
+        let before = rc.io_ns;
+        for (id, offset, len) in io {
+            let meta = BlockMeta {
+                offset,
+                len,
+                tuples: 1,
+                live: 1,
+                reads: 0,
+            };
+            let frame = t.read_frame_unverified(&meta).unwrap();
+            t.finish_prefetch(id, decode_spill_block(&frame), &mut rc);
+        }
+        assert_eq!(t.rng, rng, "speculative reads draw no coins");
+        assert_eq!(rc.io_ns, before + 1000, "one read_ns per prefetched block");
+        assert_eq!(t.stats().prefetched_blocks, 2);
+        assert!(t.cached(a) && t.cached(b));
+        // Demand counters untouched: prefetch is not a demand read.
+        assert_eq!(t.stats().blocks_read, 0);
+        assert_eq!(t.block(a).unwrap().reads, 0);
+    }
+
+    #[test]
+    fn save_restore_keeps_cache_metadata_and_rewarms_lazily() {
+        let profile = StorageProfile {
+            cache_hit_ns: 7,
+            ..StorageProfile::default()
+        };
+        // Spikes (not errors) so coins are consumed but reads succeed and
+        // block `a` actually lands in the cache before the snapshot.
+        let faults = IoFaultConfig {
+            latency_spike_prob: 0.5,
+            spike_ns: 13,
+            ..IoFaultConfig::default()
+        };
+        let mut t = tier_cached("csnap", faults, profile, 1 << 20);
+        let mut rc = CostReceipt::new();
+        let a = t.append_block(entry_body(&[1, 2]), 2, &mut rc).unwrap();
+        let b = t.append_block(entry_body(&[3]), 1, &mut rc).unwrap();
+        t.fetch_entries(a, &mut rc).unwrap(); // a is now cached
+        t.set_prefetch_plan(vec![b]);
+        let mut w = SectionWriter::new();
+        t.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut live = t.clone();
+        let mut twin = tier_cached("csnap2", faults, profile, 1 << 20);
+        let mut r = SectionReader::new(&bytes);
+        twin.restore_from(&mut r).unwrap();
+        // Everything but the (test-local) path round-trips: stats, block
+        // table, coin stream, prefetch plan, and the cache *metadata* —
+        // decoded contents are deliberately absent from both sides of
+        // `meta()`, which is exactly the lazily-rewarmed shape.
+        assert_eq!(twin.stats(), live.stats());
+        assert_eq!(twin.blocks, live.blocks);
+        assert_eq!(twin.rng, live.rng);
+        assert_eq!(twin.file_len, live.file_len);
+        assert_eq!(twin.prefetch_pending(), live.prefetch_pending());
+        assert_eq!(
+            twin.cache.as_ref().map(BlockCache::meta),
+            live.cache.as_ref().map(BlockCache::meta),
+            "cache metadata equality (contents rewarm lazily)"
+        );
+        // Identical future: the restored twin's first touch rewarms from
+        // the rebuilt file without coins, so counters and coin streams
+        // stay in lockstep with the uninterrupted tier.
+        let mut rc1 = CostReceipt::new();
+        let mut rc2 = CostReceipt::new();
+        let r1 = live.fetch_entries(a, &mut rc1).map(<[SpillEntry]>::to_vec);
+        let r2 = twin.fetch_entries(a, &mut rc2).map(<[SpillEntry]>::to_vec);
+        assert_eq!(r1, r2);
+        assert_eq!(rc1, rc2);
+        let r1 = live.fetch_entries(b, &mut rc1).map(<[SpillEntry]>::to_vec);
+        let r2 = twin.fetch_entries(b, &mut rc2).map(<[SpillEntry]>::to_vec);
+        assert_eq!(r1, r2);
+        assert_eq!(live.stats(), twin.stats());
+        assert_eq!(live.rng, twin.rng);
     }
 }

@@ -199,7 +199,11 @@ impl IndexTuner {
     /// and the fraction of the window currently spill-resident on disk
     /// (`spilled_frac`, 0 without a storage tier). The spill fraction
     /// folds the tier's [`crate::cost::StorageProfile`] into `C_D`, so
-    /// the tuner prices scans that touch disk-resident buckets.
+    /// the tuner prices scans that touch disk-resident buckets;
+    /// `cache_hit_frac` (the tier's observed block-cache hit rate, 0
+    /// without a cache) discounts those touches toward `cache_hit_ns`, so
+    /// ICs whose cold STeMs are actually cache-resident stop being
+    /// over-penalized.
     ///
     /// On [`TunerEvent::Retune`] the tuner already treats the returned
     /// configuration as current; the caller must migrate the physical index.
@@ -210,6 +214,7 @@ impl IndexTuner {
         lambda_r: f64,
         window_secs: f64,
         spilled_frac: f64,
+        cache_hit_frac: f64,
     ) -> TunerEvent {
         if now.since(self.last_decision) < self.config.assess_period
             || self.assessor.n() < self.config.min_requests
@@ -235,7 +240,8 @@ impl IndexTuner {
                 .map(|&(pattern, freq)| ApStat { pattern, freq })
                 .collect(),
         )
-        .with_spilled_frac(spilled_frac);
+        .with_spilled_frac(spilled_frac)
+        .with_cache_hit_frac(cache_hit_frac);
         let candidate = select_config_greedy_capped(
             self.config.total_bits,
             self.width,
@@ -391,20 +397,20 @@ mod tests {
             t.record(ap(0b001));
         }
         assert_eq!(
-            t.maybe_retune(VirtualTime::from_secs(60), 1000.0, 100.0, 30.0, 0.0),
+            t.maybe_retune(VirtualTime::from_secs(60), 1000.0, 100.0, 30.0, 0.0, 0.0),
             TunerEvent::Skipped
         );
         // Enough requests but not enough elapsed time after a decision.
         for _ in 0..100 {
             t.record(ap(0b001));
         }
-        let first = t.maybe_retune(VirtualTime::from_secs(60), 1000.0, 100.0, 30.0, 0.0);
+        let first = t.maybe_retune(VirtualTime::from_secs(60), 1000.0, 100.0, 30.0, 0.0, 0.0);
         assert!(!matches!(first, TunerEvent::Skipped));
         for _ in 0..100 {
             t.record(ap(0b001));
         }
         assert_eq!(
-            t.maybe_retune(VirtualTime::from_secs(65), 1000.0, 100.0, 30.0, 0.0),
+            t.maybe_retune(VirtualTime::from_secs(65), 1000.0, 100.0, 30.0, 0.0, 0.0),
             TunerEvent::Skipped,
             "within the period after the last decision"
         );
@@ -417,7 +423,7 @@ mod tests {
         for _ in 0..500 {
             t.record(ap(0b001));
         }
-        let event = t.maybe_retune(VirtualTime::from_secs(10), 1000.0, 500.0, 30.0, 0.0);
+        let event = t.maybe_retune(VirtualTime::from_secs(10), 1000.0, 500.0, 30.0, 0.0, 0.0);
         let TunerEvent::Retune {
             config,
             current_cd,
@@ -443,12 +449,12 @@ mod tests {
         for _ in 0..500 {
             t.record(ap(0b001));
         }
-        t.maybe_retune(VirtualTime::from_secs(10), 1000.0, 500.0, 30.0, 0.0);
+        t.maybe_retune(VirtualTime::from_secs(10), 1000.0, 500.0, 30.0, 0.0, 0.0);
         // Same workload again: the incumbent is already optimal.
         for _ in 0..500 {
             t.record(ap(0b001));
         }
-        let event = t.maybe_retune(VirtualTime::from_secs(20), 1000.0, 500.0, 30.0, 0.0);
+        let event = t.maybe_retune(VirtualTime::from_secs(20), 1000.0, 500.0, 30.0, 0.0, 0.0);
         assert!(
             matches!(event, TunerEvent::Kept { .. }),
             "stable workload must not thrash: {event:?}"
@@ -462,12 +468,12 @@ mod tests {
         for _ in 0..500 {
             t.record(ap(0b001));
         }
-        t.maybe_retune(VirtualTime::from_secs(10), 1000.0, 500.0, 30.0, 0.0);
+        t.maybe_retune(VirtualTime::from_secs(10), 1000.0, 500.0, 30.0, 0.0, 0.0);
         // The router changed paths: now everything searches C.
         for _ in 0..500 {
             t.record(ap(0b100));
         }
-        let event = t.maybe_retune(VirtualTime::from_secs(20), 1000.0, 500.0, 30.0, 0.0);
+        let event = t.maybe_retune(VirtualTime::from_secs(20), 1000.0, 500.0, 30.0, 0.0, 0.0);
         let TunerEvent::Retune { config, .. } = event else {
             panic!("must follow the drift: {event:?}");
         };
@@ -492,7 +498,7 @@ mod tests {
             CostParams::default(),
         )
         .unwrap();
-        let e = t2.maybe_retune(VirtualTime::from_secs(5), 1000.0, 100.0, 30.0, 0.0);
+        let e = t2.maybe_retune(VirtualTime::from_secs(5), 1000.0, 100.0, 30.0, 0.0, 0.0);
         assert!(matches!(e, TunerEvent::Kept { .. }));
         let _ = &mut t;
     }

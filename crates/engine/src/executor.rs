@@ -84,17 +84,29 @@ pub struct SpillSettings {
     /// [`StorageProfile::default`] makes the tier behaviorally invisible
     /// (byte-identical outputs to an all-RAM run that never dies).
     pub profile: StorageProfile,
+    /// Byte budget of each state's decoded-block cache (`0` disables —
+    /// the exact pre-cache read path, fault-coin stream included). Under
+    /// the identity profile, enabling the cache keeps runs byte-identical
+    /// to cacheless ones (the cache's own counters aside).
+    pub cache_bytes: u64,
 }
 
 impl SpillSettings {
-    /// Settings with the default balancing policy and the all-zero
-    /// (identity) storage profile.
+    /// Settings with the default balancing policy, the all-zero
+    /// (identity) storage profile, and no block cache.
     pub fn in_dir(dir: impl Into<std::path::PathBuf>) -> Self {
         SpillSettings {
             dir: dir.into(),
             policy: TierPolicy::default(),
             profile: StorageProfile::default(),
+            cache_bytes: 0,
         }
+    }
+
+    /// The same settings with a decoded-block cache of `bytes` per state.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
     }
 }
 
@@ -338,6 +350,7 @@ impl<W: StreamWorkload> Executor<W> {
                     profile: spill.profile,
                     faults: config.faults.as_ref().map(|f| f.io).unwrap_or_default(),
                     seed: io_seed ^ 0xD15C_B10C ^ i as u64,
+                    cache_bytes: spill.cache_bytes,
                 })
                 .map_err(|e| {
                     EngineError::Spill(format!(

@@ -53,6 +53,13 @@ pub struct MemoryReport {
     /// exactly the ones no longer charged against the RAM budget.
     #[serde(default)]
     pub spilled: u64,
+    /// Bytes held by the spill tiers' decoded-block caches. Reported for
+    /// observability but **excluded** from [`total`](Self::total): the
+    /// cache has its own byte budget, carved out of the serving layer's
+    /// admission reservation rather than the run's window budget — so
+    /// enabling it can never flip a run into `OutOfMemory`.
+    #[serde(default)]
+    pub cache: u64,
 }
 
 impl MemoryReport {

@@ -212,6 +212,7 @@ impl<C: Clock> RunContext<C> {
                 .as_ref()
                 .map_or(0, |f| f.phantom_bytes(self.clock.now())),
             spilled: self.stems.iter().map(|s| s.state.disk_bytes()).sum(),
+            cache: self.stems.iter().map(|s| s.state.cache_used_bytes()).sum(),
         }
     }
 
@@ -268,6 +269,13 @@ impl<C: Clock> RunContext<C> {
                     break;
                 }
             }
+        }
+        // Queue expiry-order readahead for the next grid interval: each
+        // state nominates its next-oldest uncached spill blocks, and the
+        // next probe dispatch reads them overlapped with shard compute.
+        // No-op without an enabled block cache.
+        for stem in &mut self.stems {
+            stem.state.schedule_readahead();
         }
         self.clock.advance(self.run.params.ticks(&receipt));
     }

@@ -403,20 +403,23 @@ impl<C: Clock> Operator<C> for ProbeOperator {
         let window = query.windows[target.idx()];
         let now = clock.now();
         let mut matches = 0usize;
-        for &key in &stem.scratch.hits {
-            // Read the hit's full tuple: free for RAM-resident tuples, a
-            // charged (and fallible) block read for spill-resident ones.
-            // A lost block — double read error or real corruption — purges
-            // its stubs and counts as typed degradation, never a panic.
-            let t = match stem.state.materialize(key, &mut receipt) {
-                Ok(Some(t)) => t,
-                Ok(None) => continue,
-                Err(lost) => {
-                    *spill_lost += lost as u64;
-                    spill_first_at.get_or_insert(now);
-                    continue;
-                }
-            };
+        // Materialize every hit up front, one batch call: free for
+        // RAM-resident tuples; for spill-resident ones the tier's block
+        // cache (when enabled) groups hits by block and reads each
+        // distinct block once — cacheless, this is exactly the per-hit
+        // read sequence. A lost block — double read error or real
+        // corruption — purges its stubs and counts as typed degradation,
+        // never a panic; its hits come back `None`.
+        let mut mat = std::mem::take(&mut stem.mat_buf);
+        let lost = stem
+            .state
+            .materialize_batch(&stem.scratch.hits, &mut mat, &mut receipt, pool);
+        if lost > 0 {
+            *spill_lost += lost as u64;
+            spill_first_at.get_or_insert(now);
+        }
+        for slot in &mat {
+            let Some(t) = *slot else { continue };
             // Lazy expiry: skip tuples that slid out of the window.
             if !window.live(t.ts, now) {
                 continue;
@@ -466,6 +469,7 @@ impl<C: Clock> Operator<C> for ProbeOperator {
                 );
             }
         }
+        stem.mat_buf = mat;
         stem.matches_returned += matches as u64;
         let ticks = run.params.ticks(&receipt);
         router.observe(target, matches, ticks.0);

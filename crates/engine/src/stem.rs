@@ -291,10 +291,15 @@ impl JoinState {
                 if let Some(t) = tuner {
                     t.record(req.pattern);
                 }
+                // No staged dispatch to fuse readahead into: run any
+                // queued speculative spill reads as their own dispatch
+                // before the probe.
+                store.drain_prefetch(receipt, exec);
                 store.search_into(req, scratch, receipt);
             }
             JoinState::Scan(s) => {
                 debug_assert!(stage.is_empty(), "non-bit-address flavors never stage");
+                s.drain_prefetch(receipt, exec);
                 s.search_into(req, scratch, receipt);
             }
         }
@@ -414,6 +419,49 @@ impl JoinState {
             JoinState::MultiHash { store, .. } => store.materialize(key, receipt),
             JoinState::StaticBitmap(s) => s.materialize(key, receipt),
             JoinState::Scan(s) => s.materialize(key, receipt),
+        }
+    }
+
+    /// Materialize a whole batch of search hits into `out`, one
+    /// [`StateStore::materialize_batch`] call: with the spill tier's block
+    /// cache enabled, spilled hits are grouped by block and each distinct
+    /// block is read once (coalescing); cacheless, this is exactly the
+    /// per-key sequence. Returns tuples lost to unrecoverable blocks.
+    pub fn materialize_batch(
+        &mut self,
+        keys: &[TupleKey],
+        out: &mut Vec<Option<Tuple>>,
+        receipt: &mut CostReceipt,
+        exec: &dyn amri_core::ShardExecutor,
+    ) -> usize {
+        match self {
+            JoinState::Amri(s) => s.materialize_batch(keys, out, receipt, exec),
+            JoinState::MultiHash { store, .. } => store.materialize_batch(keys, out, receipt, exec),
+            JoinState::StaticBitmap(s) => s.materialize_batch(keys, out, receipt, exec),
+            JoinState::Scan(s) => s.materialize_batch(keys, out, receipt, exec),
+        }
+    }
+
+    /// Queue expiry-order readahead of the next-oldest uncached spill
+    /// blocks (no-op without an enabled cache); the next probe dispatch
+    /// issues the reads overlapped with its shard compute.
+    pub fn schedule_readahead(&mut self) {
+        match self {
+            JoinState::Amri(s) => s.schedule_readahead(),
+            JoinState::MultiHash { store, .. } => store.schedule_readahead(),
+            JoinState::StaticBitmap(s) => s.schedule_readahead(),
+            JoinState::Scan(s) => s.schedule_readahead(),
+        }
+    }
+
+    /// Bytes held by the spill tier's decoded-block cache (the
+    /// `MemoryReport` cache column; 0 without one).
+    pub fn cache_used_bytes(&self) -> u64 {
+        match self {
+            JoinState::Amri(s) => s.cache_used_bytes(),
+            JoinState::MultiHash { store, .. } => store.cache_used_bytes(),
+            JoinState::StaticBitmap(s) => s.cache_used_bytes(),
+            JoinState::Scan(s) => s.cache_used_bytes(),
         }
     }
 
@@ -656,6 +704,9 @@ pub struct Stem {
     /// Transient like `scratch` — always drained before any observation
     /// (and therefore before every snapshot), so it is never captured.
     pub ingest_stage: IngestStage,
+    /// Reusable batch-materialization buffer, parallel to
+    /// `scratch.hits` ([`JoinState::materialize_batch`]). Transient.
+    pub mat_buf: Vec<Option<Tuple>>,
     /// Requests served (for λ_r estimation).
     pub requests_served: u64,
     /// Matches returned (for selectivity statistics).
@@ -670,6 +721,7 @@ impl Stem {
             state,
             scratch: SearchScratch::new(),
             ingest_stage: IngestStage::new(),
+            mat_buf: Vec::new(),
             requests_served: 0,
             matches_returned: 0,
         }

@@ -74,10 +74,19 @@ impl BudgetLedger {
     /// lives on disk, outside the global RAM pool. Spill is thus an
     /// *admission alternative*: a tenant too large to fit the remaining
     /// budget outright can still be admitted by bringing a tier.
+    ///
+    /// A spill tier may additionally run a decoded-block cache; its byte
+    /// budget (`spill` tuple's second element) is real RAM *outside* the
+    /// engine's window budget, so it is carved here — on top of the
+    /// high-water carve — rather than charged against the run. This is
+    /// what lets [`MemoryReport::total`](amri_engine::MemoryReport::total)
+    /// exclude the `cache` column without under-reserving.
     /// Unlimited budgets stay unlimited.
-    pub fn effective_reservation(budget: u64, spill_high_water: Option<f64>) -> u64 {
-        match spill_high_water {
-            Some(hw) if budget != u64::MAX => (budget as f64 * hw).ceil() as u64,
+    pub fn effective_reservation(budget: u64, spill: Option<(f64, u64)>) -> u64 {
+        match spill {
+            Some((hw, cache_bytes)) if budget != u64::MAX => {
+                ((budget as f64 * hw).ceil() as u64).saturating_add(cache_bytes)
+            }
             _ => budget,
         }
     }
@@ -121,12 +130,23 @@ mod tests {
         // No tier: the full budget is carved.
         assert_eq!(BudgetLedger::effective_reservation(1000, None), 1000);
         // A tier with high water 0.8 only needs the resident carve.
-        assert_eq!(BudgetLedger::effective_reservation(1000, Some(0.8)), 800);
+        assert_eq!(
+            BudgetLedger::effective_reservation(1000, Some((0.8, 0))),
+            800
+        );
         // Rounding is conservative (ceil): never under-reserve.
-        assert_eq!(BudgetLedger::effective_reservation(1001, Some(0.8)), 801);
+        assert_eq!(
+            BudgetLedger::effective_reservation(1001, Some((0.8, 0))),
+            801
+        );
+        // A block cache is extra RAM, carved on top of the resident set.
+        assert_eq!(
+            BudgetLedger::effective_reservation(1000, Some((0.8, 256))),
+            1056
+        );
         // Unlimited budgets stay unlimited either way.
         assert_eq!(
-            BudgetLedger::effective_reservation(u64::MAX, Some(0.5)),
+            BudgetLedger::effective_reservation(u64::MAX, Some((0.5, 256))),
             u64::MAX
         );
     }

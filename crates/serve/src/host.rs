@@ -494,12 +494,16 @@ impl<W: StreamWorkload> TenantHost<W> {
 
     /// The RAM bytes this tenant's admission must carve: its engine
     /// budget, shrunk to the spill tier's high-water carve when one is
-    /// configured (the tier keeps the resident set under that mark).
+    /// configured (the tier keeps the resident set under that mark),
+    /// plus the tier's block-cache budget — cache RAM lives outside the
+    /// engine's window budget and must be reserved here.
     fn reservation_for(exec: &Executor<W>) -> u64 {
         let cfg = exec.config();
         BudgetLedger::effective_reservation(
             cfg.budget.bytes,
-            cfg.spill.as_ref().map(|s| s.policy.high_water),
+            cfg.spill
+                .as_ref()
+                .map(|s| (s.policy.high_water, s.cache_bytes)),
         )
     }
 

@@ -109,15 +109,28 @@ echo "==> spill-tier matrix (OOM budget survives via disk, identical across thre
 SPILL_A="$(mktemp -d)"
 SPILL_B="$(mktemp -d)"
 cargo run --release -q -p amri-bench --bin spill_matrix -- \
-    --quick --threads 1 --out "${SPILL_A}"
+    --quick --threads 1 --spill-cache 262144 --out "${SPILL_A}"
 cargo run --release -q -p amri-bench --bin spill_matrix -- \
-    --quick --threads 4 --out "${SPILL_B}"
+    --quick --threads 4 --spill-cache 262144 --out "${SPILL_B}"
 diff <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_A}/spilled_summary.csv") \
      <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_B}/spilled_summary.csv") \
     || { echo "spilled summary diverged across thread counts"; exit 1; }
 diff "${SPILL_A}/spill_identity.csv" "${SPILL_B}/spill_identity.csv" \
     || { echo "spill identity report diverged across thread counts"; exit 1; }
-echo "spill matrix green: beyond-RAM windows, byte-identical across threads 1 and 4"
+# The spill fast path (decoded-block cache + coalesced reads + readahead)
+# must be a pure acceleration: the cache-enabled cell's summary, with the
+# five cache-counter columns (24-28) cut, must be byte-identical to the
+# cacheless cell's at both thread counts — and byte-identical across
+# thread counts with the cache counters *included*.
+for d in "${SPILL_A}" "${SPILL_B}"; do
+    diff <(cut -d, -f1-23,29 "${d}/spilled_summary.csv") \
+         <(cut -d, -f1-23,29 "${d}/spilled_cached_summary.csv") \
+        || { echo "cache-enabled spill run diverged from the cacheless one"; exit 1; }
+done
+diff <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_A}/spilled_cached_summary.csv") \
+     <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_B}/spilled_cached_summary.csv") \
+    || { echo "cached spilled summary diverged across thread counts"; exit 1; }
+echo "spill matrix green: beyond-RAM windows, byte-identical across threads 1 and 4, cache on or off"
 rm -rf "${SPILL_A}" "${SPILL_B}"
 
 # Fleet-sweep smoke: the same four-cell sweep (mixed indexing modes, one

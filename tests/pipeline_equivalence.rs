@@ -143,6 +143,7 @@ impl<W: StreamWorkload> Reference<W> {
                 * layout::queued_request_bytes(self.query.n_streams(), arity),
             phantom: 0,
             spilled: 0,
+            cache: 0,
         }
     }
 

@@ -169,6 +169,7 @@ fn budget_exhaustion_boundaries() {
         backlog: 400,
         phantom: 0,
         spilled: 0,
+        cache: 0,
     };
     assert!(!exactly.over(budget), "spending the whole budget is fine");
     let one_more = MemoryReport {
@@ -176,6 +177,7 @@ fn budget_exhaustion_boundaries() {
         backlog: 401,
         phantom: 0,
         spilled: 0,
+        cache: 0,
     };
     assert!(one_more.over(budget), "one byte past the budget kills");
     let huge = MemoryReport {
@@ -183,6 +185,7 @@ fn budget_exhaustion_boundaries() {
         backlog: 0,
         phantom: 0,
         spilled: 0,
+        cache: 0,
     };
     assert!(
         !huge.over(MemoryBudget::unlimited()),

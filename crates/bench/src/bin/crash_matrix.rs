@@ -11,14 +11,20 @@
 //! tier with an N-byte decoded-block cache, so the byte-identity proof
 //! also covers resuming into a lazily rewarmed cache.
 //!
+//! With `--tuner {paper,bandit,static}` the AMRI cells run under the
+//! chosen tuning policy, so the byte-identity proof also covers resuming
+//! the bandit tuner's arm statistics, backoff timers, regret accumulator
+//! and RNG stream — including the `amri-governed-faulted` cell, where the
+//! snapshot rides an active fault plan.
+//!
 //! Usage: `crash_matrix [--quick] [--seed N] [--threads N]
 //!         [--checkpoint-every N] [--crash-at STEP] [--out DIR] [--torn]
-//!         [--spill-cache N]`
+//!         [--spill-cache N] [--tuner K]`
 
 use amri_bench::{
     apply_threads, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed, parse_spill_cache,
-    parse_threads, resume_latest, run_until_crash, write_summary_csv, CheckpointNote, FlagSpec,
-    COMMON_FLAGS, SPILL_CACHE_FLAG,
+    parse_threads, parse_tuner, resume_latest, run_until_crash, write_summary_csv, CheckpointNote,
+    FlagSpec, COMMON_FLAGS, SPILL_CACHE_FLAG, TUNER_FLAG,
 };
 use amri_core::assess::AssessorKind;
 use amri_engine::{
@@ -118,6 +124,7 @@ const EXTRA_FLAGS: &[FlagSpec] = &[
     ),
     ("--torn", false, "tear the latest snapshot in flight"),
     SPILL_CACHE_FLAG,
+    TUNER_FLAG,
 ];
 
 fn main() {
@@ -136,10 +143,13 @@ fn main() {
     let out = parse_out(&args);
     let torn = args.iter().any(|a| a == "--torn");
     let cache_bytes = parse_spill_cache(&args);
+    let tuner_kind = parse_tuner(&args);
     println!(
         "crash matrix (scale {scale:?}, seed {seed}, {threads} thread(s), \
-         checkpoint every {every}, crash at {crash_at}{}, cache {cache_bytes} B)",
-        if torn { ", torn latest snapshot" } else { "" }
+         checkpoint every {every}, crash at {crash_at}{}, cache {cache_bytes} B, \
+         tuner {})",
+        if torn { ", torn latest snapshot" } else { "" },
+        tuner_kind.label()
     );
 
     let mut violations: Vec<String> = Vec::new();
@@ -156,6 +166,7 @@ fn main() {
         let sc = scenario(scale, seed, perturbed);
         let exec = |mode: IndexingMode| {
             let mut engine = sc.engine.clone();
+            engine.tuner_kind = tuner_kind;
             if cache_bytes > 0 {
                 engine.spill = Some(
                     SpillSettings::in_dir(out.join("spill").join(label))

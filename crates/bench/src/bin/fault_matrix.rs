@@ -13,16 +13,26 @@
 //! tier with an N-byte decoded-block cache, so the survive-and-replay
 //! guarantees also cover the spill fast path under ingest faults.
 //!
+//! With `--tuner {paper,bandit,static}` the AMRI replay spot-check runs
+//! under the chosen tuning policy, so the bit-for-bit guarantee also
+//! covers the bandit's arm statistics, backoff timers and RNG stream.
+//!
+//! The replay byte-compares cover the [`MaintenanceStats`] alongside the
+//! `RunResult`: a replay that silently re-migrates (different
+//! `migrate_stalls` or migration ticks) fails the diff even though the
+//! outputs agree.
+//!
 //! Usage: `fault_matrix [--seed N] [--threads N] [--checkpoint-every N]
-//!         [--spill-cache N]`
+//!         [--spill-cache N] [--tuner K]`
 
 use amri_bench::{
     apply_threads, enforce_cli, parse_checkpoint_every, parse_seed, parse_spill_cache,
-    parse_threads, FlagSpec, SPILL_CACHE_FLAG,
+    parse_threads, parse_tuner, FlagSpec, SPILL_CACHE_FLAG, TUNER_FLAG,
 };
+use amri_core::TunerKind;
 use amri_engine::{
-    DegradationPolicy, Executor, FaultPlan, IndexingMode, MemoryBudget, PressureWindow, RunOutcome,
-    RunResult, SheddingPolicy, SkewedClock, SpillSettings,
+    DegradationPolicy, Executor, FaultPlan, IndexingMode, MaintenanceStats, MemoryBudget,
+    PressureWindow, RunOutcome, RunResult, SheddingPolicy, SkewedClock, SpillSettings,
 };
 use amri_stream::{VirtualClock, VirtualDuration, VirtualTime};
 use amri_synth::scenario::{paper_scenario, Scale};
@@ -133,20 +143,18 @@ fn cell_executor(
     plan: &FaultPlan,
     degradation: Option<DegradationPolicy>,
     spill: Option<SpillSettings>,
+    mode: IndexingMode,
+    tuner_kind: TunerKind,
 ) -> Executor<amri_synth::DriftingWorkload> {
     let mut sc = paper_scenario(Scale::Quick, seed);
     sc.engine.budget = MemoryBudget::mib(50);
     sc.engine.degradation = degradation;
     sc.engine.faults = Some(plan.clone());
     sc.engine.spill = spill;
+    sc.engine.tuner_kind = tuner_kind;
     apply_threads(&mut sc.engine, threads);
-    Executor::try_new(
-        &sc.query,
-        sc.workload(),
-        IndexingMode::Scan,
-        sc.engine.clone(),
-    )
-    .expect("valid engine configuration")
+    Executor::try_new(&sc.query, sc.workload(), mode, sc.engine.clone())
+        .expect("valid engine configuration")
 }
 
 fn run_cell(
@@ -155,8 +163,17 @@ fn run_cell(
     plan: &FaultPlan,
     degradation: Option<DegradationPolicy>,
     spill: Option<SpillSettings>,
-) -> RunResult {
-    cell_executor(seed, threads, plan, degradation, spill).run()
+) -> (RunResult, MaintenanceStats) {
+    cell_executor(
+        seed,
+        threads,
+        plan,
+        degradation,
+        spill,
+        IndexingMode::Scan,
+        TunerKind::default(),
+    )
+    .run_with_stats()
 }
 
 fn outcome_label(r: &RunResult) -> String {
@@ -180,6 +197,7 @@ const FLAGS: &[FlagSpec] = &[
         "replay spot-checks also snapshot every N steps",
     ),
     SPILL_CACHE_FLAG,
+    TUNER_FLAG,
 ];
 
 fn main() {
@@ -189,7 +207,12 @@ fn main() {
     let threads = parse_threads(&args);
     let checkpoint_every = parse_checkpoint_every(&args);
     let cache_bytes = parse_spill_cache(&args);
-    println!("fault matrix (seed {seed}, {threads} thread(s), cache {cache_bytes} B)");
+    let tuner_kind = parse_tuner(&args);
+    println!(
+        "fault matrix (seed {seed}, {threads} thread(s), cache {cache_bytes} B, \
+         tuner {})",
+        tuner_kind.label()
+    );
 
     let mut violations: Vec<String> = Vec::new();
     println!(
@@ -199,7 +222,7 @@ fn main() {
     for (fname, plan) in fault_kinds(seed) {
         for (sname, policy) in shedding_policies(seed) {
             let spill = spill_for(cache_bytes, &format!("{fname}-{sname}"));
-            let r = run_cell(seed, threads, &plan, policy, spill);
+            let (r, _) = run_cell(seed, threads, &plan, policy, spill);
             println!(
                 "{:>10} {:>14} {:>10} {:>8} {:>8} {:>8} {:>8}",
                 fname,
@@ -226,26 +249,65 @@ fn main() {
     let (_, mixed) = fault_kinds(seed).pop().expect("fault_kinds is non-empty");
     for (sname, policy) in shedding_policies(seed) {
         let spill = || spill_for(cache_bytes, &format!("replay-{sname}"));
-        let a = run_cell(seed, threads, &mixed, policy, spill());
-        let b = match checkpoint_every {
+        let (a, a_maint) = run_cell(seed, threads, &mixed, policy, spill());
+        let (b, b_maint) = match checkpoint_every {
             Some(every) => {
                 let dir = format!("results/checkpoints/fault_matrix/{sname}");
                 std::fs::remove_dir_all(&dir).ok();
-                let (r, note, _maint) = amri_bench::run_checkpointed(
-                    cell_executor(seed, threads, &mixed, policy, spill()),
+                let (r, note, maint) = amri_bench::run_checkpointed(
+                    cell_executor(
+                        seed,
+                        threads,
+                        &mixed,
+                        policy,
+                        spill(),
+                        IndexingMode::Scan,
+                        TunerKind::default(),
+                    ),
                     std::path::Path::new(&dir),
                     every,
                 )
                 .expect("checkpointed replay");
                 println!("replay {sname:>14}: {} snapshot(s)", note.checkpoints_taken);
-                r
+                (r, maint)
             }
             None => run_cell(seed, threads, &mixed, policy, spill()),
         };
-        if format!("{a:#?}") != format!("{b:#?}") {
+        // The maintenance stats ride the compare: a replay that silently
+        // re-migrates (extra migrate_stalls / migration ticks) must fail
+        // even when the outputs agree.
+        if format!("{a:#?}\n{a_maint:#?}") != format!("{b:#?}\n{b_maint:#?}") {
             violations.push(format!("mixed x {sname}: replay diverged"));
         } else {
             println!("replay {sname:>14}: identical");
+        }
+    }
+
+    // AMRI replay spot-check under the mixed plan with the selected
+    // tuning policy: the tuner's mutable state (for the bandit: arm
+    // statistics, backoff timers, regret accumulator, RNG stream) must
+    // replay bit-for-bit under injected faults too.
+    {
+        let amri = || IndexingMode::Amri {
+            assessor: amri_core::assess::AssessorKind::Csria,
+            initial: None,
+        };
+        let spill = || spill_for(cache_bytes, "replay-amri");
+        let run = || {
+            cell_executor(seed, threads, &mixed, None, spill(), amri(), tuner_kind).run_with_stats()
+        };
+        let (a, a_maint) = run();
+        let (b, b_maint) = run();
+        if format!("{a:#?}\n{a_maint:#?}") != format!("{b:#?}\n{b_maint:#?}") {
+            violations.push(format!(
+                "mixed x amri-{}: replay diverged",
+                tuner_kind.label()
+            ));
+        } else {
+            println!(
+                "replay {:>14}: identical",
+                format!("amri-{}", tuner_kind.label())
+            );
         }
     }
 

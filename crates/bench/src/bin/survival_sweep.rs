@@ -12,14 +12,18 @@
 //! tier with an N-byte decoded-block cache (its own directory per
 //! flavor), so the survival table also reflects the spill fast path.
 //!
+//! With `--tuner {paper,bandit,static}` the AMRI flavor runs under the
+//! chosen tuning policy (the baselines are unaffected), so the survival
+//! table can compare safe tuning against the paper's greedy loop.
+//!
 //! Usage: `survival_sweep [--quick] [--seed N] [--threads N]
-//!         [--checkpoint-every N] [--spill-cache N]`
+//!         [--checkpoint-every N] [--spill-cache N] [--tuner K]`
 
 use amri_bench::training::train_initial;
 use amri_bench::{
     apply_threads, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed, parse_spill_cache,
-    parse_threads, run_checkpointed, write_summary_csv, CheckpointNote, FlagSpec, COMMON_FLAGS,
-    SPILL_CACHE_FLAG,
+    parse_threads, parse_tuner, run_checkpointed, write_summary_csv, CheckpointNote, FlagSpec,
+    COMMON_FLAGS, SPILL_CACHE_FLAG, TUNER_FLAG,
 };
 use amri_core::assess::AssessorKind;
 use amri_engine::{Executor, IndexingMode, SpillSettings};
@@ -33,6 +37,7 @@ const EXTRA_FLAGS: &[FlagSpec] = &[
         "snapshot every N pipeline steps (default off)",
     ),
     SPILL_CACHE_FLAG,
+    TUNER_FLAG,
 ];
 
 fn main() {
@@ -48,8 +53,10 @@ fn main() {
     let threads = parse_threads(&args);
     let checkpoint_every = parse_checkpoint_every(&args);
     let cache_bytes = parse_spill_cache(&args);
+    let tuner_kind = parse_tuner(&args);
 
     let mut sc = paper_scenario(scale, seed);
+    sc.engine.tuner_kind = tuner_kind;
     apply_threads(&mut sc.engine, threads);
     let train = match scale {
         Scale::Paper => 120,

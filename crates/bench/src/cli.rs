@@ -5,6 +5,7 @@
 //! defaults. `--threads 1` (the default) leaves the engine configuration
 //! untouched and therefore reproduces the sequential numbers exactly.
 
+use amri_core::TunerKind;
 use amri_engine::EngineConfig;
 use amri_synth::scenario::Scale;
 use std::fmt::Write as _;
@@ -139,6 +140,31 @@ pub fn parse_spill_cache(args: &[String]) -> u64 {
         .unwrap_or(0)
 }
 
+/// The `--tuner {paper,bandit,static}` flag spec, shared by the binaries
+/// whose AMRI runs accept a tuning-policy override.
+pub const TUNER_FLAG: FlagSpec = (
+    "--tuner",
+    true,
+    "AMRI tuning policy: paper, bandit or static (default paper)",
+);
+
+/// `--tuner K` (default [`TunerKind::Paper`]). Unlike the numeric flags,
+/// a malformed policy name is a hard error: silently tuning with the
+/// wrong policy would invalidate the whole experiment.
+pub fn parse_tuner(args: &[String]) -> TunerKind {
+    match args
+        .iter()
+        .position(|a| a == "--tuner")
+        .and_then(|i| args.get(i + 1))
+    {
+        None => TunerKind::default(),
+        Some(s) => TunerKind::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown tuner policy `{s}` (expected paper, bandit or static)");
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// Point an engine configuration at `threads` workers: parallelism is the
 /// thread count and the arena is split into the next power of two ≥ that
 /// many shards so every worker owns at least one shard. One thread leaves
@@ -201,6 +227,23 @@ mod tests {
             parse_spill_cache(&argv(&["bin", "--spill-cache", "big"])),
             0,
             "malformed values keep the cache off"
+        );
+    }
+
+    #[test]
+    fn tuner_flag_parses_all_policies_and_defaults_to_paper() {
+        assert_eq!(parse_tuner(&argv(&["bin"])), TunerKind::Paper);
+        assert_eq!(
+            parse_tuner(&argv(&["bin", "--tuner", "paper"])),
+            TunerKind::Paper
+        );
+        assert_eq!(
+            parse_tuner(&argv(&["bin", "--tuner", "bandit"])),
+            TunerKind::Bandit
+        );
+        assert_eq!(
+            parse_tuner(&argv(&["bin", "--tuner", "static"])),
+            TunerKind::Static
         );
     }
 

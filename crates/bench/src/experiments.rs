@@ -9,11 +9,11 @@
 use crate::parallel::run_all;
 use crate::training::{train_initial, TrainedInit};
 use amri_core::assess::AssessorKind;
-use amri_core::IndexConfig;
+use amri_core::{IndexConfig, TunerKind};
 use amri_engine::{Executor, IndexingMode, MaintenanceStats, RunResult};
 use amri_hh::CombineStrategy;
 use amri_stream::AccessPattern;
-use amri_synth::scenario::{paper_scenario, Scale};
+use amri_synth::scenario::{adversarial_scenario, paper_scenario, Scale};
 use amri_synth::PaperScenario;
 use std::num::NonZeroUsize;
 
@@ -237,6 +237,72 @@ pub fn fig7_compare(scale: Scale, seed: u64, threads: NonZeroUsize) -> Fig7Resul
         bitmap,
         maint: [amri_maint, best_hash_maint, bitmap_maint],
     }
+}
+
+/// One cell of the tuner duel: a tuning policy on a drift schedule.
+#[derive(Debug)]
+pub struct DuelCell {
+    /// Which drift schedule the cell ran under (`paper` / `adversarial`).
+    pub drift: &'static str,
+    /// The tuning policy under test.
+    pub tuner: TunerKind,
+    /// The run itself, relabeled `<drift>/<tuner>`.
+    pub run: RunResult,
+    /// Maintenance ticks including the tuner-ledger trio.
+    pub maint: MaintenanceStats,
+}
+
+/// `EXP-DUEL` — the safe-tuning head-to-head: the paper's greedy tuner,
+/// the bandit tuner and the static-IC oracle, each on (a) the paper's
+/// rotating drift and (b) the adversarial A/B flip whose phase length
+/// undercuts the migration-amortization horizon
+/// ([`adversarial_scenario`]). All six cells share the query, the
+/// quasi-trained starting configurations and the seed, so the only degree
+/// of freedom is the tuning policy — the regret/thrash columns in the
+/// returned [`MaintenanceStats`] are directly comparable.
+pub fn tuner_duel(scale: Scale, seed: u64, threads: NonZeroUsize) -> Vec<DuelCell> {
+    let scenarios: Vec<(&'static str, PaperScenario, TrainedInit)> =
+        [("paper", false), ("adversarial", true)]
+            .into_iter()
+            .map(|(drift, adversarial)| {
+                let mut sc = if adversarial {
+                    adversarial_scenario(scale, seed)
+                } else {
+                    paper_scenario(scale, seed)
+                };
+                crate::cli::apply_threads(&mut sc.engine, threads);
+                let init = train_initial(&sc, train_secs(scale));
+                (drift, sc, init)
+            })
+            .collect();
+    let tuners = [TunerKind::Paper, TunerKind::Bandit, TunerKind::Static];
+    let jobs: Vec<_> = scenarios
+        .iter()
+        .flat_map(|(drift, sc, init)| {
+            tuners.into_iter().map(move |tuner| {
+                let configs = init.configs.clone();
+                move || {
+                    let mut sc = sc.clone();
+                    sc.engine.tuner_kind = tuner;
+                    let (mut run, maint) = run_mode_with_stats(
+                        &sc,
+                        IndexingMode::Amri {
+                            assessor: AssessorKind::Cdia(CombineStrategy::HighestCount),
+                            initial: Some(configs),
+                        },
+                    );
+                    run.label = format!("{drift}/{}", tuner.label());
+                    DuelCell {
+                        drift,
+                        tuner,
+                        run,
+                        maint,
+                    }
+                }
+            })
+        })
+        .collect();
+    run_all(jobs)
 }
 
 /// The Table II worked-example reproduction.

@@ -28,12 +28,13 @@ pub mod training;
 
 pub use cli::{
     apply_threads, check_args, enforce_cli, parse_checkpoint_every, parse_scale, parse_seed,
-    parse_spill_cache, parse_threads, usage, wants_help, FlagSpec, COMMON_FLAGS, SPILL_CACHE_FLAG,
+    parse_spill_cache, parse_threads, parse_tuner, usage, wants_help, FlagSpec, COMMON_FLAGS,
+    SPILL_CACHE_FLAG, TUNER_FLAG,
 };
 pub use crash::{resume_latest, run_checkpointed, run_until_crash};
 pub use experiments::{
     fig6_assessment, fig6_assessment_with_stats, fig6_hash, fig6_hash_with_stats, fig7_compare,
-    table2_example, Fig7Result, Table2Result,
+    table2_example, tuner_duel, DuelCell, Fig7Result, Table2Result,
 };
 pub use parallel::run_all;
 pub use report::{

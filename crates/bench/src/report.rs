@@ -97,11 +97,15 @@ pub fn render_maintenance_table(runs: &[RunResult], maint: &[MaintenanceStats]) 
     let mut out = String::new();
     writeln!(
         out,
-        "{:>18} {:>14} {:>14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "{:>18} {:>14} {:>14} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "run",
         "ingest-ns",
         "migrate-ns",
         "stalls",
+        "retunes",
+        "pred-ns",
+        "realized-ns",
+        "regret-ns",
         "ingest%",
         "spill-rd",
         "cache-hit%",
@@ -114,11 +118,15 @@ pub fn render_maintenance_table(runs: &[RunResult], maint: &[MaintenanceStats]) 
         let pct = 100.0 * (m.ingest_ns as f64 / 1000.0) / total as f64;
         writeln!(
             out,
-            "{:>18} {:>14} {:>14} {:>8} {:>9.1}% {:>10} {:>9.1}% {:>10}",
+            "{:>18} {:>14} {:>14} {:>8} {:>8} {:>12} {:>12} {:>12} {:>9.1}% {:>10} {:>9.1}% {:>10}",
             r.label,
             m.ingest_ns,
             m.migrate_ns,
             m.migrate_stalls,
+            r.retunes.len(),
+            m.retune_benefit_predicted_ns,
+            m.retune_benefit_realized_ns,
+            m.regret_vs_static_ns,
             pct,
             r.spill.blocks_read,
             100.0 * r.spill.cache_hit_frac(),
@@ -236,9 +244,14 @@ pub struct CheckpointNote {
 /// fills the `checkpoints_taken`/`resumed_from_step` columns; pass `&[]`
 /// for uncheckpointed lineups (zero / empty cells). `maint` aligns with
 /// `runs` and fills the maintenance-cost columns (`ingest_ns`,
-/// `migrate_ns`, `migrate_stalls`); the `_ns` columns carry deterministic
-/// *virtual* ticks, not wall-clock nanoseconds, so repeated runs diff
-/// byte-for-byte. Pass `&[]` when stats were not collected (zeros).
+/// `migrate_ns`, `migrate_stalls`) plus the tuner-ledger trio
+/// (`retune_benefit_predicted_ns`, `retune_benefit_realized_ns`,
+/// `regret_vs_static_ns`) that makes thrash observable: predicted vs
+/// realized retune benefit and cumulative regret against the static seed
+/// IC. The `_ns` columns carry deterministic *virtual* nanoseconds, not
+/// wall-clock ones, so repeated runs diff byte-for-byte (realized benefit
+/// is signed — a mispredicted retune loses time). Pass `&[]` when stats
+/// were not collected (zeros).
 ///
 /// The trailing spill columns come from each run's own
 /// [`SpillStats`](amri_core::SpillStats) rollup: `spilled_buckets`
@@ -263,6 +276,7 @@ pub fn write_summary_csv(
          faults_dropped,faults_duplicated,faults_delayed,faults_reordered,\
          threads,checkpoints_taken,resumed_from_step,\
          ingest_ns,migrate_ns,migrate_stalls,\
+         retune_benefit_predicted_ns,retune_benefit_realized_ns,regret_vs_static_ns,\
          spilled_buckets,promoted_buckets,spill_read_ns,\
          cache_hits,cache_misses,coalesced_reads,prefetched_blocks,\
          cache_evictions,notes\n",
@@ -290,7 +304,7 @@ pub fn write_summary_csv(
             .unwrap_or_default();
         writeln!(
             body,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.label,
             outcome,
             r.outputs,
@@ -311,6 +325,9 @@ pub fn write_summary_csv(
             m.ingest_ns,
             m.migrate_ns,
             m.migrate_stalls,
+            m.retune_benefit_predicted_ns,
+            m.retune_benefit_realized_ns,
+            m.regret_vs_static_ns,
             r.spill.blocks_written,
             r.spill.promoted_blocks,
             r.spill.read_ns,
@@ -440,6 +457,9 @@ mod tests {
             ingest_ns: 900,
             migrate_ns: 70,
             migrate_stalls: 2,
+            retune_benefit_predicted_ns: 500,
+            retune_benefit_realized_ns: -120,
+            regret_vs_static_ns: 64,
         }];
         write_summary_csv(&runs, &path, 4, &notes, &maint).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
@@ -450,6 +470,8 @@ mod tests {
             lines[0].ends_with(
                 ",threads,checkpoints_taken,resumed_from_step,\
                  ingest_ns,migrate_ns,migrate_stalls,\
+                 retune_benefit_predicted_ns,retune_benefit_realized_ns,\
+                 regret_vs_static_ns,\
                  spilled_buckets,promoted_buckets,spill_read_ns,\
                  cache_hits,cache_misses,coalesced_reads,prefetched_blocks,\
                  cache_evictions,notes"
@@ -463,7 +485,7 @@ mod tests {
         // so the row keeps one value per column.
         assert!(
             lines[1].ends_with(
-                "3,0,0,0,4,5,120,900,70,2,0,0,0,0,0,0,0,0,\
+                "3,0,0,0,4,5,120,900,70,2,500,-120,64,0,0,0,0,0,0,0,0,\
                  skipped checkpoint-000002.snap (checksum mismatch; torn)"
             ),
             "{}",
@@ -474,7 +496,7 @@ mod tests {
         // without maintenance stats get zero maintenance columns, and
         // runs without a spill tier get zero spill columns.
         assert!(
-            lines[2].ends_with(",4,0,,0,0,0,0,0,0,0,0,0,0,0,"),
+            lines[2].ends_with(",4,0,,0,0,0,0,0,0,0,0,0,0,0,0,0,0,"),
             "{}",
             lines[2]
         );
@@ -493,11 +515,17 @@ mod tests {
             ingest_ns: 1234,
             migrate_ns: 56,
             migrate_stalls: 3,
+            retune_benefit_predicted_ns: 77,
+            retune_benefit_realized_ns: -9,
+            regret_vs_static_ns: 5,
         }];
         let table = render_maintenance_table(&runs, &maint);
         assert!(table.contains("ingest-ns"), "{table}");
+        assert!(table.contains("regret-ns"), "{table}");
         assert!(table.contains("1234"), "{table}");
         assert!(table.contains("56"), "{table}");
+        assert!(table.contains("77"), "{table}");
+        assert!(table.contains("-9"), "{table}");
         // The second run has no stats entry: zeros, not a panic.
         let last = table.lines().last().unwrap();
         assert!(last.contains("hash"), "{table}");

@@ -14,13 +14,13 @@ use crate::cost::{CostParams, CostReceipt};
 use crate::error::CoreError;
 use crate::state::{SearchScratch, StateStore, TupleKey};
 use crate::tier::{SpillOutcome, SpillStats, SpillTier};
-use crate::tuner::{IndexTuner, TunerConfig, TunerEvent};
+use crate::tuner::{Tuner, TunerConfig, TunerEvent, TunerKind};
 use amri_stream::{AttrId, SearchRequest, StreamId, Tuple, VirtualTime, WindowSpec};
 
 /// A tuned, bit-address-indexed join state.
 pub struct AmriState {
     store: StateStore<BitAddressIndex>,
-    tuner: IndexTuner,
+    tuner: Tuner,
 }
 
 /// Outcome of a tuning opportunity, surfaced to the engine's metrics.
@@ -53,8 +53,44 @@ impl AmriState {
         tuner_config: TunerConfig,
         params: CostParams,
     ) -> Result<Self, CoreError> {
+        Self::new_with_tuner(
+            stream,
+            jas,
+            window,
+            kind,
+            initial,
+            tuner_config,
+            params,
+            TunerKind::Paper,
+        )
+    }
+
+    /// [`new`](Self::new) with an explicit tuning policy: the paper's
+    /// greedy tuner, the safe bandit tuner, or the pinned static seed IC
+    /// (see [`TunerKind`]).
+    ///
+    /// # Errors
+    /// Propagates tuner parameter validation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_tuner(
+        stream: StreamId,
+        jas: Vec<AttrId>,
+        window: WindowSpec,
+        kind: AssessorKind,
+        initial: IndexConfig,
+        tuner_config: TunerConfig,
+        params: CostParams,
+        tuner_kind: TunerKind,
+    ) -> Result<Self, CoreError> {
         let width = jas.len();
-        let tuner = IndexTuner::new(kind, width, initial.clone(), tuner_config, params)?;
+        let tuner = Tuner::new(
+            tuner_kind,
+            kind,
+            width,
+            initial.clone(),
+            tuner_config,
+            params,
+        )?;
         Ok(AmriState {
             store: StateStore::new(stream, jas, window, BitAddressIndex::new(initial)),
             tuner,
@@ -73,7 +109,7 @@ impl AmriState {
     }
 
     /// The tuner (read access for metrics).
-    pub fn tuner(&self) -> &IndexTuner {
+    pub fn tuner(&self) -> &Tuner {
         &self.tuner
     }
 

@@ -28,7 +28,12 @@
 //!   frequent patterns (greedy marginal-gain + exhaustive reference).
 //! * [`tier`] — the disk spill tier: checksummed append-only block store
 //!   cold window buckets migrate into, with seeded I/O fault injection.
-//! * [`tuner`] — the online tuning loop: assess → select → migrate.
+//! * [`whatif`] — hypothetical-index what-if evaluation: price any
+//!   candidate configuration against an observed assessment window
+//!   without building it.
+//! * [`tuner`] — the online tuning loop: assess → select → migrate. Three
+//!   policies behind the [`TunerKind`] seam: the paper's greedy tuner, a
+//!   safe bandit tuner with bounded regret, and a static baseline.
 //! * [`amri`] — [`AmriState`], the glued-together product:
 //!   a tuned bit-address-indexed state ready for an AMR engine.
 //!
@@ -108,6 +113,7 @@ pub mod snapshot_io;
 pub mod state;
 pub mod tier;
 pub mod tuner;
+pub mod whatif;
 
 pub use amri::AmriState;
 pub use assess::{Assessor, AssessorKind};
@@ -123,4 +129,7 @@ pub use tier::{
     BlockMeta, BlockReadError, BlockWriteError, IoFaultConfig, SpillConfig, SpillOutcome,
     SpillStats, SpillTier,
 };
-pub use tuner::{IndexTuner, TunerConfig, TunerEvent};
+pub use tuner::{
+    BanditTuner, IndexTuner, StaticTuner, TuneLedger, Tuner, TunerConfig, TunerEvent, TunerKind,
+};
+pub use whatif::WindowObservation;

@@ -22,7 +22,9 @@ use crate::router::Router;
 use crate::runtime::{DegradationPolicy, EngineSetup, FaultPlan, Pipeline, RunParams, TierPolicy};
 use crate::stem::{HashTuner, JoinState, Stem};
 use amri_core::assess::AssessorKind;
-use amri_core::{CostParams, IndexConfig, SpillConfig, SpillTier, StorageProfile, TunerConfig};
+use amri_core::{
+    CostParams, IndexConfig, SpillConfig, SpillTier, StorageProfile, TunerConfig, TunerKind,
+};
 use amri_stream::{AccessPattern, Clock, SpjQuery, StreamId, VirtualClock, VirtualDuration};
 
 // Source-compatible re-exports: these types moved into the runtime layer.
@@ -132,6 +134,10 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Tuner parameters shared by all tuning flavors.
     pub tuner: TunerConfig,
+    /// Which AMRI tuning policy drives retunes: the paper's greedy tuner,
+    /// the safe bandit tuner, or the pinned static seed IC. Only the AMRI
+    /// flavor consults this; the baselines tune (or don't) as before.
+    pub tuner_kind: TunerKind,
     /// Unit costs.
     pub params: CostParams,
     /// Overload governor: shed load / evict state instead of dying when
@@ -175,6 +181,7 @@ impl Default for EngineConfig {
             policy: PolicyKind::default(),
             seed: 0xE0_0D,
             tuner: TunerConfig::default(),
+            tuner_kind: TunerKind::default(),
             params: CostParams::default(),
             degradation: None,
             faults: None,
@@ -309,6 +316,7 @@ impl<W: StreamWorkload> Executor<W> {
                         config.tuner,
                         config.params,
                         payload,
+                        config.tuner_kind,
                     )?
                 }
                 IndexingMode::AdaptiveHash { n_indices, initial } => {
@@ -532,6 +540,7 @@ mod tests {
                 total_bits: 16,
                 ..TunerConfig::default()
             },
+            tuner_kind: TunerKind::default(),
             params: CostParams::default(),
             degradation: None,
             faults: None,

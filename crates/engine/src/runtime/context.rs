@@ -76,6 +76,19 @@ pub struct MaintenanceStats {
     /// Retunes that fired while routing jobs were queued — each one
     /// stalled the pipeline for its migration's duration.
     pub migrate_stalls: u64,
+    /// What-if benefit (virtual ns) the tuner predicted for its retunes,
+    /// summed over every AMRI state's [`TuneLedger`](amri_core::TuneLedger).
+    #[serde(default)]
+    pub retune_benefit_predicted_ns: u64,
+    /// Realized benefit (virtual ns) those retunes actually delivered,
+    /// measured one assessment window later. Signed: a retune into a
+    /// workload flip can cost more than it saves.
+    #[serde(default)]
+    pub retune_benefit_realized_ns: i64,
+    /// Cumulative realized regret (virtual ns) of the tuner's decisions
+    /// against always keeping the static seed IC.
+    #[serde(default)]
+    pub regret_vs_static_ns: u64,
 }
 
 /// The scalar knobs the runtime needs for one run — the pipeline-facing

@@ -413,6 +413,9 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
         w.put_u64(ctx.maint.ingest_ns);
         w.put_u64(ctx.maint.migrate_ns);
         w.put_u64(ctx.maint.migrate_stalls);
+        w.put_u64(ctx.maint.retune_benefit_predicted_ns);
+        w.put_u64(ctx.maint.retune_benefit_realized_ns as u64);
+        w.put_u64(ctx.maint.regret_vs_static_ns);
         snap.add("maint", w);
 
         let mut w = SectionWriter::new();
@@ -557,11 +560,23 @@ impl<W: StreamWorkload, C: Clock> Pipeline<W, C> {
         // before the section existed still resume (they restart the
         // counters at zero — observational only, never behavioral).
         self.ctx.maint = match snap.section("maint") {
-            Ok(mut r) => MaintenanceStats {
-                ingest_ns: r.get_u64()?,
-                migrate_ns: r.get_u64()?,
-                migrate_stalls: r.get_u64()?,
-            },
+            Ok(mut r) => {
+                let mut maint = MaintenanceStats {
+                    ingest_ns: r.get_u64()?,
+                    migrate_ns: r.get_u64()?,
+                    migrate_stalls: r.get_u64()?,
+                    ..MaintenanceStats::default()
+                };
+                // The tuner-ledger trio postdates the section; a snapshot
+                // from before restarts them at zero (they are re-derived
+                // from the stems' tuner ledgers at the next tune step).
+                if r.remaining() > 0 {
+                    maint.retune_benefit_predicted_ns = r.get_u64()?;
+                    maint.retune_benefit_realized_ns = r.get_u64()? as i64;
+                    maint.regret_vs_static_ns = r.get_u64()?;
+                }
+                maint
+            }
             Err(_) => MaintenanceStats::default(),
         };
 

@@ -14,7 +14,7 @@
 use amri_core::assess::{Assessor, AssessorKind};
 use amri_core::{
     AmriState, BitAddressIndex, CostParams, CostReceipt, IndexConfig, IngestStage, MultiHashIndex,
-    ScanIndex, SearchScratch, StateStore, TunerConfig, TupleKey,
+    ScanIndex, SearchScratch, StateStore, TuneLedger, TunerConfig, TunerKind, TupleKey,
 };
 use amri_stream::{
     AccessPattern, AttrId, SearchRequest, StreamId, Tuple, VirtualDuration, VirtualTime, WindowSpec,
@@ -110,6 +110,9 @@ impl std::fmt::Debug for HashTuner {
 }
 
 /// A join state in one of the paper's four index flavors.
+// Amri is the common case in every experiment; boxing it to shrink the
+// rare variants would put a deref on the probe hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum JoinState {
     /// AMRI: tuned bit-address index (the contribution).
     Amri(AmriState),
@@ -159,6 +162,16 @@ impl JoinState {
             JoinState::MultiHash { tuner: None, .. } => "multi-hash-static",
             JoinState::StaticBitmap(_) => "static-bitmap",
             JoinState::Scan(_) => "scan",
+        }
+    }
+
+    /// The AMRI tuner's cumulative decision ledger (retunes, predicted /
+    /// realized retune benefit, regret vs the static seed IC). Zero for
+    /// the non-AMRI flavors, whose tuning has no what-if accounting.
+    pub fn tune_ledger(&self) -> TuneLedger {
+        match self {
+            JoinState::Amri(s) => s.tuner().ledger(),
+            _ => TuneLedger::default(),
         }
     }
 
@@ -758,7 +771,7 @@ impl Stem {
 
 /// Convenience constructors for the four flavors.
 impl JoinState {
-    /// An AMRI state (see [`AmriState::new`]).
+    /// An AMRI state (see [`AmriState::new_with_tuner`]).
     #[allow(clippy::too_many_arguments)]
     pub fn amri(
         stream: StreamId,
@@ -769,9 +782,12 @@ impl JoinState {
         tuner: TunerConfig,
         params: CostParams,
         payload_bytes: u32,
+        tuner_kind: TunerKind,
     ) -> Result<Self, amri_core::CoreError> {
-        let s = AmriState::new(stream, jas, window, kind, initial, tuner, params)?
-            .with_payload_bytes(payload_bytes);
+        let s = AmriState::new_with_tuner(
+            stream, jas, window, kind, initial, tuner, params, tuner_kind,
+        )?
+        .with_payload_bytes(payload_bytes);
         Ok(JoinState::Amri(s))
     }
 
@@ -869,6 +885,7 @@ mod tests {
                 },
                 CostParams::default(),
                 100,
+                TunerKind::Paper,
             )
             .unwrap(),
             JoinState::multi_hash(
@@ -1027,6 +1044,7 @@ mod tests {
             },
             CostParams::default(),
             100,
+            TunerKind::Paper,
         )
         .unwrap();
         let mut r = CostReceipt::new();

@@ -132,6 +132,31 @@ impl DriftSchedule {
             .collect();
         Self::new(n_streams, phase_length, phases)
     }
+
+    /// An adversarial schedule built to defeat a greedy tuner: only two
+    /// phases, alternating the hot edge between the first and last edge of
+    /// the clique with an extreme `hot_factor`, at a `phase_length` the
+    /// caller sets *shorter than the tuner's migration-amortization
+    /// horizon*. Each flip makes yesterday's migration worthless before it
+    /// pays for itself: a tuner that chases the flip pays the full
+    /// migration cost every phase and realizes (almost) none of the
+    /// predicted benefit, while a tuner that refuses the bait stays within
+    /// its regret bound of the static configuration.
+    pub fn adversarial(
+        n_streams: usize,
+        phase_length: VirtualDuration,
+        base: u64,
+        hot_factor: u64,
+    ) -> Self {
+        let n_edges = n_streams * (n_streams - 1) / 2;
+        assert!(n_edges >= 2, "an adversarial flip needs at least 2 edges");
+        let phase = |hot: usize| EdgePhase {
+            cardinalities: (0..n_edges)
+                .map(|e| if e == hot { base * hot_factor } else { base })
+                .collect(),
+        };
+        Self::new(n_streams, phase_length, vec![phase(0), phase(n_edges - 1)])
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +230,26 @@ mod tests {
             1000
         );
         assert_eq!(sched.cardinality_at(secs(5), StreamId(0), StreamId(1)), 100);
+    }
+
+    #[test]
+    fn adversarial_schedule_flips_between_extreme_hot_edges() {
+        let sched = DriftSchedule::adversarial(4, VirtualDuration::from_secs(3), 20, 50);
+        assert_eq!(sched.n_phases(), 2, "a pure A/B flip");
+        // Phase 0: edge 0 = {S0,S1} is hot, edge 5 = {S2,S3} ordinary.
+        assert_eq!(
+            sched.cardinality_at(secs(0), StreamId(0), StreamId(1)),
+            1000
+        );
+        assert_eq!(sched.cardinality_at(secs(0), StreamId(2), StreamId(3)), 20);
+        // Phase 1: the opposite corner of the clique.
+        assert_eq!(
+            sched.cardinality_at(secs(3), StreamId(2), StreamId(3)),
+            1000
+        );
+        assert_eq!(sched.cardinality_at(secs(3), StreamId(0), StreamId(1)), 20);
+        // And back — the flip never settles.
+        assert_eq!(sched.phase_at(secs(6)), 0);
     }
 
     #[test]

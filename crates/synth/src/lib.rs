@@ -32,6 +32,6 @@ pub mod workload;
 pub use dist::ValueDist;
 pub use drift::{DriftSchedule, EdgePhase};
 pub use generator::DriftingWorkload;
-pub use scenario::{paper_query, paper_scenario, PaperScenario};
+pub use scenario::{adversarial_scenario, paper_query, paper_scenario, PaperScenario};
 pub use trace::{record_trace, record_trace_to_file, TraceError, TraceWorkload};
 pub use workload::{PatternMixture, PatternWorkload};

@@ -120,7 +120,9 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                     total_bits: 64,
                     max_bits_per_attr: 8,
                     seed,
+                    ..TunerConfig::default()
                 },
+                tuner_kind: amri_core::TunerKind::default(),
                 params: CostParams {
                     c_h: 0.08,
                     c_c: 0.055,
@@ -165,7 +167,9 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
                     total_bits: 32,
                     max_bits_per_attr: 8,
                     seed,
+                    ..TunerConfig::default()
                 },
+                tuner_kind: amri_core::TunerKind::default(),
                 params: CostParams {
                     c_h: 0.08,
                     c_c: 0.04,
@@ -190,6 +194,36 @@ pub fn paper_scenario(scale: Scale, seed: u64) -> PaperScenario {
             }
         }
     }
+}
+
+/// The §V scenario with the drift replaced by an adversarial A/B flip
+/// ([`DriftSchedule::adversarial`]) whose phase length is *shorter than
+/// the tuner's migration-amortization horizon*
+/// (`horizon_windows × assess_period`). A tuner that migrates on every
+/// assessment chases a workload that inverts before the migration pays
+/// for itself; the schedule exists to measure exactly that thrash (see
+/// the `tuner_duel` bench bin).
+pub fn adversarial_scenario(scale: Scale, seed: u64) -> PaperScenario {
+    let mut sc = paper_scenario(scale, seed);
+    let (phase_secs, base, hot) = match scale {
+        // Paper scale: horizon = 4 windows × 4 s = 16 s; flip every 10 s.
+        Scale::Paper => (10, 24, 48),
+        // Quick scale: horizon = 4 windows × 10 s = 40 s; flip every 15 s.
+        Scale::Quick => (15, 16, 32),
+    };
+    sc.schedule = DriftSchedule::adversarial(
+        sc.schedule.n_streams(),
+        VirtualDuration::from_secs(phase_secs),
+        base,
+        hot,
+    );
+    debug_assert!(
+        phase_secs
+            < u64::from(sc.engine.tuner.horizon_windows)
+                * sc.engine.tuner.assess_period.as_secs_f64() as u64,
+        "the flip must outrun the migration horizon"
+    );
+    sc
 }
 
 #[cfg(test)]

@@ -65,18 +65,25 @@ M1="$(median_for migrate_parallel_10k/bitaddr_sharded_rebucket_threads/1)"
 M2="$(median_for migrate_parallel_10k/bitaddr_sharded_rebucket_threads/2)"
 M4="$(median_for migrate_parallel_10k/bitaddr_sharded_rebucket_threads/4)"
 CORES="$(nproc)"
+# A <4-core recording only happens under --force (the guard above exits
+# otherwise). Stamp it explicitly so downstream readers of the JSON can't
+# mistake a tie-by-physics single-core run for a scaling regression.
+DEGRADED=false
+if [[ "$CORES" -lt 4 ]]; then DEGRADED=true; fi
 
 jq -n \
     --argjson p1 "$P1" --argjson p2 "$P2" --argjson p4 "$P4" \
     --argjson i1 "$I1" --argjson i2 "$I2" --argjson i4 "$I4" \
     --argjson m1 "$M1" --argjson m2 "$M2" --argjson m4 "$M4" \
     --argjson cores "$CORES" --argjson runs "$BENCH_RUNS" \
+    --argjson degraded "$DEGRADED" \
     --arg kernel "$(uname -sr)" --arg arch "$(uname -m)" '
 {
   description: "Scaling evidence for the multicore tentpole, full pipeline: three benches over the identical 10k-entry 4-shard BitAddressIndex through the engine WorkerPool at 1, 2 and 4 threads. index_parallel_10k/wildcard_batch_probe_threads probes a 64-request single-attribute-wildcard batch (2^16 candidate buckets per request); ingest_parallel_10k/insert_expire_threads runs the staged write path (10k inserts in 256-tuple bursts, each burst applied per shard through the pool, then one staged whole-window expiry); migrate_parallel_10k/bitaddr_sharded_rebucket_threads reconfigures [8,8,8] -> [4,10,10] via the shard-crossing gather+redistribute protocol. Index, shard count and inputs are identical across thread counts and every result is byte-identical by construction, so the ids differ only in executor parallelism.",
   regenerate: "scripts/bench_parallel.sh  # best-of-N medians; BENCH_RUNS to change N",
   environment: {
     cores: $cores,
+    degraded_environment: $degraded,
     bench_runs: $runs,
     kernel: $kernel,
     arch: $arch,
@@ -112,4 +119,4 @@ jq -n \
 }' > BENCH_parallel.json
 
 echo "==> wrote BENCH_parallel.json"
-jq '{cores: .environment.cores, medians: .micro_index_median_ns, speedup: .speedup_vs_1_thread}' BENCH_parallel.json
+jq '{cores: .environment.cores, degraded: .environment.degraded_environment, medians: .micro_index_median_ns, speedup: .speedup_vs_1_thread}' BENCH_parallel.json

@@ -119,12 +119,12 @@ diff "${SPILL_A}/spill_identity.csv" "${SPILL_B}/spill_identity.csv" \
     || { echo "spill identity report diverged across thread counts"; exit 1; }
 # The spill fast path (decoded-block cache + coalesced reads + readahead)
 # must be a pure acceleration: the cache-enabled cell's summary, with the
-# five cache-counter columns (24-28) cut, must be byte-identical to the
+# five cache-counter columns (27-31) cut, must be byte-identical to the
 # cacheless cell's at both thread counts — and byte-identical across
 # thread counts with the cache counters *included*.
 for d in "${SPILL_A}" "${SPILL_B}"; do
-    diff <(cut -d, -f1-23,29 "${d}/spilled_summary.csv") \
-         <(cut -d, -f1-23,29 "${d}/spilled_cached_summary.csv") \
+    diff <(cut -d, -f1-26,32 "${d}/spilled_summary.csv") \
+         <(cut -d, -f1-26,32 "${d}/spilled_cached_summary.csv") \
         || { echo "cache-enabled spill run diverged from the cacheless one"; exit 1; }
 done
 diff <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_A}/spilled_cached_summary.csv") \
@@ -132,6 +132,37 @@ diff <(awk -F, -v OFS=, '{$15=""}1' "${SPILL_A}/spilled_cached_summary.csv") \
     || { echo "cached spilled summary diverged across thread counts"; exit 1; }
 echo "spill matrix green: beyond-RAM windows, byte-identical across threads 1 and 4, cache on or off"
 rm -rf "${SPILL_A}" "${SPILL_B}"
+
+# Safe-tuning duel: paper vs bandit vs static on both drift schedules.
+# The retune decisions — including the bandit's arm statistics, backoff
+# timers and RNG draws — all happen on the sequential tune path, so the
+# same-seed duel must emit a byte-identical summary CSV (regret/thrash
+# columns included) at --threads 1 and --threads 4; column 15 is the
+# recorded thread count, blanked as above.
+echo "==> tuner duel replay (--threads 1 vs --threads 4)"
+DUEL_A="$(mktemp -d)"
+DUEL_B="$(mktemp -d)"
+(cd "$DUEL_A" && "$OLDPWD"/target/release/tuner_duel --quick --threads 1 > /dev/null)
+(cd "$DUEL_B" && "$OLDPWD"/target/release/tuner_duel --quick --threads 4 > /dev/null)
+diff <(awk -F, -v OFS=, '{$15=""}1' "$DUEL_A/results/tuner_duel_summary.csv") \
+     <(awk -F, -v OFS=, '{$15=""}1' "$DUEL_B/results/tuner_duel_summary.csv") \
+    || { echo "tuner duel diverged across thread counts"; exit 1; }
+echo "tuner duel byte-identical across threads 1 and 4"
+rm -rf "$DUEL_A" "$DUEL_B"
+
+# Bandit tuner state through crash+resume: the arm statistics, pending
+# retune, backoff level and RNG stream all ride the snapshot, so a
+# crash-at-k + resume under --tuner bandit must stay byte-identical —
+# including the amri-governed-faulted cell, where the snapshot also
+# carries an active fault plan.
+echo "==> crash-resume replay (--tuner bandit)"
+CRASH_OUT="$(mktemp -d)"
+cargo run --release -q -p amri-bench --bin crash_matrix -- \
+    --quick --tuner bandit --out "${CRASH_OUT}"
+diff "${CRASH_OUT}/baseline_summary.csv" "${CRASH_OUT}/resumed_summary.csv" \
+    || { echo "bandit crash-resume summary diverged"; exit 1; }
+echo "bandit tuner state byte-identical through crash+resume"
+rm -rf "${CRASH_OUT}"
 
 # Fleet-sweep smoke: the same four-cell sweep (mixed indexing modes, one
 # tenant forced through the admission queue) run three ways — hosted in

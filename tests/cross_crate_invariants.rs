@@ -74,6 +74,7 @@ fn engine_config(lambda: f64, secs: u64, policy: PolicyKind) -> EngineConfig {
             total_bits: 12,
             ..TunerConfig::default()
         },
+        tuner_kind: amri_core::TunerKind::default(),
         params: CostParams::default(),
         degradation: None,
         faults: None,

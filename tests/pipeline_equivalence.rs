@@ -81,6 +81,7 @@ impl<W: StreamWorkload> Reference<W> {
                         config.tuner,
                         config.params,
                         payload,
+                        config.tuner_kind,
                     )
                     .expect("valid tuner parameters")
                 }
